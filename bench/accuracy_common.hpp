@@ -1,0 +1,61 @@
+#pragma once
+// accuracy_common.hpp — shared machinery for the Fig 1 / Fig 2 accuracy
+// reproductions: run the scaled 135-atom-analogue simulation once per
+// compute mode (identical trajectories, only BLAS arithmetic differs) and
+// hand back the observable series.
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dcmesh/core/driver.hpp"
+#include "dcmesh/core/output.hpp"
+#include "dcmesh/core/presets.hpp"
+
+namespace dcmesh::bench {
+
+/// The scaled accuracy configuration (see DESIGN.md: accuracy transfers
+/// across scale because the BLAS relative error is size-independent,
+/// paper Sec. V-B).  `steps` total QD steps, SCF every `steps / series`.
+inline core::run_config accuracy_config(int steps, int series) {
+  core::run_config config = core::preset(core::paper_system::pto40_scaled);
+  config.series = series;
+  config.qd_steps_per_series = steps / series;
+  return config;
+}
+
+/// Parse --quick / --full from argv: returns total QD steps.
+inline int parse_steps(int argc, char** argv, int dflt) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return 200;
+    if (std::strcmp(argv[i], "--full") == 0) return 1000;
+  }
+  return dflt;
+}
+
+/// Run the simulation under one compute mode; returns all QD records.
+inline std::vector<lfd::qd_record> run_mode(const core::run_config& config,
+                                            blas::compute_mode mode) {
+  blas::scoped_compute_mode scope(mode);
+  core::driver sim(config);
+  sim.run();
+  return sim.records();
+}
+
+/// Records per mode, FP32 reference included under compute_mode::standard.
+inline std::map<blas::compute_mode, std::vector<lfd::qd_record>>
+run_all_modes(const core::run_config& config) {
+  std::map<blas::compute_mode, std::vector<lfd::qd_record>> results;
+  results[blas::compute_mode::standard] =
+      run_mode(config, blas::compute_mode::standard);
+  for (blas::compute_mode mode : alternative_modes()) {
+    std::fprintf(stderr, "  running %s...\n",
+                 std::string(blas::name(mode)).c_str());
+    results[mode] = run_mode(config, mode);
+  }
+  return results;
+}
+
+}  // namespace dcmesh::bench

@@ -1,0 +1,73 @@
+#pragma once
+// bench_common.hpp — shared helpers for the table/figure reproduction
+// binaries.  Every bench prints the rows the paper reports plus a "paper="
+// annotation wherever the paper states a number, so EXPERIMENTS.md can be
+// filled in mechanically from bench output.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/common/table.hpp"
+#include "dcmesh/xehpc/app_model.hpp"
+#include "dcmesh/xehpc/calibration.hpp"
+#include "dcmesh/xehpc/device.hpp"
+
+namespace dcmesh::bench {
+
+/// The five alternative modes in the paper's order (Table II).
+inline std::vector<blas::compute_mode> alternative_modes() {
+  return {blas::compute_mode::float_to_bf16,
+          blas::compute_mode::float_to_bf16x2,
+          blas::compute_mode::float_to_bf16x3,
+          blas::compute_mode::float_to_tf32,
+          blas::compute_mode::complex_3m};
+}
+
+/// All LFD precision configurations of Figure 3a, fastest-last ordering
+/// left to the data: FP64, FP32, then the five alternative modes.
+struct precision_row {
+  std::string label;
+  xehpc::lfd_precision precision;
+};
+
+inline std::vector<precision_row> fig3a_rows() {
+  using blas::compute_mode;
+  using xehpc::gemm_precision;
+  return {
+      {"FP64", {gemm_precision::fp64, compute_mode::standard}},
+      {"FP32", {gemm_precision::fp32, compute_mode::standard}},
+      {"BF16", {gemm_precision::fp32, compute_mode::float_to_bf16}},
+      {"BF16x2", {gemm_precision::fp32, compute_mode::float_to_bf16x2}},
+      {"BF16x3", {gemm_precision::fp32, compute_mode::float_to_bf16x3}},
+      {"TF32", {gemm_precision::fp32, compute_mode::float_to_tf32}},
+      {"Complex_3m", {gemm_precision::fp32, compute_mode::complex_3m}},
+  };
+}
+
+/// Paper Table V systems as xehpc shapes.
+inline xehpc::system_shape pto40_shape() { return {64LL * 64 * 64, 256, 128}; }
+inline xehpc::system_shape pto135_shape() {
+  return {96LL * 96 * 96, 1024, 432};
+}
+
+/// Banner used by every bench.
+inline void banner(const char* experiment, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment, description);
+  std::printf("==============================================================\n");
+}
+
+/// Print the calibration constants so modeled numbers stay auditable.
+inline void print_calibration(const xehpc::calibration& cal) {
+  std::printf(
+      "[device-model calibration] vector_sustained=%.2f "
+      "matrix_sustained=%.2f matrix_m_half=%.0f matrix_n=%.2f*n/(n+%.0f) "
+      "marginal_product=%.2f hbm_eff=%.2f mesh_sweeps=%.0f\n",
+      cal.vector_sustained, cal.matrix_sustained, cal.matrix_m_half,
+      cal.matrix_n_scale, cal.matrix_n_half, cal.component_marginal_cost,
+      cal.hbm_efficiency, cal.mesh_sweeps_per_qd_step);
+}
+
+}  // namespace dcmesh::bench

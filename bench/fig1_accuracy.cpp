@@ -1,0 +1,76 @@
+// fig1_accuracy — reproduces paper Figure 1: deviation from FP32 of the
+// three output metrics (nexc, javg, ekin) over the simulation for each
+// alternative BLAS compute mode.  These are REAL numerics: the full
+// QXMD+LFD simulation runs once per mode with bit-faithful emulation of
+// the oneMKL compute modes, at the scaled system size documented in
+// DESIGN.md.  Flags: --quick (200 QD steps), --full (1000), default 500.
+
+#include <cmath>
+
+#include "accuracy_common.hpp"
+#include "dcmesh/common/stats.hpp"
+
+namespace {
+
+using namespace dcmesh;
+
+int run(int argc, char** argv) {
+  const int steps = bench::parse_steps(argc, argv, 500);
+  bench::banner("Figure 1",
+                "Deviation from FP32 of nexc, javg, ekin per compute mode");
+  const core::run_config config = bench::accuracy_config(steps, 2);
+  std::printf(
+      "Scaled system: %d atoms, %lld^3 mesh, Norb=%zu, Nocc=%zu, %d QD "
+      "steps, SCF every %d (paper: 135 atoms, 96^3, 1024 orbitals, ~10 fs; "
+      "scaling argument in DESIGN.md)\n\n",
+      config.atom_count(), static_cast<long long>(config.mesh_n),
+      config.norb, config.nocc, config.total_qd_steps(),
+      config.qd_steps_per_series);
+
+  const auto results = bench::run_all_modes(config);
+  const auto& reference = results.at(blas::compute_mode::standard);
+
+  for (const char* column : {"nexc", "javg", "ekin"}) {
+    const auto ref = core::extract_column(reference, column);
+    std::printf("\n--- deviation of %s from FP32 (sampled every %d steps) "
+                "---\n",
+                column, std::max(1, steps / 10));
+    text_table table({"t (a.t.u.)", "BF16", "BF16x2", "BF16x3", "TF32",
+                      "Complex_3m"});
+    const int stride = std::max(1, steps / 10);
+    for (std::size_t i = stride - 1; i < ref.size();
+         i += static_cast<std::size_t>(stride)) {
+      std::vector<std::string> row{fmt(reference[i].t, 4)};
+      for (blas::compute_mode mode : bench::alternative_modes()) {
+        const auto alt = core::extract_column(results.at(mode), column);
+        row.push_back(fmt_sci(alt[i] - ref[i], 2));
+      }
+      table.add_row(row);
+    }
+    table.print();
+
+    // Summary: max |deviation| and max relative deviation per mode.
+    double scale = 0.0;
+    for (double v : ref) scale = std::max(scale, std::abs(v));
+    std::printf("max |%s| in FP32 run: %s\n", column, fmt_sci(scale).c_str());
+    for (blas::compute_mode mode : bench::alternative_modes()) {
+      const auto alt = core::extract_column(results.at(mode), column);
+      const double dev = max_abs_deviation(alt, ref);
+      std::printf("  %-10s max deviation %-10s (%.3f%% of signal)\n",
+                  std::string(blas::name(mode)).c_str(),
+                  fmt_sci(dev).c_str(),
+                  scale > 0 ? 100.0 * dev / scale : 0.0);
+    }
+  }
+
+  std::printf(
+      "\npaper (qualitative): deviation grows over the simulation and is "
+      "largest for the BF16 family, BF16x3 most accurate of the three; "
+      "relative deviations are ~1%% or less; current density deviation is "
+      "negligible (1e-5 a.u. order).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,0 +1,66 @@
+// fig2_current_log — reproduces paper Figure 2: log10 of the deviation of
+// the current density (javg) from FP32 over the simulation per compute
+// mode.  Real numerics at the scaled system size; --quick/--full adjust
+// the step count (default 250).
+
+#include <cmath>
+
+#include "accuracy_common.hpp"
+#include "dcmesh/common/stats.hpp"
+
+namespace {
+
+using namespace dcmesh;
+
+int run(int argc, char** argv) {
+  const int steps = bench::parse_steps(argc, argv, 250);
+  bench::banner("Figure 2",
+                "log10 deviation of current density from FP32 per mode");
+  const core::run_config config = bench::accuracy_config(steps, 1);
+  std::printf("Scaled system: %d atoms, %lld^3 mesh, Norb=%zu, %d QD steps\n\n",
+              config.atom_count(), static_cast<long long>(config.mesh_n),
+              config.norb, config.total_qd_steps());
+
+  const auto results = bench::run_all_modes(config);
+  const auto ref = core::extract_column(
+      results.at(blas::compute_mode::standard), "javg");
+
+  text_table table({"t (a.t.u.)", "BF16", "BF16x2", "BF16x3", "TF32",
+                    "Complex_3m"});
+  const int stride = std::max(1, steps / 12);
+  std::map<blas::compute_mode, std::vector<double>> logs;
+  for (blas::compute_mode mode : bench::alternative_modes()) {
+    logs[mode] = log10_deviation_series(
+        core::extract_column(results.at(mode), "javg"), ref);
+  }
+  const auto& reference = results.at(blas::compute_mode::standard);
+  for (std::size_t i = stride - 1; i < ref.size();
+       i += static_cast<std::size_t>(stride)) {
+    std::vector<std::string> row{fmt(reference[i].t, 4)};
+    for (blas::compute_mode mode : bench::alternative_modes()) {
+      row.push_back(fmt_fixed(logs[mode][i], 2));
+    }
+    table.add_row(row);
+  }
+  table.print();
+
+  // Fig 2's qualitative claims: BF16, TF32 and BF16x3 track closely (no
+  // divergence over the run) and stay well separated from the signal.
+  double signal = 0.0;
+  for (double j : ref) signal = std::max(signal, std::abs(j));
+  std::printf("\nlog10 max |javg| signal: %.2f\n", std::log10(signal));
+  for (blas::compute_mode mode : bench::alternative_modes()) {
+    running_stats s;
+    for (double v : logs[mode]) s.add(v);
+    std::printf("  %-10s log10 deviation: mean %.2f, max %.2f\n",
+                std::string(blas::name(mode)).c_str(), s.mean(), s.max());
+  }
+  std::printf(
+      "\npaper (qualitative): BF16, TF32, and BF16x3 track closely with one "
+      "another and show no signs of divergence over the simulation.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,0 +1,115 @@
+// micro_gemm — google-benchmark microbenchmarks of the minimkl kernels on
+// this host.  These measure the CPU emulation (correctness substrate), not
+// the GPU: useful for tracking kernel regressions and for seeing the
+// component-product cost structure of the split modes directly.
+
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <vector>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/common/rng.hpp"
+
+namespace {
+
+using namespace dcmesh;
+
+template <typename T>
+std::vector<T> random_data(std::size_t n, unsigned seed) {
+  xoshiro256 rng(seed);
+  std::vector<T> v(n);
+  for (auto& x : v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      x = static_cast<T>(rng.uniform(-1, 1));
+    } else {
+      x = {static_cast<typename T::value_type>(rng.uniform(-1, 1)),
+           static_cast<typename T::value_type>(rng.uniform(-1, 1))};
+    }
+  }
+  return v;
+}
+
+void BM_sgemm(benchmark::State& state) {
+  const auto n = static_cast<blas::blas_int>(state.range(0));
+  const auto a = random_data<float>(n * n, 1);
+  const auto b = random_data<float>(n * n, 2);
+  std::vector<float> c(n * n);
+  blas::clear_compute_mode();
+  for (auto _ : state) {
+    blas::sgemm(blas::transpose::none, blas::transpose::none, n, n, n, 1.0f,
+                a.data(), n, b.data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::gemm_flops(false, n, n, n) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_sgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_dgemm(benchmark::State& state) {
+  const auto n = static_cast<blas::blas_int>(state.range(0));
+  const auto a = random_data<double>(n * n, 3);
+  const auto b = random_data<double>(n * n, 4);
+  std::vector<double> c(n * n);
+  for (auto _ : state) {
+    blas::dgemm(blas::transpose::none, blas::transpose::none, n, n, n, 1.0,
+                a.data(), n, b.data(), n, 0.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::gemm_flops(false, n, n, n) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_dgemm)->Arg(64)->Arg(128);
+
+void BM_cgemm_mode(benchmark::State& state) {
+  using C = std::complex<float>;
+  const blas::blas_int m = 32, n = 32, k = 4096;  // DCMESH-like skinny shape
+  const auto mode = static_cast<blas::compute_mode>(state.range(0));
+  const auto a = random_data<C>(k * m, 5);
+  const auto b = random_data<C>(k * n, 6);
+  std::vector<C> c(m * n);
+  blas::scoped_compute_mode scope(mode);
+  for (auto _ : state) {
+    blas::cgemm(blas::transpose::conj_trans, blas::transpose::none, m, n, k,
+                C(1), a.data(), k, b.data(), k, C(0), c.data(), m);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(std::string(blas::name(mode)));
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::gemm_flops(true, m, n, k) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_cgemm_mode)
+    ->Arg(static_cast<int>(blas::compute_mode::standard))
+    ->Arg(static_cast<int>(blas::compute_mode::float_to_bf16))
+    ->Arg(static_cast<int>(blas::compute_mode::float_to_bf16x2))
+    ->Arg(static_cast<int>(blas::compute_mode::float_to_bf16x3))
+    ->Arg(static_cast<int>(blas::compute_mode::float_to_tf32))
+    ->Arg(static_cast<int>(blas::compute_mode::complex_3m));
+
+void BM_sgemm_split(benchmark::State& state) {
+  const blas::blas_int n = 128;
+  const auto mode = static_cast<blas::compute_mode>(state.range(0));
+  const auto a = random_data<float>(n * n, 7);
+  const auto b = random_data<float>(n * n, 8);
+  std::vector<float> c(n * n);
+  blas::scoped_compute_mode scope(mode);
+  for (auto _ : state) {
+    blas::sgemm(blas::transpose::none, blas::transpose::none, n, n, n, 1.0f,
+                a.data(), n, b.data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(std::string(blas::name(mode)));
+}
+BENCHMARK(BM_sgemm_split)
+    ->Arg(static_cast<int>(blas::compute_mode::standard))
+    ->Arg(static_cast<int>(blas::compute_mode::float_to_bf16))
+    ->Arg(static_cast<int>(blas::compute_mode::float_to_bf16x3))
+    ->Arg(static_cast<int>(blas::compute_mode::float_to_tf32));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// table1_peaks — reproduces paper Table I: theoretical peak throughput for
+// a single stack of the Intel Data Center GPU Max 1550, per precision.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dcmesh;
+
+int run() {
+  bench::banner("Table I", "Theoretical peak throughput for a single stack");
+  const xehpc::device_spec spec;
+  std::printf("Device: %s (%d EUs @ %.1f GHz)\n\n",
+              std::string(spec.name).c_str(), spec.execution_units,
+              spec.frequency_ghz);
+
+  text_table table({"Precision", "Theoretical Peak", "Engines",
+                    "ops/clk/EU", "paper"});
+  const struct {
+    xehpc::peak_precision p;
+    const char* paper;
+  } rows[] = {
+      {xehpc::peak_precision::fp64, "26 TFLOP/s, Vector"},
+      {xehpc::peak_precision::fp32, "26 TFLOP/s, Vector"},
+      {xehpc::peak_precision::tf32, "209 TFLOP/s, Matrix"},
+      {xehpc::peak_precision::bf16, "419 TFLOP/s, Matrix"},
+      {xehpc::peak_precision::fp16, "419 TFLOP/s, Matrix"},
+      {xehpc::peak_precision::int8, "839 TOP/s, Matrix"},
+  };
+  for (const auto& row : rows) {
+    const double peak = xehpc::theoretical_peak_tflops(spec, row.p);
+    const bool is_int = row.p == xehpc::peak_precision::int8;
+    table.add_row({std::string(xehpc::precision_name(row.p)),
+                   fmt(peak, 4) + (is_int ? " TOP/s" : " TFLOP/s"),
+                   xehpc::peak_engine(row.p) == xehpc::engine::vector
+                       ? "Vector"
+                       : "Matrix",
+                   fmt(xehpc::ops_per_clock_per_eu(spec, row.p), 4),
+                   row.paper});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

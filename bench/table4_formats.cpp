@@ -1,0 +1,40 @@
+// table4_formats — reproduces paper Table IV: exponent and mantissa bits of
+// each precision format studied, taken from the value types the split GEMM
+// machinery actually uses (not a hand-written table).
+
+#include "bench_common.hpp"
+#include "dcmesh/common/bf16.hpp"
+#include "dcmesh/common/format_traits.hpp"
+#include "dcmesh/common/tf32.hpp"
+
+namespace {
+
+using namespace dcmesh;
+
+int run() {
+  bench::banner("Table IV", "Exponent and mantissa bits per format");
+
+  text_table table(
+      {"Precision", "Exponent Bits", "Mantissa Bits", "paper (exp/mant)"});
+  const char* paper[] = {"11/52", "8/23", "8/10", "8/7"};
+  int i = 0;
+  for (const auto& f : table4_formats()) {
+    table.add_row({std::string(f.name), std::to_string(f.exponent_bits),
+                   std::to_string(f.mantissa_bits), paper[i++]});
+  }
+  table.print();
+
+  // Consistency between the table and the live value types.
+  std::printf("\nLive value types: bf16 = %d/%d, tf32 = %d/%d\n",
+              bf16::exponent_bits, bf16::mantissa_bits, tf32::exponent_bits,
+              tf32::mantissa_bits);
+  std::printf(
+      "Half-ULP relative rounding bound (Sec. V-B): BF16 %.3e, TF32 %.3e, "
+      "FP32 %.3e\n",
+      rounding_half_ulp(7), rounding_half_ulp(10), rounding_half_ulp(23));
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,64 @@
+// table5_systems — reproduces paper Table V: the system sizes studied, and
+// checks the capacity claim (the 135-atom system is the largest fitting the
+// 64 GB of one GPU stack).
+
+#include "bench_common.hpp"
+#include "dcmesh/core/presets.hpp"
+#include "dcmesh/qxmd/supercell.hpp"
+
+namespace {
+
+using namespace dcmesh;
+
+int run() {
+  bench::banner("Table V", "System sizes studied");
+
+  text_table table({"Number of Atoms", "Mesh Grid Size", "Norb", "Nocc",
+                    "FP32 state (GB)", "paper"});
+  for (const auto& [system, paper] :
+       std::vector<std::pair<core::paper_system, const char*>>{
+           {core::paper_system::pto40, "40 / 64x64x64 / 256"},
+           {core::paper_system::pto135, "135 / 96x96x96 / 1024"}}) {
+    const core::run_config c = core::preset(system);
+    const xehpc::system_shape shape{
+        c.ngrid(), static_cast<blas::blas_int>(c.norb),
+        static_cast<blas::blas_int>(c.nocc)};
+    table.add_row(
+        {std::to_string(c.atom_count()),
+         std::to_string(c.mesh_n) + "x" + std::to_string(c.mesh_n) + "x" +
+             std::to_string(c.mesh_n),
+         std::to_string(c.norb), std::to_string(c.nocc),
+         fmt(xehpc::wavefunction_bytes(shape, xehpc::gemm_precision::fp32) /
+                 1e9,
+             3),
+         paper});
+  }
+  table.print();
+
+  // Capacity check: ~4x the wave-function block must fit in 64 GB for the
+  // 135-atom system (propagation scratch + reference copy), and a 320-atom
+  // (4x4x4 cells) system must not.
+  const auto s135 = bench::pto135_shape();
+  const double bytes135 =
+      4.0 * xehpc::wavefunction_bytes(s135, xehpc::gemm_precision::fp32);
+  const xehpc::system_shape s320{128LL * 128 * 128, 2432, 1024};
+  const double bytes320 =
+      4.0 * xehpc::wavefunction_bytes(s320, xehpc::gemm_precision::fp32);
+  std::printf(
+      "\nCapacity (64 GB/stack): 135-atom needs ~%.1f GB (fits: %s); "
+      "next size up (320-atom) needs ~%.1f GB (fits: %s)\n",
+      bytes135 / 1e9, bytes135 < 64e9 ? "yes" : "NO", bytes320 / 1e9,
+      bytes320 < 64e9 ? "yes" : "NO");
+  std::printf("paper: \"largest system that can fit within the 64GB memory "
+              "of a single GPU stack is [the] 135 atom\" system\n");
+
+  // The supercell builder agrees with the atom counts.
+  std::printf("\nSupercell builder: 2x2x2 -> %zu atoms, 3x3x3 -> %zu atoms\n",
+              qxmd::build_pto_supercell(2).size(),
+              qxmd::build_pto_supercell(3).size());
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

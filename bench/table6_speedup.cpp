@@ -1,0 +1,61 @@
+// table6_speedup — reproduces paper Table VI: maximum observed speedup of
+// BLAS routines per compute mode, compared with the theoretical maximum.
+// "Observed" here means the Xe-HPC device model evaluated over the full
+// Fig-3b shape sweep (the paper's maximum also occurred at the largest
+// remap_occ shape); the substitution is documented in DESIGN.md.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "dcmesh/xehpc/roofline.hpp"
+
+namespace {
+
+using namespace dcmesh;
+
+int run() {
+  bench::banner("Table VI",
+                "Maximum observed vs theoretical BLAS speedup per mode");
+  const xehpc::device_spec spec;
+  const xehpc::calibration cal = xehpc::default_calibration();
+  bench::print_calibration(cal);
+  std::printf("\n");
+
+  // Sweep the Table VII / Fig 3b shapes (40-atom remap_occ GEMM).
+  const std::vector<blas::blas_int> norbs{256, 1024, 2048, 4096};
+
+  text_table table({"Compute Mode", "Max Observed (model)", "At Norb",
+                    "Peak Theoretical", "% of theoretical", "paper"});
+  const char* paper[] = {"3.91x (max observed)", "-", "-", "-", "-"};
+  int row = 0;
+  for (blas::compute_mode mode : bench::alternative_modes()) {
+    double best = 0.0;
+    blas::blas_int best_norb = 0;
+    for (blas::blas_int norb : norbs) {
+      const xehpc::gemm_shape shape{128, norb - 128, 64LL * 64 * 64, true,
+                                    xehpc::gemm_precision::fp32};
+      const double s = xehpc::model_speedup_vs_fp32(spec, cal, shape, mode);
+      if (s > best) {
+        best = s;
+        best_norb = norb;
+      }
+    }
+    const double theoretical = xehpc::peak_theoretical_speedup(spec, mode);
+    table.add_row({std::string(blas::name(mode)), fmt_fixed(best, 2) + "x",
+                   std::to_string(best_norb),
+                   fmt_fixed(theoretical, 2) + "x",
+                   fmt_fixed(100.0 * best / theoretical, 1) + "%",
+                   paper[row++]});
+  }
+  table.print();
+  std::printf(
+      "\npaper: \"The maximum speedup we achieved was 3.91x when using the "
+      "BF16 compute mode, despite the peak theoretical speedup for a BF16 "
+      "BLAS routine being 16x\" — limited by memory/cache bandwidth, the "
+      "small m = 128 dimension, and power.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

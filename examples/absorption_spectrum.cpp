@@ -1,0 +1,93 @@
+// absorption_spectrum.cpp — optical absorption by the delta-kick method.
+//
+// The linear-response route to the absorption spectrum: apply an
+// impulsive momentum kick e^{i kappa z} to the ground state, propagate
+// field-free, record the dipole moment d(t), and transform — peaks of
+// |d(omega)|^2 sit at the allowed electronic transition energies.  A
+// purely public-API example: engine + delta kick + dipole observable +
+// power spectrum.
+
+#include <cmath>
+#include <cstdio>
+
+#include "dcmesh/common/spectrum.hpp"
+#include "dcmesh/common/table.hpp"
+#include "dcmesh/lfd/engine.hpp"
+#include "dcmesh/lfd/init.hpp"
+#include "dcmesh/lfd/observables.hpp"
+#include "dcmesh/lfd/potential.hpp"
+#include "dcmesh/qxmd/supercell.hpp"
+
+int main() {
+  using namespace dcmesh;
+
+  const auto atoms = qxmd::build_pto_supercell(2, qxmd::kPtoLatticeBohr,
+                                               0.05, 1234);
+  const mesh::grid3d grid = mesh::grid3d::cubic(12, 2 * 7.37 / 12.0);
+  const std::size_t norb = 16, nocc = 8;
+  const int steps = 1500;  // 30 a.t.u. window -> d_omega ~ 0.21 Ha
+  const double kappa = 0.05;  // weak kick: linear-response regime
+
+  std::printf("Delta-kick absorption: %zu atoms, %lld^3 mesh, %zu orbitals, "
+              "kappa = %.3f, %d field-free QD steps\n",
+              atoms.size(), static_cast<long long>(grid.nx), norb, kappa,
+              steps);
+
+  const auto init = lfd::initialize_ground_state(grid, atoms, norb, nocc,
+                                                 mesh::fd_order::fourth);
+  lfd::lfd_options options;
+  options.dt = 0.02;
+  options.v_nl = 0.05;
+  options.pulse.e0 = 0.0;  // field-free: the kick supplies the impulse
+  lfd::lfd_engine<double> engine(grid, options, init.psi, init.occupations,
+                                 nocc,
+                                 lfd::build_local_potential(grid, atoms));
+
+  engine.apply_delta_kick(kappa);
+  std::vector<double> dipole(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    (void)engine.qd_step();
+    dipole[static_cast<std::size_t>(i)] = lfd::dipole_moment<double>(
+        grid, options.pulse.polarization_axis, engine.psi(),
+        engine.occupations(), grid.dv());
+  }
+
+  const auto spectrum = power_spectrum(dipole, true);
+  // Report the strongest absorption lines and compare them with the
+  // Kohn-Sham transition energies of the initial SCF spectrum.
+  text_table table({"omega (Ha)", "intensity", "near KS gap (Ha)"});
+  std::vector<std::size_t> peaks;
+  for (std::size_t k = 2; k + 1 < spectrum.size(); ++k) {
+    if (spectrum[k] > spectrum[k - 1] && spectrum[k] > spectrum[k + 1]) {
+      peaks.push_back(k);
+    }
+  }
+  std::sort(peaks.begin(), peaks.end(), [&](std::size_t a, std::size_t b) {
+    return spectrum[a] > spectrum[b];
+  });
+  if (peaks.size() > 5) peaks.resize(5);
+  std::sort(peaks.begin(), peaks.end());
+  for (std::size_t k : peaks) {
+    const double omega =
+        bin_angular_frequency(k, options.dt, dipole.size());
+    // Closest occupied->unoccupied KS gap.
+    double best_gap = 0.0, best_err = 1e30;
+    for (std::size_t o = 0; o < nocc; ++o) {
+      for (std::size_t u = nocc; u < norb; ++u) {
+        const double gap = init.band_energies[u] - init.band_energies[o];
+        if (std::abs(gap - omega) < best_err) {
+          best_err = std::abs(gap - omega);
+          best_gap = gap;
+        }
+      }
+    }
+    table.add_row({fmt(omega, 3), fmt_sci(spectrum[k], 2),
+                   fmt(best_gap, 3)});
+  }
+  table.print();
+  std::printf(
+      "\nExpected physics: absorption peaks line up with occupied->"
+      "unoccupied Kohn-Sham transition energies (shifted slightly by the "
+      "nonlocal correction).\n");
+  return 0;
+}

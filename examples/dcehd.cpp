@@ -1,0 +1,157 @@
+// dcehd.cpp — the DCMESH application binary (the artifact's ../bin/dcehd).
+//
+// Reads an lfd.in-style deck (or a named preset), runs the full QXMD + LFD
+// simulation, and streams the QD log to stdout exactly as the artifact
+// describes; precision is controlled purely by MKL_BLAS_COMPUTE_MODE and
+// the deck's lfd_precision, and MKL_VERBOSE=2 prints per-BLAS-call lines.
+//
+// Usage:
+//   dcehd <lfd.in> [options]          run a config deck
+//   dcehd --preset <name> [options]   run a named preset
+//   dcehd --print-deck <name>         dump a preset as a deck and exit
+// Options:
+//   --checkpoint-out <path>   write a binary checkpoint after every series
+//   --resume <path>           restore state from a checkpoint and continue
+//   --xyz <path>              append an extended-XYZ frame per series
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "dcmesh/core/checkpoint.hpp"
+#include "dcmesh/core/dcmesh.hpp"
+#include "dcmesh/qxmd/xyz.hpp"
+
+namespace {
+
+using namespace dcmesh;
+
+core::run_config load(const std::string& arg, bool is_preset) {
+  if (!is_preset) return core::parse_config_file(arg);
+  for (core::paper_system system : core::all_presets()) {
+    if (core::name(system) == arg) return core::preset(system);
+  }
+  throw std::runtime_error(
+      "unknown preset '" + arg +
+      "' (try: pto40, pto135, pto40_scaled, pto135_scaled, tiny)");
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dcehd <lfd.in> | dcehd --preset <name> | "
+               "dcehd --print-deck <name>\n"
+               "options: --checkpoint-out <path> --resume <path> "
+               "--xyz <path>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  if (argc < 2) return usage();
+
+  if (std::strcmp(argv[1], "--print-deck") == 0) {
+    if (argc < 3) return usage();
+    std::cout << core::to_deck(load(argv[2], true));
+    return 0;
+  }
+
+  // Parse positional source + options.
+  std::optional<std::string> source, preset_name, checkpoint_out, resume,
+      xyz_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--preset") {
+      preset_name = next();
+    } else if (arg == "--checkpoint-out") {
+      checkpoint_out = next();
+    } else if (arg == "--resume") {
+      resume = next();
+    } else if (arg == "--xyz") {
+      xyz_path = next();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "dcehd: unknown option %s\n", arg.c_str());
+      return usage();
+    } else {
+      source = arg;
+    }
+  }
+  if (!source && !preset_name && !resume) return usage();
+
+  // Build or restore the driver.
+  std::optional<core::driver> sim;
+  if (resume) {
+    sim.emplace(core::load_checkpoint_file(*resume));
+    std::fprintf(stderr, "dcehd: resumed from %s at t = %.3f a.t.u.\n",
+                 resume->c_str(), sim->time());
+  } else {
+    const core::run_config config =
+        load(preset_name ? *preset_name : *source, preset_name.has_value());
+    if (config.ngrid() > 64LL * 64 * 64) {
+      std::fprintf(stderr,
+                   "dcehd: this configuration (%lld mesh points) is a "
+                   "device-model target; run a *_scaled preset for real "
+                   "numerics on a CPU (see DESIGN.md)\n",
+                   static_cast<long long>(config.ngrid()));
+      return 3;
+    }
+    sim.emplace(config);
+  }
+
+  const core::run_config& config = sim->config();
+  std::fprintf(stderr,
+               "dcehd: %d atoms, %lld^3 mesh, %zu orbitals (%zu occupied), "
+               "%d series x %d QD steps, LFD %s, BLAS mode %s\n",
+               config.atom_count(), static_cast<long long>(config.mesh_n),
+               config.norb, config.nocc, config.series,
+               config.qd_steps_per_series,
+               config.lfd_precision == core::lfd_precision_level::fp64
+                   ? "FP64"
+                   : "FP32",
+               std::string(blas::name(blas::active_compute_mode())).c_str());
+
+  std::ofstream xyz_stream;
+  if (xyz_path) {
+    xyz_stream.open(*xyz_path, std::ios::app);
+    if (!xyz_stream) {
+      throw std::runtime_error("cannot open " + *xyz_path);
+    }
+  }
+
+  std::cout << core::qd_header() << '\n';
+  for (int s = 0; s < config.series; ++s) {
+    const auto before = sim->records().size();
+    const core::series_report report = sim->run_series();
+    for (std::size_t i = before; i < sim->records().size(); ++i) {
+      std::cout << core::format_qd_record(sim->records()[i]) << '\n';
+    }
+    std::fprintf(stderr,
+                 "series %d done: SCF drift %.3e repaired, ion Epot %.4f "
+                 "Ha, Ekin %.4e Ha, wavefunction %s\n",
+                 s + 1, report.scf.max_norm_drift,
+                 report.ion_potential_energy, report.ion_kinetic_energy,
+                 report.wavefunction_transferred ? "transferred"
+                                                 : "shadowed");
+    if (checkpoint_out) {
+      core::save_checkpoint_file(*sim, *checkpoint_out);
+      std::fprintf(stderr, "checkpoint written to %s\n",
+                   checkpoint_out->c_str());
+    }
+    if (xyz_stream.is_open()) {
+      qxmd::write_xyz_frame(xyz_stream, sim->atoms(), sim->time());
+    }
+  }
+
+  std::fprintf(stderr, "%s", sim->tracer().to_string().c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "dcehd: %s\n", e.what());
+  return 1;
+}

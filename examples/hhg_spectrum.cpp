@@ -1,0 +1,73 @@
+// hhg_spectrum.cpp — high-harmonic generation from the driven current.
+//
+// A strong laser pulse drives a nonlinear current in the solid; the
+// emitted spectrum |FFT(j)|^2 shows peaks at odd harmonics of the drive
+// frequency (inversion symmetry suppresses the even ones).  This example
+// runs the scaled supercell under a strong pulse, transforms javg(t), and
+// prints the harmonic ladder — the classic strong-field observable built
+// entirely from the public API.
+
+#include <cmath>
+#include <cstdio>
+
+#include "dcmesh/common/spectrum.hpp"
+#include "dcmesh/common/table.hpp"
+#include "dcmesh/core/dcmesh.hpp"
+
+int main() {
+  using namespace dcmesh;
+
+  // Long window (32 a.t.u. -> d_omega ~ 0.2 Ha) on a lighter mesh so the
+  // harmonic ladder is actually resolvable; many-cycle pulse for sharp
+  // comb lines.
+  core::run_config config = core::preset(core::paper_system::pto40_scaled);
+  config.mesh_n = 12;
+  config.norb = 24;
+  config.nocc = 12;
+  config.series = 2;
+  config.qd_steps_per_series = 800;  // 1600 steps = 32 a.t.u.
+  config.pulse.e0 = 0.6;        // strong drive -> nonlinear response
+  config.pulse.omega = 0.9;     // ~4.6 bins per harmonic at this window
+  config.pulse.t_center = 16.0;
+  config.pulse.sigma = 6.0;
+
+  std::printf("HHG run: %d atoms, %lld^3 mesh, %zu orbitals, %d QD steps, "
+              "drive omega = %.2f Ha, E0 = %.2f a.u.\n",
+              config.atom_count(), static_cast<long long>(config.mesh_n),
+              config.norb, config.total_qd_steps(), config.pulse.omega,
+              config.pulse.e0);
+
+  core::driver sim(config);
+  sim.run();
+  const auto javg = core::extract_column(sim.records(), "javg");
+  const auto spectrum = power_spectrum(javg, /*hann_window=*/true);
+  const std::size_t n = javg.size();
+
+  // Harmonic ladder: spectral intensity at integer multiples of omega.
+  text_table table({"Harmonic", "omega (Ha)", "bin", "intensity",
+                    "log10(I/I_1)"});
+  const std::size_t fundamental =
+      nearest_bin(config.pulse.omega, config.dt, n);
+  const double i1 = std::max(spectrum[fundamental], 1e-300);
+  for (int h = 1; h <= 7; ++h) {
+    const double omega_h = h * config.pulse.omega;
+    const std::size_t bin = nearest_bin(omega_h, config.dt, n);
+    if (bin >= spectrum.size()) break;
+    // Take the local max over +-1 bin (finite windowing).
+    double intensity = spectrum[bin];
+    if (bin > 0) intensity = std::max(intensity, spectrum[bin - 1]);
+    if (bin + 1 < spectrum.size()) {
+      intensity = std::max(intensity, spectrum[bin + 1]);
+    }
+    table.add_row({std::to_string(h), fmt(omega_h, 3), std::to_string(bin),
+                   fmt_sci(intensity, 2),
+                   fmt_fixed(std::log10(intensity / i1), 2)});
+  }
+  table.print();
+
+  std::printf(
+      "\nExpected physics: intensity falls off the harmonic ladder, with "
+      "odd harmonics (3, 5, ...) standing above their even neighbours in "
+      "a (near-)inversion-symmetric crystal.\n");
+  return 0;
+}

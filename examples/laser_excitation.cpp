@@ -1,0 +1,52 @@
+// laser_excitation.cpp — the domain scenario the paper's introduction
+// motivates: laser-induced excitation dynamics in lead titanate ("one step
+// towards the development of super capacitors", Sec. IV-E).
+//
+// Sweeps the laser peak field E0 and reports how many electrons get
+// excited, the peak current density driven through the supercell, and the
+// deposited excitation energy — a small fluence study built on the public
+// driver API.
+
+#include <cstdio>
+
+#include "dcmesh/common/table.hpp"
+#include "dcmesh/core/dcmesh.hpp"
+
+int main() {
+  using namespace dcmesh;
+
+  core::run_config base = core::preset(core::paper_system::pto40_scaled);
+  base.series = 1;
+  base.qd_steps_per_series = 250;  // covers the whole pulse (centre 6 a.t.u.)
+
+  std::printf("Laser fluence sweep on the %d-atom PbTiO3 supercell "
+              "(%lld^3 mesh, %zu orbitals, %d QD steps, pulse omega = %.2f "
+              "Ha)\n\n",
+              base.atom_count(), static_cast<long long>(base.mesh_n),
+              base.norb, base.total_qd_steps(), base.pulse.omega);
+
+  text_table table({"E0 (a.u.)", "peak |A|", "final nexc", "peak |javg|",
+                    "eexc (Ha)"});
+  for (double e0 : {0.0, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+    core::run_config config = base;
+    config.pulse.e0 = e0;
+    core::driver sim(config);
+    sim.run();
+
+    double peak_a = 0.0, peak_j = 0.0;
+    for (const auto& r : sim.records()) {
+      peak_a = std::max(peak_a, r.aext);
+      peak_j = std::max(peak_j, std::abs(r.javg));
+    }
+    const auto& last = sim.records().back();
+    table.add_row({fmt(e0, 3), fmt(peak_a, 3), fmt_sci(last.nexc, 3),
+                   fmt_sci(peak_j, 3), fmt_sci(last.eexc, 3)});
+    std::printf("E0 = %-5.2f done (final nexc %.3e)\n", e0, last.nexc);
+  }
+  std::printf("\n");
+  table.print();
+  std::printf(
+      "\nExpected physics: no field, no excitation; excitation and driven "
+      "current grow steeply (perturbatively ~E0^2) with fluence.\n");
+  return 0;
+}

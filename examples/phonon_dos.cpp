@@ -1,0 +1,122 @@
+// phonon_dos.cpp — vibrational density of states from the ionic dynamics.
+//
+// The classic MD route: equilibrate the supercell with a thermostat, run
+// NVE dynamics, accumulate the velocity autocorrelation function (VACF),
+// and transform it — the peaks of the VACF power spectrum are the phonon
+// frequencies of the model lead-titanate force field.  Pure QXMD: no
+// electronic structure in the loop, which also demonstrates the MD
+// substrate standing alone.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dcmesh/common/spectrum.hpp"
+#include "dcmesh/common/table.hpp"
+#include "dcmesh/common/units.hpp"
+#include "dcmesh/qxmd/supercell.hpp"
+#include "dcmesh/qxmd/thermostat.hpp"
+#include "dcmesh/qxmd/verlet.hpp"
+#include "dcmesh/qxmd/xyz.hpp"
+
+int main() {
+  using namespace dcmesh;
+
+  auto system = qxmd::build_pto_supercell(2);
+  qxmd::seed_velocities(system, 300.0, 42);
+  const double dt = 8.0;  // a.t.u. (~0.19 fs): resolves the O modes
+  qxmd::verlet_integrator integrator(qxmd::pair_potential{}, dt);
+  integrator.initialize(system);
+
+  // Equilibrate with the Berendsen thermostat, then free NVE run.
+  const qxmd::berendsen_thermostat thermostat(300.0, 40.0);
+  for (int i = 0; i < 1500; ++i) {
+    integrator.step(system);
+    thermostat.apply(system, dt);
+  }
+  std::printf("equilibrated at T = %.0f K\n",
+              qxmd::instantaneous_temperature(system));
+
+  // Production: record x-velocities of every Pb and O atom each step.
+  const int steps = 4096;
+  std::vector<std::size_t> pb_atoms, o_atoms;
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    if (system.atoms[i].kind == qxmd::species::pb) pb_atoms.push_back(i);
+    if (system.atoms[i].kind == qxmd::species::o) o_atoms.push_back(i);
+  }
+  std::vector<std::vector<double>> tr_pb(pb_atoms.size()),
+      tr_o(o_atoms.size());
+  for (auto& t : tr_pb) t.resize(steps);
+  for (auto& t : tr_o) t.resize(steps);
+  for (int s = 0; s < steps; ++s) {
+    integrator.step(system);
+    for (std::size_t i = 0; i < pb_atoms.size(); ++i) {
+      tr_pb[i][static_cast<std::size_t>(s)] =
+          system.atoms[pb_atoms[i]].velocity[0];
+    }
+    for (std::size_t i = 0; i < o_atoms.size(); ++i) {
+      tr_o[i][static_cast<std::size_t>(s)] =
+          system.atoms[o_atoms[i]].velocity[0];
+    }
+  }
+  std::printf("production done at T = %.0f K (NVE)\n",
+              qxmd::instantaneous_temperature(system));
+
+  // Species-projected vibrational DOS: sum of per-atom velocity power
+  // spectra (summing spectra, not velocities, so modes do not cancel).
+  const auto species_dos = [&](const std::vector<std::vector<double>>& tr) {
+    std::vector<double> dos;
+    for (const auto& series : tr) {
+      const auto p = power_spectrum(series, true);
+      if (dos.empty()) dos.assign(p.size(), 0.0);
+      for (std::size_t k = 0; k < p.size(); ++k) dos[k] += p[k];
+    }
+    return dos;
+  };
+  const auto dos_pb = species_dos(tr_pb);
+  const auto dos_o = species_dos(tr_o);
+
+  // Report dominant mode and spectral centroid in THz
+  // (1 a.t.u.^-1 = 1000/atu_in_fs THz ~ 41342 THz per angular a.t.u.^-1
+  // after the 2 pi).
+  const double nu_to_thz = 1000.0 / units::atu_in_fs;
+  const auto report = [&](const char* label,
+                          const std::vector<double>& dos) {
+    std::size_t peak = 2;
+    double centroid_num = 0.0, centroid_den = 0.0;
+    for (std::size_t k = 2; k < dos.size(); ++k) {
+      if (dos[k] > dos[peak]) peak = k;
+      const double omega =
+          bin_angular_frequency(k, dt, static_cast<std::size_t>(steps));
+      centroid_num += omega * dos[k];
+      centroid_den += dos[k];
+    }
+    const double omega_peak =
+        bin_angular_frequency(peak, dt, static_cast<std::size_t>(steps));
+    const double centroid = centroid_num / centroid_den;
+    std::printf("%-3s dominant mode %.2f THz (bin %zu), spectral centroid "
+                "%.2f THz\n",
+                label, omega_peak / (2 * 3.14159265) * nu_to_thz, peak,
+                centroid / (2 * 3.14159265) * nu_to_thz);
+    return centroid;
+  };
+  const double c_pb = report("Pb", dos_pb);
+  const double c_o = report("O", dos_o);
+
+  std::printf(
+      "\nExpected physics: oxygen (16 amu) vibrates at higher frequency "
+      "than lead (207 amu) — omega ~ sqrt(k/m) suggests ~3.6x for equal "
+      "stiffness.  Observed centroid ratio O/Pb: %.2f\n", c_o / c_pb);
+
+  // Drop the final frame as extended XYZ for visualization tools.
+  std::ostringstream frame;
+  qxmd::write_xyz_frame(frame, system, steps * dt);
+  std::printf("\nfinal trajectory frame (extended XYZ, first 3 lines):\n");
+  std::istringstream lines(frame.str());
+  std::string line;
+  for (int i = 0; i < 3 && std::getline(lines, line); ++i) {
+    std::printf("%s\n", line.c_str());
+  }
+  return 0;
+}

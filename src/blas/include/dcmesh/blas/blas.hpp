@@ -1,0 +1,109 @@
+#pragma once
+// blas.hpp — public level-3 BLAS API of minimkl.
+//
+// A from-scratch, cache-blocked, OpenMP-threaded implementation of the GEMM
+// family with oneMKL-compatible *alternative compute modes* (see
+// compute_mode.hpp).  Matrices are column-major with explicit leading
+// dimensions, exactly as in (c)BLAS; all four standard precisions are
+// provided.  Every call is timed and logged through the MKL_VERBOSE-style
+// facility in verbose.hpp.
+//
+// Compute-mode semantics (matching the paper's Section III-B):
+//  * FLOAT_TO_BF16 / BF16X2 / BF16X3: FP32 inputs of sgemm/cgemm are
+//    decomposed into sums of 1/2/3 BF16 values; the BF16 component matrices
+//    are multiplied with FP32 accumulation.  Double precision is unaffected.
+//  * FLOAT_TO_TF32: FP32 inputs rounded to TF32; single product.
+//  * COMPLEX_3M: cgemm/zgemm use the 3-multiplication complex algorithm.
+//  * Real double precision (dgemm) always runs standard arithmetic.
+
+#include <complex>
+#include <cstdint>
+
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/common/matrix.hpp"
+
+namespace dcmesh::blas {
+
+using blas_int = std::int64_t;
+
+/// Operation applied to a GEMM operand.
+enum class transpose : char {
+  none = 'N',        ///< op(X) = X
+  trans = 'T',       ///< op(X) = X^T
+  conj_trans = 'C',  ///< op(X) = X^H (conjugate transpose)
+};
+
+/// C <- alpha*op(A)*op(B) + beta*C, single precision real.
+/// Honours the active compute mode (BF16*/TF32 splits).
+void sgemm(transpose transa, transpose transb, blas_int m, blas_int n,
+           blas_int k, float alpha, const float* a, blas_int lda,
+           const float* b, blas_int ldb, float beta, float* c, blas_int ldc);
+
+/// C <- alpha*op(A)*op(B) + beta*C, double precision real.
+/// Always standard arithmetic (alternative modes apply to FP32 only).
+void dgemm(transpose transa, transpose transb, blas_int m, blas_int n,
+           blas_int k, double alpha, const double* a, blas_int lda,
+           const double* b, blas_int ldb, double beta, double* c,
+           blas_int ldc);
+
+/// C <- alpha*op(A)*op(B) + beta*C, single precision complex.
+/// Honours COMPLEX_3M and the FP32 split modes (applied to the real
+/// component products of the complex multiplication).
+void cgemm(transpose transa, transpose transb, blas_int m, blas_int n,
+           blas_int k, std::complex<float> alpha, const std::complex<float>* a,
+           blas_int lda, const std::complex<float>* b, blas_int ldb,
+           std::complex<float> beta, std::complex<float>* c, blas_int ldc);
+
+/// C <- alpha*op(A)*op(B) + beta*C, double precision complex.
+/// Honours COMPLEX_3M; FP32 split modes do not apply.
+void zgemm(transpose transa, transpose transb, blas_int m, blas_int n,
+           blas_int k, std::complex<double> alpha,
+           const std::complex<double>* a, blas_int lda,
+           const std::complex<double>* b, blas_int ldb,
+           std::complex<double> beta, std::complex<double>* c, blas_int ldc);
+
+/// Generic view-based convenience overload; dispatches to the typed entry
+/// point for T in {float, double, complex<float>, complex<double>}.
+/// C must have op(A).rows x op(B).cols shape.
+template <typename T>
+void gemm(transpose transa, transpose transb, T alpha, const_matrix_view<T> a,
+          const_matrix_view<T> b, T beta, matrix_view<T> c);
+
+/// Number of real floating-point operations a standard GEMM performs
+/// (2mnk for real, 8mnk for complex 4M arithmetic).
+[[nodiscard]] constexpr double gemm_flops(bool is_complex, blas_int m,
+                                          blas_int n, blas_int k) noexcept {
+  const double mnk = static_cast<double>(m) * static_cast<double>(n) *
+                     static_cast<double>(k);
+  return (is_complex ? 8.0 : 2.0) * mnk;
+}
+
+/// Minimum bytes a GEMM must move through memory (read A, B once, read and
+/// write C once) for element size `elem_bytes`.
+[[nodiscard]] constexpr double gemm_bytes(blas_int m, blas_int n, blas_int k,
+                                          std::size_t elem_bytes) noexcept {
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  return (md * kd + kd * nd + 2.0 * md * nd) *
+         static_cast<double>(elem_bytes);
+}
+
+/// Set the number of OpenMP threads minimkl may use (0 = library default).
+void set_num_threads(int threads);
+
+/// Threads minimkl will use for the next call.
+[[nodiscard]] int get_num_threads();
+
+namespace detail {
+
+/// Straightforward triple-loop reference GEMM in the accumulator type
+/// `Acc` (defaults to T's own precision).  Used by tests and by the split
+/// paths' correctness baselines; O(mnk) with no blocking.
+template <typename T, typename Acc = T>
+void gemm_ref(transpose transa, transpose transb, blas_int m, blas_int n,
+              blas_int k, T alpha, const T* a, blas_int lda, const T* b,
+              blas_int ldb, T beta, T* c, blas_int ldc);
+
+}  // namespace detail
+}  // namespace dcmesh::blas

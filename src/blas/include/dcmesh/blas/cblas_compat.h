@@ -1,0 +1,65 @@
+#pragma once
+/* cblas_compat.h — CBLAS-style C API for minimkl.
+ *
+ * DCMESH mixes Fortran and C++; the paper's methodology works because the
+ * whole application funnels through one BLAS with one environment switch.
+ * This header exposes the level-3 entry points with CBLAS conventions
+ * (row- or column-major layout, integer enums, void* complex scalars) so
+ * C and Fortran-adjacent callers link against minimkl unchanged — and
+ * inherit MKL_BLAS_COMPUTE_MODE handling for free.
+ *
+ * Row-major calls are forwarded through the standard identity
+ *   C_row = A B  <=>  C_col^T = B^T A^T
+ * (swap operands, swap m/n, same transposes applied to the swapped
+ * operands), so both layouts share one implementation.
+ */
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef enum {
+  DcmeshCblasRowMajor = 101,
+  DcmeshCblasColMajor = 102
+} DCMESH_CBLAS_LAYOUT;
+
+typedef enum {
+  DcmeshCblasNoTrans = 111,
+  DcmeshCblasTrans = 112,
+  DcmeshCblasConjTrans = 113
+} DCMESH_CBLAS_TRANSPOSE;
+
+/* C <- alpha*op(A)*op(B) + beta*C, single precision real. */
+void dcmesh_cblas_sgemm(DCMESH_CBLAS_LAYOUT layout,
+                        DCMESH_CBLAS_TRANSPOSE transa,
+                        DCMESH_CBLAS_TRANSPOSE transb, int m, int n, int k,
+                        float alpha, const float* a, int lda,
+                        const float* b, int ldb, float beta, float* c,
+                        int ldc);
+
+/* C <- alpha*op(A)*op(B) + beta*C, double precision real. */
+void dcmesh_cblas_dgemm(DCMESH_CBLAS_LAYOUT layout,
+                        DCMESH_CBLAS_TRANSPOSE transa,
+                        DCMESH_CBLAS_TRANSPOSE transb, int m, int n, int k,
+                        double alpha, const double* a, int lda,
+                        const double* b, int ldb, double beta, double* c,
+                        int ldc);
+
+/* Complex variants: alpha/beta point at {re, im} pairs, as in CBLAS. */
+void dcmesh_cblas_cgemm(DCMESH_CBLAS_LAYOUT layout,
+                        DCMESH_CBLAS_TRANSPOSE transa,
+                        DCMESH_CBLAS_TRANSPOSE transb, int m, int n, int k,
+                        const void* alpha, const void* a, int lda,
+                        const void* b, int ldb, const void* beta, void* c,
+                        int ldc);
+
+void dcmesh_cblas_zgemm(DCMESH_CBLAS_LAYOUT layout,
+                        DCMESH_CBLAS_TRANSPOSE transa,
+                        DCMESH_CBLAS_TRANSPOSE transb, int m, int n, int k,
+                        const void* alpha, const void* a, int lda,
+                        const void* b, int ldb, const void* beta, void* c,
+                        int ldc);
+
+#ifdef __cplusplus
+}  /* extern "C" */
+#endif

@@ -1,0 +1,28 @@
+#pragma once
+// gemm_batch.hpp — strided batched GEMM (oneMKL's *gemm_batch_strided).
+//
+// Quantum-dynamics codes frequently multiply many same-shaped small
+// matrices (per k-point, per projector block); oneMKL serves these with
+// the batched API, which inherits the alternative compute modes exactly
+// like gemm.  minimkl provides the strided variant: operand i lives at
+// base + i * stride.
+
+#include <complex>
+
+#include "dcmesh/blas/blas.hpp"
+
+namespace dcmesh::blas {
+
+/// For each i in [0, batch): C_i <- alpha*op(A_i)*op(B_i) + beta*C_i,
+/// where X_i = x + i*stride_x.  All problems share shape, ops, alpha and
+/// beta (the MKL "strided" flavour).  Strides must be large enough that
+/// operands do not alias within the batch (>= the operand's footprint);
+/// stride 0 is allowed for A or B (shared operand), not for C.
+template <typename T>
+void gemm_batch_strided(transpose transa, transpose transb, blas_int m,
+                        blas_int n, blas_int k, T alpha, const T* a,
+                        blas_int lda, blas_int stride_a, const T* b,
+                        blas_int ldb, blas_int stride_b, T beta, T* c,
+                        blas_int ldc, blas_int stride_c, blas_int batch);
+
+}  // namespace dcmesh::blas

@@ -1,0 +1,45 @@
+#pragma once
+// gemm_ref.hpp — naive reference GEMM (definition of blas::detail::gemm_ref).
+//
+// O(mnk) triple loop with a selectable accumulator type.  It exists so the
+// blocked kernels, the split paths, and the complex 3M/4M algorithms can be
+// validated against an implementation whose correctness is obvious, and so
+// tests can build high-precision baselines (e.g. float data accumulated in
+// double).
+
+#include <complex>
+#include <type_traits>
+
+#include "dcmesh/blas/blas.hpp"
+
+namespace dcmesh::blas::detail {
+
+template <typename T, typename Acc>
+void gemm_ref(transpose transa, transpose transb, blas_int m, blas_int n,
+              blas_int k, T alpha, const T* a, blas_int lda, const T* b,
+              blas_int ldb, T beta, T* c, blas_int ldc) {
+  const auto element = [](const T* x, blas_int ld, transpose op, blas_int r,
+                          blas_int col) -> T {
+    if (op == transpose::none) return x[r + col * ld];
+    const T v = x[col + r * ld];
+    if constexpr (std::is_floating_point_v<T>) {
+      return v;
+    } else {
+      return op == transpose::conj_trans ? std::conj(v) : v;
+    }
+  };
+  for (blas_int j = 0; j < n; ++j) {
+    for (blas_int i = 0; i < m; ++i) {
+      Acc sum{};
+      for (blas_int p = 0; p < k; ++p) {
+        sum += static_cast<Acc>(element(a, lda, transa, i, p)) *
+               static_cast<Acc>(element(b, ldb, transb, p, j));
+      }
+      T& out = c[i + j * ldc];
+      const T product = alpha * static_cast<T>(sum);
+      out = beta == T(0) ? product : static_cast<T>(beta * out + product);
+    }
+  }
+}
+
+}  // namespace dcmesh::blas::detail

@@ -1,0 +1,32 @@
+#pragma once
+// level2.hpp — BLAS level-2 routines of minimkl (gemv, ger/gerc).
+//
+// Matrix-vector products appear in DCMESH-style codes for single-orbital
+// projections and observable contractions.  Like level 1, these never run
+// alternative compute modes (oneMKL's FLOAT_TO_* / COMPLEX_3M are level-3
+// controls).
+
+#include <complex>
+
+#include "dcmesh/blas/blas.hpp"
+
+namespace dcmesh::blas {
+
+/// y <- alpha*op(A)*x + beta*y, column-major A (m x n), leading dim lda.
+template <typename T>
+void gemv(transpose trans, blas_int m, blas_int n, T alpha, const T* a,
+          blas_int lda, const T* x, blas_int incx, T beta, T* y,
+          blas_int incy);
+
+/// Rank-1 update A <- alpha*x*y^T + A (ger / geru).
+template <typename T>
+void ger(blas_int m, blas_int n, T alpha, const T* x, blas_int incx,
+         const T* y, blas_int incy, T* a, blas_int lda);
+
+/// Conjugated rank-1 update A <- alpha*x*y^H + A (gerc); equals ger for
+/// real T.
+template <typename T>
+void gerc(blas_int m, blas_int n, T alpha, const T* x, blas_int incx,
+          const T* y, blas_int incy, T* a, blas_int lda);
+
+}  // namespace dcmesh::blas

@@ -1,0 +1,35 @@
+#pragma once
+// rank_k.hpp — symmetric / Hermitian rank-k updates (syrk, herk).
+//
+// Overlap and occupation matrices in DCMESH (G = Psi^H Psi, O = S S^H) are
+// Hermitian by construction; herk computes them with half the redundancy
+// and guarantees exact hermiticity of the result.  Like every level-3
+// routine, these honour the active compute mode (the component products
+// run through the same machinery as gemm).
+
+#include <complex>
+
+#include "dcmesh/blas/blas.hpp"
+
+namespace dcmesh::blas {
+
+/// Which triangle of C is referenced/updated.
+enum class uplo : char { upper = 'U', lower = 'L' };
+
+/// C <- alpha*op(A)*op(A)^T + beta*C with C symmetric (real).
+/// trans == none: op(A) = A (n x k); trans == trans: op(A) = A^T (k x n
+/// stored).  Only the `u` triangle of C is read; the full matrix is
+/// written symmetrically.
+template <typename T>
+void syrk(uplo u, transpose trans, blas_int n, blas_int k, T alpha,
+          const T* a, blas_int lda, T beta, T* c, blas_int ldc);
+
+/// C <- alpha*op(A)*op(A)^H + beta*C with C Hermitian; alpha and beta are
+/// real, and the diagonal of C is kept exactly real.
+/// trans == none: op(A) = A (n x k); trans == conj_trans: op(A) = A^H.
+template <typename R>
+void herk(uplo u, transpose trans, blas_int n, blas_int k, R alpha,
+          const std::complex<R>* a, blas_int lda, R beta,
+          std::complex<R>* c, blas_int ldc);
+
+}  // namespace dcmesh::blas

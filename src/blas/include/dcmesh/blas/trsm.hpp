@@ -1,0 +1,30 @@
+#pragma once
+// trsm.hpp — triangular solve with multiple right-hand sides.
+//
+// Needed by the Cholesky-based orthonormalization path (the level-3 way
+// production SCF codes orthonormalize: S = Psi^H Psi = L L^H, then
+// Psi <- Psi L^-H via trsm).  Column-major, reference-BLAS semantics.
+
+#include <complex>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/rank_k.hpp"  // uplo
+
+namespace dcmesh::blas {
+
+/// Which side the triangular matrix A sits on.
+enum class side : char { left = 'L', right = 'R' };
+
+/// Unit-diagonal flag.
+enum class diag : char { non_unit = 'N', unit = 'U' };
+
+/// Solve op(A) X = alpha B (side::left) or X op(A) = alpha B
+/// (side::right), overwriting B with X.  A is m x m (left) or n x n
+/// (right) triangular per `u`; op per `trans` (conj_trans conjugates).
+/// Throws std::invalid_argument on malformed arguments or a zero pivot
+/// with diag::non_unit.
+template <typename T>
+void trsm(side s, uplo u, transpose trans, diag d, blas_int m, blas_int n,
+          T alpha, const T* a, blas_int lda, T* b, blas_int ldb);
+
+}  // namespace dcmesh::blas

@@ -1,0 +1,61 @@
+#pragma once
+// verbose.hpp — MKL_VERBOSE-style per-call logging.
+//
+// The paper's artifact methodology extracts per-call matrix dimensions and
+// timings from MKL_VERBOSE=2 output (Tables VI, VII, Figure 3b).  minimkl
+// reproduces that: when the MKL_VERBOSE environment variable is >= 1, each
+// level-3 call prints one line in the MKL format; independent of printing,
+// the most recent calls are kept in an in-process log that benches and
+// tests can query programmatically.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dcmesh/blas/compute_mode.hpp"
+
+namespace dcmesh::blas {
+
+/// One recorded level-3 call.
+struct call_record {
+  std::string routine;  ///< "SGEMM", "CGEMM", ...
+  char transa = 'N';
+  char transb = 'N';
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+  std::int64_t lda = 0;
+  std::int64_t ldb = 0;
+  std::int64_t ldc = 0;
+  double seconds = 0.0;        ///< Wall time of the call on this host.
+  double flops = 0.0;          ///< Nominal standard-arithmetic flop count.
+  compute_mode mode = compute_mode::standard;
+
+  /// Render in the MKL_VERBOSE line format.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// True when MKL_VERBOSE requests per-call lines (value >= 1).
+[[nodiscard]] bool verbose_enabled();
+
+/// Append a record to the in-process log (always) and print it when
+/// verbose_enabled().  Thread-safe.
+void record_call(call_record record);
+
+/// Snapshot of the most recent calls, oldest first (bounded history).
+[[nodiscard]] std::vector<call_record> recent_calls();
+
+/// Total number of calls recorded since start/clear.
+[[nodiscard]] std::uint64_t call_count();
+
+/// Aggregate wall seconds across all recorded calls since start/clear.
+[[nodiscard]] double total_call_seconds();
+
+/// Reset the log and counters.
+void clear_call_log();
+
+/// Name of the controlling environment variable ("MKL_VERBOSE").
+inline constexpr std::string_view kVerboseEnvVar = "MKL_VERBOSE";
+
+}  // namespace dcmesh::blas

@@ -1,0 +1,38 @@
+#pragma once
+// call_wrap.hpp — timing + verbose-log wrapper shared by the public entry
+// points (internal).
+
+#include <chrono>
+#include <string>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/verbose.hpp"
+
+namespace dcmesh::blas::detail {
+
+/// Run `body`, time it, and push a call_record for routine `name`.
+template <typename Body>
+void timed_call(const char* name, transpose transa, transpose transb,
+                blas_int m, blas_int n, blas_int k, blas_int lda,
+                blas_int ldb, blas_int ldc, bool is_complex,
+                compute_mode mode, Body&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto stop = std::chrono::steady_clock::now();
+  call_record record;
+  record.routine = name;
+  record.transa = static_cast<char>(transa);
+  record.transb = static_cast<char>(transb);
+  record.m = m;
+  record.n = n;
+  record.k = k;
+  record.lda = lda;
+  record.ldb = ldb;
+  record.ldc = ldc;
+  record.seconds = std::chrono::duration<double>(stop - start).count();
+  record.flops = gemm_flops(is_complex, m, n, k);
+  record.mode = mode;
+  record_call(std::move(record));
+}
+
+}  // namespace dcmesh::blas::detail

@@ -1,0 +1,94 @@
+#include "dcmesh/blas/cblas_compat.h"
+
+#include <complex>
+#include <stdexcept>
+
+#include "dcmesh/blas/blas.hpp"
+
+namespace {
+
+using namespace dcmesh::blas;
+
+transpose to_transpose(DCMESH_CBLAS_TRANSPOSE t) {
+  switch (t) {
+    case DcmeshCblasNoTrans: return transpose::none;
+    case DcmeshCblasTrans: return transpose::trans;
+    case DcmeshCblasConjTrans: return transpose::conj_trans;
+  }
+  throw std::invalid_argument("cblas: bad transpose enum");
+}
+
+/// Dispatch one gemm with layout handling: row-major computes
+/// C_col^T = op(B)^T op(A)^T by swapping operands and m/n.
+template <typename T, typename Fn>
+void layout_gemm(Fn&& typed_gemm, DCMESH_CBLAS_LAYOUT layout,
+                 DCMESH_CBLAS_TRANSPOSE transa,
+                 DCMESH_CBLAS_TRANSPOSE transb, int m, int n, int k,
+                 T alpha, const T* a, int lda, const T* b, int ldb, T beta,
+                 T* c, int ldc) {
+  const transpose ta = to_transpose(transa);
+  const transpose tb = to_transpose(transb);
+  if (layout == DcmeshCblasColMajor) {
+    typed_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  } else if (layout == DcmeshCblasRowMajor) {
+    typed_gemm(tb, ta, n, m, k, alpha, b, ldb, a, lda, beta, c, ldc);
+  } else {
+    throw std::invalid_argument("cblas: bad layout enum");
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+void dcmesh_cblas_sgemm(DCMESH_CBLAS_LAYOUT layout,
+                        DCMESH_CBLAS_TRANSPOSE transa,
+                        DCMESH_CBLAS_TRANSPOSE transb, int m, int n, int k,
+                        float alpha, const float* a, int lda,
+                        const float* b, int ldb, float beta, float* c,
+                        int ldc) {
+  layout_gemm<float>(
+      [](auto... args) { sgemm(args...); }, layout, transa, transb, m, n,
+      k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void dcmesh_cblas_dgemm(DCMESH_CBLAS_LAYOUT layout,
+                        DCMESH_CBLAS_TRANSPOSE transa,
+                        DCMESH_CBLAS_TRANSPOSE transb, int m, int n, int k,
+                        double alpha, const double* a, int lda,
+                        const double* b, int ldb, double beta, double* c,
+                        int ldc) {
+  layout_gemm<double>(
+      [](auto... args) { dgemm(args...); }, layout, transa, transb, m, n,
+      k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void dcmesh_cblas_cgemm(DCMESH_CBLAS_LAYOUT layout,
+                        DCMESH_CBLAS_TRANSPOSE transa,
+                        DCMESH_CBLAS_TRANSPOSE transb, int m, int n, int k,
+                        const void* alpha, const void* a, int lda,
+                        const void* b, int ldb, const void* beta, void* c,
+                        int ldc) {
+  using C = std::complex<float>;
+  layout_gemm<C>(
+      [](auto... args) { cgemm(args...); }, layout, transa, transb, m, n,
+      k, *static_cast<const C*>(alpha), static_cast<const C*>(a), lda,
+      static_cast<const C*>(b), ldb, *static_cast<const C*>(beta),
+      static_cast<C*>(c), ldc);
+}
+
+void dcmesh_cblas_zgemm(DCMESH_CBLAS_LAYOUT layout,
+                        DCMESH_CBLAS_TRANSPOSE transa,
+                        DCMESH_CBLAS_TRANSPOSE transb, int m, int n, int k,
+                        const void* alpha, const void* a, int lda,
+                        const void* b, int ldb, const void* beta, void* c,
+                        int ldc) {
+  using Z = std::complex<double>;
+  layout_gemm<Z>(
+      [](auto... args) { zgemm(args...); }, layout, transa, transb, m, n,
+      k, *static_cast<const Z*>(alpha), static_cast<const Z*>(a), lda,
+      static_cast<const Z*>(b), ldb, *static_cast<const Z*>(beta),
+      static_cast<Z*>(c), ldc);
+}
+
+}  // extern "C"

@@ -1,0 +1,64 @@
+// gemm_api.cpp — view-based convenience overload dispatching to the typed
+// entry points.
+
+#include <stdexcept>
+
+#include "dcmesh/blas/blas.hpp"
+
+namespace dcmesh::blas {
+
+template <typename T>
+void gemm(transpose transa, transpose transb, T alpha, const_matrix_view<T> a,
+          const_matrix_view<T> b, T beta, matrix_view<T> c) {
+  const blas_int m =
+      static_cast<blas_int>(transa == transpose::none ? a.rows : a.cols);
+  const blas_int k =
+      static_cast<blas_int>(transa == transpose::none ? a.cols : a.rows);
+  const blas_int n =
+      static_cast<blas_int>(transb == transpose::none ? b.cols : b.rows);
+  const blas_int kb =
+      static_cast<blas_int>(transb == transpose::none ? b.rows : b.cols);
+  if (k != kb) throw std::invalid_argument("gemm: inner dimensions differ");
+  if (static_cast<blas_int>(c.rows) != m ||
+      static_cast<blas_int>(c.cols) != n) {
+    throw std::invalid_argument("gemm: C shape mismatch");
+  }
+  if constexpr (std::is_same_v<T, float>) {
+    sgemm(transa, transb, m, n, k, alpha, a.data,
+          static_cast<blas_int>(a.ld), b.data, static_cast<blas_int>(b.ld),
+          beta, c.data, static_cast<blas_int>(c.ld));
+  } else if constexpr (std::is_same_v<T, double>) {
+    dgemm(transa, transb, m, n, k, alpha, a.data,
+          static_cast<blas_int>(a.ld), b.data, static_cast<blas_int>(b.ld),
+          beta, c.data, static_cast<blas_int>(c.ld));
+  } else if constexpr (std::is_same_v<T, std::complex<float>>) {
+    cgemm(transa, transb, m, n, k, alpha, a.data,
+          static_cast<blas_int>(a.ld), b.data, static_cast<blas_int>(b.ld),
+          beta, c.data, static_cast<blas_int>(c.ld));
+  } else {
+    zgemm(transa, transb, m, n, k, alpha, a.data,
+          static_cast<blas_int>(a.ld), b.data, static_cast<blas_int>(b.ld),
+          beta, c.data, static_cast<blas_int>(c.ld));
+  }
+}
+
+template void gemm<float>(transpose, transpose, float,
+                          const_matrix_view<float>, const_matrix_view<float>,
+                          float, matrix_view<float>);
+template void gemm<double>(transpose, transpose, double,
+                           const_matrix_view<double>,
+                           const_matrix_view<double>, double,
+                           matrix_view<double>);
+template void gemm<std::complex<float>>(transpose, transpose,
+                                        std::complex<float>,
+                                        const_matrix_view<std::complex<float>>,
+                                        const_matrix_view<std::complex<float>>,
+                                        std::complex<float>,
+                                        matrix_view<std::complex<float>>);
+template void gemm<std::complex<double>>(
+    transpose, transpose, std::complex<double>,
+    const_matrix_view<std::complex<double>>,
+    const_matrix_view<std::complex<double>>, std::complex<double>,
+    matrix_view<std::complex<double>>);
+
+}  // namespace dcmesh::blas

@@ -1,0 +1,90 @@
+#include "dcmesh/blas/gemm_batch.hpp"
+
+#include <stdexcept>
+
+namespace dcmesh::blas {
+namespace {
+
+template <typename T, typename Fn>
+void run_batch(Fn&& typed_gemm, transpose transa, transpose transb,
+               blas_int m, blas_int n, blas_int k, T alpha, const T* a,
+               blas_int lda, blas_int stride_a, const T* b, blas_int ldb,
+               blas_int stride_b, T beta, T* c, blas_int ldc,
+               blas_int stride_c, blas_int batch) {
+  if (batch < 0) throw std::invalid_argument("gemm_batch: negative batch");
+  // Footprint checks: a stride of 0 shares the operand across the batch
+  // (legal for inputs); output slots must not overlap.
+  const blas_int cols_a = transa == transpose::none ? k : m;
+  const blas_int cols_b = transb == transpose::none ? n : k;
+  if (batch > 1) {
+    if (stride_a != 0 && stride_a < lda * cols_a) {
+      throw std::invalid_argument("gemm_batch: stride_a overlaps");
+    }
+    if (stride_b != 0 && stride_b < ldb * cols_b) {
+      throw std::invalid_argument("gemm_batch: stride_b overlaps");
+    }
+    if (stride_c < ldc * n && m > 0 && n > 0) {
+      throw std::invalid_argument("gemm_batch: stride_c overlaps");
+    }
+  }
+  for (blas_int i = 0; i < batch; ++i) {
+    typed_gemm(transa, transb, m, n, k, alpha, a + i * stride_a, lda,
+               b + i * stride_b, ldb, beta, c + i * stride_c, ldc);
+  }
+}
+
+}  // namespace
+
+template <>
+void gemm_batch_strided<float>(transpose transa, transpose transb,
+                               blas_int m, blas_int n, blas_int k,
+                               float alpha, const float* a, blas_int lda,
+                               blas_int stride_a, const float* b,
+                               blas_int ldb, blas_int stride_b, float beta,
+                               float* c, blas_int ldc, blas_int stride_c,
+                               blas_int batch) {
+  run_batch<float>([](auto... args) { sgemm(args...); }, transa, transb, m,
+                   n, k, alpha, a, lda, stride_a, b, ldb, stride_b, beta, c,
+                   ldc, stride_c, batch);
+}
+
+template <>
+void gemm_batch_strided<double>(transpose transa, transpose transb,
+                                blas_int m, blas_int n, blas_int k,
+                                double alpha, const double* a, blas_int lda,
+                                blas_int stride_a, const double* b,
+                                blas_int ldb, blas_int stride_b, double beta,
+                                double* c, blas_int ldc, blas_int stride_c,
+                                blas_int batch) {
+  run_batch<double>([](auto... args) { dgemm(args...); }, transa, transb,
+                    m, n, k, alpha, a, lda, stride_a, b, ldb, stride_b,
+                    beta, c, ldc, stride_c, batch);
+}
+
+template <>
+void gemm_batch_strided<std::complex<float>>(
+    transpose transa, transpose transb, blas_int m, blas_int n, blas_int k,
+    std::complex<float> alpha, const std::complex<float>* a, blas_int lda,
+    blas_int stride_a, const std::complex<float>* b, blas_int ldb,
+    blas_int stride_b, std::complex<float> beta, std::complex<float>* c,
+    blas_int ldc, blas_int stride_c, blas_int batch) {
+  run_batch<std::complex<float>>([](auto... args) { cgemm(args...); },
+                                 transa, transb, m, n, k, alpha, a, lda,
+                                 stride_a, b, ldb, stride_b, beta, c, ldc,
+                                 stride_c, batch);
+}
+
+template <>
+void gemm_batch_strided<std::complex<double>>(
+    transpose transa, transpose transb, blas_int m, blas_int n, blas_int k,
+    std::complex<double> alpha, const std::complex<double>* a, blas_int lda,
+    blas_int stride_a, const std::complex<double>* b, blas_int ldb,
+    blas_int stride_b, std::complex<double> beta, std::complex<double>* c,
+    blas_int ldc, blas_int stride_c, blas_int batch) {
+  run_batch<std::complex<double>>([](auto... args) { zgemm(args...); },
+                                  transa, transb, m, n, k, alpha, a, lda,
+                                  stride_a, b, ldb, stride_b, beta, c, ldc,
+                                  stride_c, batch);
+}
+
+}  // namespace dcmesh::blas

@@ -1,0 +1,246 @@
+#pragma once
+// gemm_kernel.hpp — internal cache-blocked GEMM used by every minimkl path.
+//
+// Classic three-level blocking (Goto-style): B is packed into NR-wide
+// column strips per (jc, pc) panel, A into MR-tall row strips per (ic, pc)
+// block, and a register-tiled microkernel accumulates an MR x NR tile over
+// the packed K dimension.  Edge tiles are zero-padded in the packed buffers
+// so the microkernel never branches.  The ic loop is OpenMP-parallel.
+
+#include <algorithm>
+#include <cassert>
+#include <complex>
+#include <stdexcept>
+#include <type_traits>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/common/aligned.hpp"
+
+namespace dcmesh::blas::detail {
+
+/// Register-tile shape per element type (chosen so the accumulator tile
+/// fits comfortably in SIMD registers at AVX2 widths).
+template <typename T>
+struct micro_tile {
+  static constexpr int mr = 4;
+  static constexpr int nr = 16;
+};
+template <>
+struct micro_tile<double> {
+  static constexpr int mr = 4;
+  static constexpr int nr = 8;
+};
+template <>
+struct micro_tile<std::complex<float>> {
+  static constexpr int mr = 4;
+  static constexpr int nr = 4;
+};
+template <>
+struct micro_tile<std::complex<double>> {
+  static constexpr int mr = 2;
+  static constexpr int nr = 4;
+};
+
+/// Cache-block sizes (elements).  KC*NR and MC*KC panels stay within L1/L2
+/// for all four element types at these settings.
+inline constexpr blas_int kBlockK = 256;
+inline constexpr blas_int kBlockM = 64;
+inline constexpr blas_int kBlockN = 512;
+
+template <typename T>
+[[nodiscard]] constexpr T conj_if(T value, bool do_conj) noexcept {
+  if constexpr (std::is_floating_point_v<T>) {
+    (void)do_conj;
+    return value;
+  } else {
+    return do_conj ? std::conj(value) : value;
+  }
+}
+
+/// Element (r, c) of op(X) where X is column-major with leading dim ld.
+template <typename T>
+[[nodiscard]] inline T op_element(const T* x, blas_int ld, transpose op,
+                                  blas_int r, blas_int c) noexcept {
+  if (op == transpose::none) return x[r + c * ld];
+  return conj_if(x[c + r * ld], op == transpose::conj_trans);
+}
+
+/// Scale C by beta in place (beta == 0 overwrites, killing NaNs/Infs, as
+/// BLAS requires).
+template <typename T>
+void scale_c(blas_int m, blas_int n, T beta, T* c, blas_int ldc) {
+  if (beta == T(1)) return;
+  if (beta == T(0)) {
+    for (blas_int j = 0; j < n; ++j) {
+      std::fill_n(c + j * ldc, m, T(0));
+    }
+    return;
+  }
+  for (blas_int j = 0; j < n; ++j) {
+    T* col = c + j * ldc;
+    for (blas_int i = 0; i < m; ++i) col[i] *= beta;
+  }
+}
+
+/// Pack an mc x kc block of op(A) into MR-tall strips, zero-padded to a
+/// multiple of MR rows.  Strip layout: strip s holds kc "columns" of MR
+/// contiguous elements.
+template <typename T>
+void pack_a(const T* a, blas_int lda, transpose op, blas_int row0,
+            blas_int col0, blas_int mc, blas_int kc, T* packed) {
+  constexpr int mr = micro_tile<T>::mr;
+  const blas_int strips = (mc + mr - 1) / mr;
+  for (blas_int s = 0; s < strips; ++s) {
+    T* dst = packed + s * (kc * mr);
+    const blas_int i0 = s * mr;
+    const int rows = static_cast<int>(std::min<blas_int>(mr, mc - i0));
+    for (blas_int p = 0; p < kc; ++p) {
+      for (int i = 0; i < rows; ++i) {
+        dst[p * mr + i] = op_element(a, lda, op, row0 + i0 + i, col0 + p);
+      }
+      for (int i = rows; i < mr; ++i) dst[p * mr + i] = T(0);
+    }
+  }
+}
+
+/// Pack a kc x nc panel of op(B) into NR-wide strips, zero-padded to a
+/// multiple of NR columns.
+template <typename T>
+void pack_b(const T* b, blas_int ldb, transpose op, blas_int row0,
+            blas_int col0, blas_int kc, blas_int nc, T* packed) {
+  constexpr int nr = micro_tile<T>::nr;
+  const blas_int strips = (nc + nr - 1) / nr;
+  for (blas_int s = 0; s < strips; ++s) {
+    T* dst = packed + s * (kc * nr);
+    const blas_int j0 = s * nr;
+    const int cols = static_cast<int>(std::min<blas_int>(nr, nc - j0));
+    for (blas_int p = 0; p < kc; ++p) {
+      for (int j = 0; j < cols; ++j) {
+        dst[p * nr + j] = op_element(b, ldb, op, row0 + p, col0 + j0 + j);
+      }
+      for (int j = cols; j < nr; ++j) dst[p * nr + j] = T(0);
+    }
+  }
+}
+
+/// MR x NR register-tile kernel: acc += Ap * Bp over kc packed steps.
+template <typename T>
+inline void micro_kernel(blas_int kc, const T* ap, const T* bp,
+                         T* __restrict acc) noexcept {
+  constexpr int mr = micro_tile<T>::mr;
+  constexpr int nr = micro_tile<T>::nr;
+  for (blas_int p = 0; p < kc; ++p) {
+    const T* a = ap + p * mr;
+    const T* b = bp + p * nr;
+    for (int i = 0; i < mr; ++i) {
+      const T ai = a[i];
+#if defined(DCMESH_HAVE_OPENMP)
+#pragma omp simd
+#endif
+      for (int j = 0; j < nr; ++j) {
+        acc[i * nr + j] += ai * b[j];
+      }
+    }
+  }
+}
+
+/// Validate the standard GEMM argument contract; throws std::invalid_argument
+/// on a malformed call (negative dims, too-small leading dimensions).
+/// A and B may be null when they will not be referenced (k == 0 or
+/// alpha == 0), per the BLAS contract — pass needs_ab accordingly.
+template <typename T>
+void validate_gemm_args(transpose transa, transpose transb, blas_int m,
+                        blas_int n, blas_int k, const T* a, blas_int lda,
+                        const T* b, blas_int ldb, const T* c, blas_int ldc,
+                        bool needs_ab = true) {
+  if (m < 0 || n < 0 || k < 0) {
+    throw std::invalid_argument("gemm: negative dimension");
+  }
+  const blas_int rows_a = transa == transpose::none ? m : k;
+  const blas_int rows_b = transb == transpose::none ? k : n;
+  if (lda < std::max<blas_int>(1, rows_a)) {
+    throw std::invalid_argument("gemm: lda too small");
+  }
+  if (ldb < std::max<blas_int>(1, rows_b)) {
+    throw std::invalid_argument("gemm: ldb too small");
+  }
+  if (ldc < std::max<blas_int>(1, m)) {
+    throw std::invalid_argument("gemm: ldc too small");
+  }
+  if (m != 0 && n != 0) {
+    if (c == nullptr) throw std::invalid_argument("gemm: null C");
+    if (needs_ab && k != 0 && (a == nullptr || b == nullptr)) {
+      throw std::invalid_argument("gemm: null A or B");
+    }
+  }
+}
+
+/// The blocked GEMM core: C += alpha * op(A) * op(B), assuming C has already
+/// been scaled by beta.  Never reads the compute mode — every mode's
+/// component products funnel through this routine.
+template <typename T>
+void gemm_blocked_accumulate(transpose transa, transpose transb, blas_int m,
+                             blas_int n, blas_int k, T alpha, const T* a,
+                             blas_int lda, const T* b, blas_int ldb, T* c,
+                             blas_int ldc) {
+  if (m == 0 || n == 0 || k == 0 || alpha == T(0)) return;
+
+  constexpr int mr = micro_tile<T>::mr;
+  constexpr int nr = micro_tile<T>::nr;
+
+  for (blas_int jc = 0; jc < n; jc += kBlockN) {
+    const blas_int nc = std::min<blas_int>(kBlockN, n - jc);
+    const blas_int n_strips = (nc + nr - 1) / nr;
+    for (blas_int pc = 0; pc < k; pc += kBlockK) {
+      const blas_int kc = std::min<blas_int>(kBlockK, k - pc);
+      aligned_buffer<T> bp(static_cast<std::size_t>(n_strips) * kc * nr);
+      pack_b(b, ldb, transb, pc, jc, kc, nc, bp.data());
+
+      const blas_int ic_blocks = (m + kBlockM - 1) / kBlockM;
+#if defined(DCMESH_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+      for (blas_int ib = 0; ib < ic_blocks; ++ib) {
+        const blas_int ic = ib * kBlockM;
+        const blas_int mc = std::min<blas_int>(kBlockM, m - ic);
+        const blas_int m_strips = (mc + mr - 1) / mr;
+        aligned_buffer<T> ap(static_cast<std::size_t>(m_strips) * kc * mr);
+        pack_a(a, lda, transa, ic, pc, mc, kc, ap.data());
+
+        T acc[mr * nr];
+        for (blas_int js = 0; js < n_strips; ++js) {
+          const blas_int j0 = jc + js * nr;
+          const int cols = static_cast<int>(std::min<blas_int>(nr, n - j0));
+          for (blas_int is = 0; is < m_strips; ++is) {
+            const blas_int i0 = ic + is * mr;
+            const int rows = static_cast<int>(std::min<blas_int>(mr, m - i0));
+            std::fill_n(acc, mr * nr, T(0));
+            micro_kernel(kc, ap.data() + is * (kc * mr),
+                         bp.data() + js * (kc * nr), acc);
+            for (int j = 0; j < cols; ++j) {
+              T* col = c + i0 + (j0 + j) * ldc;
+              for (int i = 0; i < rows; ++i) {
+                col[i] += alpha * acc[i * nr + j];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Full standard-arithmetic GEMM: C <- alpha*op(A)*op(B) + beta*C.
+template <typename T>
+void gemm_blocked(transpose transa, transpose transb, blas_int m, blas_int n,
+                  blas_int k, T alpha, const T* a, blas_int lda, const T* b,
+                  blas_int ldb, T beta, T* c, blas_int ldc) {
+  validate_gemm_args(transa, transb, m, n, k, a, lda, b, ldb, c, ldc,
+                     /*needs_ab=*/alpha != T(0));
+  if (m == 0 || n == 0) return;
+  scale_c(m, n, beta, c, ldc);
+  gemm_blocked_accumulate(transa, transb, m, n, k, alpha, a, lda, b, ldb, c,
+                          ldc);
+}
+
+}  // namespace dcmesh::blas::detail

@@ -1,0 +1,106 @@
+// gemm_real.cpp — sgemm/dgemm entry points, including the FP32 split modes.
+
+#include "call_wrap.hpp"
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/blas/blas.hpp"
+#include "gemm_kernel.hpp"
+#include "split.hpp"
+
+#if defined(DCMESH_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace dcmesh::blas {
+namespace detail {
+namespace {
+
+// Thread-count override (0 = OpenMP default).
+int g_requested_threads = 0;
+
+}  // namespace
+
+/// sgemm under a FLOAT_TO_* mode: decompose both operands, then accumulate
+/// the retained component products through the standard blocked kernel with
+/// FP32 accumulation — the software analogue of the XMX systolic pipeline.
+void sgemm_split(compute_mode mode, transpose transa, transpose transb,
+                 blas_int m, blas_int n, blas_int k, float alpha,
+                 const float* a, blas_int lda, const float* b, blas_int ldb,
+                 float beta, float* c, blas_int ldc) {
+  validate_gemm_args(transa, transb, m, n, k, a, lda, b, ldb, c, ldc,
+                     /*needs_ab=*/alpha != 0.0f);
+  if (m == 0 || n == 0) return;
+  scale_c(m, n, beta, c, ldc);
+  if (k == 0 || alpha == 0.0f) return;
+
+  const split_spec spec = split_for(mode);
+  const blas_int rows_a = transa == transpose::none ? m : k;
+  const blas_int cols_a = transa == transpose::none ? k : m;
+  const blas_int rows_b = transb == transpose::none ? k : n;
+  const blas_int cols_b = transb == transpose::none ? n : k;
+
+  const auto a_comp = split_operand(a, rows_a, cols_a, lda, spec);
+  const auto b_comp = split_operand(b, rows_b, cols_b, ldb, spec);
+
+  for (const auto& [i, j] : retained_products(spec.components)) {
+    gemm_blocked_accumulate(transa, transb, m, n, k, alpha,
+                            a_comp[static_cast<std::size_t>(i)].data(),
+                            rows_a,
+                            b_comp[static_cast<std::size_t>(j)].data(),
+                            rows_b, c, ldc);
+  }
+}
+
+}  // namespace detail
+
+void sgemm(transpose transa, transpose transb, blas_int m, blas_int n,
+           blas_int k, float alpha, const float* a, blas_int lda,
+           const float* b, blas_int ldb, float beta, float* c, blas_int ldc) {
+  const compute_mode mode = active_compute_mode();
+  detail::timed_call("SGEMM", transa, transb, m, n, k, lda, ldb, ldc,
+                     /*is_complex=*/false, mode, [&] {
+    if (detail::is_split_mode(mode)) {
+      detail::sgemm_split(mode, transa, transb, m, n, k, alpha, a, lda, b,
+                          ldb, beta, c, ldc);
+    } else {
+      // COMPLEX_3M has no effect on real GEMM; run standard arithmetic.
+      detail::gemm_blocked(transa, transb, m, n, k, alpha, a, lda, b, ldb,
+                           beta, c, ldc);
+    }
+  });
+}
+
+void dgemm(transpose transa, transpose transb, blas_int m, blas_int n,
+           blas_int k, double alpha, const double* a, blas_int lda,
+           const double* b, blas_int ldb, double beta, double* c,
+           blas_int ldc) {
+  // Alternative compute modes apply to single precision only; dgemm always
+  // runs standard FP64 arithmetic (paper Section IV-C: the FP64 SCF path
+  // must stay exact).
+  detail::timed_call("DGEMM", transa, transb, m, n, k, lda, ldb, ldc,
+                     /*is_complex=*/false, compute_mode::standard, [&] {
+    detail::gemm_blocked(transa, transb, m, n, k, alpha, a, lda, b, ldb,
+                         beta, c, ldc);
+  });
+}
+
+void set_num_threads(int threads) {
+  detail::g_requested_threads = threads < 0 ? 0 : threads;
+#if defined(DCMESH_HAVE_OPENMP)
+  if (threads > 0) omp_set_num_threads(threads);
+#endif
+}
+
+int get_num_threads() {
+#if defined(DCMESH_HAVE_OPENMP)
+  if (detail::g_requested_threads > 0) return detail::g_requested_threads;
+  // Honour MKL_NUM_THREADS like oneMKL (environment wins over the OpenMP
+  // default, loses to an explicit set_num_threads call).
+  const long env = env_get_int("MKL_NUM_THREADS", 0);
+  if (env > 0) return static_cast<int>(env);
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace dcmesh::blas

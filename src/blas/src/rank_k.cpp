@@ -1,0 +1,119 @@
+#include "dcmesh/blas/rank_k.hpp"
+
+#include <stdexcept>
+
+namespace dcmesh::blas {
+namespace {
+
+void validate_rank_k(blas_int n, blas_int k, blas_int lda, blas_int ldc,
+                     blas_int rows_a) {
+  if (n < 0 || k < 0) throw std::invalid_argument("rank-k: negative dim");
+  if (lda < std::max<blas_int>(1, rows_a)) {
+    throw std::invalid_argument("rank-k: lda too small");
+  }
+  if (ldc < std::max<blas_int>(1, n)) {
+    throw std::invalid_argument("rank-k: ldc too small");
+  }
+}
+
+// Typed shims onto the public GEMM entry points (so the active compute
+// mode, timing, and verbose logging all apply to the rank-k product).
+void gemm_dispatch(transpose ta, transpose tb, blas_int m, blas_int n,
+                   blas_int k, float alpha, const float* a, blas_int lda,
+                   const float* b, blas_int ldb, float beta, float* c,
+                   blas_int ldc) {
+  sgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+void gemm_dispatch(transpose ta, transpose tb, blas_int m, blas_int n,
+                   blas_int k, double alpha, const double* a, blas_int lda,
+                   const double* b, blas_int ldb, double beta, double* c,
+                   blas_int ldc) {
+  dgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+void gemm_dispatch(transpose ta, transpose tb, blas_int m, blas_int n,
+                   blas_int k, std::complex<float> alpha,
+                   const std::complex<float>* a, blas_int lda,
+                   const std::complex<float>* b, blas_int ldb,
+                   std::complex<float> beta, std::complex<float>* c,
+                   blas_int ldc) {
+  cgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+void gemm_dispatch(transpose ta, transpose tb, blas_int m, blas_int n,
+                   blas_int k, std::complex<double> alpha,
+                   const std::complex<double>* a, blas_int lda,
+                   const std::complex<double>* b, blas_int ldb,
+                   std::complex<double> beta, std::complex<double>* c,
+                   blas_int ldc) {
+  zgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+}  // namespace
+
+template <typename T>
+void syrk(uplo u, transpose trans, blas_int n, blas_int k, T alpha,
+          const T* a, blas_int lda, T beta, T* c, blas_int ldc) {
+  const blas_int rows_a = trans == transpose::none ? n : k;
+  validate_rank_k(n, k, lda, ldc, rows_a);
+  if (n == 0) return;
+
+  // Route through gemm so the compute mode applies identically, then make
+  // the result exactly symmetric by mirroring the `u` triangle.
+  gemm_dispatch(trans,
+                trans == transpose::none ? transpose::trans
+                                         : transpose::none,
+                n, n, k, alpha, a, lda, a, lda, beta, c, ldc);
+  for (blas_int j = 0; j < n; ++j) {
+    for (blas_int i = 0; i < j; ++i) {
+      if (u == uplo::upper) {
+        c[j + i * ldc] = c[i + j * ldc];
+      } else {
+        c[i + j * ldc] = c[j + i * ldc];
+      }
+    }
+  }
+}
+
+template <typename R>
+void herk(uplo u, transpose trans, blas_int n, blas_int k, R alpha,
+          const std::complex<R>* a, blas_int lda, R beta,
+          std::complex<R>* c, blas_int ldc) {
+  using C = std::complex<R>;
+  const blas_int rows_a = trans == transpose::none ? n : k;
+  validate_rank_k(n, k, lda, ldc, rows_a);
+  if (n == 0) return;
+
+  if (trans == transpose::none) {
+    // C = alpha * A * A^H + beta * C.
+    gemm_dispatch(transpose::none, transpose::conj_trans, n, n, k, C(alpha),
+                  a, lda, a, lda, C(beta), c, ldc);
+  } else {
+    // C = alpha * A^H * A + beta * C.
+    gemm_dispatch(transpose::conj_trans, transpose::none, n, n, k, C(alpha),
+                  a, lda, a, lda, C(beta), c, ldc);
+  }
+  // Enforce exact hermiticity: real diagonal, mirrored `u` triangle.
+  for (blas_int j = 0; j < n; ++j) {
+    c[j + j * ldc] = C(c[j + j * ldc].real(), R(0));
+    for (blas_int i = 0; i < j; ++i) {
+      if (u == uplo::upper) {
+        c[j + i * ldc] = std::conj(c[i + j * ldc]);
+      } else {
+        c[i + j * ldc] = std::conj(c[j + i * ldc]);
+      }
+    }
+  }
+}
+
+template void syrk<float>(uplo, transpose, blas_int, blas_int, float,
+                          const float*, blas_int, float, float*, blas_int);
+template void syrk<double>(uplo, transpose, blas_int, blas_int, double,
+                           const double*, blas_int, double, double*,
+                           blas_int);
+template void herk<float>(uplo, transpose, blas_int, blas_int, float,
+                          const std::complex<float>*, blas_int, float,
+                          std::complex<float>*, blas_int);
+template void herk<double>(uplo, transpose, blas_int, blas_int, double,
+                           const std::complex<double>*, blas_int, double,
+                           std::complex<double>*, blas_int);
+
+}  // namespace dcmesh::blas

@@ -1,0 +1,47 @@
+#include "split.hpp"
+
+namespace dcmesh::blas::detail {
+
+std::vector<matrix<float>> split_operand(const float* x, blas_int rows,
+                                         blas_int cols, blas_int ld,
+                                         split_spec spec) {
+  std::vector<matrix<float>> components;
+  components.reserve(static_cast<std::size_t>(spec.components));
+
+  // residual starts as the exact input and loses one component per pass.
+  matrix<float> residual(static_cast<std::size_t>(rows),
+                         static_cast<std::size_t>(cols));
+  for (blas_int j = 0; j < cols; ++j) {
+    const float* src = x + j * ld;
+    float* dst = residual.data() + j * rows;
+    for (blas_int i = 0; i < rows; ++i) dst[i] = src[i];
+  }
+
+  for (int c = 0; c < spec.components; ++c) {
+    matrix<float> comp(static_cast<std::size_t>(rows),
+                       static_cast<std::size_t>(cols));
+    float* comp_data = comp.data();
+    float* res_data = residual.data();
+    const std::size_t count = comp.size();
+    const bool last = (c + 1 == spec.components);
+    for (std::size_t i = 0; i < count; ++i) {
+      const float rounded = spec.round(res_data[i]);
+      comp_data[i] = rounded;
+      if (!last) res_data[i] -= rounded;
+    }
+    components.push_back(std::move(comp));
+  }
+  return components;
+}
+
+std::vector<std::pair<int, int>> retained_products(int components) {
+  std::vector<std::pair<int, int>> pairs;
+  for (int order = 0; order <= components - 1; ++order) {
+    for (int i = 0; i <= order; ++i) {
+      pairs.emplace_back(i, order - i);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace dcmesh::blas::detail

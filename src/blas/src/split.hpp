@@ -1,0 +1,72 @@
+#pragma once
+// split.hpp — FP32 -> {BF16^N, TF32} operand decomposition (internal).
+//
+// oneMKL's FLOAT_TO_BF16{,X2,X3} modes represent each FP32 input as a sum
+// of 1..3 BF16 values and multiply the component matrices on the systolic
+// array with FP32 accumulation; FLOAT_TO_TF32 rounds to TF32.  Products of
+// two BF16 (7-bit) or two TF32 (10-bit) mantissas are exact in FP32, so
+// multiplying the *rounded FP32 representations* of the components on the
+// CPU reproduces the hardware arithmetic bit-for-bit; only the accumulation
+// order can differ, which is unspecified on hardware as well.
+
+#include <vector>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/common/bf16.hpp"
+#include "dcmesh/common/matrix.hpp"
+#include "dcmesh/common/tf32.hpp"
+
+namespace dcmesh::blas::detail {
+
+/// Properties of a split mode.
+struct split_spec {
+  int components;          ///< 1, 2, or 3 component matrices per operand.
+  float (*round)(float);   ///< Component rounding function.
+};
+
+/// Split parameters for a mode; standard/complex_3m are not split modes
+/// (components == 0).
+[[nodiscard]] constexpr split_spec split_for(compute_mode mode) noexcept {
+  switch (mode) {
+    case compute_mode::float_to_bf16:
+      return {1, [](float x) { return round_to_bf16(x); }};
+    case compute_mode::float_to_bf16x2:
+      return {2, [](float x) { return round_to_bf16(x); }};
+    case compute_mode::float_to_bf16x3:
+      return {3, [](float x) { return round_to_bf16(x); }};
+    case compute_mode::float_to_tf32:
+      return {1, [](float x) { return round_to_tf32(x); }};
+    default:
+      return {0, nullptr};
+  }
+}
+
+/// True when `mode` rounds/splits FP32 GEMM operands.
+[[nodiscard]] constexpr bool is_split_mode(compute_mode mode) noexcept {
+  return split_for(mode).components > 0;
+}
+
+/// Decompose a column-major rows x cols operand (leading dimension ld) into
+/// `spec.components` dense component matrices: comp[0] = round(x),
+/// comp[c] = round(x - comp[0] - ... - comp[c-1]).  The sum of components
+/// converges to x with ~7 extra mantissa bits per BF16 component.
+[[nodiscard]] std::vector<matrix<float>> split_operand(
+    const float* x, blas_int rows, blas_int cols, blas_int ld,
+    split_spec spec);
+
+/// sgemm under a FLOAT_TO_* split mode (defined in gemm_real.cpp; also used
+/// by the complex 4M path for its real component products).
+void sgemm_split(compute_mode mode, transpose transa, transpose transb,
+                 blas_int m, blas_int n, blas_int k, float alpha,
+                 const float* a, blas_int lda, const float* b, blas_int ldb,
+                 float beta, float* c, blas_int ldc);
+
+/// Component-product pairs retained for an N-component split, in the order
+/// they are accumulated: all (i, j) with i + j <= N - 1 (0-based), sorted by
+/// ascending total order so the dominant (0,0) product is accumulated first.
+/// N=1 -> 1 product; N=2 -> 3; N=3 -> 6 (Table II's 16x, 16/3x, 8/3x).
+[[nodiscard]] std::vector<std::pair<int, int>> retained_products(
+    int components);
+
+}  // namespace dcmesh::blas::detail

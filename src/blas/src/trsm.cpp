@@ -1,0 +1,119 @@
+#include "dcmesh/blas/trsm.hpp"
+
+#include <stdexcept>
+
+namespace dcmesh::blas {
+namespace {
+
+template <typename T>
+constexpr T conj_if(T v, bool c) {
+  if constexpr (std::is_floating_point_v<T>) {
+    (void)c;
+    return v;
+  } else {
+    return c ? std::conj(v) : v;
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void trsm(side s, uplo u, transpose trans, diag d, blas_int m, blas_int n,
+          T alpha, const T* a, blas_int lda, T* b, blas_int ldb) {
+  if (m < 0 || n < 0) throw std::invalid_argument("trsm: negative dim");
+  const blas_int order = s == side::left ? m : n;
+  if (lda < std::max<blas_int>(1, order)) {
+    throw std::invalid_argument("trsm: lda too small");
+  }
+  if (ldb < std::max<blas_int>(1, m)) {
+    throw std::invalid_argument("trsm: ldb too small");
+  }
+  if (m == 0 || n == 0) return;
+
+  // Scale B by alpha first (alpha == 0 zeroes B, per BLAS).
+  for (blas_int j = 0; j < n; ++j) {
+    T* col = b + j * ldb;
+    for (blas_int i = 0; i < m; ++i) {
+      col[i] = alpha == T(0) ? T(0) : alpha * col[i];
+    }
+  }
+  if (alpha == T(0)) return;
+
+  // Element (r, c) of op(A); op folds transpose/conjugation into the
+  // access pattern, flipping the effective triangle.
+  const bool transposed = trans != transpose::none;
+  const bool conjugated = trans == transpose::conj_trans;
+  const auto op_a = [&](blas_int r, blas_int c) -> T {
+    return transposed ? conj_if(a[c + r * lda], conjugated)
+                      : a[r + c * lda];
+  };
+  // op(A) is upper-triangular iff the storage triangle flips under
+  // transposition.
+  const bool eff_upper = (u == uplo::upper) != transposed;
+  const auto pivot = [&](blas_int i) -> T {
+    if (d == diag::unit) return T(1);
+    const T p = op_a(i, i);
+    if (p == T(0)) throw std::invalid_argument("trsm: zero pivot");
+    return p;
+  };
+
+  if (s == side::left) {
+    // Solve op(A) X = B column by column.
+    for (blas_int j = 0; j < n; ++j) {
+      T* x = b + j * ldb;
+      if (eff_upper) {
+        for (blas_int i = m - 1; i >= 0; --i) {
+          T sum = x[i];
+          for (blas_int p = i + 1; p < m; ++p) sum -= op_a(i, p) * x[p];
+          x[i] = sum / pivot(i);
+        }
+      } else {
+        for (blas_int i = 0; i < m; ++i) {
+          T sum = x[i];
+          for (blas_int p = 0; p < i; ++p) sum -= op_a(i, p) * x[p];
+          x[i] = sum / pivot(i);
+        }
+      }
+    }
+    return;
+  }
+
+  // side::right — solve X op(A) = B: column recurrence over j.
+  if (eff_upper) {
+    for (blas_int j = 0; j < n; ++j) {
+      T* xj = b + j * ldb;
+      for (blas_int p = 0; p < j; ++p) {
+        const T w = op_a(p, j);
+        if (w == T(0)) continue;
+        const T* xp = b + p * ldb;
+        for (blas_int i = 0; i < m; ++i) xj[i] -= xp[i] * w;
+      }
+      const T piv = pivot(j);
+      for (blas_int i = 0; i < m; ++i) xj[i] /= piv;
+    }
+  } else {
+    for (blas_int j = n - 1; j >= 0; --j) {
+      T* xj = b + j * ldb;
+      for (blas_int p = j + 1; p < n; ++p) {
+        const T w = op_a(p, j);
+        if (w == T(0)) continue;
+        const T* xp = b + p * ldb;
+        for (blas_int i = 0; i < m; ++i) xj[i] -= xp[i] * w;
+      }
+      const T piv = pivot(j);
+      for (blas_int i = 0; i < m; ++i) xj[i] /= piv;
+    }
+  }
+}
+
+#define DCMESH_INSTANTIATE_TRSM(T)                                        \
+  template void trsm<T>(side, uplo, transpose, diag, blas_int, blas_int,  \
+                        T, const T*, blas_int, T*, blas_int);
+
+DCMESH_INSTANTIATE_TRSM(float)
+DCMESH_INSTANTIATE_TRSM(double)
+DCMESH_INSTANTIATE_TRSM(std::complex<float>)
+DCMESH_INSTANTIATE_TRSM(std::complex<double>)
+#undef DCMESH_INSTANTIATE_TRSM
+
+}  // namespace dcmesh::blas

@@ -1,0 +1,81 @@
+#include "dcmesh/blas/verbose.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+
+#include "dcmesh/common/env.hpp"
+
+namespace dcmesh::blas {
+namespace {
+
+constexpr std::size_t kMaxLogEntries = 16384;
+
+std::mutex g_log_mutex;
+std::deque<call_record> g_log;            // guarded by g_log_mutex
+std::atomic<std::uint64_t> g_call_count{0};
+std::mutex g_seconds_mutex;
+double g_total_seconds = 0.0;             // guarded by g_seconds_mutex
+
+}  // namespace
+
+std::string call_record::to_string() const {
+  // Mirrors the oneMKL verbose format:
+  // MKL_VERBOSE SGEMM(N,N,128,896,262144,...) 12.34ms CNR:OFF ... mode:BF16
+  char buffer[256];
+  const double ms = seconds * 1e3;
+  std::snprintf(buffer, sizeof(buffer),
+                "MKL_VERBOSE %s(%c,%c,%lld,%lld,%lld) lda=%lld ldb=%lld "
+                "ldc=%lld %.3fms mode:%s",
+                routine.c_str(), transa, transb,
+                static_cast<long long>(m), static_cast<long long>(n),
+                static_cast<long long>(k), static_cast<long long>(lda),
+                static_cast<long long>(ldb), static_cast<long long>(ldc), ms,
+                std::string(info(mode).env_token).c_str());
+  return buffer;
+}
+
+bool verbose_enabled() { return env_get_int(kVerboseEnvVar, 0) >= 1; }
+
+void record_call(call_record record) {
+  if (verbose_enabled()) {
+    std::fprintf(stderr, "%s\n", record.to_string().c_str());
+  }
+  g_call_count.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(g_seconds_mutex);
+    g_total_seconds += record.seconds;
+  }
+  std::lock_guard lock(g_log_mutex);
+  g_log.push_back(std::move(record));
+  if (g_log.size() > kMaxLogEntries) g_log.pop_front();
+}
+
+std::vector<call_record> recent_calls() {
+  std::lock_guard lock(g_log_mutex);
+  return {g_log.begin(), g_log.end()};
+}
+
+std::uint64_t call_count() {
+  return g_call_count.load(std::memory_order_relaxed);
+}
+
+double total_call_seconds() {
+  std::lock_guard lock(g_seconds_mutex);
+  return g_total_seconds;
+}
+
+void clear_call_log() {
+  {
+    std::lock_guard lock(g_log_mutex);
+    g_log.clear();
+  }
+  {
+    std::lock_guard lock(g_seconds_mutex);
+    g_total_seconds = 0.0;
+  }
+  g_call_count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dcmesh::blas

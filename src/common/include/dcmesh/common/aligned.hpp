@@ -1,0 +1,89 @@
+#pragma once
+// aligned.hpp — cache-line / SIMD-aligned contiguous buffers.
+//
+// GEMM packing buffers and wave-function storage want 64-byte alignment so
+// vector loads never split cache lines.  aligned_buffer is a minimal
+// RAII owner (no per-element initialisation cost for trivial types beyond
+// value-init, no implicit copies) used throughout the BLAS and LFD modules.
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+namespace dcmesh {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Contiguous heap buffer of trivially-copyable elements with 64-byte
+/// alignment.  Move-only; contents are value-initialised (zeroed).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+class aligned_buffer {
+ public:
+  aligned_buffer() noexcept = default;
+
+  /// Allocate `count` value-initialised elements.
+  explicit aligned_buffer(std::size_t count) : size_(count) {
+    if (count == 0) return;
+    void* p = ::operator new[](count * sizeof(T),
+                               std::align_val_t{kCacheLineBytes});
+    data_ = static_cast<T*>(p);
+    std::uninitialized_value_construct_n(data_, count);
+  }
+
+  aligned_buffer(aligned_buffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  aligned_buffer& operator=(aligned_buffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  aligned_buffer(const aligned_buffer&) = delete;
+  aligned_buffer& operator=(const aligned_buffer&) = delete;
+
+  ~aligned_buffer() { release(); }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_, size_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data_, size_};
+  }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void release() noexcept {
+    if (data_ != nullptr) {
+      ::operator delete[](data_, std::align_val_t{kCacheLineBytes});
+      data_ = nullptr;
+      size_ = 0;
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dcmesh

@@ -1,0 +1,74 @@
+#pragma once
+// bf16.hpp — software bfloat16 (BF16) value type.
+//
+// BF16 is the 16-bit truncated form of IEEE-754 binary32: 1 sign bit,
+// 8 exponent bits, 7 mantissa bits.  The Intel XMX systolic arrays consume
+// BF16 operands and accumulate in FP32; oneMKL's FLOAT_TO_BF16* compute
+// modes round FP32 inputs to (sums of) BF16 before the multiply.  This type
+// reproduces that rounding on the CPU so the numerical behaviour of the
+// alternative compute modes can be emulated bit-faithfully.
+
+#include <bit>
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace dcmesh {
+
+/// Round an FP32 value to the nearest BF16-representable FP32 value using
+/// round-to-nearest-even (the rounding mode used by Intel XMX conversions).
+/// NaN payloads are quieted; infinities and zeros pass through unchanged.
+[[nodiscard]] constexpr float round_to_bf16(float x) noexcept {
+  std::uint32_t bits = std::bit_cast<std::uint32_t>(x);
+  // NaN: force a quiet NaN so the truncated mantissa cannot become Inf.
+  if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu) != 0u) {
+    return std::bit_cast<float>((bits & 0xffff0000u) | 0x00400000u);
+  }
+  // Round to nearest even on the 16 bits that will be discarded.
+  const std::uint32_t rounding_bias = 0x00007fffu + ((bits >> 16) & 1u);
+  bits += rounding_bias;
+  bits &= 0xffff0000u;
+  return std::bit_cast<float>(bits);
+}
+
+/// A 16-bit brain-float value.  Stored as the upper half of the FP32
+/// pattern; conversion back to FP32 is exact (zero-extend the mantissa).
+class bf16 {
+ public:
+  constexpr bf16() noexcept = default;
+
+  /// Construct from FP32 with round-to-nearest-even.
+  explicit constexpr bf16(float x) noexcept
+      : bits_(static_cast<std::uint16_t>(
+            std::bit_cast<std::uint32_t>(round_to_bf16(x)) >> 16)) {}
+
+  /// Exact widening conversion back to FP32.
+  [[nodiscard]] constexpr float to_float() const noexcept {
+    return std::bit_cast<float>(static_cast<std::uint32_t>(bits_) << 16);
+  }
+  explicit constexpr operator float() const noexcept { return to_float(); }
+
+  /// Raw 16-bit pattern (sign:1, exponent:8, mantissa:7).
+  [[nodiscard]] constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  /// Construct from a raw 16-bit pattern.
+  [[nodiscard]] static constexpr bf16 from_bits(std::uint16_t b) noexcept {
+    bf16 v;
+    v.bits_ = b;
+    return v;
+  }
+
+  friend constexpr bool operator==(bf16 a, bf16 b) noexcept {
+    return a.to_float() == b.to_float();
+  }
+
+  static constexpr int exponent_bits = 8;
+  static constexpr int mantissa_bits = 7;
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(bf16) == 2);
+
+}  // namespace dcmesh

@@ -1,0 +1,35 @@
+#pragma once
+// env.hpp — environment-variable access helpers.
+//
+// The whole point of the paper's methodology is that precision modes are
+// switched with *no source changes*, only environment variables
+// (MKL_BLAS_COMPUTE_MODE, MKL_VERBOSE, KMP_BLOCKTIME).  These helpers give
+// the library a single, testable seam for reading and normalising them.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dcmesh {
+
+/// Read an environment variable; nullopt when unset or empty.
+[[nodiscard]] std::optional<std::string> env_get(std::string_view name);
+
+/// Read an integer environment variable; `fallback` when unset/unparsable.
+[[nodiscard]] long env_get_int(std::string_view name, long fallback);
+
+/// Set (or overwrite) an environment variable in this process.  Used by
+/// tests and examples to exercise the env-var control path.
+void env_set(std::string_view name, std::string_view value);
+
+/// Remove an environment variable from this process.
+void env_unset(std::string_view name);
+
+/// ASCII upper-case copy (env values are matched case-insensitively, as
+/// oneMKL does for MKL_BLAS_COMPUTE_MODE).
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+}  // namespace dcmesh

@@ -1,0 +1,54 @@
+#pragma once
+// format_traits.hpp — exponent/mantissa layout of every precision format the
+// paper studies (Table IV) plus INT8 for the Table I peak listing.
+
+#include <array>
+#include <string_view>
+
+namespace dcmesh {
+
+/// Which execution engine on Xe-HPC reaches peak throughput for a format.
+enum class engine_kind {
+  vector,  ///< 512-bit vector engines (FP64/FP32 peak)
+  matrix,  ///< XMX systolic arrays (TF32/BF16/FP16/INT8 peak)
+};
+
+/// Static description of a numeric format (paper Table IV layout).
+struct format_info {
+  std::string_view name;     ///< Display name, e.g. "BF16".
+  int exponent_bits;         ///< Width of the exponent field (0 = integer).
+  int mantissa_bits;         ///< Explicit mantissa bits (integer: value bits).
+  engine_kind peak_engine;   ///< Engine that reaches peak throughput.
+};
+
+/// All formats referenced by the paper, in Table I order.
+[[nodiscard]] constexpr std::array<format_info, 6> all_formats() noexcept {
+  return {{
+      {"FP64", 11, 52, engine_kind::vector},
+      {"FP32", 8, 23, engine_kind::vector},
+      {"TF32", 8, 10, engine_kind::matrix},
+      {"BF16", 8, 7, engine_kind::matrix},
+      {"FP16", 5, 10, engine_kind::matrix},
+      {"INT8", 0, 8, engine_kind::matrix},
+  }};
+}
+
+/// The subset shown in the paper's Table IV (floating-point formats studied).
+[[nodiscard]] constexpr std::array<format_info, 4> table4_formats() noexcept {
+  return {{
+      {"FP64", 11, 52, engine_kind::vector},
+      {"FP32", 8, 23, engine_kind::vector},
+      {"TF32", 8, 10, engine_kind::matrix},
+      {"BF16", 8, 7, engine_kind::matrix},
+  }};
+}
+
+/// Worst-case relative input rounding error for a format with n mantissa
+/// bits: 2^-(n+1) (half ULP), as used in the paper's Section V-B bound.
+[[nodiscard]] constexpr double rounding_half_ulp(int mantissa_bits) noexcept {
+  double u = 1.0;
+  for (int i = 0; i < mantissa_bits + 1; ++i) u *= 0.5;
+  return u;
+}
+
+}  // namespace dcmesh

@@ -1,0 +1,64 @@
+#pragma once
+// fp16.hpp — software IEEE-754 binary16 (FP16) rounding.
+//
+// FP16 appears in the paper's Table I (419 TFLOP/s on XMX) and Table IV;
+// DCMESH itself does not use it for BLAS, but the device model and the
+// format-traits table need it, and the split-GEMM machinery is generic over
+// the rounding function, so we provide a faithful implementation.
+
+#include <bit>
+#include <cstdint>
+#include <cmath>
+
+namespace dcmesh {
+
+/// Round an FP32 value to the nearest FP16-representable value and return
+/// it widened back to FP32 (round-to-nearest-even; overflow goes to Inf,
+/// subnormal FP16 values are represented exactly).
+[[nodiscard]] inline float round_to_fp16(float x) noexcept {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(x);
+  const std::uint32_t sign = bits & 0x80000000u;
+  const std::uint32_t abs = bits & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {  // Inf or NaN
+    if (abs > 0x7f800000u) return std::bit_cast<float>(bits | 0x00400000u);
+    return x;
+  }
+  // Exponent of the smallest normal FP16 is 2^-14; FP32 exponent field 113.
+  if (abs >= 0x38800000u) {  // normal range
+    if (abs > 0x477fefffu) {  // > max FP16 (65504 + rounding guard)
+      return std::bit_cast<float>(sign | 0x7f800000u);
+    }
+    std::uint32_t a = abs;
+    const std::uint32_t bias = 0x00000fffu + ((a >> 13) & 1u);
+    a += bias;
+    a &= 0xffffe000u;
+    return std::bit_cast<float>(sign | a);
+  }
+  if (abs < 0x33000001u) {  // below half the smallest subnormal -> zero
+    return std::bit_cast<float>(sign);
+  }
+  // Subnormal FP16: quantise to multiples of 2^-24.
+  const float magnitude = std::bit_cast<float>(abs);
+  const float scale = 16777216.0f;  // 2^24
+  float q = std::nearbyintf(magnitude * scale) / scale;
+  return std::bit_cast<float>(sign | std::bit_cast<std::uint32_t>(q));
+}
+
+/// FP16 value held widened in an FP32 container.
+class fp16 {
+ public:
+  constexpr fp16() noexcept = default;
+  explicit fp16(float x) noexcept : value_(round_to_fp16(x)) {}
+
+  [[nodiscard]] constexpr float to_float() const noexcept { return value_; }
+  explicit constexpr operator float() const noexcept { return value_; }
+
+  static constexpr int exponent_bits = 5;
+  static constexpr int mantissa_bits = 10;
+
+ private:
+  float value_ = 0.0f;
+};
+
+}  // namespace dcmesh

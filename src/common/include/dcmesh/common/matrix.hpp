@@ -1,0 +1,105 @@
+#pragma once
+// matrix.hpp — column-major matrix storage and views.
+//
+// BLAS (and the wave-function matrix Ψ it operates on) are column-major with
+// an explicit leading dimension.  `matrix<T>` owns aligned storage;
+// `matrix_view`/`const_matrix_view` are non-owning strided views with the
+// same (rows, cols, ld) description a GEMM call takes.
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+
+#include "dcmesh/common/aligned.hpp"
+
+namespace dcmesh {
+
+/// Non-owning mutable view of a column-major matrix.
+template <typename T>
+struct matrix_view {
+  T* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t ld = 0;  ///< Leading dimension (>= rows).
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows && c < cols);
+    return data[r + c * ld];
+  }
+  [[nodiscard]] T* col(std::size_t c) const noexcept { return data + c * ld; }
+};
+
+/// Non-owning read-only view of a column-major matrix.
+template <typename T>
+struct const_matrix_view {
+  const T* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t ld = 0;
+
+  const_matrix_view() = default;
+  const_matrix_view(const T* d, std::size_t r, std::size_t c, std::size_t l)
+      : data(d), rows(r), cols(c), ld(l) {}
+  // Implicit conversion from the mutable view.
+  const_matrix_view(matrix_view<T> v)  // NOLINT(google-explicit-constructor)
+      : data(v.data), rows(v.rows), cols(v.cols), ld(v.ld) {}
+
+  [[nodiscard]] const T& operator()(std::size_t r,
+                                    std::size_t c) const noexcept {
+    assert(r < rows && c < cols);
+    return data[r + c * ld];
+  }
+  [[nodiscard]] const T* col(std::size_t c) const noexcept {
+    return data + c * ld;
+  }
+};
+
+/// Owning column-major matrix with contiguous columns (ld == rows) and
+/// 64-byte-aligned storage.
+template <typename T>
+class matrix {
+ public:
+  matrix() = default;
+  matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), storage_(rows * cols) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t ld() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t size() const noexcept { return rows_ * cols_; }
+
+  [[nodiscard]] T* data() noexcept { return storage_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return storage_.data(); }
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return storage_[r + c * rows_];
+  }
+  [[nodiscard]] const T& operator()(std::size_t r,
+                                    std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return storage_[r + c * rows_];
+  }
+
+  [[nodiscard]] matrix_view<T> view() noexcept {
+    return {storage_.data(), rows_, cols_, rows_};
+  }
+  [[nodiscard]] const_matrix_view<T> view() const noexcept {
+    return {storage_.data(), rows_, cols_, rows_};
+  }
+
+  [[nodiscard]] std::span<T> span() noexcept { return storage_.span(); }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return storage_.span();
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  aligned_buffer<T> storage_;
+};
+
+using cfloat = std::complex<float>;
+using cdouble = std::complex<double>;
+
+}  // namespace dcmesh

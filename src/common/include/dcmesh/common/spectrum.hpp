@@ -1,0 +1,30 @@
+#pragma once
+// spectrum.hpp — discrete power spectra of observable time series.
+//
+// The physically interesting product of a laser-driven current javg(t) is
+// its emission spectrum (high-harmonic generation).  A windowed direct DFT
+// is provided — O(n^2), deliberately dependency-free, and plenty fast for
+// the few-thousand-sample QD series this code produces.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dcmesh {
+
+/// |X_k|^2 for k = 0 .. n/2 of a real series, optionally Hann-windowed
+/// (reduces leakage so harmonic peaks are resolvable).  The mean is
+/// removed before transforming so bin 0 reflects drift, not offset.
+[[nodiscard]] std::vector<double> power_spectrum(std::span<const double> x,
+                                                 bool hann_window = true);
+
+/// Angular frequency of spectrum bin k for sample spacing dt and series
+/// length n: omega_k = 2 pi k / (n dt).
+[[nodiscard]] double bin_angular_frequency(std::size_t k, double dt,
+                                           std::size_t n);
+
+/// Nearest bin to angular frequency omega.
+[[nodiscard]] std::size_t nearest_bin(double omega, double dt,
+                                      std::size_t n);
+
+}  // namespace dcmesh

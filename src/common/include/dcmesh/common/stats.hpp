@@ -1,0 +1,98 @@
+#pragma once
+// stats.hpp — deviation and error statistics.
+//
+// The paper's Figures 1 and 2 plot the deviation of observables (ekin, nexc,
+// javg) from an FP32 reference over simulation time; its Section V-B argues
+// about *relative* errors of GEMM outputs.  These helpers compute both.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dcmesh {
+
+/// Running min/max/mean/rms accumulator (Welford for the mean/variance).
+class running_stats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    sum_sq_ += x * x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept {
+    return std::sqrt(variance());
+  }
+  [[nodiscard]] double rms() const noexcept {
+    return count_ ? std::sqrt(sum_sq_ / static_cast<double>(count_)) : 0.0;
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Maximum absolute element-wise difference between two equal-length series.
+[[nodiscard]] inline double max_abs_deviation(std::span<const double> a,
+                                              std::span<const double> b) {
+  double worst = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+/// Maximum relative element-wise difference |a-b| / max(|b|, floor).
+[[nodiscard]] inline double max_rel_deviation(std::span<const double> a,
+                                              std::span<const double> b,
+                                              double floor = 1e-30) {
+  double worst = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scale = std::max(std::abs(b[i]), floor);
+    worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+/// Element-wise deviation series a[i] - b[i] (Fig 1's plotted quantity).
+[[nodiscard]] inline std::vector<double> deviation_series(
+    std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::vector<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = a[i] - b[i];
+  return d;
+}
+
+/// log10(|a-b|) series with a floor to keep zero deviations plottable
+/// (Fig 2's plotted quantity).
+[[nodiscard]] inline std::vector<double> log10_deviation_series(
+    std::span<const double> a, std::span<const double> b,
+    double floor = 1e-16) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::vector<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i] = std::log10(std::max(std::abs(a[i] - b[i]), floor));
+  }
+  return d;
+}
+
+}  // namespace dcmesh

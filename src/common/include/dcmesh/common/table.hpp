@@ -1,0 +1,81 @@
+#pragma once
+// table.hpp — fixed-width text table writer for the bench harness.
+//
+// Every bench binary prints rows in the same layout the paper's tables and
+// figure series use, so output diffs cleanly into EXPERIMENTS.md.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dcmesh {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class text_table {
+ public:
+  /// Start a table with the given column headers.
+  explicit text_table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Append one row; missing trailing cells render empty.
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Render with two-space gutters and a dashed rule under the header.
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    const auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string{};
+        os << std::left << std::setw(static_cast<int>(width[c])) << cell;
+        if (c + 1 < width.size()) os << "  ";
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    }
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `prec` significant digits (default 4).
+[[nodiscard]] inline std::string fmt(double v, int prec = 4) {
+  std::ostringstream os;
+  os << std::setprecision(prec) << v;
+  return os.str();
+}
+
+/// Format with fixed decimals, e.g. fmt_fixed(1.3456, 2) -> "1.35".
+[[nodiscard]] inline std::string fmt_fixed(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+/// Format in scientific notation, e.g. fmt_sci(1.2e-5, 2) -> "1.20e-05".
+[[nodiscard]] inline std::string fmt_sci(double v, int decimals = 2) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+}  // namespace dcmesh

@@ -1,0 +1,49 @@
+#pragma once
+// tf32.hpp — software TF32 rounding.
+//
+// TF32 ("TensorFloat-32") keeps the FP32 exponent range (8 bits) but only
+// 10 mantissa bits, so it occupies 19 bits.  Hardware (Intel XMX, NVIDIA
+// tensor cores) stores TF32 operands in 32-bit registers with the low 13
+// mantissa bits zeroed; FLOAT_TO_TF32 in oneMKL rounds FP32 inputs to this
+// grid and accumulates products in FP32.
+
+#include <bit>
+#include <cstdint>
+
+namespace dcmesh {
+
+/// Round an FP32 value to the nearest TF32-representable value
+/// (round-to-nearest-even on the 13 discarded mantissa bits).
+[[nodiscard]] constexpr float round_to_tf32(float x) noexcept {
+  std::uint32_t bits = std::bit_cast<std::uint32_t>(x);
+  if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu) != 0u) {
+    return std::bit_cast<float>((bits & 0xffffe000u) | 0x00400000u);
+  }
+  const std::uint32_t rounding_bias = 0x00000fffu + ((bits >> 13) & 1u);
+  bits += rounding_bias;
+  bits &= 0xffffe000u;
+  return std::bit_cast<float>(bits);
+}
+
+/// A TF32 value held in an FP32 container whose low 13 mantissa bits are
+/// guaranteed zero.  Conversions to/from FP32 mirror the XMX register form.
+class tf32 {
+ public:
+  constexpr tf32() noexcept = default;
+  explicit constexpr tf32(float x) noexcept : value_(round_to_tf32(x)) {}
+
+  [[nodiscard]] constexpr float to_float() const noexcept { return value_; }
+  explicit constexpr operator float() const noexcept { return value_; }
+
+  friend constexpr bool operator==(tf32 a, tf32 b) noexcept {
+    return a.value_ == b.value_;
+  }
+
+  static constexpr int exponent_bits = 8;
+  static constexpr int mantissa_bits = 10;
+
+ private:
+  float value_ = 0.0f;
+};
+
+}  // namespace dcmesh

@@ -1,0 +1,28 @@
+#pragma once
+// units.hpp — Hartree atomic units and the conversions the paper reports in.
+//
+// DCMESH works internally in Hartree atomic units (ħ = m_e = e = a0 = 1);
+// the paper quotes energies in Hartree, time in femtoseconds, current
+// density in atomic units.  Only conversion factors live here.
+
+namespace dcmesh::units {
+
+/// One atomic time unit in femtoseconds (ħ/Eh).
+inline constexpr double atu_in_fs = 0.024188843265857;
+
+/// One femtosecond in atomic time units.
+inline constexpr double fs_in_atu = 1.0 / atu_in_fs;
+
+/// One Hartree in electron-volts.
+inline constexpr double hartree_in_ev = 27.211386245988;
+
+/// One Bohr radius in Angstrom.
+inline constexpr double bohr_in_angstrom = 0.529177210903;
+
+/// Boltzmann constant in Hartree per Kelvin.
+inline constexpr double kb_hartree_per_k = 3.166811563e-6;
+
+/// Proton mass in electron masses (atomic mass unit conversions for MD).
+inline constexpr double amu_in_me = 1822.888486209;
+
+}  // namespace dcmesh::units

@@ -1,0 +1,49 @@
+#include "dcmesh/common/env.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dcmesh {
+
+std::optional<std::string> env_get(std::string_view name) {
+  const std::string key(name);
+  const char* value = std::getenv(key.c_str());
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+long env_get_int(std::string_view name, long fallback) {
+  const auto value = env_get(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value->c_str(), &end, 10);
+  if (end == value->c_str()) return fallback;
+  return parsed;
+}
+
+void env_set(std::string_view name, std::string_view value) {
+  ::setenv(std::string(name).c_str(), std::string(value).c_str(), 1);
+}
+
+void env_unset(std::string_view name) {
+  ::unsetenv(std::string(name).c_str());
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace dcmesh

@@ -1,0 +1,11 @@
+#include "dcmesh/common/rng.hpp"
+
+#include <cmath>
+
+namespace dcmesh {
+
+double xoshiro256::sqrt_scale(double s) noexcept {
+  return std::sqrt(-2.0 * std::log(s) / s);
+}
+
+}  // namespace dcmesh

@@ -1,0 +1,57 @@
+#include "dcmesh/common/spectrum.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dcmesh {
+
+std::vector<double> power_spectrum(std::span<const double> x,
+                                   bool hann_window) {
+  const std::size_t n = x.size();
+  if (n == 0) return {};
+
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(n);
+
+  std::vector<double> windowed(n);
+  const double two_pi = 2.0 * std::numbers::pi;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w =
+        hann_window
+            ? 0.5 * (1.0 - std::cos(two_pi * static_cast<double>(i) /
+                                    static_cast<double>(n - 1 + (n == 1))))
+            : 1.0;
+    windowed[i] = w * (x[i] - mean);
+  }
+
+  std::vector<double> spectrum(n / 2 + 1);
+  for (std::size_t k = 0; k < spectrum.size(); ++k) {
+    double re = 0.0, im = 0.0;
+    const double base = two_pi * static_cast<double>(k) /
+                        static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double phase = base * static_cast<double>(i);
+      re += windowed[i] * std::cos(phase);
+      im -= windowed[i] * std::sin(phase);
+    }
+    spectrum[k] = re * re + im * im;
+  }
+  return spectrum;
+}
+
+double bin_angular_frequency(std::size_t k, double dt, std::size_t n) {
+  return 2.0 * std::numbers::pi * static_cast<double>(k) /
+         (static_cast<double>(n) * dt);
+}
+
+std::size_t nearest_bin(double omega, double dt, std::size_t n) {
+  const double k = omega * static_cast<double>(n) * dt /
+                   (2.0 * std::numbers::pi);
+  const auto rounded = static_cast<long long>(std::llround(k));
+  if (rounded < 0) return 0;
+  const std::size_t max_bin = n / 2;
+  return std::min<std::size_t>(static_cast<std::size_t>(rounded), max_bin);
+}
+
+}  // namespace dcmesh

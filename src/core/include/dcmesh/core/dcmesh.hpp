@@ -1,0 +1,21 @@
+#pragma once
+// dcmesh.hpp — umbrella header: the public API of the DCMESH reproduction.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   #include "dcmesh/core/dcmesh.hpp"
+//   auto config = dcmesh::core::preset(dcmesh::core::paper_system::tiny);
+//   dcmesh::core::driver sim(config);
+//   sim.run();                       // honours MKL_BLAS_COMPUTE_MODE
+//   dcmesh::core::write_qd_log(std::cout, sim.records());
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/blas/verbose.hpp"
+#include "dcmesh/core/config.hpp"
+#include "dcmesh/core/driver.hpp"
+#include "dcmesh/core/output.hpp"
+#include "dcmesh/core/presets.hpp"
+#include "dcmesh/xehpc/app_model.hpp"
+#include "dcmesh/xehpc/device.hpp"
+#include "dcmesh/xehpc/roofline.hpp"

@@ -1,0 +1,99 @@
+#pragma once
+// driver.hpp — the DCMESH driver: QXMD (CPU, FP64) + LFD (device, FP32/64)
+// with multiple time-scale splitting.
+//
+// One MD step = one *series* of QD steps on the fast electronic time scale,
+// followed by the FP64 SCF wave-function refresh, the ionic velocity-Verlet
+// step, and a shadow-dynamics synchronization.  This is the paper's
+// structure: "after every series of 500 quantum dynamical steps (LFD
+// portion at FP32), we execute Self-Consistent Field (SCF) at FP64 to
+// update the wave function and then proceed to the next series".
+
+#include <iosfwd>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "dcmesh/core/config.hpp"
+#include "dcmesh/lfd/engine.hpp"
+#include "dcmesh/qxmd/shadow.hpp"
+#include "dcmesh/qxmd/verlet.hpp"
+#include "dcmesh/trace/unitrace.hpp"
+
+namespace dcmesh::core {
+
+/// Summary of one completed series (MD step).
+struct series_report {
+  int qd_steps = 0;
+  qxmd::scf_report scf;          ///< Drift repaired by the FP64 refresh.
+  double ion_potential_energy = 0.0;
+  double ion_kinetic_energy = 0.0;
+  bool wavefunction_transferred = false;  ///< Shadow-dynamics sync result.
+};
+
+/// Owns the full simulation state and advances it.
+class driver {
+ public:
+  explicit driver(run_config config);
+
+  /// Run one series: qd_steps_per_series QD steps, SCF refresh, MD step,
+  /// shadow sync.  QD records are appended to records().
+  series_report run_series();
+
+  /// Run all configured series.  Returns the per-series reports.
+  std::vector<series_report> run();
+
+  /// Advance a single QD step (exposed for fine-grained tests/examples).
+  lfd::qd_record qd_step();
+
+  [[nodiscard]] const run_config& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<lfd::qd_record>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] const qxmd::atom_system& atoms() const noexcept {
+    return atoms_;
+  }
+  [[nodiscard]] const qxmd::shadow_ledger& shadow() const noexcept {
+    return shadow_;
+  }
+  [[nodiscard]] trace::unitrace& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const std::vector<double>& initial_band_energies()
+      const noexcept {
+    return band_energies_;
+  }
+  /// Simulated time in atomic units.
+  [[nodiscard]] double time() const noexcept;
+
+  /// Serialize the engine's propagation state (checkpoint support; the
+  /// ionic state and config are handled by core::save_checkpoint).
+  void save_propagation_state(std::ostream& os) const;
+
+  /// Restore ionic + electronic state from a checkpoint; rebuilds the
+  /// local potential the device Hamiltonian sees and clears records().
+  void restore_propagation_state(const qxmd::atom_system& atoms,
+                                 std::istream& is);
+
+ private:
+  template <typename R>
+  lfd::lfd_engine<R>& engine();
+
+  /// Rebuild the device-side local potential: ionic wells plus (when
+  /// config.hartree > 0) the Poisson-solved mean field of the current
+  /// electron density.
+  void rebuild_device_potential();
+
+  run_config config_;
+  mesh::grid3d grid_;
+  qxmd::atom_system atoms_;
+  qxmd::verlet_integrator integrator_;
+  qxmd::shadow_ledger shadow_;
+  trace::unitrace tracer_;
+  std::vector<double> band_energies_;
+  // One of the two LFD precision builds, selected by config.
+  std::variant<std::unique_ptr<lfd::lfd_engine<float>>,
+               std::unique_ptr<lfd::lfd_engine<double>>>
+      engine_;
+  std::vector<lfd::qd_record> records_;
+};
+
+}  // namespace dcmesh::core

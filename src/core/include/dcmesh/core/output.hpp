@@ -1,0 +1,31 @@
+#pragma once
+// output.hpp — QD-step output records in the DCMESH log format.
+//
+// The artifact appendix: "In order from left to right, these are ekin,
+// epot, etot, eexc, nexc, Aext, and javg."  These helpers render qd_record
+// rows in that column order so downstream analysis matches the paper's.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dcmesh/lfd/engine.hpp"
+
+namespace dcmesh::core {
+
+/// One formatted output line: "t ekin epot etot eexc nexc Aext javg".
+[[nodiscard]] std::string format_qd_record(const lfd::qd_record& record);
+
+/// Column header matching format_qd_record.
+[[nodiscard]] std::string qd_header();
+
+/// Write header + all records to a stream.
+void write_qd_log(std::ostream& os, std::span<const lfd::qd_record> records);
+
+/// Extract one observable column by name ("ekin", "epot", "etot", "eexc",
+/// "nexc", "aext", "javg", "t"); throws std::invalid_argument otherwise.
+[[nodiscard]] std::vector<double> extract_column(
+    std::span<const lfd::qd_record> records, const std::string& column);
+
+}  // namespace dcmesh::core

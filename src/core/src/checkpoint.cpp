@@ -1,0 +1,119 @@
+#include "dcmesh/core/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dcmesh/core/config.hpp"
+
+namespace dcmesh::core {
+namespace {
+
+constexpr std::uint64_t kCheckpointMagic = 0x44434d4553484b50ull;  // DCMESHKP
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("checkpoint: truncated stream");
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod(os, static_cast<std::uint64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  std::uint64_t size = 0;
+  read_pod(is, size);
+  if (size > (1u << 20)) {
+    throw std::runtime_error("checkpoint: implausible string length");
+  }
+  std::string s(size, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(size));
+  if (!is) throw std::runtime_error("checkpoint: truncated stream");
+  return s;
+}
+
+void write_atoms(std::ostream& os, const qxmd::atom_system& atoms) {
+  write_pod(os, static_cast<std::uint64_t>(atoms.size()));
+  write_pod(os, atoms.box);
+  for (const qxmd::atom& a : atoms.atoms) {
+    write_pod(os, static_cast<std::int32_t>(a.kind));
+    write_pod(os, a.position);
+    write_pod(os, a.velocity);
+    write_pod(os, a.force);
+  }
+}
+
+qxmd::atom_system read_atoms(std::istream& is) {
+  qxmd::atom_system atoms;
+  std::uint64_t count = 0;
+  read_pod(is, count);
+  if (count > (1u << 24)) {
+    throw std::runtime_error("checkpoint: implausible atom count");
+  }
+  read_pod(is, atoms.box);
+  atoms.atoms.resize(count);
+  for (qxmd::atom& a : atoms.atoms) {
+    std::int32_t kind = 0;
+    read_pod(is, kind);
+    if (kind < 0 || kind > 2) {
+      throw std::runtime_error("checkpoint: bad species");
+    }
+    a.kind = static_cast<qxmd::species>(kind);
+    read_pod(is, a.position);
+    read_pod(is, a.velocity);
+    read_pod(is, a.force);
+  }
+  return atoms;
+}
+
+}  // namespace
+
+void save_checkpoint(const driver& sim, std::ostream& os) {
+  write_pod(os, kCheckpointMagic);
+  write_pod(os, kVersion);
+  write_string(os, to_deck(sim.config()));
+  write_atoms(os, sim.atoms());
+  sim.save_propagation_state(os);
+  if (!os) throw std::runtime_error("checkpoint: write failed");
+}
+
+void save_checkpoint_file(const driver& sim, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
+  save_checkpoint(sim, os);
+}
+
+driver load_checkpoint(std::istream& is) {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  read_pod(is, magic);
+  if (magic != kCheckpointMagic) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  read_pod(is, version);
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version");
+  }
+  std::istringstream deck(read_string(is));
+  driver sim(parse_config(deck));
+  const qxmd::atom_system atoms = read_atoms(is);
+  sim.restore_propagation_state(atoms, is);
+  return sim;
+}
+
+driver load_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  return load_checkpoint(is);
+}
+
+}  // namespace dcmesh::core

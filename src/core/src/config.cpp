@@ -1,0 +1,173 @@
+#include "dcmesh/core/config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/common/units.hpp"
+
+namespace dcmesh::core {
+
+double run_config::total_time_fs() const noexcept {
+  return total_qd_steps() * dt * units::atu_in_fs;
+}
+
+void run_config::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("run_config: " + what);
+  };
+  if (cells_per_axis < 1) fail("cells_per_axis must be >= 1");
+  if (mesh_n < 4) fail("mesh_n must be >= 4");
+  if (norb < 2) fail("norb must be >= 2");
+  if (nocc == 0 || nocc >= norb) fail("need 0 < nocc < norb");
+  if (static_cast<std::int64_t>(norb) > ngrid()) {
+    fail("norb exceeds the number of mesh points");
+  }
+  if (!(dt > 0.0)) fail("dt must be positive");
+  if (qd_steps_per_series < 1) fail("qd_steps_per_series must be >= 1");
+  if (series < 1) fail("series must be >= 1");
+  if (fd_order != 2 && fd_order != 4) fail("fd_order must be 2 or 4");
+  if (!(v_nl >= 0.0)) fail("v_nl must be non-negative");
+  if (!(hartree >= 0.0 && hartree <= 1.0)) {
+    fail("hartree must be in [0, 1]");
+  }
+  if (pulse.polarization_axis < 0 || pulse.polarization_axis > 2) {
+    fail("pulse_axis must be 0, 1, or 2");
+  }
+}
+
+run_config parse_config(std::istream& in) {
+  run_config config;
+  std::string line;
+  int line_number = 0;
+  const auto fail = [&line_number](const std::string& what) {
+    throw std::runtime_error("config line " + std::to_string(line_number) +
+                             ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string_view::npos) fail("expected 'key = value'");
+    const std::string key = to_upper(trim(trimmed.substr(0, eq)));
+    const std::string value{trim(trimmed.substr(eq + 1))};
+    if (value.empty()) fail("missing value for " + key);
+
+    const auto as_double = [&]() {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        fail("not a number: " + value);
+      }
+      return v;
+    };
+    const auto as_int = [&]() {
+      const double v = as_double();
+      const long long i = static_cast<long long>(v);
+      if (static_cast<double>(i) != v) fail("not an integer: " + value);
+      return i;
+    };
+
+    if (key == "CELLS_PER_AXIS") {
+      config.cells_per_axis = static_cast<int>(as_int());
+    } else if (key == "MESH_N") {
+      config.mesh_n = as_int();
+    } else if (key == "NORB") {
+      config.norb = static_cast<std::size_t>(as_int());
+    } else if (key == "NOCC") {
+      config.nocc = static_cast<std::size_t>(as_int());
+    } else if (key == "SEED") {
+      config.seed = static_cast<unsigned long long>(as_int());
+    } else if (key == "TEMPERATURE_K") {
+      config.temperature_k = as_double();
+    } else if (key == "DT") {
+      config.dt = as_double();
+    } else if (key == "QD_STEPS_PER_SERIES") {
+      config.qd_steps_per_series = static_cast<int>(as_int());
+    } else if (key == "SERIES") {
+      config.series = static_cast<int>(as_int());
+    } else if (key == "LFD_PRECISION") {
+      const std::string mode = to_upper(value);
+      if (mode == "FP32") {
+        config.lfd_precision = lfd_precision_level::fp32;
+      } else if (mode == "FP64") {
+        config.lfd_precision = lfd_precision_level::fp64;
+      } else {
+        fail("lfd_precision must be fp32 or fp64");
+      }
+    } else if (key == "V_NL") {
+      config.v_nl = as_double();
+    } else if (key == "HARTREE") {
+      config.hartree = as_double();
+    } else if (key == "PROPAGATOR") {
+      const std::string kind = to_upper(value);
+      if (kind == "TAYLOR") {
+        config.propagator = propagator_choice::taylor;
+      } else if (kind == "STRANG") {
+        config.propagator = propagator_choice::strang;
+      } else {
+        fail("propagator must be taylor or strang");
+      }
+    } else if (key == "FD_ORDER") {
+      config.fd_order = static_cast<int>(as_int());
+    } else if (key == "PULSE_E0") {
+      config.pulse.e0 = as_double();
+    } else if (key == "PULSE_OMEGA") {
+      config.pulse.omega = as_double();
+    } else if (key == "PULSE_CENTER") {
+      config.pulse.t_center = as_double();
+    } else if (key == "PULSE_SIGMA") {
+      config.pulse.sigma = as_double();
+    } else if (key == "PULSE_AXIS") {
+      config.pulse.polarization_axis = static_cast<int>(as_int());
+    } else {
+      fail("unknown key: " + key);
+    }
+  }
+  config.validate();
+  return config;
+}
+
+run_config parse_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config file: " + path);
+  return parse_config(in);
+}
+
+std::string to_deck(const run_config& config) {
+  std::ostringstream os;
+  os << "# DCMESH run deck (lfd.in equivalent)\n"
+     << "cells_per_axis = " << config.cells_per_axis << '\n'
+     << "mesh_n = " << config.mesh_n << '\n'
+     << "norb = " << config.norb << '\n'
+     << "nocc = " << config.nocc << '\n'
+     << "seed = " << config.seed << '\n'
+     << "temperature_k = " << config.temperature_k << '\n'
+     << "dt = " << config.dt << '\n'
+     << "qd_steps_per_series = " << config.qd_steps_per_series << '\n'
+     << "series = " << config.series << '\n'
+     << "lfd_precision = "
+     << (config.lfd_precision == lfd_precision_level::fp64 ? "fp64" : "fp32")
+     << '\n'
+     << "v_nl = " << config.v_nl << '\n'
+     << "hartree = " << config.hartree << '\n'
+     << "propagator = "
+     << (config.propagator == propagator_choice::strang ? "strang"
+                                                        : "taylor")
+     << '\n'
+     << "fd_order = " << config.fd_order << '\n'
+     << "pulse_e0 = " << config.pulse.e0 << '\n'
+     << "pulse_omega = " << config.pulse.omega << '\n'
+     << "pulse_center = " << config.pulse.t_center << '\n'
+     << "pulse_sigma = " << config.pulse.sigma << '\n'
+     << "pulse_axis = " << config.pulse.polarization_axis << '\n';
+  return os.str();
+}
+
+}  // namespace dcmesh::core

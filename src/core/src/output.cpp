@@ -1,0 +1,46 @@
+#include "dcmesh/core/output.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dcmesh::core {
+
+std::string format_qd_record(const lfd::qd_record& r) {
+  std::ostringstream os;
+  os.precision(10);
+  os << r.t << ' ' << r.ekin << ' ' << r.epot << ' ' << r.etot << ' '
+     << r.eexc << ' ' << r.nexc << ' ' << r.aext << ' ' << r.javg;
+  return os.str();
+}
+
+std::string qd_header() {
+  return "# t ekin epot etot eexc nexc Aext javg";
+}
+
+void write_qd_log(std::ostream& os,
+                  std::span<const lfd::qd_record> records) {
+  os << qd_header() << '\n';
+  for (const auto& r : records) os << format_qd_record(r) << '\n';
+}
+
+std::vector<double> extract_column(std::span<const lfd::qd_record> records,
+                                   const std::string& column) {
+  double lfd::qd_record::*field = nullptr;
+  if (column == "t") field = &lfd::qd_record::t;
+  else if (column == "ekin") field = &lfd::qd_record::ekin;
+  else if (column == "epot") field = &lfd::qd_record::epot;
+  else if (column == "etot") field = &lfd::qd_record::etot;
+  else if (column == "eexc") field = &lfd::qd_record::eexc;
+  else if (column == "nexc") field = &lfd::qd_record::nexc;
+  else if (column == "aext") field = &lfd::qd_record::aext;
+  else if (column == "javg") field = &lfd::qd_record::javg;
+  else throw std::invalid_argument("extract_column: unknown column " + column);
+
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.*field);
+  return out;
+}
+
+}  // namespace dcmesh::core

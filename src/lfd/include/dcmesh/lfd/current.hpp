@@ -1,0 +1,28 @@
+#pragma once
+// current.hpp — average current density javg (paper's third observable).
+//
+// In the velocity gauge the physical current density averaged over the
+// supercell is j = (1/V) sum_j f_j <psi_j| p + A |psi_j>
+//             = (1/V) [ sum_j f_j Int Im(psi_j* grad psi_j) dV + N_el A ].
+// The paper notes javg is "not directly computed through BLAS, but is still
+// influenced by computations within BLAS calls" — the same is true here:
+// it is a stencil + mesh reduction over the BLAS-corrected wave functions.
+
+#include <complex>
+#include <span>
+
+#include "dcmesh/common/matrix.hpp"
+#include "dcmesh/mesh/grid.hpp"
+#include "dcmesh/mesh/stencil.hpp"
+
+namespace dcmesh::lfd {
+
+/// Average current density (atomic units) along `axis` at field value `a`.
+template <typename R>
+[[nodiscard]] double current_density(const mesh::grid3d& grid,
+                                     mesh::fd_order order, int axis,
+                                     const matrix<std::complex<R>>& psi,
+                                     std::span<const double> occ, double a,
+                                     double dv);
+
+}  // namespace dcmesh::lfd

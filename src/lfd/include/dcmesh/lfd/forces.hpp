@@ -1,0 +1,51 @@
+#pragma once
+// forces.hpp — Ehrenfest (Hellmann-Feynman) back-action of the electrons
+// on the ions.
+//
+// DCMESH is a Maxwell-*Ehrenfest*-surface-hopping framework: the excited
+// electron density pushes back on the nuclei.  With the Gaussian-well
+// local potential V_a(d) = -D_a exp(-|d|^2 / 2 w_a^2), the exact
+// Hellmann-Feynman force on ion a is
+//
+//   F_a = -d/dR_a  Int rho(r) V_a(r - R_a) dV
+//       = -(D_a / w_a^2) Int rho(r) (r - R_a) exp(-|r-R_a|^2/2w_a^2) dV,
+//
+// evaluated on the mesh with minimum-image displacements.  The driver
+// feeds this into the velocity-Verlet integrator through the extra-force
+// hook once per MD step (the slow time scale).
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "dcmesh/common/matrix.hpp"
+#include "dcmesh/mesh/grid.hpp"
+#include "dcmesh/qxmd/atoms.hpp"
+
+namespace dcmesh::lfd {
+
+/// Electron density on the mesh: rho(r) = sum_j f_j |psi_j(r)|^2
+/// (FP64 accumulation regardless of the LFD precision).
+template <typename R>
+[[nodiscard]] std::vector<double> electron_density(
+    const matrix<std::complex<R>>& psi, std::span<const double> occ);
+
+/// Number of electrons the density integrates to (diagnostic).
+[[nodiscard]] double integrate_density(const mesh::grid3d& grid,
+                                       std::span<const double> rho);
+
+/// Hellmann-Feynman forces of `rho` on every ion, in Hartree/Bohr.
+/// `depth_scale` must match the one used to build the local potential so
+/// the force is the exact gradient of the energy the electrons feel.
+[[nodiscard]] std::vector<std::array<double, 3>> ehrenfest_forces(
+    const mesh::grid3d& grid, const qxmd::atom_system& atoms,
+    std::span<const double> rho, double depth_scale = 0.15);
+
+/// Electron-ion interaction energy Int rho V dV for the same model
+/// potential (the quantity whose negative gradient ehrenfest_forces is).
+[[nodiscard]] double electron_ion_energy(const mesh::grid3d& grid,
+                                         const qxmd::atom_system& atoms,
+                                         std::span<const double> rho,
+                                         double depth_scale = 0.15);
+
+}  // namespace dcmesh::lfd

@@ -1,0 +1,37 @@
+#pragma once
+// init.hpp — FP64 ground-state initialization (the QXMD SCF entry point).
+//
+// "The QXMD portion ... can only be run using FP64 precision as this
+// represents a critical portion of the simulation wherein the wavefunction
+// is initialized by the Self-Consistent Field (SCF) method" (Sec. IV-C).
+// This builds the starting orbitals: low-|k| plane waves with a small
+// deterministic perturbation, orthonormalized and Rayleigh-Ritz
+// diagonalized against the FP64 local Hamiltonian.  Entirely FP64 and
+// independent of the BLAS compute mode, so all precision runs start from
+// bit-identical states.
+
+#include <vector>
+
+#include "dcmesh/common/matrix.hpp"
+#include "dcmesh/mesh/grid.hpp"
+#include "dcmesh/mesh/stencil.hpp"
+#include "dcmesh/qxmd/atoms.hpp"
+
+namespace dcmesh::lfd {
+
+/// Ground-state initialization result.
+struct init_result {
+  matrix<cdouble> psi;               ///< Orthonormal KS orbitals (ascending).
+  std::vector<double> band_energies; ///< Subspace eigenvalues (Hartree).
+  std::vector<double> occupations;   ///< 2.0 for the lowest nocc, else 0.
+};
+
+/// Build `norb` starting orbitals for the system on `grid` and diagonalize
+/// the FP64 local Hamiltonian in their span.  `seed` controls the
+/// deterministic plane-wave perturbation.
+[[nodiscard]] init_result initialize_ground_state(
+    const mesh::grid3d& grid, const qxmd::atom_system& atoms,
+    std::size_t norb, std::size_t nocc, mesh::fd_order order,
+    unsigned long long seed = 1234, double potential_depth_scale = 0.15);
+
+}  // namespace dcmesh::lfd

@@ -1,0 +1,28 @@
+#pragma once
+// observables.hpp — additional electronic observables: dipole moment and
+// the delta-kick linear-response protocol behind absorption spectra.
+//
+// The dipole d(t) after an impulsive momentum kick e^{i kappa z} is the
+// standard real-time-TDDFT route to the optical absorption spectrum:
+// Im[d(omega)] / kappa gives the dipole strength function.  These helpers
+// provide the dipole observable; lfd_engine::apply_delta_kick applies the
+// kick.
+
+#include <complex>
+#include <span>
+
+#include "dcmesh/common/matrix.hpp"
+#include "dcmesh/mesh/grid.hpp"
+
+namespace dcmesh::lfd {
+
+/// Electronic dipole moment along `axis` (atomic units), coordinates
+/// measured minimum-image from the box centre so the periodic wrap does
+/// not produce artificial jumps:
+///   d = sum_j f_j Int c(r) |psi_j(r)|^2 dV.
+template <typename R>
+[[nodiscard]] double dipole_moment(const mesh::grid3d& grid, int axis,
+                                   const matrix<std::complex<R>>& psi,
+                                   std::span<const double> occ, double dv);
+
+}  // namespace dcmesh::lfd

@@ -1,0 +1,35 @@
+#pragma once
+// potential.hpp — local (pseudo)potential of the ions on the mesh.
+//
+// A soft Gaussian-well model potential per ion (depth set by the species'
+// effective valence, width by its pseudopotential radius).  This stands in
+// for the DFT local potential: it is smooth on the mesh (no Coulomb
+// singularity), periodic, and moves with the ions so the SCF refresh has
+// real work to do.
+
+#include <span>
+#include <vector>
+
+#include "dcmesh/mesh/grid.hpp"
+#include "dcmesh/mesh/stencil.hpp"
+#include "dcmesh/qxmd/atoms.hpp"
+
+namespace dcmesh::lfd {
+
+/// Evaluate the local potential (Hartree) at every mesh point.
+/// `depth_scale` converts species valence to well depth, keeping the
+/// spectral radius of H small enough for explicit time stepping.
+[[nodiscard]] std::vector<double> build_local_potential(
+    const mesh::grid3d& grid, const qxmd::atom_system& atoms,
+    double depth_scale = 0.15);
+
+/// Hartree mean-field potential of the electron density: solves the
+/// periodic Poisson problem nabla^2 V_H = -4 pi rho (zero-mean, jellium
+/// background) and scales by `strength` (1.0 = full Hartree; smaller
+/// values soften the mean field to keep explicit stepping stable on
+/// coarse meshes).  Updated at SCF boundaries, like the ionic potential.
+[[nodiscard]] std::vector<double> build_hartree_potential(
+    const mesh::grid3d& grid, mesh::fd_order order,
+    std::span<const double> rho, double strength = 1.0);
+
+}  // namespace dcmesh::lfd

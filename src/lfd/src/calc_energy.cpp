@@ -1,0 +1,91 @@
+#include "dcmesh/lfd/calc_energy.hpp"
+
+#include "dcmesh/blas/blas.hpp"
+
+namespace dcmesh::lfd {
+
+template <typename R>
+energy_report calc_energy(const hamiltonian<R>& h,
+                          const matrix<std::complex<R>>& psi,
+                          const matrix<std::complex<R>>& g, double lambda_nl,
+                          std::span<const double> occ, double dv) {
+  using C = std::complex<R>;
+  const std::size_t ngrid = psi.rows();
+  const std::size_t norb = psi.cols();
+
+  energy_report report;
+
+  // K Psi via the stencil, then BLAS call 4:
+  // T = dv * Psi^H (K Psi)   (norb x norb, k = ngrid)
+  matrix<C> kpsi(ngrid, norb);
+  h.apply_kinetic(psi.view(), kpsi.view());
+  matrix<C> t(norb, norb);
+  blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none,
+                C(static_cast<R>(dv)), psi.view(), kpsi.view(), C(0),
+                t.view());
+  for (std::size_t j = 0; j < norb; ++j) {
+    report.ekin += occ[j] * static_cast<double>(t(j, j).real());
+  }
+
+  // Local potential energy: mesh reduction (not BLASified in DCMESH).
+  const std::span<const R> v = h.potential();
+  for (std::size_t j = 0; j < norb; ++j) {
+    if (occ[j] == 0.0) continue;
+    const C* col = psi.data() + j * ngrid;
+    double e = 0.0;
+    for (std::size_t gidx = 0; gidx < ngrid; ++gidx) {
+      const double density =
+          static_cast<double>(col[gidx].real()) * col[gidx].real() +
+          static_cast<double>(col[gidx].imag()) * col[gidx].imag();
+      e += static_cast<double>(v[gidx]) * density;
+    }
+    report.epot += occ[j] * e * dv;
+  }
+
+  // BLAS call 5: M = G^H * W with W = Lambda G (projector-strength row
+  // scaling); E_nl = lambda_nl * sum_j f_j Re M_jj.  W's row scaling is a
+  // level-1 operation; the contraction is the level-3 call.
+  matrix<C> w(norb, norb);
+  for (std::size_t j = 0; j < norb; ++j) {
+    for (std::size_t i = 0; i < norb; ++i) {
+      // Deeper projectors for lower orbitals: lambda_i = 1/(1+i).
+      const R scale = static_cast<R>(1.0 / (1.0 + static_cast<double>(i)));
+      w(i, j) = scale * g(i, j);
+    }
+  }
+  matrix<C> m(norb, norb);
+  blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none, C(1),
+                g.view(), w.view(), C(0), m.view());
+  for (std::size_t j = 0; j < norb; ++j) {
+    report.enl += lambda_nl * occ[j] * static_cast<double>(m(j, j).real());
+  }
+
+  // BLAS call 6: U = T * G; rotated band energy sum_j f_j Re[(G^H U)_jj]
+  // evaluated as an element-wise contraction of G and U.
+  matrix<C> u(norb, norb);
+  blas::gemm<C>(blas::transpose::none, blas::transpose::none, C(1), t.view(),
+                g.view(), C(0), u.view());
+  for (std::size_t j = 0; j < norb; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < norb; ++i) {
+      const C gij = g(i, j);
+      const C uij = u(i, j);
+      acc += static_cast<double>(gij.real()) * uij.real() +
+             static_cast<double>(gij.imag()) * uij.imag();
+    }
+    report.eband_rot += occ[j] * acc;
+  }
+  return report;
+}
+
+template energy_report calc_energy<float>(const hamiltonian<float>&,
+                                          const matrix<std::complex<float>>&,
+                                          const matrix<std::complex<float>>&,
+                                          double, std::span<const double>,
+                                          double);
+template energy_report calc_energy<double>(
+    const hamiltonian<double>&, const matrix<std::complex<double>>&,
+    const matrix<std::complex<double>>&, double, std::span<const double>,
+    double);
+
+}  // namespace dcmesh::lfd

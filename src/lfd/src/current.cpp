@@ -1,0 +1,50 @@
+#include "dcmesh/lfd/current.hpp"
+
+#include <vector>
+
+namespace dcmesh::lfd {
+
+template <typename R>
+double current_density(const mesh::grid3d& grid, mesh::fd_order order,
+                       int axis, const matrix<std::complex<R>>& psi,
+                       std::span<const double> occ, double a, double dv) {
+  using C = std::complex<R>;
+  const std::size_t ngrid = psi.rows();
+  const std::size_t norb = psi.cols();
+
+  double paramagnetic = 0.0;
+  double electrons = 0.0;
+  std::vector<C> grad(ngrid);
+  for (std::size_t j = 0; j < norb; ++j) {
+    if (occ[j] == 0.0) continue;
+    const C* col = psi.data() + j * ngrid;
+    std::fill(grad.begin(), grad.end(), C(0));
+    mesh::add_gradient<R>(grid, order, axis, {col, ngrid}, C(1),
+                          {grad.data(), ngrid});
+    double im_sum = 0.0;
+    double norm2 = 0.0;
+    for (std::size_t g = 0; g < ngrid; ++g) {
+      // Im(conj(psi) * dpsi)
+      im_sum += static_cast<double>(col[g].real()) * grad[g].imag() -
+                static_cast<double>(col[g].imag()) * grad[g].real();
+      norm2 += static_cast<double>(col[g].real()) * col[g].real() +
+               static_cast<double>(col[g].imag()) * col[g].imag();
+    }
+    paramagnetic += occ[j] * im_sum * dv;
+    electrons += occ[j] * norm2 * dv;
+  }
+  const double volume = grid.volume();
+  return (paramagnetic + electrons * a) / volume;
+}
+
+template double current_density<float>(const mesh::grid3d&, mesh::fd_order,
+                                       int, const matrix<std::complex<float>>&,
+                                       std::span<const double>, double,
+                                       double);
+template double current_density<double>(const mesh::grid3d&, mesh::fd_order,
+                                        int,
+                                        const matrix<std::complex<double>>&,
+                                        std::span<const double>, double,
+                                        double);
+
+}  // namespace dcmesh::lfd

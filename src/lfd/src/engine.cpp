@@ -1,0 +1,276 @@
+#include "dcmesh/lfd/engine.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "dcmesh/common/aligned.hpp"
+#include "dcmesh/lfd/current.hpp"
+#include "dcmesh/mesh/stencil.hpp"
+
+namespace dcmesh::lfd {
+
+template <typename R>
+lfd_engine<R>::lfd_engine(mesh::grid3d grid, lfd_options options,
+                          const matrix<cdouble>& psi_init,
+                          std::vector<double> occ, std::size_t nocc,
+                          std::vector<double> v_loc)
+    : grid_(grid),
+      opt_(options),
+      h_(grid, options.order, std::move(v_loc), options.pulse.polarization_axis),
+      psi_(psi_init.rows(), psi_init.cols()),
+      psi0_(psi_init.rows(), psi_init.cols()),
+      scratch_term_(psi_init.rows(), psi_init.cols()),
+      scratch_h_(psi_init.rows(), psi_init.cols()),
+      g_(psi_init.cols(), psi_init.cols()),
+      occ_(std::move(occ)),
+      nocc_(nocc) {
+  if (static_cast<std::int64_t>(psi_init.rows()) != grid.size()) {
+    throw std::invalid_argument("lfd_engine: psi rows != grid size");
+  }
+  if (occ_.size() != psi_init.cols()) {
+    throw std::invalid_argument("lfd_engine: occupation count != norb");
+  }
+  if (nocc_ == 0 || nocc_ >= psi_init.cols()) {
+    throw std::invalid_argument("lfd_engine: need 0 < nocc < norb");
+  }
+  if (opt_.taylor_order < 1 || opt_.taylor_order > 8) {
+    throw std::invalid_argument("lfd_engine: taylor_order out of range");
+  }
+
+  // Convert the FP64 ground state to this engine's precision.  Every
+  // precision configuration starts from bit-identical FP64 data, so runs
+  // differ only through the BLAS arithmetic (the paper's methodology).
+  for (std::size_t i = 0; i < psi_.size(); ++i) {
+    const cdouble v = psi_init.data()[i];
+    psi_.data()[i] =
+        std::complex<R>(static_cast<R>(v.real()), static_cast<R>(v.imag()));
+    psi0_.data()[i] = psi_.data()[i];
+  }
+
+  // t = 0 baseline: the KS overlap of the unpropagated state is G ~ 1;
+  // evaluate it with the same code path used later (c = 0: no correction).
+  auto nlp = nlp_prop<R>(psi0_, psi_, std::complex<double>(0.0, 0.0), dv());
+  g_ = std::move(nlp.g);
+  h_.set_field(opt_.pulse.a(0.0));
+  const energy_report e0 = calc_energy<R>(h_, psi_, g_, opt_.v_nl, occ_, dv());
+  eband0_ = e0.eband();
+}
+
+template <typename R>
+void lfd_engine<R>::propagate_local(double a_mid) {
+  using C = std::complex<R>;
+  h_.set_field(a_mid);
+
+  // Stability guard: the Taylor expansion diverges if its operator norm
+  // times dt is large.  The Strang variant only expands the stencil part,
+  // so the potential depth does not enter its radius.
+  const double bound =
+      opt_.propagator == propagator_kind::strang
+          ? mesh::kinetic_spectral_radius(grid_, opt_.order) +
+                std::abs(a_mid) * 3.141592653589793 / grid_.spacing
+          : h_.spectral_bound();
+  if (bound * opt_.dt > 2.0) {
+    throw std::runtime_error(
+        "lfd_engine: dt too large for the propagator "
+        "(||H||*dt > 2); refine dt or coarsen the mesh");
+  }
+
+  const auto taylor_with = [&](auto&& apply_op) {
+    // psi <- sum_{n=0}^{N} (-i Op dt)^n / n! psi
+    for (std::size_t i = 0; i < psi_.size(); ++i) {
+      scratch_term_.data()[i] = psi_.data()[i];
+    }
+    for (int n = 1; n <= opt_.taylor_order; ++n) {
+      apply_op(scratch_term_.view(), scratch_h_.view());
+      const double scale = opt_.dt / static_cast<double>(n);
+      const C coeff(0, static_cast<R>(-scale));  // (-i dt / n)
+      for (std::size_t i = 0; i < psi_.size(); ++i) {
+        scratch_term_.data()[i] = coeff * scratch_h_.data()[i];
+        psi_.data()[i] += scratch_term_.data()[i];
+      }
+    }
+  };
+
+  if (opt_.propagator == propagator_kind::taylor) {
+    taylor_with([this](const_matrix_view<C> in, matrix_view<C> out) {
+      h_.apply(in, out);
+    });
+    return;
+  }
+
+  // Strang: exp(-i D dt/2) exp(-i T dt) exp(-i D dt/2) with D = V + A^2/2
+  // applied as an exact elementwise phase (unitary by construction).
+  const std::span<const R> v = h_.potential();
+  const std::size_t ngrid = psi_.rows();
+  aligned_buffer<C> phase(ngrid);
+  const double half_a2 = 0.5 * a_mid * a_mid;
+  for (std::size_t g = 0; g < ngrid; ++g) {
+    const double angle =
+        -0.5 * opt_.dt * (static_cast<double>(v[g]) + half_a2);
+    phase[g] = C(static_cast<R>(std::cos(angle)),
+                 static_cast<R>(std::sin(angle)));
+  }
+  const auto apply_phase = [&] {
+    for (std::size_t j = 0; j < psi_.cols(); ++j) {
+      C* col = psi_.data() + j * ngrid;
+      for (std::size_t g = 0; g < ngrid; ++g) col[g] *= phase[g];
+    }
+  };
+  apply_phase();
+  taylor_with([this](const_matrix_view<C> in, matrix_view<C> out) {
+    h_.apply_kinetic_field(in, out);
+  });
+  apply_phase();
+}
+
+template <typename R>
+qd_record lfd_engine<R>::measure(double a_now) {
+  h_.set_field(a_now);
+  const energy_report e = calc_energy<R>(h_, psi_, g_, opt_.v_nl, occ_, dv());
+  const remap_report r = remap_occ<R>(psi0_, psi_, occ_, nocc_, dv());
+  const double javg = current_density<R>(
+      grid_, opt_.order, h_.polarization_axis(), psi_, occ_, a_now, dv());
+
+  qd_record rec;
+  rec.t = t_;
+  rec.ekin = e.ekin;
+  rec.epot = e.epot + e.enl;
+  rec.etot = e.eband();
+  rec.eexc = e.eband() - eband0_;
+  rec.nexc = r.nexc;
+  rec.aext = std::abs(a_now);
+  rec.javg = javg;
+  return rec;
+}
+
+template <typename R>
+qd_record lfd_engine<R>::qd_step() {
+  const double a_mid = opt_.pulse.a(t_ + 0.5 * opt_.dt);
+  propagate_local(a_mid);
+
+  // Nonlocal correction (BLAS calls 1-3); c = -i dt v_nl.
+  auto nlp = nlp_prop<R>(psi0_, psi_,
+                         std::complex<double>(0.0, -opt_.dt * opt_.v_nl),
+                         dv());
+  g_ = std::move(nlp.g);
+  last_norm_drift_ = nlp.norm_drift;
+
+  t_ += opt_.dt;
+  ++steps_;
+  return measure(opt_.pulse.a(t_));
+}
+
+template <typename R>
+qxmd::scf_report lfd_engine<R>::refresh_scf() {
+  return qxmd::scf_refresh<R>(psi_, dv());
+}
+
+template <typename R>
+void lfd_engine<R>::apply_delta_kick(double kappa) {
+  using C = std::complex<R>;
+  const int axis = h_.polarization_axis();
+  const std::int64_t n_axis = axis == 0 ? grid_.nx
+                              : axis == 1 ? grid_.ny
+                                          : grid_.nz;
+  // Phase per axis index: exp(i kappa * c), c the coordinate.
+  std::vector<C> phase(static_cast<std::size_t>(n_axis));
+  for (std::int64_t i = 0; i < n_axis; ++i) {
+    const double angle = kappa * static_cast<double>(i) * grid_.spacing;
+    phase[static_cast<std::size_t>(i)] = C(
+        static_cast<R>(std::cos(angle)), static_cast<R>(std::sin(angle)));
+  }
+  for (std::size_t j = 0; j < psi_.cols(); ++j) {
+    C* col = psi_.data() + j * psi_.rows();
+    for (std::int64_t iz = 0; iz < grid_.nz; ++iz) {
+      for (std::int64_t iy = 0; iy < grid_.ny; ++iy) {
+        for (std::int64_t ix = 0; ix < grid_.nx; ++ix) {
+          const std::int64_t idx_axis = axis == 0 ? ix
+                                        : axis == 1 ? iy
+                                                    : iz;
+          col[grid_.index(ix, iy, iz)] *=
+              phase[static_cast<std::size_t>(idx_axis)];
+        }
+      }
+    }
+  }
+}
+
+template <typename R>
+void lfd_engine<R>::set_potential(std::vector<double> v_loc) {
+  h_.set_potential(std::move(v_loc));
+}
+
+namespace {
+
+// Binary checkpoint layout: magic, scalar header, then the two raw
+// wave-function blocks.  Sizes are validated on load.
+constexpr std::uint64_t kStateMagic = 0x44434d4553485053ull;  // "DCMESHPS"
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("lfd_engine: truncated state stream");
+}
+
+}  // namespace
+
+template <typename R>
+void lfd_engine<R>::save_state(std::ostream& os) const {
+  write_pod(os, kStateMagic);
+  write_pod(os, static_cast<std::uint64_t>(sizeof(R)));
+  write_pod(os, static_cast<std::uint64_t>(psi_.rows()));
+  write_pod(os, static_cast<std::uint64_t>(psi_.cols()));
+  write_pod(os, t_);
+  write_pod(os, static_cast<std::uint64_t>(steps_));
+  write_pod(os, eband0_);
+  write_pod(os, last_norm_drift_);
+  os.write(reinterpret_cast<const char*>(psi_.data()),
+           static_cast<std::streamsize>(psi_.size() *
+                                        sizeof(std::complex<R>)));
+  os.write(reinterpret_cast<const char*>(psi0_.data()),
+           static_cast<std::streamsize>(psi0_.size() *
+                                        sizeof(std::complex<R>)));
+}
+
+template <typename R>
+void lfd_engine<R>::load_state(std::istream& is) {
+  std::uint64_t magic = 0, scalar = 0, rows = 0, cols = 0, steps = 0;
+  read_pod(is, magic);
+  if (magic != kStateMagic) {
+    throw std::runtime_error("lfd_engine: bad state magic");
+  }
+  read_pod(is, scalar);
+  if (scalar != sizeof(R)) {
+    throw std::runtime_error("lfd_engine: state precision mismatch");
+  }
+  read_pod(is, rows);
+  read_pod(is, cols);
+  if (rows != psi_.rows() || cols != psi_.cols()) {
+    throw std::runtime_error("lfd_engine: state shape mismatch");
+  }
+  read_pod(is, t_);
+  read_pod(is, steps);
+  steps_ = static_cast<std::size_t>(steps);
+  read_pod(is, eband0_);
+  read_pod(is, last_norm_drift_);
+  is.read(reinterpret_cast<char*>(psi_.data()),
+          static_cast<std::streamsize>(psi_.size() *
+                                       sizeof(std::complex<R>)));
+  is.read(reinterpret_cast<char*>(psi0_.data()),
+          static_cast<std::streamsize>(psi0_.size() *
+                                       sizeof(std::complex<R>)));
+  if (!is) throw std::runtime_error("lfd_engine: truncated state stream");
+}
+
+template class lfd_engine<float>;
+template class lfd_engine<double>;
+
+}  // namespace dcmesh::lfd

@@ -1,0 +1,130 @@
+#include "dcmesh/lfd/forces.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dcmesh::lfd {
+namespace {
+
+/// Minimum-image displacement r - R in the periodic box.
+std::array<double, 3> min_image_disp(const std::array<double, 3>& r,
+                                     const std::array<double, 3>& center,
+                                     const std::array<double, 3>& box) {
+  std::array<double, 3> d{};
+  for (int axis = 0; axis < 3; ++axis) {
+    const std::size_t i = static_cast<std::size_t>(axis);
+    double delta = r[i] - center[i];
+    delta -= box[i] * std::nearbyint(delta / box[i]);
+    d[i] = delta;
+  }
+  return d;
+}
+
+}  // namespace
+
+template <typename R>
+std::vector<double> electron_density(const matrix<std::complex<R>>& psi,
+                                     std::span<const double> occ) {
+  if (occ.size() != psi.cols()) {
+    throw std::invalid_argument("electron_density: occ size != norb");
+  }
+  std::vector<double> rho(psi.rows(), 0.0);
+  for (std::size_t j = 0; j < psi.cols(); ++j) {
+    if (occ[j] == 0.0) continue;
+    const std::complex<R>* col = psi.data() + j * psi.rows();
+    for (std::size_t g = 0; g < psi.rows(); ++g) {
+      rho[g] += occ[j] *
+                (static_cast<double>(col[g].real()) * col[g].real() +
+                 static_cast<double>(col[g].imag()) * col[g].imag());
+    }
+  }
+  return rho;
+}
+
+double integrate_density(const mesh::grid3d& grid,
+                         std::span<const double> rho) {
+  double sum = 0.0;
+  for (double v : rho) sum += v;
+  return sum * grid.dv();
+}
+
+std::vector<std::array<double, 3>> ehrenfest_forces(
+    const mesh::grid3d& grid, const qxmd::atom_system& atoms,
+    std::span<const double> rho, double depth_scale) {
+  if (static_cast<std::int64_t>(rho.size()) != grid.size()) {
+    throw std::invalid_argument("ehrenfest_forces: rho size != grid size");
+  }
+  std::vector<std::array<double, 3>> forces(atoms.size(),
+                                            {0.0, 0.0, 0.0});
+  const double dv = grid.dv();
+
+#if defined(DCMESH_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::size_t a = 0; a < atoms.size(); ++a) {
+    const qxmd::atom& atom = atoms.atoms[a];
+    const auto& sp = qxmd::info(atom.kind);
+    const double depth = depth_scale * sp.valence;
+    const double w2 = sp.well_width * sp.well_width;
+    const double inv_2w2 = 1.0 / (2.0 * w2);
+    std::array<double, 3> f{0.0, 0.0, 0.0};
+    for (std::int64_t iz = 0; iz < grid.nz; ++iz) {
+      for (std::int64_t iy = 0; iy < grid.ny; ++iy) {
+        for (std::int64_t ix = 0; ix < grid.nx; ++ix) {
+          const auto d = min_image_disp(grid.position(ix, iy, iz),
+                                        atom.position, atoms.box);
+          const double d2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+          const double weight =
+              rho[static_cast<std::size_t>(grid.index(ix, iy, iz))] *
+              std::exp(-d2 * inv_2w2);
+          // dV/dR_alpha = -(D/w^2) d_alpha exp(...), so
+          // F_alpha = -Int rho dV/dR_alpha dV = +(D/w^2) Int rho d_alpha
+          // exp(...) dV: density off-centre along +d pulls the ion +d.
+          for (int axis = 0; axis < 3; ++axis) {
+            f[static_cast<std::size_t>(axis)] +=
+                (depth / w2) * weight * d[static_cast<std::size_t>(axis)];
+          }
+        }
+      }
+    }
+    for (int axis = 0; axis < 3; ++axis) {
+      forces[a][static_cast<std::size_t>(axis)] =
+          f[static_cast<std::size_t>(axis)] * dv;
+    }
+  }
+  return forces;
+}
+
+double electron_ion_energy(const mesh::grid3d& grid,
+                           const qxmd::atom_system& atoms,
+                           std::span<const double> rho, double depth_scale) {
+  if (static_cast<std::int64_t>(rho.size()) != grid.size()) {
+    throw std::invalid_argument("electron_ion_energy: rho size mismatch");
+  }
+  double energy = 0.0;
+  for (const qxmd::atom& atom : atoms.atoms) {
+    const auto& sp = qxmd::info(atom.kind);
+    const double depth = depth_scale * sp.valence;
+    const double inv_2w2 = 1.0 / (2.0 * sp.well_width * sp.well_width);
+    for (std::int64_t iz = 0; iz < grid.nz; ++iz) {
+      for (std::int64_t iy = 0; iy < grid.ny; ++iy) {
+        for (std::int64_t ix = 0; ix < grid.nx; ++ix) {
+          const auto d = min_image_disp(grid.position(ix, iy, iz),
+                                        atom.position, atoms.box);
+          const double d2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+          energy -= depth *
+                    rho[static_cast<std::size_t>(grid.index(ix, iy, iz))] *
+                    std::exp(-d2 * inv_2w2);
+        }
+      }
+    }
+  }
+  return energy * grid.dv();
+}
+
+template std::vector<double> electron_density<float>(
+    const matrix<std::complex<float>>&, std::span<const double>);
+template std::vector<double> electron_density<double>(
+    const matrix<std::complex<double>>&, std::span<const double>);
+
+}  // namespace dcmesh::lfd

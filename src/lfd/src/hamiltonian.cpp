@@ -1,0 +1,122 @@
+#include "dcmesh/lfd/hamiltonian.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dcmesh::lfd {
+
+template <typename R>
+hamiltonian<R>::hamiltonian(mesh::grid3d grid, mesh::fd_order order,
+                            std::vector<double> v_loc, int polarization_axis)
+    : grid_(grid), order_(order), axis_(polarization_axis) {
+  if (static_cast<std::int64_t>(v_loc.size()) != grid.size()) {
+    throw std::invalid_argument("hamiltonian: potential size != grid size");
+  }
+  if (axis_ < 0 || axis_ > 2) {
+    throw std::invalid_argument("hamiltonian: bad polarization axis");
+  }
+  set_potential(std::move(v_loc));
+}
+
+template <typename R>
+void hamiltonian<R>::set_potential(std::vector<double> v_loc) {
+  if (static_cast<std::int64_t>(v_loc.size()) != grid_.size()) {
+    throw std::invalid_argument("hamiltonian: potential size != grid size");
+  }
+  v_.resize(v_loc.size());
+  v_min_ = v_max_ = v_loc.empty() ? 0.0 : v_loc[0];
+  for (std::size_t i = 0; i < v_loc.size(); ++i) {
+    v_[i] = static_cast<R>(v_loc[i]);
+    v_min_ = std::min(v_min_, v_loc[i]);
+    v_max_ = std::max(v_max_, v_loc[i]);
+  }
+}
+
+template <typename R>
+void hamiltonian<R>::apply(const_matrix_view<std::complex<R>> psi,
+                           matrix_view<std::complex<R>> out) const {
+  using C = std::complex<R>;
+  const std::size_t ngrid = psi.rows;
+  const std::size_t norb = psi.cols;
+  const R a = static_cast<R>(a_field_);
+  const R half_a2 = static_cast<R>(0.5 * a_field_ * a_field_);
+  const C grad_coeff{0, -a};  // -i A d/dz
+
+#if defined(DCMESH_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::size_t j = 0; j < norb; ++j) {
+    const C* in_col = psi.col(j);
+    C* out_col = out.col(j);
+    // Local potential + diamagnetic term first (overwrites out).
+    for (std::size_t g = 0; g < ngrid; ++g) {
+      out_col[g] = (v_[g] + half_a2) * in_col[g];
+    }
+    std::span<const C> in_span{in_col, ngrid};
+    std::span<C> out_span{out_col, ngrid};
+    mesh::add_kinetic<R>(grid_, order_, in_span, C(1), out_span);
+    if (a != R(0)) {
+      mesh::add_gradient<R>(grid_, order_, axis_, in_span, grad_coeff,
+                            out_span);
+    }
+  }
+}
+
+template <typename R>
+void hamiltonian<R>::apply_kinetic(const_matrix_view<std::complex<R>> psi,
+                                   matrix_view<std::complex<R>> out) const {
+  using C = std::complex<R>;
+  const std::size_t ngrid = psi.rows;
+  const std::size_t norb = psi.cols;
+#if defined(DCMESH_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::size_t j = 0; j < norb; ++j) {
+    const C* in_col = psi.col(j);
+    C* out_col = out.col(j);
+    std::fill_n(out_col, ngrid, C(0));
+    mesh::add_kinetic<R>(grid_, order_, {in_col, ngrid}, C(1),
+                         {out_col, ngrid});
+  }
+}
+
+template <typename R>
+void hamiltonian<R>::apply_kinetic_field(
+    const_matrix_view<std::complex<R>> psi,
+    matrix_view<std::complex<R>> out) const {
+  using C = std::complex<R>;
+  const std::size_t ngrid = psi.rows;
+  const std::size_t norb = psi.cols;
+  const R a = static_cast<R>(a_field_);
+  const C grad_coeff{0, -a};
+#if defined(DCMESH_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::size_t j = 0; j < norb; ++j) {
+    const C* in_col = psi.col(j);
+    C* out_col = out.col(j);
+    std::fill_n(out_col, ngrid, C(0));
+    mesh::add_kinetic<R>(grid_, order_, {in_col, ngrid}, C(1),
+                         {out_col, ngrid});
+    if (a != R(0)) {
+      mesh::add_gradient<R>(grid_, order_, axis_, {in_col, ngrid},
+                            grad_coeff, {out_col, ngrid});
+    }
+  }
+}
+
+template <typename R>
+double hamiltonian<R>::spectral_bound() const noexcept {
+  const double kinetic = mesh::kinetic_spectral_radius(grid_, order_);
+  const double field = std::abs(a_field_);
+  // |A p| <= A * pi/h per axis (discrete gradient bound), plus A^2/2.
+  const double field_term =
+      field * 3.141592653589793 / grid_.spacing + 0.5 * field * field;
+  return kinetic + std::max(std::abs(v_min_), std::abs(v_max_)) + field_term;
+}
+
+template class hamiltonian<float>;
+template class hamiltonian<double>;
+
+}  // namespace dcmesh::lfd

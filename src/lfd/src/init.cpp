@@ -1,0 +1,103 @@
+#include "dcmesh/lfd/init.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/lfd/hamiltonian.hpp"
+#include "dcmesh/lfd/potential.hpp"
+#include "dcmesh/qxmd/scf.hpp"
+
+namespace dcmesh::lfd {
+namespace {
+
+/// Reciprocal-lattice vectors sorted by |k|^2 (then lexicographically for
+/// determinism) — one per starting orbital.
+std::vector<std::array<int, 3>> lowest_k_vectors(std::size_t count) {
+  std::vector<std::array<int, 3>> ks;
+  int shell = 0;
+  while (ks.size() < count) {
+    ++shell;
+    ks.clear();
+    for (int kz = -shell; kz <= shell; ++kz) {
+      for (int ky = -shell; ky <= shell; ++ky) {
+        for (int kx = -shell; kx <= shell; ++kx) {
+          ks.push_back({kx, ky, kz});
+        }
+      }
+    }
+  }
+  std::sort(ks.begin(), ks.end(), [](const auto& a, const auto& b) {
+    const int na = a[0] * a[0] + a[1] * a[1] + a[2] * a[2];
+    const int nb = b[0] * b[0] + b[1] * b[1] + b[2] * b[2];
+    if (na != nb) return na < nb;
+    return a < b;
+  });
+  ks.resize(count);
+  return ks;
+}
+
+}  // namespace
+
+init_result initialize_ground_state(const mesh::grid3d& grid,
+                                    const qxmd::atom_system& atoms,
+                                    std::size_t norb, std::size_t nocc,
+                                    mesh::fd_order order,
+                                    unsigned long long seed,
+                                    double potential_depth_scale) {
+  if (norb == 0 || nocc == 0 || nocc >= norb) {
+    throw std::invalid_argument(
+        "initialize_ground_state: need 0 < nocc < norb");
+  }
+  const std::size_t ngrid = static_cast<std::size_t>(grid.size());
+  if (ngrid == 0) {
+    throw std::invalid_argument("initialize_ground_state: empty grid");
+  }
+
+  init_result result;
+  result.psi = matrix<cdouble>(ngrid, norb);
+
+  // Plane-wave seeds e^{i k.r} + deterministic noise.
+  const auto ks = lowest_k_vectors(norb);
+  xoshiro256 rng(seed);
+  const double two_pi = 2.0 * std::numbers::pi;
+  for (std::size_t j = 0; j < norb; ++j) {
+    cdouble* col = result.psi.data() + j * ngrid;
+    const auto& k = ks[j];
+    for (std::int64_t iz = 0; iz < grid.nz; ++iz) {
+      for (std::int64_t iy = 0; iy < grid.ny; ++iy) {
+        for (std::int64_t ix = 0; ix < grid.nx; ++ix) {
+          const double phase =
+              two_pi * (k[0] * static_cast<double>(ix) / grid.nx +
+                        k[1] * static_cast<double>(iy) / grid.ny +
+                        k[2] * static_cast<double>(iz) / grid.nz);
+          col[grid.index(ix, iy, iz)] =
+              cdouble(std::cos(phase), std::sin(phase));
+        }
+      }
+    }
+    // Small symmetry-breaking noise so degenerate shells split cleanly.
+    for (std::size_t g = 0; g < ngrid; ++g) {
+      col[g] += cdouble(0.02 * rng.normal(), 0.02 * rng.normal());
+    }
+  }
+
+  // FP64 local Hamiltonian (field-free) and Rayleigh-Ritz.
+  hamiltonian<double> h(grid, order,
+                        build_local_potential(grid, atoms,
+                                              potential_depth_scale));
+  h.set_field(0.0);
+  const qxmd::apply_h_fn apply = [&h](const_matrix_view<cdouble> in,
+                                      matrix_view<cdouble> out) {
+    h.apply(in, out);
+  };
+  result.band_energies = qxmd::rayleigh_ritz(result.psi, apply, grid.dv());
+
+  result.occupations.assign(norb, 0.0);
+  for (std::size_t j = 0; j < nocc; ++j) result.occupations[j] = 2.0;
+  return result;
+}
+
+}  // namespace dcmesh::lfd

@@ -1,0 +1,65 @@
+#include "dcmesh/lfd/nlp_prop.hpp"
+
+#include <cmath>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/level1.hpp"
+
+namespace dcmesh::lfd {
+
+template <typename R>
+nlp_result<R> nlp_prop(const matrix<std::complex<R>>& psi0,
+                       matrix<std::complex<R>>& psi, std::complex<double> c,
+                       double dv) {
+  using C = std::complex<R>;
+  const std::size_t ngrid = psi.rows();
+  const std::size_t norb = psi.cols();
+
+  nlp_result<R> result;
+  result.g = matrix<C>(norb, norb);
+
+  // BLAS call 1: G = dv * Psi0^H * Psi(t)   (norb x norb, k = ngrid)
+  blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none,
+                C(static_cast<R>(dv)), psi0.view(), psi.view(), C(0),
+                result.g.view());
+
+  // BLAS call 2: Psi += c * Psi0 * G        (ngrid x norb, k = norb)
+  const C cc(static_cast<R>(c.real()), static_cast<R>(c.imag()));
+  blas::gemm<C>(blas::transpose::none, blas::transpose::none, cc,
+                psi0.view(), result.g.view(), C(1), psi.view());
+
+  // BLAS call 3: O = G^H * G                (norb x norb, k = norb)
+  matrix<C> o(norb, norb);
+  blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none, C(1),
+                result.g.view(), result.g.view(), C(0), o.view());
+  result.subspace_weight.resize(norb);
+  for (std::size_t j = 0; j < norb; ++j) {
+    result.subspace_weight[j] = static_cast<double>(o(j, j).real());
+  }
+
+  // Renormalize columns via level-1 BLAS (nrm2 accumulates in double, so
+  // the norm itself is mode- and precision-robust).
+  const double sqrt_dv = std::sqrt(dv);
+  double worst = 0.0;
+  for (std::size_t j = 0; j < norb; ++j) {
+    C* col = psi.data() + j * ngrid;
+    const double norm =
+        blas::nrm2<C>(static_cast<blas::blas_int>(ngrid), col, 1) * sqrt_dv;
+    worst = std::max(worst, std::abs(norm - 1.0));
+    if (norm > 0.0) {
+      blas::scal_real<R>(static_cast<blas::blas_int>(ngrid),
+                         static_cast<R>(1.0 / norm), col, 1);
+    }
+  }
+  result.norm_drift = worst;
+  return result;
+}
+
+template nlp_result<float> nlp_prop<float>(
+    const matrix<std::complex<float>>&, matrix<std::complex<float>>&,
+    std::complex<double>, double);
+template nlp_result<double> nlp_prop<double>(
+    const matrix<std::complex<double>>&, matrix<std::complex<double>>&,
+    std::complex<double>, double);
+
+}  // namespace dcmesh::lfd

@@ -1,0 +1,84 @@
+#include "dcmesh/lfd/remap_occ.hpp"
+
+#include <stdexcept>
+
+#include "dcmesh/blas/blas.hpp"
+
+namespace dcmesh::lfd {
+
+template <typename R>
+remap_report remap_occ(const matrix<std::complex<R>>& psi0,
+                       const matrix<std::complex<R>>& psi,
+                       std::span<const double> occ, std::size_t nocc,
+                       double dv) {
+  using C = std::complex<R>;
+  const std::size_t ngrid = psi.rows();
+  const std::size_t norb = psi.cols();
+  if (nocc == 0 || nocc >= norb) {
+    throw std::invalid_argument("remap_occ: need 0 < nocc < norb");
+  }
+  const std::size_t nunocc = norb - nocc;
+
+  // Column-range views: occupied propagated orbitals, unoccupied reference.
+  const const_matrix_view<C> psi_occ{psi.data(), ngrid, nocc, ngrid};
+  const const_matrix_view<C> psi0_unocc{psi0.data() + nocc * ngrid, ngrid,
+                                        nunocc, ngrid};
+
+  // BLAS call 7 (Table VII's GEMM): S = dv * Psi_occ^H(t) * Psi0_unocc
+  // (m = nocc, n = norb - nocc, k = ngrid).
+  matrix<C> s(nocc, nunocc);
+  blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none,
+                C(static_cast<R>(dv)), psi_occ, psi0_unocc, C(0), s.view());
+
+  // BLAS call 8: O = S * S^H (nocc x nocc, k = norb - nocc);
+  // nexc = sum_i f_i O_ii.
+  matrix<C> o(nocc, nocc);
+  blas::gemm<C>(blas::transpose::none, blas::transpose::conj_trans, C(1),
+                s.view(), s.view(), C(0), o.view());
+
+  remap_report report;
+  for (std::size_t i = 0; i < nocc; ++i) {
+    report.nexc += occ[i] * static_cast<double>(o(i, i).real());
+  }
+
+  // BLAS call 9: Rmat = S^H * O (nunocc x nocc, k = nocc); the
+  // second-order moment sum_i f_i (O^2)_ii = sum_{u,i} f_i Re[S_iu Rmat_ui].
+  matrix<C> rmat(nunocc, nocc);
+  blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none, C(1),
+                s.view(), o.view(), C(0), rmat.view());
+  for (std::size_t i = 0; i < nocc; ++i) {
+    double acc = 0.0;
+    for (std::size_t u = 0; u < nunocc; ++u) {
+      const C siu = s(i, u);
+      const C rui = rmat(u, i);
+      // Re[S_iu * R_ui] with R = S^H O: recovers (O^2)_ii when summed.
+      acc += static_cast<double>(siu.real()) * rui.real() -
+             static_cast<double>(siu.imag()) * rui.imag();
+    }
+    report.nexc_second_order += occ[i] * acc;
+  }
+
+  // Per-unoccupied-orbital population (level-1 work on S).
+  report.unocc_population.assign(nunocc, 0.0);
+  for (std::size_t u = 0; u < nunocc; ++u) {
+    double pop = 0.0;
+    for (std::size_t i = 0; i < nocc; ++i) {
+      const C siu = s(i, u);
+      pop += occ[i] * (static_cast<double>(siu.real()) * siu.real() +
+                       static_cast<double>(siu.imag()) * siu.imag());
+    }
+    report.unocc_population[u] = pop;
+  }
+  return report;
+}
+
+template remap_report remap_occ<float>(const matrix<std::complex<float>>&,
+                                       const matrix<std::complex<float>>&,
+                                       std::span<const double>, std::size_t,
+                                       double);
+template remap_report remap_occ<double>(const matrix<std::complex<double>>&,
+                                        const matrix<std::complex<double>>&,
+                                        std::span<const double>, std::size_t,
+                                        double);
+
+}  // namespace dcmesh::lfd

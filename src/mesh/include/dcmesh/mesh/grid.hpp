@@ -1,0 +1,85 @@
+#pragma once
+// grid.hpp — 3-D periodic finite-difference mesh.
+//
+// LFD represents each electronic wave function on a real-space mesh of
+// Ngrid = nx*ny*nz points ("for simple data parallelism", paper Sec. IV-D).
+// The grid is periodic (supercell boundary conditions) and cubic in the
+// systems the paper studies (64^3 and 96^3).
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace dcmesh::mesh {
+
+/// Index and geometry of a periodic 3-D mesh.  Points are ordered
+/// x-fastest: index = ix + nx*(iy + ny*iz).
+struct grid3d {
+  std::int64_t nx = 0;
+  std::int64_t ny = 0;
+  std::int64_t nz = 0;
+  double spacing = 1.0;  ///< Mesh spacing h in Bohr (uniform).
+
+  [[nodiscard]] std::int64_t size() const noexcept { return nx * ny * nz; }
+
+  /// Box edge lengths in Bohr.
+  [[nodiscard]] std::array<double, 3> box() const noexcept {
+    return {nx * spacing, ny * spacing, nz * spacing};
+  }
+
+  /// Cell volume element h^3 (for mesh integrals).
+  [[nodiscard]] double dv() const noexcept {
+    return spacing * spacing * spacing;
+  }
+
+  /// Total box volume.
+  [[nodiscard]] double volume() const noexcept {
+    return static_cast<double>(size()) * dv();
+  }
+
+  /// Linear index of (ix, iy, iz); caller must pass in-range indices.
+  [[nodiscard]] std::int64_t index(std::int64_t ix, std::int64_t iy,
+                                   std::int64_t iz) const noexcept {
+    assert(ix >= 0 && ix < nx && iy >= 0 && iy < ny && iz >= 0 && iz < nz);
+    return ix + nx * (iy + ny * iz);
+  }
+
+  /// Periodic wrap of a possibly out-of-range coordinate along axis n.
+  [[nodiscard]] static std::int64_t wrap(std::int64_t i,
+                                         std::int64_t n) noexcept {
+    i %= n;
+    return i < 0 ? i + n : i;
+  }
+
+  /// Cartesian position of a grid point (Bohr), origin at the box corner.
+  [[nodiscard]] std::array<double, 3> position(std::int64_t ix,
+                                               std::int64_t iy,
+                                               std::int64_t iz) const noexcept {
+    return {ix * spacing, iy * spacing, iz * spacing};
+  }
+
+  /// Minimum-image squared distance between two positions in the periodic
+  /// box (used for potentials around atoms).
+  [[nodiscard]] double min_image_dist2(const std::array<double, 3>& a,
+                                       const std::array<double, 3>& b)
+      const noexcept {
+    const auto edges = box();
+    double d2 = 0.0;
+    for (int axis = 0; axis < 3; ++axis) {
+      double d = a[axis] - b[axis];
+      const double edge = edges[static_cast<std::size_t>(axis)];
+      d -= edge * static_cast<double>(static_cast<long long>(
+                      d / edge + (d >= 0.0 ? 0.5 : -0.5)));
+      d2 += d * d;
+    }
+    return d2;
+  }
+
+  /// Cubic grid helper (the paper's 64^3 / 96^3 meshes).
+  [[nodiscard]] static grid3d cubic(std::int64_t n, double spacing) noexcept {
+    return {n, n, n, spacing};
+  }
+};
+
+}  // namespace dcmesh::mesh

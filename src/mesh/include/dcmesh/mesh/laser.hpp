@@ -1,0 +1,49 @@
+#pragma once
+// laser.hpp — laser pulse vector potential (the "light" of light-matter).
+//
+// DCMESH studies laser-induced excitation dynamics (e.g. lead titanate
+// towards super-capacitors, paper Sec. IV-E).  LFD couples the electrons to
+// the external field in the velocity gauge through a spatially uniform
+// vector potential A(t) (dipole approximation): a Gaussian-enveloped
+// sinusoidal pulse polarized along one axis.  The per-QD-step output column
+// "Aext" is |A(t)|.
+
+#include <array>
+#include <cmath>
+
+namespace dcmesh::mesh {
+
+/// Gaussian-enveloped laser pulse in Hartree atomic units.
+struct laser_pulse {
+  double e0 = 0.02;        ///< Peak electric field (a.u.).
+  double omega = 0.057;    ///< Carrier angular frequency (Ha; ~800 nm).
+  double t_center = 100.0; ///< Envelope centre (atomic time units).
+  double sigma = 40.0;     ///< Envelope standard deviation (a.t.u.).
+  int polarization_axis = 2;  ///< 0 = x, 1 = y, 2 = z.
+
+  /// Vector potential magnitude A(t) = -(E0/omega) g(t) sin(omega (t-t0)),
+  /// g the Gaussian envelope.  Zero-valued long before/after the pulse.
+  [[nodiscard]] double a(double t) const noexcept {
+    const double u = (t - t_center) / sigma;
+    const double envelope = std::exp(-0.5 * u * u);
+    return -(e0 / omega) * envelope * std::sin(omega * (t - t_center));
+  }
+
+  /// Electric field E(t) = -dA/dt (analytic derivative).
+  [[nodiscard]] double e(double t) const noexcept {
+    const double u = (t - t_center) / sigma;
+    const double envelope = std::exp(-0.5 * u * u);
+    const double phase = omega * (t - t_center);
+    return (e0 / omega) * envelope *
+           (omega * std::cos(phase) - (u / sigma) * std::sin(phase));
+  }
+
+  /// A(t) as a 3-vector along the polarization axis.
+  [[nodiscard]] std::array<double, 3> a_vec(double t) const noexcept {
+    std::array<double, 3> v{0.0, 0.0, 0.0};
+    v[static_cast<std::size_t>(polarization_axis)] = a(t);
+    return v;
+  }
+};
+
+}  // namespace dcmesh::mesh

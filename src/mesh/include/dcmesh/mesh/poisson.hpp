@@ -1,0 +1,42 @@
+#pragma once
+// poisson.hpp — periodic Poisson solver (conjugate gradients on the FD
+// Laplacian).
+//
+// The Hartree mean field needs phi with nabla^2 phi = -4 pi rho on the
+// periodic supercell.  On a periodic box the problem is solvable only for
+// a zero-mean right-hand side (the jellium convention: a uniform
+// neutralizing background is implied), and the solution is fixed by
+// requiring zero mean.  The operator -nabla^2 is symmetric positive
+// semidefinite with the constants as its null space, so projected CG
+// converges cleanly.
+
+#include <span>
+#include <vector>
+
+#include "dcmesh/mesh/grid.hpp"
+#include "dcmesh/mesh/stencil.hpp"
+
+namespace dcmesh::mesh {
+
+/// out += coeff * nabla^2 f for a real field on the periodic grid.
+void add_laplacian(const grid3d& grid, fd_order order,
+                   std::span<const double> f, double coeff,
+                   std::span<double> out);
+
+/// Result of a Poisson solve.
+struct poisson_result {
+  std::vector<double> phi;  ///< Zero-mean potential (Hartree units).
+  int iterations = 0;
+  double residual = 0.0;    ///< Final ||A phi - b|| / ||b||.
+  bool converged = false;
+};
+
+/// Solve nabla^2 phi = -4 pi rho with periodic boundary conditions.
+/// `rho`'s mean is projected out before solving (neutralizing background).
+[[nodiscard]] poisson_result solve_poisson(const grid3d& grid,
+                                           fd_order order,
+                                           std::span<const double> rho,
+                                           double tolerance = 1e-10,
+                                           int max_iterations = 1000);
+
+}  // namespace dcmesh::mesh

@@ -1,0 +1,129 @@
+#include "dcmesh/mesh/poisson.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dcmesh::mesh {
+namespace {
+
+double mean(std::span<const double> v) {
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return v.empty() ? 0.0 : sum / static_cast<double>(v.size());
+}
+
+void subtract_mean(std::span<double> v) {
+  const double m = mean(v);
+  for (double& x : v) x -= m;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace
+
+void add_laplacian(const grid3d& grid, fd_order order,
+                   std::span<const double> f, double coeff,
+                   std::span<double> out) {
+  // Laplacian tap weights per axis (see stencil.cpp): 2nd order
+  // (1, -2, 1)/h^2; 4th order (-1/12, 4/3, -5/2, 4/3, -1/12)/h^2.
+  const int radius = order == fd_order::second ? 1 : 2;
+  const double inv_h2 = 1.0 / (grid.spacing * grid.spacing);
+  const double center =
+      (order == fd_order::second ? -2.0 : -5.0 / 2.0) * inv_h2;
+  const double off1 =
+      (order == fd_order::second ? 1.0 : 4.0 / 3.0) * inv_h2;
+  const double off2 = (order == fd_order::second ? 0.0 : -1.0 / 12.0) *
+                      inv_h2;
+
+  const std::int64_t nx = grid.nx, ny = grid.ny, nz = grid.nz;
+  for (std::int64_t iz = 0; iz < nz; ++iz) {
+    for (std::int64_t iy = 0; iy < ny; ++iy) {
+      const std::int64_t row = grid.index(0, iy, iz);
+      for (std::int64_t ix = 0; ix < nx; ++ix) {
+        const std::int64_t idx = row + ix;
+        double acc = 3.0 * center * f[static_cast<std::size_t>(idx)];
+        for (int d = 1; d <= radius; ++d) {
+          const double w = d == 1 ? off1 : off2;
+          const std::int64_t xm = row + grid3d::wrap(ix - d, nx);
+          const std::int64_t xp = row + grid3d::wrap(ix + d, nx);
+          const std::int64_t ym =
+              grid.index(0, grid3d::wrap(iy - d, ny), iz) + ix;
+          const std::int64_t yp =
+              grid.index(0, grid3d::wrap(iy + d, ny), iz) + ix;
+          const std::int64_t zm =
+              grid.index(0, iy, grid3d::wrap(iz - d, nz)) + ix;
+          const std::int64_t zp =
+              grid.index(0, iy, grid3d::wrap(iz + d, nz)) + ix;
+          acc += w * (f[static_cast<std::size_t>(xm)] +
+                      f[static_cast<std::size_t>(xp)] +
+                      f[static_cast<std::size_t>(ym)] +
+                      f[static_cast<std::size_t>(yp)] +
+                      f[static_cast<std::size_t>(zm)] +
+                      f[static_cast<std::size_t>(zp)]);
+        }
+        out[static_cast<std::size_t>(idx)] += coeff * acc;
+      }
+    }
+  }
+}
+
+poisson_result solve_poisson(const grid3d& grid, fd_order order,
+                             std::span<const double> rho, double tolerance,
+                             int max_iterations) {
+  const auto n = static_cast<std::size_t>(grid.size());
+  if (rho.size() != n) {
+    throw std::invalid_argument("solve_poisson: rho size != grid size");
+  }
+
+  // b = 4 pi rho, projected onto zero mean (neutralizing background);
+  // solve A phi = b with A = -nabla^2 (SPD on the zero-mean subspace).
+  std::vector<double> b(rho.begin(), rho.end());
+  for (double& v : b) v *= 4.0 * std::numbers::pi;
+  const double raw_norm = std::sqrt(dot(b, b));
+  subtract_mean(b);
+
+  poisson_result result;
+  result.phi.assign(n, 0.0);
+  std::vector<double> r = b;  // r = b - A*0
+  std::vector<double> p = r;
+  std::vector<double> ap(n);
+
+  const double b_norm = std::sqrt(dot(b, b));
+  // A projected rhs at round-off level means rho was (numerically) pure
+  // background: phi = 0 is the solution.
+  if (b_norm <= 1e-13 * raw_norm || b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  double rr = dot(r, r);
+  for (int it = 0; it < max_iterations; ++it) {
+    result.iterations = it + 1;
+    std::fill(ap.begin(), ap.end(), 0.0);
+    add_laplacian(grid, order, p, -1.0, ap);  // A p = -lap p
+    const double p_ap = dot(p, ap);
+    if (!(p_ap > 0.0)) break;  // round-off stall in the null space
+    const double alpha = rr / p_ap;
+    for (std::size_t i = 0; i < n; ++i) {
+      result.phi[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_new = dot(r, r);
+    result.residual = std::sqrt(rr_new) / b_norm;
+    if (result.residual < tolerance) {
+      result.converged = true;
+      break;
+    }
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+  subtract_mean(result.phi);  // fix the null-space component
+  return result;
+}
+
+}  // namespace dcmesh::mesh

@@ -1,0 +1,62 @@
+#pragma once
+// atoms.hpp — ionic degrees of freedom for the QXMD (CPU) portion.
+//
+// QXMD holds the atoms: positions, velocities, forces, and species data for
+// the lead-titanate supercells the paper simulates.  All ionic state is
+// FP64 — the paper's QXMD portion "can only be run using FP64 precision".
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace dcmesh::qxmd {
+
+/// Chemical species present in lead titanate (PbTiO3).
+enum class species : int { pb = 0, ti = 1, o = 2 };
+
+/// Static per-species data (masses in electron masses, effective valence
+/// charge used by the model pseudopotential well).
+struct species_info {
+  std::string_view symbol;
+  double mass;       ///< Atomic mass (electron masses).
+  double valence;    ///< Effective valence charge (model potential depth).
+  double well_width; ///< Gaussian pseudopotential width (Bohr).
+};
+
+/// Lookup table for the three species.
+[[nodiscard]] const species_info& info(species s) noexcept;
+
+/// One ion.
+struct atom {
+  species kind = species::o;
+  std::array<double, 3> position{};  ///< Bohr.
+  std::array<double, 3> velocity{};  ///< Bohr per atomic time unit.
+  std::array<double, 3> force{};     ///< Hartree per Bohr.
+};
+
+/// A periodic collection of atoms in an orthorhombic box.
+struct atom_system {
+  std::vector<atom> atoms;
+  std::array<double, 3> box{};  ///< Edge lengths (Bohr).
+
+  [[nodiscard]] std::size_t size() const noexcept { return atoms.size(); }
+
+  /// Total ionic kinetic energy (Hartree).
+  [[nodiscard]] double kinetic_energy() const noexcept;
+
+  /// Wrap all positions back into the periodic box.
+  void wrap_positions() noexcept;
+
+  /// Minimum-image displacement from a to b.
+  [[nodiscard]] std::array<double, 3> min_image(
+      const std::array<double, 3>& a,
+      const std::array<double, 3>& b) const noexcept;
+};
+
+/// Deterministically seed Maxwell-Boltzmann velocities at temperature_k
+/// (Kelvin) and remove the centre-of-mass drift.
+void seed_velocities(atom_system& system, double temperature_k,
+                     unsigned long long seed);
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,29 @@
+#pragma once
+// cholesky.hpp — Hermitian positive-definite factorization and the
+// level-3 ("BLASified") orthonormalization built on it.
+//
+// Production SCF codes orthonormalize a tall orbital block as
+//   S = dv * Psi^H Psi   (herk)
+//   S = L L^H            (Cholesky)
+//   Psi <- Psi L^-H      (trsm)
+// — three level-3 operations instead of the O(norb^2) level-1 sweeps of
+// modified Gram-Schmidt.  The FP64 SCF refresh uses this path, falling
+// back to MGS when S is numerically indefinite.
+
+#include "dcmesh/common/matrix.hpp"
+
+namespace dcmesh::qxmd {
+
+/// In-place lower Cholesky factorization A = L L^H of a Hermitian
+/// positive-definite matrix (only the lower triangle of A is referenced;
+/// on return the lower triangle holds L and the strict upper triangle is
+/// zeroed).  Returns false (leaving A partially modified) if a pivot is
+/// not strictly positive — the caller should fall back to a safer path.
+[[nodiscard]] bool cholesky_lower(matrix<cdouble>& a);
+
+/// Level-3 orthonormalization of the columns of psi under the
+/// dv-weighted inner product.  Returns false when the overlap is too
+/// ill-conditioned for Cholesky (caller falls back to Gram-Schmidt).
+[[nodiscard]] bool orthonormalize_cholesky(matrix<cdouble>& psi, double dv);
+
+}  // namespace dcmesh::qxmd

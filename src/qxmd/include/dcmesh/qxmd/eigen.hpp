@@ -1,0 +1,33 @@
+#pragma once
+// eigen.hpp — Hermitian eigensolver (cyclic Jacobi) for the SCF substrate.
+//
+// The Self-Consistent Field step diagonalizes the subspace Hamiltonian
+// Psi^H H Psi (Norb x Norb, Hermitian, complex FP64).  No LAPACK is
+// assumed offline, so a from-scratch cyclic Jacobi solver with complex
+// plane rotations is provided.  O(n^3) per sweep with quadratic
+// convergence — entirely adequate for the subspace sizes the SCF handles.
+
+#include <complex>
+#include <vector>
+
+#include "dcmesh/common/matrix.hpp"
+
+namespace dcmesh::qxmd {
+
+/// Eigendecomposition result: ascending eigenvalues and the matching
+/// orthonormal eigenvector columns.
+struct eigen_result {
+  std::vector<double> values;
+  matrix<cdouble> vectors;
+  int sweeps = 0;       ///< Jacobi sweeps performed.
+  double off_norm = 0;  ///< Final off-diagonal Frobenius norm.
+};
+
+/// Diagonalize a Hermitian matrix (only the stored values are used; the
+/// routine symmetrizes internally to guard against round-off asymmetry).
+/// Throws std::invalid_argument for non-square input.
+[[nodiscard]] eigen_result hermitian_eigen(const matrix<cdouble>& h,
+                                           double tol = 1e-12,
+                                           int max_sweeps = 64);
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,56 @@
+#pragma once
+// pair_potential.hpp — Buckingham-type ionic pair potential.
+//
+// The ion-ion interaction in the QXMD portion: a Buckingham repulsion-plus-
+// dispersion form V(r) = A exp(-r/rho) - C/r^6 with a short-range Coulomb
+// term between effective valence charges, smoothly truncated at a cutoff.
+// This replaces the paper's (private) DCMESH force field with a standard
+// oxide-perovskite functional form; the MD substrate only needs physically
+// reasonable, energy-conserving ionic motion.
+
+#include "dcmesh/qxmd/atoms.hpp"
+
+namespace dcmesh::qxmd {
+
+/// Parameters of one species-pair interaction.
+struct pair_params {
+  double a = 0.0;    ///< Repulsion prefactor (Hartree).
+  double rho = 1.0;  ///< Repulsion range (Bohr).
+  double c = 0.0;    ///< Dispersion coefficient (Hartree * Bohr^6).
+};
+
+/// Buckingham + screened-Coulomb pair potential over an atom_system.
+class pair_potential {
+ public:
+  /// Construct with default PbTiO3-like parameters and a cutoff in Bohr.
+  explicit pair_potential(double cutoff = 12.0);
+
+  /// Override the parameters for a species pair (symmetric).
+  void set_params(species s1, species s2, pair_params params);
+
+  /// Parameters for a species pair.
+  [[nodiscard]] const pair_params& params(species s1,
+                                          species s2) const noexcept;
+
+  /// Pair energy + screened Coulomb at separation r for a species pair
+  /// (shifted so the energy is zero at the cutoff).
+  [[nodiscard]] double pair_energy(species s1, species s2,
+                                   double r) const noexcept;
+
+  /// Total potential energy (Hartree), minimum-image convention.
+  [[nodiscard]] double energy(const atom_system& system) const;
+
+  /// Fill `system.atoms[i].force` with -dV/dr_i and return the energy.
+  double compute_forces(atom_system& system) const;
+
+  [[nodiscard]] double cutoff() const noexcept { return cutoff_; }
+
+ private:
+  [[nodiscard]] static int pair_index(species s1, species s2) noexcept;
+
+  double cutoff_;
+  double screening_length_ = 4.0;  ///< Yukawa screening (Bohr).
+  pair_params table_[6];           ///< Symmetric 3x3 species table.
+};
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,52 @@
+#pragma once
+// scf.hpp — FP64 Self-Consistent Field substrate.
+//
+// DCMESH's QXMD portion runs exclusively in FP64 on the CPU: it initializes
+// the Kohn-Sham wave functions by SCF, and — crucially for the paper — an
+// FP64 SCF update runs after every series of 500 QD steps, which "prevents
+// the buildup of truncation errors" and is the reason the LFD BLAS calls
+// can run at reduced precision at all (paper Sec. V).
+//
+// Provided here:
+//  * FP64 modified Gram-Schmidt orthonormalization (mesh-weighted);
+//  * Rayleigh-Ritz subspace diagonalization (initial wave functions);
+//  * the periodic scf_refresh applied to FP32 or FP64 LFD wave functions.
+
+#include <complex>
+#include <functional>
+#include <vector>
+
+#include "dcmesh/common/matrix.hpp"
+
+namespace dcmesh::qxmd {
+
+/// Applies the FP64 Hamiltonian to every column: out = H * psi.
+/// Shapes: psi and out are (ngrid x norb) views.
+using apply_h_fn =
+    std::function<void(const_matrix_view<cdouble>, matrix_view<cdouble>)>;
+
+/// Mesh-weighted modified Gram-Schmidt: columns of psi become orthonormal
+/// under <a|b> = dv * sum conj(a_i) b_i.  Throws if a column collapses to
+/// (numerical) zero.
+void orthonormalize(matrix<cdouble>& psi, double dv);
+
+/// Rayleigh-Ritz step: orthonormalize, build Hsub = Psi^H (H Psi) dv with
+/// FP64 BLAS, diagonalize, rotate Psi onto the eigenvector basis.  Returns
+/// the subspace eigenvalues (ascending) — the Kohn-Sham band energies.
+std::vector<double> rayleigh_ritz(matrix<cdouble>& psi, const apply_h_fn& h,
+                                  double dv);
+
+/// Diagnostics of one periodic SCF refresh.
+struct scf_report {
+  double max_norm_drift = 0.0;     ///< max |<j|j> - 1| before the refresh.
+  double max_overlap_offdiag = 0.0;///< max |<i|j>|, i != j, before.
+  int iterations = 1;
+};
+
+/// The every-500-QD-steps FP64 refresh: promote the (possibly FP32) wave
+/// functions to double, re-orthonormalize in FP64, and write them back.
+/// Returns drift diagnostics measured before the refresh.
+template <typename R>
+scf_report scf_refresh(matrix<std::complex<R>>& psi, double dv);
+
+}  // namespace dcmesh::qxmd

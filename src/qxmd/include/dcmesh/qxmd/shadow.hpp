@@ -1,0 +1,66 @@
+#pragma once
+// shadow.hpp — shadow-dynamics CPU<->GPU transfer ledger.
+//
+// DCMESH minimizes CPU-GPU data transfers "through the use of shadow
+// dynamics" (paper Sec. II-C): the CPU keeps approximate shadow copies of
+// slowly-varying GPU quantities and only synchronizes when the accumulated
+// drift exceeds a tolerance (in practice: at SCF boundaries).  This ledger
+// implements that policy as explicit bookkeeping — which transfers happened,
+// which were avoided, and how many bytes crossed the (simulated) PCIe link —
+// so the driver can report transfer statistics like the real code.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace dcmesh::qxmd {
+
+/// Tracks one named quantity shared between host and device.
+class shadow_ledger {
+ public:
+  /// Register a quantity of `bytes` size with a drift tolerance.  The CPU
+  /// shadow starts synchronized (drift 0).
+  void register_quantity(const std::string& name, std::uint64_t bytes,
+                         double tolerance);
+
+  /// Record that the GPU updated the quantity, accumulating `drift`
+  /// (any monotone error metric: steps taken, norm change, ...).
+  void record_gpu_update(const std::string& name, double drift);
+
+  /// Whether the accumulated drift exceeds the tolerance.
+  [[nodiscard]] bool needs_transfer(const std::string& name) const;
+
+  /// Synchronize the CPU shadow if (and only if) drift exceeds tolerance;
+  /// returns true when a transfer happened.  `force` transfers regardless.
+  bool sync(const std::string& name, bool force = false);
+
+  /// Accumulated drift of a quantity.
+  [[nodiscard]] double drift(const std::string& name) const;
+
+  // --- global statistics ---
+  [[nodiscard]] std::uint64_t transfers_performed() const noexcept {
+    return transfers_;
+  }
+  [[nodiscard]] std::uint64_t transfers_avoided() const noexcept {
+    return avoided_;
+  }
+  [[nodiscard]] std::uint64_t bytes_transferred() const noexcept {
+    return bytes_moved_;
+  }
+
+ private:
+  struct entry {
+    std::uint64_t bytes = 0;
+    double tolerance = 0.0;
+    double drift = 0.0;
+  };
+  [[nodiscard]] const entry& find(const std::string& name) const;
+
+  std::unordered_map<std::string, entry> entries_;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t avoided_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+};
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,33 @@
+#pragma once
+// supercell.hpp — lead-titanate (PbTiO3) supercell builder.
+//
+// The paper's two systems are a 40-atom and a 135-atom PbTiO3 supercell
+// (Table V).  PbTiO3 has 5 atoms per (pseudo-cubic) perovskite unit cell,
+// so 40 atoms = 2x2x2 cells and 135 atoms = 3x3x3 cells — exactly the
+// paper's sizes.  The builder places Pb at the cell corner, Ti at the body
+// centre, and the three O at the face centres, with an optional small
+// deterministic displacement to break perfect symmetry (a ferroelectric
+// material is not perfectly cubic).
+
+#include <cstdint>
+
+#include "dcmesh/qxmd/atoms.hpp"
+
+namespace dcmesh::qxmd {
+
+/// Pseudo-cubic PbTiO3 lattice constant (Bohr; ~3.90 Angstrom).
+inline constexpr double kPtoLatticeBohr = 7.37;
+
+/// Build an n x n x n PbTiO3 supercell (5*n^3 atoms).
+/// `displacement` is the amplitude (Bohr) of a deterministic symmetry-
+/// breaking displacement applied to every atom (seeded by `seed`).
+[[nodiscard]] atom_system build_pto_supercell(int cells_per_axis,
+                                              double lattice = kPtoLatticeBohr,
+                                              double displacement = 0.05,
+                                              unsigned long long seed = 7);
+
+/// Number of valence electrons in the system (sum of species valences) —
+/// determines the occupied-orbital count Nocc = electrons / 2.
+[[nodiscard]] double valence_electrons(const atom_system& system) noexcept;
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,38 @@
+#pragma once
+// thermostat.hpp — Berendsen velocity-rescaling thermostat.
+//
+// Production MD campaigns equilibrate the ions at a target temperature
+// before production runs (the paper's systems start from thermalized
+// lead titanate).  Berendsen weak coupling rescales velocities toward the
+// target with time constant tau — simple, stable, and adequate for
+// equilibration (not for sampling exact canonical fluctuations).
+
+#include "dcmesh/qxmd/atoms.hpp"
+
+namespace dcmesh::qxmd {
+
+/// Instantaneous ionic temperature (Kelvin) from the equipartition
+/// theorem, using 3(N-1) degrees of freedom (centre of mass removed).
+[[nodiscard]] double instantaneous_temperature(const atom_system& system);
+
+/// Berendsen weak-coupling thermostat.
+class berendsen_thermostat {
+ public:
+  /// `target_k` in Kelvin; `tau_atu` the coupling time constant in atomic
+  /// time units (larger = gentler).
+  berendsen_thermostat(double target_k, double tau_atu);
+
+  /// Rescale velocities after an MD step of length dt_atu.
+  /// Scale factor lambda = sqrt(1 + dt/tau (T0/T - 1)), clamped to
+  /// [0.8, 1.25] per application for robustness against T ~ 0.
+  void apply(atom_system& system, double dt_atu) const;
+
+  [[nodiscard]] double target_kelvin() const noexcept { return target_k_; }
+  [[nodiscard]] double tau() const noexcept { return tau_atu_; }
+
+ private:
+  double target_k_;
+  double tau_atu_;
+};
+
+}  // namespace dcmesh::qxmd

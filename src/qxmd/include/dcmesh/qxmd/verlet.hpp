@@ -1,0 +1,47 @@
+#pragma once
+// verlet.hpp — velocity-Verlet ionic integrator.
+//
+// QXMD advances the ions on the slow MD time scale (one MD step per series
+// of 500 electronic QD steps — the paper's multiple time-scale splitting).
+// Standard velocity Verlet with forces from the pair potential plus an
+// optional Ehrenfest-like electronic back-action force supplied by the
+// caller.
+
+#include <functional>
+
+#include "dcmesh/qxmd/atoms.hpp"
+#include "dcmesh/qxmd/pair_potential.hpp"
+
+namespace dcmesh::qxmd {
+
+/// Callback adding extra (electronic back-action) forces after the pair
+/// forces are computed.  May be empty.
+using extra_force_fn = std::function<void(atom_system&)>;
+
+/// Velocity-Verlet integrator over an atom_system.
+class verlet_integrator {
+ public:
+  verlet_integrator(pair_potential potential, double dt_atu)
+      : potential_(std::move(potential)), dt_(dt_atu) {}
+
+  /// Prime the integrator (initial force evaluation).  Must be called once
+  /// before step(); returns the potential energy.
+  double initialize(atom_system& system, const extra_force_fn& extra = {});
+
+  /// Advance one MD step; returns the new potential energy.
+  double step(atom_system& system, const extra_force_fn& extra = {});
+
+  [[nodiscard]] double dt() const noexcept { return dt_; }
+  [[nodiscard]] const pair_potential& potential() const noexcept {
+    return potential_;
+  }
+
+ private:
+  double evaluate_forces(atom_system& system, const extra_force_fn& extra);
+
+  pair_potential potential_;
+  double dt_;
+  bool primed_ = false;
+};
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,28 @@
+#pragma once
+// xyz.hpp — extended-XYZ trajectory I/O.
+//
+// The standard interchange format for MD trajectories (readable by OVITO,
+// VMD, ASE): one frame = atom count, a comment line carrying the box and
+// time, then one line per atom with symbol, position, and velocity.
+// Positions are written in Angstrom (the format's convention); velocities
+// in Angstrom per atomic time unit.
+
+#include <iosfwd>
+#include <string>
+
+#include "dcmesh/qxmd/atoms.hpp"
+
+namespace dcmesh::qxmd {
+
+/// Append one frame to the stream.  `time_atu` is stamped in the comment
+/// line together with the orthorhombic lattice.
+void write_xyz_frame(std::ostream& os, const atom_system& system,
+                     double time_atu);
+
+/// Parse one frame from the stream (the inverse of write_xyz_frame).
+/// Returns false cleanly at end-of-stream before a frame starts; throws
+/// std::runtime_error on malformed input mid-frame.
+bool read_xyz_frame(std::istream& is, atom_system& system,
+                    double& time_atu);
+
+}  // namespace dcmesh::qxmd

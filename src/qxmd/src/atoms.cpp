@@ -1,0 +1,84 @@
+#include "dcmesh/qxmd/atoms.hpp"
+
+#include <cmath>
+
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/common/units.hpp"
+
+namespace dcmesh::qxmd {
+namespace {
+
+// Masses in electron masses (amu * 1822.89); valence/well parameters are
+// model-pseudopotential choices, not tabulated physical constants.
+constexpr species_info kSpecies[] = {
+    {"Pb", 207.2 * units::amu_in_me, 4.0, 1.6},
+    {"Ti", 47.867 * units::amu_in_me, 4.0, 1.2},
+    {"O", 15.999 * units::amu_in_me, 6.0, 1.0},
+};
+
+}  // namespace
+
+const species_info& info(species s) noexcept {
+  return kSpecies[static_cast<int>(s)];
+}
+
+double atom_system::kinetic_energy() const noexcept {
+  double e = 0.0;
+  for (const atom& a : atoms) {
+    const double m = info(a.kind).mass;
+    e += 0.5 * m *
+         (a.velocity[0] * a.velocity[0] + a.velocity[1] * a.velocity[1] +
+          a.velocity[2] * a.velocity[2]);
+  }
+  return e;
+}
+
+void atom_system::wrap_positions() noexcept {
+  for (atom& a : atoms) {
+    for (int axis = 0; axis < 3; ++axis) {
+      const double edge = box[static_cast<std::size_t>(axis)];
+      double& x = a.position[static_cast<std::size_t>(axis)];
+      x = std::fmod(x, edge);
+      if (x < 0.0) x += edge;
+    }
+  }
+}
+
+std::array<double, 3> atom_system::min_image(
+    const std::array<double, 3>& a,
+    const std::array<double, 3>& b) const noexcept {
+  std::array<double, 3> d{};
+  for (int axis = 0; axis < 3; ++axis) {
+    const std::size_t i = static_cast<std::size_t>(axis);
+    double delta = b[i] - a[i];
+    delta -= box[i] * std::nearbyint(delta / box[i]);
+    d[i] = delta;
+  }
+  return d;
+}
+
+void seed_velocities(atom_system& system, double temperature_k,
+                     unsigned long long seed) {
+  xoshiro256 rng(seed);
+  std::array<double, 3> momentum{0.0, 0.0, 0.0};
+  double total_mass = 0.0;
+  for (atom& a : system.atoms) {
+    const double m = info(a.kind).mass;
+    const double sigma = std::sqrt(units::kb_hartree_per_k * temperature_k / m);
+    for (int axis = 0; axis < 3; ++axis) {
+      const std::size_t i = static_cast<std::size_t>(axis);
+      a.velocity[i] = sigma * rng.normal();
+      momentum[i] += m * a.velocity[i];
+    }
+    total_mass += m;
+  }
+  if (system.atoms.empty() || total_mass == 0.0) return;
+  for (atom& a : system.atoms) {
+    for (int axis = 0; axis < 3; ++axis) {
+      const std::size_t i = static_cast<std::size_t>(axis);
+      a.velocity[i] -= momentum[i] / total_mass;
+    }
+  }
+}
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,68 @@
+#include "dcmesh/qxmd/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dcmesh/blas/rank_k.hpp"
+#include "dcmesh/blas/trsm.hpp"
+
+namespace dcmesh::qxmd {
+
+bool cholesky_lower(matrix<cdouble>& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky_lower: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    // Diagonal pivot: a_jj - sum_{p<j} |L_jp|^2 must be positive.
+    double pivot = a(j, j).real();
+    for (std::size_t p = 0; p < j; ++p) pivot -= std::norm(a(j, p));
+    if (!(pivot > 0.0)) return false;
+    const double ljj = std::sqrt(pivot);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      cdouble sum = a(i, j);
+      for (std::size_t p = 0; p < j; ++p) {
+        sum -= a(i, p) * std::conj(a(j, p));
+      }
+      a(i, j) = sum / ljj;
+    }
+    for (std::size_t i = 0; i < j; ++i) a(i, j) = 0.0;  // zero upper
+  }
+  return true;
+}
+
+bool orthonormalize_cholesky(matrix<cdouble>& psi, double dv) {
+  const std::size_t norb = psi.cols();
+  if (norb == 0) return true;
+
+  // S = dv * Psi^H Psi (Hermitian by construction via herk).
+  matrix<cdouble> s(norb, norb);
+  blas::herk<double>(blas::uplo::lower, blas::transpose::conj_trans,
+                     static_cast<blas::blas_int>(norb),
+                     static_cast<blas::blas_int>(psi.rows()), dv,
+                     psi.data(), static_cast<blas::blas_int>(psi.rows()),
+                     0.0, s.data(), static_cast<blas::blas_int>(norb));
+
+  if (!cholesky_lower(s)) return false;
+
+  // Guard against near-singular overlap (linearly dependent orbitals):
+  // the trsm would amplify noise catastrophically.
+  double min_diag = s(0, 0).real(), max_diag = s(0, 0).real();
+  for (std::size_t j = 1; j < norb; ++j) {
+    min_diag = std::min(min_diag, s(j, j).real());
+    max_diag = std::max(max_diag, s(j, j).real());
+  }
+  if (min_diag < 1e-7 * max_diag) return false;
+
+  // Psi <- Psi L^-H: right-solve X L^H = Psi with L^H upper.
+  blas::trsm<cdouble>(blas::side::right, blas::uplo::lower,
+                      blas::transpose::conj_trans, blas::diag::non_unit,
+                      static_cast<blas::blas_int>(psi.rows()),
+                      static_cast<blas::blas_int>(norb), cdouble(1),
+                      s.data(), static_cast<blas::blas_int>(norb),
+                      psi.data(), static_cast<blas::blas_int>(psi.rows()));
+  return true;
+}
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,182 @@
+#include "dcmesh/qxmd/davidson.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/level1.hpp"
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/qxmd/eigen.hpp"
+
+namespace dcmesh::qxmd {
+namespace {
+
+/// Copy the first `cols` columns of src into a fresh dim x cols matrix.
+matrix<cdouble> take_columns(const matrix<cdouble>& src, std::size_t cols) {
+  matrix<cdouble> out(src.rows(), cols);
+  for (std::size_t j = 0; j < cols; ++j) {
+    blas::copy<cdouble>(static_cast<blas::blas_int>(src.rows()),
+                        src.data() + j * src.rows(), 1,
+                        out.data() + j * out.rows(), 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+davidson_result davidson(const apply_h_fn& h, std::size_t dim, double dv,
+                         std::span<const double> diagonal,
+                         davidson_options options,
+                         const matrix<cdouble>* initial) {
+  if (options.n_eigen == 0 || options.n_eigen > dim) {
+    throw std::invalid_argument("davidson: bad n_eigen");
+  }
+  if (diagonal.size() != dim) {
+    throw std::invalid_argument("davidson: diagonal size != dim");
+  }
+  const std::size_t nev = options.n_eigen;
+  const std::size_t max_space =
+      options.max_subspace ? options.max_subspace
+                           : std::min(dim, 6 * nev);
+  if (max_space < 2 * nev) {
+    throw std::invalid_argument("davidson: max_subspace < 2 * n_eigen");
+  }
+
+  // Search space V (dim x m), grown column by column.
+  matrix<cdouble> v(dim, max_space);
+  std::size_t m = nev;
+  if (initial != nullptr) {
+    if (initial->rows() != dim || initial->cols() < nev) {
+      throw std::invalid_argument("davidson: bad initial block");
+    }
+    for (std::size_t j = 0; j < nev; ++j) {
+      blas::copy<cdouble>(static_cast<blas::blas_int>(dim),
+                          initial->data() + j * dim, 1, v.data() + j * dim,
+                          1);
+    }
+  } else {
+    xoshiro256 rng(options.seed);
+    for (std::size_t j = 0; j < nev; ++j) {
+      cdouble* col = v.data() + j * dim;
+      for (std::size_t i = 0; i < dim; ++i) {
+        col[i] = {rng.normal(), rng.normal()};
+      }
+    }
+  }
+  {
+    matrix<cdouble> block = take_columns(v, m);
+    orthonormalize(block, dv);
+    for (std::size_t j = 0; j < m; ++j) {
+      blas::copy<cdouble>(static_cast<blas::blas_int>(dim),
+                          block.data() + j * dim, 1, v.data() + j * dim, 1);
+    }
+  }
+
+  davidson_result result;
+  matrix<cdouble> ritz(dim, nev);
+  std::vector<double> theta(nev, 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // W = H V_m; Hsub = dv V^H W (m x m).
+    const matrix<cdouble> vm = take_columns(v, m);
+    matrix<cdouble> w(dim, m);
+    h(vm.view(), w.view());
+    matrix<cdouble> hsub(m, m);
+    blas::gemm<cdouble>(blas::transpose::conj_trans, blas::transpose::none,
+                        cdouble(dv), vm.view(), w.view(), cdouble(0),
+                        hsub.view());
+    const eigen_result eig = hermitian_eigen(hsub);
+
+    // Ritz vectors X = V Y and their images H X = W Y (lowest nev).
+    matrix<cdouble> y(m, nev);
+    for (std::size_t j = 0; j < nev; ++j) {
+      theta[j] = eig.values[j];
+      for (std::size_t i = 0; i < m; ++i) y(i, j) = eig.vectors(i, j);
+    }
+    blas::gemm<cdouble>(blas::transpose::none, blas::transpose::none,
+                        cdouble(1), vm.view(), y.view(), cdouble(0),
+                        ritz.view());
+    matrix<cdouble> hx(dim, nev);
+    blas::gemm<cdouble>(blas::transpose::none, blas::transpose::none,
+                        cdouble(1), w.view(), y.view(), cdouble(0),
+                        hx.view());
+
+    // Residuals r_j = H x_j - theta_j x_j.
+    result.max_residual = 0.0;
+    matrix<cdouble> residuals(dim, nev);
+    for (std::size_t j = 0; j < nev; ++j) {
+      cdouble* r = residuals.data() + j * dim;
+      const cdouble* x = ritz.data() + j * dim;
+      const cdouble* hxj = hx.data() + j * dim;
+      for (std::size_t i = 0; i < dim; ++i) {
+        r[i] = hxj[i] - theta[j] * x[i];
+      }
+      const double norm =
+          blas::nrm2<cdouble>(static_cast<blas::blas_int>(dim), r, 1) *
+          std::sqrt(dv);
+      result.max_residual = std::max(result.max_residual, norm);
+    }
+    if (result.max_residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Restart: collapse to the Ritz block when the space is saturated.
+    if (m + nev > max_space) {
+      for (std::size_t j = 0; j < nev; ++j) {
+        blas::copy<cdouble>(static_cast<blas::blas_int>(dim),
+                            ritz.data() + j * dim, 1, v.data() + j * dim,
+                            1);
+      }
+      m = nev;
+    }
+
+    // Expand with preconditioned residuals, orthogonalized against V.
+    // If the preconditioned direction collapses into span(V) — which
+    // happens exactly when H is (near-)diagonal, since then
+    // (diag - theta)^-1 r = x — fall back to the raw residual, which for
+    // a non-converged pair always has a component outside the subspace.
+    const auto orthogonalize_against_v = [&](cdouble* t) {
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t c = 0; c < m; ++c) {
+          const cdouble* vc = v.data() + c * dim;
+          const cdouble overlap =
+              blas::dotc<cdouble>(static_cast<blas::blas_int>(dim), vc, 1,
+                                  t, 1) *
+              dv;
+          blas::axpy<cdouble>(static_cast<blas::blas_int>(dim), -overlap,
+                              vc, 1, t, 1);
+        }
+      }
+      return blas::nrm2<cdouble>(static_cast<blas::blas_int>(dim), t, 1) *
+             std::sqrt(dv);
+    };
+    for (std::size_t j = 0; j < nev && m < max_space; ++j) {
+      cdouble* t = v.data() + m * dim;
+      const cdouble* r = residuals.data() + j * dim;
+      for (std::size_t i = 0; i < dim; ++i) {
+        double denom = diagonal[i] - theta[j];
+        if (std::abs(denom) < 1e-8) denom = denom < 0 ? -1e-8 : 1e-8;
+        t[i] = r[i] / denom;
+      }
+      double norm = orthogonalize_against_v(t);
+      if (norm <= 1e-10) {
+        blas::copy<cdouble>(static_cast<blas::blas_int>(dim), r, 1, t, 1);
+        norm = orthogonalize_against_v(t);
+      }
+      if (norm > 1e-10) {
+        blas::scal_real<double>(static_cast<blas::blas_int>(dim),
+                                1.0 / norm, t, 1);
+        ++m;
+      }
+    }
+  }
+
+  result.values.assign(theta.begin(), theta.end());
+  result.vectors = std::move(ritz);
+  return result;
+}
+
+}  // namespace dcmesh::qxmd

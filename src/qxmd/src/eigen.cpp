@@ -1,0 +1,113 @@
+#include "dcmesh/qxmd/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dcmesh::qxmd {
+namespace {
+
+/// Frobenius norm of the strict upper triangle.
+double offdiag_norm(const matrix<cdouble>& a) {
+  double sum = 0.0;
+  for (std::size_t q = 1; q < a.cols(); ++q) {
+    for (std::size_t p = 0; p < q; ++p) {
+      sum += std::norm(a(p, q));
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+eigen_result hermitian_eigen(const matrix<cdouble>& h, double tol,
+                             int max_sweeps) {
+  if (h.rows() != h.cols()) {
+    throw std::invalid_argument("hermitian_eigen: matrix not square");
+  }
+  const std::size_t n = h.rows();
+
+  // Work on a symmetrized copy: a <- (h + h^H)/2.
+  matrix<cdouble> a(n, n);
+  for (std::size_t q = 0; q < n; ++q) {
+    for (std::size_t p = 0; p < n; ++p) {
+      a(p, q) = 0.5 * (h(p, q) + std::conj(h(q, p)));
+    }
+  }
+  matrix<cdouble> v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  eigen_result result;
+  const double scale = std::max(1.0, offdiag_norm(a));
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    result.sweeps = sweep + 1;
+    if (offdiag_norm(a) <= tol * scale) break;
+    for (std::size_t q = 1; q < n; ++q) {
+      for (std::size_t p = 0; p < q; ++p) {
+        const cdouble apq = a(p, q);
+        const double abs_apq = std::abs(apq);
+        if (abs_apq < 1e-300) continue;
+        // Complex Jacobi rotation zeroing a(p,q):
+        //   [p'] = [ c        s*e^{i*phi}] [p]
+        //   [q']   [-s*e^{-i*phi}  c      ] [q]
+        const double app = a(p, p).real();
+        const double aqq = a(q, q).real();
+        const double phi = std::arg(apq);
+        const double tau = (aqq - app) / (2.0 * abs_apq);
+        // t = sign(tau) / (|tau| + sqrt(1 + tau^2)) — the stable root.
+        const double t =
+            (tau >= 0 ? 1.0 : -1.0) /
+            (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        const cdouble e_phi = std::polar(1.0, phi);
+        const cdouble sp = s * e_phi;          // applied to column p updates
+        const cdouble sm = s * std::conj(e_phi);
+
+        // Rotate columns p and q of a (acting on the right), then rows
+        // (acting on the left with the conjugate transpose), exploiting
+        // hermiticity by updating full columns and restoring symmetry.
+        for (std::size_t i = 0; i < n; ++i) {
+          const cdouble aip = a(i, p);
+          const cdouble aiq = a(i, q);
+          a(i, p) = c * aip - sm * aiq;
+          a(i, q) = sp * aip + c * aiq;
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          const cdouble apj = a(p, j);
+          const cdouble aqj = a(q, j);
+          a(p, j) = c * apj - sp * aqj;
+          a(q, j) = sm * apj + c * aqj;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const cdouble vip = v(i, p);
+          const cdouble viq = v(i, q);
+          v(i, p) = c * vip - sm * viq;
+          v(i, q) = sp * vip + c * viq;
+        }
+      }
+    }
+  }
+  result.off_norm = offdiag_norm(a);
+
+  // Extract eigenvalues and sort ascending with matching vectors.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> raw(n);
+  for (std::size_t i = 0; i < n; ++i) raw[i] = a(i, i).real();
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return raw[x] < raw[y]; });
+
+  result.values.resize(n);
+  result.vectors = matrix<cdouble>(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.values[j] = raw[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      result.vectors(i, j) = v(i, order[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,115 @@
+#include "dcmesh/qxmd/pair_potential.hpp"
+
+#include <cmath>
+
+namespace dcmesh::qxmd {
+namespace {
+
+/// Effective ionic charges for the screened-Coulomb term (formal charges
+/// scaled down, as usual for rigid-ion oxide models).
+double ionic_charge(species s) noexcept {
+  switch (s) {
+    case species::pb: return +1.2;
+    case species::ti: return +2.4;
+    case species::o: return -1.2;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+pair_potential::pair_potential(double cutoff) : cutoff_(cutoff) {
+  // Buckingham parameters of roughly the right stiffness for a perovskite
+  // oxide, in Hartree / Bohr units (magnitudes converted loosely from
+  // published eV/Angstrom oxide force fields; A must dominate -C/r^6 well
+  // inside the bond length or the potential suffers the classic Buckingham
+  // collapse).  Cation-cation pairs keep only the repulsive core — their
+  // interaction is dominated by the screened Coulomb term.
+  set_params(species::pb, species::o, {80.0, 0.59, 8.0});
+  set_params(species::ti, species::o, {90.0, 0.55, 5.0});
+  set_params(species::o, species::o, {150.0, 0.45, 10.0});
+  set_params(species::pb, species::pb, {60.0, 0.62, 0.0});
+  set_params(species::ti, species::ti, {60.0, 0.58, 0.0});
+  set_params(species::pb, species::ti, {60.0, 0.60, 0.0});
+}
+
+int pair_potential::pair_index(species s1, species s2) noexcept {
+  int i = static_cast<int>(s1);
+  int j = static_cast<int>(s2);
+  if (i > j) std::swap(i, j);
+  // (0,0)->0 (0,1)->1 (0,2)->2 (1,1)->3 (1,2)->4 (2,2)->5
+  return i * 3 - i * (i - 1) / 2 + (j - i);
+}
+
+void pair_potential::set_params(species s1, species s2, pair_params params) {
+  table_[pair_index(s1, s2)] = params;
+}
+
+const pair_params& pair_potential::params(species s1,
+                                          species s2) const noexcept {
+  return table_[pair_index(s1, s2)];
+}
+
+double pair_potential::pair_energy(species s1, species s2,
+                                   double r) const noexcept {
+  if (r >= cutoff_) return 0.0;
+  const pair_params& p = params(s1, s2);
+  const double q1q2 = ionic_charge(s1) * ionic_charge(s2);
+  const auto raw = [&](double rr) {
+    const double r6 = rr * rr * rr * rr * rr * rr;
+    return p.a * std::exp(-rr / p.rho) - p.c / r6 +
+           q1q2 * std::exp(-rr / screening_length_) / rr;
+  };
+  // Shift so V(cutoff) = 0 (no energy jump at the cutoff sphere).
+  return raw(r) - raw(cutoff_);
+}
+
+double pair_potential::energy(const atom_system& system) const {
+  double e = 0.0;
+  const std::size_t n = system.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto d = system.min_image(system.atoms[i].position,
+                                      system.atoms[j].position);
+      const double r =
+          std::sqrt(d[0] * d[0] + d[1] * d[1] + d[2] * d[2]);
+      if (r < cutoff_ && r > 1e-9) {
+        e += pair_energy(system.atoms[i].kind, system.atoms[j].kind, r);
+      }
+    }
+  }
+  return e;
+}
+
+double pair_potential::compute_forces(atom_system& system) const {
+  for (atom& a : system.atoms) a.force = {0.0, 0.0, 0.0};
+  double e = 0.0;
+  const std::size_t n = system.size();
+  const double dr = 1e-6;  // central-difference step for dV/dr
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto d = system.min_image(system.atoms[i].position,
+                                      system.atoms[j].position);
+      const double r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+      const double r = std::sqrt(r2);
+      if (r >= cutoff_ || r < 1e-9) continue;
+      const species s1 = system.atoms[i].kind;
+      const species s2 = system.atoms[j].kind;
+      e += pair_energy(s1, s2, r);
+      const double dvdr =
+          (pair_energy(s1, s2, r + dr) - pair_energy(s1, s2, r - dr)) /
+          (2.0 * dr);
+      // d points i -> j: force on i is -dV/dr * (-d/r) = +dvdr * d/r ...
+      // derivative of |r_j - r_i| w.r.t. r_i is -d/r.
+      for (int axis = 0; axis < 3; ++axis) {
+        const std::size_t ax = static_cast<std::size_t>(axis);
+        const double f = dvdr * d[ax] / r;
+        system.atoms[i].force[ax] += f;
+        system.atoms[j].force[ax] -= f;
+      }
+    }
+  }
+  return e;
+}
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,114 @@
+#include "dcmesh/qxmd/scf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/level1.hpp"
+#include "dcmesh/qxmd/cholesky.hpp"
+#include "dcmesh/qxmd/eigen.hpp"
+
+namespace dcmesh::qxmd {
+namespace {
+
+/// Mesh-weighted inner product of two columns (FP64 dotc).
+cdouble dot(const cdouble* a, const cdouble* b, std::size_t n, double dv) {
+  return blas::dotc<cdouble>(static_cast<blas::blas_int>(n), a, 1, b, 1) *
+         dv;
+}
+
+}  // namespace
+
+void orthonormalize(matrix<cdouble>& psi, double dv) {
+  // Modified Gram-Schmidt expressed in level-1 BLAS (dotc/axpy/scal), all
+  // in FP64 — the QXMD CPU path.
+  const auto ngrid = static_cast<blas::blas_int>(psi.rows());
+  const std::size_t norb = psi.cols();
+  const double sqrt_dv = std::sqrt(dv);
+  for (std::size_t j = 0; j < norb; ++j) {
+    cdouble* col_j = psi.data() + j * psi.rows();
+    for (std::size_t i = 0; i < j; ++i) {
+      const cdouble* col_i = psi.data() + i * psi.rows();
+      const cdouble overlap = dot(col_i, col_j, psi.rows(), dv);
+      blas::axpy<cdouble>(ngrid, -overlap, col_i, 1, col_j, 1);
+    }
+    const double norm = blas::nrm2<cdouble>(ngrid, col_j, 1) * sqrt_dv;
+    if (!(norm > 1e-14)) {
+      throw std::runtime_error("orthonormalize: degenerate column");
+    }
+    blas::scal_real<double>(ngrid, 1.0 / norm, col_j, 1);
+  }
+}
+
+std::vector<double> rayleigh_ritz(matrix<cdouble>& psi, const apply_h_fn& h,
+                                  double dv) {
+  orthonormalize(psi, dv);
+  const std::size_t ngrid = psi.rows();
+  const std::size_t norb = psi.cols();
+
+  matrix<cdouble> hpsi(ngrid, norb);
+  h(psi.view(), hpsi.view());
+
+  // Hsub = dv * Psi^H (H Psi) — FP64 BLAS (zgemm), the QXMD CPU path.
+  matrix<cdouble> hsub(norb, norb);
+  blas::gemm<cdouble>(blas::transpose::conj_trans, blas::transpose::none,
+                      cdouble(dv), psi.view(), hpsi.view(), cdouble(0),
+                      hsub.view());
+
+  const eigen_result eig = hermitian_eigen(hsub);
+
+  // Psi <- Psi * V (rotate onto eigenvectors, ascending energies).
+  matrix<cdouble> rotated(ngrid, norb);
+  blas::gemm<cdouble>(blas::transpose::none, blas::transpose::none,
+                      cdouble(1), psi.view(), eig.vectors.view(), cdouble(0),
+                      rotated.view());
+  psi = std::move(rotated);
+  return eig.values;
+}
+
+template <typename R>
+scf_report scf_refresh(matrix<std::complex<R>>& psi, double dv) {
+  const std::size_t ngrid = psi.rows();
+  const std::size_t norb = psi.cols();
+
+  // Promote to FP64.
+  matrix<cdouble> work(ngrid, norb);
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    work.data()[i] = cdouble(psi.data()[i].real(), psi.data()[i].imag());
+  }
+
+  // Measure drift before repairing it.
+  scf_report report;
+  for (std::size_t j = 0; j < norb; ++j) {
+    const cdouble* col_j = work.data() + j * ngrid;
+    const double nj = dot(col_j, col_j, ngrid, dv).real();
+    report.max_norm_drift = std::max(report.max_norm_drift,
+                                     std::abs(nj - 1.0));
+    // Sampling the adjacent column keeps the check O(norb) while still
+    // catching systematic orthogonality loss.
+    if (j + 1 < norb) {
+      const cdouble* col_k = work.data() + (j + 1) * ngrid;
+      report.max_overlap_offdiag =
+          std::max(report.max_overlap_offdiag,
+                   std::abs(dot(col_j, col_k, ngrid, dv)));
+    }
+  }
+
+  // Level-3 Cholesky orthonormalization (herk + potrf + trsm), with the
+  // Gram-Schmidt sweep as the fallback for ill-conditioned overlaps.
+  if (!orthonormalize_cholesky(work, dv)) {
+    orthonormalize(work, dv);
+  }
+
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    psi.data()[i] = std::complex<R>(static_cast<R>(work.data()[i].real()),
+                                    static_cast<R>(work.data()[i].imag()));
+  }
+  return report;
+}
+
+template scf_report scf_refresh<float>(matrix<std::complex<float>>&, double);
+template scf_report scf_refresh<double>(matrix<std::complex<double>>&,
+                                        double);
+
+}  // namespace dcmesh::qxmd

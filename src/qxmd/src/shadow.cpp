@@ -1,0 +1,52 @@
+#include "dcmesh/qxmd/shadow.hpp"
+
+namespace dcmesh::qxmd {
+
+void shadow_ledger::register_quantity(const std::string& name,
+                                      std::uint64_t bytes, double tolerance) {
+  entries_[name] = entry{bytes, tolerance, 0.0};
+}
+
+const shadow_ledger::entry& shadow_ledger::find(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("shadow_ledger: unknown quantity " + name);
+  }
+  return it->second;
+}
+
+void shadow_ledger::record_gpu_update(const std::string& name, double drift) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("shadow_ledger: unknown quantity " + name);
+  }
+  it->second.drift += drift;
+}
+
+bool shadow_ledger::needs_transfer(const std::string& name) const {
+  const entry& e = find(name);
+  return e.drift > e.tolerance;
+}
+
+bool shadow_ledger::sync(const std::string& name, bool force) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("shadow_ledger: unknown quantity " + name);
+  }
+  entry& e = it->second;
+  if (force || e.drift > e.tolerance) {
+    ++transfers_;
+    bytes_moved_ += e.bytes;
+    e.drift = 0.0;
+    return true;
+  }
+  ++avoided_;
+  return false;
+}
+
+double shadow_ledger::drift(const std::string& name) const {
+  return find(name).drift;
+}
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,55 @@
+#include "dcmesh/qxmd/supercell.hpp"
+
+#include "dcmesh/common/rng.hpp"
+
+namespace dcmesh::qxmd {
+
+atom_system build_pto_supercell(int cells_per_axis, double lattice,
+                                double displacement,
+                                unsigned long long seed) {
+  // Fractional coordinates of the 5-atom perovskite basis.
+  struct basis_atom {
+    species kind;
+    double fx, fy, fz;
+  };
+  constexpr basis_atom kBasis[] = {
+      {species::pb, 0.0, 0.0, 0.0},
+      {species::ti, 0.5, 0.5, 0.5},
+      {species::o, 0.5, 0.5, 0.0},
+      {species::o, 0.5, 0.0, 0.5},
+      {species::o, 0.0, 0.5, 0.5},
+  };
+
+  atom_system system;
+  const double edge = lattice * cells_per_axis;
+  system.box = {edge, edge, edge};
+  system.atoms.reserve(
+      static_cast<std::size_t>(5 * cells_per_axis * cells_per_axis *
+                               cells_per_axis));
+
+  xoshiro256 rng(seed);
+  for (int cz = 0; cz < cells_per_axis; ++cz) {
+    for (int cy = 0; cy < cells_per_axis; ++cy) {
+      for (int cx = 0; cx < cells_per_axis; ++cx) {
+        for (const basis_atom& b : kBasis) {
+          atom a;
+          a.kind = b.kind;
+          a.position = {(cx + b.fx) * lattice + displacement * rng.normal(),
+                        (cy + b.fy) * lattice + displacement * rng.normal(),
+                        (cz + b.fz) * lattice + displacement * rng.normal()};
+          system.atoms.push_back(a);
+        }
+      }
+    }
+  }
+  system.wrap_positions();
+  return system;
+}
+
+double valence_electrons(const atom_system& system) noexcept {
+  double total = 0.0;
+  for (const atom& a : system.atoms) total += info(a.kind).valence;
+  return total;
+}
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,42 @@
+#include "dcmesh/qxmd/thermostat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dcmesh/common/units.hpp"
+
+namespace dcmesh::qxmd {
+
+double instantaneous_temperature(const atom_system& system) {
+  if (system.size() < 2) return 0.0;
+  const double dof = 3.0 * (static_cast<double>(system.size()) - 1.0);
+  return 2.0 * system.kinetic_energy() /
+         (dof * units::kb_hartree_per_k);
+}
+
+berendsen_thermostat::berendsen_thermostat(double target_k, double tau_atu)
+    : target_k_(target_k), tau_atu_(tau_atu) {
+  if (!(target_k >= 0.0)) {
+    throw std::invalid_argument("thermostat: negative temperature");
+  }
+  if (!(tau_atu > 0.0)) {
+    throw std::invalid_argument("thermostat: tau must be positive");
+  }
+}
+
+void berendsen_thermostat::apply(atom_system& system, double dt_atu) const {
+  const double t_now = instantaneous_temperature(system);
+  if (t_now <= 0.0) return;  // nothing to rescale (cold or tiny system)
+  const double ratio = target_k_ / t_now;
+  double lambda =
+      std::sqrt(std::max(0.0, 1.0 + (dt_atu / tau_atu_) * (ratio - 1.0)));
+  lambda = std::clamp(lambda, 0.8, 1.25);
+  for (atom& a : system.atoms) {
+    for (int axis = 0; axis < 3; ++axis) {
+      a.velocity[static_cast<std::size_t>(axis)] *= lambda;
+    }
+  }
+}
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,48 @@
+#include "dcmesh/qxmd/verlet.hpp"
+
+#include <stdexcept>
+
+namespace dcmesh::qxmd {
+
+double verlet_integrator::evaluate_forces(atom_system& system,
+                                          const extra_force_fn& extra) {
+  const double e = potential_.compute_forces(system);
+  if (extra) extra(system);
+  return e;
+}
+
+double verlet_integrator::initialize(atom_system& system,
+                                     const extra_force_fn& extra) {
+  const double e = evaluate_forces(system, extra);
+  primed_ = true;
+  return e;
+}
+
+double verlet_integrator::step(atom_system& system,
+                               const extra_force_fn& extra) {
+  if (!primed_) {
+    throw std::logic_error("verlet_integrator::step before initialize");
+  }
+  // v(t+dt/2), x(t+dt)
+  for (atom& a : system.atoms) {
+    const double inv_m = 1.0 / info(a.kind).mass;
+    for (int axis = 0; axis < 3; ++axis) {
+      const std::size_t ax = static_cast<std::size_t>(axis);
+      a.velocity[ax] += 0.5 * dt_ * a.force[ax] * inv_m;
+      a.position[ax] += dt_ * a.velocity[ax];
+    }
+  }
+  system.wrap_positions();
+  // F(t+dt), v(t+dt)
+  const double e = evaluate_forces(system, extra);
+  for (atom& a : system.atoms) {
+    const double inv_m = 1.0 / info(a.kind).mass;
+    for (int axis = 0; axis < 3; ++axis) {
+      const std::size_t ax = static_cast<std::size_t>(axis);
+      a.velocity[ax] += 0.5 * dt_ * a.force[ax] * inv_m;
+    }
+  }
+  return e;
+}
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,111 @@
+#include "dcmesh/qxmd/xyz.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dcmesh/common/units.hpp"
+
+namespace dcmesh::qxmd {
+namespace {
+
+species species_from_symbol(const std::string& symbol) {
+  if (symbol == "Pb") return species::pb;
+  if (symbol == "Ti") return species::ti;
+  if (symbol == "O") return species::o;
+  throw std::runtime_error("xyz: unknown species symbol '" + symbol + "'");
+}
+
+}  // namespace
+
+void write_xyz_frame(std::ostream& os, const atom_system& system,
+                     double time_atu) {
+  const double to_ang = units::bohr_in_angstrom;
+  os << system.size() << '\n';
+  os << std::setprecision(12)
+     << "Lattice=\"" << system.box[0] * to_ang << " 0 0 0 "
+     << system.box[1] * to_ang << " 0 0 0 " << system.box[2] * to_ang
+     << "\" Properties=species:S:1:pos:R:3:vel:R:3 Time=" << time_atu
+     << '\n';
+  for (const atom& a : system.atoms) {
+    os << info(a.kind).symbol;
+    for (int axis = 0; axis < 3; ++axis) {
+      os << ' ' << a.position[static_cast<std::size_t>(axis)] * to_ang;
+    }
+    for (int axis = 0; axis < 3; ++axis) {
+      os << ' ' << a.velocity[static_cast<std::size_t>(axis)] * to_ang;
+    }
+    os << '\n';
+  }
+}
+
+bool read_xyz_frame(std::istream& is, atom_system& system,
+                    double& time_atu) {
+  std::string line;
+  // Skip blank separators; clean EOF before a frame is a normal end.
+  do {
+    if (!std::getline(is, line)) return false;
+  } while (line.empty());
+
+  std::size_t count = 0;
+  try {
+    count = static_cast<std::size_t>(std::stoull(line));
+  } catch (const std::exception&) {
+    throw std::runtime_error("xyz: bad atom count line: " + line);
+  }
+
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("xyz: missing comment line");
+  }
+  // Extract the lattice (first three diagonal entries) and time.
+  const double from_ang = 1.0 / units::bohr_in_angstrom;
+  {
+    const auto lat = line.find("Lattice=\"");
+    if (lat == std::string::npos) {
+      throw std::runtime_error("xyz: missing Lattice in comment");
+    }
+    std::istringstream fields(line.substr(lat + 9));
+    double a = 0, z1 = 0, z2 = 0, z3 = 0, b = 0, z4 = 0, z5 = 0, z6 = 0,
+           c = 0;
+    fields >> a >> z1 >> z2 >> z3 >> b >> z4 >> z5 >> z6 >> c;
+    if (!fields) throw std::runtime_error("xyz: bad Lattice");
+    system.box = {a * from_ang, b * from_ang, c * from_ang};
+  }
+  {
+    const auto t = line.find("Time=");
+    time_atu = 0.0;
+    if (t != std::string::npos) {
+      time_atu = std::strtod(line.c_str() + t + 5, nullptr);
+    }
+  }
+
+  system.atoms.clear();
+  system.atoms.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(is, line)) {
+      throw std::runtime_error("xyz: truncated frame");
+    }
+    std::istringstream fields(line);
+    std::string symbol;
+    atom a;
+    fields >> symbol;
+    for (int axis = 0; axis < 3; ++axis) {
+      fields >> a.position[static_cast<std::size_t>(axis)];
+    }
+    for (int axis = 0; axis < 3; ++axis) {
+      fields >> a.velocity[static_cast<std::size_t>(axis)];
+    }
+    if (!fields) throw std::runtime_error("xyz: bad atom line: " + line);
+    a.kind = species_from_symbol(symbol);
+    for (int axis = 0; axis < 3; ++axis) {
+      a.position[static_cast<std::size_t>(axis)] *= from_ang;
+      a.velocity[static_cast<std::size_t>(axis)] *= from_ang;
+    }
+    system.atoms.push_back(a);
+  }
+  return true;
+}
+
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,74 @@
+#pragma once
+// unitrace.hpp — unitrace/PTI-GPU-style kernel profiler.
+//
+// The paper measures performance with Intel's unitrace ("record kernel and
+// other event timings using GPU-side timers") and reads off the Total L0
+// Time.  This is the equivalent facility for the reproduction: scoped
+// timers record named kernel intervals; a report aggregates per-kernel
+// counts/times and the total, in nanoseconds like the L0 output.
+// Simulated device times (from the xehpc model) can be recorded alongside
+// measured host times.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dcmesh::trace {
+
+/// Aggregated statistics for one kernel name.
+struct kernel_stats {
+  std::uint64_t calls = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// A unitrace-like collector.  Not thread-safe by design (one collector per
+/// driver); create separate collectors for concurrent use.
+class unitrace {
+ public:
+  /// Record an interval for `kernel` (seconds).
+  void record(const std::string& kernel, double seconds);
+
+  /// Total recorded time in nanoseconds — the "Total L0 Time" the paper's
+  /// artifact analysis reads at the top of the unitrace output.
+  [[nodiscard]] std::uint64_t total_l0_time_ns() const noexcept;
+
+  /// Per-kernel aggregation, ordered by descending total time.
+  [[nodiscard]] std::vector<std::pair<std::string, kernel_stats>> report()
+      const;
+
+  /// Render the report as text (one line per kernel + the total).
+  [[nodiscard]] std::string to_string() const;
+
+  void clear();
+
+  /// RAII wall-clock timer recording into a collector on destruction.
+  class scope {
+   public:
+    scope(unitrace& sink, std::string kernel)
+        : sink_(sink),
+          kernel_(std::move(kernel)),
+          start_(std::chrono::steady_clock::now()) {}
+    ~scope() {
+      const auto stop = std::chrono::steady_clock::now();
+      sink_.record(kernel_,
+                   std::chrono::duration<double>(stop - start_).count());
+    }
+    scope(const scope&) = delete;
+    scope& operator=(const scope&) = delete;
+
+   private:
+    unitrace& sink_;
+    std::string kernel_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+ private:
+  std::map<std::string, kernel_stats> kernels_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace dcmesh::trace

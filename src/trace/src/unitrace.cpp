@@ -1,0 +1,52 @@
+#include "dcmesh/trace/unitrace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dcmesh::trace {
+
+void unitrace::record(const std::string& kernel, double seconds) {
+  kernel_stats& stats = kernels_[kernel];
+  if (stats.calls == 0) {
+    stats.min_seconds = seconds;
+    stats.max_seconds = seconds;
+  } else {
+    stats.min_seconds = std::min(stats.min_seconds, seconds);
+    stats.max_seconds = std::max(stats.max_seconds, seconds);
+  }
+  ++stats.calls;
+  stats.total_seconds += seconds;
+  total_seconds_ += seconds;
+}
+
+std::uint64_t unitrace::total_l0_time_ns() const noexcept {
+  return static_cast<std::uint64_t>(std::llround(total_seconds_ * 1e9));
+}
+
+std::vector<std::pair<std::string, kernel_stats>> unitrace::report() const {
+  std::vector<std::pair<std::string, kernel_stats>> rows(kernels_.begin(),
+                                                         kernels_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_seconds > b.second.total_seconds;
+  });
+  return rows;
+}
+
+std::string unitrace::to_string() const {
+  std::ostringstream os;
+  os << "Total L0 Time (ns): " << total_l0_time_ns() << '\n';
+  for (const auto& [name, stats] : report()) {
+    os << "  " << name << "  calls=" << stats.calls
+       << "  total=" << stats.total_seconds * 1e3 << "ms"
+       << "  avg=" << stats.total_seconds * 1e3 / stats.calls << "ms\n";
+  }
+  return os.str();
+}
+
+void unitrace::clear() {
+  kernels_.clear();
+  total_seconds_ = 0.0;
+}
+
+}  // namespace dcmesh::trace

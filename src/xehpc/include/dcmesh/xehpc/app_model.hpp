@@ -1,0 +1,69 @@
+#pragma once
+// app_model.hpp — end-to-end LFD timing model (paper Figure 3a).
+//
+// A DCMESH quantum-dynamical (QD) step on the GPU consists of 9 BLAS calls
+// (the artifact appendix: "Each QD step contains 9 BLAS calls") plus the
+// non-BLAS mesh kernels (stencil Taylor terms, local potential application,
+// density/current reductions), which are bandwidth-bound sweeps over the
+// Ngrid x Norb wave-function block.  This header models the wall time of a
+// 500-QD-step series for any LFD precision configuration, using the GEMM
+// roofline for the BLAS part and a swept-bytes model for the rest.
+//
+// The 9-call shape list here is the contract the real LFD implementation in
+// src/lfd follows; a test cross-checks the LFD verbose log against it.
+
+#include <string_view>
+#include <vector>
+
+#include "dcmesh/xehpc/roofline.hpp"
+
+namespace dcmesh::xehpc {
+
+/// Electronic-structure dimensions of a simulated system.
+struct system_shape {
+  blas::blas_int ngrid = 0;  ///< Mesh points per wave function (e.g. 96^3).
+  blas::blas_int norb = 0;   ///< Total Kohn-Sham orbitals.
+  blas::blas_int nocc = 0;   ///< Occupied orbitals (m of remap_occ's GEMM).
+};
+
+/// One named BLAS call within a QD step.
+struct qd_blas_call {
+  std::string_view site;  ///< "nlp_prop", "calc_energy", or "remap_occ".
+  gemm_shape shape;
+};
+
+/// LFD precision configuration: FP64 data, or FP32 data with a compute mode.
+struct lfd_precision {
+  gemm_precision data = gemm_precision::fp32;
+  blas::compute_mode mode = blas::compute_mode::standard;
+};
+
+/// The canonical 9 BLAS calls of one QD step for a system (complex data).
+[[nodiscard]] std::vector<qd_blas_call> canonical_qd_step_calls(
+    const system_shape& sys, gemm_precision precision);
+
+/// Modeled GPU seconds spent in BLAS during one QD step.
+[[nodiscard]] double model_qd_step_blas_seconds(const device_spec& spec,
+                                                const calibration& cal,
+                                                const system_shape& sys,
+                                                lfd_precision precision);
+
+/// Modeled GPU seconds spent in non-BLAS mesh kernels during one QD step.
+[[nodiscard]] double model_qd_step_mesh_seconds(const device_spec& spec,
+                                                const calibration& cal,
+                                                const system_shape& sys,
+                                                lfd_precision precision);
+
+/// Modeled wall seconds for a series of QD steps (Fig 3a plots 500).
+[[nodiscard]] double model_series_seconds(const device_spec& spec,
+                                          const calibration& cal,
+                                          const system_shape& sys,
+                                          lfd_precision precision,
+                                          int qd_steps = 500);
+
+/// HBM bytes of the resident wave-function state (capacity check: the
+/// 135-atom system is the largest that fits in a 64 GB stack — Table V).
+[[nodiscard]] double wavefunction_bytes(const system_shape& sys,
+                                        gemm_precision precision);
+
+}  // namespace dcmesh::xehpc

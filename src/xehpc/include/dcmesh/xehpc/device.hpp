@@ -1,0 +1,60 @@
+#pragma once
+// device.hpp — Intel Data Center GPU Max Series 1550 single-stack model.
+//
+// The paper runs on one stack of a Max 1550 ("Ponte Vecchio").  No such
+// hardware is available in this reproduction, so its performance-relevant
+// characteristics are captured here as an explicit analytical model: the
+// Table I theoretical peaks, HBM bandwidth, and capacity.  Everything the
+// performance benches report is derived from this one structure, so the
+// substitution (documented in DESIGN.md) is transparent and auditable.
+
+#include <string_view>
+
+namespace dcmesh::xehpc {
+
+/// Precision levels with distinct theoretical peaks (paper Table I).
+enum class peak_precision { fp64, fp32, tf32, bf16, fp16, int8 };
+
+/// Execution engine that reaches the peak for a precision.
+enum class engine { vector, matrix };
+
+/// Single-stack hardware description.  Defaults are the Max 1550 values the
+/// paper quotes (Sections III-A, IV-A and Table V's 64 GB/stack caption).
+struct device_spec {
+  std::string_view name = "Intel Data Center GPU Max 1550 (single stack)";
+  int execution_units = 448;        ///< XVEs per stack (paper Sec. IV-A).
+  int xe_cores = 56;                ///< 448 EUs / 8 vector engines per core.
+  int vector_engines_per_core = 8;  ///< 512-bit vector engines.
+  int matrix_engines_per_core = 8;  ///< XMX systolic arrays.
+  double frequency_ghz = 1.6;       ///< Peak clock (paper Sec. IV-A).
+
+  // Theoretical peaks for a single stack, in TFLOP/s (TOP/s for INT8) —
+  // paper Table I, sourced from the Hot Chips PVC disclosure [16].
+  double peak_fp64_tflops = 26.0;
+  double peak_fp32_tflops = 26.0;
+  double peak_tf32_tflops = 209.0;
+  double peak_bf16_tflops = 419.0;
+  double peak_fp16_tflops = 419.0;
+  double peak_int8_tops = 839.0;
+
+  double hbm_bandwidth_tb_s = 1.6;  ///< HBM2e per stack (3.2 TB/s per GPU).
+  double hbm_capacity_gb = 64.0;    ///< Per stack (Table V caption).
+  double l2_cache_mb = 204.0;       ///< Per stack (408 MB per GPU).
+};
+
+/// Theoretical peak throughput for `p` in TFLOP/s (TOP/s for INT8).
+[[nodiscard]] double theoretical_peak_tflops(const device_spec& spec,
+                                             peak_precision p) noexcept;
+
+/// Engine class that provides the peak for `p` (Table I "Engines" column).
+[[nodiscard]] engine peak_engine(peak_precision p) noexcept;
+
+/// Display name for a peak precision ("FP64", ..., "INT8").
+[[nodiscard]] std::string_view precision_name(peak_precision p) noexcept;
+
+/// Per-EU operations per clock implied by the Table I peak — a consistency
+/// check tying the peak back to the architecture (peak = EUs * GHz * ops).
+[[nodiscard]] double ops_per_clock_per_eu(const device_spec& spec,
+                                          peak_precision p) noexcept;
+
+}  // namespace dcmesh::xehpc

@@ -1,0 +1,52 @@
+#pragma once
+// energy.hpp — energy-to-solution model (extension).
+//
+// The paper attributes the gap between observed and theoretical speedups
+// partly to *power limitations* (Secs. III-B, V-C).  This extension makes
+// that budget explicit: a simple phase-based power model assigns draw to
+// the vector engines, the XMX arrays, and HBM streaming, and integrates it
+// over the modeled execution to estimate Joules per 500-QD-step series.
+// Reduced-precision modes win twice — less time *and* a cheaper engine-
+// seconds mix — which is the energy argument mixed precision usually
+// leans on.
+
+#include "dcmesh/xehpc/app_model.hpp"
+
+namespace dcmesh::xehpc {
+
+/// Phase power draws for one Max 1550 stack (Watts).  Defaults bracket the
+/// public 600 W OAM module budget split across two stacks plus host-side
+/// overheads; they are model inputs, not measurements.
+struct power_spec {
+  double idle_w = 120.0;         ///< Stack idle / launch gaps.
+  double vector_active_w = 280.0;///< Added draw at sustained vector load.
+  double matrix_active_w = 330.0;///< Added draw at sustained XMX load.
+  double hbm_active_w = 90.0;    ///< Added draw while streaming HBM.
+};
+
+/// Integrated energy estimate.
+struct energy_estimate {
+  double seconds = 0.0;
+  double joules = 0.0;
+  [[nodiscard]] double average_watts() const noexcept {
+    return seconds > 0.0 ? joules / seconds : 0.0;
+  }
+  [[nodiscard]] double watt_hours() const noexcept {
+    return joules / 3600.0;
+  }
+};
+
+/// Energy of one modeled GEMM under `mode`.
+[[nodiscard]] energy_estimate model_gemm_energy(const device_spec& spec,
+                                                const calibration& cal,
+                                                const power_spec& power,
+                                                gemm_shape shape,
+                                                blas::compute_mode mode);
+
+/// Energy of a full series of QD steps for a system/precision (Fig 3a's
+/// time axis converted to Joules).
+[[nodiscard]] energy_estimate model_series_energy(
+    const device_spec& spec, const calibration& cal, const power_spec& power,
+    const system_shape& sys, lfd_precision precision, int qd_steps = 500);
+
+}  // namespace dcmesh::xehpc

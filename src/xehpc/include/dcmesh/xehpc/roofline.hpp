@@ -1,0 +1,67 @@
+#pragma once
+// roofline.hpp — GEMM execution-time model for one Max 1550 stack.
+//
+// A staged roofline: a GEMM call costs launch overhead, plus the memory
+// time to stream its operands through HBM, plus compute time on the engine
+// the active compute mode uses.  Shape-efficiency factors capture the two
+// effects the paper calls out (Section V-C): the small m = 128 dimension
+// starves the systolic arrays, and sustained throughput is power-limited
+// well below the Table I peaks.  Multi-component modes (BF16x2/x3) reuse
+// staged tiles across their component products, so marginal products cost
+// less than the first — this is what keeps BF16x3 faster than FP32
+// end-to-end, as the paper's artifact ordering requires.
+//
+// Calibration constants live in calibration.hpp; the three anchors they are
+// tuned against (max BF16 BLAS speedup 3.91x, 135-atom end-to-end times,
+// FP64:FP32 ratio) are printed by the benches that use the model.
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/xehpc/calibration.hpp"
+#include "dcmesh/xehpc/device.hpp"
+
+namespace dcmesh::xehpc {
+
+/// Element precision of the GEMM data as stored in memory.
+enum class gemm_precision { fp32, fp64 };
+
+/// Shape of a GEMM call (column-major C = op(A)[m x k] * op(B)[k x n]).
+struct gemm_shape {
+  blas::blas_int m = 0;
+  blas::blas_int n = 0;
+  blas::blas_int k = 0;
+  bool is_complex = false;
+  gemm_precision precision = gemm_precision::fp32;
+};
+
+/// Breakdown of one modeled GEMM execution.
+struct gemm_time {
+  double launch_s = 0.0;   ///< Kernel-launch / driver overhead.
+  double memory_s = 0.0;   ///< HBM streaming time.
+  double compute_s = 0.0;  ///< Engine time (all component products).
+  [[nodiscard]] double total_s() const noexcept {
+    return launch_s + memory_s + compute_s;
+  }
+};
+
+/// Model the execution time of one GEMM under `mode` on `spec`.
+/// FP64 data always runs the standard vector path; FP32 split modes run on
+/// XMX at the component precision's peak.
+[[nodiscard]] gemm_time model_gemm(const device_spec& spec,
+                                   const calibration& cal, gemm_shape shape,
+                                   blas::compute_mode mode);
+
+/// Speedup of `mode` over standard FP32 arithmetic for a shape — the
+/// quantity plotted in Figure 3b and tabulated in Table VI.
+[[nodiscard]] double model_speedup_vs_fp32(const device_spec& spec,
+                                           const calibration& cal,
+                                           gemm_shape shape,
+                                           blas::compute_mode mode);
+
+/// Peak theoretical speedup of `mode` vs FP32 from the device peaks alone
+/// (Table II's right column): component-peak ratio divided by the number of
+/// component products; 4/3 for COMPLEX_3M.
+[[nodiscard]] double peak_theoretical_speedup(const device_spec& spec,
+                                              blas::compute_mode mode);
+
+}  // namespace dcmesh::xehpc

@@ -1,0 +1,36 @@
+#pragma once
+// scaling.hpp — multi-stack / multi-node scaling model (paper future work).
+//
+// The paper's conclusion lists "multi-stack and multi-node runs" as future
+// work.  This extension models them: orbitals are partitioned across
+// stacks, each QD step's big GEMMs shrink in n, and the nonlocal correction
+// requires an all-reduce of the Norb x Norb overlap matrix across stacks
+// over Xe-Link (intra-GPU / intra-node) or the host fabric (inter-node).
+
+#include "dcmesh/xehpc/app_model.hpp"
+
+namespace dcmesh::xehpc {
+
+/// Interconnect description for scaled runs.
+struct fabric_spec {
+  double xelink_bandwidth_gb_s = 300.0;  ///< Per-stack Xe-Link aggregate.
+  double node_bandwidth_gb_s = 25.0;     ///< Per-node inter-node fabric.
+  double allreduce_latency_s = 2.0e-5;   ///< Per message, per hop.
+};
+
+/// Result of a scaled-run estimate.
+struct scaled_run {
+  int stacks = 1;
+  double series_seconds = 0.0;     ///< 500-QD-step wall time.
+  double communication_seconds = 0.0;
+  double parallel_efficiency = 1.0;  ///< vs ideal linear scaling.
+};
+
+/// Model a 500-QD-step series on `stacks` stacks (orbital decomposition).
+/// `stacks_per_node` controls when traffic crosses the node fabric.
+[[nodiscard]] scaled_run model_multi_stack_series(
+    const device_spec& spec, const calibration& cal, const fabric_spec& fab,
+    const system_shape& sys, lfd_precision precision, int stacks,
+    int stacks_per_node = 4, int qd_steps = 500);
+
+}  // namespace dcmesh::xehpc

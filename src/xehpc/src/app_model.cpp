@@ -1,0 +1,77 @@
+#include "dcmesh/xehpc/app_model.hpp"
+
+namespace dcmesh::xehpc {
+
+std::vector<qd_blas_call> canonical_qd_step_calls(const system_shape& sys,
+                                                  gemm_precision precision) {
+  const blas::blas_int g = sys.ngrid;
+  const blas::blas_int o = sys.norb;
+  const blas::blas_int occ = sys.nocc;
+  const blas::blas_int unocc = o - occ;
+  const auto cplx = [precision](blas::blas_int m, blas::blas_int n,
+                                blas::blas_int k) {
+    return gemm_shape{m, n, k, /*is_complex=*/true, precision};
+  };
+  // The three "BLASified" nonlocal-correction sites the paper names
+  // (Section V-A), 9 calls total per QD step:
+  return {
+      // nlp_prop — Eq. (1): Psi(t) <- c Psi(0) Psi^H(0) Psi(t).
+      {"nlp_prop", cplx(o, o, g)},      // G = Psi0^H * Psi(t)
+      {"nlp_prop", cplx(g, o, o)},      // Psi += c * Psi0 * G
+      {"nlp_prop", cplx(o, o, o)},      // Gram correction O = G^H G
+      // calc_energy — kinetic + nonlocal energy in the KS basis.
+      {"calc_energy", cplx(o, o, g)},   // T = Psi^H * (K Psi)
+      {"calc_energy", cplx(o, o, o)},   // D = F * G (occupation weighting)
+      {"calc_energy", cplx(o, o, o)},   // E_rot = G^H * T
+      // remap_occ — occupied/unoccupied overlap; Table VII's GEMM.
+      {"remap_occ", cplx(occ, unocc, g)},  // S = Psi0_occ^H * Psi_unocc
+      {"remap_occ", cplx(occ, occ, unocc)},  // O_occ = S * S^H
+      {"remap_occ", cplx(unocc, occ, occ)},  // rotation of leaked occupation
+  };
+}
+
+double model_qd_step_blas_seconds(const device_spec& spec,
+                                  const calibration& cal,
+                                  const system_shape& sys,
+                                  lfd_precision precision) {
+  // FP64 LFD runs every call in standard double arithmetic.
+  const blas::compute_mode mode = precision.data == gemm_precision::fp64
+                                      ? blas::compute_mode::standard
+                                      : precision.mode;
+  double total = 0.0;
+  for (const auto& call : canonical_qd_step_calls(sys, precision.data)) {
+    total += model_gemm(spec, cal, call.shape, mode).total_s();
+  }
+  return total;
+}
+
+double wavefunction_bytes(const system_shape& sys, gemm_precision precision) {
+  const double elem = precision == gemm_precision::fp64 ? 16.0 : 8.0;
+  return static_cast<double>(sys.ngrid) * static_cast<double>(sys.norb) *
+         elem;
+}
+
+double model_qd_step_mesh_seconds(const device_spec& spec,
+                                  const calibration& cal,
+                                  const system_shape& sys,
+                                  lfd_precision precision) {
+  const bool fp64 = precision.data == gemm_precision::fp64;
+  const double state_bytes = wavefunction_bytes(sys, precision.data);
+  const double bw_eff = fp64 ? cal.fp64_mesh_bandwidth_efficiency
+                             : cal.mesh_bandwidth_efficiency;
+  const double bw = spec.hbm_bandwidth_tb_s * 1e12 * bw_eff;
+  // One sweep = read + write of the full wave-function block.
+  const double swept = cal.mesh_sweeps_per_qd_step * 2.0 * state_bytes;
+  return swept / bw + cal.qd_step_overhead_s;
+}
+
+double model_series_seconds(const device_spec& spec, const calibration& cal,
+                            const system_shape& sys, lfd_precision precision,
+                            int qd_steps) {
+  const double per_step =
+      model_qd_step_blas_seconds(spec, cal, sys, precision) +
+      model_qd_step_mesh_seconds(spec, cal, sys, precision);
+  return per_step * qd_steps;
+}
+
+}  // namespace dcmesh::xehpc

@@ -1,0 +1,47 @@
+#include "dcmesh/xehpc/device.hpp"
+
+namespace dcmesh::xehpc {
+
+double theoretical_peak_tflops(const device_spec& spec,
+                               peak_precision p) noexcept {
+  switch (p) {
+    case peak_precision::fp64: return spec.peak_fp64_tflops;
+    case peak_precision::fp32: return spec.peak_fp32_tflops;
+    case peak_precision::tf32: return spec.peak_tf32_tflops;
+    case peak_precision::bf16: return spec.peak_bf16_tflops;
+    case peak_precision::fp16: return spec.peak_fp16_tflops;
+    case peak_precision::int8: return spec.peak_int8_tops;
+  }
+  return 0.0;
+}
+
+engine peak_engine(peak_precision p) noexcept {
+  switch (p) {
+    case peak_precision::fp64:
+    case peak_precision::fp32:
+      return engine::vector;
+    default:
+      return engine::matrix;
+  }
+}
+
+std::string_view precision_name(peak_precision p) noexcept {
+  switch (p) {
+    case peak_precision::fp64: return "FP64";
+    case peak_precision::fp32: return "FP32";
+    case peak_precision::tf32: return "TF32";
+    case peak_precision::bf16: return "BF16";
+    case peak_precision::fp16: return "FP16";
+    case peak_precision::int8: return "INT8";
+  }
+  return "?";
+}
+
+double ops_per_clock_per_eu(const device_spec& spec,
+                            peak_precision p) noexcept {
+  const double clocks_per_second = spec.frequency_ghz * 1e9;
+  const double total_ops = theoretical_peak_tflops(spec, p) * 1e12;
+  return total_ops / (clocks_per_second * spec.execution_units);
+}
+
+}  // namespace dcmesh::xehpc

@@ -1,0 +1,65 @@
+#include "dcmesh/xehpc/energy.hpp"
+
+namespace dcmesh::xehpc {
+namespace {
+
+/// Engine class a GEMM's compute phase runs on under `mode`.
+bool uses_matrix_engines(gemm_precision precision, blas::compute_mode mode) {
+  if (precision == gemm_precision::fp64) return false;
+  switch (mode) {
+    case blas::compute_mode::float_to_bf16:
+    case blas::compute_mode::float_to_bf16x2:
+    case blas::compute_mode::float_to_bf16x3:
+    case blas::compute_mode::float_to_tf32:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+energy_estimate model_gemm_energy(const device_spec& spec,
+                                  const calibration& cal,
+                                  const power_spec& power, gemm_shape shape,
+                                  blas::compute_mode mode) {
+  const gemm_time t = model_gemm(spec, cal, shape, mode);
+  const double engine_w = uses_matrix_engines(shape.precision, mode)
+                              ? power.matrix_active_w
+                              : power.vector_active_w;
+  energy_estimate e;
+  e.seconds = t.total_s();
+  e.joules = power.idle_w * t.total_s()          // baseline over the call
+             + engine_w * t.compute_s            // engine-active phase
+             + power.hbm_active_w * t.memory_s;  // streaming phase
+  return e;
+}
+
+energy_estimate model_series_energy(const device_spec& spec,
+                                    const calibration& cal,
+                                    const power_spec& power,
+                                    const system_shape& sys,
+                                    lfd_precision precision, int qd_steps) {
+  const blas::compute_mode mode = precision.data == gemm_precision::fp64
+                                      ? blas::compute_mode::standard
+                                      : precision.mode;
+  energy_estimate step;
+  for (const auto& call : canonical_qd_step_calls(sys, precision.data)) {
+    const energy_estimate g =
+        model_gemm_energy(spec, cal, power, call.shape, mode);
+    step.seconds += g.seconds;
+    step.joules += g.joules;
+  }
+  // Non-BLAS mesh kernels are bandwidth-bound sweeps: idle + HBM draw.
+  const double mesh_s =
+      model_qd_step_mesh_seconds(spec, cal, sys, precision);
+  step.seconds += mesh_s;
+  step.joules += (power.idle_w + power.hbm_active_w) * mesh_s;
+
+  energy_estimate total;
+  total.seconds = step.seconds * qd_steps;
+  total.joules = step.joules * qd_steps;
+  return total;
+}
+
+}  // namespace dcmesh::xehpc

@@ -1,0 +1,129 @@
+#include "dcmesh/xehpc/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcmesh::xehpc {
+namespace {
+
+using blas::compute_mode;
+
+/// Saturating shape-efficiency factor d/(d + half).
+double sat(double d, double half) noexcept { return d / (d + half); }
+
+/// Shape efficiency of the vector-engine GEMM path.
+double vector_shape_eff(const calibration& cal, const gemm_shape& s) {
+  return sat(static_cast<double>(s.m), cal.vector_m_half) *
+         sat(static_cast<double>(s.n), cal.vector_n_half) *
+         sat(static_cast<double>(s.k), cal.vector_k_half);
+}
+
+/// Shape efficiency of the XMX systolic GEMM path.
+double matrix_shape_eff(const calibration& cal, const gemm_shape& s) {
+  return sat(static_cast<double>(s.m), cal.matrix_m_half) *
+         cal.matrix_n_scale * sat(static_cast<double>(s.n),
+                                  cal.matrix_n_half) *
+         sat(static_cast<double>(s.k), cal.matrix_k_half);
+}
+
+/// Standard-arithmetic flop count of the call.
+double nominal_flops(const gemm_shape& s) noexcept {
+  return blas::gemm_flops(s.is_complex, s.m, s.n, s.k);
+}
+
+/// Bytes streamed from/to HBM for one call (A and B read once, C read and
+/// written once; packing reuse keeps traffic near this floor for the
+/// shapes DCMESH uses, where k is huge and A/B dominate).
+double stream_bytes(const gemm_shape& s, compute_mode mode,
+                    const calibration& cal) noexcept {
+  const std::size_t elem =
+      (s.precision == gemm_precision::fp64 ? 8u : 4u) *
+      (s.is_complex ? 2u : 1u);
+  double bytes = blas::gemm_bytes(s.m, s.n, s.k, elem);
+  if (mode == compute_mode::complex_3m && s.is_complex) {
+    bytes *= cal.complex_3m_traffic;
+  }
+  return bytes;
+}
+
+/// Equivalent component-product count: the first product is full price;
+/// subsequent products reuse staged tiles at marginal cost.
+double equivalent_products(int products, const calibration& cal) noexcept {
+  return 1.0 + (products - 1) * cal.component_marginal_cost;
+}
+
+}  // namespace
+
+gemm_time model_gemm(const device_spec& spec, const calibration& cal,
+                     gemm_shape shape, compute_mode mode) {
+  gemm_time t;
+  t.launch_s = cal.kernel_launch_s;
+  if (shape.m == 0 || shape.n == 0 || shape.k == 0) return t;
+
+  // FP64 data and FP32 under standard/3M run on the vector engines.
+  const bool split_mode =
+      shape.precision == gemm_precision::fp32 &&
+      (mode == compute_mode::float_to_bf16 ||
+       mode == compute_mode::float_to_bf16x2 ||
+       mode == compute_mode::float_to_bf16x3 ||
+       mode == compute_mode::float_to_tf32);
+
+  t.memory_s = stream_bytes(shape, mode, cal) /
+               (spec.hbm_bandwidth_tb_s * 1e12 * cal.hbm_efficiency);
+
+  double flops = nominal_flops(shape);
+  if (split_mode) {
+    const auto& mi = blas::info(mode);
+    const double component_peak_tflops =
+        mode == compute_mode::float_to_tf32 ? spec.peak_tf32_tflops
+                                            : spec.peak_bf16_tflops;
+    const double rate = component_peak_tflops * 1e12 *
+                        cal.matrix_sustained * matrix_shape_eff(cal, shape);
+    t.compute_s =
+        flops * equivalent_products(mi.component_products, cal) / rate;
+    return t;
+  }
+
+  if (mode == compute_mode::complex_3m && shape.is_complex) {
+    flops *= 0.75;  // 3 of 4 multiplications; extra adds are in the traffic.
+  }
+  const double peak_tflops = shape.precision == gemm_precision::fp64
+                                 ? spec.peak_fp64_tflops
+                                 : spec.peak_fp32_tflops;
+  const double rate = peak_tflops * 1e12 * cal.vector_sustained *
+                      vector_shape_eff(cal, shape);
+  t.compute_s = flops / rate;
+  return t;
+}
+
+double model_speedup_vs_fp32(const device_spec& spec, const calibration& cal,
+                             gemm_shape shape, compute_mode mode) {
+  gemm_shape fp32_shape = shape;
+  fp32_shape.precision = gemm_precision::fp32;
+  const double reference =
+      model_gemm(spec, cal, fp32_shape, compute_mode::standard).total_s();
+  const double alternative = model_gemm(spec, cal, shape, mode).total_s();
+  return reference / alternative;
+}
+
+double peak_theoretical_speedup(const device_spec& spec,
+                                blas::compute_mode mode) {
+  using blas::compute_mode;
+  switch (mode) {
+    case compute_mode::float_to_bf16:
+      return spec.peak_bf16_tflops / spec.peak_fp32_tflops;
+    case compute_mode::float_to_bf16x2:
+      return spec.peak_bf16_tflops / spec.peak_fp32_tflops / 3.0;
+    case compute_mode::float_to_bf16x3:
+      return spec.peak_bf16_tflops / spec.peak_fp32_tflops / 6.0;
+    case compute_mode::float_to_tf32:
+      return spec.peak_tf32_tflops / spec.peak_fp32_tflops;
+    case compute_mode::complex_3m:
+      return 4.0 / 3.0;
+    case compute_mode::standard:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace dcmesh::xehpc

@@ -1,0 +1,67 @@
+#include "dcmesh/xehpc/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dcmesh::xehpc {
+
+scaled_run model_multi_stack_series(const device_spec& spec,
+                                    const calibration& cal,
+                                    const fabric_spec& fab,
+                                    const system_shape& sys,
+                                    lfd_precision precision, int stacks,
+                                    int stacks_per_node, int qd_steps) {
+  if (stacks < 1) throw std::invalid_argument("stacks must be >= 1");
+  if (stacks_per_node < 1) {
+    throw std::invalid_argument("stacks_per_node must be >= 1");
+  }
+
+  // Orbital-column decomposition: each stack owns ~norb/stacks orbital
+  // columns.  Every GEMM keeps its global m and k (the overlap matrix and
+  // the mesh are replicated) and shrinks only its n — work drops linearly
+  // in the stack count, with the usual narrow-panel efficiency loss.
+  const blas::compute_mode mode =
+      precision.data == gemm_precision::fp64 ? blas::compute_mode::standard
+                                             : precision.mode;
+  double blas_step = 0.0;
+  for (const auto& call : canonical_qd_step_calls(sys, precision.data)) {
+    gemm_shape local_shape = call.shape;
+    local_shape.n = std::max<blas::blas_int>(
+        1, (call.shape.n + stacks - 1) / stacks);
+    blas_step += model_gemm(spec, cal, local_shape, mode).total_s();
+  }
+  // Mesh kernels act on the local orbital slab only.
+  system_shape local = sys;
+  local.norb = std::max<blas::blas_int>(1, (sys.norb + stacks - 1) / stacks);
+  local.nocc = std::max<blas::blas_int>(
+      1, (sys.nocc * local.norb) / std::max<blas::blas_int>(1, sys.norb));
+  const double local_step =
+      blas_step + model_qd_step_mesh_seconds(spec, cal, local, precision);
+
+  // Per step: all-reduce of the Norb x Norb overlap matrix (complex) built
+  // by nlp_prop.  Ring all-reduce moves ~2 * bytes * (s-1)/s per stack.
+  double comm_step = 0.0;
+  if (stacks > 1) {
+    const double elem = precision.data == gemm_precision::fp64 ? 16.0 : 8.0;
+    const double overlap_bytes = static_cast<double>(sys.norb) *
+                                 static_cast<double>(sys.norb) * elem;
+    const bool crosses_node = stacks > stacks_per_node;
+    const double bw_gb =
+        crosses_node ? fab.node_bandwidth_gb_s : fab.xelink_bandwidth_gb_s;
+    const double frac = 2.0 * (stacks - 1) / static_cast<double>(stacks);
+    comm_step = overlap_bytes * frac / (bw_gb * 1e9) +
+                fab.allreduce_latency_s * std::ceil(std::log2(stacks));
+  }
+
+  scaled_run run;
+  run.stacks = stacks;
+  run.communication_seconds = comm_step * qd_steps;
+  run.series_seconds = (local_step + comm_step) * qd_steps;
+  const double single =
+      model_series_seconds(spec, cal, sys, precision, qd_steps);
+  run.parallel_efficiency = single / (run.series_seconds * stacks);
+  return run;
+}
+
+}  // namespace dcmesh::xehpc

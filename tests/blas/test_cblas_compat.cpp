@@ -1,0 +1,113 @@
+// Tests for the CBLAS-style C API, including the row-major forwarding
+// identity and compute-mode inheritance.
+
+#include "dcmesh/blas/cblas_compat.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/blas/gemm_ref.hpp"
+#include "dcmesh/common/rng.hpp"
+
+namespace dcmesh::blas {
+namespace {
+
+TEST(CblasCompat, ColMajorSgemmMatchesNative) {
+  xoshiro256 rng(1);
+  const int m = 5, n = 4, k = 3;
+  std::vector<float> a(m * k), b(k * n), c1(m * n, 1.0f), c2(m * n, 1.0f);
+  for (auto& x : a) x = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& x : b) x = static_cast<float>(rng.uniform(-1, 1));
+  clear_compute_mode();
+  dcmesh_cblas_sgemm(DcmeshCblasColMajor, DcmeshCblasNoTrans,
+                     DcmeshCblasNoTrans, m, n, k, 2.0f, a.data(), m,
+                     b.data(), k, 0.5f, c1.data(), m);
+  sgemm(transpose::none, transpose::none, m, n, k, 2.0f, a.data(), m,
+        b.data(), k, 0.5f, c2.data(), m);
+  EXPECT_EQ(c1, c2);  // same code path -> bit identical
+}
+
+TEST(CblasCompat, RowMajorEqualsTransposedColMajor) {
+  // Row-major A (2x3) and B (3x2): C = A B is 2x2 row-major.
+  const std::vector<double> a{1, 2, 3,   //
+                              4, 5, 6};  // row-major 2x3
+  const std::vector<double> b{7, 8,      //
+                              9, 10,     //
+                              11, 12};   // row-major 3x2
+  std::vector<double> c(4, 0.0);
+  dcmesh_cblas_dgemm(DcmeshCblasRowMajor, DcmeshCblasNoTrans,
+                     DcmeshCblasNoTrans, 2, 2, 3, 1.0, a.data(), 3,
+                     b.data(), 2, 0.0, c.data(), 2);
+  // Hand-computed: [ [58, 64], [139, 154] ] row-major.
+  EXPECT_DOUBLE_EQ(c[0], 58);
+  EXPECT_DOUBLE_EQ(c[1], 64);
+  EXPECT_DOUBLE_EQ(c[2], 139);
+  EXPECT_DOUBLE_EQ(c[3], 154);
+}
+
+TEST(CblasCompat, RowMajorWithTransposes) {
+  // C = A^T B in row-major, A is (k x m) = 3x2 row-major.
+  const std::vector<double> a{1, 4, 2, 5, 3, 6};       // 3x2 row-major
+  const std::vector<double> b{7, 8, 9, 10, 11, 12};    // 3x2 row-major
+  std::vector<double> c(4, 0.0);
+  dcmesh_cblas_dgemm(DcmeshCblasRowMajor, DcmeshCblasTrans,
+                     DcmeshCblasNoTrans, 2, 2, 3, 1.0, a.data(), 2,
+                     b.data(), 2, 0.0, c.data(), 2);
+  // A^T = [[1,2,3],[4,5,6]] -> same product as above.
+  EXPECT_DOUBLE_EQ(c[0], 58);
+  EXPECT_DOUBLE_EQ(c[1], 64);
+  EXPECT_DOUBLE_EQ(c[2], 139);
+  EXPECT_DOUBLE_EQ(c[3], 154);
+}
+
+TEST(CblasCompat, ComplexConjTranspose) {
+  using C = std::complex<float>;
+  const std::vector<C> a{{0, 1}, {1, 0}};  // column vector-ish 2x1
+  const std::vector<C> b{{0, 1}, {2, 0}};  // 2x1
+  std::vector<C> c(1, C(0));
+  const C one(1, 0), zero(0, 0);
+  // C = A^H B (1x1): conj(i)*i + conj(1)*2 = 1 + 2 = 3.
+  dcmesh_cblas_cgemm(DcmeshCblasColMajor, DcmeshCblasConjTrans,
+                     DcmeshCblasNoTrans, 1, 1, 2, &one, a.data(), 2,
+                     b.data(), 2, &zero, c.data(), 1);
+  EXPECT_EQ(c[0], C(3, 0));
+}
+
+TEST(CblasCompat, ZgemmComplexScalars) {
+  using Z = std::complex<double>;
+  const std::vector<Z> a{{1, 1}};
+  const std::vector<Z> b{{2, -1}};
+  std::vector<Z> c{{5, 5}};
+  const Z alpha(0, 1), beta(2, 0);
+  dcmesh_cblas_zgemm(DcmeshCblasColMajor, DcmeshCblasNoTrans,
+                     DcmeshCblasNoTrans, 1, 1, 1, &alpha, a.data(), 1,
+                     b.data(), 1, &beta, c.data(), 1);
+  // alpha*a*b + beta*c = i*(1+i)(2-i) + 2(5+5i) = i*(3+i) + 10+10i
+  //                    = (-1+3i) + 10+10i = 9+13i.
+  EXPECT_NEAR(std::abs(c[0] - Z(9, 13)), 0.0, 1e-12);
+}
+
+TEST(CblasCompat, InheritsComputeMode) {
+  xoshiro256 rng(2);
+  const int n = 64;
+  std::vector<float> a(n * n), b(n * n), c_std(n * n), c_mode(n * n);
+  for (auto& x : a) x = static_cast<float>(rng.uniform(0.1, 1));
+  for (auto& x : b) x = static_cast<float>(rng.uniform(0.1, 1));
+  clear_compute_mode();
+  dcmesh_cblas_sgemm(DcmeshCblasColMajor, DcmeshCblasNoTrans,
+                     DcmeshCblasNoTrans, n, n, n, 1.0f, a.data(), n,
+                     b.data(), n, 0.0f, c_std.data(), n);
+  {
+    scoped_compute_mode mode(compute_mode::float_to_bf16);
+    dcmesh_cblas_sgemm(DcmeshCblasColMajor, DcmeshCblasNoTrans,
+                       DcmeshCblasNoTrans, n, n, n, 1.0f, a.data(), n,
+                       b.data(), n, 0.0f, c_mode.data(), n);
+  }
+  EXPECT_NE(c_std, c_mode);  // the C API really switched arithmetic
+}
+
+}  // namespace
+}  // namespace dcmesh::blas

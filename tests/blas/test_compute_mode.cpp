@@ -1,0 +1,125 @@
+// Unit tests for the compute-mode registry and resolution order
+// (paper Table II + the env-var control the methodology depends on).
+
+#include "dcmesh/blas/compute_mode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dcmesh/common/env.hpp"
+
+namespace dcmesh::blas {
+namespace {
+
+class ComputeModeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear_compute_mode();
+    env_unset(kComputeModeEnvVar);
+  }
+  void TearDown() override {
+    clear_compute_mode();
+    env_unset(kComputeModeEnvVar);
+  }
+};
+
+TEST_F(ComputeModeTest, DefaultIsStandard) {
+  EXPECT_EQ(active_compute_mode(), compute_mode::standard);
+}
+
+TEST_F(ComputeModeTest, RegistryMatchesTable2) {
+  const auto& reg = compute_mode_registry();
+  ASSERT_EQ(reg.size(), 6u);
+  // Table II rows: env var token and peak theoretical speedup vs FP32.
+  EXPECT_EQ(info(compute_mode::float_to_bf16).env_token, "FLOAT_TO_BF16");
+  EXPECT_DOUBLE_EQ(info(compute_mode::float_to_bf16).peak_theoretical_speedup,
+                   16.0);
+  EXPECT_EQ(info(compute_mode::float_to_bf16x2).env_token,
+            "FLOAT_TO_BF16X2");
+  EXPECT_DOUBLE_EQ(
+      info(compute_mode::float_to_bf16x2).peak_theoretical_speedup,
+      16.0 / 3.0);
+  EXPECT_EQ(info(compute_mode::float_to_bf16x3).env_token,
+            "FLOAT_TO_BF16X3");
+  EXPECT_DOUBLE_EQ(
+      info(compute_mode::float_to_bf16x3).peak_theoretical_speedup,
+      8.0 / 3.0);
+  EXPECT_EQ(info(compute_mode::float_to_tf32).env_token, "FLOAT_TO_TF32");
+  EXPECT_DOUBLE_EQ(info(compute_mode::float_to_tf32).peak_theoretical_speedup,
+                   8.0);
+  EXPECT_EQ(info(compute_mode::complex_3m).env_token, "COMPLEX_3M");
+  EXPECT_DOUBLE_EQ(info(compute_mode::complex_3m).peak_theoretical_speedup,
+                   4.0 / 3.0);
+}
+
+TEST_F(ComputeModeTest, ComponentProducts) {
+  // 1, 3, 6 products explain the 16x, 16/3x, 8/3x ladder.
+  EXPECT_EQ(info(compute_mode::float_to_bf16).component_products, 1);
+  EXPECT_EQ(info(compute_mode::float_to_bf16x2).component_products, 3);
+  EXPECT_EQ(info(compute_mode::float_to_bf16x3).component_products, 6);
+  EXPECT_EQ(info(compute_mode::float_to_tf32).component_products, 1);
+}
+
+TEST_F(ComputeModeTest, ParseTokens) {
+  EXPECT_EQ(parse_compute_mode("FLOAT_TO_BF16"),
+            compute_mode::float_to_bf16);
+  EXPECT_EQ(parse_compute_mode("float_to_bf16x2"),
+            compute_mode::float_to_bf16x2);  // case-insensitive
+  EXPECT_EQ(parse_compute_mode("  COMPLEX_3M  "),
+            compute_mode::complex_3m);  // trimmed
+  EXPECT_EQ(parse_compute_mode("bogus"), std::nullopt);
+  EXPECT_EQ(parse_compute_mode(""), std::nullopt);
+}
+
+TEST_F(ComputeModeTest, EnvVarSelectsMode) {
+  // The paper's whole point: "requires no source code changes (only
+  // environment variables)".
+  env_set(kComputeModeEnvVar, "FLOAT_TO_TF32");
+  EXPECT_EQ(active_compute_mode(), compute_mode::float_to_tf32);
+  env_set(kComputeModeEnvVar, "FLOAT_TO_BF16X3");
+  EXPECT_EQ(active_compute_mode(), compute_mode::float_to_bf16x3);
+}
+
+TEST_F(ComputeModeTest, UnknownEnvValueFallsBackToStandard) {
+  env_set(kComputeModeEnvVar, "NOT_A_MODE");
+  EXPECT_EQ(active_compute_mode(), compute_mode::standard);
+}
+
+TEST_F(ComputeModeTest, ApiOverridesEnv) {
+  env_set(kComputeModeEnvVar, "FLOAT_TO_BF16");
+  set_compute_mode(compute_mode::complex_3m);
+  EXPECT_EQ(active_compute_mode(), compute_mode::complex_3m);
+  clear_compute_mode();
+  EXPECT_EQ(active_compute_mode(), compute_mode::float_to_bf16);
+}
+
+TEST_F(ComputeModeTest, ScopedOverrideNestsAndRestores) {
+  set_compute_mode(compute_mode::float_to_bf16);
+  {
+    scoped_compute_mode outer(compute_mode::float_to_tf32);
+    EXPECT_EQ(active_compute_mode(), compute_mode::float_to_tf32);
+    {
+      scoped_compute_mode inner(compute_mode::standard);
+      EXPECT_EQ(active_compute_mode(), compute_mode::standard);
+    }
+    EXPECT_EQ(active_compute_mode(), compute_mode::float_to_tf32);
+  }
+  EXPECT_EQ(active_compute_mode(), compute_mode::float_to_bf16);
+}
+
+TEST_F(ComputeModeTest, Names) {
+  EXPECT_EQ(name(compute_mode::standard), "FP32");
+  EXPECT_EQ(name(compute_mode::float_to_bf16), "BF16");
+  EXPECT_EQ(name(compute_mode::float_to_bf16x2), "BF16x2");
+  EXPECT_EQ(name(compute_mode::float_to_bf16x3), "BF16x3");
+  EXPECT_EQ(name(compute_mode::float_to_tf32), "TF32");
+  EXPECT_EQ(name(compute_mode::complex_3m), "Complex_3m");
+}
+
+TEST_F(ComputeModeTest, ComponentMantissaBits) {
+  EXPECT_EQ(info(compute_mode::float_to_bf16).component_mantissa_bits, 7);
+  EXPECT_EQ(info(compute_mode::float_to_tf32).component_mantissa_bits, 10);
+  EXPECT_EQ(info(compute_mode::standard).component_mantissa_bits, 23);
+}
+
+}  // namespace
+}  // namespace dcmesh::blas

@@ -1,0 +1,168 @@
+// Randomized GEMM conformance sweep: many random shapes, operations,
+// leading dimensions, and alpha/beta values for all four precisions and
+// all compute modes, each validated against the double-accumulated
+// reference.  This is the broad-coverage net behind the targeted tests.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/gemm_ref.hpp"
+#include "dcmesh/common/rng.hpp"
+
+namespace dcmesh::blas {
+namespace {
+
+struct fuzz_case {
+  unsigned seed;
+};
+
+transpose random_op(xoshiro256& rng, bool allow_conj) {
+  const double u = rng.uniform();
+  if (u < 0.34) return transpose::none;
+  if (u < 0.67 || !allow_conj) return transpose::trans;
+  return transpose::conj_trans;
+}
+
+template <typename T>
+T random_scalar(xoshiro256& rng) {
+  if constexpr (std::is_floating_point_v<T>) {
+    // Mix exact-zero/one special cases with generic values.
+    const double u = rng.uniform();
+    if (u < 0.15) return T(0);
+    if (u < 0.3) return T(1);
+    return static_cast<T>(rng.uniform(-2, 2));
+  } else {
+    using R = typename T::value_type;
+    const double u = rng.uniform();
+    if (u < 0.15) return T(0);
+    if (u < 0.3) return T(1);
+    return {static_cast<R>(rng.uniform(-2, 2)),
+            static_cast<R>(rng.uniform(-2, 2))};
+  }
+}
+
+template <typename T>
+std::vector<T> random_vec(xoshiro256& rng, std::size_t n) {
+  std::vector<T> v(n);
+  for (auto& x : v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      x = static_cast<T>(rng.uniform(-1, 1));
+    } else {
+      using R = typename T::value_type;
+      x = {static_cast<R>(rng.uniform(-1, 1)),
+           static_cast<R>(rng.uniform(-1, 1))};
+    }
+  }
+  return v;
+}
+
+/// Run one random case for type T under `mode`; tolerance scales with the
+/// mode's component mantissa bits and the reduction length.
+template <typename T>
+void run_case(unsigned seed, compute_mode mode, double tol_scale) {
+  xoshiro256 rng(seed);
+  const auto m = static_cast<blas_int>(1 + rng.uniform() * 40);
+  const auto n = static_cast<blas_int>(1 + rng.uniform() * 40);
+  const auto k = static_cast<blas_int>(1 + rng.uniform() * 150);
+  const transpose ta = random_op(rng, !std::is_floating_point_v<T>);
+  const transpose tb = random_op(rng, !std::is_floating_point_v<T>);
+  const blas_int rows_a = ta == transpose::none ? m : k;
+  const blas_int cols_a = ta == transpose::none ? k : m;
+  const blas_int rows_b = tb == transpose::none ? k : n;
+  const blas_int cols_b = tb == transpose::none ? n : k;
+  const blas_int lda = rows_a + static_cast<blas_int>(rng.uniform() * 5);
+  const blas_int ldb = rows_b + static_cast<blas_int>(rng.uniform() * 5);
+  const blas_int ldc = m + static_cast<blas_int>(rng.uniform() * 5);
+
+  const auto a = random_vec<T>(rng, static_cast<std::size_t>(lda * cols_a));
+  const auto b = random_vec<T>(rng, static_cast<std::size_t>(ldb * cols_b));
+  auto c = random_vec<T>(rng, static_cast<std::size_t>(ldc * n));
+  auto c_ref = c;
+  const T alpha = random_scalar<T>(rng);
+  const T beta = random_scalar<T>(rng);
+
+  {
+    scoped_compute_mode scope(mode);
+    gemm<T>(ta, tb, alpha, {a.data(), static_cast<std::size_t>(rows_a),
+                            static_cast<std::size_t>(cols_a),
+                            static_cast<std::size_t>(lda)},
+            {b.data(), static_cast<std::size_t>(rows_b),
+             static_cast<std::size_t>(cols_b),
+             static_cast<std::size_t>(ldb)},
+            beta,
+            {c.data(), static_cast<std::size_t>(m),
+             static_cast<std::size_t>(n), static_cast<std::size_t>(ldc)});
+  }
+  if constexpr (std::is_same_v<T, float>) {
+    detail::gemm_ref<float, double>(ta, tb, m, n, k, alpha, a.data(), lda,
+                                    b.data(), ldb, beta, c_ref.data(), ldc);
+  } else if constexpr (std::is_same_v<T, double>) {
+    detail::gemm_ref<double, double>(ta, tb, m, n, k, alpha, a.data(), lda,
+                                     b.data(), ldb, beta, c_ref.data(),
+                                     ldc);
+  } else {
+    using Z = std::complex<double>;
+    detail::gemm_ref<T, Z>(ta, tb, m, n, k, alpha, a.data(), lda, b.data(),
+                           ldb, beta, c_ref.data(), ldc);
+  }
+
+  double scale = 1.0;
+  for (const auto& v : c_ref) scale = std::max(scale, (double)std::abs(v));
+  const double tol = tol_scale * scale * (1.0 + std::sqrt((double)k));
+  for (blas_int j = 0; j < n; ++j) {
+    for (blas_int i = 0; i < m; ++i) {
+      const auto idx = static_cast<std::size_t>(i + j * ldc);
+      ASSERT_NEAR(std::abs(c[idx] - c_ref[idx]), 0.0, tol)
+          << "seed=" << seed << " (" << m << "," << n << "," << k << ") op("
+          << static_cast<char>(ta) << "," << static_cast<char>(tb) << ")";
+    }
+  }
+  // Rows ldc > m of each C column are padding and must be untouched.
+  for (blas_int j = 0; j < n; ++j) {
+    for (blas_int i = m; i < ldc; ++i) {
+      const auto idx = static_cast<std::size_t>(i + j * ldc);
+      ASSERT_EQ(c[idx], c_ref[idx]) << "padding touched, seed=" << seed;
+    }
+  }
+}
+
+class GemmFuzz : public ::testing::TestWithParam<fuzz_case> {};
+
+TEST_P(GemmFuzz, AllTypesStandardMode) {
+  clear_compute_mode();
+  const unsigned seed = GetParam().seed;
+  run_case<float>(seed, compute_mode::standard, 1e-5);
+  run_case<double>(seed + 1000, compute_mode::standard, 1e-13);
+  run_case<std::complex<float>>(seed + 2000, compute_mode::standard, 2e-5);
+  run_case<std::complex<double>>(seed + 3000, compute_mode::standard,
+                                 1e-13);
+}
+
+TEST_P(GemmFuzz, Fp32UnderEveryAlternativeMode) {
+  const unsigned seed = GetParam().seed;
+  run_case<float>(seed + 100, compute_mode::float_to_bf16, 6e-3);
+  run_case<float>(seed + 200, compute_mode::float_to_bf16x2, 1e-4);
+  run_case<float>(seed + 300, compute_mode::float_to_bf16x3, 2e-5);
+  run_case<float>(seed + 400, compute_mode::float_to_tf32, 8e-4);
+  run_case<float>(seed + 500, compute_mode::complex_3m, 1e-5);
+  run_case<std::complex<float>>(seed + 600, compute_mode::float_to_bf16,
+                                6e-3);
+  run_case<std::complex<float>>(seed + 700, compute_mode::complex_3m,
+                                4e-5);
+  run_case<std::complex<float>>(seed + 800, compute_mode::float_to_bf16x3,
+                                4e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GemmFuzz,
+                         ::testing::Values(fuzz_case{11}, fuzz_case{22},
+                                           fuzz_case{33}, fuzz_case{44},
+                                           fuzz_case{55}, fuzz_case{66},
+                                           fuzz_case{77}, fuzz_case{88},
+                                           fuzz_case{99}, fuzz_case{110},
+                                           fuzz_case{121}, fuzz_case{132}));
+
+}  // namespace
+}  // namespace dcmesh::blas

@@ -1,0 +1,212 @@
+// Correctness tests for sgemm/dgemm against the naive reference, across
+// transposes, shapes (including blocking-boundary sizes), and alpha/beta.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <tuple>
+#include <vector>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/gemm_ref.hpp"
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/common/rng.hpp"
+
+namespace dcmesh::blas {
+namespace {
+
+template <typename T>
+std::vector<T> random_data(std::size_t n, unsigned seed) {
+  xoshiro256 rng(seed);
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+struct gemm_case {
+  blas_int m, n, k;
+  transpose ta, tb;
+};
+
+class RealGemm : public ::testing::TestWithParam<gemm_case> {
+ protected:
+  void SetUp() override { clear_compute_mode(); }
+};
+
+TEST_P(RealGemm, SgemmMatchesReference) {
+  const auto [m, n, k, ta, tb] = GetParam();
+  const auto rows_a = ta == transpose::none ? m : k;
+  const auto cols_a = ta == transpose::none ? k : m;
+  const auto rows_b = tb == transpose::none ? k : n;
+  const auto cols_b = tb == transpose::none ? n : k;
+
+  const auto a = random_data<float>(rows_a * cols_a, 1);
+  const auto b = random_data<float>(rows_b * cols_b, 2);
+  auto c1 = random_data<float>(m * n, 3);
+  auto c2 = c1;
+
+  sgemm(ta, tb, m, n, k, 1.7f, a.data(), rows_a, b.data(), rows_b, -0.3f,
+        c1.data(), m);
+  detail::gemm_ref<float, double>(ta, tb, m, n, k, 1.7f, a.data(), rows_a,
+                                  b.data(), rows_b, -0.3f, c2.data(), m);
+
+  for (blas_int i = 0; i < m * n; ++i) {
+    ASSERT_NEAR(c1[i], c2[i], 1e-4f * static_cast<float>(k + 1))
+        << "i=" << i;
+  }
+}
+
+TEST_P(RealGemm, DgemmMatchesReference) {
+  const auto [m, n, k, ta, tb] = GetParam();
+  const auto rows_a = ta == transpose::none ? m : k;
+  const auto cols_a = ta == transpose::none ? k : m;
+  const auto rows_b = tb == transpose::none ? k : n;
+  const auto cols_b = tb == transpose::none ? n : k;
+
+  const auto a = random_data<double>(rows_a * cols_a, 4);
+  const auto b = random_data<double>(rows_b * cols_b, 5);
+  auto c1 = random_data<double>(m * n, 6);
+  auto c2 = c1;
+
+  dgemm(ta, tb, m, n, k, 0.9, a.data(), rows_a, b.data(), rows_b, 1.1,
+        c1.data(), m);
+  detail::gemm_ref<double, double>(ta, tb, m, n, k, 0.9, a.data(), rows_a,
+                                   b.data(), rows_b, 1.1, c2.data(), m);
+  for (blas_int i = 0; i < m * n; ++i) {
+    ASSERT_NEAR(c1[i], c2[i], 1e-12 * static_cast<double>(k + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RealGemm,
+    ::testing::Values(
+        // Tiny and degenerate-ish shapes.
+        gemm_case{1, 1, 1, transpose::none, transpose::none},
+        gemm_case{3, 5, 7, transpose::none, transpose::none},
+        gemm_case{5, 3, 7, transpose::trans, transpose::none},
+        gemm_case{5, 3, 7, transpose::none, transpose::trans},
+        gemm_case{5, 3, 7, transpose::trans, transpose::trans},
+        // Microkernel edges: below/at/above MR=4, NR=16.
+        gemm_case{4, 16, 8, transpose::none, transpose::none},
+        gemm_case{5, 17, 9, transpose::none, transpose::none},
+        gemm_case{3, 15, 3, transpose::trans, transpose::trans},
+        // Cache-block boundaries: kBlockM=64, kBlockK=256, kBlockN=512.
+        gemm_case{64, 32, 256, transpose::none, transpose::none},
+        gemm_case{65, 33, 257, transpose::none, transpose::none},
+        gemm_case{63, 513, 31, transpose::none, transpose::none},
+        gemm_case{130, 70, 300, transpose::trans, transpose::none},
+        // Skinny shapes like DCMESH's (tall k, small m).
+        gemm_case{8, 24, 1024, transpose::trans, transpose::none},
+        gemm_case{256, 8, 16, transpose::none, transpose::trans}));
+
+TEST(RealGemmEdge, ZeroSizedDimensionsAreNoOps) {
+  std::vector<float> c(6, 2.0f);
+  // m = 0 / n = 0: nothing happens, C untouched.
+  sgemm(transpose::none, transpose::none, 0, 3, 4, 1.0f, nullptr, 1, nullptr,
+        4, 0.0f, c.data(), 1);
+  EXPECT_EQ(c[0], 2.0f);
+  // k = 0: C scaled by beta only.
+  sgemm(transpose::none, transpose::none, 2, 3, 0, 1.0f, nullptr, 2, nullptr,
+        1, 0.5f, c.data(), 2);
+  for (float v : c) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(RealGemmEdge, BetaZeroOverwritesGarbage) {
+  std::vector<float> a{1.0f}, b{1.0f};
+  std::vector<float> c{std::numeric_limits<float>::quiet_NaN()};
+  sgemm(transpose::none, transpose::none, 1, 1, 1, 2.0f, a.data(), 1,
+        b.data(), 1, 0.0f, c.data(), 1);
+  EXPECT_EQ(c[0], 2.0f);  // NaN must not propagate through beta = 0
+}
+
+TEST(RealGemmEdge, AlphaZeroSkipsProduct) {
+  std::vector<float> c{3.0f};
+  sgemm(transpose::none, transpose::none, 1, 1, 1, 0.0f, nullptr, 1, nullptr,
+        1, 2.0f, c.data(), 1);
+  EXPECT_EQ(c[0], 6.0f);
+}
+
+TEST(RealGemmEdge, InvalidArgumentsThrow) {
+  std::vector<float> buf(16, 0.0f);
+  EXPECT_THROW(sgemm(transpose::none, transpose::none, -1, 1, 1, 1.0f,
+                     buf.data(), 1, buf.data(), 1, 0.0f, buf.data(), 1),
+               std::invalid_argument);
+  // lda smaller than the rows of A.
+  EXPECT_THROW(sgemm(transpose::none, transpose::none, 4, 1, 2, 1.0f,
+                     buf.data(), 2, buf.data(), 2, 0.0f, buf.data(), 4),
+               std::invalid_argument);
+  // null C with nonzero output.
+  EXPECT_THROW(sgemm(transpose::none, transpose::none, 1, 1, 1, 1.0f,
+                     buf.data(), 1, buf.data(), 1, 0.0f, nullptr, 1),
+               std::invalid_argument);
+}
+
+TEST(RealGemmEdge, StridedLeadingDimensions) {
+  // Submatrix GEMM: lda/ldb/ldc larger than the logical rows.
+  const blas_int m = 3, n = 2, k = 4, lda = 5, ldb = 6, ldc = 7;
+  auto a = random_data<float>(lda * k, 10);
+  auto b = random_data<float>(ldb * n, 11);
+  std::vector<float> c1(ldc * n, 0.5f), c2 = c1;
+  sgemm(transpose::none, transpose::none, m, n, k, 1.0f, a.data(), lda,
+        b.data(), ldb, 2.0f, c1.data(), ldc);
+  detail::gemm_ref<float, double>(transpose::none, transpose::none, m, n, k,
+                                  1.0f, a.data(), lda, b.data(), ldb, 2.0f,
+                                  c2.data(), ldc);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    ASSERT_NEAR(c1[i], c2[i], 1e-4f);
+  }
+  // Padding rows between columns (row index >= m) must be untouched.
+  EXPECT_EQ(c1[m], 0.5f);
+}
+
+TEST(ViewGemm, DispatchesAndValidates) {
+  matrix<double> a(2, 3), b(3, 2), c(2, 2);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = 1.0;
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = 2.0;
+  gemm<double>(transpose::none, transpose::none, 1.0, a.view(), b.view(),
+               0.0, c.view());
+  EXPECT_DOUBLE_EQ(c(0, 0), 6.0);
+  // Mismatched inner dimension throws.
+  matrix<double> bad(4, 2);
+  EXPECT_THROW(gemm<double>(transpose::none, transpose::none, 1.0, a.view(),
+                            bad.view(), 0.0, c.view()),
+               std::invalid_argument);
+  // Wrong C shape throws.
+  matrix<double> small_c(1, 1);
+  EXPECT_THROW(gemm<double>(transpose::none, transpose::none, 1.0, a.view(),
+                            b.view(), 0.0, small_c.view()),
+               std::invalid_argument);
+}
+
+TEST(Threading, ResultsIndependentOfThreadCount) {
+  // Each C tile is owned by one thread and the k-loop order is fixed, so
+  // results must be bit-identical across thread counts.
+  const blas_int m = 130, n = 70, k = 300;
+  const auto a = random_data<float>(m * k, 91);
+  const auto b = random_data<float>(k * n, 92);
+  std::vector<float> c1(m * n, 0.0f), c4(m * n, 0.0f);
+  clear_compute_mode();
+  set_num_threads(1);
+  sgemm(transpose::none, transpose::none, m, n, k, 1.0f, a.data(), m,
+        b.data(), k, 0.0f, c1.data(), m);
+  set_num_threads(4);
+  sgemm(transpose::none, transpose::none, m, n, k, 1.0f, a.data(), m,
+        b.data(), k, 0.0f, c4.data(), m);
+  set_num_threads(0);  // restore default
+  EXPECT_EQ(c1, c4);
+}
+
+TEST(Threading, MklNumThreadsEnvIsHonoured) {
+  set_num_threads(0);
+  env_set("MKL_NUM_THREADS", "3");
+  EXPECT_EQ(get_num_threads(), 3);
+  // Explicit API beats the environment.
+  set_num_threads(2);
+  EXPECT_EQ(get_num_threads(), 2);
+  set_num_threads(0);
+  env_unset("MKL_NUM_THREADS");
+  EXPECT_GE(get_num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace dcmesh::blas

@@ -1,0 +1,128 @@
+// Unit tests for the level-1 BLAS routines.
+
+#include "dcmesh/blas/level1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace dcmesh::blas {
+namespace {
+
+using cf = std::complex<float>;
+using cd = std::complex<double>;
+
+TEST(Level1, AxpyContiguous) {
+  std::vector<double> x{1, 2, 3}, y{10, 20, 30};
+  axpy<double>(3, 2.0, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{12, 24, 36}));
+}
+
+TEST(Level1, AxpyStrided) {
+  std::vector<float> x{1, 0, 2, 0, 3};
+  std::vector<float> y{1, 1, 1};
+  axpy<float>(3, 1.0f, x.data(), 2, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<float>{2, 3, 4}));
+}
+
+TEST(Level1, AxpyNegativeStrideReverses) {
+  // Reference-BLAS semantics: negative incx walks x backwards.
+  std::vector<double> x{1, 2, 3}, y{0, 0, 0};
+  axpy<double>(3, 1.0, x.data(), -1, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{3, 2, 1}));
+}
+
+TEST(Level1, AxpyAlphaZeroNoOp) {
+  std::vector<double> y{5, 5};
+  axpy<double>(2, 0.0, nullptr, 1, y.data(), 1);
+  EXPECT_EQ(y[0], 5);
+}
+
+TEST(Level1, AxpyComplex) {
+  std::vector<cf> x{{1, 1}}, y{{0, 0}};
+  axpy<cf>(1, cf(0, 1), x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y[0], cf(-1, 1));  // i*(1+i) = -1+i
+}
+
+TEST(Level1, ScalAndScalReal) {
+  std::vector<cd> x{{1, 2}, {3, 4}};
+  scal<cd>(2, cd(2, 0), x.data(), 1);
+  EXPECT_EQ(x[0], cd(2, 4));
+  scal_real<double>(2, 0.5, x.data(), 1);
+  EXPECT_EQ(x[1], cd(3, 4));
+}
+
+TEST(Level1, CopyStrided) {
+  std::vector<int>::size_type n = 3;
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y(5, 0.0);
+  copy<double>(static_cast<blas_int>(n), x.data(), 1, y.data(), 2);
+  EXPECT_EQ(y, (std::vector<double>{1, 0, 2, 0, 3}));
+}
+
+TEST(Level1, Nrm2Basics) {
+  std::vector<double> x{3, 4};
+  EXPECT_NEAR(nrm2<double>(2, x.data(), 1), 5.0, 1e-14);
+  std::vector<cf> z{{3, 4}};
+  EXPECT_NEAR(nrm2<cf>(1, z.data(), 1), 5.0, 1e-6);
+}
+
+TEST(Level1, Nrm2AvoidsOverflow) {
+  // Naive sum-of-squares would overflow FP64 here; the scaled form must
+  // not.
+  std::vector<double> x{1e200, 1e200};
+  EXPECT_NEAR(nrm2<double>(2, x.data(), 1), 1e200 * std::sqrt(2.0), 1e187);
+}
+
+TEST(Level1, Nrm2AvoidsUnderflow) {
+  std::vector<double> x{1e-200, 1e-200};
+  EXPECT_NEAR(nrm2<double>(2, x.data(), 1), 1e-200 * std::sqrt(2.0), 1e-213);
+}
+
+TEST(Level1, DotuAndDotc) {
+  std::vector<cf> x{{1, 2}}, y{{3, 4}};
+  EXPECT_EQ(dotu<cf>(1, x.data(), 1, y.data(), 1),
+            cf(-5, 10));  // (1+2i)(3+4i)
+  EXPECT_EQ(dotc<cf>(1, x.data(), 1, y.data(), 1),
+            cf(11, -2));  // (1-2i)(3+4i)
+  std::vector<double> a{1, 2}, b{3, 4};
+  EXPECT_EQ(dotu<double>(2, a.data(), 1, b.data(), 1), 11.0);
+  EXPECT_EQ(dotc<double>(2, a.data(), 1, b.data(), 1), 11.0);
+}
+
+TEST(Level1, AsumConvention) {
+  std::vector<cf> z{{3, -4}, {-1, 2}};
+  // Reference asum for complex: |re| + |im| per element.
+  EXPECT_NEAR(asum<cf>(2, z.data(), 1), 3 + 4 + 1 + 2, 1e-6);
+  std::vector<double> x{-1, 2, -3};
+  EXPECT_NEAR(asum<double>(3, x.data(), 1), 6.0, 1e-14);
+}
+
+TEST(Level1, Iamax) {
+  std::vector<double> x{1, -7, 3};
+  EXPECT_EQ(iamax<double>(3, x.data(), 1), 1);
+  EXPECT_EQ(iamax<double>(0, x.data(), 1), -1);
+  // First of equals wins (reference semantics).
+  std::vector<double> eq{5, 5};
+  EXPECT_EQ(iamax<double>(2, eq.data(), 1), 0);
+}
+
+TEST(Level1, ZeroIncrementThrows) {
+  std::vector<double> x{1}, y{1};
+  EXPECT_THROW(axpy<double>(1, 1.0, x.data(), 0, y.data(), 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)nrm2<double>(1, x.data(), 0), std::invalid_argument);
+  EXPECT_THROW((void)dotc<double>(1, x.data(), 1, y.data(), 0),
+               std::invalid_argument);
+}
+
+TEST(Level1, EmptyVectorsAreSafe) {
+  EXPECT_EQ(nrm2<double>(0, nullptr, 1), 0.0);
+  EXPECT_EQ(asum<double>(-3, nullptr, 1), 0.0);
+  EXPECT_EQ(dotu<double>(0, nullptr, 1, nullptr, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace dcmesh::blas

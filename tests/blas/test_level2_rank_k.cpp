@@ -1,0 +1,170 @@
+// Unit tests for gemv/ger (level 2) and syrk/herk (rank-k updates).
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "dcmesh/blas/gemm_ref.hpp"
+#include "dcmesh/blas/level2.hpp"
+#include "dcmesh/blas/rank_k.hpp"
+#include "dcmesh/common/rng.hpp"
+
+namespace dcmesh::blas {
+namespace {
+
+using cf = std::complex<float>;
+
+TEST(Gemv, NoTranspose) {
+  // A = [[1,3],[2,4]] column-major, x = [1,1]: A x = [4, 6].
+  std::vector<double> a{1, 2, 3, 4}, x{1, 1}, y{10, 10};
+  gemv<double>(transpose::none, 2, 2, 1.0, a.data(), 2, x.data(), 1, 0.5,
+               y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 4 + 5);
+  EXPECT_DOUBLE_EQ(y[1], 6 + 5);
+}
+
+TEST(Gemv, TransposeAndConjugate) {
+  std::vector<cf> a{{1, 1}, {0, 0}, {0, 0}, {2, -1}};  // diag(1+i, 2-i)
+  std::vector<cf> x{{1, 0}, {1, 0}};
+  std::vector<cf> y(2);
+  gemv<cf>(transpose::trans, 2, 2, cf(1), a.data(), 2, x.data(), 1, cf(0),
+           y.data(), 1);
+  EXPECT_EQ(y[0], cf(1, 1));
+  gemv<cf>(transpose::conj_trans, 2, 2, cf(1), a.data(), 2, x.data(), 1,
+           cf(0), y.data(), 1);
+  EXPECT_EQ(y[0], cf(1, -1));
+  EXPECT_EQ(y[1], cf(2, 1));
+}
+
+TEST(Gemv, MatchesGemmOnRandomData) {
+  xoshiro256 rng(3);
+  const blas_int m = 7, n = 5;
+  std::vector<double> a(m * n), x(n), y1(m, 0.3), y2(m, 0.3);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  gemv<double>(transpose::none, m, n, 1.5, a.data(), m, x.data(), 1, 2.0,
+               y1.data(), 1);
+  // gemv == gemm with n = 1.
+  detail::gemm_ref<double, double>(transpose::none, transpose::none, m, 1,
+                                   n, 1.5, a.data(), m, x.data(), n, 2.0,
+                                   y2.data(), m);
+  for (blas_int i = 0; i < m; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-13);
+}
+
+TEST(Gemv, BetaZeroClearsNaN) {
+  std::vector<double> a{1}, x{1};
+  std::vector<double> y{std::numeric_limits<double>::quiet_NaN()};
+  gemv<double>(transpose::none, 1, 1, 1.0, a.data(), 1, x.data(), 1, 0.0,
+               y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+}
+
+TEST(Ger, RankOneUpdate) {
+  std::vector<double> a(4, 0.0), x{1, 2}, y{3, 4};
+  ger<double>(2, 2, 1.0, x.data(), 1, y.data(), 1, a.data(), 2);
+  // A = x y^T: [[3,4],[6,8]] column-major {3,6,4,8}.
+  EXPECT_EQ(a, (std::vector<double>{3, 6, 4, 8}));
+}
+
+TEST(Gerc, ConjugatesY) {
+  std::vector<cf> a(1, cf(0)), x{{0, 1}}, y{{0, 1}};
+  gerc<cf>(1, 1, cf(1), x.data(), 1, y.data(), 1, a.data(), 1);
+  EXPECT_EQ(a[0], cf(1, 0));  // i * conj(i) = 1
+}
+
+TEST(Syrk, MatchesGemmAndIsSymmetric) {
+  xoshiro256 rng(5);
+  const blas_int n = 6, k = 9;
+  std::vector<float> a(n * k);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<float> c(n * n, 0.0f), ref(n * n, 0.0f);
+  clear_compute_mode();
+  syrk<float>(uplo::upper, transpose::none, n, k, 1.0f, a.data(), n, 0.0f,
+              c.data(), n);
+  detail::gemm_ref<float, double>(transpose::none, transpose::trans, n, n,
+                                  k, 1.0f, a.data(), n, a.data(), n, 0.0f,
+                                  ref.data(), n);
+  for (blas_int j = 0; j < n; ++j) {
+    for (blas_int i = 0; i < n; ++i) {
+      EXPECT_NEAR(c[i + j * n], ref[i + j * n], 1e-4f);
+      EXPECT_EQ(c[i + j * n], c[j + i * n]);  // exact symmetry
+    }
+  }
+}
+
+TEST(Herk, HermitianOverlapExactly) {
+  xoshiro256 rng(6);
+  const blas_int ngrid = 64, norb = 5;
+  std::vector<cf> psi(ngrid * norb);
+  for (auto& v : psi) {
+    v = {static_cast<float>(rng.uniform(-1, 1)),
+         static_cast<float>(rng.uniform(-1, 1))};
+  }
+  std::vector<cf> g(norb * norb);
+  clear_compute_mode();
+  // G = Psi^H Psi (the LFD overlap) via herk.
+  herk<float>(uplo::upper, transpose::conj_trans, norb, ngrid, 1.0f,
+              psi.data(), ngrid, 0.0f, g.data(), norb);
+  for (blas_int j = 0; j < norb; ++j) {
+    EXPECT_EQ(g[j + j * norb].imag(), 0.0f);   // exactly real diagonal
+    EXPECT_GT(g[j + j * norb].real(), 0.0f);   // positive definite-ish
+    for (blas_int i = 0; i < norb; ++i) {
+      EXPECT_EQ(g[i + j * norb], std::conj(g[j + i * norb]));
+    }
+  }
+}
+
+TEST(Herk, HonoursComputeMode) {
+  xoshiro256 rng(7);
+  const blas_int n = 4, k = 256;
+  std::vector<cf> a(n * k);
+  for (auto& v : a) {
+    v = {static_cast<float>(rng.uniform(0.1, 1)),
+         static_cast<float>(rng.uniform(0.1, 1))};
+  }
+  std::vector<cf> std_c(n * n), bf16_c(n * n);
+  clear_compute_mode();
+  herk<float>(uplo::upper, transpose::none, n, k, 1.0f, a.data(), n, 0.0f,
+              std_c.data(), n);
+  {
+    scoped_compute_mode mode(compute_mode::float_to_bf16);
+    herk<float>(uplo::upper, transpose::none, n, k, 1.0f, a.data(), n, 0.0f,
+                bf16_c.data(), n);
+  }
+  double max_diff = 0.0;
+  for (blas_int i = 0; i < n * n; ++i) {
+    max_diff = std::max(max_diff,
+                        static_cast<double>(std::abs(std_c[i] - bf16_c[i])));
+  }
+  EXPECT_GT(max_diff, 0.0);   // the mode really changed the arithmetic
+  EXPECT_LT(max_diff / std::abs(std_c[0]), 0.05);  // but only slightly
+}
+
+TEST(RankK, ValidationThrows) {
+  std::vector<double> buf(16, 0.0);
+  EXPECT_THROW(syrk<double>(uplo::upper, transpose::none, -1, 1, 1.0,
+                            buf.data(), 1, 0.0, buf.data(), 1),
+               std::invalid_argument);
+  EXPECT_THROW(herk<double>(uplo::lower, transpose::none, 4, 1, 1.0,
+                            reinterpret_cast<std::complex<double>*>(
+                                buf.data()),
+                            2, 0.0,
+                            reinterpret_cast<std::complex<double>*>(
+                                buf.data()),
+                            4),
+               std::invalid_argument);
+}
+
+TEST(Gemv, ValidationThrows) {
+  std::vector<double> buf(4, 0.0);
+  EXPECT_THROW(gemv<double>(transpose::none, 2, 2, 1.0, buf.data(), 1,
+                            buf.data(), 1, 0.0, buf.data(), 1),
+               std::invalid_argument);  // lda < m
+  EXPECT_THROW(gemv<double>(transpose::none, 2, 2, 1.0, buf.data(), 2,
+                            buf.data(), 0, 0.0, buf.data(), 1),
+               std::invalid_argument);  // incx = 0
+}
+
+}  // namespace
+}  // namespace dcmesh::blas

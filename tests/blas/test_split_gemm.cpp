@@ -1,0 +1,221 @@
+// Property tests for GEMM under the alternative compute modes: the paper's
+// Section V-B error bound, the accuracy ladder across modes, and the
+// size-independence of relative error the paper reports.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/gemm_ref.hpp"
+#include "dcmesh/common/rng.hpp"
+
+namespace dcmesh::blas {
+namespace {
+
+std::vector<float> positive_random(std::size_t n, unsigned seed) {
+  xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(0.1, 1.0));
+  return v;
+}
+
+std::vector<float> signed_random(std::size_t n, unsigned seed) {
+  xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+/// Max relative error of mode-GEMM vs a double-accumulated reference.
+double mode_rel_error(compute_mode mode, blas_int m, blas_int n, blas_int k,
+                      const std::vector<float>& a,
+                      const std::vector<float>& b) {
+  std::vector<float> c_mode(m * n), c_ref(m * n);
+  {
+    scoped_compute_mode scope(mode);
+    sgemm(transpose::none, transpose::none, m, n, k, 1.0f, a.data(), m,
+          b.data(), k, 0.0f, c_mode.data(), m);
+  }
+  detail::gemm_ref<float, double>(transpose::none, transpose::none, m, n, k,
+                                  1.0f, a.data(), m, b.data(), k, 0.0f,
+                                  c_ref.data(), m);
+  double worst = 0.0;
+  for (blas_int i = 0; i < m * n; ++i) {
+    const double ref = c_ref[i];
+    if (std::abs(ref) < 1e-12) continue;
+    worst = std::max(worst, std::abs(c_mode[i] - ref) / std::abs(ref));
+  }
+  return worst;
+}
+
+TEST(SplitGemm, SectionVBBoundPositiveData) {
+  // Paper Sec. V-B: with same-sign products the relative error of the
+  // matrix product is bounded by ~2^-n (n component mantissa bits),
+  // independent of the data.  Positive inputs realise the same-sign case.
+  const blas_int m = 16, n = 16, k = 64;
+  const auto a = positive_random(m * k, 1);
+  const auto b = positive_random(k * n, 2);
+
+  // BF16: n = 7 -> bound 2^-7 (plus slack for FP32 accumulation).
+  EXPECT_LE(mode_rel_error(compute_mode::float_to_bf16, m, n, k, a, b),
+            std::ldexp(1.0, -7) * 1.1);
+  // TF32: n = 10 -> bound 2^-10.
+  EXPECT_LE(mode_rel_error(compute_mode::float_to_tf32, m, n, k, a, b),
+            std::ldexp(1.0, -10) * 1.1);
+  // BF16x2 ~ 15 bits, BF16x3 ~ FP32.
+  EXPECT_LE(mode_rel_error(compute_mode::float_to_bf16x2, m, n, k, a, b),
+            std::ldexp(1.0, -14));
+  EXPECT_LE(mode_rel_error(compute_mode::float_to_bf16x3, m, n, k, a, b),
+            std::ldexp(1.0, -18));
+}
+
+TEST(SplitGemm, AccuracyLadderOrdering) {
+  // BF16 worst, then TF32, then BF16x2, then BF16x3 ~ 3M ~ standard — the
+  // ordering Figures 1-2 rest on.
+  const blas_int m = 24, n = 24, k = 96;
+  const auto a = signed_random(m * k, 3);
+  const auto b = signed_random(k * n, 4);
+  const double e_bf16 =
+      mode_rel_error(compute_mode::float_to_bf16, m, n, k, a, b);
+  const double e_tf32 =
+      mode_rel_error(compute_mode::float_to_tf32, m, n, k, a, b);
+  const double e_x2 =
+      mode_rel_error(compute_mode::float_to_bf16x2, m, n, k, a, b);
+  const double e_x3 =
+      mode_rel_error(compute_mode::float_to_bf16x3, m, n, k, a, b);
+  EXPECT_GT(e_bf16, e_tf32);
+  EXPECT_GT(e_tf32, e_x2);
+  EXPECT_GT(e_x2, e_x3);
+}
+
+class SizeIndependence : public ::testing::TestWithParam<blas_int> {};
+
+TEST_P(SizeIndependence, RelativeErrorFlatAcrossK) {
+  // Paper Sec. V-A/V-B: "the relative error of BLAS compute in BF16 ... is
+  // independent of matrix size" (random bounded data, no cancellation).
+  const blas_int k = GetParam();
+  const blas_int m = 8, n = 8;
+  const auto a = positive_random(m * k, 5);
+  const auto b = positive_random(k * n, 6);
+  const double err =
+      mode_rel_error(compute_mode::float_to_bf16, m, n, k, a, b);
+  // Bounded by the same 2^-7 constant regardless of k.
+  // Bounded above by the same 2^-7 constant regardless of k; still clearly
+  // nonzero (errors average down slowly with k but never vanish).
+  EXPECT_LE(err, std::ldexp(1.0, -7) * 1.1) << "k=" << k;
+  EXPECT_GT(err, std::ldexp(1.0, -7) * 0.005) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, SizeIndependence,
+                         ::testing::Values(8, 32, 128, 512, 2048));
+
+TEST(SplitGemm, Bf16x3CloseToStandardFp32) {
+  // "BF16x3 accuracy is comparable to standard single-precision
+  // arithmetic" (Sec. III-B).
+  const blas_int m = 16, n = 16, k = 256;
+  const auto a = signed_random(m * k, 7);
+  const auto b = signed_random(k * n, 8);
+  std::vector<float> c_std(m * n), c_x3(m * n);
+  clear_compute_mode();
+  sgemm(transpose::none, transpose::none, m, n, k, 1.0f, a.data(), m,
+        b.data(), k, 0.0f, c_std.data(), m);
+  {
+    scoped_compute_mode scope(compute_mode::float_to_bf16x3);
+    sgemm(transpose::none, transpose::none, m, n, k, 1.0f, a.data(), m,
+          b.data(), k, 0.0f, c_x3.data(), m);
+  }
+  for (blas_int i = 0; i < m * n; ++i) {
+    const float scale = std::max(1.0f, std::abs(c_std[i]));
+    ASSERT_NEAR(c_std[i], c_x3[i], 4e-5f * scale);
+  }
+}
+
+TEST(SplitGemm, SplitRespectsAlphaBeta) {
+  const blas_int m = 8, n = 8, k = 32;
+  const auto a = signed_random(m * k, 9);
+  const auto b = signed_random(k * n, 10);
+  auto c_mode = signed_random(m * n, 11);
+  auto c_ref = c_mode;
+  {
+    scoped_compute_mode scope(compute_mode::float_to_bf16x2);
+    sgemm(transpose::none, transpose::none, m, n, k, 2.5f, a.data(), m,
+          b.data(), k, -1.5f, c_mode.data(), m);
+  }
+  detail::gemm_ref<float, double>(transpose::none, transpose::none, m, n, k,
+                                  2.5f, a.data(), m, b.data(), k, -1.5f,
+                                  c_ref.data(), m);
+  for (blas_int i = 0; i < m * n; ++i) {
+    const float scale = std::max(1.0f, std::abs(c_ref[i]));
+    ASSERT_NEAR(c_mode[i], c_ref[i], 2e-3f * scale);
+  }
+}
+
+TEST(SplitGemm, SplitHandlesTransposes) {
+  const blas_int m = 6, n = 7, k = 40;
+  const auto a = signed_random(k * m, 12);  // A^T storage
+  const auto b = signed_random(n * k, 13);  // B^T storage
+  std::vector<float> c_mode(m * n), c_ref(m * n);
+  {
+    scoped_compute_mode scope(compute_mode::float_to_bf16);
+    sgemm(transpose::trans, transpose::trans, m, n, k, 1.0f, a.data(), k,
+          b.data(), n, 0.0f, c_mode.data(), m);
+  }
+  detail::gemm_ref<float, double>(transpose::trans, transpose::trans, m, n,
+                                  k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+                                  c_ref.data(), m);
+  for (blas_int i = 0; i < m * n; ++i) {
+    const float scale = std::max(0.5f, std::abs(c_ref[i]));
+    ASSERT_NEAR(c_mode[i], c_ref[i], 2e-2f * scale);
+  }
+}
+
+TEST(SplitGemm, ComplexSplitAccuracyLadder) {
+  // cgemm under the split modes (the calls DCMESH actually makes).
+  using C = std::complex<float>;
+  const blas_int m = 10, n = 10, k = 120;
+  xoshiro256 rng(14);
+  std::vector<C> a(m * k), b(k * n);
+  for (auto& x : a) {
+    x = {static_cast<float>(rng.uniform(-1, 1)),
+         static_cast<float>(rng.uniform(-1, 1))};
+  }
+  for (auto& x : b) {
+    x = {static_cast<float>(rng.uniform(-1, 1)),
+         static_cast<float>(rng.uniform(-1, 1))};
+  }
+  std::vector<C> ref(m * n);
+  detail::gemm_ref<C, std::complex<double>>(
+      transpose::none, transpose::none, m, n, k, C(1), a.data(), m, b.data(),
+      k, C(0), ref.data(), m);
+
+  std::map<compute_mode, double> err;
+  for (compute_mode mode :
+       {compute_mode::float_to_bf16, compute_mode::float_to_tf32,
+        compute_mode::float_to_bf16x2, compute_mode::float_to_bf16x3}) {
+    scoped_compute_mode scope(mode);
+    std::vector<C> c(m * n);
+    cgemm(transpose::none, transpose::none, m, n, k, C(1), a.data(), m,
+          b.data(), k, C(0), c.data(), m);
+    double rms = 0.0, ref_rms = 0.0;
+    for (blas_int i = 0; i < m * n; ++i) {
+      rms += std::norm(c[i] - ref[i]);
+      ref_rms += std::norm(ref[i]);
+    }
+    err[mode] = std::sqrt(rms / ref_rms);
+  }
+  EXPECT_GT(err[compute_mode::float_to_bf16],
+            err[compute_mode::float_to_tf32]);
+  EXPECT_GT(err[compute_mode::float_to_tf32],
+            err[compute_mode::float_to_bf16x2]);
+  EXPECT_GT(err[compute_mode::float_to_bf16x2],
+            err[compute_mode::float_to_bf16x3]);
+  // Absolute scale: BF16 RMS error ~2^-8, not wildly off.
+  EXPECT_LT(err[compute_mode::float_to_bf16], 0.05);
+  EXPECT_GT(err[compute_mode::float_to_bf16], 1e-4);
+}
+
+}  // namespace
+}  // namespace dcmesh::blas

@@ -1,0 +1,142 @@
+// Tests for the triangular solver.
+
+#include "dcmesh/blas/trsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "dcmesh/blas/gemm_ref.hpp"
+#include "dcmesh/common/rng.hpp"
+
+namespace dcmesh::blas {
+namespace {
+
+/// Random well-conditioned triangular matrix (unit-dominant diagonal).
+template <typename T>
+std::vector<T> random_triangular(blas_int n, uplo u, unsigned seed) {
+  xoshiro256 rng(seed);
+  std::vector<T> a(n * n, T(0));
+  for (blas_int j = 0; j < n; ++j) {
+    for (blas_int i = 0; i < n; ++i) {
+      const bool in_triangle = u == uplo::lower ? i >= j : i <= j;
+      if (!in_triangle) continue;
+      if constexpr (std::is_floating_point_v<T>) {
+        a[i + j * n] = i == j ? T(2.0 + rng.uniform())
+                              : static_cast<T>(0.3 * rng.uniform(-1, 1));
+      } else {
+        using R = typename T::value_type;
+        a[i + j * n] =
+            i == j ? T(static_cast<R>(2.0 + rng.uniform()), R(0))
+                   : T(static_cast<R>(0.3 * rng.uniform(-1, 1)),
+                       static_cast<R>(0.3 * rng.uniform(-1, 1)));
+      }
+    }
+  }
+  return a;
+}
+
+/// Verify op(A) X == alpha * B0 (left) or X op(A) == alpha * B0 (right).
+template <typename T>
+void check_solution(side s, uplo /*u*/, transpose trans, blas_int m,
+                    blas_int n, T alpha, const std::vector<T>& a,
+                    const std::vector<T>& b0, const std::vector<T>& x,
+                    double tol) {
+  const blas_int order = s == side::left ? m : n;
+  std::vector<T> product(m * n, T(0));
+  if (s == side::left) {
+    detail::gemm_ref<T, T>(trans, transpose::none, m, n, m, T(1), a.data(),
+                           order, x.data(), m, T(0), product.data(), m);
+  } else {
+    detail::gemm_ref<T, T>(transpose::none, trans, m, n, n, T(1), x.data(),
+                           m, a.data(), order, T(0), product.data(), m);
+  }
+  for (blas_int i = 0; i < m * n; ++i) {
+    ASSERT_NEAR(std::abs(product[i] - alpha * b0[i]), 0.0, tol) << i;
+  }
+}
+
+struct trsm_case {
+  side s;
+  uplo u;
+  transpose trans;
+};
+
+class TrsmSweep : public ::testing::TestWithParam<trsm_case> {};
+
+TEST_P(TrsmSweep, ComplexSolveSatisfiesEquation) {
+  using C = std::complex<double>;
+  const auto [s, u, trans] = GetParam();
+  const blas_int m = 7, n = 5;
+  const blas_int order = s == side::left ? m : n;
+  const auto a = random_triangular<C>(order, u, 3);
+  xoshiro256 rng(4);
+  std::vector<C> b(m * n);
+  for (auto& v : b) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto b0 = b;
+  const C alpha{1.5, -0.25};
+  trsm<C>(s, u, trans, diag::non_unit, m, n, alpha, a.data(), order,
+          b.data(), m);
+  check_solution<C>(s, u, trans, m, n, alpha, a, b0, b, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TrsmSweep,
+    ::testing::Values(
+        trsm_case{side::left, uplo::lower, transpose::none},
+        trsm_case{side::left, uplo::upper, transpose::none},
+        trsm_case{side::left, uplo::lower, transpose::trans},
+        trsm_case{side::left, uplo::lower, transpose::conj_trans},
+        trsm_case{side::left, uplo::upper, transpose::conj_trans},
+        trsm_case{side::right, uplo::lower, transpose::none},
+        trsm_case{side::right, uplo::upper, transpose::none},
+        trsm_case{side::right, uplo::lower, transpose::conj_trans},
+        trsm_case{side::right, uplo::upper, transpose::trans}));
+
+TEST(Trsm, RealUnitDiagonal) {
+  // Unit-diagonal: stored diagonal is ignored.
+  const blas_int n = 3;
+  std::vector<double> a{99.0, 0.5, 0.25, 0.0, 99.0, 0.5, 0.0, 0.0, 99.0};
+  std::vector<double> b{1.0, 1.0, 1.0};
+  trsm<double>(side::left, uplo::lower, transpose::none, diag::unit, n, 1,
+               1.0, a.data(), n, b.data(), n);
+  // Forward substitution with ones on the diagonal:
+  // x0 = 1; x1 = 1 - 0.5 = 0.5; x2 = 1 - 0.25 - 0.5*0.5 = 0.5.
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 0.5);
+  EXPECT_DOUBLE_EQ(b[2], 0.5);
+}
+
+TEST(Trsm, AlphaZeroClearsB) {
+  std::vector<float> a{1.0f};
+  std::vector<float> b{7.0f, 8.0f};
+  trsm<float>(side::left, uplo::lower, transpose::none, diag::non_unit, 1,
+              2, 0.0f, a.data(), 1, b.data(), 1);
+  EXPECT_EQ(b[0], 0.0f);
+  EXPECT_EQ(b[1], 0.0f);
+}
+
+TEST(Trsm, ZeroPivotThrows) {
+  std::vector<double> a{0.0};
+  std::vector<double> b{1.0};
+  EXPECT_THROW(trsm<double>(side::left, uplo::lower, transpose::none,
+                            diag::non_unit, 1, 1, 1.0, a.data(), 1,
+                            b.data(), 1),
+               std::invalid_argument);
+}
+
+TEST(Trsm, ValidationThrows) {
+  std::vector<double> buf(16, 1.0);
+  EXPECT_THROW(trsm<double>(side::left, uplo::lower, transpose::none,
+                            diag::non_unit, -1, 1, 1.0, buf.data(), 1,
+                            buf.data(), 1),
+               std::invalid_argument);
+  EXPECT_THROW(trsm<double>(side::left, uplo::lower, transpose::none,
+                            diag::non_unit, 4, 1, 1.0, buf.data(), 2,
+                            buf.data(), 4),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcmesh::blas

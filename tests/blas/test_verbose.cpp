@@ -1,0 +1,123 @@
+// Unit tests for the MKL_VERBOSE-style call log (the measurement channel
+// behind Tables VI-VII and Figure 3b).
+
+#include "dcmesh/blas/verbose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/common/env.hpp"
+
+namespace dcmesh::blas {
+namespace {
+
+class VerboseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear_compute_mode();
+    clear_call_log();
+    env_unset(kVerboseEnvVar);
+  }
+  void TearDown() override {
+    clear_compute_mode();
+    clear_call_log();
+    env_unset(kVerboseEnvVar);
+  }
+};
+
+TEST_F(VerboseTest, CallsAreRecordedWithDimensions) {
+  std::vector<float> a(6, 1.0f), b(8, 1.0f), c(12, 0.0f);
+  sgemm(transpose::none, transpose::none, 3, 4, 2, 1.0f, a.data(), 3,
+        b.data(), 2, 0.0f, c.data(), 3);
+  const auto log = recent_calls();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].routine, "SGEMM");
+  EXPECT_EQ(log[0].m, 3);
+  EXPECT_EQ(log[0].n, 4);
+  EXPECT_EQ(log[0].k, 2);
+  EXPECT_EQ(log[0].transa, 'N');
+  EXPECT_EQ(log[0].transb, 'N');
+  EXPECT_EQ(log[0].lda, 3);
+  EXPECT_GE(log[0].seconds, 0.0);
+  EXPECT_DOUBLE_EQ(log[0].flops, 2.0 * 3 * 4 * 2);
+  EXPECT_EQ(log[0].mode, compute_mode::standard);
+}
+
+TEST_F(VerboseTest, ActiveModeIsLogged) {
+  std::vector<float> a(4, 1.0f), b(4, 1.0f), c(4, 0.0f);
+  {
+    scoped_compute_mode mode(compute_mode::float_to_tf32);
+    sgemm(transpose::none, transpose::none, 2, 2, 2, 1.0f, a.data(), 2,
+          b.data(), 2, 0.0f, c.data(), 2);
+  }
+  ASSERT_EQ(recent_calls().size(), 1u);
+  EXPECT_EQ(recent_calls()[0].mode, compute_mode::float_to_tf32);
+}
+
+TEST_F(VerboseTest, ComplexCallsLogEightMnkFlops) {
+  using C = std::complex<float>;
+  std::vector<C> a(4), b(4), c(4);
+  cgemm(transpose::conj_trans, transpose::none, 2, 2, 2, C(1), a.data(), 2,
+        b.data(), 2, C(0), c.data(), 2);
+  ASSERT_EQ(recent_calls().size(), 1u);
+  EXPECT_EQ(recent_calls()[0].routine, "CGEMM");
+  EXPECT_EQ(recent_calls()[0].transa, 'C');
+  EXPECT_DOUBLE_EQ(recent_calls()[0].flops, 8.0 * 2 * 2 * 2);
+}
+
+TEST_F(VerboseTest, CountersAccumulateAndClear) {
+  std::vector<double> a(1, 1.0), b(1, 1.0), c(1, 0.0);
+  for (int i = 0; i < 5; ++i) {
+    dgemm(transpose::none, transpose::none, 1, 1, 1, 1.0, a.data(), 1,
+          b.data(), 1, 0.0, c.data(), 1);
+  }
+  EXPECT_EQ(call_count(), 5u);
+  EXPECT_GE(total_call_seconds(), 0.0);
+  clear_call_log();
+  EXPECT_EQ(call_count(), 0u);
+  EXPECT_TRUE(recent_calls().empty());
+  EXPECT_EQ(total_call_seconds(), 0.0);
+}
+
+TEST_F(VerboseTest, LineFormatMatchesMklStyle) {
+  call_record record;
+  record.routine = "SGEMM";
+  record.transa = 'N';
+  record.transb = 'T';
+  record.m = 128;
+  record.n = 896;
+  record.k = 262144;
+  record.lda = 128;
+  record.ldb = 896;
+  record.ldc = 128;
+  record.seconds = 0.012345;
+  record.mode = compute_mode::float_to_bf16;
+  const std::string line = record.to_string();
+  EXPECT_NE(line.find("MKL_VERBOSE SGEMM(N,T,128,896,262144)"),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("mode:FLOAT_TO_BF16"), std::string::npos) << line;
+  EXPECT_NE(line.find("ms"), std::string::npos) << line;
+}
+
+TEST_F(VerboseTest, VerboseEnabledFollowsEnv) {
+  EXPECT_FALSE(verbose_enabled());
+  env_set(kVerboseEnvVar, "2");
+  EXPECT_TRUE(verbose_enabled());
+  env_set(kVerboseEnvVar, "0");
+  EXPECT_FALSE(verbose_enabled());
+}
+
+TEST_F(VerboseTest, GemmHelpers) {
+  EXPECT_DOUBLE_EQ(gemm_flops(false, 10, 20, 30), 2.0 * 10 * 20 * 30);
+  EXPECT_DOUBLE_EQ(gemm_flops(true, 10, 20, 30), 8.0 * 10 * 20 * 30);
+  // bytes: A(m*k) + B(k*n) + 2*C(m*n), each elem_bytes.
+  EXPECT_DOUBLE_EQ(gemm_bytes(2, 3, 4, 8),
+                   (2.0 * 4 + 4.0 * 3 + 2.0 * 2 * 3) * 8);
+}
+
+}  // namespace
+}  // namespace dcmesh::blas

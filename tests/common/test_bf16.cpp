@@ -1,0 +1,124 @@
+// Unit tests for the BF16 value type and rounding (Table IV's 8/7 format).
+
+#include "dcmesh/common/bf16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "dcmesh/common/rng.hpp"
+
+namespace dcmesh {
+namespace {
+
+TEST(Bf16, ExactValuesRoundTrip) {
+  // Values with <= 7 mantissa bits are exactly representable.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.5f, 1.25f, 255.0f,
+                  0.0078125f, -65536.0f}) {
+    EXPECT_EQ(round_to_bf16(v), v) << v;
+    EXPECT_EQ(bf16(v).to_float(), v) << v;
+  }
+}
+
+TEST(Bf16, FormatMetadata) {
+  EXPECT_EQ(bf16::exponent_bits, 8);
+  EXPECT_EQ(bf16::mantissa_bits, 7);
+  EXPECT_EQ(sizeof(bf16), 2u);
+}
+
+TEST(Bf16, RoundToNearest) {
+  // 1 + 2^-8 is exactly between 1.0 and 1 + 2^-7: ties to even -> 1.0.
+  EXPECT_EQ(round_to_bf16(1.0f + 0x1.0p-8f), 1.0f);
+  // Just above the tie rounds up.
+  EXPECT_EQ(round_to_bf16(1.0f + 0x1.2p-8f), 1.0f + 0x1.0p-7f);
+  // 1 + 3*2^-8 is between 1+2^-7 and 1+2^-6; tie -> even (1 + 2^-6).
+  EXPECT_EQ(round_to_bf16(1.0f + 0x3.0p-8f), 1.0f + 0x1.0p-6f);
+}
+
+TEST(Bf16, RelativeErrorBound) {
+  // Paper Sec. V-B: rounding to n mantissa bits induces at most 2^-(n+1)
+  // relative error (here n = 7 -> 2^-8).
+  xoshiro256 rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-1e6, 1e6));
+    if (x == 0.0f) continue;
+    const float r = round_to_bf16(x);
+    EXPECT_LE(std::abs(r - x) / std::abs(x), 0x1.0p-8f * 1.0000001f) << x;
+  }
+}
+
+TEST(Bf16, SpecialValues) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(round_to_bf16(inf), inf);
+  EXPECT_EQ(round_to_bf16(-inf), -inf);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(round_to_bf16(nan)));
+  // Signalling-ish NaN payload must stay NaN, not become Inf.
+  const float weird_nan = std::bit_cast<float>(0x7f800001u);
+  EXPECT_TRUE(std::isnan(round_to_bf16(weird_nan)));
+  EXPECT_EQ(round_to_bf16(-0.0f), -0.0f);
+  EXPECT_TRUE(std::signbit(round_to_bf16(-0.0f)));
+}
+
+TEST(Bf16, LargeValuesOverflowToInfinity) {
+  // Max finite BF16 is 0x7f7f = 3.3895e38; values rounding past it
+  // overflow to +Inf.
+  const float max_bf16 = bf16::from_bits(0x7f7f).to_float();
+  EXPECT_TRUE(std::isfinite(max_bf16));
+  const float above = std::nextafter(std::numeric_limits<float>::max(), 0.f);
+  EXPECT_TRUE(std::isinf(round_to_bf16(above)) ||
+              round_to_bf16(above) == max_bf16);
+  EXPECT_TRUE(std::isinf(
+      round_to_bf16(std::numeric_limits<float>::max())));
+}
+
+TEST(Bf16, BitsAccessors) {
+  const bf16 one(1.0f);
+  EXPECT_EQ(one.bits(), 0x3f80);
+  EXPECT_EQ(bf16::from_bits(0x3f80), one);
+  EXPECT_EQ(bf16::from_bits(0xbf80).to_float(), -1.0f);
+}
+
+TEST(Bf16, IdempotentRounding) {
+  xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-100, 100));
+    const float once = round_to_bf16(x);
+    EXPECT_EQ(round_to_bf16(once), once);
+  }
+}
+
+// Parameterized sweep: splitting a value into BF16 components (as the
+// BF16xN compute modes do) gains ~7-8 bits of accuracy per component.
+class Bf16SplitAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(Bf16SplitAccuracy, ResidualShrinksPerComponent) {
+  const int components = GetParam();
+  xoshiro256 rng(42 + static_cast<unsigned>(components));
+  double worst_rel = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-1000, 1000));
+    if (x == 0.0f) continue;
+    float residual = x;
+    float sum = 0.0f;
+    for (int c = 0; c < components; ++c) {
+      const float comp = round_to_bf16(residual);
+      sum += comp;
+      residual -= comp;
+    }
+    worst_rel = std::max(worst_rel,
+                         static_cast<double>(std::abs(x - sum)) /
+                             std::abs(x));
+  }
+  // Each component contributes ~8 bits: bound 2^-(8*components).
+  const double bound = std::ldexp(1.0, -8 * components + 1);
+  EXPECT_LE(worst_rel, bound) << "components=" << components;
+}
+
+INSTANTIATE_TEST_SUITE_P(Components, Bf16SplitAccuracy,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace dcmesh

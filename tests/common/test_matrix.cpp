@@ -1,0 +1,105 @@
+// Unit tests for aligned buffers and column-major matrices/views.
+
+#include "dcmesh/common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+#include <utility>
+
+namespace dcmesh {
+namespace {
+
+TEST(AlignedBuffer, AlignmentAndZeroInit) {
+  aligned_buffer<double> buf(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes,
+            0u);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf[i], 0.0);
+  }
+}
+
+TEST(AlignedBuffer, MoveSemantics) {
+  aligned_buffer<int> a(10);
+  a[3] = 42;
+  aligned_buffer<int> b(std::move(a));
+  EXPECT_EQ(b[3], 42);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move) — spec'd
+  EXPECT_EQ(a.data(), nullptr);
+
+  aligned_buffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c[3], 42);
+}
+
+TEST(AlignedBuffer, EmptyIsValid) {
+  aligned_buffer<float> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.begin(), buf.end());
+  aligned_buffer<float> sized(0);
+  EXPECT_TRUE(sized.empty());
+}
+
+TEST(AlignedBuffer, SpanCoversAll) {
+  aligned_buffer<int> buf(7);
+  auto s = buf.span();
+  EXPECT_EQ(s.size(), 7u);
+  EXPECT_EQ(s.data(), buf.data());
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  matrix<double> m(3, 2);
+  m(0, 0) = 1;
+  m(2, 0) = 3;
+  m(0, 1) = 4;
+  // Column-major: element (r, c) at data[r + c*rows].
+  EXPECT_EQ(m.data()[0], 1);
+  EXPECT_EQ(m.data()[2], 3);
+  EXPECT_EQ(m.data()[3], 4);
+  EXPECT_EQ(m.ld(), 3u);
+}
+
+TEST(Matrix, ViewsAliasStorage) {
+  matrix<float> m(4, 4);
+  auto v = m.view();
+  v(1, 2) = 9.0f;
+  EXPECT_EQ(m(1, 2), 9.0f);
+  const auto& cm = m;
+  const_matrix_view<float> cv = cm.view();
+  EXPECT_EQ(cv(1, 2), 9.0f);
+}
+
+TEST(Matrix, MutableViewConvertsToConst) {
+  matrix<double> m(2, 2);
+  m(0, 1) = 5.0;
+  matrix_view<double> v = m.view();
+  const_matrix_view<double> cv = v;  // implicit conversion
+  EXPECT_EQ(cv(0, 1), 5.0);
+  EXPECT_EQ(cv.ld, v.ld);
+}
+
+TEST(Matrix, ColPointers) {
+  matrix<int> m(3, 3);
+  m(0, 2) = 7;
+  EXPECT_EQ(m.view().col(2)[0], 7);
+}
+
+TEST(Matrix, ComplexElements) {
+  matrix<cfloat> m(2, 2);
+  m(0, 0) = {1.0f, -2.0f};
+  EXPECT_EQ(m(0, 0).imag(), -2.0f);
+  static_assert(std::is_same_v<cdouble, std::complex<double>>);
+}
+
+TEST(Matrix, MoveLeavesSourceEmpty) {
+  matrix<double> a(5, 5);
+  a(4, 4) = 1.5;
+  matrix<double> b = std::move(a);
+  EXPECT_EQ(b(4, 4), 1.5);
+  EXPECT_EQ(b.rows(), 5u);
+}
+
+}  // namespace
+}  // namespace dcmesh

@@ -1,0 +1,84 @@
+// Unit tests for the deterministic RNG (reproducibility is load-bearing:
+// the paper compares modes on "the exact same computations").
+
+#include "dcmesh/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dcmesh {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  xoshiro256 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  xoshiro256 rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  xoshiro256 rng(9);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0, sum3 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+    sum3 += x * x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+  EXPECT_NEAR(sum3 / n, 0.0, 0.06);  // symmetry
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<xoshiro256>);
+  EXPECT_EQ(xoshiro256::min(), 0u);
+  EXPECT_EQ(xoshiro256::max(), ~0ull);
+}
+
+TEST(Rng, ZeroSeedStillProducesEntropy) {
+  xoshiro256 rng(0);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 16; ++i) values.push_back(rng());
+  int distinct = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] != values[0]) ++distinct;
+  }
+  EXPECT_GE(distinct, 14);
+}
+
+}  // namespace
+}  // namespace dcmesh

@@ -1,0 +1,87 @@
+// Tests for the power-spectrum helper (HHG analysis substrate).
+
+#include "dcmesh/common/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace dcmesh {
+namespace {
+
+std::vector<double> sinusoid(std::size_t n, double dt, double omega,
+                             double amplitude = 1.0, double offset = 0.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = offset + amplitude * std::sin(omega * static_cast<double>(i) * dt);
+  }
+  return x;
+}
+
+TEST(Spectrum, PureToneHasPeakAtItsBin) {
+  const std::size_t n = 512;
+  const double dt = 0.1;
+  // Exactly bin 16: omega = 2 pi 16 / (n dt).
+  const double omega = bin_angular_frequency(16, dt, n);
+  const auto spec = power_spectrum(sinusoid(n, dt, omega), false);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < spec.size(); ++k) {
+    if (spec[k] > spec[peak]) peak = k;
+  }
+  EXPECT_EQ(peak, 16u);
+  // On-bin tone without window: energy concentrated in one bin.
+  EXPECT_GT(spec[16], 100.0 * spec[15]);
+}
+
+TEST(Spectrum, NearestBinInverts) {
+  const std::size_t n = 400;
+  const double dt = 0.05;
+  for (std::size_t k : {std::size_t{1}, std::size_t{7}, std::size_t{99}}) {
+    EXPECT_EQ(nearest_bin(bin_angular_frequency(k, dt, n), dt, n), k);
+  }
+  EXPECT_EQ(nearest_bin(-1.0, dt, n), 0u);
+  EXPECT_EQ(nearest_bin(1e9, dt, n), n / 2);
+}
+
+TEST(Spectrum, MeanRemovedBeforeTransform) {
+  const auto spec = power_spectrum(std::vector<double>(128, 42.0), false);
+  for (double v : spec) EXPECT_NEAR(v, 0.0, 1e-18);
+}
+
+TEST(Spectrum, HannWindowSuppressesLeakage) {
+  // An off-bin tone leaks broadly without a window; Hann confines the
+  // skirt several orders of magnitude below the peak a few bins away.
+  const std::size_t n = 512;
+  const double dt = 0.1;
+  const double omega = bin_angular_frequency(16, dt, n) * 1.031;  // off-bin
+  const auto raw = power_spectrum(sinusoid(n, dt, omega), false);
+  const auto windowed = power_spectrum(sinusoid(n, dt, omega), true);
+  const double raw_skirt = raw[40] / raw[16];
+  const double win_skirt = windowed[40] / windowed[16];
+  EXPECT_LT(win_skirt, raw_skirt * 0.1);
+}
+
+TEST(Spectrum, TwoTonesResolved) {
+  const std::size_t n = 1024;
+  const double dt = 0.05;
+  const double w1 = bin_angular_frequency(20, dt, n);
+  const double w2 = bin_angular_frequency(60, dt, n);
+  auto x = sinusoid(n, dt, w1, 1.0);
+  const auto second = sinusoid(n, dt, w2, 0.3);
+  for (std::size_t i = 0; i < n; ++i) x[i] += second[i];
+  const auto spec = power_spectrum(x, true);
+  EXPECT_GT(spec[20], spec[30] * 50);
+  EXPECT_GT(spec[60], spec[70] * 50);
+  EXPECT_GT(spec[20], spec[60]);  // amplitude ordering preserved
+}
+
+TEST(Spectrum, EmptyAndTinyInputs) {
+  EXPECT_TRUE(power_spectrum({}).empty());
+  const std::vector<double> one{3.0};
+  EXPECT_EQ(power_spectrum(one).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dcmesh

@@ -1,0 +1,87 @@
+// Unit tests for the deviation/statistics helpers behind Figures 1-2.
+
+#include "dcmesh/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dcmesh {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  running_stats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);  // sample variance
+  EXPECT_NEAR(s.rms(), std::sqrt(11.0), 1e-12);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  running_stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.rms(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  running_stats s;
+  s.add(-7.5);
+  EXPECT_DOUBLE_EQ(s.mean(), -7.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Deviation, MaxAbs) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.1, 1.8, 3.0};
+  EXPECT_NEAR(max_abs_deviation(a, b), 0.2, 1e-12);
+}
+
+TEST(Deviation, MaxRel) {
+  const std::vector<double> a{10.0, 200.0};
+  const std::vector<double> b{11.0, 202.0};
+  EXPECT_NEAR(max_rel_deviation(a, b), 1.0 / 11.0, 1e-12);
+}
+
+TEST(Deviation, RelWithZeroReferenceUsesFloor) {
+  const std::vector<double> a{1e-20};
+  const std::vector<double> b{0.0};
+  // floor 1e-30 would blow up; default floor keeps it finite.
+  EXPECT_TRUE(std::isfinite(max_rel_deviation(a, b, 1e-10)));
+}
+
+TEST(Deviation, SeriesShape) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{0.5, 2.5, 3.0};
+  const auto d = deviation_series(a, b);
+  ASSERT_EQ(d.size(), 3u);  // min length
+  EXPECT_DOUBLE_EQ(d[0], 0.5);
+  EXPECT_DOUBLE_EQ(d[1], -0.5);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+}
+
+TEST(Deviation, Log10SeriesFloored) {
+  const std::vector<double> a{1.0, 1.0};
+  const std::vector<double> b{1.0, 1.001};
+  const auto d = log10_deviation_series(a, b, 1e-16);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], -16.0);  // exact match -> floor
+  EXPECT_NEAR(d[1], std::log10(0.001), 1e-9);
+}
+
+TEST(Deviation, MismatchedEmpty) {
+  const std::vector<double> a;
+  const std::vector<double> b{1.0};
+  EXPECT_EQ(max_abs_deviation(a, b), 0.0);
+  EXPECT_TRUE(deviation_series(a, b).empty());
+}
+
+}  // namespace
+}  // namespace dcmesh

@@ -1,0 +1,139 @@
+// Unit tests for TF32 and FP16 rounding plus the format-traits table
+// (paper Table IV).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "dcmesh/common/bf16.hpp"
+#include "dcmesh/common/format_traits.hpp"
+#include "dcmesh/common/fp16.hpp"
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/common/tf32.hpp"
+
+namespace dcmesh {
+namespace {
+
+TEST(Tf32, ExactValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -2.0f, 1.0009765625f /* 1+2^-10 */,
+                  1025.0f /* 2^10*(1+2^-10) */}) {
+    EXPECT_EQ(round_to_tf32(v), v) << v;
+  }
+}
+
+TEST(Tf32, FormatMetadata) {
+  EXPECT_EQ(tf32::exponent_bits, 8);
+  EXPECT_EQ(tf32::mantissa_bits, 10);
+}
+
+TEST(Tf32, RelativeErrorBound) {
+  xoshiro256 rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-1e8, 1e8));
+    if (x == 0.0f) continue;
+    const float r = round_to_tf32(x);
+    EXPECT_LE(std::abs(r - x) / std::abs(x), 0x1.0p-11f * 1.0000001f) << x;
+  }
+}
+
+TEST(Tf32, MoreAccurateThanBf16) {
+  // TF32 has 3 more mantissa bits than BF16 -> strictly tighter rounding.
+  xoshiro256 rng(5);
+  double tf32_worst = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const float x = static_cast<float>(rng.uniform(0.5, 2.0));
+    tf32_worst = std::max(
+        tf32_worst,
+        static_cast<double>(std::abs(round_to_tf32(x) - x)) / x);
+  }
+  EXPECT_LT(tf32_worst, std::ldexp(1.0, -11) * 1.01);
+}
+
+TEST(Tf32, LowBitsAreZero) {
+  xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float r = round_to_tf32(static_cast<float>(rng.uniform(-10, 10)));
+    const auto bits = std::bit_cast<std::uint32_t>(r);
+    EXPECT_EQ(bits & 0x1fffu, 0u);  // 13 low mantissa bits zeroed
+  }
+}
+
+TEST(Fp16, FormatMetadata) {
+  EXPECT_EQ(fp16::exponent_bits, 5);
+  EXPECT_EQ(fp16::mantissa_bits, 10);
+}
+
+TEST(Fp16, ExactValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.5f, 65504.0f /* max fp16 */, 0.25f}) {
+    EXPECT_EQ(round_to_fp16(v), v) << v;
+  }
+}
+
+TEST(Fp16, OverflowsToInfinityBeyondMax) {
+  EXPECT_TRUE(std::isinf(round_to_fp16(70000.0f)));
+  EXPECT_TRUE(std::isinf(round_to_fp16(-70000.0f)));
+  EXPECT_LT(round_to_fp16(-70000.0f), 0.0f);
+}
+
+TEST(Fp16, SubnormalsRepresented) {
+  // Smallest subnormal FP16 is 2^-24.
+  const float tiny = 0x1.0p-24f;
+  EXPECT_EQ(round_to_fp16(tiny), tiny);
+  // Half of it rounds to zero (ties-to-even at 2^-25).
+  EXPECT_EQ(round_to_fp16(0x1.0p-26f), 0.0f);
+}
+
+TEST(Fp16, NormalRangeErrorBound) {
+  xoshiro256 rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = static_cast<float>(rng.uniform(0.001, 60000.0));
+    const float r = round_to_fp16(x);
+    EXPECT_LE(std::abs(r - x) / x, 0x1.0p-11f * 1.0000001f) << x;
+  }
+}
+
+TEST(FormatTraits, Table4Contents) {
+  // Paper Table IV: FP64 11/52, FP32 8/23, TF32 8/10, BF16 8/7.
+  const auto table = table4_formats();
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_EQ(table[0].name, "FP64");
+  EXPECT_EQ(table[0].exponent_bits, 11);
+  EXPECT_EQ(table[0].mantissa_bits, 52);
+  EXPECT_EQ(table[1].name, "FP32");
+  EXPECT_EQ(table[1].exponent_bits, 8);
+  EXPECT_EQ(table[1].mantissa_bits, 23);
+  EXPECT_EQ(table[2].name, "TF32");
+  EXPECT_EQ(table[2].exponent_bits, 8);
+  EXPECT_EQ(table[2].mantissa_bits, 10);
+  EXPECT_EQ(table[3].name, "BF16");
+  EXPECT_EQ(table[3].exponent_bits, 8);
+  EXPECT_EQ(table[3].mantissa_bits, 7);
+}
+
+TEST(FormatTraits, TF32SharesBf16ExponentAndFp16Mantissa) {
+  // The paper's observation: "TF32 has the same number of mantissa bits as
+  // FP16 but the same exponent range of BF16."
+  EXPECT_EQ(tf32::exponent_bits, bf16::exponent_bits);
+  EXPECT_EQ(tf32::mantissa_bits, fp16::mantissa_bits);
+}
+
+TEST(FormatTraits, EngineAssignments) {
+  for (const auto& f : all_formats()) {
+    if (f.name == "FP64" || f.name == "FP32") {
+      EXPECT_EQ(f.peak_engine, engine_kind::vector) << f.name;
+    } else {
+      EXPECT_EQ(f.peak_engine, engine_kind::matrix) << f.name;
+    }
+  }
+}
+
+TEST(FormatTraits, HalfUlp) {
+  EXPECT_DOUBLE_EQ(rounding_half_ulp(7), std::ldexp(1.0, -8));
+  EXPECT_DOUBLE_EQ(rounding_half_ulp(10), std::ldexp(1.0, -11));
+  EXPECT_DOUBLE_EQ(rounding_half_ulp(23), std::ldexp(1.0, -24));
+}
+
+}  // namespace
+}  // namespace dcmesh

@@ -1,0 +1,130 @@
+// Tests for checkpoint/restart: continuation must be bit-exact.
+
+#include "dcmesh/core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/core/presets.hpp"
+
+namespace dcmesh::core {
+namespace {
+
+run_config small_config() {
+  auto config = preset(paper_system::tiny);
+  config.qd_steps_per_series = 8;
+  config.series = 4;
+  return config;
+}
+
+TEST(Checkpoint, BitExactContinuation) {
+  blas::clear_compute_mode();
+  // Uninterrupted run: 2 series, checkpoint, 2 more series.
+  driver reference(small_config());
+  reference.run_series();
+  reference.run_series();
+
+  std::stringstream stream;
+  save_checkpoint(reference, stream);
+
+  reference.run_series();
+  reference.run_series();
+  const auto tail_expected = reference.records();
+
+  // Restored run continues from the checkpoint.
+  driver restored = load_checkpoint(stream);
+  EXPECT_EQ(restored.records().size(), 0u);
+  EXPECT_DOUBLE_EQ(restored.time(), 16 * 0.02);
+  restored.run_series();
+  restored.run_series();
+  const auto& tail = restored.records();
+  ASSERT_EQ(tail.size(), 16u);
+
+  // Compare with the last 16 records of the uninterrupted run: bit-exact.
+  for (std::size_t i = 0; i < 16; ++i) {
+    const auto& a = tail[i];
+    const auto& b = tail_expected[16 + i];
+    ASSERT_EQ(a.t, b.t) << i;
+    ASSERT_EQ(a.ekin, b.ekin) << i;
+    ASSERT_EQ(a.epot, b.epot) << i;
+    ASSERT_EQ(a.nexc, b.nexc) << i;
+    ASSERT_EQ(a.javg, b.javg) << i;
+  }
+}
+
+TEST(Checkpoint, PreservesComputeModeSensitivity) {
+  // A checkpoint written under FP32 continues identically under FP32;
+  // continuing under BF16 diverges (the state is shared, the arithmetic
+  // is not).
+  blas::clear_compute_mode();
+  driver sim(small_config());
+  sim.run_series();
+  std::stringstream stream;
+  save_checkpoint(sim, stream);
+
+  driver fp32 = load_checkpoint(stream);
+  fp32.run_series();
+
+  stream.clear();
+  stream.seekg(0);
+  driver bf16 = load_checkpoint(stream);
+  {
+    blas::scoped_compute_mode mode(blas::compute_mode::float_to_bf16);
+    bf16.run_series();
+  }
+  ASSERT_EQ(fp32.records().size(), bf16.records().size());
+  bool diverged = false;
+  for (std::size_t i = 0; i < fp32.records().size(); ++i) {
+    if (fp32.records()[i].ekin != bf16.records()[i].ekin) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Checkpoint, AtomStateRoundTrips) {
+  driver sim(small_config());
+  sim.run_series();
+  std::stringstream stream;
+  save_checkpoint(sim, stream);
+  driver restored = load_checkpoint(stream);
+  ASSERT_EQ(restored.atoms().size(), sim.atoms().size());
+  for (std::size_t i = 0; i < sim.atoms().size(); ++i) {
+    EXPECT_EQ(restored.atoms().atoms[i].position,
+              sim.atoms().atoms[i].position);
+    EXPECT_EQ(restored.atoms().atoms[i].velocity,
+              sim.atoms().atoms[i].velocity);
+    EXPECT_EQ(restored.atoms().atoms[i].force, sim.atoms().atoms[i].force);
+  }
+}
+
+TEST(Checkpoint, RejectsCorruptStreams) {
+  std::stringstream empty;
+  EXPECT_THROW((void)load_checkpoint(empty), std::runtime_error);
+
+  driver sim(small_config());
+  std::stringstream stream;
+  save_checkpoint(sim, stream);
+  std::string bytes = stream.str();
+  bytes[0] ^= 0xff;  // corrupt the magic
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW((void)load_checkpoint(corrupt), std::runtime_error);
+
+  // Truncation.
+  std::stringstream truncated(stream.str().substr(0, 64));
+  EXPECT_THROW((void)load_checkpoint(truncated), std::runtime_error);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  driver sim(small_config());
+  sim.run_series();
+  const std::string path = "/tmp/dcmesh_checkpoint_test.bin";
+  save_checkpoint_file(sim, path);
+  driver restored = load_checkpoint_file(path);
+  EXPECT_DOUBLE_EQ(restored.time(), sim.time());
+  EXPECT_THROW((void)load_checkpoint_file("/nonexistent/ck.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dcmesh::core

@@ -1,0 +1,138 @@
+// Tests for the lfd.in-style config parser.
+
+#include "dcmesh/core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dcmesh::core {
+namespace {
+
+TEST(Config, DefaultsValidate) {
+  run_config config;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Config, ParseFullDeck) {
+  std::istringstream deck(R"(
+# comment line
+cells_per_axis = 3
+mesh_n = 18       # trailing comment
+norb = 48
+nocc = 20
+seed = 42
+temperature_k = 250
+dt = 0.01
+qd_steps_per_series = 100
+series = 5
+lfd_precision = fp64
+v_nl = 0.05
+fd_order = 2
+pulse_e0 = 0.3
+pulse_omega = 0.25
+pulse_center = 8
+pulse_sigma = 2.5
+pulse_axis = 1
+)");
+  const run_config config = parse_config(deck);
+  EXPECT_EQ(config.cells_per_axis, 3);
+  EXPECT_EQ(config.mesh_n, 18);
+  EXPECT_EQ(config.norb, 48u);
+  EXPECT_EQ(config.nocc, 20u);
+  EXPECT_EQ(config.seed, 42ull);
+  EXPECT_DOUBLE_EQ(config.temperature_k, 250.0);
+  EXPECT_DOUBLE_EQ(config.dt, 0.01);
+  EXPECT_EQ(config.qd_steps_per_series, 100);
+  EXPECT_EQ(config.series, 5);
+  EXPECT_EQ(config.lfd_precision, lfd_precision_level::fp64);
+  EXPECT_DOUBLE_EQ(config.v_nl, 0.05);
+  EXPECT_EQ(config.fd_order, 2);
+  EXPECT_DOUBLE_EQ(config.pulse.e0, 0.3);
+  EXPECT_EQ(config.pulse.polarization_axis, 1);
+  EXPECT_EQ(config.atom_count(), 135);
+  EXPECT_EQ(config.total_qd_steps(), 500);
+}
+
+TEST(Config, EmptyDeckGivesDefaults) {
+  std::istringstream deck("\n# nothing here\n");
+  const run_config config = parse_config(deck);
+  EXPECT_EQ(config.mesh_n, run_config{}.mesh_n);
+}
+
+TEST(Config, UnknownKeyThrowsWithLineNumber) {
+  std::istringstream deck("mesh_n = 16\nbogus_key = 3\n");
+  try {
+    (void)parse_config(deck);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("BOGUS_KEY"), std::string::npos);
+  }
+}
+
+TEST(Config, MalformedLinesThrow) {
+  std::istringstream no_eq("mesh_n 16\n");
+  EXPECT_THROW((void)parse_config(no_eq), std::runtime_error);
+  std::istringstream bad_num("mesh_n = sixteen\n");
+  EXPECT_THROW((void)parse_config(bad_num), std::runtime_error);
+  std::istringstream frac_int("series = 2.5\n");
+  EXPECT_THROW((void)parse_config(frac_int), std::runtime_error);
+  std::istringstream bad_prec("lfd_precision = fp16\n");
+  EXPECT_THROW((void)parse_config(bad_prec), std::runtime_error);
+  std::istringstream empty_val("mesh_n =\n");
+  EXPECT_THROW((void)parse_config(empty_val), std::runtime_error);
+}
+
+TEST(Config, ValidationCatchesBadRanges) {
+  const auto expect_invalid = [](auto&& mutate) {
+    run_config config;
+    mutate(config);
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+  };
+  expect_invalid([](run_config& c) { c.cells_per_axis = 0; });
+  expect_invalid([](run_config& c) { c.mesh_n = 2; });
+  expect_invalid([](run_config& c) { c.nocc = c.norb; });
+  expect_invalid([](run_config& c) { c.nocc = 0; });
+  expect_invalid([](run_config& c) { c.dt = -0.1; });
+  expect_invalid([](run_config& c) { c.series = 0; });
+  expect_invalid([](run_config& c) { c.fd_order = 3; });
+  expect_invalid([](run_config& c) { c.pulse.polarization_axis = 5; });
+  expect_invalid([](run_config& c) {
+    c.norb = 10000;  // more orbitals than mesh points
+    c.mesh_n = 8;
+  });
+}
+
+TEST(Config, RoundTripThroughDeck) {
+  run_config original;
+  original.mesh_n = 20;
+  original.norb = 30;
+  original.nocc = 10;
+  original.lfd_precision = lfd_precision_level::fp64;
+  original.pulse.e0 = 0.123;
+  std::istringstream deck(to_deck(original));
+  const run_config parsed = parse_config(deck);
+  EXPECT_EQ(parsed.mesh_n, original.mesh_n);
+  EXPECT_EQ(parsed.norb, original.norb);
+  EXPECT_EQ(parsed.lfd_precision, original.lfd_precision);
+  EXPECT_DOUBLE_EQ(parsed.pulse.e0, original.pulse.e0);
+}
+
+TEST(Config, TotalTimeMatchesTable3) {
+  // Paper Table III: 21000 QD steps at dt 0.02 a.t.u. ~ 10 fs.
+  run_config config;
+  config.dt = 0.02;
+  config.qd_steps_per_series = 500;
+  config.series = 42;
+  EXPECT_EQ(config.total_qd_steps(), 21000);
+  EXPECT_NEAR(config.total_time_fs(), 10.0, 0.2);
+}
+
+TEST(Config, MissingFileThrows) {
+  EXPECT_THROW((void)parse_config_file("/nonexistent/path/lfd.in"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dcmesh::core

@@ -1,0 +1,118 @@
+// Tests for the DCMESH driver: multiple time-scale splitting, SCF refresh,
+// shadow-dynamics accounting.
+
+#include "dcmesh/core/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/core/presets.hpp"
+
+namespace dcmesh::core {
+namespace {
+
+run_config tiny_config() {
+  auto config = preset(paper_system::tiny);
+  config.qd_steps_per_series = 10;
+  config.series = 2;
+  return config;
+}
+
+class DriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override { blas::clear_compute_mode(); }
+  void TearDown() override { blas::clear_compute_mode(); }
+};
+
+TEST_F(DriverTest, RunProducesOneRecordPerQdStep) {
+  driver sim(tiny_config());
+  const auto reports = sim.run();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].qd_steps, 10);
+  EXPECT_EQ(sim.records().size(), 20u);
+  EXPECT_NEAR(sim.time(), 20 * 0.02, 1e-12);
+}
+
+TEST_F(DriverTest, SeriesRunsScfRefresh) {
+  driver sim(tiny_config());
+  const auto report = sim.run_series();
+  // The refresh measured *some* drift (FP32 propagation) and repaired it.
+  EXPECT_GE(report.scf.max_norm_drift, 0.0);
+  EXPECT_LT(report.scf.max_norm_drift, 1e-2);
+}
+
+TEST_F(DriverTest, ShadowSyncsAtSeriesBoundaries) {
+  driver sim(tiny_config());
+  sim.run();
+  // Forced ion-force syncs happen every series; the wave function syncs
+  // only when drift warrants.  Nothing transfers mid-series.
+  EXPECT_GE(sim.shadow().transfers_performed(), 2u);  // >= forced syncs
+  EXPECT_EQ(sim.shadow().transfers_performed() +
+                sim.shadow().transfers_avoided(),
+            4u);  // 2 series x (wavefunction + ion_forces)
+}
+
+TEST_F(DriverTest, IonsMoveBetweenSeries) {
+  driver sim(tiny_config());
+  const auto p0 = sim.atoms().atoms[0].position;
+  sim.run();
+  const auto p1 = sim.atoms().atoms[0].position;
+  EXPECT_NE(p0, p1);  // MD stepped on the slow time scale
+}
+
+TEST_F(DriverTest, TracerSeesKernels) {
+  driver sim(tiny_config());
+  sim.run_series();
+  const auto report = sim.tracer().report();
+  bool saw_qd = false, saw_scf = false, saw_md = false;
+  for (const auto& [name, stats] : report) {
+    if (name == "lfd.qd_step") {
+      saw_qd = true;
+      EXPECT_EQ(stats.calls, 10u);
+    }
+    if (name == "qxmd.scf_refresh") saw_scf = true;
+    if (name == "qxmd.md_step") saw_md = true;
+  }
+  EXPECT_TRUE(saw_qd);
+  EXPECT_TRUE(saw_scf);
+  EXPECT_TRUE(saw_md);
+  EXPECT_GT(sim.tracer().total_l0_time_ns(), 0u);
+}
+
+TEST_F(DriverTest, Fp64PrecisionLevelRuns) {
+  auto config = tiny_config();
+  config.lfd_precision = lfd_precision_level::fp64;
+  config.series = 1;
+  driver sim(config);
+  sim.run();
+  EXPECT_EQ(sim.records().size(), 10u);
+}
+
+TEST_F(DriverTest, InitialBandEnergiesAscending) {
+  driver sim(tiny_config());
+  const auto& bands = sim.initial_band_energies();
+  ASSERT_EQ(bands.size(), tiny_config().norb);
+  for (std::size_t j = 1; j < bands.size(); ++j) {
+    EXPECT_LE(bands[j - 1], bands[j] + 1e-12);
+  }
+}
+
+TEST_F(DriverTest, RecordsEvolveInTime) {
+  driver sim(tiny_config());
+  sim.run();
+  const auto& records = sim.records();
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GT(records[i].t, records[i - 1].t);
+  }
+}
+
+TEST_F(DriverTest, ComputeModeDoesNotChangeRecordCount) {
+  // Switching BLAS precision must not alter control flow, only numerics.
+  blas::set_compute_mode(blas::compute_mode::float_to_bf16);
+  driver sim(tiny_config());
+  sim.run();
+  EXPECT_EQ(sim.records().size(), 20u);
+}
+
+}  // namespace
+}  // namespace dcmesh::core

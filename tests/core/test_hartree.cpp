@@ -1,0 +1,112 @@
+// Tests for the Hartree mean-field option (Poisson-solved V_H of the
+// electron density added to the device potential at SCF boundaries).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dcmesh/core/driver.hpp"
+#include "dcmesh/core/presets.hpp"
+#include "dcmesh/lfd/forces.hpp"
+#include "dcmesh/lfd/init.hpp"
+#include "dcmesh/lfd/potential.hpp"
+#include "dcmesh/qxmd/supercell.hpp"
+
+namespace dcmesh::core {
+namespace {
+
+run_config hartree_config(double strength) {
+  auto config = preset(paper_system::tiny);
+  config.qd_steps_per_series = 10;
+  config.series = 2;
+  config.hartree = strength;
+  return config;
+}
+
+TEST(Hartree, BuildPotentialIsZeroMeanAndRepulsive) {
+  const auto atoms = qxmd::build_pto_supercell(1, 7.37, 0.05, 3);
+  const mesh::grid3d grid = mesh::grid3d::cubic(8, 7.37 / 8.0);
+  const auto init = lfd::initialize_ground_state(grid, atoms, 8, 3,
+                                                 mesh::fd_order::fourth);
+  const auto rho = lfd::electron_density(init.psi, init.occupations);
+  const auto vh =
+      lfd::build_hartree_potential(grid, mesh::fd_order::fourth, rho, 1.0);
+  ASSERT_EQ(vh.size(), rho.size());
+
+  double mean = 0.0;
+  for (double v : vh) mean += v;
+  EXPECT_NEAR(mean / static_cast<double>(vh.size()), 0.0, 1e-10);
+
+  // V_H correlates positively with rho (repulsion where charge piles up).
+  double rho_mean = 0.0;
+  for (double v : rho) rho_mean += v;
+  rho_mean /= static_cast<double>(rho.size());
+  double covariance = 0.0;
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    covariance += (rho[i] - rho_mean) * vh[i];
+  }
+  EXPECT_GT(covariance, 0.0);
+}
+
+TEST(Hartree, StrengthScalesLinearly) {
+  const auto atoms = qxmd::build_pto_supercell(1, 7.37, 0.05, 3);
+  const mesh::grid3d grid = mesh::grid3d::cubic(8, 7.37 / 8.0);
+  const auto init = lfd::initialize_ground_state(grid, atoms, 8, 3,
+                                                 mesh::fd_order::fourth);
+  const auto rho = lfd::electron_density(init.psi, init.occupations);
+  const auto full =
+      lfd::build_hartree_potential(grid, mesh::fd_order::second, rho, 1.0);
+  const auto half =
+      lfd::build_hartree_potential(grid, mesh::fd_order::second, rho, 0.5);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    ASSERT_NEAR(half[i], 0.5 * full[i], 1e-12);
+  }
+}
+
+TEST(Hartree, ChangesTheDynamics) {
+  driver plain(hartree_config(0.0));
+  plain.run();
+  driver mean_field(hartree_config(0.3));
+  mean_field.run();
+  ASSERT_EQ(plain.records().size(), mean_field.records().size());
+  bool differs = false;
+  for (std::size_t i = 0; i < plain.records().size(); ++i) {
+    if (plain.records()[i].epot != mean_field.records()[i].epot) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+  // The mean field raises the potential energy where electrons overlap:
+  // epot with repulsion should be above the plain run on average.
+  double sum_plain = 0.0, sum_mf = 0.0;
+  for (std::size_t i = 0; i < plain.records().size(); ++i) {
+    sum_plain += plain.records()[i].epot;
+    sum_mf += mean_field.records()[i].epot;
+  }
+  EXPECT_GT(sum_mf, sum_plain);
+}
+
+TEST(Hartree, RunStaysStableAndFinite) {
+  driver sim(hartree_config(0.5));
+  sim.run();
+  for (const auto& r : sim.records()) {
+    ASSERT_TRUE(std::isfinite(r.etot));
+    ASSERT_LT(std::abs(r.etot), 1e3);
+    ASSERT_GE(r.nexc, -1e-12);
+  }
+}
+
+TEST(Hartree, ConfigValidationAndDeckRoundTrip) {
+  run_config config;
+  config.hartree = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.hartree = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config.hartree = 0.25;
+  std::istringstream deck(to_deck(config));
+  EXPECT_DOUBLE_EQ(parse_config(deck).hartree, 0.25);
+}
+
+}  // namespace
+}  // namespace dcmesh::core

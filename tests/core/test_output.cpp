@@ -1,0 +1,76 @@
+// Tests for the QD-step output format (artifact column order).
+
+#include "dcmesh/core/output.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dcmesh::core {
+namespace {
+
+lfd::qd_record sample_record() {
+  lfd::qd_record r;
+  r.t = 0.02;
+  r.ekin = 1.5;
+  r.epot = -2.5;
+  r.etot = -1.0;
+  r.eexc = 0.25;
+  r.nexc = 0.125;
+  r.aext = 0.35;
+  r.javg = -1e-4;
+  return r;
+}
+
+TEST(Output, ColumnOrderMatchesArtifact) {
+  // "In order from left to right, these are ekin, epot, etot, eexc, nexc,
+  // Aext, and javg" (preceded by the time column).
+  const std::string line = format_qd_record(sample_record());
+  std::istringstream is(line);
+  double t, ekin, epot, etot, eexc, nexc, aext, javg;
+  is >> t >> ekin >> epot >> etot >> eexc >> nexc >> aext >> javg;
+  ASSERT_TRUE(static_cast<bool>(is));
+  EXPECT_DOUBLE_EQ(t, 0.02);
+  EXPECT_DOUBLE_EQ(ekin, 1.5);
+  EXPECT_DOUBLE_EQ(epot, -2.5);
+  EXPECT_DOUBLE_EQ(etot, -1.0);
+  EXPECT_DOUBLE_EQ(eexc, 0.25);
+  EXPECT_DOUBLE_EQ(nexc, 0.125);
+  EXPECT_DOUBLE_EQ(aext, 0.35);
+  EXPECT_DOUBLE_EQ(javg, -1e-4);
+}
+
+TEST(Output, WriteLogHasHeaderAndRows) {
+  std::vector<lfd::qd_record> records{sample_record(), sample_record()};
+  std::ostringstream os;
+  write_qd_log(os, records);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# t ekin epot etot eexc nexc Aext javg"),
+            std::string::npos);
+  // Header + 2 rows = 3 lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(Output, ExtractColumns) {
+  std::vector<lfd::qd_record> records(3, sample_record());
+  records[1].nexc = 0.5;
+  const auto nexc = extract_column(records, "nexc");
+  ASSERT_EQ(nexc.size(), 3u);
+  EXPECT_DOUBLE_EQ(nexc[0], 0.125);
+  EXPECT_DOUBLE_EQ(nexc[1], 0.5);
+  const auto t = extract_column(records, "t");
+  EXPECT_DOUBLE_EQ(t[0], 0.02);
+  for (const char* col :
+       {"ekin", "epot", "etot", "eexc", "aext", "javg"}) {
+    EXPECT_EQ(extract_column(records, col).size(), 3u) << col;
+  }
+}
+
+TEST(Output, UnknownColumnThrows) {
+  std::vector<lfd::qd_record> records{sample_record()};
+  EXPECT_THROW((void)extract_column(records, "enthalpy"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcmesh::core

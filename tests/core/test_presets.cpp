@@ -1,0 +1,66 @@
+// Tests for the paper-system presets (Table V + Table III).
+
+#include "dcmesh/core/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcmesh::core {
+namespace {
+
+TEST(Presets, Pto40MatchesTable5) {
+  const run_config c = preset(paper_system::pto40);
+  EXPECT_EQ(c.atom_count(), 40);
+  EXPECT_EQ(c.mesh_n, 64);
+  EXPECT_EQ(c.ngrid(), 64LL * 64 * 64);
+  EXPECT_EQ(c.norb, 256u);
+  EXPECT_EQ(c.nocc, kPto40Nocc);  // Table VII's m = 128
+}
+
+TEST(Presets, Pto135MatchesTable5) {
+  const run_config c = preset(paper_system::pto135);
+  EXPECT_EQ(c.atom_count(), 135);
+  EXPECT_EQ(c.mesh_n, 96);
+  EXPECT_EQ(c.norb, 1024u);
+  EXPECT_LT(c.nocc, c.norb);
+}
+
+TEST(Presets, PaperDynamicsMatchTable3) {
+  for (paper_system s : {paper_system::pto40, paper_system::pto135}) {
+    const run_config c = preset(s);
+    EXPECT_DOUBLE_EQ(c.dt, 0.02);
+    EXPECT_EQ(c.qd_steps_per_series, 500);
+    EXPECT_EQ(c.total_qd_steps(), 21000);
+    EXPECT_NEAR(c.total_time_fs(), 10.0, 0.25);
+  }
+}
+
+TEST(Presets, AllPresetsValidate) {
+  for (paper_system s : all_presets()) {
+    EXPECT_NO_THROW(preset(s).validate()) << name(s);
+  }
+}
+
+TEST(Presets, ScaledPresetsAreCpuTractable) {
+  for (paper_system s :
+       {paper_system::pto40_scaled, paper_system::pto135_scaled,
+        paper_system::tiny}) {
+    const run_config c = preset(s);
+    EXPECT_LE(c.ngrid(), 6000) << name(s);
+    EXPECT_LE(c.norb, 64u) << name(s);
+  }
+}
+
+TEST(Presets, ScaledPreservesSupercellGeometry) {
+  // The scaled analogues keep the paper's atom counts.
+  EXPECT_EQ(preset(paper_system::pto40_scaled).atom_count(), 40);
+  EXPECT_EQ(preset(paper_system::pto135_scaled).atom_count(), 135);
+}
+
+TEST(Presets, Names) {
+  EXPECT_EQ(name(paper_system::pto40), "pto40");
+  EXPECT_EQ(name(paper_system::pto135), "pto135");
+  EXPECT_EQ(name(paper_system::tiny), "tiny");
+}
+
+}  // namespace
+}  // namespace dcmesh::core

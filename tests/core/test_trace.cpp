@@ -1,0 +1,63 @@
+// Tests for the unitrace-style profiler.
+
+#include "dcmesh/trace/unitrace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dcmesh::trace {
+namespace {
+
+TEST(Unitrace, RecordsAndAggregates) {
+  unitrace tracer;
+  tracer.record("gemm", 0.010);
+  tracer.record("gemm", 0.020);
+  tracer.record("stencil", 0.005);
+  const auto report = tracer.report();
+  ASSERT_EQ(report.size(), 2u);
+  // Sorted by descending total time.
+  EXPECT_EQ(report[0].first, "gemm");
+  EXPECT_EQ(report[0].second.calls, 2u);
+  EXPECT_NEAR(report[0].second.total_seconds, 0.030, 1e-12);
+  EXPECT_NEAR(report[0].second.min_seconds, 0.010, 1e-12);
+  EXPECT_NEAR(report[0].second.max_seconds, 0.020, 1e-12);
+  EXPECT_EQ(report[1].first, "stencil");
+}
+
+TEST(Unitrace, TotalL0TimeInNanoseconds) {
+  unitrace tracer;
+  tracer.record("k", 1.5);
+  EXPECT_EQ(tracer.total_l0_time_ns(), 1500000000u);
+}
+
+TEST(Unitrace, ScopeMeasuresWallTime) {
+  unitrace tracer;
+  {
+    unitrace::scope scope(tracer, "sleepy");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto report = tracer.report();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_GE(report[0].second.total_seconds, 0.004);
+}
+
+TEST(Unitrace, ClearResets) {
+  unitrace tracer;
+  tracer.record("x", 1.0);
+  tracer.clear();
+  EXPECT_EQ(tracer.total_l0_time_ns(), 0u);
+  EXPECT_TRUE(tracer.report().empty());
+}
+
+TEST(Unitrace, ToStringContainsTotalAndKernels) {
+  unitrace tracer;
+  tracer.record("lfd.qd_step", 0.25);
+  const std::string text = tracer.to_string();
+  EXPECT_NE(text.find("Total L0 Time (ns): 250000000"), std::string::npos);
+  EXPECT_NE(text.find("lfd.qd_step"), std::string::npos);
+  EXPECT_NE(text.find("calls=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcmesh::trace

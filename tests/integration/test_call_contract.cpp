@@ -1,0 +1,97 @@
+// Integration: the real LFD implementation must make exactly the 9 BLAS
+// calls per QD step that the xehpc app model assumes — the contract that
+// ties the measured numerics to the modeled performance (Fig 3a).
+
+#include <gtest/gtest.h>
+
+#include "dcmesh/blas/verbose.hpp"
+#include "dcmesh/core/driver.hpp"
+#include "dcmesh/core/presets.hpp"
+#include "dcmesh/xehpc/app_model.hpp"
+
+namespace dcmesh {
+namespace {
+
+TEST(CallContract, DriverQdStepMatchesCanonicalShapes) {
+  auto config = core::preset(core::paper_system::tiny);
+  core::driver sim(config);
+
+  blas::clear_call_log();
+  sim.qd_step();
+  const auto calls = blas::recent_calls();
+  ASSERT_EQ(calls.size(), 9u) << "one QD step must issue 9 BLAS calls";
+
+  const xehpc::system_shape shape{
+      config.ngrid(), static_cast<blas::blas_int>(config.norb),
+      static_cast<blas::blas_int>(config.nocc)};
+  const auto expected =
+      xehpc::canonical_qd_step_calls(shape, xehpc::gemm_precision::fp32);
+  ASSERT_EQ(expected.size(), 9u);
+
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(calls[i].m, expected[i].shape.m) << "call " << i;
+    EXPECT_EQ(calls[i].n, expected[i].shape.n) << "call " << i;
+    EXPECT_EQ(calls[i].k, expected[i].shape.k) << "call " << i;
+    EXPECT_EQ(calls[i].routine, "CGEMM") << "call " << i;
+  }
+}
+
+TEST(CallContract, Fp64DriverUsesZgemm) {
+  auto config = core::preset(core::paper_system::tiny);
+  config.lfd_precision = core::lfd_precision_level::fp64;
+  core::driver sim(config);
+  blas::clear_call_log();
+  sim.qd_step();
+  const auto calls = blas::recent_calls();
+  ASSERT_EQ(calls.size(), 9u);
+  for (const auto& call : calls) {
+    EXPECT_EQ(call.routine, "ZGEMM");
+  }
+}
+
+TEST(CallContract, ScfRefreshStaysFp64) {
+  // The between-series SCF path must never run reduced precision, whatever
+  // the compute mode: its inner products are level-1 FP64 operations, and
+  // any level-3 call it makes must be ZGEMM.
+  auto config = core::preset(core::paper_system::tiny);
+  core::driver sim(config);
+  blas::set_compute_mode(blas::compute_mode::float_to_bf16);
+  blas::clear_call_log();
+  sim.run_series();
+  bool saw_cgemm_outside_qd = false;
+  std::size_t qd_calls = 0;
+  for (const auto& call : blas::recent_calls()) {
+    if (call.routine == "CGEMM") {
+      ++qd_calls;
+    } else if (call.routine != "ZGEMM") {
+      saw_cgemm_outside_qd = true;
+    }
+  }
+  blas::clear_compute_mode();
+  EXPECT_EQ(qd_calls, 9u * 20u);  // tiny preset: 20 QD steps per series
+  EXPECT_FALSE(saw_cgemm_outside_qd);
+}
+
+TEST(CallContract, ModeledCallListCoversAllSites) {
+  const xehpc::system_shape sys{4096, 32, 16};
+  const auto calls =
+      xehpc::canonical_qd_step_calls(sys, xehpc::gemm_precision::fp32);
+  double total_flops = 0.0;
+  for (const auto& call : calls) {
+    EXPECT_TRUE(call.shape.is_complex);
+    total_flops += blas::gemm_flops(true, call.shape.m, call.shape.n,
+                                    call.shape.k);
+  }
+  // The three big (k = ngrid) calls dominate: > 90% of per-step flops.
+  double big_flops = 0.0;
+  for (const auto& call : calls) {
+    if (call.shape.k == 4096 || call.shape.m == 4096) {
+      big_flops += blas::gemm_flops(true, call.shape.m, call.shape.n,
+                                    call.shape.k);
+    }
+  }
+  EXPECT_GT(big_flops / total_flops, 0.9);
+}
+
+}  // namespace
+}  // namespace dcmesh

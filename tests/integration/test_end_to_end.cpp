@@ -1,0 +1,114 @@
+// Integration: a full multi-series run exercising QXMD + LFD + SCF + MD +
+// shadow dynamics together, checking the physics stays sane end to end.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/core/config.hpp"
+#include "dcmesh/core/driver.hpp"
+#include "dcmesh/core/output.hpp"
+#include "dcmesh/core/presets.hpp"
+
+namespace dcmesh {
+namespace {
+
+TEST(EndToEnd, TinyPresetFullRun) {
+  core::driver sim(core::preset(core::paper_system::tiny));
+  const auto reports = sim.run();
+  ASSERT_EQ(reports.size(), 2u);
+  ASSERT_EQ(sim.records().size(), 40u);
+
+  for (const auto& r : sim.records()) {
+    ASSERT_TRUE(std::isfinite(r.ekin));
+    ASSERT_TRUE(std::isfinite(r.epot));
+    ASSERT_TRUE(std::isfinite(r.javg));
+    ASSERT_GE(r.nexc, -1e-12);
+    ASSERT_LT(r.nexc, 6.0);  // bounded by the occupied population
+  }
+
+  // The laser pulse (centred at t = 0.4) excited some electrons by the end.
+  EXPECT_GT(sim.records().back().nexc, 1e-9);
+
+  // Energies stay physically bounded (no blow-up through 2 SCF cycles).
+  for (const auto& r : sim.records()) {
+    ASSERT_LT(std::abs(r.etot), 1e3);
+  }
+}
+
+TEST(EndToEnd, ConfigDeckDrivesARun) {
+  std::istringstream deck(R"(
+cells_per_axis = 1
+mesh_n = 8
+norb = 8
+nocc = 3
+dt = 0.02
+qd_steps_per_series = 5
+series = 2
+lfd_precision = fp32
+pulse_e0 = 0.4
+pulse_omega = 1.0
+pulse_center = 0.1
+pulse_sigma = 0.05
+)");
+  core::driver sim(core::parse_config(deck));
+  sim.run();
+  EXPECT_EQ(sim.records().size(), 10u);
+
+  std::ostringstream os;
+  core::write_qd_log(os, sim.records());
+  const std::string text = os.str();
+  // Header + 10 rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 11);
+}
+
+TEST(EndToEnd, DeviationGrowsBetweenScfResets) {
+  // The paper's Fig 1 mechanism: reduced-precision deviation accumulates
+  // over QD steps; the FP64 SCF refresh keeps it from compounding across
+  // series.  Compare BF16 vs FP32 deviation at the end of series 1 with
+  // the deviation a few steps after the series-boundary refresh.
+  auto config = core::preset(core::paper_system::tiny);
+  config.qd_steps_per_series = 30;
+  config.series = 2;
+  config.pulse.e0 = 0.5;
+  config.pulse.t_center = 0.3;
+  config.pulse.sigma = 0.15;
+
+  const auto run_mode = [&](blas::compute_mode mode) {
+    blas::scoped_compute_mode scope(mode);
+    core::driver sim(config);
+    sim.run();
+    return core::extract_column(sim.records(), "ekin");
+  };
+  const auto ref = run_mode(blas::compute_mode::standard);
+  const auto alt = run_mode(blas::compute_mode::float_to_bf16);
+  ASSERT_EQ(ref.size(), 60u);
+
+  // Per-step deviations oscillate, so compare series-level maxima: the
+  // FP64 refresh between series must keep series 2's deviation within a
+  // modest factor of series 1's (no compounding), while the deviation
+  // itself stays clearly nonzero (BF16 really differs from FP32).
+  double max_s1 = 0.0, max_s2 = 0.0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    max_s1 = std::max(max_s1, std::abs(alt[i] - ref[i]));
+    max_s2 = std::max(max_s2, std::abs(alt[i + 30] - ref[i + 30]));
+  }
+  EXPECT_GT(max_s1, 0.0);
+  EXPECT_GT(max_s2, 0.0);
+  EXPECT_LT(max_s2, 50.0 * std::max(max_s1, 1e-12))
+      << "deviation compounded across the SCF boundary";
+}
+
+TEST(EndToEnd, ShadowAvoidsMidSeriesTransfers) {
+  auto config = core::preset(core::paper_system::tiny);
+  core::driver sim(config);
+  sim.run();
+  // The wave function crossed the bus at most once per series.
+  EXPECT_LE(sim.shadow().transfers_performed(),
+            2u * static_cast<unsigned>(config.series));
+}
+
+}  // namespace
+}  // namespace dcmesh

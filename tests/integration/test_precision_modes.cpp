@@ -1,0 +1,139 @@
+// Integration: the paper's core claim at system level.  Running the same
+// simulation under different MKL_BLAS_COMPUTE_MODE values changes ONLY the
+// numerics, deviations from the FP32 reference are small and ordered by
+// mode accuracy, and the control really is the environment variable.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/common/stats.hpp"
+#include "dcmesh/core/driver.hpp"
+#include "dcmesh/core/output.hpp"
+#include "dcmesh/core/presets.hpp"
+
+namespace dcmesh {
+namespace {
+
+core::run_config small_config() {
+  auto config = core::preset(core::paper_system::tiny);
+  config.mesh_n = 10;
+  config.norb = 12;
+  config.nocc = 5;
+  config.qd_steps_per_series = 40;
+  config.series = 1;
+  config.pulse.e0 = 0.5;
+  config.pulse.omega = 1.0;
+  config.pulse.t_center = 0.4;
+  config.pulse.sigma = 0.15;
+  return config;
+}
+
+std::vector<lfd::qd_record> run_with_mode(blas::compute_mode mode) {
+  blas::scoped_compute_mode scope(mode);
+  core::driver sim(small_config());
+  sim.run();
+  return sim.records();
+}
+
+class PrecisionModes : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    blas::clear_compute_mode();
+    env_unset(blas::kComputeModeEnvVar);
+  }
+  void TearDown() override {
+    blas::clear_compute_mode();
+    env_unset(blas::kComputeModeEnvVar);
+  }
+};
+
+TEST_F(PrecisionModes, DeviationLadderAcrossModes) {
+  const auto reference = run_with_mode(blas::compute_mode::standard);
+  const auto ref_nexc = core::extract_column(reference, "nexc");
+  const auto ref_ekin = core::extract_column(reference, "ekin");
+  ASSERT_EQ(reference.size(), 40u);
+
+  std::map<blas::compute_mode, double> nexc_dev, ekin_dev;
+  for (blas::compute_mode mode :
+       {blas::compute_mode::float_to_bf16, blas::compute_mode::float_to_tf32,
+        blas::compute_mode::float_to_bf16x3,
+        blas::compute_mode::complex_3m}) {
+    const auto records = run_with_mode(mode);
+    ASSERT_EQ(records.size(), reference.size())
+        << "modes must not change control flow";
+    nexc_dev[mode] =
+        max_abs_deviation(core::extract_column(records, "nexc"), ref_nexc);
+    ekin_dev[mode] =
+        max_abs_deviation(core::extract_column(records, "ekin"), ref_ekin);
+  }
+
+  // BF16 deviates most; BF16x3 deviates least among the BF16 family
+  // (Fig 1's qualitative content).
+  EXPECT_GT(nexc_dev[blas::compute_mode::float_to_bf16],
+            nexc_dev[blas::compute_mode::float_to_bf16x3]);
+  EXPECT_GT(ekin_dev[blas::compute_mode::float_to_bf16],
+            ekin_dev[blas::compute_mode::float_to_bf16x3]);
+  EXPECT_GE(ekin_dev[blas::compute_mode::float_to_bf16],
+            ekin_dev[blas::compute_mode::float_to_tf32]);
+
+  // Every mode keeps the observables in the right ballpark (the paper's
+  // "retaining accuracy in key output parameters"): relative ekin
+  // deviation stays below ~1%.
+  double ekin_scale = 0.0;
+  for (double e : ref_ekin) ekin_scale = std::max(ekin_scale, std::abs(e));
+  for (const auto& [mode, dev] : ekin_dev) {
+    EXPECT_LT(dev, 0.01 * ekin_scale) << blas::name(mode);
+  }
+}
+
+TEST_F(PrecisionModes, EnvironmentVariableControlsTheRun) {
+  // The no-source-changes property: flip MKL_BLAS_COMPUTE_MODE only.
+  const auto reference = run_with_mode(blas::compute_mode::standard);
+
+  env_set(blas::kComputeModeEnvVar, "FLOAT_TO_BF16");
+  core::driver sim(small_config());
+  sim.run();
+  env_unset(blas::kComputeModeEnvVar);
+
+  const double dev =
+      max_abs_deviation(core::extract_column(sim.records(), "ekin"),
+                        core::extract_column(reference, "ekin"));
+  EXPECT_GT(dev, 0.0) << "env var had no effect";
+
+  // And it matches the API-selected BF16 run exactly (same arithmetic).
+  const auto api_run = run_with_mode(blas::compute_mode::float_to_bf16);
+  EXPECT_EQ(core::extract_column(sim.records(), "ekin"),
+            core::extract_column(api_run, "ekin"));
+}
+
+TEST_F(PrecisionModes, IdenticalRunsAreBitIdentical) {
+  const auto a = run_with_mode(blas::compute_mode::float_to_bf16);
+  const auto b = run_with_mode(blas::compute_mode::float_to_bf16);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].ekin, b[i].ekin);
+    ASSERT_EQ(a[i].nexc, b[i].nexc);
+    ASSERT_EQ(a[i].javg, b[i].javg);
+  }
+}
+
+TEST_F(PrecisionModes, CurrentDensityDeviationIsRelativelyTiny) {
+  // Paper: current-density deviation is "negligible ... in the order of
+  // 1e-5 Atomic Units" — i.e. orders of magnitude below the signal.
+  const auto reference = run_with_mode(blas::compute_mode::standard);
+  const auto bf16 = run_with_mode(blas::compute_mode::float_to_bf16);
+  const auto ref_j = core::extract_column(reference, "javg");
+  const auto dev = max_abs_deviation(
+      core::extract_column(bf16, "javg"), ref_j);
+  double scale = 0.0;
+  for (double j : ref_j) scale = std::max(scale, std::abs(j));
+  ASSERT_GT(scale, 0.0);
+  EXPECT_LT(dev, 0.02 * scale);
+}
+
+}  // namespace
+}  // namespace dcmesh

@@ -1,0 +1,159 @@
+// Tests for the BLASified energy evaluation.
+
+#include "dcmesh/lfd/calc_energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dcmesh/blas/verbose.hpp"
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/lfd/nlp_prop.hpp"
+#include "dcmesh/qxmd/scf.hpp"
+
+namespace dcmesh::lfd {
+namespace {
+
+using C = std::complex<double>;
+
+/// Plane-wave orbital with known kinetic energy on the discrete mesh.
+matrix<C> plane_wave_orbital(const mesh::grid3d& g, int k) {
+  matrix<C> psi(static_cast<std::size_t>(g.size()), 1);
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double norm = 1.0 / std::sqrt(g.volume());
+  for (std::int64_t iz = 0; iz < g.nz; ++iz) {
+    for (std::int64_t iy = 0; iy < g.ny; ++iy) {
+      for (std::int64_t ix = 0; ix < g.nx; ++ix) {
+        const double phase = two_pi * k * double(ix) / g.nx;
+        psi(static_cast<std::size_t>(g.index(ix, iy, iz)), 0) =
+            C(std::cos(phase) * norm, std::sin(phase) * norm);
+      }
+    }
+  }
+  return psi;
+}
+
+TEST(CalcEnergy, PlaneWaveKineticEnergy) {
+  const mesh::grid3d grid = mesh::grid3d::cubic(10, 0.8);
+  hamiltonian<double> h(
+      grid, mesh::fd_order::fourth,
+      std::vector<double>(static_cast<std::size_t>(grid.size()), 0.0));
+  const auto psi = plane_wave_orbital(grid, 1);
+  matrix<C> g_mat(1, 1);
+  g_mat(0, 0) = 1.0;
+  const std::vector<double> occ{2.0};
+  const auto report =
+      calc_energy<double>(h, psi, g_mat, 0.0, occ, grid.dv());
+
+  // Discrete 4th-order kinetic eigenvalue for k = 1 on a 10-point axis.
+  const double theta = 2.0 * std::numbers::pi / 10.0;
+  const double eig =
+      0.5 *
+      (5.0 / 2.0 - (8.0 / 3.0) * std::cos(theta) +
+       (1.0 / 6.0) * std::cos(2 * theta)) /
+      (grid.spacing * grid.spacing);
+  EXPECT_NEAR(report.ekin, 2.0 * eig, 1e-9);
+  EXPECT_NEAR(report.epot, 0.0, 1e-12);
+}
+
+TEST(CalcEnergy, UniformPotentialEnergy) {
+  const mesh::grid3d grid = mesh::grid3d::cubic(8, 1.0);
+  hamiltonian<double> h(
+      grid, mesh::fd_order::second,
+      std::vector<double>(static_cast<std::size_t>(grid.size()), -0.7));
+  const auto psi = plane_wave_orbital(grid, 0);  // constant, normalized
+  matrix<C> g_mat(1, 1);
+  g_mat(0, 0) = 1.0;
+  const std::vector<double> occ{2.0};
+  const auto report =
+      calc_energy<double>(h, psi, g_mat, 0.0, occ, grid.dv());
+  EXPECT_NEAR(report.ekin, 0.0, 1e-12);
+  // <psi|V|psi> = -0.7 for a normalized state; occupation 2.
+  EXPECT_NEAR(report.epot, 2.0 * -0.7, 1e-9);
+}
+
+TEST(CalcEnergy, UnoccupiedOrbitalsDoNotContribute) {
+  const mesh::grid3d grid = mesh::grid3d::cubic(6, 1.0);
+  hamiltonian<double> h(
+      grid, mesh::fd_order::second,
+      std::vector<double>(static_cast<std::size_t>(grid.size()), -0.5));
+  xoshiro256 rng(1);
+  matrix<C> psi(static_cast<std::size_t>(grid.size()), 3);
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    psi.data()[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  qxmd::orthonormalize(psi, grid.dv());
+  matrix<C> g_mat(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) g_mat(i, i) = 1.0;
+
+  const std::vector<double> occ_none{0.0, 0.0, 0.0};
+  const auto none =
+      calc_energy<double>(h, psi, g_mat, 0.1, occ_none, grid.dv());
+  EXPECT_EQ(none.ekin, 0.0);
+  EXPECT_EQ(none.epot, 0.0);
+  EXPECT_EQ(none.enl, 0.0);
+  EXPECT_EQ(none.eband_rot, 0.0);
+
+  const std::vector<double> occ_one{2.0, 0.0, 0.0};
+  const auto one =
+      calc_energy<double>(h, psi, g_mat, 0.1, occ_one, grid.dv());
+  EXPECT_NE(one.ekin, 0.0);
+}
+
+TEST(CalcEnergy, NonlocalEnergyScalesWithLambda) {
+  const mesh::grid3d grid = mesh::grid3d::cubic(6, 1.0);
+  hamiltonian<double> h(
+      grid, mesh::fd_order::second,
+      std::vector<double>(static_cast<std::size_t>(grid.size()), 0.0));
+  const auto psi = plane_wave_orbital(grid, 1);
+  matrix<C> g_mat(1, 1);
+  g_mat(0, 0) = 0.8;
+  const std::vector<double> occ{1.0};
+  const auto e1 = calc_energy<double>(h, psi, g_mat, 0.1, occ, grid.dv());
+  const auto e2 = calc_energy<double>(h, psi, g_mat, 0.2, occ, grid.dv());
+  EXPECT_GT(e1.enl, 0.0);
+  EXPECT_NEAR(e2.enl, 2.0 * e1.enl, 1e-12);
+}
+
+TEST(CalcEnergy, EbandSumsComponents) {
+  const mesh::grid3d grid = mesh::grid3d::cubic(6, 0.9);
+  std::vector<double> v(static_cast<std::size_t>(grid.size()), -0.3);
+  hamiltonian<double> h(grid, mesh::fd_order::fourth, std::move(v));
+  const auto psi = plane_wave_orbital(grid, 1);
+  matrix<C> g_mat(1, 1);
+  g_mat(0, 0) = 1.0;
+  const std::vector<double> occ{2.0};
+  const auto e = calc_energy<double>(h, psi, g_mat, 0.05, occ, grid.dv());
+  EXPECT_DOUBLE_EQ(e.eband(), e.ekin + e.epot + e.enl);
+}
+
+TEST(CalcEnergy, MakesExactlyThreeBlasCalls) {
+  const mesh::grid3d grid = mesh::grid3d::cubic(5, 1.0);
+  hamiltonian<float> h(
+      grid, mesh::fd_order::second,
+      std::vector<double>(static_cast<std::size_t>(grid.size()), -0.1));
+  xoshiro256 rng(3);
+  matrix<std::complex<float>> psi(static_cast<std::size_t>(grid.size()), 4);
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    psi.data()[i] = {static_cast<float>(rng.uniform(-1, 1)),
+                     static_cast<float>(rng.uniform(-1, 1))};
+  }
+  matrix<std::complex<float>> g_mat(4, 4);
+  const std::vector<double> occ{2.0, 2.0, 0.0, 0.0};
+  blas::clear_call_log();
+  (void)calc_energy<float>(h, psi, g_mat, 0.1, occ, grid.dv());
+  const auto calls = blas::recent_calls();
+  ASSERT_EQ(calls.size(), 3u);
+  // Call 4: T = Psi^H (K Psi): (norb, norb, ngrid).
+  EXPECT_EQ(calls[0].m, 4);
+  EXPECT_EQ(calls[0].n, 4);
+  EXPECT_EQ(calls[0].k, grid.size());
+  EXPECT_EQ(calls[0].transa, 'C');
+  // Calls 5-6: (norb, norb, norb).
+  EXPECT_EQ(calls[1].k, 4);
+  EXPECT_EQ(calls[2].k, 4);
+}
+
+}  // namespace
+}  // namespace dcmesh::lfd

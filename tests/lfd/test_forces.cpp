@@ -1,0 +1,133 @@
+// Tests for the Ehrenfest (Hellmann-Feynman) forces.
+
+#include "dcmesh/lfd/forces.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/lfd/init.hpp"
+#include "dcmesh/qxmd/scf.hpp"
+#include "dcmesh/qxmd/supercell.hpp"
+
+namespace dcmesh::lfd {
+namespace {
+
+TEST(Density, IntegratesToElectronCount) {
+  const auto atoms = qxmd::build_pto_supercell(1, 7.37, 0.05, 3);
+  const mesh::grid3d grid = mesh::grid3d::cubic(8, 7.37 / 8.0);
+  const auto init = initialize_ground_state(grid, atoms, 8, 3,
+                                            mesh::fd_order::fourth);
+  const auto rho = electron_density(init.psi, init.occupations);
+  // 3 occupied orbitals at f = 2 -> 6 electrons.
+  EXPECT_NEAR(integrate_density(grid, rho), 6.0, 1e-8);
+  for (double v : rho) EXPECT_GE(v, 0.0);
+}
+
+TEST(Density, OccupationMismatchThrows) {
+  matrix<std::complex<float>> psi(8, 2);
+  const std::vector<double> wrong(3, 1.0);
+  EXPECT_THROW((void)electron_density(psi, wrong), std::invalid_argument);
+}
+
+TEST(Forces, UniformDensityExertsOnlyHalfBoxArtifact) {
+  // A constant density is symmetric around the well except for the one
+  // min-image artifact of an even grid: the -L/2 point has no +L/2
+  // partner.  The residual force must be (a) tiny relative to the well
+  // depth scale, (b) identical on all three axes by symmetry, and
+  // (c) suppressed exponentially when the box grows (the artifact sits a
+  // half-box away from the atom).
+  const auto make = [](double box_edge, std::int64_t n) {
+    qxmd::atom_system atoms;
+    atoms.box = {box_edge, box_edge, box_edge};
+    qxmd::atom a;
+    a.kind = qxmd::species::ti;
+    a.position = {box_edge / 2, box_edge / 2, box_edge / 2};
+    atoms.atoms.push_back(a);
+    const mesh::grid3d grid = mesh::grid3d::cubic(n, box_edge / n);
+    const std::vector<double> rho(static_cast<std::size_t>(grid.size()),
+                                  0.5);
+    return ehrenfest_forces(grid, atoms, rho)[0];
+  };
+  const auto small = make(8.0, 8);
+  EXPECT_LT(std::abs(small[0]), 0.05);
+  EXPECT_NEAR(small[0], small[1], 1e-9);
+  EXPECT_NEAR(small[1], small[2], 1e-9);
+  const auto large = make(16.0, 16);
+  EXPECT_LT(std::abs(large[0]), 1e-8);  // artifact decays exponentially
+}
+
+TEST(Forces, OffCentreDensityPullsIonTowardIt) {
+  // Put all the density at a single point +x of the atom: the attractive
+  // well means the ion is pulled toward the density (+x force).
+  qxmd::atom_system atoms;
+  atoms.box = {10.0, 10.0, 10.0};
+  qxmd::atom a;
+  a.kind = qxmd::species::o;
+  a.position = {4.0, 5.0, 5.0};
+  atoms.atoms.push_back(a);
+  const mesh::grid3d grid = mesh::grid3d::cubic(10, 1.0);
+  std::vector<double> rho(static_cast<std::size_t>(grid.size()), 0.0);
+  rho[static_cast<std::size_t>(grid.index(6, 5, 5))] = 1.0;  // +2 Bohr in x
+  const auto forces = ehrenfest_forces(grid, atoms, rho);
+  EXPECT_GT(forces[0][0], 0.0);
+  EXPECT_NEAR(forces[0][1], 0.0, 1e-12);
+  EXPECT_NEAR(forces[0][2], 0.0, 1e-12);
+}
+
+TEST(Forces, MatchesNegativeEnergyGradient) {
+  // F_a must equal -d/dR_a of the electron-ion energy (Hellmann-Feynman
+  // is exact for this fixed-density functional form).
+  const auto atoms0 = qxmd::build_pto_supercell(1, 8.0, 0.1, 9);
+  const mesh::grid3d grid = mesh::grid3d::cubic(10, 0.8);
+  xoshiro256 rng(4);
+  std::vector<double> rho(static_cast<std::size_t>(grid.size()));
+  for (auto& v : rho) v = rng.uniform(0.0, 1.0);
+
+  const auto forces = ehrenfest_forces(grid, atoms0, rho);
+  const double h = 1e-5;
+  for (std::size_t a = 0; a < 2; ++a) {  // first two atoms suffice
+    for (int axis = 0; axis < 3; ++axis) {
+      auto plus = atoms0;
+      plus.atoms[a].position[static_cast<std::size_t>(axis)] += h;
+      auto minus = atoms0;
+      minus.atoms[a].position[static_cast<std::size_t>(axis)] -= h;
+      const double numeric = -(electron_ion_energy(grid, plus, rho) -
+                               electron_ion_energy(grid, minus, rho)) /
+                             (2 * h);
+      EXPECT_NEAR(forces[a][static_cast<std::size_t>(axis)], numeric,
+                  1e-6 + 1e-4 * std::abs(numeric))
+          << "atom " << a << " axis " << axis;
+    }
+  }
+}
+
+TEST(Forces, PeriodicImagesRespected) {
+  // Density just across the boundary pulls through the boundary, not the
+  // long way around.
+  qxmd::atom_system atoms;
+  atoms.box = {10.0, 10.0, 10.0};
+  qxmd::atom a;
+  a.kind = qxmd::species::pb;
+  a.position = {0.5, 5.0, 5.0};
+  atoms.atoms.push_back(a);
+  const mesh::grid3d grid = mesh::grid3d::cubic(10, 1.0);
+  std::vector<double> rho(static_cast<std::size_t>(grid.size()), 0.0);
+  rho[static_cast<std::size_t>(grid.index(9, 5, 5))] = 1.0;  // -1.5 via PBC
+  const auto forces = ehrenfest_forces(grid, atoms, rho);
+  EXPECT_LT(forces[0][0], 0.0);  // pulled in -x through the boundary
+}
+
+TEST(Forces, SizeValidation) {
+  const auto atoms = qxmd::build_pto_supercell(1, 8.0, 0.0);
+  const mesh::grid3d grid = mesh::grid3d::cubic(8, 1.0);
+  const std::vector<double> wrong(10, 0.0);
+  EXPECT_THROW((void)ehrenfest_forces(grid, atoms, wrong),
+               std::invalid_argument);
+  EXPECT_THROW((void)electron_ion_energy(grid, atoms, wrong),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcmesh::lfd

@@ -1,0 +1,134 @@
+// Tests for the nonlocal propagation correction (paper Eq. (1)).
+
+#include "dcmesh/lfd/nlp_prop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcmesh/blas/verbose.hpp"
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/qxmd/scf.hpp"
+
+namespace dcmesh::lfd {
+namespace {
+
+template <typename R>
+matrix<std::complex<R>> orthonormal_set(std::size_t ngrid, std::size_t norb,
+                                        double dv, unsigned seed) {
+  xoshiro256 rng(seed);
+  matrix<cdouble> work(ngrid, norb);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    work.data()[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  qxmd::orthonormalize(work, dv);
+  matrix<std::complex<R>> out(ngrid, norb);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    out.data()[i] = {static_cast<R>(work.data()[i].real()),
+                     static_cast<R>(work.data()[i].imag())};
+  }
+  return out;
+}
+
+TEST(NlpProp, OverlapIsIdentityAtTimeZero) {
+  const double dv = 0.3;
+  auto psi0 = orthonormal_set<float>(400, 6, dv, 1);
+  auto psi = matrix<std::complex<float>>(400, 6);
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    psi.data()[i] = psi0.data()[i];
+  }
+  const auto result =
+      nlp_prop<float>(psi0, psi, std::complex<double>(0, 0), dv);
+  // G = dv Psi0^H Psi0 ~ identity.
+  for (std::size_t j = 0; j < 6; ++j) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      const double expected = i == j ? 1.0 : 0.0;
+      EXPECT_NEAR(std::abs(result.g(i, j)), expected, 1e-4);
+    }
+    EXPECT_NEAR(result.subspace_weight[j], 1.0, 1e-3);
+  }
+  EXPECT_LT(result.norm_drift, 1e-4);
+}
+
+TEST(NlpProp, ZeroCoefficientLeavesStateUnchangedUpToRenorm) {
+  const double dv = 0.5;
+  auto psi0 = orthonormal_set<float>(300, 4, dv, 2);
+  auto psi = orthonormal_set<float>(300, 4, dv, 3);
+  matrix<std::complex<float>> before(300, 4);
+  for (std::size_t i = 0; i < psi.size(); ++i) before.data()[i] = psi.data()[i];
+  (void)nlp_prop<float>(psi0, psi, std::complex<double>(0, 0), dv);
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    ASSERT_NEAR(std::abs(psi.data()[i] - before.data()[i]), 0.0, 1e-5);
+  }
+}
+
+TEST(NlpProp, CorrectionKeepsColumnsNormalized) {
+  const double dv = 0.25;
+  auto psi0 = orthonormal_set<float>(500, 5, dv, 4);
+  auto psi = orthonormal_set<float>(500, 5, dv, 5);
+  (void)nlp_prop<float>(psi0, psi, std::complex<double>(0, -0.01), dv);
+  for (std::size_t j = 0; j < 5; ++j) {
+    double norm2 = 0.0;
+    for (std::size_t i = 0; i < 500; ++i) norm2 += std::norm(psi(i, j));
+    EXPECT_NEAR(norm2 * dv, 1.0, 1e-5) << j;
+  }
+}
+
+TEST(NlpProp, ProjectsTowardInitialSubspace) {
+  // Repeated application of the correction with -i dt v_nl rotates phase
+  // within the initial subspace; a state orthogonal to Psi0 is untouched.
+  const double dv = 1.0;
+  const std::size_t ngrid = 64;
+  auto both = orthonormal_set<double>(ngrid, 4, dv, 6);
+  // psi0 = first 2 columns; psi = last 2 columns (orthogonal to psi0).
+  matrix<cdouble> psi0(ngrid, 2), psi(ngrid, 2);
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t i = 0; i < ngrid; ++i) {
+      psi0(i, j) = both(i, j);
+      psi(i, j) = both(i, j + 2);
+    }
+  }
+  matrix<cdouble> before(ngrid, 2);
+  for (std::size_t i = 0; i < psi.size(); ++i) before.data()[i] = psi.data()[i];
+  const auto result =
+      nlp_prop<double>(psi0, psi, std::complex<double>(0, -0.05), dv);
+  // G ~ 0, so psi unchanged and subspace weight ~ 0.
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(result.subspace_weight[j], 0.0, 1e-10);
+  }
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    ASSERT_NEAR(std::abs(psi.data()[i] - before.data()[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(NlpProp, MakesExactlyThreeBlasCalls) {
+  const double dv = 1.0;
+  auto psi0 = orthonormal_set<float>(100, 3, dv, 7);
+  auto psi = orthonormal_set<float>(100, 3, dv, 8);
+  blas::clear_call_log();
+  (void)nlp_prop<float>(psi0, psi, std::complex<double>(0, -0.02), dv);
+  const auto calls = blas::recent_calls();
+  ASSERT_EQ(calls.size(), 3u);
+  // Call 1: (norb, norb, ngrid); call 2: (ngrid, norb, norb);
+  // call 3: (norb, norb, norb).
+  EXPECT_EQ(calls[0].m, 3);
+  EXPECT_EQ(calls[0].k, 100);
+  EXPECT_EQ(calls[1].m, 100);
+  EXPECT_EQ(calls[1].k, 3);
+  EXPECT_EQ(calls[2].m, 3);
+  EXPECT_EQ(calls[2].k, 3);
+}
+
+TEST(NlpProp, DoublePrecisionUsesZgemm) {
+  const double dv = 1.0;
+  auto psi0 = orthonormal_set<double>(50, 2, dv, 9);
+  auto psi = orthonormal_set<double>(50, 2, dv, 10);
+  blas::clear_call_log();
+  (void)nlp_prop<double>(psi0, psi, std::complex<double>(0, -0.02), dv);
+  for (const auto& call : blas::recent_calls()) {
+    EXPECT_EQ(call.routine, "ZGEMM");
+  }
+}
+
+}  // namespace
+}  // namespace dcmesh::lfd

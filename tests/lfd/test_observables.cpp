@@ -1,0 +1,123 @@
+// Tests for the dipole observable and the delta-kick protocol.
+
+#include "dcmesh/lfd/observables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcmesh/lfd/engine.hpp"
+#include "dcmesh/lfd/forces.hpp"
+#include "dcmesh/lfd/init.hpp"
+#include "dcmesh/lfd/potential.hpp"
+#include "dcmesh/qxmd/supercell.hpp"
+
+namespace dcmesh::lfd {
+namespace {
+
+TEST(Dipole, UniformDensityHasZeroDipole) {
+  const mesh::grid3d grid = mesh::grid3d::cubic(8, 1.0);
+  matrix<cdouble> psi(static_cast<std::size_t>(grid.size()), 1);
+  const double norm = 1.0 / std::sqrt(grid.volume());
+  for (std::size_t i = 0; i < psi.size(); ++i) psi.data()[i] = norm;
+  const std::vector<double> occ{2.0};
+  for (int axis = 0; axis < 3; ++axis) {
+    EXPECT_NEAR(dipole_moment<double>(grid, axis, psi, occ, grid.dv()), 0.0,
+                1e-9)
+        << axis;
+  }
+}
+
+TEST(Dipole, DisplacedDensityHasExpectedSign) {
+  const mesh::grid3d grid = mesh::grid3d::cubic(10, 1.0);
+  matrix<cdouble> psi(static_cast<std::size_t>(grid.size()), 1);
+  // All weight at z index 7: coordinate 7 - 4.5 = +2.5 from the mesh mean.
+  psi(static_cast<std::size_t>(grid.index(5, 5, 7)), 0) = 1.0;
+  const std::vector<double> occ{1.0};
+  const double dz = dipole_moment<double>(grid, 2, psi, occ, grid.dv());
+  EXPECT_NEAR(dz, 2.5 * grid.dv(), 1e-12);
+  // x index 5 sits at 5 - 4.5 = +0.5 from the mesh mean.
+  EXPECT_NEAR(dipole_moment<double>(grid, 0, psi, occ, grid.dv()),
+              0.5 * grid.dv(), 1e-12);
+}
+
+TEST(Dipole, ValidationThrows) {
+  const mesh::grid3d grid = mesh::grid3d::cubic(4, 1.0);
+  matrix<cdouble> psi(64, 2);
+  const std::vector<double> occ{1.0, 1.0};
+  EXPECT_THROW((void)dipole_moment<double>(grid, 3, psi, occ, 1.0),
+               std::invalid_argument);
+  const std::vector<double> wrong{1.0};
+  EXPECT_THROW((void)dipole_moment<double>(grid, 0, psi, wrong, 1.0),
+               std::invalid_argument);
+}
+
+struct kick_setup {
+  mesh::grid3d grid;
+  qxmd::atom_system atoms;
+  init_result init;
+  lfd_options options;
+};
+
+kick_setup make_kick_setup() {
+  kick_setup s{mesh::grid3d::cubic(8, 7.37 / 8.0),
+               qxmd::build_pto_supercell(1, 7.37, 0.05, 3),
+               {},
+               {}};
+  s.init = initialize_ground_state(s.grid, s.atoms, 8, 3,
+                                   mesh::fd_order::fourth, 11);
+  s.options.dt = 0.02;
+  s.options.v_nl = 0.05;
+  s.options.pulse.e0 = 0.0;  // field-free: the kick supplies the impulse
+  return s;
+}
+
+TEST(DeltaKick, PreservesNormAndDensity) {
+  auto s = make_kick_setup();
+  lfd_engine<double> engine(s.grid, s.options, s.init.psi,
+                            s.init.occupations, 3,
+                            build_local_potential(s.grid, s.atoms));
+  const auto rho_before =
+      electron_density(engine.psi(), engine.occupations());
+  engine.apply_delta_kick(0.3);
+  const auto rho_after =
+      electron_density(engine.psi(), engine.occupations());
+  for (std::size_t i = 0; i < rho_before.size(); ++i) {
+    ASSERT_NEAR(rho_before[i], rho_after[i], 1e-12);  // pure phase
+  }
+}
+
+TEST(DeltaKick, InducesCurrentAndDipoleResponse) {
+  auto s = make_kick_setup();
+  lfd_engine<double> engine(s.grid, s.options, s.init.psi,
+                            s.init.occupations, 3,
+                            build_local_potential(s.grid, s.atoms));
+  engine.apply_delta_kick(0.2);
+  // The kick gives every electron momentum ~kappa: the very next steps
+  // must carry a finite current along the kick axis.
+  double max_current = 0.0, max_dipole_change = 0.0;
+  const double d0 = dipole_moment<double>(s.grid, 2, engine.psi(),
+                                          engine.occupations(), s.grid.dv());
+  for (int i = 0; i < 20; ++i) {
+    const auto rec = engine.qd_step();
+    max_current = std::max(max_current, std::abs(rec.javg));
+    const double d = dipole_moment<double>(
+        s.grid, 2, engine.psi(), engine.occupations(), s.grid.dv());
+    max_dipole_change = std::max(max_dipole_change, std::abs(d - d0));
+  }
+  EXPECT_GT(max_current, 1e-4);        // ~ kappa * n_el / V scale
+  EXPECT_GT(max_dipole_change, 1e-4);  // the charge actually sloshes
+}
+
+TEST(DeltaKick, ZeroKickIsIdentity) {
+  auto s = make_kick_setup();
+  lfd_engine<float> engine(s.grid, s.options, s.init.psi,
+                           s.init.occupations, 3,
+                           build_local_potential(s.grid, s.atoms));
+  const auto before = engine.psi().data()[42];
+  engine.apply_delta_kick(0.0);
+  EXPECT_EQ(engine.psi().data()[42], before);
+}
+
+}  // namespace
+}  // namespace dcmesh::lfd

@@ -1,0 +1,86 @@
+// Tests for the local model pseudopotential on the mesh.
+
+#include "dcmesh/lfd/potential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dcmesh/qxmd/supercell.hpp"
+
+namespace dcmesh::lfd {
+namespace {
+
+TEST(Potential, AttractiveEverywhere) {
+  const auto atoms = qxmd::build_pto_supercell(1, 8.0, 0.0);
+  const mesh::grid3d grid = mesh::grid3d::cubic(8, 1.0);
+  const auto v = build_local_potential(grid, atoms);
+  ASSERT_EQ(v.size(), 512u);
+  for (double x : v) EXPECT_LE(x, 0.0);
+  EXPECT_LT(*std::min_element(v.begin(), v.end()), -0.1);
+}
+
+TEST(Potential, DeepestNearNuclei) {
+  qxmd::atom_system atoms;
+  atoms.box = {8.0, 8.0, 8.0};
+  qxmd::atom a;
+  a.kind = qxmd::species::o;
+  a.position = {4.0, 4.0, 4.0};
+  atoms.atoms.push_back(a);
+  const mesh::grid3d grid = mesh::grid3d::cubic(8, 1.0);
+  const auto v = build_local_potential(grid, atoms);
+  // Minimum at the grid point on top of the atom.
+  const auto min_it = std::min_element(v.begin(), v.end());
+  const std::size_t min_idx =
+      static_cast<std::size_t>(std::distance(v.begin(), min_it));
+  EXPECT_EQ(min_idx, static_cast<std::size_t>(grid.index(4, 4, 4)));
+}
+
+TEST(Potential, PeriodicImages) {
+  // An atom at the box corner produces the same well at all 8 corners of
+  // the mesh (periodicity through min-image distance).
+  qxmd::atom_system atoms;
+  atoms.box = {6.0, 6.0, 6.0};
+  qxmd::atom a;
+  a.kind = qxmd::species::ti;
+  a.position = {0.0, 0.0, 0.0};
+  atoms.atoms.push_back(a);
+  const mesh::grid3d grid = mesh::grid3d::cubic(6, 1.0);
+  const auto v = build_local_potential(grid, atoms);
+  const double corner = v[static_cast<std::size_t>(grid.index(0, 0, 0))];
+  // Point at (5,0,0) is distance 1 through the boundary, same as (1,0,0).
+  EXPECT_NEAR(v[static_cast<std::size_t>(grid.index(5, 0, 0))],
+              v[static_cast<std::size_t>(grid.index(1, 0, 0))], 1e-12);
+  EXPECT_LT(corner, v[static_cast<std::size_t>(grid.index(3, 3, 3))]);
+}
+
+TEST(Potential, DepthScaleLinear) {
+  const auto atoms = qxmd::build_pto_supercell(1, 8.0, 0.0);
+  const mesh::grid3d grid = mesh::grid3d::cubic(8, 1.0);
+  const auto v1 = build_local_potential(grid, atoms, 0.1);
+  const auto v2 = build_local_potential(grid, atoms, 0.2);
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    ASSERT_NEAR(v2[i], 2.0 * v1[i], 1e-12);
+  }
+}
+
+TEST(Potential, DeeperForMoreValentSpecies) {
+  // O (valence 6) digs a deeper well than Pb (valence 4) at equal widths?
+  // Widths differ, so compare the total integrated depth instead: more
+  // atoms -> more negative integral.
+  const mesh::grid3d grid = mesh::grid3d::cubic(8, 1.0);
+  const auto one = qxmd::build_pto_supercell(1, 8.0, 0.0);
+  qxmd::atom_system empty;
+  empty.box = one.box;
+  const auto v_full = build_local_potential(grid, one);
+  const auto v_empty = build_local_potential(grid, empty);
+  double sum_full = 0.0, sum_empty = 0.0;
+  for (double x : v_full) sum_full += x;
+  for (double x : v_empty) sum_empty += x;
+  EXPECT_EQ(sum_empty, 0.0);
+  EXPECT_LT(sum_full, -1.0);
+}
+
+}  // namespace
+}  // namespace dcmesh::lfd

@@ -1,0 +1,136 @@
+// Tests for remap_occ — the nexc computation and Table VII's GEMM shape.
+
+#include "dcmesh/lfd/remap_occ.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/verbose.hpp"
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/qxmd/scf.hpp"
+
+namespace dcmesh::lfd {
+namespace {
+
+template <typename R>
+matrix<std::complex<R>> orthonormal_set(std::size_t ngrid, std::size_t norb,
+                                        double dv, unsigned seed) {
+  xoshiro256 rng(seed);
+  matrix<cdouble> work(ngrid, norb);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    work.data()[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  qxmd::orthonormalize(work, dv);
+  matrix<std::complex<R>> out(ngrid, norb);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    out.data()[i] = {static_cast<R>(work.data()[i].real()),
+                     static_cast<R>(work.data()[i].imag())};
+  }
+  return out;
+}
+
+TEST(RemapOcc, GroundStateHasNoExcitation) {
+  const double dv = 0.4;
+  auto psi0 = orthonormal_set<double>(300, 6, dv, 1);
+  // psi == psi0: nothing has left the occupied manifold.
+  matrix<cdouble> psi(300, 6);
+  for (std::size_t i = 0; i < psi.size(); ++i) psi.data()[i] = psi0.data()[i];
+  const std::vector<double> occ{2, 2, 2, 0, 0, 0};
+  const auto report = remap_occ<double>(psi0, psi, occ, 3, dv);
+  EXPECT_NEAR(report.nexc, 0.0, 1e-20);
+  EXPECT_NEAR(report.nexc_second_order, 0.0, 1e-20);
+  for (double p : report.unocc_population) EXPECT_NEAR(p, 0.0, 1e-20);
+}
+
+TEST(RemapOcc, FullPromotionCountsWholeOccupation) {
+  // Swap an occupied orbital with an unoccupied reference orbital: the
+  // whole occupation (f = 2) shows up as excited.
+  const double dv = 1.0;
+  auto psi0 = orthonormal_set<double>(200, 4, dv, 2);
+  matrix<cdouble> psi(200, 4);
+  for (std::size_t i = 0; i < psi.size(); ++i) psi.data()[i] = psi0.data()[i];
+  // Propagated occupied orbital 0 becomes reference unoccupied orbital 2.
+  for (std::size_t i = 0; i < 200; ++i) psi(i, 0) = psi0(i, 2);
+  const std::vector<double> occ{2, 2, 0, 0};
+  const auto report = remap_occ<double>(psi0, psi, occ, 2, dv);
+  EXPECT_NEAR(report.nexc, 2.0, 1e-9);
+  // Population landed on unoccupied reference orbital index 0 (= orb 2).
+  ASSERT_EQ(report.unocc_population.size(), 2u);
+  EXPECT_NEAR(report.unocc_population[0], 2.0, 1e-9);
+  EXPECT_NEAR(report.unocc_population[1], 0.0, 1e-9);
+  // For a complete promotion the second-order moment equals the first.
+  EXPECT_NEAR(report.nexc_second_order, 2.0, 1e-9);
+}
+
+TEST(RemapOcc, PartialMixing) {
+  // Mix occupied orbital 0 with unoccupied reference orbital 2 by angle
+  // theta: leaked population is f * sin^2(theta).
+  const double dv = 1.0;
+  const double theta = 0.3;
+  auto psi0 = orthonormal_set<double>(150, 4, dv, 3);
+  matrix<cdouble> psi(150, 4);
+  for (std::size_t i = 0; i < psi.size(); ++i) psi.data()[i] = psi0.data()[i];
+  for (std::size_t i = 0; i < 150; ++i) {
+    psi(i, 0) = std::cos(theta) * psi0(i, 0) + std::sin(theta) * psi0(i, 2);
+  }
+  const std::vector<double> occ{2, 2, 0, 0};
+  const auto report = remap_occ<double>(psi0, psi, occ, 2, dv);
+  const double expected = 2.0 * std::sin(theta) * std::sin(theta);
+  EXPECT_NEAR(report.nexc, expected, 1e-9);
+  // Second order ~ nexc^2 / f for a single leak channel — strictly less
+  // than the first-order count for partial mixing.
+  EXPECT_LT(report.nexc_second_order, report.nexc);
+  EXPECT_NEAR(report.nexc_second_order, expected * expected / 2.0, 1e-9);
+}
+
+TEST(RemapOcc, PopulationsSumToNexc) {
+  const double dv = 0.7;
+  auto psi0 = orthonormal_set<double>(250, 6, dv, 4);
+  auto psi = orthonormal_set<double>(250, 6, dv, 5);  // unrelated state
+  const std::vector<double> occ{2, 2, 2, 0, 0, 0};
+  const auto report = remap_occ<double>(psi0, psi, occ, 3, dv);
+  double sum = 0.0;
+  for (double p : report.unocc_population) sum += p;
+  EXPECT_NEAR(sum, report.nexc, 1e-9);
+  EXPECT_GT(report.nexc, 0.0);
+  // nexc can never exceed the total occupied population.
+  EXPECT_LE(report.nexc, 6.0 + 1e-9);
+}
+
+TEST(RemapOcc, Table7GemmShape) {
+  // The central GEMM must be (m, n, k) = (nocc, norb - nocc, ngrid) —
+  // Table VII's documented shape.
+  const double dv = 1.0;
+  const std::size_t ngrid = 128, norb = 10, nocc = 4;
+  auto psi0 = orthonormal_set<float>(ngrid, norb, dv, 6);
+  auto psi = orthonormal_set<float>(ngrid, norb, dv, 7);
+  const std::vector<double> occ(norb, 1.0);
+  blas::clear_call_log();
+  (void)remap_occ<float>(psi0, psi, occ, nocc, dv);
+  const auto calls = blas::recent_calls();
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(calls[0].m, static_cast<blas::blas_int>(nocc));
+  EXPECT_EQ(calls[0].n, static_cast<blas::blas_int>(norb - nocc));
+  EXPECT_EQ(calls[0].k, static_cast<blas::blas_int>(ngrid));
+  // Call 8: (nocc, nocc, unocc); call 9: (unocc, nocc, nocc).
+  EXPECT_EQ(calls[1].m, static_cast<blas::blas_int>(nocc));
+  EXPECT_EQ(calls[1].k, static_cast<blas::blas_int>(norb - nocc));
+  EXPECT_EQ(calls[2].m, static_cast<blas::blas_int>(norb - nocc));
+  EXPECT_EQ(calls[2].k, static_cast<blas::blas_int>(nocc));
+}
+
+TEST(RemapOcc, InvalidOccupationCountThrows) {
+  const double dv = 1.0;
+  auto psi0 = orthonormal_set<double>(50, 4, dv, 8);
+  auto psi = orthonormal_set<double>(50, 4, dv, 9);
+  const std::vector<double> occ(4, 1.0);
+  EXPECT_THROW((void)remap_occ<double>(psi0, psi, occ, 0, dv),
+               std::invalid_argument);
+  EXPECT_THROW((void)remap_occ<double>(psi0, psi, occ, 4, dv),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcmesh::lfd

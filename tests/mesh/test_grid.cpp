@@ -1,0 +1,66 @@
+// Unit tests for the periodic 3-D mesh.
+
+#include "dcmesh/mesh/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcmesh::mesh {
+namespace {
+
+TEST(Grid, SizesAndVolume) {
+  const grid3d g{4, 5, 6, 0.5};
+  EXPECT_EQ(g.size(), 120);
+  EXPECT_DOUBLE_EQ(g.dv(), 0.125);
+  EXPECT_DOUBLE_EQ(g.volume(), 120 * 0.125);
+  const auto box = g.box();
+  EXPECT_DOUBLE_EQ(box[0], 2.0);
+  EXPECT_DOUBLE_EQ(box[1], 2.5);
+  EXPECT_DOUBLE_EQ(box[2], 3.0);
+}
+
+TEST(Grid, IndexIsXFastest) {
+  const grid3d g{4, 3, 2, 1.0};
+  EXPECT_EQ(g.index(0, 0, 0), 0);
+  EXPECT_EQ(g.index(1, 0, 0), 1);
+  EXPECT_EQ(g.index(0, 1, 0), 4);
+  EXPECT_EQ(g.index(0, 0, 1), 12);
+  EXPECT_EQ(g.index(3, 2, 1), 4 * 3 * 2 - 1);
+}
+
+TEST(Grid, WrapHandlesNegativesAndOverflow) {
+  EXPECT_EQ(grid3d::wrap(-1, 8), 7);
+  EXPECT_EQ(grid3d::wrap(8, 8), 0);
+  EXPECT_EQ(grid3d::wrap(17, 8), 1);
+  EXPECT_EQ(grid3d::wrap(-9, 8), 7);
+  EXPECT_EQ(grid3d::wrap(3, 8), 3);
+}
+
+TEST(Grid, PositionsOnLattice) {
+  const grid3d g{8, 8, 8, 0.25};
+  const auto p = g.position(2, 0, 4);
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  EXPECT_DOUBLE_EQ(p[2], 1.0);
+}
+
+TEST(Grid, MinImageDistance) {
+  const grid3d g{10, 10, 10, 1.0};  // box = 10
+  // Points near opposite faces are close through the boundary.
+  const double d2 = g.min_image_dist2({0.5, 0.0, 0.0}, {9.5, 0.0, 0.0});
+  EXPECT_NEAR(d2, 1.0, 1e-12);
+  // Same point -> zero.
+  EXPECT_DOUBLE_EQ(g.min_image_dist2({3, 4, 5}, {3, 4, 5}), 0.0);
+  // Half-box separation is the maximum along an axis.
+  EXPECT_NEAR(g.min_image_dist2({0, 0, 0}, {5, 0, 0}), 25.0, 1e-12);
+}
+
+TEST(Grid, CubicHelper) {
+  const grid3d g = grid3d::cubic(16, 0.4);
+  EXPECT_EQ(g.nx, 16);
+  EXPECT_EQ(g.ny, 16);
+  EXPECT_EQ(g.nz, 16);
+  EXPECT_DOUBLE_EQ(g.spacing, 0.4);
+}
+
+}  // namespace
+}  // namespace dcmesh::mesh

@@ -1,0 +1,55 @@
+// Tests for the laser-pulse vector potential.
+
+#include "dcmesh/mesh/laser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dcmesh::mesh {
+namespace {
+
+TEST(Laser, ZeroFarFromPulse) {
+  const laser_pulse pulse{};  // centre 100, sigma 40
+  EXPECT_NEAR(pulse.a(100.0 - 10 * 40.0), 0.0, 1e-12);
+  EXPECT_NEAR(pulse.a(100.0 + 10 * 40.0), 0.0, 1e-12);
+}
+
+TEST(Laser, PeakAmplitudeScale) {
+  const laser_pulse pulse{0.02, 0.057, 100.0, 40.0, 2};
+  // |A| <= E0/omega everywhere.
+  double max_a = 0.0;
+  for (double t = 0.0; t < 300.0; t += 0.37) {
+    max_a = std::max(max_a, std::abs(pulse.a(t)));
+  }
+  EXPECT_LE(max_a, 0.02 / 0.057 + 1e-12);
+  EXPECT_GT(max_a, 0.5 * 0.02 / 0.057);  // actually reaches a good fraction
+}
+
+TEST(Laser, VanishesAtCentre) {
+  // sin(omega*(t-t0)) = 0 at t = t0.
+  const laser_pulse pulse{};
+  EXPECT_DOUBLE_EQ(pulse.a(pulse.t_center), 0.0);
+}
+
+TEST(Laser, ElectricFieldIsMinusDaDt) {
+  const laser_pulse pulse{0.1, 0.2, 50.0, 10.0, 2};
+  const double dt = 1e-6;
+  for (double t : {30.0, 45.0, 50.0, 55.0, 80.0}) {
+    const double numeric = -(pulse.a(t + dt) - pulse.a(t - dt)) / (2 * dt);
+    EXPECT_NEAR(pulse.e(t), numeric, 1e-6 * std::max(1.0, std::abs(numeric)))
+        << t;
+  }
+}
+
+TEST(Laser, PolarizationVector) {
+  laser_pulse pulse{};
+  pulse.polarization_axis = 1;
+  const auto v = pulse.a_vec(pulse.t_center + 10.0);
+  EXPECT_EQ(v[0], 0.0);
+  EXPECT_EQ(v[2], 0.0);
+  EXPECT_EQ(v[1], pulse.a(pulse.t_center + 10.0));
+}
+
+}  // namespace
+}  // namespace dcmesh::mesh

@@ -1,0 +1,136 @@
+// Tests for the periodic Poisson solver.
+
+#include "dcmesh/mesh/poisson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dcmesh/common/rng.hpp"
+
+namespace dcmesh::mesh {
+namespace {
+
+/// Plane-wave density cos(2 pi kx x / Lx): an eigenfunction of the
+/// discrete Laplacian, so the solution is known in closed form.
+std::vector<double> cosine_density(const grid3d& g, int kx) {
+  std::vector<double> rho(static_cast<std::size_t>(g.size()));
+  const double two_pi = 2.0 * std::numbers::pi;
+  for (std::int64_t iz = 0; iz < g.nz; ++iz) {
+    for (std::int64_t iy = 0; iy < g.ny; ++iy) {
+      for (std::int64_t ix = 0; ix < g.nx; ++ix) {
+        rho[static_cast<std::size_t>(g.index(ix, iy, iz))] =
+            std::cos(two_pi * kx * double(ix) / g.nx);
+      }
+    }
+  }
+  return rho;
+}
+
+/// Discrete -Laplacian eigenvalue of the mode along x.
+double lap_eigenvalue(const grid3d& g, fd_order order, int kx) {
+  const double theta = 2.0 * std::numbers::pi * kx / double(g.nx);
+  const double h2 = g.spacing * g.spacing;
+  if (order == fd_order::second) return (2.0 - 2.0 * std::cos(theta)) / h2;
+  return (5.0 / 2.0 - (8.0 / 3.0) * std::cos(theta) +
+          (1.0 / 6.0) * std::cos(2 * theta)) /
+         h2;
+}
+
+class PoissonOrder : public ::testing::TestWithParam<fd_order> {};
+
+TEST_P(PoissonOrder, PlaneWaveClosedForm) {
+  const fd_order order = GetParam();
+  const grid3d g{16, 12, 10, 0.7};
+  const auto rho = cosine_density(g, 2);
+  const auto result = solve_poisson(g, order, rho, 1e-12, 2000);
+  ASSERT_TRUE(result.converged);
+  // -lap phi = 4 pi rho with rho an eigenmode: phi = 4 pi rho / lambda.
+  const double lambda = lap_eigenvalue(g, order, 2);
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    ASSERT_NEAR(result.phi[i], 4.0 * std::numbers::pi * rho[i] / lambda,
+                1e-8)
+        << i;
+  }
+}
+
+TEST_P(PoissonOrder, ResidualIsSmall) {
+  const fd_order order = GetParam();
+  const grid3d g = grid3d::cubic(10, 0.9);
+  xoshiro256 rng(3);
+  std::vector<double> rho(static_cast<std::size_t>(g.size()));
+  for (auto& v : rho) v = rng.uniform(0, 1);
+  const auto result = solve_poisson(g, order, rho, 1e-10, 3000);
+  ASSERT_TRUE(result.converged);
+  // Verify A phi = b directly.
+  std::vector<double> b(rho.begin(), rho.end());
+  double mean = 0.0;
+  for (double& v : b) {
+    v *= 4.0 * std::numbers::pi;
+  }
+  for (double v : b) mean += v;
+  mean /= static_cast<double>(b.size());
+  std::vector<double> residual(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) residual[i] = b[i] - mean;
+  add_laplacian(g, order, result.phi, 1.0, residual);  // r = b - A phi
+  for (double v : residual) ASSERT_NEAR(v, 0.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, PoissonOrder,
+                         ::testing::Values(fd_order::second,
+                                           fd_order::fourth));
+
+TEST(Poisson, UniformDensityGivesZeroPotential) {
+  // A constant rho is pure background: phi = 0 after projection.
+  const grid3d g = grid3d::cubic(8, 1.0);
+  const std::vector<double> rho(static_cast<std::size_t>(g.size()), 3.0);
+  const auto result = solve_poisson(g, fd_order::second, rho);
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+  for (double v : result.phi) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Poisson, SolutionIsZeroMean) {
+  const grid3d g = grid3d::cubic(8, 1.0);
+  xoshiro256 rng(9);
+  std::vector<double> rho(static_cast<std::size_t>(g.size()));
+  for (auto& v : rho) v = rng.uniform(0, 2);
+  const auto result = solve_poisson(g, fd_order::fourth, rho);
+  double mean = 0.0;
+  for (double v : result.phi) mean += v;
+  EXPECT_NEAR(mean / static_cast<double>(result.phi.size()), 0.0, 1e-12);
+}
+
+TEST(Poisson, PointChargeIsPositiveNearby) {
+  // phi must peak at a localized positive density (repulsive Hartree).
+  const grid3d g = grid3d::cubic(12, 1.0);
+  std::vector<double> rho(static_cast<std::size_t>(g.size()), 0.0);
+  rho[static_cast<std::size_t>(g.index(6, 6, 6))] = 1.0;
+  const auto result = solve_poisson(g, fd_order::second, rho);
+  ASSERT_TRUE(result.converged);
+  const double at_charge =
+      result.phi[static_cast<std::size_t>(g.index(6, 6, 6))];
+  const double far =
+      result.phi[static_cast<std::size_t>(g.index(0, 0, 0))];
+  EXPECT_GT(at_charge, 0.0);
+  EXPECT_GT(at_charge, far);
+}
+
+TEST(Poisson, WrongSizeThrows) {
+  const grid3d g = grid3d::cubic(4, 1.0);
+  const std::vector<double> rho(10, 0.0);
+  EXPECT_THROW((void)solve_poisson(g, fd_order::second, rho),
+               std::invalid_argument);
+}
+
+TEST(Poisson, LaplacianOfConstantIsZero) {
+  const grid3d g = grid3d::cubic(6, 0.5);
+  const std::vector<double> f(static_cast<std::size_t>(g.size()), 7.0);
+  std::vector<double> out(f.size(), 0.0);
+  add_laplacian(g, fd_order::fourth, f, 1.0, out);
+  for (double v : out) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dcmesh::mesh

@@ -1,0 +1,172 @@
+// Tests for the finite-difference operators: plane waves are
+// eigenfunctions of the periodic Laplacian/gradient with known symbols, so
+// exact analytic checks are available.
+
+#include "dcmesh/mesh/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+namespace dcmesh::mesh {
+namespace {
+
+using cd = std::complex<double>;
+
+std::vector<cd> plane_wave(const grid3d& g, int kx, int ky, int kz) {
+  std::vector<cd> psi(static_cast<std::size_t>(g.size()));
+  const double two_pi = 2.0 * std::numbers::pi;
+  for (std::int64_t iz = 0; iz < g.nz; ++iz) {
+    for (std::int64_t iy = 0; iy < g.ny; ++iy) {
+      for (std::int64_t ix = 0; ix < g.nx; ++ix) {
+        const double phase = two_pi * (kx * double(ix) / g.nx +
+                                       ky * double(iy) / g.ny +
+                                       kz * double(iz) / g.nz);
+        psi[static_cast<std::size_t>(g.index(ix, iy, iz))] =
+            cd(std::cos(phase), std::sin(phase));
+      }
+    }
+  }
+  return psi;
+}
+
+/// Discrete symbol of (-1/2 d^2/dx^2) for the central-difference stencils,
+/// per axis, at angular frequency theta = 2*pi*k/n.
+double kinetic_symbol(fd_order order, double theta, double h) {
+  if (order == fd_order::second) {
+    return 0.5 * (2.0 - 2.0 * std::cos(theta)) / (h * h);
+  }
+  return 0.5 *
+         (5.0 / 2.0 - (8.0 / 3.0) * std::cos(theta) +
+          (1.0 / 6.0) * std::cos(2.0 * theta)) /
+         (h * h);
+}
+
+/// Discrete symbol of d/dx (purely imaginary: i*s).
+double gradient_symbol(fd_order order, double theta, double h) {
+  if (order == fd_order::second) return std::sin(theta) / h;
+  return ((4.0 / 3.0) * std::sin(theta) - (1.0 / 6.0) * std::sin(2.0 * theta)) /
+         h;
+}
+
+class StencilOrder : public ::testing::TestWithParam<fd_order> {};
+
+TEST_P(StencilOrder, KineticPlaneWaveEigenvalue) {
+  const fd_order order = GetParam();
+  const grid3d g{12, 10, 8, 0.7};
+  const auto psi = plane_wave(g, 2, -1, 3);
+  std::vector<cd> out(psi.size(), cd(0));
+  add_kinetic<double>(g, order, psi, cd(1), out);
+
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double expected =
+      kinetic_symbol(order, two_pi * 2 / g.nx, g.spacing) +
+      kinetic_symbol(order, two_pi * -1 / g.ny, g.spacing) +
+      kinetic_symbol(order, two_pi * 3 / g.nz, g.spacing);
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    ASSERT_NEAR(std::abs(out[i] - expected * psi[i]), 0.0, 1e-10) << i;
+  }
+}
+
+TEST_P(StencilOrder, GradientPlaneWaveEigenvalue) {
+  const fd_order order = GetParam();
+  const grid3d g{8, 8, 8, 0.5};
+  const auto psi = plane_wave(g, 1, 2, 3);
+  const double two_pi = 2.0 * std::numbers::pi;
+  for (int axis = 0; axis < 3; ++axis) {
+    std::vector<cd> out(psi.size(), cd(0));
+    add_gradient<double>(g, order, axis, psi, cd(1), out);
+    const int k = axis == 0 ? 1 : axis == 1 ? 2 : 3;
+    const std::int64_t n = axis == 0 ? g.nx : axis == 1 ? g.ny : g.nz;
+    const cd expected =
+        cd(0, gradient_symbol(order, two_pi * k / double(n), g.spacing));
+    for (std::size_t i = 0; i < psi.size(); ++i) {
+      ASSERT_NEAR(std::abs(out[i] - expected * psi[i]), 0.0, 1e-10)
+          << "axis=" << axis << " i=" << i;
+    }
+  }
+}
+
+TEST_P(StencilOrder, ConstantFieldHasZeroDerivatives) {
+  const fd_order order = GetParam();
+  const grid3d g{6, 6, 6, 1.0};
+  std::vector<cd> psi(static_cast<std::size_t>(g.size()), cd(2.5, -1.0));
+  std::vector<cd> out(psi.size(), cd(0));
+  add_kinetic<double>(g, order, psi, cd(1), out);
+  for (const cd& v : out) ASSERT_NEAR(std::abs(v), 0.0, 1e-12);
+  add_gradient<double>(g, order, 2, psi, cd(1), out);
+  for (const cd& v : out) ASSERT_NEAR(std::abs(v), 0.0, 1e-12);
+}
+
+TEST_P(StencilOrder, AccumulatesWithCoefficient) {
+  const fd_order order = GetParam();
+  const grid3d g{4, 4, 4, 1.0};
+  const auto psi = plane_wave(g, 1, 0, 0);
+  std::vector<cd> out(psi.size(), cd(1.0, 0.0));  // pre-existing content
+  add_kinetic<double>(g, order, psi, cd(0), out);  // coeff 0: unchanged
+  for (const cd& v : out) ASSERT_EQ(v, cd(1.0, 0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, StencilOrder,
+                         ::testing::Values(fd_order::second,
+                                           fd_order::fourth));
+
+TEST(Stencil, FourthOrderMoreAccurateThanSecond) {
+  // For a smooth (low-k) mode, compare to the continuum eigenvalue
+  // 0.5*|k_cont|^2; 4th order must be closer.
+  const grid3d g{32, 32, 32, 0.3};
+  const auto psi = plane_wave(g, 1, 1, 1);
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double k_cont = two_pi / (g.nx * g.spacing);
+  const double continuum = 0.5 * 3.0 * k_cont * k_cont;
+
+  for (fd_order order : {fd_order::second, fd_order::fourth}) {
+    std::vector<cd> out(psi.size(), cd(0));
+    add_kinetic<double>(g, order, psi, cd(1), out);
+    const double discrete = (out[0] / psi[0]).real();
+    const double err = std::abs(discrete - continuum);
+    if (order == fd_order::second) {
+      EXPECT_GT(err, 1e-4);
+    } else {
+      EXPECT_LT(err, 1e-4);
+    }
+  }
+}
+
+TEST(Stencil, SpectralRadiusBoundsActualEigenvalues) {
+  const grid3d g{8, 8, 8, 0.6};
+  for (fd_order order : {fd_order::second, fd_order::fourth}) {
+    const double radius = kinetic_spectral_radius(g, order);
+    // The highest mode (Nyquist on each axis) must not exceed the bound.
+    const auto psi = plane_wave(g, 4, 4, 4);  // k = n/2 = Nyquist
+    std::vector<cd> out(psi.size(), cd(0));
+    add_kinetic<double>(g, order, psi, cd(1), out);
+    const double eig = (out[0] / psi[0]).real();
+    EXPECT_LE(eig, radius * (1.0 + 1e-12));
+    EXPECT_GT(eig, 0.5 * radius);  // bound is tight-ish
+  }
+}
+
+TEST(Stencil, FloatAndDoubleAgree) {
+  const grid3d g{6, 6, 6, 0.8};
+  const auto psi_d = plane_wave(g, 1, 2, 0);
+  std::vector<std::complex<float>> psi_f(psi_d.size());
+  for (std::size_t i = 0; i < psi_d.size(); ++i) {
+    psi_f[i] = {static_cast<float>(psi_d[i].real()),
+                static_cast<float>(psi_d[i].imag())};
+  }
+  std::vector<cd> out_d(psi_d.size(), cd(0));
+  std::vector<std::complex<float>> out_f(psi_f.size(), {0, 0});
+  add_kinetic<double>(g, fd_order::fourth, psi_d, cd(1), out_d);
+  add_kinetic<float>(g, fd_order::fourth, psi_f, {1, 0}, out_f);
+  for (std::size_t i = 0; i < out_d.size(); ++i) {
+    ASSERT_NEAR(out_f[i].real(), out_d[i].real(), 2e-4);
+    ASSERT_NEAR(out_f[i].imag(), out_d[i].imag(), 2e-4);
+  }
+}
+
+}  // namespace
+}  // namespace dcmesh::mesh

@@ -1,0 +1,132 @@
+// Tests for the Cholesky factorization and level-3 orthonormalization.
+
+#include "dcmesh/qxmd/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/qxmd/scf.hpp"
+
+namespace dcmesh::qxmd {
+namespace {
+
+matrix<cdouble> random_columns(std::size_t rows, std::size_t cols,
+                               unsigned seed) {
+  xoshiro256 rng(seed);
+  matrix<cdouble> m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  return m;
+}
+
+TEST(Cholesky, FactorizesKnownSpdMatrix) {
+  // A = [[4, 2], [2, 3]] = L L^T with L = [[2, 0], [1, sqrt(2)]].
+  matrix<cdouble> a(2, 2);
+  a(0, 0) = 4.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 3.0;
+  ASSERT_TRUE(cholesky_lower(a));
+  EXPECT_NEAR(a(0, 0).real(), 2.0, 1e-14);
+  EXPECT_NEAR(a(1, 0).real(), 1.0, 1e-14);
+  EXPECT_NEAR(a(1, 1).real(), std::sqrt(2.0), 1e-14);
+  EXPECT_EQ(a(0, 1), cdouble(0.0));  // upper zeroed
+}
+
+TEST(Cholesky, ReconstructsRandomHermitianPd) {
+  // Build A = B^H B + n*I (guaranteed PD), factor, check L L^H = A.
+  const std::size_t n = 10;
+  const auto b = random_columns(20, n, 5);
+  matrix<cdouble> a(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      cdouble sum = i == j ? cdouble(double(n)) : cdouble(0);
+      for (std::size_t p = 0; p < 20; ++p) {
+        sum += std::conj(b(p, i)) * b(p, j);
+      }
+      a(i, j) = sum;
+    }
+  }
+  matrix<cdouble> l(n, n);
+  for (std::size_t i = 0; i < a.size(); ++i) l.data()[i] = a.data()[i];
+  ASSERT_TRUE(cholesky_lower(l));
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      cdouble sum{};
+      for (std::size_t p = 0; p <= std::min(i, j); ++p) {
+        sum += l(i, p) * std::conj(l(j, p));
+      }
+      ASSERT_NEAR(std::abs(sum - a(i, j)), 0.0, 1e-10)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(Cholesky, IndefiniteMatrixReturnsFalse) {
+  matrix<cdouble> a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 5.0;
+  a(1, 1) = 1.0;  // 1 - 25 < 0 at the second pivot
+  EXPECT_FALSE(cholesky_lower(a));
+  matrix<cdouble> not_square(2, 3);
+  EXPECT_THROW((void)cholesky_lower(not_square), std::invalid_argument);
+}
+
+TEST(CholeskyOrtho, ProducesOrthonormalColumns) {
+  const double dv = 0.3;
+  auto psi = random_columns(400, 8, 7);
+  ASSERT_TRUE(orthonormalize_cholesky(psi, dv));
+  for (std::size_t x = 0; x < 8; ++x) {
+    for (std::size_t y = 0; y < 8; ++y) {
+      cdouble dot{};
+      for (std::size_t i = 0; i < 400; ++i) {
+        dot += std::conj(psi(i, x)) * psi(i, y);
+      }
+      const double expected = x == y ? 1.0 : 0.0;
+      ASSERT_NEAR(std::abs(dot * dv), expected, 1e-10) << x << "," << y;
+    }
+  }
+}
+
+TEST(CholeskyOrtho, MatchesGramSchmidtUpToRounding) {
+  // Cholesky-QR and Gram-Schmidt produce the same Q in exact arithmetic
+  // (both triangular orthogonalizations of the same column order).
+  const double dv = 1.0;
+  auto chol = random_columns(200, 5, 9);
+  auto mgs = random_columns(200, 5, 9);  // same seed -> same data
+  ASSERT_TRUE(orthonormalize_cholesky(chol, dv));
+  orthonormalize(mgs, dv);
+  for (std::size_t i = 0; i < chol.size(); ++i) {
+    ASSERT_NEAR(std::abs(chol.data()[i] - mgs.data()[i]), 0.0, 1e-9) << i;
+  }
+}
+
+TEST(CholeskyOrtho, DegenerateColumnsFallBack) {
+  // Two identical columns: the overlap is singular; the routine must
+  // report failure rather than produce garbage.
+  matrix<cdouble> psi(50, 2);
+  xoshiro256 rng(11);
+  for (std::size_t i = 0; i < 50; ++i) {
+    psi(i, 0) = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    psi(i, 1) = psi(i, 0);
+  }
+  EXPECT_FALSE(orthonormalize_cholesky(psi, 1.0));
+}
+
+TEST(CholeskyOrtho, IdempotentOnOrthonormalInput) {
+  const double dv = 0.5;
+  auto psi = random_columns(300, 6, 13);
+  ASSERT_TRUE(orthonormalize_cholesky(psi, dv));
+  matrix<cdouble> copy(300, 6);
+  for (std::size_t i = 0; i < psi.size(); ++i) copy.data()[i] = psi.data()[i];
+  ASSERT_TRUE(orthonormalize_cholesky(psi, dv));
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    ASSERT_NEAR(std::abs(psi.data()[i] - copy.data()[i]), 0.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dcmesh::qxmd

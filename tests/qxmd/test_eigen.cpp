@@ -1,0 +1,118 @@
+// Tests for the Hermitian Jacobi eigensolver.
+
+#include "dcmesh/qxmd/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcmesh/common/rng.hpp"
+
+namespace dcmesh::qxmd {
+namespace {
+
+matrix<cdouble> random_hermitian(std::size_t n, unsigned seed) {
+  xoshiro256 rng(seed);
+  matrix<cdouble> h(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    h(j, j) = rng.uniform(-2, 2);
+    for (std::size_t i = 0; i < j; ++i) {
+      const cdouble v{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+      h(i, j) = v;
+      h(j, i) = std::conj(v);
+    }
+  }
+  return h;
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  matrix<cdouble> h(3, 3);
+  h(0, 0) = 3.0;
+  h(1, 1) = -1.0;
+  h(2, 2) = 2.0;
+  const auto result = hermitian_eigen(h);
+  ASSERT_EQ(result.values.size(), 3u);
+  EXPECT_NEAR(result.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(result.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(result.values[2], 3.0, 1e-12);
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  // [[1, i], [-i, 1]] has eigenvalues 0 and 2.
+  matrix<cdouble> h(2, 2);
+  h(0, 0) = 1.0;
+  h(1, 1) = 1.0;
+  h(0, 1) = cdouble(0, 1);
+  h(1, 0) = cdouble(0, -1);
+  const auto result = hermitian_eigen(h);
+  EXPECT_NEAR(result.values[0], 0.0, 1e-12);
+  EXPECT_NEAR(result.values[1], 2.0, 1e-12);
+}
+
+class EigenRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenRandom, ResidualAndOrthonormality) {
+  const std::size_t n = GetParam();
+  const auto h = random_hermitian(n, 17 + static_cast<unsigned>(n));
+  const auto result = hermitian_eigen(h);
+  ASSERT_EQ(result.values.size(), n);
+
+  // Eigenvalues ascending.
+  for (std::size_t j = 1; j < n; ++j) {
+    EXPECT_LE(result.values[j - 1], result.values[j] + 1e-12);
+  }
+
+  // ||H v - lambda v|| small for every pair.
+  for (std::size_t j = 0; j < n; ++j) {
+    double residual = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      cdouble hv{};
+      for (std::size_t p = 0; p < n; ++p) {
+        hv += h(i, p) * result.vectors(p, j);
+      }
+      residual += std::norm(hv - result.values[j] * result.vectors(i, j));
+    }
+    EXPECT_LT(std::sqrt(residual), 1e-9) << "column " << j;
+  }
+
+  // V^H V = I.
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      cdouble dot{};
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += std::conj(result.vectors(i, a)) * result.vectors(i, b);
+      }
+      const double expected = a == b ? 1.0 : 0.0;
+      EXPECT_NEAR(std::abs(dot), expected, 1e-10);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenRandom,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+TEST(Eigen, TraceAndSumOfEigenvaluesAgree) {
+  const auto h = random_hermitian(12, 31);
+  const auto result = hermitian_eigen(h);
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    trace += h(i, i).real();
+    sum += result.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-10);
+}
+
+TEST(Eigen, NonSquareThrows) {
+  matrix<cdouble> h(2, 3);
+  EXPECT_THROW(hermitian_eigen(h), std::invalid_argument);
+}
+
+TEST(Eigen, ConvergesQuickly) {
+  const auto h = random_hermitian(16, 41);
+  const auto result = hermitian_eigen(h);
+  EXPECT_LE(result.sweeps, 20);
+  EXPECT_LT(result.off_norm, 1e-10);
+}
+
+}  // namespace
+}  // namespace dcmesh::qxmd

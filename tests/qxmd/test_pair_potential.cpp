@@ -1,0 +1,106 @@
+// Tests for the Buckingham pair potential and its forces.
+
+#include "dcmesh/qxmd/pair_potential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcmesh/qxmd/supercell.hpp"
+
+namespace dcmesh::qxmd {
+namespace {
+
+TEST(PairPotential, SymmetricParameters) {
+  const pair_potential pot;
+  EXPECT_EQ(pot.params(species::pb, species::o).a,
+            pot.params(species::o, species::pb).a);
+  EXPECT_EQ(pot.params(species::ti, species::o).rho,
+            pot.params(species::o, species::ti).rho);
+}
+
+TEST(PairPotential, EnergyZeroAtAndBeyondCutoff) {
+  const pair_potential pot(10.0);
+  EXPECT_DOUBLE_EQ(pot.pair_energy(species::o, species::o, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(pot.pair_energy(species::o, species::o, 15.0), 0.0);
+  // Continuity: just inside the cutoff the energy is tiny.
+  EXPECT_NEAR(pot.pair_energy(species::o, species::o, 9.999), 0.0, 1e-4);
+}
+
+TEST(PairPotential, RepulsiveAtShortRange) {
+  const pair_potential pot;
+  EXPECT_GT(pot.pair_energy(species::ti, species::o, 1.0), 0.0);
+  // Energy decreases moving outward in the repulsive core.
+  EXPECT_GT(pot.pair_energy(species::ti, species::o, 1.0),
+            pot.pair_energy(species::ti, species::o, 2.0));
+}
+
+TEST(PairPotential, AttractiveWellForCationAnion) {
+  // Ti-O should have a negative (bound) region at typical bond lengths.
+  const pair_potential pot;
+  double min_e = 1e30;
+  for (double r = 2.5; r < 8.0; r += 0.05) {
+    min_e = std::min(min_e, pot.pair_energy(species::ti, species::o, r));
+  }
+  EXPECT_LT(min_e, 0.0);
+}
+
+TEST(PairPotential, TotalEnergyFiniteOnSupercell) {
+  auto system = build_pto_supercell(2);
+  const pair_potential pot;
+  const double e = pot.energy(system);
+  EXPECT_TRUE(std::isfinite(e));
+}
+
+TEST(PairPotential, ForcesMatchNumericalGradient) {
+  auto system = build_pto_supercell(1, 8.0, 0.1, 3);
+  const pair_potential pot;
+  pot.compute_forces(system);
+  const auto forces = system.atoms;
+
+  const double h = 1e-5;
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    for (int axis = 0; axis < 3; ++axis) {
+      auto plus = system;
+      plus.atoms[i].position[axis] += h;
+      auto minus = system;
+      minus.atoms[i].position[axis] -= h;
+      const double numeric =
+          -(pot.energy(plus) - pot.energy(minus)) / (2 * h);
+      EXPECT_NEAR(forces[i].force[axis], numeric,
+                  1e-4 * std::max(1.0, std::abs(numeric)))
+          << "atom " << i << " axis " << axis;
+    }
+  }
+}
+
+TEST(PairPotential, NewtonsThirdLawNetForceZero) {
+  auto system = build_pto_supercell(2);
+  const pair_potential pot;
+  pot.compute_forces(system);
+  double net[3] = {0, 0, 0};
+  for (const auto& a : system.atoms) {
+    for (int axis = 0; axis < 3; ++axis) net[axis] += a.force[axis];
+  }
+  for (int axis = 0; axis < 3; ++axis) {
+    EXPECT_NEAR(net[axis], 0.0, 1e-9);
+  }
+}
+
+TEST(PairPotential, ComputeForcesReturnsEnergy) {
+  auto system = build_pto_supercell(2);
+  const pair_potential pot;
+  const double from_forces = pot.compute_forces(system);
+  EXPECT_NEAR(from_forces, pot.energy(system), 1e-12);
+}
+
+TEST(PairPotential, SetParamsOverrides) {
+  pair_potential pot;
+  pot.set_params(species::o, species::o, {1.0, 2.0, 3.0});
+  EXPECT_EQ(pot.params(species::o, species::o).a, 1.0);
+  EXPECT_EQ(pot.params(species::o, species::o).rho, 2.0);
+  EXPECT_EQ(pot.params(species::o, species::o).c, 3.0);
+}
+
+}  // namespace
+}  // namespace dcmesh::qxmd

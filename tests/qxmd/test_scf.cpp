@@ -1,0 +1,153 @@
+// Tests for the FP64 SCF substrate: orthonormalization, Rayleigh-Ritz, and
+// the periodic refresh that makes reduced-precision BLAS viable.
+
+#include "dcmesh/qxmd/scf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcmesh/common/rng.hpp"
+
+namespace dcmesh::qxmd {
+namespace {
+
+matrix<cdouble> random_columns(std::size_t rows, std::size_t cols,
+                               unsigned seed) {
+  xoshiro256 rng(seed);
+  matrix<cdouble> m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  return m;
+}
+
+cdouble col_dot(const matrix<cdouble>& m, std::size_t a, std::size_t b,
+                double dv) {
+  cdouble sum{};
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    sum += std::conj(m(i, a)) * m(i, b);
+  }
+  return sum * dv;
+}
+
+TEST(Orthonormalize, ProducesOrthonormalColumns) {
+  const double dv = 0.125;
+  auto psi = random_columns(200, 8, 1);
+  orthonormalize(psi, dv);
+  for (std::size_t a = 0; a < 8; ++a) {
+    for (std::size_t b = 0; b < 8; ++b) {
+      const double expected = a == b ? 1.0 : 0.0;
+      EXPECT_NEAR(std::abs(col_dot(psi, a, b, dv)), expected, 1e-12)
+          << a << "," << b;
+    }
+  }
+}
+
+TEST(Orthonormalize, PreservesSpan) {
+  // The first column only gets normalized — same direction.
+  const double dv = 1.0;
+  auto psi = random_columns(50, 3, 2);
+  const auto original = random_columns(50, 3, 2);
+  orthonormalize(psi, dv);
+  cdouble overlap{};
+  double norm0 = 0.0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    overlap += std::conj(psi(i, 0)) * original(i, 0);
+    norm0 += std::norm(original(i, 0));
+  }
+  EXPECT_NEAR(std::abs(overlap), std::sqrt(norm0), 1e-9);
+}
+
+TEST(Orthonormalize, DegenerateColumnThrows) {
+  matrix<cdouble> psi(10, 2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    psi(i, 0) = 1.0;
+    psi(i, 1) = 1.0;  // same as column 0 -> collapses
+  }
+  EXPECT_THROW(orthonormalize(psi, 1.0), std::runtime_error);
+}
+
+TEST(RayleighRitz, DiagonalOperatorRecovered) {
+  // H multiplies row i by i (diagonal in the coordinate basis).  The
+  // Rayleigh-Ritz values over a full-rank subspace of C^n must lie within
+  // the operator's spectrum and come out ascending.
+  const std::size_t n = 12, norb = 4;
+  auto psi = random_columns(n, norb, 3);
+  const apply_h_fn h = [](const_matrix_view<cdouble> in,
+                          matrix_view<cdouble> out) {
+    for (std::size_t j = 0; j < in.cols; ++j) {
+      for (std::size_t i = 0; i < in.rows; ++i) {
+        out(i, j) = static_cast<double>(i) * in(i, j);
+      }
+    }
+  };
+  const auto values = rayleigh_ritz(psi, h, 1.0);
+  ASSERT_EQ(values.size(), norb);
+  for (std::size_t j = 0; j < norb; ++j) {
+    EXPECT_GE(values[j], 0.0 - 1e-9);
+    EXPECT_LE(values[j], double(n - 1) + 1e-9);
+    if (j > 0) {
+      EXPECT_LE(values[j - 1], values[j] + 1e-12);
+    }
+  }
+  // Result columns are orthonormal and are approximate eigenvectors:
+  // Rayleigh quotient of column j equals values[j].
+  matrix<cdouble> hpsi(n, norb);
+  h(psi.view(), hpsi.view());
+  for (std::size_t j = 0; j < norb; ++j) {
+    cdouble rq{};
+    for (std::size_t i = 0; i < n; ++i) {
+      rq += std::conj(psi(i, j)) * hpsi(i, j);
+    }
+    EXPECT_NEAR(rq.real(), values[j], 1e-9);
+  }
+}
+
+TEST(ScfRefresh, RepairsFp32Drift) {
+  // Build an orthonormal FP64 set, convert to FP32, apply many noisy
+  // rotations to simulate reduced-precision drift, then refresh.
+  const double dv = 0.5;
+  auto psi64 = random_columns(300, 6, 4);
+  orthonormalize(psi64, dv);
+
+  matrix<std::complex<float>> psi32(300, 6);
+  xoshiro256 rng(5);
+  for (std::size_t i = 0; i < psi64.size(); ++i) {
+    // Inject ~1e-3 relative perturbation (typical of BF16-mode drift).
+    const double noise = 1.0 + 1e-3 * rng.normal();
+    psi32.data()[i] = {static_cast<float>(psi64.data()[i].real() * noise),
+                       static_cast<float>(psi64.data()[i].imag() * noise)};
+  }
+
+  const scf_report report = scf_refresh<float>(psi32, dv);
+  EXPECT_GT(report.max_norm_drift, 1e-5);  // drift was detected
+
+  // After the refresh the columns are orthonormal to FP32 accuracy.
+  matrix<cdouble> check(300, 6);
+  for (std::size_t i = 0; i < check.size(); ++i) {
+    check.data()[i] = {psi32.data()[i].real(), psi32.data()[i].imag()};
+  }
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t b = 0; b < 6; ++b) {
+      const double expected = a == b ? 1.0 : 0.0;
+      EXPECT_NEAR(std::abs(col_dot(check, a, b, dv)), expected, 1e-5);
+    }
+  }
+}
+
+TEST(ScfRefresh, NoOpOnCleanState) {
+  const double dv = 1.0;
+  auto psi = random_columns(100, 4, 6);
+  orthonormalize(psi, dv);
+  matrix<cdouble> copy(100, 4);
+  for (std::size_t i = 0; i < psi.size(); ++i) copy.data()[i] = psi.data()[i];
+  const scf_report report = scf_refresh<double>(psi, dv);
+  EXPECT_LT(report.max_norm_drift, 1e-12);
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    EXPECT_NEAR(std::abs(psi.data()[i] - copy.data()[i]), 0.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,88 @@
+// Tests for the shadow-dynamics transfer ledger.
+
+#include "dcmesh/qxmd/shadow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcmesh::qxmd {
+namespace {
+
+TEST(Shadow, StartsSynchronized) {
+  shadow_ledger ledger;
+  ledger.register_quantity("psi", 1024, 0.1);
+  EXPECT_FALSE(ledger.needs_transfer("psi"));
+  EXPECT_EQ(ledger.drift("psi"), 0.0);
+}
+
+TEST(Shadow, DriftAccumulatesAndTriggersTransfer) {
+  shadow_ledger ledger;
+  ledger.register_quantity("psi", 1000, 0.1);
+  ledger.record_gpu_update("psi", 0.04);
+  EXPECT_FALSE(ledger.needs_transfer("psi"));
+  ledger.record_gpu_update("psi", 0.04);
+  EXPECT_FALSE(ledger.needs_transfer("psi"));
+  ledger.record_gpu_update("psi", 0.04);
+  EXPECT_TRUE(ledger.needs_transfer("psi"));  // 0.12 > 0.1
+
+  EXPECT_TRUE(ledger.sync("psi"));
+  EXPECT_EQ(ledger.transfers_performed(), 1u);
+  EXPECT_EQ(ledger.bytes_transferred(), 1000u);
+  EXPECT_EQ(ledger.drift("psi"), 0.0);
+}
+
+TEST(Shadow, SyncBelowToleranceIsAvoided) {
+  // The whole point of shadow dynamics: transfers that are not needed are
+  // skipped and counted as avoided.
+  shadow_ledger ledger;
+  ledger.register_quantity("psi", 4096, 1.0);
+  ledger.record_gpu_update("psi", 0.5);
+  EXPECT_FALSE(ledger.sync("psi"));
+  EXPECT_EQ(ledger.transfers_performed(), 0u);
+  EXPECT_EQ(ledger.transfers_avoided(), 1u);
+  EXPECT_EQ(ledger.bytes_transferred(), 0u);
+  // Drift survives an avoided sync.
+  EXPECT_EQ(ledger.drift("psi"), 0.5);
+}
+
+TEST(Shadow, ForcedSyncAlwaysTransfers) {
+  shadow_ledger ledger;
+  ledger.register_quantity("forces", 96, 10.0);
+  EXPECT_TRUE(ledger.sync("forces", /*force=*/true));
+  EXPECT_EQ(ledger.transfers_performed(), 1u);
+  EXPECT_EQ(ledger.bytes_transferred(), 96u);
+}
+
+TEST(Shadow, MultipleQuantitiesIndependent) {
+  shadow_ledger ledger;
+  ledger.register_quantity("a", 10, 0.1);
+  ledger.register_quantity("b", 20, 0.1);
+  ledger.record_gpu_update("a", 1.0);
+  EXPECT_TRUE(ledger.needs_transfer("a"));
+  EXPECT_FALSE(ledger.needs_transfer("b"));
+  ledger.sync("a");
+  ledger.sync("b");
+  EXPECT_EQ(ledger.transfers_performed(), 1u);
+  EXPECT_EQ(ledger.transfers_avoided(), 1u);
+  EXPECT_EQ(ledger.bytes_transferred(), 10u);
+}
+
+TEST(Shadow, UnknownQuantityThrows) {
+  shadow_ledger ledger;
+  EXPECT_THROW(ledger.record_gpu_update("nope", 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(ledger.sync("nope"), std::invalid_argument);
+  EXPECT_THROW((void)ledger.needs_transfer("nope"), std::invalid_argument);
+  EXPECT_THROW((void)ledger.drift("nope"), std::invalid_argument);
+}
+
+TEST(Shadow, ReregistrationResets) {
+  shadow_ledger ledger;
+  ledger.register_quantity("x", 8, 0.1);
+  ledger.record_gpu_update("x", 5.0);
+  ledger.register_quantity("x", 16, 0.2);
+  EXPECT_EQ(ledger.drift("x"), 0.0);
+  EXPECT_FALSE(ledger.needs_transfer("x"));
+}
+
+}  // namespace
+}  // namespace dcmesh::qxmd

@@ -1,0 +1,98 @@
+// Tests for the PbTiO3 supercell builder (the paper's Table V systems).
+
+#include "dcmesh/qxmd/supercell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dcmesh::qxmd {
+namespace {
+
+TEST(Supercell, PaperSystemSizes) {
+  // 2x2x2 cells -> 40 atoms; 3x3x3 -> 135 atoms (Table V).
+  EXPECT_EQ(build_pto_supercell(2).size(), 40u);
+  EXPECT_EQ(build_pto_supercell(3).size(), 135u);
+  EXPECT_EQ(build_pto_supercell(1).size(), 5u);
+}
+
+TEST(Supercell, StoichiometryIsPbTiO3) {
+  const auto system = build_pto_supercell(2);
+  std::map<species, int> counts;
+  for (const auto& a : system.atoms) ++counts[a.kind];
+  EXPECT_EQ(counts[species::pb], 8);
+  EXPECT_EQ(counts[species::ti], 8);
+  EXPECT_EQ(counts[species::o], 24);
+}
+
+TEST(Supercell, BoxMatchesLattice) {
+  const auto system = build_pto_supercell(3, 7.37);
+  EXPECT_DOUBLE_EQ(system.box[0], 3 * 7.37);
+  EXPECT_DOUBLE_EQ(system.box[1], 3 * 7.37);
+  EXPECT_DOUBLE_EQ(system.box[2], 3 * 7.37);
+}
+
+TEST(Supercell, AllAtomsInsideBox) {
+  const auto system = build_pto_supercell(2);
+  for (const auto& a : system.atoms) {
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_GE(a.position[axis], 0.0);
+      EXPECT_LT(a.position[axis], system.box[axis]);
+    }
+  }
+}
+
+TEST(Supercell, DeterministicForSameSeed) {
+  const auto a = build_pto_supercell(2, 7.37, 0.05, 7);
+  const auto b = build_pto_supercell(2, 7.37, 0.05, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.atoms[i].position, b.atoms[i].position);
+  }
+  const auto c = build_pto_supercell(2, 7.37, 0.05, 8);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.atoms[i].position != c.atoms[i].position) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Supercell, ZeroDisplacementGivesIdealLattice) {
+  const auto system = build_pto_supercell(1, 8.0, 0.0);
+  // Pb at the corner.
+  EXPECT_DOUBLE_EQ(system.atoms[0].position[0], 0.0);
+  // Ti at the body centre.
+  EXPECT_DOUBLE_EQ(system.atoms[1].position[0], 4.0);
+  EXPECT_DOUBLE_EQ(system.atoms[1].position[1], 4.0);
+  EXPECT_DOUBLE_EQ(system.atoms[1].position[2], 4.0);
+}
+
+TEST(Supercell, ValenceElectronCount) {
+  // Pb 4 + Ti 4 + 3 O * 6 = 26 electrons per formula unit.
+  const auto system = build_pto_supercell(2);
+  EXPECT_DOUBLE_EQ(valence_electrons(system), 8 * 26.0);
+}
+
+TEST(Supercell, KineticEnergyAfterSeeding) {
+  auto system = build_pto_supercell(2);
+  seed_velocities(system, 300.0, 99);
+  // Equipartition: E_kin ~ (3/2) N kB T (loose bracket; small N).
+  const double expected = 1.5 * 40 * 3.166811563e-6 * 300.0;
+  EXPECT_GT(system.kinetic_energy(), 0.3 * expected);
+  EXPECT_LT(system.kinetic_energy(), 3.0 * expected);
+
+  // Centre-of-mass momentum removed.
+  double px = 0.0;
+  for (const auto& a : system.atoms) {
+    px += info(a.kind).mass * a.velocity[0];
+  }
+  EXPECT_NEAR(px, 0.0, 1e-9);
+}
+
+TEST(Supercell, MinImageWraps) {
+  auto system = build_pto_supercell(1, 10.0, 0.0);
+  const auto d = system.min_image({0.5, 0.0, 0.0}, {9.5, 0.0, 0.0});
+  EXPECT_NEAR(d[0], -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dcmesh::qxmd

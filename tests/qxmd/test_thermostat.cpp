@@ -1,0 +1,84 @@
+// Tests for the Berendsen thermostat and temperature measurement.
+
+#include "dcmesh/qxmd/thermostat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dcmesh/qxmd/supercell.hpp"
+#include "dcmesh/qxmd/verlet.hpp"
+
+namespace dcmesh::qxmd {
+namespace {
+
+TEST(Thermostat, TemperatureMeasurementMatchesSeeding) {
+  auto system = build_pto_supercell(3);  // 135 atoms: good statistics
+  seed_velocities(system, 300.0, 1);
+  const double t = instantaneous_temperature(system);
+  EXPECT_GT(t, 150.0);
+  EXPECT_LT(t, 450.0);
+}
+
+TEST(Thermostat, ZeroForTinySystems) {
+  atom_system system;
+  EXPECT_EQ(instantaneous_temperature(system), 0.0);
+  system.atoms.push_back(atom{});
+  EXPECT_EQ(instantaneous_temperature(system), 0.0);
+}
+
+TEST(Thermostat, CoolsHotSystemTowardTarget) {
+  auto system = build_pto_supercell(2);
+  seed_velocities(system, 1200.0, 2);
+  const berendsen_thermostat thermostat(300.0, 20.0);
+  const double t0 = instantaneous_temperature(system);
+  for (int i = 0; i < 200; ++i) thermostat.apply(system, 2.0);
+  const double t1 = instantaneous_temperature(system);
+  EXPECT_LT(t1, t0);
+  EXPECT_NEAR(t1, 300.0, 60.0);
+}
+
+TEST(Thermostat, HeatsColdSystemTowardTarget) {
+  auto system = build_pto_supercell(2);
+  seed_velocities(system, 50.0, 3);
+  const berendsen_thermostat thermostat(300.0, 20.0);
+  for (int i = 0; i < 300; ++i) thermostat.apply(system, 2.0);
+  EXPECT_NEAR(instantaneous_temperature(system), 300.0, 60.0);
+}
+
+TEST(Thermostat, StationaryAtTarget) {
+  auto system = build_pto_supercell(2);
+  seed_velocities(system, 300.0, 4);
+  const double before = instantaneous_temperature(system);
+  berendsen_thermostat thermostat(before, 10.0);  // target = current
+  thermostat.apply(system, 1.0);
+  EXPECT_NEAR(instantaneous_temperature(system), before, 1e-9);
+}
+
+TEST(Thermostat, FrozenSystemIsLeftAlone) {
+  auto system = build_pto_supercell(1);  // zero velocities
+  const berendsen_thermostat thermostat(300.0, 10.0);
+  thermostat.apply(system, 1.0);
+  EXPECT_EQ(system.kinetic_energy(), 0.0);
+}
+
+TEST(Thermostat, EquilibratesUnderDynamics) {
+  // Thermostatted Verlet: the kinetic temperature settles near the target
+  // despite energy exchange with the potential.
+  auto system = build_pto_supercell(2);
+  seed_velocities(system, 900.0, 5);
+  verlet_integrator integrator(pair_potential{}, 2.0);
+  integrator.initialize(system);
+  const berendsen_thermostat thermostat(300.0, 40.0);
+  for (int i = 0; i < 150; ++i) {
+    integrator.step(system);
+    thermostat.apply(system, integrator.dt());
+  }
+  EXPECT_NEAR(instantaneous_temperature(system), 300.0, 150.0);
+}
+
+TEST(Thermostat, InvalidParametersThrow) {
+  EXPECT_THROW(berendsen_thermostat(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(berendsen_thermostat(300.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcmesh::qxmd

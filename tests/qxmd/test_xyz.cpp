@@ -1,0 +1,91 @@
+// Tests for extended-XYZ trajectory I/O.
+
+#include "dcmesh/qxmd/xyz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "dcmesh/qxmd/supercell.hpp"
+
+namespace dcmesh::qxmd {
+namespace {
+
+TEST(Xyz, RoundTripPreservesState) {
+  auto original = build_pto_supercell(2);
+  seed_velocities(original, 300.0, 1);
+  std::stringstream stream;
+  write_xyz_frame(stream, original, 12.5);
+
+  atom_system restored;
+  double time = 0.0;
+  ASSERT_TRUE(read_xyz_frame(stream, restored, time));
+  EXPECT_DOUBLE_EQ(time, 12.5);
+  ASSERT_EQ(restored.size(), original.size());
+  for (int axis = 0; axis < 3; ++axis) {
+    EXPECT_NEAR(restored.box[axis], original.box[axis], 1e-9);
+  }
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.atoms[i].kind, original.atoms[i].kind);
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_NEAR(restored.atoms[i].position[axis],
+                  original.atoms[i].position[axis], 1e-9);
+      EXPECT_NEAR(restored.atoms[i].velocity[axis],
+                  original.atoms[i].velocity[axis], 1e-9);
+    }
+  }
+}
+
+TEST(Xyz, MultipleFramesStream) {
+  auto system = build_pto_supercell(1);
+  std::stringstream stream;
+  write_xyz_frame(stream, system, 0.0);
+  system.atoms[0].position[0] += 0.5;
+  write_xyz_frame(stream, system, 1.0);
+
+  atom_system frame;
+  double time = 0.0;
+  ASSERT_TRUE(read_xyz_frame(stream, frame, time));
+  EXPECT_DOUBLE_EQ(time, 0.0);
+  ASSERT_TRUE(read_xyz_frame(stream, frame, time));
+  EXPECT_DOUBLE_EQ(time, 1.0);
+  EXPECT_FALSE(read_xyz_frame(stream, frame, time));  // clean end
+}
+
+TEST(Xyz, FormatIsStandardXyz) {
+  auto system = build_pto_supercell(1);
+  std::stringstream stream;
+  write_xyz_frame(stream, system, 0.0);
+  std::string first_line;
+  std::getline(stream, first_line);
+  EXPECT_EQ(first_line, "5");  // atom count leads the frame
+  std::string comment;
+  std::getline(stream, comment);
+  EXPECT_NE(comment.find("Lattice="), std::string::npos);
+  EXPECT_NE(comment.find("Time=0"), std::string::npos);
+  std::string atom_line;
+  std::getline(stream, atom_line);
+  EXPECT_EQ(atom_line.substr(0, 3), "Pb ");  // basis atom 0
+}
+
+TEST(Xyz, MalformedInputThrows) {
+  atom_system frame;
+  double time = 0.0;
+  std::stringstream bad_count("abc\ncomment\n");
+  EXPECT_THROW((void)read_xyz_frame(bad_count, frame, time),
+               std::runtime_error);
+  std::stringstream truncated("3\nLattice=\"1 0 0 0 1 0 0 0 1\"\nO 0 0 0 0 0 0\n");
+  EXPECT_THROW((void)read_xyz_frame(truncated, frame, time),
+               std::runtime_error);
+  std::stringstream bad_species(
+      "1\nLattice=\"1 0 0 0 1 0 0 0 1\"\nXx 0 0 0 0 0 0\n");
+  EXPECT_THROW((void)read_xyz_frame(bad_species, frame, time),
+               std::runtime_error);
+  std::stringstream no_lattice("1\nTime=0\nO 0 0 0 0 0 0\n");
+  EXPECT_THROW((void)read_xyz_frame(no_lattice, frame, time),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dcmesh::qxmd

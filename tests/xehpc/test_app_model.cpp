@@ -1,0 +1,172 @@
+// Tests for the application-level timing model behind Figure 3a, including
+// the paper's published 135-atom anchors and the 9-BLAS-call contract.
+
+#include "dcmesh/xehpc/app_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcmesh::xehpc {
+namespace {
+
+using blas::compute_mode;
+
+const device_spec kSpec{};
+const calibration kCal = default_calibration();
+
+const system_shape kSys40{64LL * 64 * 64, 256, 128};
+const system_shape kSys135{96LL * 96 * 96, 1024, 432};
+
+lfd_precision fp32_mode(compute_mode mode) {
+  return {gemm_precision::fp32, mode};
+}
+const lfd_precision kFp64{gemm_precision::fp64, compute_mode::standard};
+const lfd_precision kFp32 = fp32_mode(compute_mode::standard);
+
+TEST(AppModel, NineCallsPerQdStep) {
+  // Artifact appendix: "Each QD step contains 9 BLAS calls".
+  const auto calls = canonical_qd_step_calls(kSys40, gemm_precision::fp32);
+  EXPECT_EQ(calls.size(), 9u);
+}
+
+TEST(AppModel, CallSitesMatchThePaper) {
+  // nlp_prop, calc_energy, remap_occ are "the three primary functions
+  // which contain BLAS calls" — three calls each.
+  const auto calls = canonical_qd_step_calls(kSys40, gemm_precision::fp32);
+  int nlp = 0, energy = 0, remap = 0;
+  for (const auto& call : calls) {
+    if (call.site == "nlp_prop") ++nlp;
+    if (call.site == "calc_energy") ++energy;
+    if (call.site == "remap_occ") ++remap;
+  }
+  EXPECT_EQ(nlp, 3);
+  EXPECT_EQ(energy, 3);
+  EXPECT_EQ(remap, 3);
+}
+
+TEST(AppModel, Table7RemapShape) {
+  // Table VII: the remap_occ GEMM for the 40-atom system has m = 128,
+  // n = Norb - 128, k = 64^3 = 262144.
+  const auto calls = canonical_qd_step_calls(kSys40, gemm_precision::fp32);
+  bool found = false;
+  for (const auto& call : calls) {
+    if (call.site == "remap_occ" && call.shape.k == 262144) {
+      EXPECT_EQ(call.shape.m, 128);
+      EXPECT_EQ(call.shape.n, 128);  // 256 - 128
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AppModel, Table7ShapeSweepsWithNorb) {
+  // Table VII rows: Norb 256 -> n 128; 1024 -> 896; 2048 -> 1920;
+  // 4096 -> 3968 (the paper prints 3978, an arithmetic slip; see
+  // EXPERIMENTS.md).  m and k stay fixed.
+  for (const auto& [norb, expected_n] :
+       std::vector<std::pair<blas::blas_int, blas::blas_int>>{
+           {256, 128}, {1024, 896}, {2048, 1920}, {4096, 3968}}) {
+    const system_shape sys{64LL * 64 * 64, norb, 128};
+    const auto calls = canonical_qd_step_calls(sys, gemm_precision::fp32);
+    bool found = false;
+    for (const auto& call : calls) {
+      if (call.site == "remap_occ" && call.shape.k == 262144) {
+        EXPECT_EQ(call.shape.m, 128) << norb;
+        EXPECT_EQ(call.shape.n, expected_n) << norb;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << norb;
+  }
+}
+
+TEST(AppModel, Fig3a135AtomAnchors) {
+  // Paper Sec. V-C: "the time to complete 500 QD steps is over 2800
+  // seconds at FP64 precision, 1472 seconds at FP32, and 972 seconds when
+  // using the BF16 compute mode."  The model must land within ~10%.
+  const double t64 = model_series_seconds(kSpec, kCal, kSys135, kFp64, 500);
+  const double t32 = model_series_seconds(kSpec, kCal, kSys135, kFp32, 500);
+  const double t16 = model_series_seconds(
+      kSpec, kCal, kSys135, fp32_mode(compute_mode::float_to_bf16), 500);
+  EXPECT_NEAR(t64, 2800.0, 280.0);
+  EXPECT_NEAR(t32, 1472.0, 150.0);
+  EXPECT_NEAR(t16, 972.0, 100.0);
+  EXPECT_GT(t64, 2800.0 * 0.9);  // "over 2800 seconds"
+}
+
+TEST(AppModel, ArtifactPrecisionOrdering135) {
+  // "the fastest simulation is for the case when BLAS precision is BF16,
+  // followed by TF32, BF16X2, BF16X3, Complex 3M, FP32, and then FP64."
+  const double bf16 = model_series_seconds(
+      kSpec, kCal, kSys135, fp32_mode(compute_mode::float_to_bf16), 500);
+  const double tf32 = model_series_seconds(
+      kSpec, kCal, kSys135, fp32_mode(compute_mode::float_to_tf32), 500);
+  const double x2 = model_series_seconds(
+      kSpec, kCal, kSys135, fp32_mode(compute_mode::float_to_bf16x2), 500);
+  const double x3 = model_series_seconds(
+      kSpec, kCal, kSys135, fp32_mode(compute_mode::float_to_bf16x3), 500);
+  const double m3 = model_series_seconds(
+      kSpec, kCal, kSys135, fp32_mode(compute_mode::complex_3m), 500);
+  const double fp32 = model_series_seconds(kSpec, kCal, kSys135, kFp32, 500);
+  const double fp64 = model_series_seconds(kSpec, kCal, kSys135, kFp64, 500);
+  EXPECT_LT(bf16, tf32);
+  EXPECT_LT(tf32, x2);
+  EXPECT_LT(x2, x3);
+  EXPECT_LT(x3, m3);
+  EXPECT_LT(m3, fp32);
+  EXPECT_LT(fp32, fp64);
+}
+
+TEST(AppModel, FortyAtomShowsLittleModeSpread) {
+  // "In the 40 atom system, very little performance change is observed
+  // between FP32 and the runs with different BLAS compute modes. Indeed,
+  // only between the runs with FP64 and FP32 precisions do we observe any
+  // significant change."
+  const double fp32 = model_series_seconds(kSpec, kCal, kSys40, kFp32, 500);
+  const double fp64 = model_series_seconds(kSpec, kCal, kSys40, kFp64, 500);
+  EXPECT_GT(fp64 / fp32, 1.6);  // the FP64:FP32 gap is significant
+  for (compute_mode mode :
+       {compute_mode::float_to_bf16, compute_mode::float_to_tf32,
+        compute_mode::float_to_bf16x2, compute_mode::complex_3m}) {
+    const double t =
+        model_series_seconds(kSpec, kCal, kSys40, fp32_mode(mode), 500);
+    EXPECT_LT(std::abs(t - fp32) / fp32, 0.25)
+        << blas::name(mode) << " deviates too much at 40 atoms";
+  }
+}
+
+TEST(AppModel, EndToEndSpeedupNearPaperHeadline) {
+  // Abstract: "we are able to achieve a speedup of 1.35x" (FP32 -> BF16
+  // whole-application; the Sec. V-C times give ~1.51x — see
+  // EXPERIMENTS.md).  Accept the bracket [1.3, 1.6].
+  const double fp32 = model_series_seconds(kSpec, kCal, kSys135, kFp32, 500);
+  const double bf16 = model_series_seconds(
+      kSpec, kCal, kSys135, fp32_mode(compute_mode::float_to_bf16), 500);
+  const double speedup = fp32 / bf16;
+  EXPECT_GT(speedup, 1.3);
+  EXPECT_LT(speedup, 1.6);
+}
+
+TEST(AppModel, CapacityTable5) {
+  // Table V: the 135-atom system is the largest that fits in the 64 GB of
+  // a single stack.  The FP32 wave function plus its propagation scratch
+  // (~4x the state) must fit; the next size up (4x4x4 cells, 128^3 mesh,
+  // ~2430 orbitals) must not.
+  const double state135 = wavefunction_bytes(kSys135, gemm_precision::fp32);
+  EXPECT_LT(4.0 * state135, 64e9);
+  const system_shape sys320{128LL * 128 * 128, 2432, 1024};
+  const double state320 = wavefunction_bytes(sys320, gemm_precision::fp32);
+  EXPECT_GT(4.0 * state320, 64e9);
+}
+
+TEST(AppModel, MeshTimeScalesWithState) {
+  const double t40 =
+      model_qd_step_mesh_seconds(kSpec, kCal, kSys40, kFp32);
+  const double t135 =
+      model_qd_step_mesh_seconds(kSpec, kCal, kSys135, kFp32);
+  const double ratio = (wavefunction_bytes(kSys135, gemm_precision::fp32)) /
+                       (wavefunction_bytes(kSys40, gemm_precision::fp32));
+  EXPECT_NEAR(t135 / t40, ratio, ratio * 0.1);  // ~linear in state bytes
+}
+
+}  // namespace
+}  // namespace dcmesh::xehpc

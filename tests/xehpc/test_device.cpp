@@ -1,0 +1,68 @@
+// Unit tests for the Max 1550 device spec (paper Table I).
+
+#include "dcmesh/xehpc/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcmesh::xehpc {
+namespace {
+
+TEST(Device, Table1Peaks) {
+  const device_spec spec;
+  EXPECT_DOUBLE_EQ(theoretical_peak_tflops(spec, peak_precision::fp64), 26.0);
+  EXPECT_DOUBLE_EQ(theoretical_peak_tflops(spec, peak_precision::fp32), 26.0);
+  EXPECT_DOUBLE_EQ(theoretical_peak_tflops(spec, peak_precision::tf32),
+                   209.0);
+  EXPECT_DOUBLE_EQ(theoretical_peak_tflops(spec, peak_precision::bf16),
+                   419.0);
+  EXPECT_DOUBLE_EQ(theoretical_peak_tflops(spec, peak_precision::fp16),
+                   419.0);
+  EXPECT_DOUBLE_EQ(theoretical_peak_tflops(spec, peak_precision::int8),
+                   839.0);
+}
+
+TEST(Device, Table1Engines) {
+  EXPECT_EQ(peak_engine(peak_precision::fp64), engine::vector);
+  EXPECT_EQ(peak_engine(peak_precision::fp32), engine::vector);
+  EXPECT_EQ(peak_engine(peak_precision::tf32), engine::matrix);
+  EXPECT_EQ(peak_engine(peak_precision::bf16), engine::matrix);
+  EXPECT_EQ(peak_engine(peak_precision::fp16), engine::matrix);
+  EXPECT_EQ(peak_engine(peak_precision::int8), engine::matrix);
+}
+
+TEST(Device, ArchitectureFields) {
+  // Paper Sec. IV-A: 448 EUs per stack at up to 1.6 GHz; 64 GB per stack
+  // (Table V caption); each Xe core has 8 vector + 8 matrix engines.
+  const device_spec spec;
+  EXPECT_EQ(spec.execution_units, 448);
+  EXPECT_DOUBLE_EQ(spec.frequency_ghz, 1.6);
+  EXPECT_DOUBLE_EQ(spec.hbm_capacity_gb, 64.0);
+  EXPECT_EQ(spec.vector_engines_per_core, 8);
+  EXPECT_EQ(spec.matrix_engines_per_core, 8);
+  EXPECT_EQ(spec.xe_cores * spec.vector_engines_per_core,
+            spec.execution_units);
+}
+
+TEST(Device, PrecisionNames) {
+  EXPECT_EQ(precision_name(peak_precision::fp64), "FP64");
+  EXPECT_EQ(precision_name(peak_precision::int8), "INT8");
+}
+
+TEST(Device, OpsPerClockConsistency) {
+  // peak = EUs * GHz * ops_per_clock must hold by construction, and BF16
+  // ops/clock should be ~16x the FP64 value (matrix vs vector engines).
+  const device_spec spec;
+  for (peak_precision p :
+       {peak_precision::fp64, peak_precision::fp32, peak_precision::tf32,
+        peak_precision::bf16}) {
+    const double ops = ops_per_clock_per_eu(spec, p);
+    EXPECT_NEAR(ops * spec.execution_units * spec.frequency_ghz * 1e9,
+                theoretical_peak_tflops(spec, p) * 1e12, 1e6);
+  }
+  EXPECT_NEAR(ops_per_clock_per_eu(spec, peak_precision::bf16) /
+                  ops_per_clock_per_eu(spec, peak_precision::fp64),
+              419.0 / 26.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dcmesh::xehpc

@@ -1,0 +1,81 @@
+// Tests for the energy-to-solution model extension.
+
+#include "dcmesh/xehpc/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcmesh::xehpc {
+namespace {
+
+const device_spec kSpec{};
+const calibration kCal = default_calibration();
+const power_spec kPower{};
+const system_shape kSys135{96LL * 96 * 96, 1024, 432};
+
+lfd_precision fp32_mode(blas::compute_mode mode) {
+  return {gemm_precision::fp32, mode};
+}
+
+TEST(Energy, PositiveAndConsistentWithTime) {
+  const auto e = model_series_energy(kSpec, kCal, kPower, kSys135,
+                                     fp32_mode(blas::compute_mode::standard));
+  EXPECT_GT(e.joules, 0.0);
+  EXPECT_NEAR(e.seconds,
+              model_series_seconds(kSpec, kCal, kSys135,
+                                   fp32_mode(blas::compute_mode::standard),
+                                   500),
+              1e-6);
+  // Average draw bounded by idle and idle + all active contributions.
+  EXPECT_GT(e.average_watts(), kPower.idle_w);
+  EXPECT_LT(e.average_watts(), kPower.idle_w + kPower.vector_active_w +
+                                   kPower.matrix_active_w +
+                                   kPower.hbm_active_w);
+}
+
+TEST(Energy, Bf16SavesEnergyOverFp32) {
+  // Less time at comparable (or lower) average power: BF16 must cost
+  // fewer Joules per series.
+  const auto fp32 = model_series_energy(
+      kSpec, kCal, kPower, kSys135, fp32_mode(blas::compute_mode::standard));
+  const auto bf16 = model_series_energy(
+      kSpec, kCal, kPower, kSys135,
+      fp32_mode(blas::compute_mode::float_to_bf16));
+  EXPECT_LT(bf16.joules, fp32.joules);
+  // Energy saving at least as large as ~2/3 of the time saving.
+  const double time_ratio = fp32.seconds / bf16.seconds;
+  const double energy_ratio = fp32.joules / bf16.joules;
+  EXPECT_GT(energy_ratio, 1.0 + 0.66 * (time_ratio - 1.0) * 0.5);
+}
+
+TEST(Energy, Fp64CostsMostEnergy) {
+  const auto fp64 = model_series_energy(
+      kSpec, kCal, kPower, kSys135,
+      {gemm_precision::fp64, blas::compute_mode::standard});
+  const auto fp32 = model_series_energy(
+      kSpec, kCal, kPower, kSys135, fp32_mode(blas::compute_mode::standard));
+  EXPECT_GT(fp64.joules, fp32.joules);
+}
+
+TEST(Energy, GemmEnergyBreakdownUsesEnginePower) {
+  const gemm_shape shape{1024, 1024, 262144, true, gemm_precision::fp32};
+  const auto std_e = model_gemm_energy(kSpec, kCal, kPower, shape,
+                                       blas::compute_mode::standard);
+  const auto bf16_e = model_gemm_energy(kSpec, kCal, kPower, shape,
+                                        blas::compute_mode::float_to_bf16);
+  EXPECT_GT(std_e.joules, 0.0);
+  EXPECT_LT(bf16_e.seconds, std_e.seconds);
+  EXPECT_LT(bf16_e.joules, std_e.joules);
+}
+
+TEST(Energy, WattHoursConversion) {
+  energy_estimate e;
+  e.seconds = 10.0;
+  e.joules = 3600.0;
+  EXPECT_DOUBLE_EQ(e.watt_hours(), 1.0);
+  EXPECT_DOUBLE_EQ(e.average_watts(), 360.0);
+  const energy_estimate zero;
+  EXPECT_EQ(zero.average_watts(), 0.0);
+}
+
+}  // namespace
+}  // namespace dcmesh::xehpc

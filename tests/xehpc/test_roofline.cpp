@@ -1,0 +1,145 @@
+// Tests for the GEMM roofline model: Table II peak ratios, the paper's
+// Table VI / Fig 3b anchors, and structural properties (monotonicity,
+// ordering) that must hold for the reproduction to be meaningful.
+
+#include "dcmesh/xehpc/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcmesh::xehpc {
+namespace {
+
+using blas::compute_mode;
+
+const device_spec kSpec{};
+const calibration kCal = default_calibration();
+
+/// Table VII / Fig 3b shape for a 40-atom system with norb orbitals.
+gemm_shape remap_shape(blas::blas_int norb) {
+  return {128, norb - 128, 64LL * 64 * 64, /*is_complex=*/true,
+          gemm_precision::fp32};
+}
+
+TEST(Roofline, PeakTheoreticalSpeedupsMatchTable2) {
+  EXPECT_NEAR(peak_theoretical_speedup(kSpec, compute_mode::float_to_bf16),
+              16.0, 0.15);  // 419/26 = 16.1
+  EXPECT_NEAR(peak_theoretical_speedup(kSpec, compute_mode::float_to_bf16x2),
+              16.0 / 3.0, 0.1);
+  EXPECT_NEAR(peak_theoretical_speedup(kSpec, compute_mode::float_to_bf16x3),
+              8.0 / 3.0, 0.05);
+  EXPECT_NEAR(peak_theoretical_speedup(kSpec, compute_mode::float_to_tf32),
+              8.0, 0.05);
+  EXPECT_DOUBLE_EQ(peak_theoretical_speedup(kSpec, compute_mode::complex_3m),
+                   4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(peak_theoretical_speedup(kSpec, compute_mode::standard),
+                   1.0);
+}
+
+TEST(Roofline, Table6MaxBf16SpeedupAnchor) {
+  // Paper: "The maximum speedup we achieved was 3.91x when using the BF16
+  // compute mode" at the largest Fig 3b size (Norb = 4096).
+  const double speedup = model_speedup_vs_fp32(
+      kSpec, kCal, remap_shape(4096), compute_mode::float_to_bf16);
+  EXPECT_NEAR(speedup, 3.91, 0.25);
+}
+
+TEST(Roofline, ObservedWellBelowTheoretical) {
+  // "Actual speedups are more modest, limited by power and bandwidth
+  // considerations" — observed BF16 must be far below the 16x peak.
+  const double speedup = model_speedup_vs_fp32(
+      kSpec, kCal, remap_shape(4096), compute_mode::float_to_bf16);
+  EXPECT_LT(speedup, 8.0);
+  EXPECT_GT(speedup, 2.0);
+}
+
+TEST(Roofline, Fig3bSpeedupGrowsWithOrbitalCount) {
+  // "The case with the smallest number of orbitals provides the least
+  // degree of improvement while the largest case translates into the
+  // greatest speedup."
+  double previous = 0.0;
+  for (blas::blas_int norb : {256, 1024, 2048, 4096}) {
+    const double s = model_speedup_vs_fp32(kSpec, kCal, remap_shape(norb),
+                                           compute_mode::float_to_bf16);
+    EXPECT_GT(s, previous) << "norb=" << norb;
+    previous = s;
+  }
+}
+
+TEST(Roofline, ModeOrderingAtLargeSize) {
+  // Artifact ordering of BLAS speed: BF16 > TF32 > BF16x2 > BF16x3 and 3M
+  // modest but > 1.
+  const gemm_shape shape = remap_shape(4096);
+  const double bf16 =
+      model_speedup_vs_fp32(kSpec, kCal, shape, compute_mode::float_to_bf16);
+  const double tf32 =
+      model_speedup_vs_fp32(kSpec, kCal, shape, compute_mode::float_to_tf32);
+  const double x2 = model_speedup_vs_fp32(kSpec, kCal, shape,
+                                          compute_mode::float_to_bf16x2);
+  const double x3 = model_speedup_vs_fp32(kSpec, kCal, shape,
+                                          compute_mode::float_to_bf16x3);
+  const double m3 =
+      model_speedup_vs_fp32(kSpec, kCal, shape, compute_mode::complex_3m);
+  EXPECT_GT(bf16, tf32);
+  EXPECT_GT(tf32, x2);
+  EXPECT_GT(x2, x3);
+  EXPECT_GT(x3, 1.0);
+  EXPECT_GT(m3, 1.0);
+  EXPECT_LT(m3, 4.0 / 3.0);  // below its own theoretical peak
+}
+
+TEST(Roofline, StandardModeSpeedupIsUnity) {
+  EXPECT_DOUBLE_EQ(model_speedup_vs_fp32(kSpec, kCal, remap_shape(1024),
+                                         compute_mode::standard),
+                   1.0);
+}
+
+TEST(Roofline, Fp64DataIgnoresComputeModes) {
+  gemm_shape shape = remap_shape(1024);
+  shape.precision = gemm_precision::fp64;
+  const double std_time =
+      model_gemm(kSpec, kCal, shape, compute_mode::standard).total_s();
+  const double bf16_time =
+      model_gemm(kSpec, kCal, shape, compute_mode::float_to_bf16).total_s();
+  EXPECT_DOUBLE_EQ(std_time, bf16_time);
+}
+
+TEST(Roofline, TimeBreakdownIsPositiveAndAdditive) {
+  const auto t = model_gemm(kSpec, kCal, remap_shape(1024),
+                            compute_mode::float_to_bf16);
+  EXPECT_GT(t.launch_s, 0.0);
+  EXPECT_GT(t.memory_s, 0.0);
+  EXPECT_GT(t.compute_s, 0.0);
+  EXPECT_DOUBLE_EQ(t.total_s(), t.launch_s + t.memory_s + t.compute_s);
+}
+
+TEST(Roofline, EmptyShapeCostsOnlyLaunch) {
+  const auto t = model_gemm(kSpec, kCal, gemm_shape{0, 0, 0, true},
+                            compute_mode::standard);
+  EXPECT_DOUBLE_EQ(t.total_s(), kCal.kernel_launch_s);
+}
+
+TEST(Roofline, TimeMonotoneInEveryDimension) {
+  const gemm_shape base{64, 64, 4096, true, gemm_precision::fp32};
+  const double t0 =
+      model_gemm(kSpec, kCal, base, compute_mode::standard).total_s();
+  for (int dim = 0; dim < 3; ++dim) {
+    gemm_shape bigger = base;
+    if (dim == 0) bigger.m *= 2;
+    if (dim == 1) bigger.n *= 2;
+    if (dim == 2) bigger.k *= 2;
+    EXPECT_GT(model_gemm(kSpec, kCal, bigger, compute_mode::standard)
+                  .total_s(),
+              t0);
+  }
+}
+
+TEST(Roofline, Complex3mReducesComputeButAddsTraffic) {
+  const gemm_shape shape{1024, 1024, 262144, true, gemm_precision::fp32};
+  const auto std_t = model_gemm(kSpec, kCal, shape, compute_mode::standard);
+  const auto m3_t = model_gemm(kSpec, kCal, shape, compute_mode::complex_3m);
+  EXPECT_NEAR(m3_t.compute_s / std_t.compute_s, 0.75, 1e-9);
+  EXPECT_GT(m3_t.memory_s, std_t.memory_s);
+}
+
+}  // namespace
+}  // namespace dcmesh::xehpc

@@ -1,0 +1,66 @@
+// Tests for the multi-stack scaling extension (paper future work).
+
+#include "dcmesh/xehpc/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcmesh::xehpc {
+namespace {
+
+const device_spec kSpec{};
+const calibration kCal = default_calibration();
+const fabric_spec kFab{};
+const system_shape kSys135{96LL * 96 * 96, 1024, 432};
+const lfd_precision kFp32{gemm_precision::fp32,
+                          blas::compute_mode::standard};
+
+TEST(Scaling, SingleStackMatchesBaseModel) {
+  const auto run =
+      model_multi_stack_series(kSpec, kCal, kFab, kSys135, kFp32, 1);
+  EXPECT_DOUBLE_EQ(run.communication_seconds, 0.0);
+  EXPECT_NEAR(run.series_seconds,
+              model_series_seconds(kSpec, kCal, kSys135, kFp32, 500), 1e-6);
+  EXPECT_NEAR(run.parallel_efficiency, 1.0, 1e-9);
+}
+
+TEST(Scaling, MoreStacksReduceWallTime) {
+  double previous = 1e30;
+  for (int stacks : {1, 2, 4}) {
+    const auto run =
+        model_multi_stack_series(kSpec, kCal, kFab, kSys135, kFp32, stacks);
+    EXPECT_LT(run.series_seconds, previous) << stacks;
+    previous = run.series_seconds;
+  }
+}
+
+TEST(Scaling, EfficiencyBelowUnityAndDecreasing) {
+  double previous = 1.1;
+  for (int stacks : {2, 4, 8}) {
+    const auto run =
+        model_multi_stack_series(kSpec, kCal, kFab, kSys135, kFp32, stacks);
+    EXPECT_LE(run.parallel_efficiency, 1.0) << stacks;
+    EXPECT_LT(run.parallel_efficiency, previous) << stacks;
+    previous = run.parallel_efficiency;
+  }
+}
+
+TEST(Scaling, CrossingNodeBoundaryHurts) {
+  // 8 stacks within one node vs 8 stacks across nodes (4 per node).
+  const auto intra = model_multi_stack_series(kSpec, kCal, kFab, kSys135,
+                                              kFp32, 8, /*per_node=*/8);
+  const auto inter = model_multi_stack_series(kSpec, kCal, kFab, kSys135,
+                                              kFp32, 8, /*per_node=*/4);
+  EXPECT_GT(inter.communication_seconds, intra.communication_seconds);
+}
+
+TEST(Scaling, InvalidArgumentsThrow) {
+  EXPECT_THROW(
+      (void)model_multi_stack_series(kSpec, kCal, kFab, kSys135, kFp32, 0),
+      std::invalid_argument);
+  EXPECT_THROW((void)model_multi_stack_series(kSpec, kCal, kFab, kSys135,
+                                              kFp32, 2, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcmesh::xehpc
