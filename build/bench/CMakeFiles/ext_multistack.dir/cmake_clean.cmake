@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multistack.dir/ext_multistack.cpp.o"
+  "CMakeFiles/ext_multistack.dir/ext_multistack.cpp.o.d"
+  "ext_multistack"
+  "ext_multistack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multistack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

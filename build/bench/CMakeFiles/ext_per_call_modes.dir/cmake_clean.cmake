@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_per_call_modes.dir/ext_per_call_modes.cpp.o"
+  "CMakeFiles/ext_per_call_modes.dir/ext_per_call_modes.cpp.o.d"
+  "ext_per_call_modes"
+  "ext_per_call_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_per_call_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

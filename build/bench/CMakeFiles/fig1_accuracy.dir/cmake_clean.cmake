@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_accuracy.dir/fig1_accuracy.cpp.o"
+  "CMakeFiles/fig1_accuracy.dir/fig1_accuracy.cpp.o.d"
+  "fig1_accuracy"
+  "fig1_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

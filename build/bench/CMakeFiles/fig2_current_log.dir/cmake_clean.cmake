@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_current_log.dir/fig2_current_log.cpp.o"
+  "CMakeFiles/fig2_current_log.dir/fig2_current_log.cpp.o.d"
+  "fig2_current_log"
+  "fig2_current_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_current_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

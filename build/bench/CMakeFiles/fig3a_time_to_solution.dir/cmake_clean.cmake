@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_time_to_solution.dir/fig3a_time_to_solution.cpp.o"
+  "CMakeFiles/fig3a_time_to_solution.dir/fig3a_time_to_solution.cpp.o.d"
+  "fig3a_time_to_solution"
+  "fig3a_time_to_solution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_time_to_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_blas_speedup.dir/fig3b_blas_speedup.cpp.o"
+  "CMakeFiles/fig3b_blas_speedup.dir/fig3b_blas_speedup.cpp.o.d"
+  "fig3b_blas_speedup"
+  "fig3b_blas_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_blas_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

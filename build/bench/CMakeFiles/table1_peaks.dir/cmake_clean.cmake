@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_peaks.dir/table1_peaks.cpp.o"
+  "CMakeFiles/table1_peaks.dir/table1_peaks.cpp.o.d"
+  "table1_peaks"
+  "table1_peaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_modes.cpp" "bench/CMakeFiles/table2_modes.dir/table2_modes.cpp.o" "gcc" "bench/CMakeFiles/table2_modes.dir/table2_modes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcmesh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfd/CMakeFiles/lfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/qxmd/CMakeFiles/qxmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/dcmesh_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/xehpc/CMakeFiles/xehpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcmesh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/minimkl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcmesh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_modes.dir/table2_modes.cpp.o"
+  "CMakeFiles/table2_modes.dir/table2_modes.cpp.o.d"
+  "table2_modes"
+  "table2_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

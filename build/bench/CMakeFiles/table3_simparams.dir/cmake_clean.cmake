@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_simparams.dir/table3_simparams.cpp.o"
+  "CMakeFiles/table3_simparams.dir/table3_simparams.cpp.o.d"
+  "table3_simparams"
+  "table3_simparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_simparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_formats.dir/table4_formats.cpp.o"
+  "CMakeFiles/table4_formats.dir/table4_formats.cpp.o.d"
+  "table4_formats"
+  "table4_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

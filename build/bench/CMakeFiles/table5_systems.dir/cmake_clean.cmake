@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_systems.dir/table5_systems.cpp.o"
+  "CMakeFiles/table5_systems.dir/table5_systems.cpp.o.d"
+  "table5_systems"
+  "table5_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

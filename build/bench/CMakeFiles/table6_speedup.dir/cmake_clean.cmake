@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_speedup.dir/table6_speedup.cpp.o"
+  "CMakeFiles/table6_speedup.dir/table6_speedup.cpp.o.d"
+  "table6_speedup"
+  "table6_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

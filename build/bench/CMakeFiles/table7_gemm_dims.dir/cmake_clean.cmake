@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_gemm_dims.dir/table7_gemm_dims.cpp.o"
+  "CMakeFiles/table7_gemm_dims.dir/table7_gemm_dims.cpp.o.d"
+  "table7_gemm_dims"
+  "table7_gemm_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_gemm_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcehd.dir/dcehd.cpp.o"
+  "CMakeFiles/dcehd.dir/dcehd.cpp.o.d"
+  "dcehd"
+  "dcehd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcehd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_modes.dir/gemm_modes.cpp.o"
+  "CMakeFiles/gemm_modes.dir/gemm_modes.cpp.o.d"
+  "gemm_modes"
+  "gemm_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

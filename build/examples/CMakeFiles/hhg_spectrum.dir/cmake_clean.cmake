@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhg_spectrum.dir/hhg_spectrum.cpp.o"
+  "CMakeFiles/hhg_spectrum.dir/hhg_spectrum.cpp.o.d"
+  "hhg_spectrum"
+  "hhg_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhg_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

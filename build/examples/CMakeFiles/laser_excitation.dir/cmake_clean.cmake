@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laser_excitation.dir/laser_excitation.cpp.o"
+  "CMakeFiles/laser_excitation.dir/laser_excitation.cpp.o.d"
+  "laser_excitation"
+  "laser_excitation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laser_excitation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

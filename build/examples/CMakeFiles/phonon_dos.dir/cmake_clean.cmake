@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phonon_dos.dir/phonon_dos.cpp.o"
+  "CMakeFiles/phonon_dos.dir/phonon_dos.cpp.o.d"
+  "phonon_dos"
+  "phonon_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phonon_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

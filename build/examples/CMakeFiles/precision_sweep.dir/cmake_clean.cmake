@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_sweep.dir/precision_sweep.cpp.o"
+  "CMakeFiles/precision_sweep.dir/precision_sweep.cpp.o.d"
+  "precision_sweep"
+  "precision_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/src/cblas_compat.cpp" "src/blas/CMakeFiles/minimkl.dir/src/cblas_compat.cpp.o" "gcc" "src/blas/CMakeFiles/minimkl.dir/src/cblas_compat.cpp.o.d"
+  "/root/repo/src/blas/src/compute_mode.cpp" "src/blas/CMakeFiles/minimkl.dir/src/compute_mode.cpp.o" "gcc" "src/blas/CMakeFiles/minimkl.dir/src/compute_mode.cpp.o.d"
+  "/root/repo/src/blas/src/gemm_api.cpp" "src/blas/CMakeFiles/minimkl.dir/src/gemm_api.cpp.o" "gcc" "src/blas/CMakeFiles/minimkl.dir/src/gemm_api.cpp.o.d"
+  "/root/repo/src/blas/src/gemm_batch.cpp" "src/blas/CMakeFiles/minimkl.dir/src/gemm_batch.cpp.o" "gcc" "src/blas/CMakeFiles/minimkl.dir/src/gemm_batch.cpp.o.d"
+  "/root/repo/src/blas/src/gemm_complex.cpp" "src/blas/CMakeFiles/minimkl.dir/src/gemm_complex.cpp.o" "gcc" "src/blas/CMakeFiles/minimkl.dir/src/gemm_complex.cpp.o.d"
+  "/root/repo/src/blas/src/gemm_real.cpp" "src/blas/CMakeFiles/minimkl.dir/src/gemm_real.cpp.o" "gcc" "src/blas/CMakeFiles/minimkl.dir/src/gemm_real.cpp.o.d"
+  "/root/repo/src/blas/src/level1.cpp" "src/blas/CMakeFiles/minimkl.dir/src/level1.cpp.o" "gcc" "src/blas/CMakeFiles/minimkl.dir/src/level1.cpp.o.d"
+  "/root/repo/src/blas/src/level2.cpp" "src/blas/CMakeFiles/minimkl.dir/src/level2.cpp.o" "gcc" "src/blas/CMakeFiles/minimkl.dir/src/level2.cpp.o.d"
+  "/root/repo/src/blas/src/rank_k.cpp" "src/blas/CMakeFiles/minimkl.dir/src/rank_k.cpp.o" "gcc" "src/blas/CMakeFiles/minimkl.dir/src/rank_k.cpp.o.d"
+  "/root/repo/src/blas/src/split.cpp" "src/blas/CMakeFiles/minimkl.dir/src/split.cpp.o" "gcc" "src/blas/CMakeFiles/minimkl.dir/src/split.cpp.o.d"
+  "/root/repo/src/blas/src/trsm.cpp" "src/blas/CMakeFiles/minimkl.dir/src/trsm.cpp.o" "gcc" "src/blas/CMakeFiles/minimkl.dir/src/trsm.cpp.o.d"
+  "/root/repo/src/blas/src/verbose.cpp" "src/blas/CMakeFiles/minimkl.dir/src/verbose.cpp.o" "gcc" "src/blas/CMakeFiles/minimkl.dir/src/verbose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcmesh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimkl.dir/src/cblas_compat.cpp.o"
+  "CMakeFiles/minimkl.dir/src/cblas_compat.cpp.o.d"
+  "CMakeFiles/minimkl.dir/src/compute_mode.cpp.o"
+  "CMakeFiles/minimkl.dir/src/compute_mode.cpp.o.d"
+  "CMakeFiles/minimkl.dir/src/gemm_api.cpp.o"
+  "CMakeFiles/minimkl.dir/src/gemm_api.cpp.o.d"
+  "CMakeFiles/minimkl.dir/src/gemm_batch.cpp.o"
+  "CMakeFiles/minimkl.dir/src/gemm_batch.cpp.o.d"
+  "CMakeFiles/minimkl.dir/src/gemm_complex.cpp.o"
+  "CMakeFiles/minimkl.dir/src/gemm_complex.cpp.o.d"
+  "CMakeFiles/minimkl.dir/src/gemm_real.cpp.o"
+  "CMakeFiles/minimkl.dir/src/gemm_real.cpp.o.d"
+  "CMakeFiles/minimkl.dir/src/level1.cpp.o"
+  "CMakeFiles/minimkl.dir/src/level1.cpp.o.d"
+  "CMakeFiles/minimkl.dir/src/level2.cpp.o"
+  "CMakeFiles/minimkl.dir/src/level2.cpp.o.d"
+  "CMakeFiles/minimkl.dir/src/rank_k.cpp.o"
+  "CMakeFiles/minimkl.dir/src/rank_k.cpp.o.d"
+  "CMakeFiles/minimkl.dir/src/split.cpp.o"
+  "CMakeFiles/minimkl.dir/src/split.cpp.o.d"
+  "CMakeFiles/minimkl.dir/src/trsm.cpp.o"
+  "CMakeFiles/minimkl.dir/src/trsm.cpp.o.d"
+  "CMakeFiles/minimkl.dir/src/verbose.cpp.o"
+  "CMakeFiles/minimkl.dir/src/verbose.cpp.o.d"
+  "libminimkl.a"
+  "libminimkl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimkl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

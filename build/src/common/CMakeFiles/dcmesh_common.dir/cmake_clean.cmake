@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcmesh_common.dir/src/env.cpp.o"
+  "CMakeFiles/dcmesh_common.dir/src/env.cpp.o.d"
+  "CMakeFiles/dcmesh_common.dir/src/rng.cpp.o"
+  "CMakeFiles/dcmesh_common.dir/src/rng.cpp.o.d"
+  "CMakeFiles/dcmesh_common.dir/src/spectrum.cpp.o"
+  "CMakeFiles/dcmesh_common.dir/src/spectrum.cpp.o.d"
+  "libdcmesh_common.a"
+  "libdcmesh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcmesh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

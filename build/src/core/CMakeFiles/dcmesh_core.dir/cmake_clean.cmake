@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcmesh_core.dir/src/checkpoint.cpp.o"
+  "CMakeFiles/dcmesh_core.dir/src/checkpoint.cpp.o.d"
+  "CMakeFiles/dcmesh_core.dir/src/config.cpp.o"
+  "CMakeFiles/dcmesh_core.dir/src/config.cpp.o.d"
+  "CMakeFiles/dcmesh_core.dir/src/driver.cpp.o"
+  "CMakeFiles/dcmesh_core.dir/src/driver.cpp.o.d"
+  "CMakeFiles/dcmesh_core.dir/src/output.cpp.o"
+  "CMakeFiles/dcmesh_core.dir/src/output.cpp.o.d"
+  "CMakeFiles/dcmesh_core.dir/src/presets.cpp.o"
+  "CMakeFiles/dcmesh_core.dir/src/presets.cpp.o.d"
+  "libdcmesh_core.a"
+  "libdcmesh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcmesh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

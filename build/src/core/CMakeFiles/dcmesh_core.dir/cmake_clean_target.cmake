@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcmesh_core.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lfd/src/calc_energy.cpp" "src/lfd/CMakeFiles/lfd.dir/src/calc_energy.cpp.o" "gcc" "src/lfd/CMakeFiles/lfd.dir/src/calc_energy.cpp.o.d"
+  "/root/repo/src/lfd/src/current.cpp" "src/lfd/CMakeFiles/lfd.dir/src/current.cpp.o" "gcc" "src/lfd/CMakeFiles/lfd.dir/src/current.cpp.o.d"
+  "/root/repo/src/lfd/src/engine.cpp" "src/lfd/CMakeFiles/lfd.dir/src/engine.cpp.o" "gcc" "src/lfd/CMakeFiles/lfd.dir/src/engine.cpp.o.d"
+  "/root/repo/src/lfd/src/forces.cpp" "src/lfd/CMakeFiles/lfd.dir/src/forces.cpp.o" "gcc" "src/lfd/CMakeFiles/lfd.dir/src/forces.cpp.o.d"
+  "/root/repo/src/lfd/src/hamiltonian.cpp" "src/lfd/CMakeFiles/lfd.dir/src/hamiltonian.cpp.o" "gcc" "src/lfd/CMakeFiles/lfd.dir/src/hamiltonian.cpp.o.d"
+  "/root/repo/src/lfd/src/init.cpp" "src/lfd/CMakeFiles/lfd.dir/src/init.cpp.o" "gcc" "src/lfd/CMakeFiles/lfd.dir/src/init.cpp.o.d"
+  "/root/repo/src/lfd/src/nlp_prop.cpp" "src/lfd/CMakeFiles/lfd.dir/src/nlp_prop.cpp.o" "gcc" "src/lfd/CMakeFiles/lfd.dir/src/nlp_prop.cpp.o.d"
+  "/root/repo/src/lfd/src/observables.cpp" "src/lfd/CMakeFiles/lfd.dir/src/observables.cpp.o" "gcc" "src/lfd/CMakeFiles/lfd.dir/src/observables.cpp.o.d"
+  "/root/repo/src/lfd/src/potential.cpp" "src/lfd/CMakeFiles/lfd.dir/src/potential.cpp.o" "gcc" "src/lfd/CMakeFiles/lfd.dir/src/potential.cpp.o.d"
+  "/root/repo/src/lfd/src/remap_occ.cpp" "src/lfd/CMakeFiles/lfd.dir/src/remap_occ.cpp.o" "gcc" "src/lfd/CMakeFiles/lfd.dir/src/remap_occ.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/dcmesh_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/qxmd/CMakeFiles/qxmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/minimkl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcmesh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

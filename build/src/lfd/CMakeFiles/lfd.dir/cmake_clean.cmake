@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfd.dir/src/calc_energy.cpp.o"
+  "CMakeFiles/lfd.dir/src/calc_energy.cpp.o.d"
+  "CMakeFiles/lfd.dir/src/current.cpp.o"
+  "CMakeFiles/lfd.dir/src/current.cpp.o.d"
+  "CMakeFiles/lfd.dir/src/engine.cpp.o"
+  "CMakeFiles/lfd.dir/src/engine.cpp.o.d"
+  "CMakeFiles/lfd.dir/src/forces.cpp.o"
+  "CMakeFiles/lfd.dir/src/forces.cpp.o.d"
+  "CMakeFiles/lfd.dir/src/hamiltonian.cpp.o"
+  "CMakeFiles/lfd.dir/src/hamiltonian.cpp.o.d"
+  "CMakeFiles/lfd.dir/src/init.cpp.o"
+  "CMakeFiles/lfd.dir/src/init.cpp.o.d"
+  "CMakeFiles/lfd.dir/src/nlp_prop.cpp.o"
+  "CMakeFiles/lfd.dir/src/nlp_prop.cpp.o.d"
+  "CMakeFiles/lfd.dir/src/observables.cpp.o"
+  "CMakeFiles/lfd.dir/src/observables.cpp.o.d"
+  "CMakeFiles/lfd.dir/src/potential.cpp.o"
+  "CMakeFiles/lfd.dir/src/potential.cpp.o.d"
+  "CMakeFiles/lfd.dir/src/remap_occ.cpp.o"
+  "CMakeFiles/lfd.dir/src/remap_occ.cpp.o.d"
+  "liblfd.a"
+  "liblfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

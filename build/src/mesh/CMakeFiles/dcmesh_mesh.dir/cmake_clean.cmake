@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcmesh_mesh.dir/src/poisson.cpp.o"
+  "CMakeFiles/dcmesh_mesh.dir/src/poisson.cpp.o.d"
+  "CMakeFiles/dcmesh_mesh.dir/src/stencil.cpp.o"
+  "CMakeFiles/dcmesh_mesh.dir/src/stencil.cpp.o.d"
+  "libdcmesh_mesh.a"
+  "libdcmesh_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcmesh_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qxmd/src/atoms.cpp" "src/qxmd/CMakeFiles/qxmd.dir/src/atoms.cpp.o" "gcc" "src/qxmd/CMakeFiles/qxmd.dir/src/atoms.cpp.o.d"
+  "/root/repo/src/qxmd/src/cholesky.cpp" "src/qxmd/CMakeFiles/qxmd.dir/src/cholesky.cpp.o" "gcc" "src/qxmd/CMakeFiles/qxmd.dir/src/cholesky.cpp.o.d"
+  "/root/repo/src/qxmd/src/davidson.cpp" "src/qxmd/CMakeFiles/qxmd.dir/src/davidson.cpp.o" "gcc" "src/qxmd/CMakeFiles/qxmd.dir/src/davidson.cpp.o.d"
+  "/root/repo/src/qxmd/src/eigen.cpp" "src/qxmd/CMakeFiles/qxmd.dir/src/eigen.cpp.o" "gcc" "src/qxmd/CMakeFiles/qxmd.dir/src/eigen.cpp.o.d"
+  "/root/repo/src/qxmd/src/pair_potential.cpp" "src/qxmd/CMakeFiles/qxmd.dir/src/pair_potential.cpp.o" "gcc" "src/qxmd/CMakeFiles/qxmd.dir/src/pair_potential.cpp.o.d"
+  "/root/repo/src/qxmd/src/scf.cpp" "src/qxmd/CMakeFiles/qxmd.dir/src/scf.cpp.o" "gcc" "src/qxmd/CMakeFiles/qxmd.dir/src/scf.cpp.o.d"
+  "/root/repo/src/qxmd/src/shadow.cpp" "src/qxmd/CMakeFiles/qxmd.dir/src/shadow.cpp.o" "gcc" "src/qxmd/CMakeFiles/qxmd.dir/src/shadow.cpp.o.d"
+  "/root/repo/src/qxmd/src/supercell.cpp" "src/qxmd/CMakeFiles/qxmd.dir/src/supercell.cpp.o" "gcc" "src/qxmd/CMakeFiles/qxmd.dir/src/supercell.cpp.o.d"
+  "/root/repo/src/qxmd/src/thermostat.cpp" "src/qxmd/CMakeFiles/qxmd.dir/src/thermostat.cpp.o" "gcc" "src/qxmd/CMakeFiles/qxmd.dir/src/thermostat.cpp.o.d"
+  "/root/repo/src/qxmd/src/verlet.cpp" "src/qxmd/CMakeFiles/qxmd.dir/src/verlet.cpp.o" "gcc" "src/qxmd/CMakeFiles/qxmd.dir/src/verlet.cpp.o.d"
+  "/root/repo/src/qxmd/src/xyz.cpp" "src/qxmd/CMakeFiles/qxmd.dir/src/xyz.cpp.o" "gcc" "src/qxmd/CMakeFiles/qxmd.dir/src/xyz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blas/CMakeFiles/minimkl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcmesh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

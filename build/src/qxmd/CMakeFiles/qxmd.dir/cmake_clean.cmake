@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qxmd.dir/src/atoms.cpp.o"
+  "CMakeFiles/qxmd.dir/src/atoms.cpp.o.d"
+  "CMakeFiles/qxmd.dir/src/cholesky.cpp.o"
+  "CMakeFiles/qxmd.dir/src/cholesky.cpp.o.d"
+  "CMakeFiles/qxmd.dir/src/davidson.cpp.o"
+  "CMakeFiles/qxmd.dir/src/davidson.cpp.o.d"
+  "CMakeFiles/qxmd.dir/src/eigen.cpp.o"
+  "CMakeFiles/qxmd.dir/src/eigen.cpp.o.d"
+  "CMakeFiles/qxmd.dir/src/pair_potential.cpp.o"
+  "CMakeFiles/qxmd.dir/src/pair_potential.cpp.o.d"
+  "CMakeFiles/qxmd.dir/src/scf.cpp.o"
+  "CMakeFiles/qxmd.dir/src/scf.cpp.o.d"
+  "CMakeFiles/qxmd.dir/src/shadow.cpp.o"
+  "CMakeFiles/qxmd.dir/src/shadow.cpp.o.d"
+  "CMakeFiles/qxmd.dir/src/supercell.cpp.o"
+  "CMakeFiles/qxmd.dir/src/supercell.cpp.o.d"
+  "CMakeFiles/qxmd.dir/src/thermostat.cpp.o"
+  "CMakeFiles/qxmd.dir/src/thermostat.cpp.o.d"
+  "CMakeFiles/qxmd.dir/src/verlet.cpp.o"
+  "CMakeFiles/qxmd.dir/src/verlet.cpp.o.d"
+  "CMakeFiles/qxmd.dir/src/xyz.cpp.o"
+  "CMakeFiles/qxmd.dir/src/xyz.cpp.o.d"
+  "libqxmd.a"
+  "libqxmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qxmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qxmd.
+# This may be replaced when dependencies are built.

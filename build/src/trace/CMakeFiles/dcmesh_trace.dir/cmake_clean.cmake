@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcmesh_trace.dir/src/unitrace.cpp.o"
+  "CMakeFiles/dcmesh_trace.dir/src/unitrace.cpp.o.d"
+  "libdcmesh_trace.a"
+  "libdcmesh_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcmesh_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

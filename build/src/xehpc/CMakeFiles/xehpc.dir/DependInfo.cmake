@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xehpc/src/app_model.cpp" "src/xehpc/CMakeFiles/xehpc.dir/src/app_model.cpp.o" "gcc" "src/xehpc/CMakeFiles/xehpc.dir/src/app_model.cpp.o.d"
+  "/root/repo/src/xehpc/src/device.cpp" "src/xehpc/CMakeFiles/xehpc.dir/src/device.cpp.o" "gcc" "src/xehpc/CMakeFiles/xehpc.dir/src/device.cpp.o.d"
+  "/root/repo/src/xehpc/src/energy.cpp" "src/xehpc/CMakeFiles/xehpc.dir/src/energy.cpp.o" "gcc" "src/xehpc/CMakeFiles/xehpc.dir/src/energy.cpp.o.d"
+  "/root/repo/src/xehpc/src/roofline.cpp" "src/xehpc/CMakeFiles/xehpc.dir/src/roofline.cpp.o" "gcc" "src/xehpc/CMakeFiles/xehpc.dir/src/roofline.cpp.o.d"
+  "/root/repo/src/xehpc/src/scaling.cpp" "src/xehpc/CMakeFiles/xehpc.dir/src/scaling.cpp.o" "gcc" "src/xehpc/CMakeFiles/xehpc.dir/src/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blas/CMakeFiles/minimkl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcmesh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

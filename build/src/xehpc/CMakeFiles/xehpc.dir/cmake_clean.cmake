@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xehpc.dir/src/app_model.cpp.o"
+  "CMakeFiles/xehpc.dir/src/app_model.cpp.o.d"
+  "CMakeFiles/xehpc.dir/src/device.cpp.o"
+  "CMakeFiles/xehpc.dir/src/device.cpp.o.d"
+  "CMakeFiles/xehpc.dir/src/energy.cpp.o"
+  "CMakeFiles/xehpc.dir/src/energy.cpp.o.d"
+  "CMakeFiles/xehpc.dir/src/roofline.cpp.o"
+  "CMakeFiles/xehpc.dir/src/roofline.cpp.o.d"
+  "CMakeFiles/xehpc.dir/src/scaling.cpp.o"
+  "CMakeFiles/xehpc.dir/src/scaling.cpp.o.d"
+  "libxehpc.a"
+  "libxehpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xehpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

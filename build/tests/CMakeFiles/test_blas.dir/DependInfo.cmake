@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/blas/test_cblas_compat.cpp" "tests/CMakeFiles/test_blas.dir/blas/test_cblas_compat.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/test_cblas_compat.cpp.o.d"
+  "/root/repo/tests/blas/test_compute_mode.cpp" "tests/CMakeFiles/test_blas.dir/blas/test_compute_mode.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/test_compute_mode.cpp.o.d"
+  "/root/repo/tests/blas/test_gemm_batch.cpp" "tests/CMakeFiles/test_blas.dir/blas/test_gemm_batch.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/test_gemm_batch.cpp.o.d"
+  "/root/repo/tests/blas/test_gemm_complex.cpp" "tests/CMakeFiles/test_blas.dir/blas/test_gemm_complex.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/test_gemm_complex.cpp.o.d"
+  "/root/repo/tests/blas/test_gemm_fuzz.cpp" "tests/CMakeFiles/test_blas.dir/blas/test_gemm_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/test_gemm_fuzz.cpp.o.d"
+  "/root/repo/tests/blas/test_gemm_real.cpp" "tests/CMakeFiles/test_blas.dir/blas/test_gemm_real.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/test_gemm_real.cpp.o.d"
+  "/root/repo/tests/blas/test_level1.cpp" "tests/CMakeFiles/test_blas.dir/blas/test_level1.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/test_level1.cpp.o.d"
+  "/root/repo/tests/blas/test_level2_rank_k.cpp" "tests/CMakeFiles/test_blas.dir/blas/test_level2_rank_k.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/test_level2_rank_k.cpp.o.d"
+  "/root/repo/tests/blas/test_split.cpp" "tests/CMakeFiles/test_blas.dir/blas/test_split.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/test_split.cpp.o.d"
+  "/root/repo/tests/blas/test_split_gemm.cpp" "tests/CMakeFiles/test_blas.dir/blas/test_split_gemm.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/test_split_gemm.cpp.o.d"
+  "/root/repo/tests/blas/test_trsm.cpp" "tests/CMakeFiles/test_blas.dir/blas/test_trsm.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/test_trsm.cpp.o.d"
+  "/root/repo/tests/blas/test_verbose.cpp" "tests/CMakeFiles/test_blas.dir/blas/test_verbose.cpp.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/test_verbose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcmesh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfd/CMakeFiles/lfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/qxmd/CMakeFiles/qxmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/dcmesh_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/xehpc/CMakeFiles/xehpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcmesh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/minimkl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcmesh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas.dir/blas/test_cblas_compat.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_cblas_compat.cpp.o.d"
+  "CMakeFiles/test_blas.dir/blas/test_compute_mode.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_compute_mode.cpp.o.d"
+  "CMakeFiles/test_blas.dir/blas/test_gemm_batch.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_gemm_batch.cpp.o.d"
+  "CMakeFiles/test_blas.dir/blas/test_gemm_complex.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_gemm_complex.cpp.o.d"
+  "CMakeFiles/test_blas.dir/blas/test_gemm_fuzz.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_gemm_fuzz.cpp.o.d"
+  "CMakeFiles/test_blas.dir/blas/test_gemm_real.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_gemm_real.cpp.o.d"
+  "CMakeFiles/test_blas.dir/blas/test_level1.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_level1.cpp.o.d"
+  "CMakeFiles/test_blas.dir/blas/test_level2_rank_k.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_level2_rank_k.cpp.o.d"
+  "CMakeFiles/test_blas.dir/blas/test_split.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_split.cpp.o.d"
+  "CMakeFiles/test_blas.dir/blas/test_split_gemm.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_split_gemm.cpp.o.d"
+  "CMakeFiles/test_blas.dir/blas/test_trsm.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_trsm.cpp.o.d"
+  "CMakeFiles/test_blas.dir/blas/test_verbose.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_verbose.cpp.o.d"
+  "test_blas"
+  "test_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_bf16.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_bf16.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_env.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_env.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_matrix.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_matrix.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_spectrum.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_spectrum.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_tf32_fp16.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_tf32_fp16.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

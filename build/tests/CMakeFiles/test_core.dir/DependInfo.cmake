@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_checkpoint.cpp" "tests/CMakeFiles/test_core.dir/core/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/core/test_config.cpp" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o.d"
+  "/root/repo/tests/core/test_driver.cpp" "tests/CMakeFiles/test_core.dir/core/test_driver.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_driver.cpp.o.d"
+  "/root/repo/tests/core/test_hartree.cpp" "tests/CMakeFiles/test_core.dir/core/test_hartree.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_hartree.cpp.o.d"
+  "/root/repo/tests/core/test_output.cpp" "tests/CMakeFiles/test_core.dir/core/test_output.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_output.cpp.o.d"
+  "/root/repo/tests/core/test_presets.cpp" "tests/CMakeFiles/test_core.dir/core/test_presets.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_presets.cpp.o.d"
+  "/root/repo/tests/core/test_trace.cpp" "tests/CMakeFiles/test_core.dir/core/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcmesh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfd/CMakeFiles/lfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/qxmd/CMakeFiles/qxmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/dcmesh_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/xehpc/CMakeFiles/xehpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcmesh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/minimkl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcmesh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_checkpoint.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_checkpoint.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_config.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_config.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_driver.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_driver.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_hartree.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_hartree.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_output.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_output.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_presets.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_presets.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_trace.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_trace.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

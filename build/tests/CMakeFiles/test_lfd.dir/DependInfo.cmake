@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lfd/test_calc_energy.cpp" "tests/CMakeFiles/test_lfd.dir/lfd/test_calc_energy.cpp.o" "gcc" "tests/CMakeFiles/test_lfd.dir/lfd/test_calc_energy.cpp.o.d"
+  "/root/repo/tests/lfd/test_current.cpp" "tests/CMakeFiles/test_lfd.dir/lfd/test_current.cpp.o" "gcc" "tests/CMakeFiles/test_lfd.dir/lfd/test_current.cpp.o.d"
+  "/root/repo/tests/lfd/test_engine.cpp" "tests/CMakeFiles/test_lfd.dir/lfd/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_lfd.dir/lfd/test_engine.cpp.o.d"
+  "/root/repo/tests/lfd/test_forces.cpp" "tests/CMakeFiles/test_lfd.dir/lfd/test_forces.cpp.o" "gcc" "tests/CMakeFiles/test_lfd.dir/lfd/test_forces.cpp.o.d"
+  "/root/repo/tests/lfd/test_hamiltonian.cpp" "tests/CMakeFiles/test_lfd.dir/lfd/test_hamiltonian.cpp.o" "gcc" "tests/CMakeFiles/test_lfd.dir/lfd/test_hamiltonian.cpp.o.d"
+  "/root/repo/tests/lfd/test_nlp_prop.cpp" "tests/CMakeFiles/test_lfd.dir/lfd/test_nlp_prop.cpp.o" "gcc" "tests/CMakeFiles/test_lfd.dir/lfd/test_nlp_prop.cpp.o.d"
+  "/root/repo/tests/lfd/test_observables.cpp" "tests/CMakeFiles/test_lfd.dir/lfd/test_observables.cpp.o" "gcc" "tests/CMakeFiles/test_lfd.dir/lfd/test_observables.cpp.o.d"
+  "/root/repo/tests/lfd/test_potential.cpp" "tests/CMakeFiles/test_lfd.dir/lfd/test_potential.cpp.o" "gcc" "tests/CMakeFiles/test_lfd.dir/lfd/test_potential.cpp.o.d"
+  "/root/repo/tests/lfd/test_propagators.cpp" "tests/CMakeFiles/test_lfd.dir/lfd/test_propagators.cpp.o" "gcc" "tests/CMakeFiles/test_lfd.dir/lfd/test_propagators.cpp.o.d"
+  "/root/repo/tests/lfd/test_remap_occ.cpp" "tests/CMakeFiles/test_lfd.dir/lfd/test_remap_occ.cpp.o" "gcc" "tests/CMakeFiles/test_lfd.dir/lfd/test_remap_occ.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcmesh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfd/CMakeFiles/lfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/qxmd/CMakeFiles/qxmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/dcmesh_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/xehpc/CMakeFiles/xehpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcmesh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/minimkl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcmesh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lfd.dir/lfd/test_calc_energy.cpp.o"
+  "CMakeFiles/test_lfd.dir/lfd/test_calc_energy.cpp.o.d"
+  "CMakeFiles/test_lfd.dir/lfd/test_current.cpp.o"
+  "CMakeFiles/test_lfd.dir/lfd/test_current.cpp.o.d"
+  "CMakeFiles/test_lfd.dir/lfd/test_engine.cpp.o"
+  "CMakeFiles/test_lfd.dir/lfd/test_engine.cpp.o.d"
+  "CMakeFiles/test_lfd.dir/lfd/test_forces.cpp.o"
+  "CMakeFiles/test_lfd.dir/lfd/test_forces.cpp.o.d"
+  "CMakeFiles/test_lfd.dir/lfd/test_hamiltonian.cpp.o"
+  "CMakeFiles/test_lfd.dir/lfd/test_hamiltonian.cpp.o.d"
+  "CMakeFiles/test_lfd.dir/lfd/test_nlp_prop.cpp.o"
+  "CMakeFiles/test_lfd.dir/lfd/test_nlp_prop.cpp.o.d"
+  "CMakeFiles/test_lfd.dir/lfd/test_observables.cpp.o"
+  "CMakeFiles/test_lfd.dir/lfd/test_observables.cpp.o.d"
+  "CMakeFiles/test_lfd.dir/lfd/test_potential.cpp.o"
+  "CMakeFiles/test_lfd.dir/lfd/test_potential.cpp.o.d"
+  "CMakeFiles/test_lfd.dir/lfd/test_propagators.cpp.o"
+  "CMakeFiles/test_lfd.dir/lfd/test_propagators.cpp.o.d"
+  "CMakeFiles/test_lfd.dir/lfd/test_remap_occ.cpp.o"
+  "CMakeFiles/test_lfd.dir/lfd/test_remap_occ.cpp.o.d"
+  "test_lfd"
+  "test_lfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh.dir/mesh/test_grid.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_grid.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_laser.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_laser.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_poisson.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_poisson.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_stencil.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_stencil.cpp.o.d"
+  "test_mesh"
+  "test_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/qxmd/test_cholesky.cpp" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_cholesky.cpp.o" "gcc" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_cholesky.cpp.o.d"
+  "/root/repo/tests/qxmd/test_davidson.cpp" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_davidson.cpp.o" "gcc" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_davidson.cpp.o.d"
+  "/root/repo/tests/qxmd/test_eigen.cpp" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_eigen.cpp.o" "gcc" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_eigen.cpp.o.d"
+  "/root/repo/tests/qxmd/test_pair_potential.cpp" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_pair_potential.cpp.o" "gcc" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_pair_potential.cpp.o.d"
+  "/root/repo/tests/qxmd/test_scf.cpp" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_scf.cpp.o" "gcc" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_scf.cpp.o.d"
+  "/root/repo/tests/qxmd/test_shadow.cpp" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_shadow.cpp.o" "gcc" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_shadow.cpp.o.d"
+  "/root/repo/tests/qxmd/test_supercell.cpp" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_supercell.cpp.o" "gcc" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_supercell.cpp.o.d"
+  "/root/repo/tests/qxmd/test_thermostat.cpp" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_thermostat.cpp.o" "gcc" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_thermostat.cpp.o.d"
+  "/root/repo/tests/qxmd/test_verlet.cpp" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_verlet.cpp.o" "gcc" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_verlet.cpp.o.d"
+  "/root/repo/tests/qxmd/test_xyz.cpp" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_xyz.cpp.o" "gcc" "tests/CMakeFiles/test_qxmd.dir/qxmd/test_xyz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcmesh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfd/CMakeFiles/lfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/qxmd/CMakeFiles/qxmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/dcmesh_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/xehpc/CMakeFiles/xehpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcmesh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/minimkl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcmesh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qxmd.dir/qxmd/test_cholesky.cpp.o"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_cholesky.cpp.o.d"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_davidson.cpp.o"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_davidson.cpp.o.d"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_eigen.cpp.o"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_eigen.cpp.o.d"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_pair_potential.cpp.o"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_pair_potential.cpp.o.d"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_scf.cpp.o"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_scf.cpp.o.d"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_shadow.cpp.o"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_shadow.cpp.o.d"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_supercell.cpp.o"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_supercell.cpp.o.d"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_thermostat.cpp.o"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_thermostat.cpp.o.d"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_verlet.cpp.o"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_verlet.cpp.o.d"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_xyz.cpp.o"
+  "CMakeFiles/test_qxmd.dir/qxmd/test_xyz.cpp.o.d"
+  "test_qxmd"
+  "test_qxmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qxmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

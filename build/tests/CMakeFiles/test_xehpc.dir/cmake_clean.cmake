@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xehpc.dir/xehpc/test_app_model.cpp.o"
+  "CMakeFiles/test_xehpc.dir/xehpc/test_app_model.cpp.o.d"
+  "CMakeFiles/test_xehpc.dir/xehpc/test_device.cpp.o"
+  "CMakeFiles/test_xehpc.dir/xehpc/test_device.cpp.o.d"
+  "CMakeFiles/test_xehpc.dir/xehpc/test_energy.cpp.o"
+  "CMakeFiles/test_xehpc.dir/xehpc/test_energy.cpp.o.d"
+  "CMakeFiles/test_xehpc.dir/xehpc/test_roofline.cpp.o"
+  "CMakeFiles/test_xehpc.dir/xehpc/test_roofline.cpp.o.d"
+  "CMakeFiles/test_xehpc.dir/xehpc/test_scaling.cpp.o"
+  "CMakeFiles/test_xehpc.dir/xehpc/test_scaling.cpp.o.d"
+  "test_xehpc"
+  "test_xehpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xehpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;dcmesh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_blas "/root/repo/build/tests/test_blas")
+set_tests_properties(test_blas PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;dcmesh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_xehpc "/root/repo/build/tests/test_xehpc")
+set_tests_properties(test_xehpc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;40;dcmesh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mesh "/root/repo/build/tests/test_mesh")
+set_tests_properties(test_mesh PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;48;dcmesh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_qxmd "/root/repo/build/tests/test_qxmd")
+set_tests_properties(test_qxmd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;55;dcmesh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_lfd "/root/repo/build/tests/test_lfd")
+set_tests_properties(test_lfd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;68;dcmesh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;81;dcmesh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;91;dcmesh_add_test;/root/repo/tests/CMakeLists.txt;0;")
