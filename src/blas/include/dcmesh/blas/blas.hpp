@@ -18,6 +18,7 @@
 
 #include <complex>
 #include <cstdint>
+#include <string_view>
 
 #include "dcmesh/blas/compute_mode.hpp"
 #include "dcmesh/common/matrix.hpp"
@@ -62,12 +63,15 @@ void zgemm(transpose transa, transpose transb, blas_int m, blas_int n,
            const std::complex<double>* b, blas_int ldb,
            std::complex<double> beta, std::complex<double>* c, blas_int ldc);
 
-/// Generic view-based convenience overload; dispatches to the typed entry
-/// point for T in {float, double, complex<float>, complex<double>}.
-/// C must have op(A).rows x op(B).cols shape.
+/// Generic view-based convenience overload; builds a gemm_call<T> descriptor
+/// and dispatches through run() for T in {float, double, complex<float>,
+/// complex<double>}.  C must have op(A).rows x op(B).cols shape.
+/// `call_site` tags the call for the per-site precision policy engine (see
+/// precision_policy.hpp); empty = untagged, exactly the legacy behaviour.
 template <typename T>
 void gemm(transpose transa, transpose transb, T alpha, const_matrix_view<T> a,
-          const_matrix_view<T> b, T beta, matrix_view<T> c);
+          const_matrix_view<T> b, T beta, matrix_view<T> c,
+          std::string_view call_site = {});
 
 /// Number of real floating-point operations a standard GEMM performs
 /// (2mnk for real, 8mnk for complex 4M arithmetic).

@@ -59,15 +59,24 @@ compute_mode_registry() noexcept;
 [[nodiscard]] std::optional<compute_mode> parse_compute_mode(
     std::string_view token) noexcept;
 
-/// The process-wide active mode.  Resolution order, matching oneMKL:
-///  1. a value set through set_compute_mode() (the "dedicated API"),
-///  2. the MKL_BLAS_COMPUTE_MODE environment variable,
-///  3. compute_mode::standard.
+/// The active mode as seen by the calling thread.  Resolution order,
+/// matching oneMKL plus the scoped extension:
+///  1. a scoped_compute_mode active on *this thread* (thread-local),
+///  2. a value set through set_compute_mode() (the "dedicated API",
+///     *process-wide*: every thread sees it),
+///  3. the MKL_BLAS_COMPUTE_MODE environment variable (process-wide),
+///  4. compute_mode::standard.
 /// The environment variable is re-read on every query so tests/examples can
 /// flip it at run time, as the paper's artifact instructions do.
+///
+/// Note: tagged calls resolve through resolve_compute_mode() in
+/// precision_policy.hpp, which inserts per-site policies between layers
+/// 1 and 2; for untagged calls the two resolutions are identical.
 [[nodiscard]] compute_mode active_compute_mode();
 
 /// Programmatically force a mode (overrides the environment variable).
+/// Process-wide: affects every thread, like mkl_set_* APIs.  A thread's
+/// scoped_compute_mode still takes precedence on that thread.
 void set_compute_mode(compute_mode mode);
 
 /// Drop any programmatic override and fall back to the environment.
@@ -76,6 +85,12 @@ void clear_compute_mode();
 /// RAII scope that forces a mode for the current thread's BLAS calls and
 /// restores the previous state on destruction.  This is the paper's
 /// future-work item — per-call-site precision — implemented.
+///
+/// Thread-local by design: the override is invisible to other threads
+/// (they keep resolving through set_compute_mode()/the environment), it
+/// does not follow work handed to a thread pool, and a scope constructed
+/// on one thread must be destroyed on the same thread.  Scopes nest per
+/// thread; destruction restores that thread's previous scoped state.
 class scoped_compute_mode {
  public:
   explicit scoped_compute_mode(compute_mode mode);
@@ -87,6 +102,16 @@ class scoped_compute_mode {
   bool had_previous_;
   compute_mode previous_;
 };
+
+/// The calling thread's scoped override, if a scoped_compute_mode is
+/// active on it (layer 1 of the resolution order).
+[[nodiscard]] std::optional<compute_mode> scoped_mode_override() noexcept;
+
+/// The process-wide set_compute_mode() override, if set (layer 2).
+[[nodiscard]] std::optional<compute_mode> api_mode_override();
+
+/// The mode requested by MKL_BLAS_COMPUTE_MODE, if set and valid (layer 3).
+[[nodiscard]] std::optional<compute_mode> env_mode_override();
 
 /// Name of the controlling environment variable.
 inline constexpr std::string_view kComputeModeEnvVar =

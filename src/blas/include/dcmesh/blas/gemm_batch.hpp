@@ -8,6 +8,7 @@
 // base + i * stride.
 
 #include <complex>
+#include <string_view>
 
 #include "dcmesh/blas/blas.hpp"
 
@@ -18,11 +19,15 @@ namespace dcmesh::blas {
 /// beta (the MKL "strided" flavour).  Strides must be large enough that
 /// operands do not alias within the batch (>= the operand's footprint);
 /// stride 0 is allowed for A or B (shared operand), not for C.
+/// Every problem dispatches through the gemm_call descriptor path under
+/// the shared `call_site` tag, so per-site precision policies (and the
+/// accuracy guard) apply to batched products exactly like to plain gemm.
 template <typename T>
 void gemm_batch_strided(transpose transa, transpose transb, blas_int m,
                         blas_int n, blas_int k, T alpha, const T* a,
                         blas_int lda, blas_int stride_a, const T* b,
                         blas_int ldb, blas_int stride_b, T beta, T* c,
-                        blas_int ldc, blas_int stride_c, blas_int batch);
+                        blas_int ldc, blas_int stride_c, blas_int batch,
+                        std::string_view call_site = {});
 
 }  // namespace dcmesh::blas

@@ -8,6 +8,7 @@
 // run through the same machinery as gemm).
 
 #include <complex>
+#include <string_view>
 
 #include "dcmesh/blas/blas.hpp"
 
@@ -19,17 +20,21 @@ enum class uplo : char { upper = 'U', lower = 'L' };
 /// C <- alpha*op(A)*op(A)^T + beta*C with C symmetric (real).
 /// trans == none: op(A) = A (n x k); trans == trans: op(A) = A^T (k x n
 /// stored).  Only the `u` triangle of C is read; the full matrix is
-/// written symmetrically.
+/// written symmetrically.  `call_site` tags the underlying product for the
+/// per-site precision policy engine (empty = untagged).
 template <typename T>
 void syrk(uplo u, transpose trans, blas_int n, blas_int k, T alpha,
-          const T* a, blas_int lda, T beta, T* c, blas_int ldc);
+          const T* a, blas_int lda, T beta, T* c, blas_int ldc,
+          std::string_view call_site = {});
 
 /// C <- alpha*op(A)*op(A)^H + beta*C with C Hermitian; alpha and beta are
 /// real, and the diagonal of C is kept exactly real.
 /// trans == none: op(A) = A (n x k); trans == conj_trans: op(A) = A^H.
+/// `call_site` tags the underlying product for the per-site precision
+/// policy engine (empty = untagged).
 template <typename R>
 void herk(uplo u, transpose trans, blas_int n, blas_int k, R alpha,
           const std::complex<R>* a, blas_int lda, R beta,
-          std::complex<R>* c, blas_int ldc);
+          std::complex<R>* c, blas_int ldc, std::string_view call_site = {});
 
 }  // namespace dcmesh::blas

@@ -6,6 +6,7 @@
 // Psi <- Psi L^-H via trsm).  Column-major, reference-BLAS semantics.
 
 #include <complex>
+#include <string_view>
 
 #include "dcmesh/blas/blas.hpp"
 #include "dcmesh/blas/rank_k.hpp"  // uplo
@@ -23,8 +24,13 @@ enum class diag : char { non_unit = 'N', unit = 'U' };
 /// (right) triangular per `u`; op per `trans` (conj_trans conjugates).
 /// Throws std::invalid_argument on malformed arguments or a zero pivot
 /// with diag::non_unit.
+/// Triangular solves always run standard arithmetic (alternative compute
+/// modes never apply — a low-precision divide would poison the solve), but
+/// every call is timed and logged like the GEMM family; `call_site` tags
+/// the record for MKL_VERBOSE/JSONL attribution.
 template <typename T>
 void trsm(side s, uplo u, transpose trans, diag d, blas_int m, blas_int n,
-          T alpha, const T* a, blas_int lda, T* b, blas_int ldb);
+          T alpha, const T* a, blas_int lda, T* b, blas_int ldb,
+          std::string_view call_site = {});
 
 }  // namespace dcmesh::blas

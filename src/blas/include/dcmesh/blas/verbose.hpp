@@ -7,6 +7,13 @@
 // level-3 call prints one line in the MKL format; independent of printing,
 // the most recent calls are kept in an in-process log that benches and
 // tests can query programmatically.
+//
+// With the per-site precision policy engine each record additionally
+// carries the call-site tag, where the resolved mode came from, and the
+// accuracy-guard verdict.  The text line keeps the MKL_VERBOSE-compatible
+// prefix unchanged (extra fields are appended after it), and a
+// machine-readable JSONL sink mirrors every record to the file named by
+// MKL_VERBOSE_JSON, one JSON object per line.
 
 #include <cstdint>
 #include <string>
@@ -14,8 +21,19 @@
 #include <vector>
 
 #include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/blas/precision_policy.hpp"
 
 namespace dcmesh::blas {
+
+/// Accuracy-guard outcome of one call.
+enum class fallback_verdict {
+  none,      ///< Call was not guarded (no guard check ran).
+  passed,    ///< Guard check ran; residual within tolerance at first try.
+  promoted,  ///< Residual exceeded tolerance; call re-ran at higher mode.
+};
+
+/// Display name of a verdict: "none", "passed", "promoted".
+[[nodiscard]] std::string_view name(fallback_verdict verdict) noexcept;
 
 /// One recorded level-3 call.
 struct call_record {
@@ -30,10 +48,26 @@ struct call_record {
   std::int64_t ldc = 0;
   double seconds = 0.0;        ///< Wall time of the call on this host.
   double flops = 0.0;          ///< Nominal standard-arithmetic flop count.
-  compute_mode mode = compute_mode::standard;
+  compute_mode mode = compute_mode::standard;  ///< Final effective mode.
 
-  /// Render in the MKL_VERBOSE line format.
+  // --- policy-engine fields (defaults reproduce pre-policy records) ---
+  std::string call_site;       ///< Site tag; empty for untagged calls.
+  /// Which resolution layer produced the mode (see precision_policy.hpp).
+  policy_source source = policy_source::standard_default;
+  /// Mode the policy resolved before any guard promotion (== mode unless
+  /// the guard promoted the call).
+  compute_mode requested_mode = compute_mode::standard;
+  fallback_verdict fallback = fallback_verdict::none;
+  double guard_residual = 0.0; ///< Sampled relative residual (guarded only).
+  int attempts = 1;            ///< Arithmetic runs (1 = no re-run).
+
+  /// Render in the MKL_VERBOSE line format.  The prefix through "mode:" is
+  /// byte-identical to the pre-policy format; " site:...", " src:..." and
+  /// " fallback:..." are appended only when a site/guard is present.
   [[nodiscard]] std::string to_string() const;
+
+  /// Render as one JSON object (the MKL_VERBOSE_JSON line format).
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// True when MKL_VERBOSE requests per-call lines (value >= 1).
@@ -57,5 +91,11 @@ void clear_call_log();
 
 /// Name of the controlling environment variable ("MKL_VERBOSE").
 inline constexpr std::string_view kVerboseEnvVar = "MKL_VERBOSE";
+
+/// Environment variable naming the JSONL sink file.  When set, every
+/// record is appended to that file as one JSON line, independent of
+/// MKL_VERBOSE.  The file is opened lazily and reopened when the value
+/// changes; writes are line-buffered and thread-safe.
+inline constexpr std::string_view kVerboseJsonEnvVar = "MKL_VERBOSE_JSON";
 
 }  // namespace dcmesh::blas

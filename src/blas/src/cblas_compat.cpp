@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/gemm_call.hpp"
 
 namespace {
 
@@ -18,23 +19,47 @@ transpose to_transpose(DCMESH_CBLAS_TRANSPOSE t) {
   throw std::invalid_argument("cblas: bad transpose enum");
 }
 
-/// Dispatch one gemm with layout handling: row-major computes
-/// C_col^T = op(B)^T op(A)^T by swapping operands and m/n.
-template <typename T, typename Fn>
-void layout_gemm(Fn&& typed_gemm, DCMESH_CBLAS_LAYOUT layout,
-                 DCMESH_CBLAS_TRANSPOSE transa,
+/// Build and run one gemm_call descriptor with layout handling: row-major
+/// computes C_col^T = op(B)^T op(A)^T by swapping operands and m/n.  The C
+/// ABI carries no site tag, so CBLAS calls dispatch untagged — they still
+/// obey the global compute mode and scoped/api overrides through the same
+/// descriptor path as every other entry point.
+template <typename T>
+void layout_gemm(DCMESH_CBLAS_LAYOUT layout, DCMESH_CBLAS_TRANSPOSE transa,
                  DCMESH_CBLAS_TRANSPOSE transb, int m, int n, int k,
                  T alpha, const T* a, int lda, const T* b, int ldb, T beta,
                  T* c, int ldc) {
   const transpose ta = to_transpose(transa);
   const transpose tb = to_transpose(transb);
+  gemm_call<T> call;
+  call.alpha = alpha;
+  call.beta = beta;
   if (layout == DcmeshCblasColMajor) {
-    typed_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    call.transa = ta;
+    call.transb = tb;
+    call.m = m;
+    call.n = n;
+    call.k = k;
+    call.a = a;
+    call.lda = lda;
+    call.b = b;
+    call.ldb = ldb;
   } else if (layout == DcmeshCblasRowMajor) {
-    typed_gemm(tb, ta, n, m, k, alpha, b, ldb, a, lda, beta, c, ldc);
+    call.transa = tb;
+    call.transb = ta;
+    call.m = n;
+    call.n = m;
+    call.k = k;
+    call.a = b;
+    call.lda = ldb;
+    call.b = a;
+    call.ldb = lda;
   } else {
     throw std::invalid_argument("cblas: bad layout enum");
   }
+  call.c = c;
+  call.ldc = ldc;
+  run(call);
 }
 
 }  // namespace
@@ -47,9 +72,8 @@ void dcmesh_cblas_sgemm(DCMESH_CBLAS_LAYOUT layout,
                         float alpha, const float* a, int lda,
                         const float* b, int ldb, float beta, float* c,
                         int ldc) {
-  layout_gemm<float>(
-      [](auto... args) { sgemm(args...); }, layout, transa, transb, m, n,
-      k, alpha, a, lda, b, ldb, beta, c, ldc);
+  layout_gemm<float>(layout, transa, transb, m, n, k, alpha, a, lda, b,
+                     ldb, beta, c, ldc);
 }
 
 void dcmesh_cblas_dgemm(DCMESH_CBLAS_LAYOUT layout,
@@ -58,9 +82,8 @@ void dcmesh_cblas_dgemm(DCMESH_CBLAS_LAYOUT layout,
                         double alpha, const double* a, int lda,
                         const double* b, int ldb, double beta, double* c,
                         int ldc) {
-  layout_gemm<double>(
-      [](auto... args) { dgemm(args...); }, layout, transa, transb, m, n,
-      k, alpha, a, lda, b, ldb, beta, c, ldc);
+  layout_gemm<double>(layout, transa, transb, m, n, k, alpha, a, lda, b,
+                      ldb, beta, c, ldc);
 }
 
 void dcmesh_cblas_cgemm(DCMESH_CBLAS_LAYOUT layout,
@@ -70,11 +93,10 @@ void dcmesh_cblas_cgemm(DCMESH_CBLAS_LAYOUT layout,
                         const void* b, int ldb, const void* beta, void* c,
                         int ldc) {
   using C = std::complex<float>;
-  layout_gemm<C>(
-      [](auto... args) { cgemm(args...); }, layout, transa, transb, m, n,
-      k, *static_cast<const C*>(alpha), static_cast<const C*>(a), lda,
-      static_cast<const C*>(b), ldb, *static_cast<const C*>(beta),
-      static_cast<C*>(c), ldc);
+  layout_gemm<C>(layout, transa, transb, m, n, k,
+                 *static_cast<const C*>(alpha), static_cast<const C*>(a),
+                 lda, static_cast<const C*>(b), ldb,
+                 *static_cast<const C*>(beta), static_cast<C*>(c), ldc);
 }
 
 void dcmesh_cblas_zgemm(DCMESH_CBLAS_LAYOUT layout,
@@ -84,11 +106,10 @@ void dcmesh_cblas_zgemm(DCMESH_CBLAS_LAYOUT layout,
                         const void* b, int ldb, const void* beta, void* c,
                         int ldc) {
   using Z = std::complex<double>;
-  layout_gemm<Z>(
-      [](auto... args) { zgemm(args...); }, layout, transa, transb, m, n,
-      k, *static_cast<const Z*>(alpha), static_cast<const Z*>(a), lda,
-      static_cast<const Z*>(b), ldb, *static_cast<const Z*>(beta),
-      static_cast<Z*>(c), ldc);
+  layout_gemm<Z>(layout, transa, transb, m, n, k,
+                 *static_cast<const Z*>(alpha), static_cast<const Z*>(a),
+                 lda, static_cast<const Z*>(b), ldb,
+                 *static_cast<const Z*>(beta), static_cast<Z*>(c), ldc);
 }
 
 }  // extern "C"

@@ -49,15 +49,26 @@ std::optional<compute_mode> parse_compute_mode(
   return std::nullopt;
 }
 
-compute_mode active_compute_mode() {
-  if (t_scoped_mode) return *t_scoped_mode;
-  {
-    std::lock_guard lock(g_mode_mutex);
-    if (g_api_mode) return *g_api_mode;
-  }
+std::optional<compute_mode> scoped_mode_override() noexcept {
+  return t_scoped_mode;
+}
+
+std::optional<compute_mode> api_mode_override() {
+  std::lock_guard lock(g_mode_mutex);
+  return g_api_mode;
+}
+
+std::optional<compute_mode> env_mode_override() {
   if (const auto env = env_get(kComputeModeEnvVar)) {
-    if (const auto parsed = parse_compute_mode(*env)) return *parsed;
+    if (const auto parsed = parse_compute_mode(*env)) return parsed;
   }
+  return std::nullopt;
+}
+
+compute_mode active_compute_mode() {
+  if (const auto scoped = scoped_mode_override()) return *scoped;
+  if (const auto api = api_mode_override()) return *api;
+  if (const auto env = env_mode_override()) return *env;
   return compute_mode::standard;
 }
 

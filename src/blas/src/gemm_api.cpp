@@ -1,15 +1,17 @@
-// gemm_api.cpp — view-based convenience overload dispatching to the typed
-// entry points.
+// gemm_api.cpp — view-based convenience overload: shape-checks the views,
+// fills a gemm_call<T> descriptor, and dispatches through run().
 
 #include <stdexcept>
 
 #include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/gemm_call.hpp"
 
 namespace dcmesh::blas {
 
 template <typename T>
 void gemm(transpose transa, transpose transb, T alpha, const_matrix_view<T> a,
-          const_matrix_view<T> b, T beta, matrix_view<T> c) {
+          const_matrix_view<T> b, T beta, matrix_view<T> c,
+          std::string_view call_site) {
   const blas_int m =
       static_cast<blas_int>(transa == transpose::none ? a.rows : a.cols);
   const blas_int k =
@@ -23,42 +25,42 @@ void gemm(transpose transa, transpose transb, T alpha, const_matrix_view<T> a,
       static_cast<blas_int>(c.cols) != n) {
     throw std::invalid_argument("gemm: C shape mismatch");
   }
-  if constexpr (std::is_same_v<T, float>) {
-    sgemm(transa, transb, m, n, k, alpha, a.data,
-          static_cast<blas_int>(a.ld), b.data, static_cast<blas_int>(b.ld),
-          beta, c.data, static_cast<blas_int>(c.ld));
-  } else if constexpr (std::is_same_v<T, double>) {
-    dgemm(transa, transb, m, n, k, alpha, a.data,
-          static_cast<blas_int>(a.ld), b.data, static_cast<blas_int>(b.ld),
-          beta, c.data, static_cast<blas_int>(c.ld));
-  } else if constexpr (std::is_same_v<T, std::complex<float>>) {
-    cgemm(transa, transb, m, n, k, alpha, a.data,
-          static_cast<blas_int>(a.ld), b.data, static_cast<blas_int>(b.ld),
-          beta, c.data, static_cast<blas_int>(c.ld));
-  } else {
-    zgemm(transa, transb, m, n, k, alpha, a.data,
-          static_cast<blas_int>(a.ld), b.data, static_cast<blas_int>(b.ld),
-          beta, c.data, static_cast<blas_int>(c.ld));
-  }
+  gemm_call<T> call;
+  call.transa = transa;
+  call.transb = transb;
+  call.m = m;
+  call.n = n;
+  call.k = k;
+  call.alpha = alpha;
+  call.a = a.data;
+  call.lda = static_cast<blas_int>(a.ld);
+  call.b = b.data;
+  call.ldb = static_cast<blas_int>(b.ld);
+  call.beta = beta;
+  call.c = c.data;
+  call.ldc = static_cast<blas_int>(c.ld);
+  call.call_site = call_site;
+  run(call);
 }
 
 template void gemm<float>(transpose, transpose, float,
                           const_matrix_view<float>, const_matrix_view<float>,
-                          float, matrix_view<float>);
+                          float, matrix_view<float>, std::string_view);
 template void gemm<double>(transpose, transpose, double,
                            const_matrix_view<double>,
                            const_matrix_view<double>, double,
-                           matrix_view<double>);
+                           matrix_view<double>, std::string_view);
 template void gemm<std::complex<float>>(transpose, transpose,
                                         std::complex<float>,
                                         const_matrix_view<std::complex<float>>,
                                         const_matrix_view<std::complex<float>>,
                                         std::complex<float>,
-                                        matrix_view<std::complex<float>>);
+                                        matrix_view<std::complex<float>>,
+                                        std::string_view);
 template void gemm<std::complex<double>>(
     transpose, transpose, std::complex<double>,
     const_matrix_view<std::complex<double>>,
     const_matrix_view<std::complex<double>>, std::complex<double>,
-    matrix_view<std::complex<double>>);
+    matrix_view<std::complex<double>>, std::string_view);
 
 }  // namespace dcmesh::blas

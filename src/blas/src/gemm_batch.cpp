@@ -2,15 +2,18 @@
 
 #include <stdexcept>
 
+#include "dcmesh/blas/gemm_call.hpp"
+
 namespace dcmesh::blas {
 namespace {
 
-template <typename T, typename Fn>
-void run_batch(Fn&& typed_gemm, transpose transa, transpose transb,
-               blas_int m, blas_int n, blas_int k, T alpha, const T* a,
-               blas_int lda, blas_int stride_a, const T* b, blas_int ldb,
+template <typename T>
+void run_batch(transpose transa, transpose transb, blas_int m, blas_int n,
+               blas_int k, T alpha, const T* a, blas_int lda,
+               blas_int stride_a, const T* b, blas_int ldb,
                blas_int stride_b, T beta, T* c, blas_int ldc,
-               blas_int stride_c, blas_int batch) {
+               blas_int stride_c, blas_int batch,
+               std::string_view call_site) {
   if (batch < 0) throw std::invalid_argument("gemm_batch: negative batch");
   // Footprint checks: a stride of 0 shares the operand across the batch
   // (legal for inputs); output slots must not overlap.
@@ -27,64 +30,52 @@ void run_batch(Fn&& typed_gemm, transpose transa, transpose transb,
       throw std::invalid_argument("gemm_batch: stride_c overlaps");
     }
   }
+  // Each problem is one descriptor through the common dispatcher: the
+  // per-site policy resolves once per problem, and each gets its own
+  // verbose record (mirroring how MKL_VERBOSE reports batched calls).
+  gemm_call<T> call;
+  call.transa = transa;
+  call.transb = transb;
+  call.m = m;
+  call.n = n;
+  call.k = k;
+  call.alpha = alpha;
+  call.lda = lda;
+  call.ldb = ldb;
+  call.beta = beta;
+  call.ldc = ldc;
+  call.call_site = call_site;
   for (blas_int i = 0; i < batch; ++i) {
-    typed_gemm(transa, transb, m, n, k, alpha, a + i * stride_a, lda,
-               b + i * stride_b, ldb, beta, c + i * stride_c, ldc);
+    call.a = a + i * stride_a;
+    call.b = b + i * stride_b;
+    call.c = c + i * stride_c;
+    run(call);
   }
 }
 
 }  // namespace
 
-template <>
-void gemm_batch_strided<float>(transpose transa, transpose transb,
-                               blas_int m, blas_int n, blas_int k,
-                               float alpha, const float* a, blas_int lda,
-                               blas_int stride_a, const float* b,
-                               blas_int ldb, blas_int stride_b, float beta,
-                               float* c, blas_int ldc, blas_int stride_c,
-                               blas_int batch) {
-  run_batch<float>([](auto... args) { sgemm(args...); }, transa, transb, m,
-                   n, k, alpha, a, lda, stride_a, b, ldb, stride_b, beta, c,
-                   ldc, stride_c, batch);
+template <typename T>
+void gemm_batch_strided(transpose transa, transpose transb, blas_int m,
+                        blas_int n, blas_int k, T alpha, const T* a,
+                        blas_int lda, blas_int stride_a, const T* b,
+                        blas_int ldb, blas_int stride_b, T beta, T* c,
+                        blas_int ldc, blas_int stride_c, blas_int batch,
+                        std::string_view call_site) {
+  run_batch<T>(transa, transb, m, n, k, alpha, a, lda, stride_a, b, ldb,
+               stride_b, beta, c, ldc, stride_c, batch, call_site);
 }
 
-template <>
-void gemm_batch_strided<double>(transpose transa, transpose transb,
-                                blas_int m, blas_int n, blas_int k,
-                                double alpha, const double* a, blas_int lda,
-                                blas_int stride_a, const double* b,
-                                blas_int ldb, blas_int stride_b, double beta,
-                                double* c, blas_int ldc, blas_int stride_c,
-                                blas_int batch) {
-  run_batch<double>([](auto... args) { dgemm(args...); }, transa, transb,
-                    m, n, k, alpha, a, lda, stride_a, b, ldb, stride_b,
-                    beta, c, ldc, stride_c, batch);
-}
+#define DCMESH_INSTANTIATE_GEMM_BATCH(T)                                   \
+  template void gemm_batch_strided<T>(                                    \
+      transpose, transpose, blas_int, blas_int, blas_int, T, const T*,    \
+      blas_int, blas_int, const T*, blas_int, blas_int, T, T*, blas_int,  \
+      blas_int, blas_int, std::string_view);
 
-template <>
-void gemm_batch_strided<std::complex<float>>(
-    transpose transa, transpose transb, blas_int m, blas_int n, blas_int k,
-    std::complex<float> alpha, const std::complex<float>* a, blas_int lda,
-    blas_int stride_a, const std::complex<float>* b, blas_int ldb,
-    blas_int stride_b, std::complex<float> beta, std::complex<float>* c,
-    blas_int ldc, blas_int stride_c, blas_int batch) {
-  run_batch<std::complex<float>>([](auto... args) { cgemm(args...); },
-                                 transa, transb, m, n, k, alpha, a, lda,
-                                 stride_a, b, ldb, stride_b, beta, c, ldc,
-                                 stride_c, batch);
-}
-
-template <>
-void gemm_batch_strided<std::complex<double>>(
-    transpose transa, transpose transb, blas_int m, blas_int n, blas_int k,
-    std::complex<double> alpha, const std::complex<double>* a, blas_int lda,
-    blas_int stride_a, const std::complex<double>* b, blas_int ldb,
-    blas_int stride_b, std::complex<double> beta, std::complex<double>* c,
-    blas_int ldc, blas_int stride_c, blas_int batch) {
-  run_batch<std::complex<double>>([](auto... args) { zgemm(args...); },
-                                  transa, transb, m, n, k, alpha, a, lda,
-                                  stride_a, b, ldb, stride_b, beta, c, ldc,
-                                  stride_c, batch);
-}
+DCMESH_INSTANTIATE_GEMM_BATCH(float)
+DCMESH_INSTANTIATE_GEMM_BATCH(double)
+DCMESH_INSTANTIATE_GEMM_BATCH(std::complex<float>)
+DCMESH_INSTANTIATE_GEMM_BATCH(std::complex<double>)
+#undef DCMESH_INSTANTIATE_GEMM_BATCH
 
 }  // namespace dcmesh::blas

@@ -4,9 +4,10 @@
 
 #include <complex>
 
-#include "call_wrap.hpp"
 #include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/gemm_call.hpp"
 #include "gemm_kernel.hpp"
+#include "gemm_modes.hpp"
 #include "split.hpp"
 
 namespace dcmesh::blas {
@@ -176,31 +177,59 @@ void gemm_3m(transpose transa, transpose transb, blas_int m, blas_int n,
 }
 
 }  // namespace
+
+void gemm_at_mode(compute_mode mode, transpose transa, transpose transb,
+                  blas_int m, blas_int n, blas_int k,
+                  std::complex<float> alpha, const std::complex<float>* a,
+                  blas_int lda, const std::complex<float>* b, blas_int ldb,
+                  std::complex<float> beta, std::complex<float>* c,
+                  blas_int ldc) {
+  validate_gemm_args(transa, transb, m, n, k, a, lda, b, ldb, c, ldc,
+                     /*needs_ab=*/alpha != decltype(alpha)(0));
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == std::complex<float>(0)) {
+    scale_c(m, n, beta, c, ldc);
+    return;
+  }
+  if (mode == compute_mode::complex_3m) {
+    gemm_3m(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  } else {
+    // Standard arithmetic and all split modes share the 4M plane path.
+    gemm_4m(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+            ldc);
+  }
+}
+
+void gemm_at_mode(compute_mode mode, transpose transa, transpose transb,
+                  blas_int m, blas_int n, blas_int k,
+                  std::complex<double> alpha, const std::complex<double>* a,
+                  blas_int lda, const std::complex<double>* b, blas_int ldb,
+                  std::complex<double> beta, std::complex<double>* c,
+                  blas_int ldc) {
+  validate_gemm_args(transa, transb, m, n, k, a, lda, b, ldb, c, ldc,
+                     /*needs_ab=*/alpha != decltype(alpha)(0));
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == std::complex<double>(0)) {
+    scale_c(m, n, beta, c, ldc);
+    return;
+  }
+  // FP32 split modes do not apply to double precision; COMPLEX_3M does.
+  if (mode == compute_mode::complex_3m) {
+    gemm_3m(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  } else {
+    gemm_4m(compute_mode::standard, transa, transb, m, n, k, alpha, a, lda,
+            b, ldb, beta, c, ldc);
+  }
+}
+
 }  // namespace detail
 
 void cgemm(transpose transa, transpose transb, blas_int m, blas_int n,
            blas_int k, std::complex<float> alpha, const std::complex<float>* a,
            blas_int lda, const std::complex<float>* b, blas_int ldb,
            std::complex<float> beta, std::complex<float>* c, blas_int ldc) {
-  const compute_mode mode = active_compute_mode();
-  detail::timed_call("CGEMM", transa, transb, m, n, k, lda, ldb, ldc,
-                     /*is_complex=*/true, mode, [&] {
-    detail::validate_gemm_args(transa, transb, m, n, k, a, lda, b, ldb, c,
-                               ldc, /*needs_ab=*/alpha != decltype(alpha)(0));
-    if (m == 0 || n == 0) return;
-    if (k == 0 || alpha == std::complex<float>(0)) {
-      detail::scale_c(m, n, beta, c, ldc);
-      return;
-    }
-    if (mode == compute_mode::complex_3m) {
-      detail::gemm_3m(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
-                      c, ldc);
-    } else {
-      // Standard arithmetic and all split modes share the 4M plane path.
-      detail::gemm_4m(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb,
-                      beta, c, ldc);
-    }
-  });
+  run(gemm_call<std::complex<float>>{transa, transb, m, n, k, alpha, a, lda,
+                                     b, ldb, beta, c, ldc});
 }
 
 void zgemm(transpose transa, transpose transb, blas_int m, blas_int n,
@@ -209,28 +238,8 @@ void zgemm(transpose transa, transpose transb, blas_int m, blas_int n,
            const std::complex<double>* b, blas_int ldb,
            std::complex<double> beta, std::complex<double>* c,
            blas_int ldc) {
-  const compute_mode mode = active_compute_mode();
-  // FP32 split modes do not apply to double precision; COMPLEX_3M does.
-  const compute_mode effective = mode == compute_mode::complex_3m
-                                     ? compute_mode::complex_3m
-                                     : compute_mode::standard;
-  detail::timed_call("ZGEMM", transa, transb, m, n, k, lda, ldb, ldc,
-                     /*is_complex=*/true, effective, [&] {
-    detail::validate_gemm_args(transa, transb, m, n, k, a, lda, b, ldb, c,
-                               ldc, /*needs_ab=*/alpha != decltype(alpha)(0));
-    if (m == 0 || n == 0) return;
-    if (k == 0 || alpha == std::complex<double>(0)) {
-      detail::scale_c(m, n, beta, c, ldc);
-      return;
-    }
-    if (effective == compute_mode::complex_3m) {
-      detail::gemm_3m(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
-                      c, ldc);
-    } else {
-      detail::gemm_4m(compute_mode::standard, transa, transb, m, n, k,
-                      alpha, a, lda, b, ldb, beta, c, ldc);
-    }
-  });
+  run(gemm_call<std::complex<double>>{transa, transb, m, n, k, alpha, a,
+                                      lda, b, ldb, beta, c, ldc});
 }
 
 }  // namespace dcmesh::blas

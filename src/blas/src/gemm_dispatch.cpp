@@ -1,0 +1,223 @@
+// gemm_dispatch.cpp — the single choke point behind every GEMM descriptor.
+//
+// run(gemm_call<T>) resolves the call's effective compute mode through the
+// precision policy engine, executes the arithmetic via the per-type
+// gemm_at_mode overloads, optionally applies the accuracy-guarded fallback
+// (row-sampled residual check against a same-precision standard reference,
+// with transparent promotion to the next-higher mode on failure), and logs
+// one verbose record carrying the site, the resolved mode, and the guard
+// verdict.
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "dcmesh/blas/gemm_call.hpp"
+#include "dcmesh/blas/precision_policy.hpp"
+#include "dcmesh/blas/verbose.hpp"
+#include "gemm_kernel.hpp"
+#include "gemm_modes.hpp"
+#include "split.hpp"
+
+namespace dcmesh::blas {
+namespace detail {
+namespace {
+
+template <typename T>
+struct gemm_traits {
+  static constexpr const char* routine = "SGEMM";
+  static constexpr bool is_complex = false;
+};
+template <>
+struct gemm_traits<double> {
+  static constexpr const char* routine = "DGEMM";
+  static constexpr bool is_complex = false;
+};
+template <>
+struct gemm_traits<std::complex<float>> {
+  static constexpr const char* routine = "CGEMM";
+  static constexpr bool is_complex = true;
+};
+template <>
+struct gemm_traits<std::complex<double>> {
+  static constexpr const char* routine = "ZGEMM";
+  static constexpr bool is_complex = true;
+};
+
+/// The mode recorded (and executed) for element type T.  Mirrors the
+/// pre-descriptor entry points: float/complex<float> records the resolved
+/// mode as-is (even when it is a no-op, like COMPLEX_3M on sgemm), real
+/// double is always standard, complex double keeps only COMPLEX_3M.
+template <typename T>
+constexpr compute_mode effective_mode(compute_mode mode) noexcept {
+  if constexpr (std::is_same_v<T, double>) {
+    (void)mode;
+    return compute_mode::standard;
+  } else if constexpr (std::is_same_v<T, std::complex<double>>) {
+    return mode == compute_mode::complex_3m ? compute_mode::complex_3m
+                                            : compute_mode::standard;
+  } else {
+    return mode;
+  }
+}
+
+/// True when `mode` changes T's arithmetic vs standard — i.e. when a
+/// guard check is meaningful.
+template <typename T>
+constexpr bool mode_alters_arithmetic(compute_mode mode) noexcept {
+  if constexpr (std::is_same_v<T, float>) {
+    return is_split_mode(mode);
+  } else if constexpr (std::is_same_v<T, std::complex<float>>) {
+    return is_split_mode(mode) || mode == compute_mode::complex_3m;
+  } else if constexpr (std::is_same_v<T, std::complex<double>>) {
+    return mode == compute_mode::complex_3m;
+  } else {
+    (void)mode;
+    return false;
+  }
+}
+
+/// Rows of C the guard samples: up to kGuardSampleRows evenly strided
+/// rows (deterministic — guarded runs must stay reproducible).
+inline constexpr blas_int kGuardSampleRows = 8;
+
+std::vector<blas_int> guard_sample_rows(blas_int m) {
+  const blas_int stride = std::max<blas_int>(1, m / kGuardSampleRows);
+  std::vector<blas_int> rows;
+  for (blas_int i = 0;
+       i < m && rows.size() < static_cast<std::size_t>(kGuardSampleRows);
+       i += stride) {
+    rows.push_back(i);
+  }
+  return rows;
+}
+
+/// Relative Frobenius residual of the low-precision result against a
+/// standard-arithmetic reference computed for the sampled rows only, in
+/// T's own precision (the "FP32 reference" for the float paths).
+/// `c_orig` holds the pre-call C, packed m x n column-major.
+template <typename T>
+double sampled_residual(const gemm_call<T>& call,
+                        const std::vector<T>& c_orig,
+                        const std::vector<blas_int>& rows) {
+  double num = 0.0, den = 0.0;
+  for (const blas_int i : rows) {
+    for (blas_int j = 0; j < call.n; ++j) {
+      T acc = T(0);
+      for (blas_int p = 0; p < call.k; ++p) {
+        acc += op_element(call.a, call.lda, call.transa, i, p) *
+               op_element(call.b, call.ldb, call.transb, p, j);
+      }
+      const T ref = call.alpha * acc +
+                    call.beta * c_orig[static_cast<std::size_t>(
+                                    i + j * call.m)];
+      const T got = call.c[i + j * call.ldc];
+      const double diff = std::abs(got - ref);
+      num += diff * diff;
+      const double mag = std::abs(ref);
+      den += mag * mag;
+    }
+  }
+  if (num == 0.0) return 0.0;
+  constexpr double kTinyDen = 1e-300;
+  return std::sqrt(num) / std::sqrt(std::max(den, kTinyDen));
+}
+
+template <typename T>
+void restore_c(const gemm_call<T>& call, const std::vector<T>& c_orig) {
+  for (blas_int j = 0; j < call.n; ++j) {
+    std::copy_n(c_orig.data() + static_cast<std::size_t>(j) * call.m,
+                call.m, call.c + j * call.ldc);
+  }
+}
+
+template <typename T>
+void run_at(compute_mode mode, const gemm_call<T>& call) {
+  gemm_at_mode(mode, call.transa, call.transb, call.m, call.n, call.k,
+               call.alpha, call.a, call.lda, call.b, call.ldb, call.beta,
+               call.c, call.ldc);
+}
+
+}  // namespace
+}  // namespace detail
+
+template <typename T>
+void run(const gemm_call<T>& call) {
+  using detail::gemm_traits;
+  const mode_resolution res =
+      resolve_compute_mode(call.call_site, call.mode);
+  const compute_mode requested = detail::effective_mode<T>(res.mode);
+
+  compute_mode final_mode = requested;
+  fallback_verdict verdict = fallback_verdict::none;
+  double residual = 0.0;
+  int attempts = 1;
+  const bool guard = res.guarded &&
+                     detail::mode_alters_arithmetic<T>(requested) &&
+                     call.m > 0 && call.n > 0 && call.k > 0 &&
+                     call.alpha != T(0);
+
+  const auto start = std::chrono::steady_clock::now();
+  if (!guard) {
+    detail::run_at(requested, call);
+  } else {
+    // Validate before touching C: the guard must not copy through a
+    // malformed ldc.
+    detail::validate_gemm_args(call.transa, call.transb, call.m, call.n,
+                               call.k, call.a, call.lda, call.b, call.ldb,
+                               call.c, call.ldc);
+    std::vector<T> c_orig(static_cast<std::size_t>(call.m) *
+                          static_cast<std::size_t>(call.n));
+    for (blas_int j = 0; j < call.n; ++j) {
+      std::copy_n(call.c + j * call.ldc, call.m,
+                  c_orig.data() + static_cast<std::size_t>(j) * call.m);
+    }
+    const auto rows = detail::guard_sample_rows(call.m);
+
+    detail::run_at(final_mode, call);
+    residual = detail::sampled_residual(call, c_orig, rows);
+    verdict = fallback_verdict::passed;
+    while (residual > res.tolerance &&
+           final_mode != compute_mode::standard) {
+      detail::restore_c(call, c_orig);
+      final_mode = detail::effective_mode<T>(next_higher_mode(final_mode));
+      ++attempts;
+      detail::run_at(final_mode, call);
+      residual = detail::sampled_residual(call, c_orig, rows);
+      verdict = fallback_verdict::promoted;
+    }
+    record_fallback(call.call_site, verdict == fallback_verdict::promoted,
+                    final_mode, residual);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+
+  call_record record;
+  record.routine = gemm_traits<T>::routine;
+  record.transa = static_cast<char>(call.transa);
+  record.transb = static_cast<char>(call.transb);
+  record.m = call.m;
+  record.n = call.n;
+  record.k = call.k;
+  record.lda = call.lda;
+  record.ldb = call.ldb;
+  record.ldc = call.ldc;
+  record.seconds = std::chrono::duration<double>(stop - start).count();
+  record.flops = gemm_flops(gemm_traits<T>::is_complex, call.m, call.n,
+                            call.k);
+  record.mode = final_mode;
+  record.call_site = std::string(call.call_site);
+  record.source = res.source;
+  record.requested_mode = requested;
+  record.fallback = verdict;
+  record.guard_residual = residual;
+  record.attempts = attempts;
+  record_call(std::move(record));
+}
+
+template void run<float>(const gemm_call<float>&);
+template void run<double>(const gemm_call<double>&);
+template void run<std::complex<float>>(const gemm_call<std::complex<float>>&);
+template void run<std::complex<double>>(
+    const gemm_call<std::complex<double>>&);
+
+}  // namespace dcmesh::blas

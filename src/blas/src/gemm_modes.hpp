@@ -1,0 +1,47 @@
+#pragma once
+// gemm_modes.hpp — internal per-type "execute at mode M" entry points.
+//
+// The public dispatcher (gemm_dispatch.cpp) resolves the effective compute
+// mode per call site, then hands the arithmetic to one of these.  Each
+// overload validates the argument contract and maps the mode onto what the
+// element type supports (FP32 split modes for float paths, COMPLEX_3M for
+// complex paths, always-standard for real double), so the dispatcher can
+// re-run the same call at a different mode without re-deriving any of
+// that — the mechanism behind the accuracy-guarded fallback.
+
+#include <complex>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/compute_mode.hpp"
+
+namespace dcmesh::blas::detail {
+
+/// sgemm arithmetic at `mode` (split modes honoured; others standard).
+void gemm_at_mode(compute_mode mode, transpose transa, transpose transb,
+                  blas_int m, blas_int n, blas_int k, float alpha,
+                  const float* a, blas_int lda, const float* b, blas_int ldb,
+                  float beta, float* c, blas_int ldc);
+
+/// dgemm arithmetic: always standard FP64 (mode ignored by design).
+void gemm_at_mode(compute_mode mode, transpose transa, transpose transb,
+                  blas_int m, blas_int n, blas_int k, double alpha,
+                  const double* a, blas_int lda, const double* b,
+                  blas_int ldb, double beta, double* c, blas_int ldc);
+
+/// cgemm arithmetic at `mode` (COMPLEX_3M and FP32 split modes honoured).
+void gemm_at_mode(compute_mode mode, transpose transa, transpose transb,
+                  blas_int m, blas_int n, blas_int k,
+                  std::complex<float> alpha, const std::complex<float>* a,
+                  blas_int lda, const std::complex<float>* b, blas_int ldb,
+                  std::complex<float> beta, std::complex<float>* c,
+                  blas_int ldc);
+
+/// zgemm arithmetic at `mode` (COMPLEX_3M honoured; splits do not apply).
+void gemm_at_mode(compute_mode mode, transpose transa, transpose transb,
+                  blas_int m, blas_int n, blas_int k,
+                  std::complex<double> alpha, const std::complex<double>* a,
+                  blas_int lda, const std::complex<double>* b, blas_int ldb,
+                  std::complex<double> beta, std::complex<double>* c,
+                  blas_int ldc);
+
+}  // namespace dcmesh::blas::detail

@@ -1,9 +1,11 @@
-// gemm_real.cpp — sgemm/dgemm entry points, including the FP32 split modes.
+// gemm_real.cpp — sgemm/dgemm: the FP32 split-mode arithmetic and the
+// legacy positional shims over the descriptor dispatcher.
 
-#include "call_wrap.hpp"
-#include "dcmesh/common/env.hpp"
 #include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/gemm_call.hpp"
+#include "dcmesh/common/env.hpp"
 #include "gemm_kernel.hpp"
+#include "gemm_modes.hpp"
 #include "split.hpp"
 
 #if defined(DCMESH_HAVE_OPENMP)
@@ -50,37 +52,46 @@ void sgemm_split(compute_mode mode, transpose transa, transpose transb,
   }
 }
 
+void gemm_at_mode(compute_mode mode, transpose transa, transpose transb,
+                  blas_int m, blas_int n, blas_int k, float alpha,
+                  const float* a, blas_int lda, const float* b, blas_int ldb,
+                  float beta, float* c, blas_int ldc) {
+  if (is_split_mode(mode)) {
+    sgemm_split(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
+                c, ldc);
+  } else {
+    // COMPLEX_3M has no effect on real GEMM; run standard arithmetic.
+    gemm_blocked(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                 ldc);
+  }
+}
+
+void gemm_at_mode(compute_mode /*mode*/, transpose transa, transpose transb,
+                  blas_int m, blas_int n, blas_int k, double alpha,
+                  const double* a, blas_int lda, const double* b,
+                  blas_int ldb, double beta, double* c, blas_int ldc) {
+  // Alternative compute modes apply to single precision only; dgemm always
+  // runs standard FP64 arithmetic (paper Section IV-C: the FP64 SCF path
+  // must stay exact).
+  gemm_blocked(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+               ldc);
+}
+
 }  // namespace detail
 
 void sgemm(transpose transa, transpose transb, blas_int m, blas_int n,
            blas_int k, float alpha, const float* a, blas_int lda,
            const float* b, blas_int ldb, float beta, float* c, blas_int ldc) {
-  const compute_mode mode = active_compute_mode();
-  detail::timed_call("SGEMM", transa, transb, m, n, k, lda, ldb, ldc,
-                     /*is_complex=*/false, mode, [&] {
-    if (detail::is_split_mode(mode)) {
-      detail::sgemm_split(mode, transa, transb, m, n, k, alpha, a, lda, b,
-                          ldb, beta, c, ldc);
-    } else {
-      // COMPLEX_3M has no effect on real GEMM; run standard arithmetic.
-      detail::gemm_blocked(transa, transb, m, n, k, alpha, a, lda, b, ldb,
-                           beta, c, ldc);
-    }
-  });
+  run(gemm_call<float>{transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
+                       c, ldc});
 }
 
 void dgemm(transpose transa, transpose transb, blas_int m, blas_int n,
            blas_int k, double alpha, const double* a, blas_int lda,
            const double* b, blas_int ldb, double beta, double* c,
            blas_int ldc) {
-  // Alternative compute modes apply to single precision only; dgemm always
-  // runs standard FP64 arithmetic (paper Section IV-C: the FP64 SCF path
-  // must stay exact).
-  detail::timed_call("DGEMM", transa, transb, m, n, k, lda, ldb, ldc,
-                     /*is_complex=*/false, compute_mode::standard, [&] {
-    detail::gemm_blocked(transa, transb, m, n, k, alpha, a, lda, b, ldb,
-                         beta, c, ldc);
-  });
+  run(gemm_call<double>{transa, transb, m, n, k, alpha, a, lda, b, ldb,
+                        beta, c, ldc});
 }
 
 void set_num_threads(int threads) {

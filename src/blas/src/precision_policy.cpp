@@ -1,0 +1,252 @@
+#include "dcmesh/blas/precision_policy.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "dcmesh/common/env.hpp"
+
+namespace dcmesh::blas {
+namespace {
+
+// Programmatic policy (shared across threads, like set_compute_mode), the
+// parsed-env cache, and the per-site guard statistics.
+std::mutex g_policy_mutex;
+std::shared_ptr<const precision_policy> g_api_policy;  // guarded
+std::string g_env_cache_text;                          // guarded
+std::shared_ptr<const precision_policy> g_env_cache;   // guarded
+bool g_env_warned = false;                             // guarded
+
+std::mutex g_stats_mutex;
+std::map<std::string, site_fallback_stats, std::less<>> g_stats;  // guarded
+
+/// Split `text` on ';' or ',' into trimmed non-empty rule strings.
+std::vector<std::string_view> split_rules(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ';' || text[i] == ',') {
+      const std::string_view piece = trim(text.substr(start, i - start));
+      if (!piece.empty()) out.push_back(piece);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+policy_rule parse_rule(std::string_view rule_text) {
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("precision policy rule \"" +
+                                std::string(rule_text) + "\": " + what);
+  };
+  const auto eq = rule_text.find('=');
+  if (eq == std::string_view::npos) fail("expected glob=MODE");
+  policy_rule rule;
+  rule.pattern = std::string(trim(rule_text.substr(0, eq)));
+  if (rule.pattern.empty()) fail("empty site glob");
+
+  // MODE and ':'-separated flags.
+  std::string_view rest = trim(rule_text.substr(eq + 1));
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= rest.size(); ++i) {
+    if (i == rest.size() || rest[i] == ':') {
+      parts.push_back(trim(rest.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  if (parts.empty() || parts[0].empty()) fail("missing compute mode");
+  const auto mode = parse_compute_mode(parts[0]);
+  if (!mode) fail("unknown compute mode \"" + std::string(parts[0]) + "\"");
+  rule.mode = *mode;
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string flag = to_upper(parts[i]);
+    if (flag == "GUARDED") {
+      rule.guarded = true;
+    } else if (flag.rfind("TOL=", 0) == 0) {
+      const std::string value = flag.substr(4);
+      char* end = nullptr;
+      const double tol = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || !(tol > 0.0)) {
+        fail("unparsable tolerance \"" + std::string(parts[i]) + "\"");
+      }
+      rule.guarded = true;  // tol implies guarded
+      rule.tolerance = tol;
+    } else {
+      fail("unknown flag \"" + std::string(parts[i]) + "\"");
+    }
+  }
+  return rule;
+}
+
+/// Parsed DCMESH_BLAS_POLICY, cached on the raw env text.  Malformed env
+/// policies warn once to stderr and behave as empty (the env path must not
+/// throw on every BLAS call).
+std::shared_ptr<const precision_policy> env_policy_locked() {
+  const auto env = env_get(kPolicyEnvVar);
+  const std::string text = env.value_or("");
+  if (text == g_env_cache_text && g_env_cache) return g_env_cache;
+  g_env_cache_text = text;
+  g_env_warned = false;
+  try {
+    g_env_cache =
+        std::make_shared<const precision_policy>(parse_policy(text));
+  } catch (const std::invalid_argument& error) {
+    if (!g_env_warned) {
+      std::fprintf(stderr, "dcmesh: ignoring malformed %s: %s\n",
+                   std::string(kPolicyEnvVar).c_str(), error.what());
+      g_env_warned = true;
+    }
+    g_env_cache = std::make_shared<const precision_policy>();
+  }
+  return g_env_cache;
+}
+
+std::shared_ptr<const precision_policy> current_policy() {
+  std::lock_guard lock(g_policy_mutex);
+  if (g_api_policy) return g_api_policy;
+  return env_policy_locked();
+}
+
+double default_guard_tolerance() {
+  if (const auto env = env_get(kGuardThresholdEnvVar)) {
+    char* end = nullptr;
+    const double tol = std::strtod(env->c_str(), &end);
+    if (end != env->c_str() && *end == '\0' && tol > 0.0) return tol;
+  }
+  return kDefaultGuardThreshold;
+}
+
+}  // namespace
+
+std::string_view name(policy_source source) noexcept {
+  switch (source) {
+    case policy_source::standard_default: return "standard_default";
+    case policy_source::env_global: return "env_global";
+    case policy_source::api_global: return "api_global";
+    case policy_source::site_policy: return "site_policy";
+    case policy_source::scoped: return "scoped";
+    case policy_source::call_override: return "call_override";
+  }
+  return "standard_default";
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) noexcept {
+  // Iterative matcher with single-star backtracking (classic fnmatch
+  // shape); '*' crosses '/' deliberately — sites are flat tags.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == text[t] || pattern[p] == '?')) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+const policy_rule* precision_policy::match(
+    std::string_view site) const noexcept {
+  for (const auto& rule : rules) {
+    if (glob_match(rule.pattern, site)) return &rule;
+  }
+  return nullptr;
+}
+
+precision_policy parse_policy(std::string_view text) {
+  precision_policy policy;
+  for (const std::string_view rule_text : split_rules(text)) {
+    policy.rules.push_back(parse_rule(rule_text));
+  }
+  return policy;
+}
+
+void set_policy(precision_policy policy) {
+  std::lock_guard lock(g_policy_mutex);
+  g_api_policy =
+      std::make_shared<const precision_policy>(std::move(policy));
+}
+
+void clear_policy() {
+  std::lock_guard lock(g_policy_mutex);
+  g_api_policy.reset();
+}
+
+precision_policy active_policy() { return *current_policy(); }
+
+mode_resolution resolve_compute_mode(
+    std::string_view call_site, std::optional<compute_mode> call_override) {
+  if (call_override) {
+    return {*call_override, policy_source::call_override, false, 0.0};
+  }
+  if (const auto scoped = scoped_mode_override()) {
+    return {*scoped, policy_source::scoped, false, 0.0};
+  }
+  if (!call_site.empty()) {
+    const auto policy = current_policy();
+    if (const policy_rule* rule = policy->match(call_site)) {
+      return {rule->mode, policy_source::site_policy, rule->guarded,
+              rule->tolerance.value_or(default_guard_tolerance())};
+    }
+  }
+  if (const auto api = api_mode_override()) {
+    return {*api, policy_source::api_global, false, 0.0};
+  }
+  if (const auto env = env_mode_override()) {
+    return {*env, policy_source::env_global, false, 0.0};
+  }
+  return {compute_mode::standard, policy_source::standard_default, false,
+          0.0};
+}
+
+compute_mode next_higher_mode(compute_mode mode) noexcept {
+  // Ordered by component mantissa bits: BF16 (7) < TF32 (10) < BF16x2
+  // (~15) < BF16x3 (~23) < standard FP32 (23, no split error).
+  switch (mode) {
+    case compute_mode::float_to_bf16: return compute_mode::float_to_tf32;
+    case compute_mode::float_to_tf32: return compute_mode::float_to_bf16x2;
+    case compute_mode::float_to_bf16x2:
+      return compute_mode::float_to_bf16x3;
+    default: return compute_mode::standard;
+  }
+}
+
+void record_fallback(std::string_view site, bool promoted,
+                     compute_mode final_mode, double residual) {
+  std::lock_guard lock(g_stats_mutex);
+  auto it = g_stats.find(site);
+  if (it == g_stats.end()) {
+    it = g_stats.emplace(std::string(site), site_fallback_stats{}).first;
+  }
+  auto& stats = it->second;
+  ++stats.guarded_calls;
+  if (promoted) ++stats.promotions;
+  stats.last_mode = final_mode;
+  stats.last_residual = residual;
+}
+
+std::vector<std::pair<std::string, site_fallback_stats>> fallback_stats() {
+  std::lock_guard lock(g_stats_mutex);
+  return {g_stats.begin(), g_stats.end()};
+}
+
+void clear_fallback_stats() {
+  std::lock_guard lock(g_stats_mutex);
+  g_stats.clear();
+}
+
+}  // namespace dcmesh::blas

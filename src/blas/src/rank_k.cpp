@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "dcmesh/blas/gemm_call.hpp"
+
 namespace dcmesh::blas {
 namespace {
 
@@ -16,52 +18,48 @@ void validate_rank_k(blas_int n, blas_int k, blas_int lda, blas_int ldc,
   }
 }
 
-// Typed shims onto the public GEMM entry points (so the active compute
-// mode, timing, and verbose logging all apply to the rank-k product).
-void gemm_dispatch(transpose ta, transpose tb, blas_int m, blas_int n,
-                   blas_int k, float alpha, const float* a, blas_int lda,
-                   const float* b, blas_int ldb, float beta, float* c,
-                   blas_int ldc) {
-  sgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-}
-void gemm_dispatch(transpose ta, transpose tb, blas_int m, blas_int n,
-                   blas_int k, double alpha, const double* a, blas_int lda,
-                   const double* b, blas_int ldb, double beta, double* c,
-                   blas_int ldc) {
-  dgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-}
-void gemm_dispatch(transpose ta, transpose tb, blas_int m, blas_int n,
-                   blas_int k, std::complex<float> alpha,
-                   const std::complex<float>* a, blas_int lda,
-                   const std::complex<float>* b, blas_int ldb,
-                   std::complex<float> beta, std::complex<float>* c,
-                   blas_int ldc) {
-  cgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-}
-void gemm_dispatch(transpose ta, transpose tb, blas_int m, blas_int n,
-                   blas_int k, std::complex<double> alpha,
-                   const std::complex<double>* a, blas_int lda,
-                   const std::complex<double>* b, blas_int ldb,
-                   std::complex<double> beta, std::complex<double>* c,
-                   blas_int ldc) {
-  zgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+// Rank-k products route through the descriptor dispatcher so the per-site
+// precision policy, the accuracy guard, timing, and verbose logging all
+// apply to them exactly as to gemm.
+template <typename T>
+void rank_k_product(transpose ta, transpose tb, blas_int n, blas_int k,
+                    T alpha, const T* a, blas_int lda, T beta, T* c,
+                    blas_int ldc, std::string_view call_site) {
+  gemm_call<T> call;
+  call.transa = ta;
+  call.transb = tb;
+  call.m = n;
+  call.n = n;
+  call.k = k;
+  call.alpha = alpha;
+  call.a = a;
+  call.lda = lda;
+  call.b = a;
+  call.ldb = lda;
+  call.beta = beta;
+  call.c = c;
+  call.ldc = ldc;
+  call.call_site = call_site;
+  run(call);
 }
 
 }  // namespace
 
 template <typename T>
 void syrk(uplo u, transpose trans, blas_int n, blas_int k, T alpha,
-          const T* a, blas_int lda, T beta, T* c, blas_int ldc) {
+          const T* a, blas_int lda, T beta, T* c, blas_int ldc,
+          std::string_view call_site) {
   const blas_int rows_a = trans == transpose::none ? n : k;
   validate_rank_k(n, k, lda, ldc, rows_a);
   if (n == 0) return;
 
-  // Route through gemm so the compute mode applies identically, then make
-  // the result exactly symmetric by mirroring the `u` triangle.
-  gemm_dispatch(trans,
-                trans == transpose::none ? transpose::trans
-                                         : transpose::none,
-                n, n, k, alpha, a, lda, a, lda, beta, c, ldc);
+  // Route through the descriptor path so the compute mode applies
+  // identically, then make the result exactly symmetric by mirroring the
+  // `u` triangle.
+  rank_k_product(trans,
+                 trans == transpose::none ? transpose::trans
+                                          : transpose::none,
+                 n, k, alpha, a, lda, beta, c, ldc, call_site);
   for (blas_int j = 0; j < n; ++j) {
     for (blas_int i = 0; i < j; ++i) {
       if (u == uplo::upper) {
@@ -76,7 +74,7 @@ void syrk(uplo u, transpose trans, blas_int n, blas_int k, T alpha,
 template <typename R>
 void herk(uplo u, transpose trans, blas_int n, blas_int k, R alpha,
           const std::complex<R>* a, blas_int lda, R beta,
-          std::complex<R>* c, blas_int ldc) {
+          std::complex<R>* c, blas_int ldc, std::string_view call_site) {
   using C = std::complex<R>;
   const blas_int rows_a = trans == transpose::none ? n : k;
   validate_rank_k(n, k, lda, ldc, rows_a);
@@ -84,12 +82,12 @@ void herk(uplo u, transpose trans, blas_int n, blas_int k, R alpha,
 
   if (trans == transpose::none) {
     // C = alpha * A * A^H + beta * C.
-    gemm_dispatch(transpose::none, transpose::conj_trans, n, n, k, C(alpha),
-                  a, lda, a, lda, C(beta), c, ldc);
+    rank_k_product(transpose::none, transpose::conj_trans, n, k, C(alpha),
+                   a, lda, C(beta), c, ldc, call_site);
   } else {
     // C = alpha * A^H * A + beta * C.
-    gemm_dispatch(transpose::conj_trans, transpose::none, n, n, k, C(alpha),
-                  a, lda, a, lda, C(beta), c, ldc);
+    rank_k_product(transpose::conj_trans, transpose::none, n, k, C(alpha),
+                   a, lda, C(beta), c, ldc, call_site);
   }
   // Enforce exact hermiticity: real diagonal, mirrored `u` triangle.
   for (blas_int j = 0; j < n; ++j) {
@@ -105,15 +103,17 @@ void herk(uplo u, transpose trans, blas_int n, blas_int k, R alpha,
 }
 
 template void syrk<float>(uplo, transpose, blas_int, blas_int, float,
-                          const float*, blas_int, float, float*, blas_int);
+                          const float*, blas_int, float, float*, blas_int,
+                          std::string_view);
 template void syrk<double>(uplo, transpose, blas_int, blas_int, double,
                            const double*, blas_int, double, double*,
-                           blas_int);
+                           blas_int, std::string_view);
 template void herk<float>(uplo, transpose, blas_int, blas_int, float,
                           const std::complex<float>*, blas_int, float,
-                          std::complex<float>*, blas_int);
+                          std::complex<float>*, blas_int, std::string_view);
 template void herk<double>(uplo, transpose, blas_int, blas_int, double,
                            const std::complex<double>*, blas_int, double,
-                           std::complex<double>*, blas_int);
+                           std::complex<double>*, blas_int,
+                           std::string_view);
 
 }  // namespace dcmesh::blas

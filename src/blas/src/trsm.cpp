@@ -1,6 +1,9 @@
 #include "dcmesh/blas/trsm.hpp"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "dcmesh/blas/verbose.hpp"
 
 namespace dcmesh::blas {
 namespace {
@@ -15,21 +18,41 @@ constexpr T conj_if(T v, bool c) {
   }
 }
 
-}  // namespace
+template <typename T>
+struct trsm_traits {
+  static constexpr const char* routine = "STRSM";
+  static constexpr bool is_complex = false;
+};
+template <>
+struct trsm_traits<double> {
+  static constexpr const char* routine = "DTRSM";
+  static constexpr bool is_complex = false;
+};
+template <>
+struct trsm_traits<std::complex<float>> {
+  static constexpr const char* routine = "CTRSM";
+  static constexpr bool is_complex = true;
+};
+template <>
+struct trsm_traits<std::complex<double>> {
+  static constexpr const char* routine = "ZTRSM";
+  static constexpr bool is_complex = true;
+};
+
+/// Real flop count of a triangular solve: order^2 * nrhs multiply-adds
+/// over the triangle (standard LAPACK accounting).
+constexpr double trsm_flops(bool is_complex, blas_int order,
+                            blas_int nrhs) noexcept {
+  const double work = static_cast<double>(order) *
+                      static_cast<double>(order) *
+                      static_cast<double>(nrhs);
+  return (is_complex ? 4.0 : 1.0) * work;
+}
 
 template <typename T>
-void trsm(side s, uplo u, transpose trans, diag d, blas_int m, blas_int n,
-          T alpha, const T* a, blas_int lda, T* b, blas_int ldb) {
-  if (m < 0 || n < 0) throw std::invalid_argument("trsm: negative dim");
-  const blas_int order = s == side::left ? m : n;
-  if (lda < std::max<blas_int>(1, order)) {
-    throw std::invalid_argument("trsm: lda too small");
-  }
-  if (ldb < std::max<blas_int>(1, m)) {
-    throw std::invalid_argument("trsm: ldb too small");
-  }
-  if (m == 0 || n == 0) return;
-
+void trsm_solve(side s, uplo u, transpose trans, diag d, blas_int m,
+                blas_int n, T alpha, const T* a, blas_int lda, T* b,
+                blas_int ldb) {
   // Scale B by alpha first (alpha == 0 zeroes B, per BLAS).
   for (blas_int j = 0; j < n; ++j) {
     T* col = b + j * ldb;
@@ -106,9 +129,52 @@ void trsm(side s, uplo u, transpose trans, diag d, blas_int m, blas_int n,
   }
 }
 
+}  // namespace
+
+template <typename T>
+void trsm(side s, uplo u, transpose trans, diag d, blas_int m, blas_int n,
+          T alpha, const T* a, blas_int lda, T* b, blas_int ldb,
+          std::string_view call_site) {
+  if (m < 0 || n < 0) throw std::invalid_argument("trsm: negative dim");
+  const blas_int order = s == side::left ? m : n;
+  if (lda < std::max<blas_int>(1, order)) {
+    throw std::invalid_argument("trsm: lda too small");
+  }
+  if (ldb < std::max<blas_int>(1, m)) {
+    throw std::invalid_argument("trsm: ldb too small");
+  }
+  if (m == 0 || n == 0) return;
+
+  const auto start = std::chrono::steady_clock::now();
+  trsm_solve(s, u, trans, d, m, n, alpha, a, lda, b, ldb);
+  const auto stop = std::chrono::steady_clock::now();
+
+  // Triangular solves never change arithmetic under compute modes, but they
+  // are part of the level-3 surface: time and log each one so per-site
+  // attribution (MKL_VERBOSE / JSONL) covers the whole hot path.
+  call_record record;
+  record.routine = trsm_traits<T>::routine;
+  record.transa = static_cast<char>(trans);
+  record.transb = static_cast<char>(s);
+  record.m = m;
+  record.n = n;
+  record.k = order;
+  record.lda = lda;
+  record.ldb = ldb;
+  record.ldc = ldb;
+  record.seconds = std::chrono::duration<double>(stop - start).count();
+  record.flops = trsm_flops(trsm_traits<T>::is_complex, order,
+                            s == side::left ? n : m);
+  record.mode = compute_mode::standard;
+  record.call_site = std::string(call_site);
+  record.requested_mode = compute_mode::standard;
+  record_call(std::move(record));
+}
+
 #define DCMESH_INSTANTIATE_TRSM(T)                                        \
   template void trsm<T>(side, uplo, transpose, diag, blas_int, blas_int,  \
-                        T, const T*, blas_int, T*, blas_int);
+                        T, const T*, blas_int, T*, blas_int,              \
+                        std::string_view);
 
 DCMESH_INSTANTIATE_TRSM(float)
 DCMESH_INSTANTIATE_TRSM(double)

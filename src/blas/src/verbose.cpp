@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <deque>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 
 #include "dcmesh/common/env.hpp"
 
@@ -18,11 +20,63 @@ std::atomic<std::uint64_t> g_call_count{0};
 std::mutex g_seconds_mutex;
 double g_total_seconds = 0.0;             // guarded by g_seconds_mutex
 
+// JSONL sink: lazily opened append stream, reopened when the env value
+// changes (tests point MKL_VERBOSE_JSON at per-case temp files).
+std::mutex g_json_mutex;
+std::string g_json_path;                  // guarded by g_json_mutex
+std::ofstream g_json_stream;              // guarded by g_json_mutex
+
+/// Minimal JSON string escaping (sites/routines are plain tags, but be
+/// safe about quotes, backslashes, and control bytes).
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", ch);
+          out += buffer;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+void write_json_line(const call_record& record) {
+  const auto path = env_get(kVerboseJsonEnvVar);
+  if (!path) return;
+  std::lock_guard lock(g_json_mutex);
+  if (*path != g_json_path || !g_json_stream.is_open()) {
+    g_json_stream.close();
+    g_json_stream.clear();
+    g_json_stream.open(*path, std::ios::app);
+    g_json_path = *path;
+  }
+  if (!g_json_stream) return;
+  g_json_stream << record.to_json() << '\n' << std::flush;
+}
+
 }  // namespace
+
+std::string_view name(fallback_verdict verdict) noexcept {
+  switch (verdict) {
+    case fallback_verdict::none: return "none";
+    case fallback_verdict::passed: return "passed";
+    case fallback_verdict::promoted: return "promoted";
+  }
+  return "none";
+}
 
 std::string call_record::to_string() const {
   // Mirrors the oneMKL verbose format:
   // MKL_VERBOSE SGEMM(N,N,128,896,262144,...) 12.34ms CNR:OFF ... mode:BF16
+  // Policy-engine fields are appended after the MKL-compatible prefix so
+  // existing MKL_VERBOSE parsers keep working on tagged calls too.
   char buffer[256];
   const double ms = seconds * 1e3;
   std::snprintf(buffer, sizeof(buffer),
@@ -33,7 +87,52 @@ std::string call_record::to_string() const {
                 static_cast<long long>(k), static_cast<long long>(lda),
                 static_cast<long long>(ldb), static_cast<long long>(ldc), ms,
                 std::string(info(mode).env_token).c_str());
-  return buffer;
+  std::string line = buffer;
+  if (!call_site.empty()) {
+    line += " site:";
+    line += call_site;
+    line += " src:";
+    line += name(source);
+  }
+  if (fallback != fallback_verdict::none) {
+    std::snprintf(buffer, sizeof(buffer),
+                  " fallback:%s(resid=%.3e,attempts=%d,from=%s)",
+                  std::string(name(fallback)).c_str(), guard_residual,
+                  attempts,
+                  std::string(info(requested_mode).env_token).c_str());
+    line += buffer;
+  }
+  return line;
+}
+
+std::string call_record::to_json() const {
+  std::string out = "{\"routine\":\"";
+  append_json_escaped(out, routine);
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "\",\"transa\":\"%c\",\"transb\":\"%c\",\"m\":%lld,"
+                "\"n\":%lld,\"k\":%lld,\"lda\":%lld,\"ldb\":%lld,"
+                "\"ldc\":%lld,\"seconds\":%.9g,\"flops\":%.9g,",
+                transa, transb, static_cast<long long>(m),
+                static_cast<long long>(n), static_cast<long long>(k),
+                static_cast<long long>(lda), static_cast<long long>(ldb),
+                static_cast<long long>(ldc), seconds, flops);
+  out += buffer;
+  out += "\"mode\":\"";
+  out += info(mode).env_token;
+  out += "\",\"site\":\"";
+  append_json_escaped(out, call_site);
+  out += "\",\"source\":\"";
+  out += name(source);
+  out += "\",\"requested_mode\":\"";
+  out += info(requested_mode).env_token;
+  out += "\",\"fallback\":\"";
+  out += name(fallback);
+  std::snprintf(buffer, sizeof(buffer),
+                "\",\"residual\":%.9g,\"attempts\":%d}", guard_residual,
+                attempts);
+  out += buffer;
+  return out;
 }
 
 bool verbose_enabled() { return env_get_int(kVerboseEnvVar, 0) >= 1; }
@@ -42,6 +141,7 @@ void record_call(call_record record) {
   if (verbose_enabled()) {
     std::fprintf(stderr, "%s\n", record.to_string().c_str());
   }
+  write_json_line(record);
   g_call_count.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(g_seconds_mutex);

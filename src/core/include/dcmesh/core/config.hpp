@@ -50,6 +50,14 @@ struct run_config {
   double hartree = 0.0;
   propagator_choice propagator = propagator_choice::taylor;
 
+  /// Per-call-site BLAS precision policy (see blas/precision_policy.hpp
+  /// for the grammar, e.g. "lfd/remap_occ/*=FLOAT_TO_BF16X2;lfd/*=TF32").
+  /// Empty = no deck-level policy.  Installed process-wide by the driver
+  /// at construction; the DCMESH_BLAS_POLICY environment variable still
+  /// applies when this is empty (the deck wins when both are set, matching
+  /// the policy engine's set_policy > env precedence).
+  std::string blas_policy;
+
   // --- laser pulse ---
   mesh::laser_pulse pulse;
 
@@ -78,7 +86,8 @@ struct run_config {
 ///   cells_per_axis, mesh_n, norb, nocc, seed, temperature_k, dt,
 ///   qd_steps_per_series, series, lfd_precision (fp32|fp64), v_nl,
 ///   fd_order, pulse_e0, pulse_omega, pulse_center, pulse_sigma,
-///   pulse_axis.
+///   pulse_axis, blas_policy (per-site precision rules; parsed eagerly so
+///   a malformed policy fails at deck load, not mid-run).
 [[nodiscard]] run_config parse_config(std::istream& in);
 
 /// Parse a deck from a file path.

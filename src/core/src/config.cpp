@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "dcmesh/blas/precision_policy.hpp"
 #include "dcmesh/common/env.hpp"
 #include "dcmesh/common/units.hpp"
 
@@ -34,6 +35,13 @@ void run_config::validate() const {
   }
   if (pulse.polarization_axis < 0 || pulse.polarization_axis > 2) {
     fail("pulse_axis must be 0, 1, or 2");
+  }
+  if (!blas_policy.empty()) {
+    try {
+      (void)blas::parse_policy(blas_policy);
+    } catch (const std::invalid_argument& error) {
+      fail(std::string("blas_policy: ") + error.what());
+    }
   }
 }
 
@@ -126,6 +134,10 @@ run_config parse_config(std::istream& in) {
       config.pulse.sigma = as_double();
     } else if (key == "PULSE_AXIS") {
       config.pulse.polarization_axis = static_cast<int>(as_int());
+    } else if (key == "BLAS_POLICY") {
+      // The raw rule string; validate() parse-checks it so malformed
+      // policies fail at deck load with the line's context intact.
+      config.blas_policy = value;
     } else {
       fail("unknown key: " + key);
     }
@@ -167,6 +179,9 @@ std::string to_deck(const run_config& config) {
      << "pulse_center = " << config.pulse.t_center << '\n'
      << "pulse_sigma = " << config.pulse.sigma << '\n'
      << "pulse_axis = " << config.pulse.polarization_axis << '\n';
+  if (!config.blas_policy.empty()) {
+    os << "blas_policy = " << config.blas_policy << '\n';
+  }
   return os.str();
 }
 

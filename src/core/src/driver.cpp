@@ -1,5 +1,6 @@
 #include "dcmesh/core/driver.hpp"
 
+#include "dcmesh/blas/precision_policy.hpp"
 #include "dcmesh/lfd/forces.hpp"
 #include "dcmesh/lfd/init.hpp"
 #include "dcmesh/lfd/potential.hpp"
@@ -26,6 +27,13 @@ driver::driver(run_config config)
       integrator_(qxmd::pair_potential{},
                   config_.dt * config_.qd_steps_per_series) {
   config_.validate();
+  // Install the deck's per-site BLAS policy process-wide before any
+  // level-3 call; validate() has already parse-checked it.  An empty deck
+  // policy leaves whatever is installed (including DCMESH_BLAS_POLICY from
+  // the environment) untouched.
+  if (!config_.blas_policy.empty()) {
+    blas::set_policy(blas::parse_policy(config_.blas_policy));
+  }
   qxmd::seed_velocities(atoms_, config_.temperature_k, config_.seed + 1);
   integrator_.initialize(atoms_);
 

@@ -22,7 +22,7 @@ energy_report calc_energy(const hamiltonian<R>& h,
   matrix<C> t(norb, norb);
   blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none,
                 C(static_cast<R>(dv)), psi.view(), kpsi.view(), C(0),
-                t.view());
+                t.view(), "lfd/calc_energy/kinetic");
   for (std::size_t j = 0; j < norb; ++j) {
     report.ekin += occ[j] * static_cast<double>(t(j, j).real());
   }
@@ -55,7 +55,8 @@ energy_report calc_energy(const hamiltonian<R>& h,
   }
   matrix<C> m(norb, norb);
   blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none, C(1),
-                g.view(), w.view(), C(0), m.view());
+                g.view(), w.view(), C(0), m.view(),
+                "lfd/calc_energy/nonlocal");
   for (std::size_t j = 0; j < norb; ++j) {
     report.enl += lambda_nl * occ[j] * static_cast<double>(m(j, j).real());
   }
@@ -64,7 +65,7 @@ energy_report calc_energy(const hamiltonian<R>& h,
   // evaluated as an element-wise contraction of G and U.
   matrix<C> u(norb, norb);
   blas::gemm<C>(blas::transpose::none, blas::transpose::none, C(1), t.view(),
-                g.view(), C(0), u.view());
+                g.view(), C(0), u.view(), "lfd/calc_energy/band_rot");
   for (std::size_t j = 0; j < norb; ++j) {
     double acc = 0.0;
     for (std::size_t i = 0; i < norb; ++i) {

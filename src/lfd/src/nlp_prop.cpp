@@ -21,17 +21,19 @@ nlp_result<R> nlp_prop(const matrix<std::complex<R>>& psi0,
   // BLAS call 1: G = dv * Psi0^H * Psi(t)   (norb x norb, k = ngrid)
   blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none,
                 C(static_cast<R>(dv)), psi0.view(), psi.view(), C(0),
-                result.g.view());
+                result.g.view(), "lfd/nlp_prop/overlap");
 
   // BLAS call 2: Psi += c * Psi0 * G        (ngrid x norb, k = norb)
   const C cc(static_cast<R>(c.real()), static_cast<R>(c.imag()));
   blas::gemm<C>(blas::transpose::none, blas::transpose::none, cc,
-                psi0.view(), result.g.view(), C(1), psi.view());
+                psi0.view(), result.g.view(), C(1), psi.view(),
+                "lfd/nlp_prop/project");
 
   // BLAS call 3: O = G^H * G                (norb x norb, k = norb)
   matrix<C> o(norb, norb);
   blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none, C(1),
-                result.g.view(), result.g.view(), C(0), o.view());
+                result.g.view(), result.g.view(), C(0), o.view(),
+                "lfd/nlp_prop/subspace");
   result.subspace_weight.resize(norb);
   for (std::size_t j = 0; j < norb; ++j) {
     result.subspace_weight[j] = static_cast<double>(o(j, j).real());

@@ -28,13 +28,15 @@ remap_report remap_occ(const matrix<std::complex<R>>& psi0,
   // (m = nocc, n = norb - nocc, k = ngrid).
   matrix<C> s(nocc, nunocc);
   blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none,
-                C(static_cast<R>(dv)), psi_occ, psi0_unocc, C(0), s.view());
+                C(static_cast<R>(dv)), psi_occ, psi0_unocc, C(0), s.view(),
+                "lfd/remap_occ/overlap");
 
   // BLAS call 8: O = S * S^H (nocc x nocc, k = norb - nocc);
   // nexc = sum_i f_i O_ii.
   matrix<C> o(nocc, nocc);
   blas::gemm<C>(blas::transpose::none, blas::transpose::conj_trans, C(1),
-                s.view(), s.view(), C(0), o.view());
+                s.view(), s.view(), C(0), o.view(),
+                "lfd/remap_occ/moment1");
 
   remap_report report;
   for (std::size_t i = 0; i < nocc; ++i) {
@@ -45,7 +47,8 @@ remap_report remap_occ(const matrix<std::complex<R>>& psi0,
   // second-order moment sum_i f_i (O^2)_ii = sum_{u,i} f_i Re[S_iu Rmat_ui].
   matrix<C> rmat(nunocc, nocc);
   blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none, C(1),
-                s.view(), o.view(), C(0), rmat.view());
+                s.view(), o.view(), C(0), rmat.view(),
+                "lfd/remap_occ/moment2");
   for (std::size_t i = 0; i < nocc; ++i) {
     double acc = 0.0;
     for (std::size_t u = 0; u < nunocc; ++u) {

@@ -42,7 +42,8 @@ bool orthonormalize_cholesky(matrix<cdouble>& psi, double dv) {
                      static_cast<blas::blas_int>(norb),
                      static_cast<blas::blas_int>(psi.rows()), dv,
                      psi.data(), static_cast<blas::blas_int>(psi.rows()),
-                     0.0, s.data(), static_cast<blas::blas_int>(norb));
+                     0.0, s.data(), static_cast<blas::blas_int>(norb),
+                     "qxmd/cholesky/overlap");
 
   if (!cholesky_lower(s)) return false;
 
@@ -61,7 +62,8 @@ bool orthonormalize_cholesky(matrix<cdouble>& psi, double dv) {
                       static_cast<blas::blas_int>(psi.rows()),
                       static_cast<blas::blas_int>(norb), cdouble(1),
                       s.data(), static_cast<blas::blas_int>(norb),
-                      psi.data(), static_cast<blas::blas_int>(psi.rows()));
+                      psi.data(), static_cast<blas::blas_int>(psi.rows()),
+                      "qxmd/cholesky/solve");
   return true;
 }
 

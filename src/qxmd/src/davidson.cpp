@@ -86,7 +86,7 @@ davidson_result davidson(const apply_h_fn& h, std::size_t dim, double dv,
     matrix<cdouble> hsub(m, m);
     blas::gemm<cdouble>(blas::transpose::conj_trans, blas::transpose::none,
                         cdouble(dv), vm.view(), w.view(), cdouble(0),
-                        hsub.view());
+                        hsub.view(), "qxmd/davidson/hsub");
     const eigen_result eig = hermitian_eigen(hsub);
 
     // Ritz vectors X = V Y and their images H X = W Y (lowest nev).
@@ -97,11 +97,11 @@ davidson_result davidson(const apply_h_fn& h, std::size_t dim, double dv,
     }
     blas::gemm<cdouble>(blas::transpose::none, blas::transpose::none,
                         cdouble(1), vm.view(), y.view(), cdouble(0),
-                        ritz.view());
+                        ritz.view(), "qxmd/davidson/ritz");
     matrix<cdouble> hx(dim, nev);
     blas::gemm<cdouble>(blas::transpose::none, blas::transpose::none,
                         cdouble(1), w.view(), y.view(), cdouble(0),
-                        hx.view());
+                        hx.view(), "qxmd/davidson/ritz_image");
 
     // Residuals r_j = H x_j - theta_j x_j.
     result.max_residual = 0.0;

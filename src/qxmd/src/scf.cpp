@@ -53,7 +53,7 @@ std::vector<double> rayleigh_ritz(matrix<cdouble>& psi, const apply_h_fn& h,
   matrix<cdouble> hsub(norb, norb);
   blas::gemm<cdouble>(blas::transpose::conj_trans, blas::transpose::none,
                       cdouble(dv), psi.view(), hpsi.view(), cdouble(0),
-                      hsub.view());
+                      hsub.view(), "qxmd/scf/hsub");
 
   const eigen_result eig = hermitian_eigen(hsub);
 
@@ -61,7 +61,7 @@ std::vector<double> rayleigh_ritz(matrix<cdouble>& psi, const apply_h_fn& h,
   matrix<cdouble> rotated(ngrid, norb);
   blas::gemm<cdouble>(blas::transpose::none, blas::transpose::none,
                       cdouble(1), psi.view(), eig.vectors.view(), cdouble(0),
-                      rotated.view());
+                      rotated.view(), "qxmd/scf/rotate");
   psi = std::move(rotated);
   return eig.values;
 }

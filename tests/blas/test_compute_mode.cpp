@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "dcmesh/common/env.hpp"
 
 namespace dcmesh::blas {
@@ -104,6 +106,27 @@ TEST_F(ComputeModeTest, ScopedOverrideNestsAndRestores) {
     EXPECT_EQ(active_compute_mode(), compute_mode::float_to_tf32);
   }
   EXPECT_EQ(active_compute_mode(), compute_mode::float_to_bf16);
+}
+
+TEST_F(ComputeModeTest, ScopedOverrideIsThreadLocal) {
+  // The scoped override must not leak across threads: a worker spawned
+  // while an override is live on this thread still sees the process-wide
+  // resolution (here: the env-var mode).
+  env_set(kComputeModeEnvVar, "FLOAT_TO_BF16");
+  scoped_compute_mode scoped(compute_mode::float_to_tf32);
+  EXPECT_EQ(active_compute_mode(), compute_mode::float_to_tf32);
+  compute_mode seen_on_worker = compute_mode::standard;
+  std::thread([&] { seen_on_worker = active_compute_mode(); }).join();
+  EXPECT_EQ(seen_on_worker, compute_mode::float_to_bf16);
+}
+
+TEST_F(ComputeModeTest, SetComputeModeIsProcessWide) {
+  // By contrast, set_compute_mode() is a process-global setting and must
+  // be visible from every thread.
+  set_compute_mode(compute_mode::float_to_bf16x2);
+  compute_mode seen_on_worker = compute_mode::standard;
+  std::thread([&] { seen_on_worker = active_compute_mode(); }).join();
+  EXPECT_EQ(seen_on_worker, compute_mode::float_to_bf16x2);
 }
 
 TEST_F(ComputeModeTest, Names) {

@@ -1,0 +1,338 @@
+// Unit tests for the per-call-site precision policy engine: glob matching,
+// policy parsing, the layered resolution order, and the accuracy-guarded
+// fallback (promotion ladder + per-site statistics).
+
+#include "dcmesh/blas/precision_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "dcmesh/blas/gemm_call.hpp"
+#include "dcmesh/blas/verbose.hpp"
+#include "dcmesh/common/env.hpp"
+
+namespace dcmesh::blas {
+namespace {
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+  static void reset() {
+    clear_policy();
+    clear_compute_mode();
+    clear_fallback_stats();
+    clear_call_log();
+    env_unset(kPolicyEnvVar);
+    env_unset(kComputeModeEnvVar);
+    env_unset(kGuardThresholdEnvVar);
+  }
+};
+
+// ---------------------------------------------------------------- glob ---
+
+TEST_F(PolicyTest, GlobMatchesLiterally) {
+  EXPECT_TRUE(glob_match("lfd/nlp_prop/overlap", "lfd/nlp_prop/overlap"));
+  EXPECT_FALSE(glob_match("lfd/nlp_prop/overlap", "lfd/nlp_prop/project"));
+}
+
+TEST_F(PolicyTest, GlobStarCrossesSlashes) {
+  EXPECT_TRUE(glob_match("lfd/*", "lfd/remap_occ/overlap"));
+  EXPECT_TRUE(glob_match("*", "anything/at/all"));
+  EXPECT_TRUE(glob_match("lfd/*/overlap", "lfd/remap_occ/overlap"));
+  EXPECT_FALSE(glob_match("lfd/*", "qxmd/scf/hsub"));
+}
+
+TEST_F(PolicyTest, GlobQuestionMarkMatchesOneChar) {
+  EXPECT_TRUE(glob_match("lfd/remap_occ/moment?", "lfd/remap_occ/moment1"));
+  EXPECT_TRUE(glob_match("lfd/remap_occ/moment?", "lfd/remap_occ/moment2"));
+  EXPECT_FALSE(glob_match("lfd/remap_occ/moment?", "lfd/remap_occ/moment"));
+  EXPECT_FALSE(glob_match("lfd/remap_occ/moment?",
+                          "lfd/remap_occ/moment12"));
+}
+
+TEST_F(PolicyTest, GlobStarBacktracks) {
+  EXPECT_TRUE(glob_match("*overlap", "lfd/remap_occ/overlap"));
+  EXPECT_TRUE(glob_match("*occ*", "lfd/remap_occ/overlap"));
+  EXPECT_FALSE(glob_match("*overlap", "lfd/remap_occ/moment1"));
+}
+
+// --------------------------------------------------------------- parse ---
+
+TEST_F(PolicyTest, ParsesRulesAndFlags) {
+  const auto policy = parse_policy(
+      "lfd/remap_occ/*=FLOAT_TO_BF16X2; lfd/*=float_to_bf16:guarded,"
+      "qxmd/*=FLOAT_TO_TF32:tol=1e-3");
+  ASSERT_EQ(policy.rules.size(), 3u);
+  EXPECT_EQ(policy.rules[0].pattern, "lfd/remap_occ/*");
+  EXPECT_EQ(policy.rules[0].mode, compute_mode::float_to_bf16x2);
+  EXPECT_FALSE(policy.rules[0].guarded);
+  EXPECT_FALSE(policy.rules[0].tolerance.has_value());
+  // Mode tokens are case-insensitive; `guarded` sets the flag alone.
+  EXPECT_EQ(policy.rules[1].mode, compute_mode::float_to_bf16);
+  EXPECT_TRUE(policy.rules[1].guarded);
+  // tol= implies guarded.
+  EXPECT_TRUE(policy.rules[2].guarded);
+  ASSERT_TRUE(policy.rules[2].tolerance.has_value());
+  EXPECT_DOUBLE_EQ(*policy.rules[2].tolerance, 1e-3);
+}
+
+TEST_F(PolicyTest, FirstMatchWins) {
+  const auto policy =
+      parse_policy("lfd/remap_occ/*=FLOAT_TO_BF16;lfd/*=FLOAT_TO_TF32");
+  const policy_rule* rule = policy.match("lfd/remap_occ/overlap");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->mode, compute_mode::float_to_bf16);
+  rule = policy.match("lfd/nlp_prop/overlap");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->mode, compute_mode::float_to_tf32);
+  EXPECT_EQ(policy.match("qxmd/scf/hsub"), nullptr);
+}
+
+TEST_F(PolicyTest, ParseRejectsMalformedRules) {
+  EXPECT_THROW((void)parse_policy("lfd/no_equals_sign"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_policy("=FLOAT_TO_BF16"), std::invalid_argument);
+  EXPECT_THROW((void)parse_policy("lfd/*=NOT_A_MODE"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_policy("lfd/*=FLOAT_TO_BF16:bogus_flag"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_policy("lfd/*=FLOAT_TO_BF16:tol=not_a_number"),
+               std::invalid_argument);
+}
+
+TEST_F(PolicyTest, EmptyPolicyTextParsesToEmptyPolicy) {
+  EXPECT_TRUE(parse_policy("").empty());
+  EXPECT_TRUE(parse_policy(" ; , ").empty());
+}
+
+// ---------------------------------------------------------- resolution ---
+
+TEST_F(PolicyTest, DefaultResolvesToStandard) {
+  const auto res = resolve_compute_mode("lfd/nlp_prop/overlap", {});
+  EXPECT_EQ(res.mode, compute_mode::standard);
+  EXPECT_EQ(res.source, policy_source::standard_default);
+  EXPECT_FALSE(res.guarded);
+}
+
+TEST_F(PolicyTest, EnvGlobalAppliesToEveryCall) {
+  env_set(kComputeModeEnvVar, "FLOAT_TO_TF32");
+  const auto res = resolve_compute_mode("lfd/nlp_prop/overlap", {});
+  EXPECT_EQ(res.mode, compute_mode::float_to_tf32);
+  EXPECT_EQ(res.source, policy_source::env_global);
+  // Untagged calls resolve through the same layer.
+  EXPECT_EQ(resolve_compute_mode({}, {}).mode, compute_mode::float_to_tf32);
+}
+
+TEST_F(PolicyTest, ApiGlobalBeatsEnvGlobal) {
+  env_set(kComputeModeEnvVar, "FLOAT_TO_TF32");
+  set_compute_mode(compute_mode::float_to_bf16x2);
+  const auto res = resolve_compute_mode("any/site", {});
+  EXPECT_EQ(res.mode, compute_mode::float_to_bf16x2);
+  EXPECT_EQ(res.source, policy_source::api_global);
+}
+
+TEST_F(PolicyTest, SitePolicyBeatsGlobalMode) {
+  set_compute_mode(compute_mode::float_to_tf32);
+  set_policy(parse_policy("lfd/remap_occ/*=FLOAT_TO_BF16"));
+  const auto hit = resolve_compute_mode("lfd/remap_occ/overlap", {});
+  EXPECT_EQ(hit.mode, compute_mode::float_to_bf16);
+  EXPECT_EQ(hit.source, policy_source::site_policy);
+  // A site the policy does not match falls through to the global mode.
+  const auto miss = resolve_compute_mode("lfd/nlp_prop/overlap", {});
+  EXPECT_EQ(miss.mode, compute_mode::float_to_tf32);
+  EXPECT_EQ(miss.source, policy_source::api_global);
+}
+
+TEST_F(PolicyTest, EnvPolicyAppliesAndLosesToApiPolicy) {
+  env_set(kPolicyEnvVar, "lfd/*=FLOAT_TO_BF16X3");
+  auto res = resolve_compute_mode("lfd/nlp_prop/overlap", {});
+  EXPECT_EQ(res.mode, compute_mode::float_to_bf16x3);
+  EXPECT_EQ(res.source, policy_source::site_policy);
+
+  set_policy(parse_policy("lfd/*=FLOAT_TO_TF32"));
+  res = resolve_compute_mode("lfd/nlp_prop/overlap", {});
+  EXPECT_EQ(res.mode, compute_mode::float_to_tf32);
+
+  clear_policy();
+  res = resolve_compute_mode("lfd/nlp_prop/overlap", {});
+  EXPECT_EQ(res.mode, compute_mode::float_to_bf16x3);
+}
+
+TEST_F(PolicyTest, MalformedEnvPolicyIsIgnored) {
+  env_set(kPolicyEnvVar, "lfd/*=NOT_A_MODE");
+  const auto res = resolve_compute_mode("lfd/nlp_prop/overlap", {});
+  EXPECT_EQ(res.mode, compute_mode::standard);
+  EXPECT_EQ(res.source, policy_source::standard_default);
+}
+
+TEST_F(PolicyTest, ScopedModeBeatsSitePolicy) {
+  set_policy(parse_policy("lfd/*=FLOAT_TO_BF16"));
+  scoped_compute_mode scoped(compute_mode::float_to_bf16x2);
+  const auto res = resolve_compute_mode("lfd/nlp_prop/overlap", {});
+  EXPECT_EQ(res.mode, compute_mode::float_to_bf16x2);
+  EXPECT_EQ(res.source, policy_source::scoped);
+}
+
+TEST_F(PolicyTest, CallOverrideBeatsEverything) {
+  set_policy(parse_policy("lfd/*=FLOAT_TO_BF16"));
+  set_compute_mode(compute_mode::float_to_tf32);
+  scoped_compute_mode scoped(compute_mode::float_to_bf16x2);
+  const auto res = resolve_compute_mode("lfd/nlp_prop/overlap",
+                                        compute_mode::float_to_bf16x3);
+  EXPECT_EQ(res.mode, compute_mode::float_to_bf16x3);
+  EXPECT_EQ(res.source, policy_source::call_override);
+}
+
+TEST_F(PolicyTest, UntaggedCallsNeverMatchSitePolicies) {
+  set_policy(parse_policy("*=FLOAT_TO_BF16"));
+  const auto res = resolve_compute_mode({}, {});
+  EXPECT_EQ(res.mode, compute_mode::standard);
+  EXPECT_EQ(res.source, policy_source::standard_default);
+}
+
+TEST_F(PolicyTest, GuardToleranceDefaultsAndOverrides) {
+  set_policy(parse_policy("a=FLOAT_TO_BF16:guarded;b=FLOAT_TO_BF16:tol=1e-5"));
+  EXPECT_DOUBLE_EQ(resolve_compute_mode("a", {}).tolerance,
+                   kDefaultGuardThreshold);
+  EXPECT_DOUBLE_EQ(resolve_compute_mode("b", {}).tolerance, 1e-5);
+  env_set(kGuardThresholdEnvVar, "0.25");
+  EXPECT_DOUBLE_EQ(resolve_compute_mode("a", {}).tolerance, 0.25);
+  EXPECT_DOUBLE_EQ(resolve_compute_mode("b", {}).tolerance, 1e-5);
+}
+
+// ------------------------------------------------------ promotion ladder ---
+
+TEST_F(PolicyTest, PromotionLadderByMantissaBits) {
+  EXPECT_EQ(next_higher_mode(compute_mode::float_to_bf16),
+            compute_mode::float_to_tf32);
+  EXPECT_EQ(next_higher_mode(compute_mode::float_to_tf32),
+            compute_mode::float_to_bf16x2);
+  EXPECT_EQ(next_higher_mode(compute_mode::float_to_bf16x2),
+            compute_mode::float_to_bf16x3);
+  EXPECT_EQ(next_higher_mode(compute_mode::float_to_bf16x3),
+            compute_mode::standard);
+  EXPECT_EQ(next_higher_mode(compute_mode::complex_3m),
+            compute_mode::standard);
+  EXPECT_EQ(next_higher_mode(compute_mode::standard),
+            compute_mode::standard);
+}
+
+// ------------------------------------------------------- guarded calls ---
+
+gemm_call<float> make_call(const std::vector<float>& a,
+                           const std::vector<float>& b,
+                           std::vector<float>& c, blas_int n,
+                           std::string_view site) {
+  gemm_call<float> call;
+  call.m = call.n = call.k = n;
+  call.a = a.data();
+  call.lda = n;
+  call.b = b.data();
+  call.ldb = n;
+  call.c = c.data();
+  call.ldc = n;
+  call.call_site = site;
+  return call;
+}
+
+TEST_F(PolicyTest, GuardedCallPromotesWhenToleranceIsTight) {
+  const blas_int n = 48;
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> dist(0.5f, 1.5f);
+  std::vector<float> a(n * n), b(n * n), c(n * n, 0.0f);
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : b) v = dist(rng);
+
+  // BF16 truncation (8 mantissa bits) leaves a relative residual around
+  // 1e-2 on this data — far above 1e-5, so the guard must promote.
+  set_policy(parse_policy("guarded/site=FLOAT_TO_BF16:tol=1e-5"));
+  run(make_call(a, b, c, n, "guarded/site"));
+
+  const auto calls = recent_calls();
+  ASSERT_EQ(calls.size(), 1u);
+  const auto& record = calls.back();
+  EXPECT_EQ(record.routine, "SGEMM");
+  EXPECT_EQ(record.call_site, "guarded/site");
+  EXPECT_EQ(record.requested_mode, compute_mode::float_to_bf16);
+  EXPECT_EQ(record.fallback, fallback_verdict::promoted);
+  EXPECT_GE(record.attempts, 2);
+  EXPECT_NE(record.mode, compute_mode::float_to_bf16);
+  // The final attempt either met the tolerance or reached standard
+  // arithmetic (the top of the ladder).
+  EXPECT_TRUE(record.guard_residual <= 1e-5 ||
+              record.mode == compute_mode::standard);
+
+  const auto stats = fallback_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].first, "guarded/site");
+  EXPECT_EQ(stats[0].second.guarded_calls, 1u);
+  EXPECT_EQ(stats[0].second.promotions, 1u);
+  EXPECT_EQ(stats[0].second.last_mode, record.mode);
+}
+
+TEST_F(PolicyTest, GuardedCallPassesWithLooseTolerance) {
+  const blas_int n = 32;
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<float> dist(0.5f, 1.5f);
+  std::vector<float> a(n * n), b(n * n), c(n * n, 0.0f);
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : b) v = dist(rng);
+
+  set_policy(parse_policy("loose/site=FLOAT_TO_BF16:tol=0.5"));
+  run(make_call(a, b, c, n, "loose/site"));
+
+  const auto calls = recent_calls();
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls.back().mode, compute_mode::float_to_bf16);
+  EXPECT_EQ(calls.back().fallback, fallback_verdict::passed);
+  EXPECT_EQ(calls.back().attempts, 1);
+
+  const auto stats = fallback_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].second.guarded_calls, 1u);
+  EXPECT_EQ(stats[0].second.promotions, 0u);
+}
+
+TEST_F(PolicyTest, UnguardedRuleRunsLowPrecisionUnchecked) {
+  const blas_int n = 32;
+  std::vector<float> a(n * n, 1.0f), b(n * n, 1.0f), c(n * n, 0.0f);
+  set_policy(parse_policy("plain/site=FLOAT_TO_BF16"));
+  run(make_call(a, b, c, n, "plain/site"));
+  const auto calls = recent_calls();
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls.back().mode, compute_mode::float_to_bf16);
+  EXPECT_EQ(calls.back().fallback, fallback_verdict::none);
+  EXPECT_TRUE(fallback_stats().empty());
+}
+
+TEST_F(PolicyTest, GuardedPromotionProducesStandardQualityResult) {
+  // The promoted result must actually be the higher-precision one: compare
+  // against an unpoliced standard run.
+  const blas_int n = 40;
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> a(n * n), b(n * n);
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : b) v = dist(rng);
+
+  std::vector<float> c_ref(n * n, 0.0f);
+  run(make_call(a, b, c_ref, n, {}));  // untagged -> standard
+
+  std::vector<float> c_pol(n * n, 0.0f);
+  set_policy(parse_policy("promote/me=FLOAT_TO_BF16:tol=1e-7"));
+  run(make_call(a, b, c_pol, n, "promote/me"));
+
+  // tol=1e-7 is unreachable below standard, so the ladder must end there
+  // and the result must be bit-identical to the unpoliced run.
+  const auto calls = recent_calls();
+  EXPECT_EQ(calls.back().mode, compute_mode::standard);
+  for (std::size_t i = 0; i < c_ref.size(); ++i) {
+    ASSERT_EQ(c_ref[i], c_pol[i]) << "element " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dcmesh::blas

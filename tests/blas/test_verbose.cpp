@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <complex>
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "dcmesh/blas/blas.hpp"
@@ -109,6 +112,79 @@ TEST_F(VerboseTest, VerboseEnabledFollowsEnv) {
   EXPECT_TRUE(verbose_enabled());
   env_set(kVerboseEnvVar, "0");
   EXPECT_FALSE(verbose_enabled());
+}
+
+TEST_F(VerboseTest, UntaggedLineHasNoPolicyFields) {
+  // Compatibility: untagged, unguarded records must render exactly the
+  // pre-policy MKL_VERBOSE line — no site/src/fallback suffix.
+  std::vector<float> a(4, 1.0f), b(4, 1.0f), c(4, 0.0f);
+  sgemm(transpose::none, transpose::none, 2, 2, 2, 1.0f, a.data(), 2,
+        b.data(), 2, 0.0f, c.data(), 2);
+  const std::string line = recent_calls()[0].to_string();
+  EXPECT_EQ(line.find(" site:"), std::string::npos) << line;
+  EXPECT_EQ(line.find(" src:"), std::string::npos) << line;
+  EXPECT_EQ(line.find(" fallback:"), std::string::npos) << line;
+}
+
+TEST_F(VerboseTest, TaggedLineCarriesSiteSourceAndFallback) {
+  call_record record;
+  record.routine = "CGEMM";
+  record.m = record.n = record.k = 8;
+  record.lda = record.ldb = record.ldc = 8;
+  record.mode = compute_mode::float_to_tf32;
+  record.call_site = "lfd/remap_occ/overlap";
+  record.source = policy_source::site_policy;
+  record.requested_mode = compute_mode::float_to_bf16;
+  record.fallback = fallback_verdict::promoted;
+  record.guard_residual = 3.2e-3;
+  record.attempts = 2;
+  const std::string line = record.to_string();
+  EXPECT_NE(line.find("site:lfd/remap_occ/overlap"), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("src:site_policy"), std::string::npos) << line;
+  EXPECT_NE(line.find("fallback:promoted"), std::string::npos) << line;
+  EXPECT_NE(line.find("from=FLOAT_TO_BF16"), std::string::npos) << line;
+}
+
+TEST_F(VerboseTest, JsonSinkWritesOneObjectPerCall) {
+  const std::string path =
+      ::testing::TempDir() + "/dcmesh_verbose_sink_test.jsonl";
+  std::remove(path.c_str());
+  env_set(kVerboseJsonEnvVar, path);
+
+  std::vector<float> a(6, 1.0f), b(8, 1.0f), c(12, 0.0f);
+  sgemm(transpose::none, transpose::none, 3, 4, 2, 1.0f, a.data(), 3,
+        b.data(), 2, 0.0f, c.data(), 3);
+  std::vector<double> da(1, 1.0), db(1, 1.0), dc(1, 0.0);
+  dgemm(transpose::none, transpose::none, 1, 1, 1, 1.0, da.data(), 1,
+        db.data(), 1, 0.0, dc.data(), 1);
+  env_unset(kVerboseJsonEnvVar);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"routine\":\"SGEMM\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"m\":3"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"mode\":\"STANDARD\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"site\":\"\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"fallback\":\"none\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"routine\":\"DGEMM\""), std::string::npos);
+  // Every line is one well-formed JSON object (quick structural check).
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(VerboseTest, JsonEscapesSpecialCharacters) {
+  call_record record;
+  record.routine = "SG\"EMM\\";
+  const std::string json = record.to_json();
+  EXPECT_NE(json.find("\"routine\":\"SG\\\"EMM\\\\\""), std::string::npos)
+      << json;
 }
 
 TEST_F(VerboseTest, GemmHelpers) {

@@ -52,24 +52,25 @@ TEST(CallContract, Fp64DriverUsesZgemm) {
 TEST(CallContract, ScfRefreshStaysFp64) {
   // The between-series SCF path must never run reduced precision, whatever
   // the compute mode: its inner products are level-1 FP64 operations, and
-  // any level-3 call it makes must be ZGEMM.
+  // any level-3 call it makes must be FP64 (ZGEMM, or ZTRSM from the
+  // Cholesky orthonormalization — trsm always runs standard arithmetic).
   auto config = core::preset(core::paper_system::tiny);
   core::driver sim(config);
   blas::set_compute_mode(blas::compute_mode::float_to_bf16);
   blas::clear_call_log();
   sim.run_series();
-  bool saw_cgemm_outside_qd = false;
+  bool saw_low_precision_outside_qd = false;
   std::size_t qd_calls = 0;
   for (const auto& call : blas::recent_calls()) {
     if (call.routine == "CGEMM") {
       ++qd_calls;
-    } else if (call.routine != "ZGEMM") {
-      saw_cgemm_outside_qd = true;
+    } else if (call.routine != "ZGEMM" && call.routine != "ZTRSM") {
+      saw_low_precision_outside_qd = true;
     }
   }
   blas::clear_compute_mode();
   EXPECT_EQ(qd_calls, 9u * 20u);  // tiny preset: 20 QD steps per series
-  EXPECT_FALSE(saw_cgemm_outside_qd);
+  EXPECT_FALSE(saw_low_precision_outside_qd);
 }
 
 TEST(CallContract, ModeledCallListCoversAllSites) {

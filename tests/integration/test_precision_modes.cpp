@@ -7,8 +7,12 @@
 
 #include <cmath>
 #include <map>
+#include <set>
+#include <string>
 
 #include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/blas/precision_policy.hpp"
+#include "dcmesh/blas/verbose.hpp"
 #include "dcmesh/common/env.hpp"
 #include "dcmesh/common/stats.hpp"
 #include "dcmesh/core/driver.hpp"
@@ -41,13 +45,17 @@ std::vector<lfd::qd_record> run_with_mode(blas::compute_mode mode) {
 
 class PrecisionModes : public ::testing::Test {
  protected:
-  void SetUp() override {
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+
+ private:
+  static void reset() {
     blas::clear_compute_mode();
+    blas::clear_policy();
+    blas::clear_call_log();
+    blas::clear_fallback_stats();
     env_unset(blas::kComputeModeEnvVar);
-  }
-  void TearDown() override {
-    blas::clear_compute_mode();
-    env_unset(blas::kComputeModeEnvVar);
+    env_unset(blas::kPolicyEnvVar);
   }
 };
 
@@ -133,6 +141,67 @@ TEST_F(PrecisionModes, CurrentDensityDeviationIsRelativelyTiny) {
   for (double j : ref_j) scale = std::max(scale, std::abs(j));
   ASSERT_GT(scale, 0.0);
   EXPECT_LT(dev, 0.02 * scale);
+}
+
+TEST_F(PrecisionModes, PerSitePolicyIsSurgical) {
+  // The PR's headline capability: DCMESH_BLAS_POLICY lowers precision at
+  // exactly the named call sites and nowhere else.  remap_occ feeds only
+  // the nexc diagnostic, so demoting its three GEMMs to BF16 must change
+  // nexc while leaving the propagated state — and hence ekin — untouched.
+  const auto reference = run_with_mode(blas::compute_mode::standard);
+
+  env_set(blas::kPolicyEnvVar, "lfd/remap_occ/*=FLOAT_TO_BF16");
+  blas::clear_call_log();
+  core::driver sim(small_config());
+  sim.run();
+  const auto calls = blas::recent_calls();
+  env_unset(blas::kPolicyEnvVar);
+
+  std::set<std::string> bf16_sites;
+  for (const auto& call : calls) {
+    const bool is_remap =
+        call.call_site.rfind("lfd/remap_occ/", 0) == 0;
+    if (is_remap) {
+      EXPECT_EQ(call.mode, blas::compute_mode::float_to_bf16)
+          << call.call_site;
+      EXPECT_EQ(call.source, blas::policy_source::site_policy)
+          << call.call_site;
+      bf16_sites.insert(call.call_site);
+    } else {
+      EXPECT_NE(call.mode, blas::compute_mode::float_to_bf16)
+          << call.call_site << " (" << call.routine << ")";
+    }
+  }
+  // All three remap_occ sites — and only them — ran BF16.
+  EXPECT_EQ(bf16_sites.size(), 3u);
+
+  // nexc (computed by remap_occ) deviates; ekin is bit-identical because
+  // the policy never touched the propagation path.
+  EXPECT_GT(max_abs_deviation(core::extract_column(sim.records(), "nexc"),
+                              core::extract_column(reference, "nexc")),
+            0.0);
+  EXPECT_EQ(core::extract_column(sim.records(), "ekin"),
+            core::extract_column(reference, "ekin"));
+}
+
+TEST_F(PrecisionModes, DeckPolicyMatchesEnvPolicy) {
+  // The same policy installed through the input deck (blas_policy key)
+  // must produce the identical trajectory to the env-var route.
+  env_set(blas::kPolicyEnvVar, "lfd/remap_occ/*=FLOAT_TO_BF16");
+  core::driver env_sim(small_config());
+  env_sim.run();
+  env_unset(blas::kPolicyEnvVar);
+  blas::clear_policy();
+
+  auto config = small_config();
+  config.blas_policy = "lfd/remap_occ/*=FLOAT_TO_BF16";
+  core::driver deck_sim(config);
+  deck_sim.run();
+
+  EXPECT_EQ(core::extract_column(env_sim.records(), "nexc"),
+            core::extract_column(deck_sim.records(), "nexc"));
+  EXPECT_EQ(core::extract_column(env_sim.records(), "ekin"),
+            core::extract_column(deck_sim.records(), "ekin"));
 }
 
 }  // namespace
