@@ -24,6 +24,7 @@
 #include "dcmesh/blas/verbose.hpp"
 #include "dcmesh/common/env.hpp"
 #include "dcmesh/common/stats.hpp"
+#include "dcmesh/trace/metrics.hpp"
 
 namespace {
 
@@ -152,6 +153,9 @@ int run(int argc, char** argv) {
 
   audit_with_json(config);
   guarded_demo(config);
+
+  std::printf("\nPer-site GEMM counters (whole sweep):\n%s",
+              trace::gemm_metrics_report().c_str());
   return 0;
 }
 

@@ -8,10 +8,13 @@
 //   ./quickstart                                      # FP32 reference
 //   MKL_BLAS_COMPUTE_MODE=FLOAT_TO_BF16 ./quickstart  # BF16 mode
 //   MKL_VERBOSE=2 ./quickstart                        # per-call BLAS log
+//   DCMESH_TRACE_JSON=trace.json ./quickstart         # Chrome trace
 
 #include <iostream>
 
 #include "dcmesh/core/dcmesh.hpp"
+#include "dcmesh/trace/metrics.hpp"
+#include "dcmesh/trace/tracer.hpp"
 
 int main() {
   using namespace dcmesh;
@@ -33,6 +36,12 @@ int main() {
             << sim.shadow().transfers_performed() << " transfers, "
             << sim.shadow().transfers_avoided() << " avoided, "
             << sim.shadow().bytes_transferred() << " bytes moved\n"
-            << sim.tracer().to_string();
+            << sim.tracer().to_string()
+            << "# per-site GEMM counters:\n"
+            << trace::gemm_metrics_report();
+  if (trace::tracer::instance().enabled()) {
+    std::cout << "# trace: " << trace::tracer::instance().event_count()
+              << " spans buffered (written to $DCMESH_TRACE_JSON at exit)\n";
+  }
   return 0;
 }

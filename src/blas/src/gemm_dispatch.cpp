@@ -10,11 +10,13 @@
 
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <vector>
 
 #include "dcmesh/blas/gemm_call.hpp"
 #include "dcmesh/blas/precision_policy.hpp"
 #include "dcmesh/blas/verbose.hpp"
+#include "dcmesh/trace/tracer.hpp"
 #include "gemm_kernel.hpp"
 #include "gemm_modes.hpp"
 #include "split.hpp"
@@ -157,6 +159,16 @@ void run(const gemm_call<T>& call) {
                      call.m > 0 && call.n > 0 && call.k > 0 &&
                      call.alpha != T(0);
 
+  // One span per GEMM, named by the call-site tag so the Chrome timeline
+  // groups by site; inert (nullopt stays cheap) when tracing is off.
+  std::optional<trace::span> span;
+  if (trace::tracer::instance().enabled()) {
+    span.emplace(call.call_site.empty()
+                     ? std::string(gemm_traits<T>::routine)
+                     : std::string(call.call_site),
+                 "gemm");
+  }
+
   const auto start = std::chrono::steady_clock::now();
   if (!guard) {
     detail::run_at(requested, call);
@@ -190,6 +202,27 @@ void run(const gemm_call<T>& call) {
                     final_mode, residual);
   }
   const auto stop = std::chrono::steady_clock::now();
+
+  if (span) {
+    span->arg("routine", gemm_traits<T>::routine);
+    span->arg("m", static_cast<std::int64_t>(call.m));
+    span->arg("n", static_cast<std::int64_t>(call.n));
+    span->arg("k", static_cast<std::int64_t>(call.k));
+    span->arg("flops", gemm_flops(gemm_traits<T>::is_complex, call.m,
+                                  call.n, call.k));
+    span->arg("mode", info(final_mode).env_token);
+    if (verdict != fallback_verdict::none) {
+      span->arg("fallback", name(verdict));
+    }
+    // Measured-vs-modeled: annotate with the xehpc roofline's predicted
+    // device time when core has installed the model hook.
+    const double predicted = trace::predicted_gemm_seconds(
+        {call.m, call.n, call.k, gemm_traits<T>::is_complex,
+         std::is_same_v<T, double> ||
+             std::is_same_v<T, std::complex<double>>,
+         info(final_mode).env_token});
+    if (predicted >= 0.0) span->arg("predicted_us", predicted * 1e6);
+  }
 
   call_record record;
   record.routine = gemm_traits<T>::routine;

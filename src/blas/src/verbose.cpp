@@ -7,10 +7,23 @@
 #include <mutex>
 #include <sstream>
 
+#include "dcmesh/blas/blas.hpp"
 #include "dcmesh/common/env.hpp"
+#include "dcmesh/trace/metrics.hpp"
 
 namespace dcmesh::blas {
 namespace {
+
+/// Bytes of one element of the routine's type, from the BLAS prefix
+/// letter (SGEMM -> 4, DGEMM/CGEMM -> 8, ZGEMM -> 16).
+std::size_t element_bytes(std::string_view routine) noexcept {
+  if (routine.empty()) return 4;
+  switch (routine.front()) {
+    case 'D': case 'C': return 8;
+    case 'Z': return 16;
+    default: return 4;
+  }
+}
 
 constexpr std::size_t kMaxLogEntries = 16384;
 
@@ -142,6 +155,14 @@ void record_call(call_record record) {
     std::fprintf(stderr, "%s\n", record.to_string().c_str());
   }
   write_json_line(record);
+  // Feed the per-site counter registry: operand traffic is A + B plus C
+  // read and written (the roofline's streaming assumption).
+  const double bytes = gemm_bytes(record.m, record.n, record.k,
+                                  element_bytes(record.routine));
+  trace::record_gemm_metrics(record.call_site, record.routine,
+                             info(record.mode).env_token, record.flops,
+                             bytes, record.seconds,
+                             record.fallback == fallback_verdict::promoted);
   g_call_count.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(g_seconds_mutex);

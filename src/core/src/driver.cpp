@@ -5,6 +5,7 @@
 #include "dcmesh/lfd/init.hpp"
 #include "dcmesh/lfd/potential.hpp"
 #include "dcmesh/qxmd/supercell.hpp"
+#include "dcmesh/xehpc/roofline.hpp"
 
 namespace dcmesh::core {
 namespace {
@@ -34,6 +35,10 @@ driver::driver(run_config config)
   if (!config_.blas_policy.empty()) {
     blas::set_policy(blas::parse_policy(config_.blas_policy));
   }
+  // Annotate GEMM spans with the Max 1550 roofline's predicted device
+  // time (measured-vs-modeled per kernel).  Idempotent and cheap; uses
+  // the default single-stack spec and frozen calibration.
+  xehpc::install_trace_gemm_model();
   qxmd::seed_velocities(atoms_, config_.temperature_k, config_.seed + 1);
   integrator_.initialize(atoms_);
 

@@ -1,6 +1,7 @@
 #include "dcmesh/lfd/calc_energy.hpp"
 
 #include "dcmesh/blas/blas.hpp"
+#include "dcmesh/trace/tracer.hpp"
 
 namespace dcmesh::lfd {
 
@@ -9,6 +10,7 @@ energy_report calc_energy(const hamiltonian<R>& h,
                           const matrix<std::complex<R>>& psi,
                           const matrix<std::complex<R>>& g, double lambda_nl,
                           std::span<const double> occ, double dv) {
+  trace::span span("lfd/calc_energy", "lfd");
   using C = std::complex<R>;
   const std::size_t ngrid = psi.rows();
   const std::size_t norb = psi.cols();

@@ -4,6 +4,7 @@
 
 #include "dcmesh/blas/blas.hpp"
 #include "dcmesh/blas/level1.hpp"
+#include "dcmesh/trace/tracer.hpp"
 
 namespace dcmesh::lfd {
 
@@ -11,6 +12,7 @@ template <typename R>
 nlp_result<R> nlp_prop(const matrix<std::complex<R>>& psi0,
                        matrix<std::complex<R>>& psi, std::complex<double> c,
                        double dv) {
+  trace::span span("lfd/nlp_prop", "lfd");
   using C = std::complex<R>;
   const std::size_t ngrid = psi.rows();
   const std::size_t norb = psi.cols();

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "dcmesh/blas/blas.hpp"
+#include "dcmesh/trace/tracer.hpp"
 
 namespace dcmesh::lfd {
 
@@ -11,6 +12,7 @@ remap_report remap_occ(const matrix<std::complex<R>>& psi0,
                        const matrix<std::complex<R>>& psi,
                        std::span<const double> occ, std::size_t nocc,
                        double dv) {
+  trace::span span("lfd/remap_occ", "lfd");
   using C = std::complex<R>;
   const std::size_t ngrid = psi.rows();
   const std::size_t norb = psi.cols();

@@ -7,6 +7,7 @@
 #include "dcmesh/blas/level1.hpp"
 #include "dcmesh/qxmd/cholesky.hpp"
 #include "dcmesh/qxmd/eigen.hpp"
+#include "dcmesh/trace/tracer.hpp"
 
 namespace dcmesh::qxmd {
 namespace {
@@ -42,6 +43,7 @@ void orthonormalize(matrix<cdouble>& psi, double dv) {
 
 std::vector<double> rayleigh_ritz(matrix<cdouble>& psi, const apply_h_fn& h,
                                   double dv) {
+  trace::span span("qxmd/rayleigh_ritz", "qxmd");
   orthonormalize(psi, dv);
   const std::size_t ngrid = psi.rows();
   const std::size_t norb = psi.cols();
@@ -68,6 +70,7 @@ std::vector<double> rayleigh_ritz(matrix<cdouble>& psi, const apply_h_fn& h,
 
 template <typename R>
 scf_report scf_refresh(matrix<std::complex<R>>& psi, double dv) {
+  trace::span span("qxmd/scf_refresh", "qxmd");
   const std::size_t ngrid = psi.rows();
   const std::size_t norb = psi.cols();
 

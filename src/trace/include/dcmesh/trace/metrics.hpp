@@ -1,0 +1,54 @@
+#pragma once
+// metrics.hpp — per-call-site GEMM counter registry.
+//
+// The verbose layer (src/blas/src/verbose.cpp) forwards every recorded
+// level-3 call here, so after any run the registry answers "which tagged
+// site ran how many GEMMs, at which resolved compute modes, moving how
+// many flops/bytes, promoted by the accuracy guard how often" — the
+// per-call interception telemetry the automatic-offloading literature uses
+// to decide where reduced precision pays off.
+//
+// Deliberately blas-agnostic (plain strings and scalars) so dcmesh_trace
+// stays dependency-free and dcmesh_blas can link it without a cycle.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dcmesh::trace {
+
+/// Aggregated counters for one call site (or one untagged routine).
+struct gemm_site_counters {
+  std::uint64_t calls = 0;
+  double flops = 0.0;    ///< Nominal standard-arithmetic flops.
+  double bytes = 0.0;    ///< Operand + result traffic (A + B + 2C).
+  double seconds = 0.0;  ///< Host wall time across all calls.
+  std::uint64_t fallback_promotions = 0;  ///< Guard re-ran at higher mode.
+  /// Calls per resolved compute-mode token ("STANDARD", "BF16", ...).
+  std::map<std::string, std::uint64_t, std::less<>> mode_calls;
+};
+
+/// Record one GEMM call for `site` (falls back to "untagged/<routine>"
+/// when the site tag is empty).  Thread-safe.
+void record_gemm_metrics(std::string_view site, std::string_view routine,
+                         std::string_view mode_token, double flops,
+                         double bytes, double seconds, bool promoted);
+
+/// Snapshot of all per-site counters, sorted by site tag.
+[[nodiscard]] std::vector<std::pair<std::string, gemm_site_counters>>
+gemm_metrics();
+
+/// Counters for one site; zeroed counters when the site never ran.
+[[nodiscard]] gemm_site_counters gemm_metrics_for(std::string_view site);
+
+/// Reset the registry.
+void clear_gemm_metrics();
+
+/// Human-readable table of the registry (one line per site: calls, flops,
+/// bytes, time, modes, promotions).
+[[nodiscard]] std::string gemm_metrics_report();
+
+}  // namespace dcmesh::trace

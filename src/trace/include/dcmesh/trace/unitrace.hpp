@@ -11,22 +11,34 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "dcmesh/trace/tracer.hpp"
+
 namespace dcmesh::trace {
 
-/// Aggregated statistics for one kernel name.
+/// Aggregated statistics for one kernel name.  min/max are identities of
+/// their fold (+inf / -inf), so record() and merges never need a
+/// first-call special case and a default-constructed stats merges as a
+/// neutral element.
 struct kernel_stats {
   std::uint64_t calls = 0;
   double total_seconds = 0.0;
-  double min_seconds = 0.0;
-  double max_seconds = 0.0;
+  double min_seconds = std::numeric_limits<double>::infinity();
+  double max_seconds = -std::numeric_limits<double>::infinity();
 };
 
-/// A unitrace-like collector.  Not thread-safe by design (one collector per
-/// driver); create separate collectors for concurrent use.
+/// A unitrace-like collector.  Since the span tracer (tracer.hpp) became
+/// the real observability subsystem this is a thin compatibility view:
+/// the aggregation and the "Total L0 Time" report are unchanged (and
+/// byte-for-byte identical when tracing is disabled), while every scope
+/// additionally emits a span into the process tracer when it is enabled.
+/// The aggregate itself is still not thread-safe by design (one collector
+/// per driver); create separate collectors for concurrent use.
 class unitrace {
  public:
   /// Record an interval for `kernel` (seconds).
@@ -46,12 +58,17 @@ class unitrace {
   void clear();
 
   /// RAII wall-clock timer recording into a collector on destruction.
+  /// Also emits the interval as a span (category "step") into the process
+  /// tracer when tracing is enabled, so driver step scopes show up on the
+  /// Chrome trace timeline without separate instrumentation.
   class scope {
    public:
     scope(unitrace& sink, std::string kernel)
         : sink_(sink),
           kernel_(std::move(kernel)),
-          start_(std::chrono::steady_clock::now()) {}
+          start_(std::chrono::steady_clock::now()) {
+      if (tracer::instance().enabled()) span_.emplace(kernel_, "step");
+    }
     ~scope() {
       const auto stop = std::chrono::steady_clock::now();
       sink_.record(kernel_,
@@ -64,6 +81,7 @@ class unitrace {
     unitrace& sink_;
     std::string kernel_;
     std::chrono::steady_clock::time_point start_;
+    std::optional<span> span_;  // destroyed after record(): same interval
   };
 
  private:

@@ -1,0 +1,80 @@
+#include "dcmesh/trace/metrics.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+namespace dcmesh::trace {
+namespace {
+
+std::mutex g_mutex;
+std::map<std::string, gemm_site_counters, std::less<>> g_sites;
+
+}  // namespace
+
+void record_gemm_metrics(std::string_view site, std::string_view routine,
+                         std::string_view mode_token, double flops,
+                         double bytes, double seconds, bool promoted) {
+  std::string key;
+  if (site.empty()) {
+    key = "untagged/";
+    key += routine;
+  } else {
+    key = site;
+  }
+  std::lock_guard lock(g_mutex);
+  gemm_site_counters& counters = g_sites[key];
+  ++counters.calls;
+  counters.flops += flops;
+  counters.bytes += bytes;
+  counters.seconds += seconds;
+  if (promoted) ++counters.fallback_promotions;
+  auto it = counters.mode_calls.find(mode_token);
+  if (it == counters.mode_calls.end()) {
+    counters.mode_calls.emplace(std::string(mode_token), 1);
+  } else {
+    ++it->second;
+  }
+}
+
+std::vector<std::pair<std::string, gemm_site_counters>> gemm_metrics() {
+  std::lock_guard lock(g_mutex);
+  return {g_sites.begin(), g_sites.end()};
+}
+
+gemm_site_counters gemm_metrics_for(std::string_view site) {
+  std::lock_guard lock(g_mutex);
+  const auto it = g_sites.find(site);
+  return it == g_sites.end() ? gemm_site_counters{} : it->second;
+}
+
+void clear_gemm_metrics() {
+  std::lock_guard lock(g_mutex);
+  g_sites.clear();
+}
+
+std::string gemm_metrics_report() {
+  const auto sites = gemm_metrics();
+  std::ostringstream os;
+  os << "GEMM site counters (" << sites.size() << " sites)\n";
+  char buffer[160];
+  for (const auto& [site, c] : sites) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "  %-32s calls=%llu  gflop=%.3f  GB=%.3f  time=%.3fms"
+                  "  promotions=%llu  modes=",
+                  site.c_str(), static_cast<unsigned long long>(c.calls),
+                  c.flops * 1e-9, c.bytes * 1e-9, c.seconds * 1e3,
+                  static_cast<unsigned long long>(c.fallback_promotions));
+    os << buffer;
+    bool first = true;
+    for (const auto& [mode, calls] : c.mode_calls) {
+      if (!first) os << ',';
+      first = false;
+      os << mode << ':' << calls;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dcmesh::trace

@@ -1,0 +1,263 @@
+#include "dcmesh/trace/tracer.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+namespace dcmesh::trace {
+namespace {
+
+/// Per-thread cap: a 10-step driver run on the large preset emits a few
+/// hundred thousand GEMM spans at most; beyond this the thread drops
+/// (counted) rather than growing without bound.
+constexpr std::size_t kMaxEventsPerThread = 1 << 20;
+
+struct thread_buffer {
+  mutable std::mutex mutex;          // owner append vs. flusher snapshot
+  std::vector<trace_event> events;   // guarded by mutex
+  std::uint32_t tid = 0;
+};
+
+double ns_to_us(std::uint64_t ns) {
+  return static_cast<double>(ns) * 1e-3;
+}
+
+/// DCMESH_TRACE_JSON value; nullptr when unset/empty.  Re-read on every
+/// call (tests flip it at run time).  The name must be a plain literal:
+/// this runs from an atexit handler, after any static std::string would
+/// already have been destroyed.
+const char* trace_env_path() {
+  const char* path = std::getenv("DCMESH_TRACE_JSON");
+  return (path != nullptr && path[0] != '\0') ? path : nullptr;
+}
+
+std::mutex g_model_mutex;
+std::function<double(const gemm_model_query&)> g_model;  // guarded above
+
+}  // namespace
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", ch);
+          out += buffer;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+struct tracer::impl {
+  std::chrono::steady_clock::time_point epoch;
+  std::atomic<bool> forced{false};
+  std::atomic<std::uint64_t> dropped{0};
+
+  std::mutex registry_mutex;
+  // shared_ptr keeps a buffer alive past its owning thread's exit so the
+  // events survive until flush.
+  std::vector<std::shared_ptr<thread_buffer>> buffers;  // guarded above
+
+  std::shared_ptr<thread_buffer>& local_buffer() {
+    thread_local std::shared_ptr<thread_buffer> buffer;
+    if (!buffer) {
+      buffer = std::make_shared<thread_buffer>();
+      std::lock_guard lock(registry_mutex);
+      buffer->tid = static_cast<std::uint32_t>(buffers.size() + 1);
+      buffers.push_back(buffer);
+    }
+    return buffer;
+  }
+};
+
+tracer::tracer() : impl_(new impl) {
+  impl_->epoch = std::chrono::steady_clock::now();
+  // Real runs (examples, the driver) get their trace without any explicit
+  // flush call: write whatever is buffered when the process exits.
+  std::atexit([] { tracer::instance().flush_to_env_path(); });
+}
+
+tracer& tracer::instance() {
+  static tracer the_tracer;
+  return the_tracer;
+}
+
+bool tracer::enabled() const {
+  if (impl_->forced.load(std::memory_order_relaxed)) return true;
+  return trace_env_path() != nullptr;
+}
+
+void tracer::set_enabled(bool on) {
+  impl_->forced.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - impl_->epoch)
+          .count());
+}
+
+void tracer::record(trace_event event) {
+  auto& buffer = impl_->local_buffer();
+  std::lock_guard lock(buffer->mutex);
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    impl_->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  event.tid = buffer->tid;
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<trace_event> tracer::snapshot() const {
+  std::vector<std::shared_ptr<thread_buffer>> buffers;
+  {
+    std::lock_guard lock(impl_->registry_mutex);
+    buffers = impl_->buffers;
+  }
+  std::vector<trace_event> merged;
+  for (const auto& buffer : buffers) {
+    std::lock_guard lock(buffer->mutex);
+    merged.insert(merged.end(), buffer->events.begin(),
+                  buffer->events.end());
+  }
+  return merged;
+}
+
+std::size_t tracer::event_count() const {
+  std::size_t count = 0;
+  std::lock_guard lock(impl_->registry_mutex);
+  for (const auto& buffer : impl_->buffers) {
+    std::lock_guard buffer_lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+std::uint64_t tracer::dropped_count() const {
+  return impl_->dropped.load(std::memory_order_relaxed);
+}
+
+std::string tracer::to_chrome_json() const {
+  const auto events = snapshot();
+  std::string out = "{\"traceEvents\":[";
+  char buffer[128];
+  bool first = true;
+  for (const auto& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, event.name);
+    out += "\",\"cat\":\"";
+    append_json_escaped(out, event.category);
+    std::snprintf(buffer, sizeof(buffer),
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%u",
+                  ns_to_us(event.ts_ns), ns_to_us(event.dur_ns), event.tid);
+    out += buffer;
+    if (!event.args_json.empty()) {
+      out += ",\"args\":{";
+      out += event.args_json;
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+bool tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << to_chrome_json() << '\n';
+  return static_cast<bool>(os);
+}
+
+bool tracer::flush_to_env_path() const {
+  const char* path = trace_env_path();
+  if (path == nullptr) return false;
+  return write_chrome_trace(path);
+}
+
+void tracer::clear() {
+  std::lock_guard lock(impl_->registry_mutex);
+  for (const auto& buffer : impl_->buffers) {
+    std::lock_guard buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+span::span(std::string name, std::string category)
+    : active_(tracer::instance().enabled()) {
+  if (!active_) return;
+  event_.name = std::move(name);
+  event_.category = std::move(category);
+  event_.ts_ns = tracer::instance().now_ns();
+}
+
+span::~span() {
+  if (!active_) return;
+  auto& sink = tracer::instance();
+  const std::uint64_t now = sink.now_ns();
+  event_.dur_ns = now > event_.ts_ns ? now - event_.ts_ns : 0;
+  sink.record(std::move(event_));
+}
+
+void span::arg(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  if (!event_.args_json.empty()) event_.args_json += ',';
+  event_.args_json += '"';
+  append_json_escaped(event_.args_json, key);
+  event_.args_json += "\":\"";
+  append_json_escaped(event_.args_json, value);
+  event_.args_json += '"';
+}
+
+void span::arg(std::string_view key, double value) {
+  if (!active_) return;
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  if (!event_.args_json.empty()) event_.args_json += ',';
+  event_.args_json += '"';
+  append_json_escaped(event_.args_json, key);
+  event_.args_json += "\":";
+  event_.args_json += buffer;
+}
+
+void span::arg(std::string_view key, std::int64_t value) {
+  if (!active_) return;
+  if (!event_.args_json.empty()) event_.args_json += ',';
+  event_.args_json += '"';
+  append_json_escaped(event_.args_json, key);
+  event_.args_json += "\":";
+  event_.args_json += std::to_string(value);
+}
+
+void set_gemm_time_model(
+    std::function<double(const gemm_model_query&)> fn) {
+  std::lock_guard lock(g_model_mutex);
+  g_model = std::move(fn);
+}
+
+double predicted_gemm_seconds(const gemm_model_query& query) {
+  std::function<double(const gemm_model_query&)> model;
+  {
+    std::lock_guard lock(g_model_mutex);
+    model = g_model;
+  }
+  if (!model) return -1.0;
+  return model(query);
+}
+
+}  // namespace dcmesh::trace

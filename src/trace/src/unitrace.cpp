@@ -8,13 +8,8 @@ namespace dcmesh::trace {
 
 void unitrace::record(const std::string& kernel, double seconds) {
   kernel_stats& stats = kernels_[kernel];
-  if (stats.calls == 0) {
-    stats.min_seconds = seconds;
-    stats.max_seconds = seconds;
-  } else {
-    stats.min_seconds = std::min(stats.min_seconds, seconds);
-    stats.max_seconds = std::max(stats.max_seconds, seconds);
-  }
+  stats.min_seconds = std::min(stats.min_seconds, seconds);
+  stats.max_seconds = std::max(stats.max_seconds, seconds);
   ++stats.calls;
   stats.total_seconds += seconds;
   total_seconds_ += seconds;

@@ -64,4 +64,10 @@ struct gemm_time {
 [[nodiscard]] double peak_theoretical_speedup(const device_spec& spec,
                                               blas::compute_mode mode);
 
+/// Install model_gemm as the trace layer's predicted-device-time hook
+/// (trace::set_gemm_time_model): every GEMM span is then annotated with
+/// this model's time for its shape/mode, making measured-vs-modeled gaps
+/// visible per kernel in the Chrome trace.
+void install_trace_gemm_model(device_spec spec = {}, calibration cal = {});
+
 }  // namespace dcmesh::xehpc

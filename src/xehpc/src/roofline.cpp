@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dcmesh/trace/tracer.hpp"
+
 namespace dcmesh::xehpc {
 namespace {
 
@@ -124,6 +126,22 @@ double peak_theoretical_speedup(const device_spec& spec,
       return 1.0;
   }
   return 1.0;
+}
+
+void install_trace_gemm_model(device_spec spec, calibration cal) {
+  trace::set_gemm_time_model(
+      [spec, cal](const trace::gemm_model_query& q) -> double {
+        const auto mode = blas::parse_compute_mode(q.mode_token);
+        if (!mode) return -1.0;
+        gemm_shape shape;
+        shape.m = static_cast<blas::blas_int>(q.m);
+        shape.n = static_cast<blas::blas_int>(q.n);
+        shape.k = static_cast<blas::blas_int>(q.k);
+        shape.is_complex = q.is_complex;
+        shape.precision =
+            q.is_fp64 ? gemm_precision::fp64 : gemm_precision::fp32;
+        return model_gemm(spec, cal, shape, *mode).total_s();
+      });
 }
 
 }  // namespace dcmesh::xehpc

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <complex>
 #include <vector>
 
@@ -59,23 +61,26 @@ std::vector<T> random_vec(xoshiro256& rng, std::size_t n) {
   return v;
 }
 
-/// Run one random case for type T under `mode`; tolerance scales with the
-/// mode's component mantissa bits and the reduction length.
+/// Run one case of explicit shape (m, n, k) and ops for type T under
+/// `mode`, validating against the double-accumulated reference with
+/// tolerance tol_scale * max|C_ref| * (1 + sqrt(k)).
 template <typename T>
-void run_case(unsigned seed, compute_mode mode, double tol_scale) {
+void run_shape_case(unsigned seed, compute_mode mode, double tol_scale,
+                    blas_int m, blas_int n, blas_int k, transpose ta,
+                    transpose tb) {
   xoshiro256 rng(seed);
-  const auto m = static_cast<blas_int>(1 + rng.uniform() * 40);
-  const auto n = static_cast<blas_int>(1 + rng.uniform() * 40);
-  const auto k = static_cast<blas_int>(1 + rng.uniform() * 150);
-  const transpose ta = random_op(rng, !std::is_floating_point_v<T>);
-  const transpose tb = random_op(rng, !std::is_floating_point_v<T>);
   const blas_int rows_a = ta == transpose::none ? m : k;
   const blas_int cols_a = ta == transpose::none ? k : m;
   const blas_int rows_b = tb == transpose::none ? k : n;
   const blas_int cols_b = tb == transpose::none ? n : k;
-  const blas_int lda = rows_a + static_cast<blas_int>(rng.uniform() * 5);
-  const blas_int ldb = rows_b + static_cast<blas_int>(rng.uniform() * 5);
-  const blas_int ldc = m + static_cast<blas_int>(rng.uniform() * 5);
+  // ld >= max(1, rows): BLAS requires a positive leading dimension even
+  // for zero-row operands.
+  const blas_int lda = std::max<blas_int>(rows_a, 1) +
+                       static_cast<blas_int>(rng.uniform() * 5);
+  const blas_int ldb = std::max<blas_int>(rows_b, 1) +
+                       static_cast<blas_int>(rng.uniform() * 5);
+  const blas_int ldc =
+      std::max<blas_int>(m, 1) + static_cast<blas_int>(rng.uniform() * 5);
 
   const auto a = random_vec<T>(rng, static_cast<std::size_t>(lda * cols_a));
   const auto b = random_vec<T>(rng, static_cast<std::size_t>(ldb * cols_b));
@@ -129,6 +134,18 @@ void run_case(unsigned seed, compute_mode mode, double tol_scale) {
   }
 }
 
+/// Run one random-shape case for type T under `mode`.
+template <typename T>
+void run_case(unsigned seed, compute_mode mode, double tol_scale) {
+  xoshiro256 rng(seed);
+  const auto m = static_cast<blas_int>(1 + rng.uniform() * 40);
+  const auto n = static_cast<blas_int>(1 + rng.uniform() * 40);
+  const auto k = static_cast<blas_int>(1 + rng.uniform() * 150);
+  const transpose ta = random_op(rng, !std::is_floating_point_v<T>);
+  const transpose tb = random_op(rng, !std::is_floating_point_v<T>);
+  run_shape_case<T>(seed + 7919, mode, tol_scale, m, n, k, ta, tb);
+}
+
 class GemmFuzz : public ::testing::TestWithParam<fuzz_case> {};
 
 TEST_P(GemmFuzz, AllTypesStandardMode) {
@@ -154,6 +171,99 @@ TEST_P(GemmFuzz, Fp32UnderEveryAlternativeMode) {
                                 4e-5);
   run_case<std::complex<float>>(seed + 800, compute_mode::float_to_bf16x3,
                                 4e-5);
+}
+
+// ---------------------------------------------------------------------------
+// Edge-shape property sweep: every compute mode at the micro-kernel blocking
+// boundaries.  The kernel tiles C in mr=2 x nr=4 blocks, so the interesting
+// dimensions are 0, 1, MR+-1 (1, 3), NR+-1 (3, 5), and one past a
+// cache-block multiple (129).  Tolerances are ULP-style, derived from the
+// mode's component mantissa bits rather than hand-tuned per mode.
+
+/// Relative tolerance scale for `mode`: 8 component ULPs of the mode's
+/// effective significand (splits recover bits: BF16x2 ~15, BF16x3 ~23)
+/// plus a 2^-19 floor for FP32 storage and accumulation of the k-term
+/// reduction.  Multiplied by (1 + sqrt(k)) * max|C_ref| in run_shape_case.
+double mode_tol_scale(compute_mode mode) {
+  const compute_mode_info& mi = info(mode);
+  const int splits =
+      mi.component_products == 3 ? 2 : mi.component_products == 6 ? 3 : 1;
+  const int effective_bits =
+      std::min(23, splits * (mi.component_mantissa_bits + 1) - 1);
+  return 8.0 * std::ldexp(1.0, -(effective_bits + 1)) +
+         std::ldexp(1.0, -19);
+}
+
+TEST(GemmEdgeSweep, Fp32EveryModeAtBlockingBoundaries) {
+  constexpr blas_int kDims[] = {0, 1, 3, 5, 129};
+  constexpr transpose kOps[] = {transpose::none, transpose::trans};
+  constexpr compute_mode kModes[] = {
+      compute_mode::standard,        compute_mode::float_to_bf16,
+      compute_mode::float_to_bf16x2, compute_mode::float_to_bf16x3,
+      compute_mode::float_to_tf32,   compute_mode::complex_3m};
+  unsigned case_index = 0;
+  for (const blas_int m : kDims) {
+    for (const blas_int n : kDims) {
+      for (const blas_int k : kDims) {
+        for (const compute_mode mode : kModes) {
+          // Cycle the op pair deterministically so every {N,T}^2 combination
+          // appears across the shape grid.
+          const transpose ta = kOps[case_index % 2];
+          const transpose tb = kOps[(case_index / 2) % 2];
+          run_shape_case<float>(5000 + case_index, mode,
+                                mode_tol_scale(mode), m, n, k, ta, tb);
+          ++case_index;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmEdgeSweep, ComplexModesAtBlockingBoundaries) {
+  constexpr blas_int kDims[] = {0, 1, 3, 5, 129};
+  constexpr transpose kOps[] = {transpose::none, transpose::trans,
+                                transpose::conj_trans};
+  constexpr compute_mode kModes[] = {compute_mode::standard,
+                                     compute_mode::float_to_bf16x3,
+                                     compute_mode::complex_3m};
+  unsigned case_index = 0;
+  for (const blas_int m : kDims) {
+    for (const blas_int n : kDims) {
+      for (const blas_int k : kDims) {
+        for (const compute_mode mode : kModes) {
+          const transpose ta = kOps[case_index % 3];
+          const transpose tb = kOps[(case_index / 3) % 3];
+          run_shape_case<std::complex<float>>(9000 + case_index, mode,
+                                              2.0 * mode_tol_scale(mode), m,
+                                              n, k, ta, tb);
+          ++case_index;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmEdgeSweep, Fp64AtBlockingBoundaries) {
+  // FP64 ignores the FP32 split modes; lock the standard path (and the 3M
+  // complex path) at the same edge shapes.
+  constexpr blas_int kDims[] = {0, 1, 3, 5, 129};
+  unsigned case_index = 0;
+  for (const blas_int m : kDims) {
+    for (const blas_int n : kDims) {
+      for (const blas_int k : kDims) {
+        const transpose ta =
+            case_index % 2 ? transpose::trans : transpose::none;
+        const transpose tb =
+            (case_index / 2) % 2 ? transpose::trans : transpose::none;
+        run_shape_case<double>(13000 + case_index, compute_mode::standard,
+                               1e-13, m, n, k, ta, tb);
+        run_shape_case<std::complex<double>>(14000 + case_index,
+                                             compute_mode::complex_3m, 1e-12,
+                                             m, n, k, ta, tb);
+        ++case_index;
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GemmFuzz,

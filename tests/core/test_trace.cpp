@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 
 namespace dcmesh::trace {
@@ -48,6 +49,40 @@ TEST(Unitrace, ClearResets) {
   tracer.clear();
   EXPECT_EQ(tracer.total_l0_time_ns(), 0u);
   EXPECT_TRUE(tracer.report().empty());
+}
+
+// Regression lock for the min/max fold identities: kernel_stats must
+// default to {+inf, -inf} so the FIRST record sets min == max == value.
+// With zero-initialised extrema, any kernel slower than 0s would report
+// min_seconds == 0 forever (and a hypothetical negative duration would
+// vanish from max).
+TEST(Unitrace, FirstRecordSetsBothExtrema) {
+  EXPECT_EQ(kernel_stats{}.min_seconds,
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(kernel_stats{}.max_seconds,
+            -std::numeric_limits<double>::infinity());
+
+  unitrace tracer;
+  tracer.record("slow_kernel", 123.5);  // large: 0-init min would stick at 0
+  const auto report = tracer.report();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].second.min_seconds, 123.5);
+  EXPECT_EQ(report[0].second.max_seconds, 123.5);
+
+  tracer.record("slow_kernel", 200.0);
+  EXPECT_EQ(tracer.report()[0].second.min_seconds, 123.5);
+  EXPECT_EQ(tracer.report()[0].second.max_seconds, 200.0);
+}
+
+// Byte-exact golden for the legacy report format: the unitrace view is a
+// compatibility surface — tools parse this output, so the format may not
+// drift even while the unitrace internals route through the span tracer.
+TEST(Unitrace, LegacyReportFormatIsByteStable) {
+  unitrace tracer;
+  tracer.record("a", 0.001);
+  EXPECT_EQ(tracer.to_string(),
+            "Total L0 Time (ns): 1000000\n"
+            "  a  calls=1  total=1ms  avg=1ms\n");
 }
 
 TEST(Unitrace, ToStringContainsTotalAndKernels) {

@@ -1,0 +1,93 @@
+// Golden-trajectory regression lock: the tiny preset deck, 10 QD steps,
+// FP32 LFD, standard BLAS arithmetic.  The reference values below were
+// produced by this exact configuration and are thread-count invariant
+// (verified across OMP_NUM_THREADS = 1/3/4); the tolerances sit ~50x above
+// the FP32-vs-FP64 rounding floor (ekin ~4e-7, nexc ~2e-10, javg ~4e-11)
+// and well below the smallest physics-visible drift we must catch (BF16
+// arithmetic moves ekin by ~1e-4, nexc by ~1e-7, javg by ~5e-9 on this
+// deck).  If this test fails, a kernel/tracer/propagator change altered
+// the physics — do not widen the tolerances without understanding why.
+
+#include <gtest/gtest.h>
+
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/blas/precision_policy.hpp"
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/core/driver.hpp"
+#include "dcmesh/core/presets.hpp"
+
+namespace dcmesh::core {
+namespace {
+
+struct golden_step {
+  double ekin;
+  double nexc;
+  double javg;
+};
+
+// Step-resolved {ekin, nexc, javg} for steps 1..10 of the tiny preset.
+constexpr golden_step kGolden[10] = {
+    {1.4817880848422647, 2.3265737114641638e-08, 0.00013757483648537289},
+    {1.4820198072120547, 1.2656501247043650e-07, 0.00017339429766915034},
+    {1.4823869699612260, 3.8587880824003662e-07, 0.00021661483428296409},
+    {1.4828890217468143, 9.2281049335340981e-07, 0.00026724559926363860},
+    {1.4835259579122066, 1.9190047177986003e-06, 0.00032468591378086219},
+    {1.4842958999797702, 3.6296539862590294e-06, 0.00038757851135777949},
+    {1.4851985527202487, 6.3860215195887804e-06, 0.00045370722794655066},
+    {1.4862315477803349, 1.0588355335627853e-05, 0.00051996673230724475},
+    {1.4873944632709026, 1.6672124825589663e-05, 0.00058243098882902213},
+    {1.4886859226971865, 2.5050833368567282e-05, 0.00063653647962944059},
+};
+
+constexpr double kEkinTol = 2e-5;
+constexpr double kNexcTol = 2e-8;
+constexpr double kJavgTol = 2e-9;
+
+TEST(GoldenTrajectory, TinyPresetTenStepsFp32) {
+  // The lock is only valid under standard arithmetic: neutralize any
+  // compute-mode / policy environment leaking into the test process.
+  env_unset(blas::kPolicyEnvVar);
+  env_unset("MKL_BLAS_COMPUTE_MODE");
+  blas::clear_compute_mode();
+  blas::clear_policy();
+
+  run_config config = preset(paper_system::tiny);
+  ASSERT_EQ(config.lfd_precision, lfd_precision_level::fp32);
+  driver d(std::move(config));
+
+  for (int step = 0; step < 10; ++step) {
+    const lfd::qd_record record = d.qd_step();
+    const golden_step& want = kGolden[step];
+    EXPECT_NEAR(record.ekin, want.ekin, kEkinTol)
+        << "ekin drift at step " << step + 1;
+    EXPECT_NEAR(record.nexc, want.nexc, kNexcTol)
+        << "nexc drift at step " << step + 1;
+    EXPECT_NEAR(record.javg, want.javg, kJavgTol)
+        << "javg drift at step " << step + 1;
+  }
+}
+
+// The lock must actually be able to fail: BF16 arithmetic on the same
+// deck has to land outside the tolerances (otherwise the golden test is
+// vacuous and silent precision regressions would pass it).
+TEST(GoldenTrajectory, Bf16TrajectoryLandsOutsideTheLock) {
+  env_unset(blas::kPolicyEnvVar);
+  blas::clear_policy();
+  blas::set_compute_mode(blas::compute_mode::float_to_bf16);
+
+  driver d(preset(paper_system::tiny));
+  bool escaped = false;
+  for (int step = 0; step < 10 && !escaped; ++step) {
+    const lfd::qd_record record = d.qd_step();
+    const golden_step& want = kGolden[step];
+    escaped = std::abs(record.ekin - want.ekin) > kEkinTol ||
+              std::abs(record.nexc - want.nexc) > kNexcTol ||
+              std::abs(record.javg - want.javg) > kJavgTol;
+  }
+  blas::clear_compute_mode();
+  EXPECT_TRUE(escaped)
+      << "BF16 run stayed inside the golden tolerances; the lock is vacuous";
+}
+
+}  // namespace
+}  // namespace dcmesh::core
