@@ -1,0 +1,233 @@
+#pragma once
+// bench_json.hpp — machine-readable bench output.
+//
+// The text tables the benches print are for humans reading EXPERIMENTS.md;
+// CI and plotting scripts want one stable artifact instead.  Any bench can
+// collect (routine, shape, mode, GFLOP/s, error) rows into a
+// bench_json_writer and flush them as a single JSON document — by default
+// BENCH_gemm.json in the working directory, overridable with
+// DCMESH_BENCH_JSON.  An unwritable path warns once and is otherwise
+// ignored; emitting the artifact must never fail a bench run.
+//
+// Schema (version-tagged so downstream scripts can detect drift):
+//   {"schema":"dcmesh-bench-gemm/1","bench":"<binary>","rows":[
+//     {"routine":"SGEMM","m":128,"n":128,"k":128,"mode":"STANDARD",
+//      "gflops":12.3,"err_ulp":10.2,"source":"measured"}, ...]}
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dcmesh/blas/gemm_call.hpp"
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/trace/tracer.hpp"
+
+namespace dcmesh::bench {
+
+/// Overrides the default BENCH_gemm.json output path.
+inline constexpr std::string_view kBenchJsonEnvVar = "DCMESH_BENCH_JSON";
+inline constexpr const char* kBenchJsonDefaultPath = "BENCH_gemm.json";
+inline constexpr std::string_view kBenchJsonSchema = "dcmesh-bench-gemm/1";
+
+/// One benchmark result row.
+struct bench_gemm_row {
+  std::string routine;  ///< "SGEMM", "CGEMM", ... or a derived label.
+  long long m = 0, n = 0, k = 0;
+  std::string mode;       ///< Compute-mode token or policy label.
+  double gflops = 0.0;    ///< Measured throughput (0 = not timed).
+  double err_ulp = 0.0;   ///< Error metric (storage ULPs, or a deviation).
+  std::string source;     ///< How the row was produced ("measured", ...).
+};
+
+/// Collects rows and writes them as one JSON document.
+class bench_json_writer {
+ public:
+  explicit bench_json_writer(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void add(bench_gemm_row row) { rows_.push_back(std::move(row)); }
+
+  [[nodiscard]] const std::vector<bench_gemm_row>& rows() const {
+    return rows_;
+  }
+
+  /// Write to DCMESH_BENCH_JSON (default BENCH_gemm.json).  Returns false
+  /// — after one stderr warning — when the path cannot be written; never
+  /// throws, so benches cannot be failed by a bad artifact path.
+  bool write() const {
+    const std::string path =
+        env_get(kBenchJsonEnvVar).value_or(kBenchJsonDefaultPath);
+    std::ofstream os(path, std::ios::trunc);
+    if (os) {
+      os << render();
+      os.flush();
+    }
+    if (!os) {
+      std::fprintf(stderr,
+                   "dcmesh: cannot write bench JSON file \"%s\"; results "
+                   "were printed but not archived\n",
+                   path.c_str());
+      return false;
+    }
+    std::printf("[bench-json] wrote %zu row(s) to %s\n", rows_.size(),
+                path.c_str());
+    return true;
+  }
+
+  [[nodiscard]] std::string render() const {
+    std::string out = "{\"schema\":\"";
+    out += kBenchJsonSchema;
+    out += "\",\"bench\":\"";
+    trace::append_json_escaped(out, bench_name_);
+    out += "\",\"rows\":[";
+    char buffer[128];
+    bool first = true;
+    for (const auto& row : rows_) {
+      if (!first) out += ',';
+      first = false;
+      out += "\n{\"routine\":\"";
+      trace::append_json_escaped(out, row.routine);
+      std::snprintf(buffer, sizeof(buffer),
+                    "\",\"m\":%lld,\"n\":%lld,\"k\":%lld,\"mode\":\"",
+                    row.m, row.n, row.k);
+      out += buffer;
+      trace::append_json_escaped(out, row.mode);
+      std::snprintf(buffer, sizeof(buffer),
+                    "\",\"gflops\":%.6g,\"err_ulp\":%.6g,\"source\":\"",
+                    row.gflops, row.err_ulp);
+      out += buffer;
+      trace::append_json_escaped(out, row.source);
+      out += "\"}";
+    }
+    out += "\n]}\n";
+    return out;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<bench_gemm_row> rows_;
+};
+
+namespace detail {
+
+inline double bench_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename T>
+inline void bench_fill(std::vector<T>& v, xoshiro256& rng) {
+  for (auto& x : v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      x = static_cast<T>(rng.uniform(-1.0, 1.0));
+    } else {
+      x = {static_cast<typename T::value_type>(rng.uniform(-1.0, 1.0)),
+           static_cast<typename T::value_type>(rng.uniform(-1.0, 1.0))};
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Measure one (routine, shape, mode) cell on random operands: GFLOP/s
+/// from repeated runs, error as the worst componentwise deviation from an
+/// FP64 triple-loop reference in storage ULPs (per-component magnitude
+/// floored at a tenth of the largest, as the autotuner measures it).
+template <typename T>
+bench_gemm_row measure_gemm_row(std::string_view routine, blas::blas_int m,
+                                blas::blas_int n, blas::blas_int k,
+                                blas::compute_mode mode) {
+  constexpr bool is_cplx = !std::is_floating_point_v<T>;
+  using ref_t = std::conditional_t<is_cplx, std::complex<double>, double>;
+
+  xoshiro256 rng(0x42u ^ static_cast<std::uint64_t>(m * 73856093ll) ^
+                 static_cast<std::uint64_t>(k * 19349663ll));
+  std::vector<T> a(static_cast<std::size_t>(m) * k);
+  std::vector<T> b(static_cast<std::size_t>(k) * n);
+  std::vector<T> c(static_cast<std::size_t>(m) * n);
+  detail::bench_fill(a, rng);
+  detail::bench_fill(b, rng);
+
+  std::vector<ref_t> ref(c.size(), ref_t(0));
+  for (blas::blas_int j = 0; j < n; ++j) {
+    for (blas::blas_int p = 0; p < k; ++p) {
+      const ref_t bpj = ref_t(b[static_cast<std::size_t>(j) * k + p]);
+      for (blas::blas_int i = 0; i < m; ++i) {
+        ref[static_cast<std::size_t>(j) * m + i] +=
+            ref_t(a[static_cast<std::size_t>(p) * m + i]) * bpj;
+      }
+    }
+  }
+
+  blas::gemm_call<T> call;
+  call.m = m;
+  call.n = n;
+  call.k = k;
+  call.a = a.data();
+  call.lda = m;
+  call.b = b.data();
+  call.ldb = k;
+  call.c = c.data();
+  call.ldc = m;
+  call.mode = mode;
+
+  const double probe_start = detail::bench_now();
+  blas::run(call);
+  const double probe = std::max(detail::bench_now() - probe_start, 1e-9);
+
+  double max_abs = 0.0;
+  for (const auto& r : ref) {
+    if constexpr (is_cplx) {
+      max_abs = std::max({max_abs, std::abs(r.real()), std::abs(r.imag())});
+    } else {
+      max_abs = std::max(max_abs, std::abs(r));
+    }
+  }
+  const double floor = std::max(0.1 * max_abs, 1e-300);
+  const double eps = std::is_same_v<T, float> ||
+                             std::is_same_v<T, std::complex<float>>
+                         ? 0x1.0p-23
+                         : 0x1.0p-52;
+  double err = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if constexpr (is_cplx) {
+      err = std::max(
+          {err,
+           std::abs(double(c[i].real()) - ref[i].real()) /
+               (eps * std::max(std::abs(ref[i].real()), floor)),
+           std::abs(double(c[i].imag()) - ref[i].imag()) /
+               (eps * std::max(std::abs(ref[i].imag()), floor))});
+    } else {
+      err = std::max(err, std::abs(double(c[i]) - ref[i]) /
+                              (eps * std::max(std::abs(ref[i]), floor)));
+    }
+  }
+
+  const int reps =
+      std::clamp(static_cast<int>(2e-3 / probe), 1, 32);
+  const double start = detail::bench_now();
+  for (int r = 0; r < reps; ++r) blas::run(call);
+  const double elapsed = std::max(detail::bench_now() - start, 1e-9);
+  const double flops =
+      (is_cplx ? 8.0 : 2.0) * double(m) * double(n) * double(k);
+
+  bench_gemm_row row;
+  row.routine = std::string(routine);
+  row.m = m;
+  row.n = n;
+  row.k = k;
+  row.mode = std::string(blas::info(mode).env_token);
+  row.gflops = flops * reps / elapsed / 1e9;
+  row.err_ulp = err;
+  row.source = "measured";
+  return row;
+}
+
+}  // namespace dcmesh::bench

@@ -8,6 +8,7 @@
 #include <complex>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "dcmesh/blas/blas.hpp"
 #include "dcmesh/blas/compute_mode.hpp"
 #include "dcmesh/common/rng.hpp"
@@ -110,6 +111,36 @@ BENCHMARK(BM_sgemm_split)
     ->Arg(static_cast<int>(blas::compute_mode::float_to_bf16x3))
     ->Arg(static_cast<int>(blas::compute_mode::float_to_tf32));
 
+/// The BENCH_gemm.json sweep: every compute mode on the two shapes the
+/// google-benchmark cases cover (square SGEMM, DCMESH-skinny CGEMM), each
+/// row carrying measured GFLOP/s AND measured error — the (speed, error)
+/// pairs the paper's tables juxtapose, in one machine-readable artifact.
+void emit_bench_json() {
+  using blas::compute_mode;
+  bench::bench_json_writer json("micro_gemm");
+  for (const auto mode :
+       {compute_mode::standard, compute_mode::float_to_bf16,
+        compute_mode::float_to_bf16x2, compute_mode::float_to_bf16x3,
+        compute_mode::float_to_tf32}) {
+    json.add(bench::measure_gemm_row<float>("SGEMM", 128, 128, 128, mode));
+  }
+  for (const auto mode :
+       {compute_mode::standard, compute_mode::float_to_bf16,
+        compute_mode::float_to_bf16x2, compute_mode::float_to_bf16x3,
+        compute_mode::float_to_tf32, compute_mode::complex_3m}) {
+    json.add(bench::measure_gemm_row<std::complex<float>>("CGEMM", 32, 32,
+                                                          1024, mode));
+  }
+  json.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  emit_bench_json();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

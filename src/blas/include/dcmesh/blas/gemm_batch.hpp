@@ -22,6 +22,11 @@ namespace dcmesh::blas {
 /// Every problem dispatches through the gemm_call descriptor path under
 /// the shared `call_site` tag, so per-site precision policies (and the
 /// accuracy guard) apply to batched products exactly like to plain gemm.
+/// The policy — including an AUTO rule's tuner resolution — is consulted
+/// once for the whole batch; the trace layer sees one span per batched
+/// call (carrying batch and batch-total flops), while the verbose log and
+/// the metrics registry keep one record per problem, summing to
+/// batch x 2mnk flops.
 template <typename T>
 void gemm_batch_strided(transpose transa, transpose transb, blas_int m,
                         blas_int n, blas_int k, T alpha, const T* a,

@@ -22,9 +22,12 @@
 //   policy := rule (';' rule)*            (',' is also accepted)
 //   rule   := glob '=' MODE (':' flag)*
 //   flag   := 'guarded' | 'tol=<float>'   (tol implies guarded)
+//           | 'ulp=<float>'               (auto-mode ULP error budget)
 // where glob uses '*' (any sequence, '/' included) and '?' (one char), and
-// MODE is any MKL_BLAS_COMPUTE_MODE token, case-insensitive.  Example:
-//   lfd/remap_occ/*=FLOAT_TO_BF16X2;lfd/nlp_prop/*=FLOAT_TO_BF16:guarded
+// MODE is any MKL_BLAS_COMPUTE_MODE token, case-insensitive — or AUTO,
+// which delegates the choice to the accuracy-aware autotuner (src/tune)
+// through the auto_tune_hook.  Example:
+//   lfd/remap_occ/*=FLOAT_TO_BF16X2;lfd/nlp_prop/*=AUTO:ulp=512
 // Rules are checked in order; the first match wins.
 //
 // A `guarded` rule enables the accuracy-guarded fallback: after a
@@ -58,7 +61,8 @@ enum class policy_source {
 /// Display name of a policy source, e.g. "site_policy".
 [[nodiscard]] std::string_view name(policy_source source) noexcept;
 
-/// One policy rule: sites matching `pattern` run at `mode`.
+/// One policy rule: sites matching `pattern` run at `mode` (or, when
+/// `automatic`, at whatever the installed autotuner picks per shape).
 struct policy_rule {
   std::string pattern;     ///< Glob over call-site tags ('*' and '?').
   compute_mode mode = compute_mode::standard;
@@ -66,6 +70,13 @@ struct policy_rule {
   /// Relative residual tolerance for the guard; the global default
   /// (DCMESH_BLAS_GUARD_THRESHOLD or kDefaultGuardThreshold) when unset.
   std::optional<double> tolerance;
+  /// MODE was AUTO: defer per-shape mode choice to the auto_tune_hook
+  /// (`mode` is ignored; standard when no resolver is installed).
+  bool automatic = false;
+  /// Componentwise error budget for automatic rules, in ULPs of the
+  /// storage precision; the tuner's default (DCMESH_TUNE_ULP_BUDGET)
+  /// when unset.
+  std::optional<double> ulp_budget;
 };
 
 /// An ordered rule list; first match wins.
@@ -106,6 +117,10 @@ struct mode_resolution {
   policy_source source = policy_source::standard_default;
   bool guarded = false;      ///< Run the accuracy-guarded fallback path.
   double tolerance = 0.0;    ///< Guard tolerance (valid when guarded).
+  /// An AUTO rule matched: the dispatcher must consult the auto_tune_hook
+  /// for the concrete mode (`mode` holds the standard fallback).
+  bool automatic = false;
+  double ulp_budget = 0.0;   ///< AUTO error budget (0 = tuner default).
 };
 
 /// Resolve the effective mode for a call tagged `call_site` (may be empty)

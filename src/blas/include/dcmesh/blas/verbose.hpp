@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "dcmesh/blas/autotune_hook.hpp"
 #include "dcmesh/blas/compute_mode.hpp"
 #include "dcmesh/blas/precision_policy.hpp"
 
@@ -60,10 +61,13 @@ struct call_record {
   fallback_verdict fallback = fallback_verdict::none;
   double guard_residual = 0.0; ///< Sampled relative residual (guarded only).
   int attempts = 1;            ///< Arithmetic runs (1 = no re-run).
+  /// How the `auto` mode chose this call's mode (none = not auto-resolved).
+  auto_provenance tune = auto_provenance::none;
 
   /// Render in the MKL_VERBOSE line format.  The prefix through "mode:" is
-  /// byte-identical to the pre-policy format; " site:...", " src:..." and
-  /// " fallback:..." are appended only when a site/guard is present.
+  /// byte-identical to the pre-policy format; " site:...", " src:...",
+  /// " tune:..." and " fallback:..." are appended only when a site, an
+  /// auto decision, or a guard is present.
   [[nodiscard]] std::string to_string() const;
 
   /// Render as one JSON object (the MKL_VERBOSE_JSON line format).

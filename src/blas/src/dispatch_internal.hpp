@@ -1,0 +1,83 @@
+#pragma once
+// dispatch_internal.hpp — the dispatcher's resolve/execute split, shared
+// with the batched entry point.
+//
+// run(gemm_call<T>) is plan_call() followed by run_planned().  The batched
+// path needs the two halves separately: it plans ONCE for the whole batch
+// (so an `auto` rule costs one tuner resolution per batched call, not one
+// per element) and owns the single trace span covering the batch, while
+// each element still executes — and is verbose-logged — through
+// run_planned() with span emission suppressed.
+
+#include <complex>
+#include <type_traits>
+
+#include "dcmesh/blas/autotune_hook.hpp"
+#include "dcmesh/blas/gemm_call.hpp"
+#include "dcmesh/blas/precision_policy.hpp"
+
+namespace dcmesh::blas::detail {
+
+/// Routine naming/classification per element type.
+template <typename T>
+struct gemm_traits {
+  static constexpr const char* routine = "SGEMM";
+  static constexpr bool is_complex = false;
+  static constexpr bool is_fp64 = false;
+};
+template <>
+struct gemm_traits<double> {
+  static constexpr const char* routine = "DGEMM";
+  static constexpr bool is_complex = false;
+  static constexpr bool is_fp64 = true;
+};
+template <>
+struct gemm_traits<std::complex<float>> {
+  static constexpr const char* routine = "CGEMM";
+  static constexpr bool is_complex = true;
+  static constexpr bool is_fp64 = false;
+};
+template <>
+struct gemm_traits<std::complex<double>> {
+  static constexpr const char* routine = "ZGEMM";
+  static constexpr bool is_complex = true;
+  static constexpr bool is_fp64 = true;
+};
+
+/// Fully resolved execution plan for one descriptor (or one whole batch):
+/// the policy resolution with any AUTO rule already collapsed to a
+/// concrete mode through the auto_tune_hook.
+struct call_plan {
+  mode_resolution res;
+  /// != none exactly when an AUTO rule chose res.mode.
+  auto_provenance tune = auto_provenance::none;
+};
+
+/// Resolve site policy + auto hook for one call's shape.
+template <typename T>
+[[nodiscard]] call_plan plan_call(const gemm_call<T>& call);
+
+/// Execute one descriptor under an already-resolved plan.  emit_span=false
+/// suppresses the per-call trace span (the batched path owns the span);
+/// the verbose record and metrics are emitted either way.
+template <typename T>
+void run_planned(const gemm_call<T>& call, const call_plan& plan,
+                 bool emit_span);
+
+extern template call_plan plan_call<float>(const gemm_call<float>&);
+extern template call_plan plan_call<double>(const gemm_call<double>&);
+extern template call_plan plan_call<std::complex<float>>(
+    const gemm_call<std::complex<float>>&);
+extern template call_plan plan_call<std::complex<double>>(
+    const gemm_call<std::complex<double>>&);
+
+extern template void run_planned<float>(const gemm_call<float>&,
+                                        const call_plan&, bool);
+extern template void run_planned<double>(const gemm_call<double>&,
+                                         const call_plan&, bool);
+extern template void run_planned<std::complex<float>>(
+    const gemm_call<std::complex<float>>&, const call_plan&, bool);
+extern template void run_planned<std::complex<double>>(
+    const gemm_call<std::complex<double>>&, const call_plan&, bool);
+
+}  // namespace dcmesh::blas::detail

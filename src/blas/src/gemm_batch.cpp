@@ -1,8 +1,12 @@
 #include "dcmesh/blas/gemm_batch.hpp"
 
+#include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "dcmesh/blas/gemm_call.hpp"
+#include "dcmesh/trace/tracer.hpp"
+#include "dispatch_internal.hpp"
 
 namespace dcmesh::blas {
 namespace {
@@ -30,9 +34,12 @@ void run_batch(transpose transa, transpose transb, blas_int m, blas_int n,
       throw std::invalid_argument("gemm_batch: stride_c overlaps");
     }
   }
-  // Each problem is one descriptor through the common dispatcher: the
-  // per-site policy resolves once per problem, and each gets its own
-  // verbose record (mirroring how MKL_VERBOSE reports batched calls).
+  // Each problem is one descriptor through the common dispatcher, but the
+  // whole batch shares ONE resolution: the per-site policy — and, for an
+  // AUTO rule, the autotuner — is consulted once per batched call, since
+  // every problem has the same site and shape.  Each problem still gets
+  // its own verbose record (mirroring how MKL_VERBOSE reports batched
+  // calls), so the metrics registry accumulates batch x 2mnk flops.
   gemm_call<T> call;
   call.transa = transa;
   call.transb = transb;
@@ -45,11 +52,36 @@ void run_batch(transpose transa, transpose transb, blas_int m, blas_int n,
   call.beta = beta;
   call.ldc = ldc;
   call.call_site = call_site;
+  const detail::call_plan plan = detail::plan_call(call);
+
+  // One trace span covers the whole batched call (not one per element);
+  // flops is the batch total so timeline throughput stays truthful.
+  std::optional<trace::span> span;
+  if (trace::tracer::instance().enabled()) {
+    span.emplace(call_site.empty()
+                     ? std::string(detail::gemm_traits<T>::routine) +
+                           "_BATCH"
+                     : std::string(call_site),
+                 "gemm_batch");
+    span->arg("routine", detail::gemm_traits<T>::routine);
+    span->arg("batch", static_cast<std::int64_t>(batch));
+    span->arg("m", static_cast<std::int64_t>(m));
+    span->arg("n", static_cast<std::int64_t>(n));
+    span->arg("k", static_cast<std::int64_t>(k));
+    span->arg("flops",
+              static_cast<double>(batch) *
+                  gemm_flops(detail::gemm_traits<T>::is_complex, m, n, k));
+    span->arg("mode", info(plan.res.mode).env_token);
+    if (plan.tune != auto_provenance::none) {
+      span->arg("tune", name(plan.tune));
+    }
+  }
+
   for (blas_int i = 0; i < batch; ++i) {
     call.a = a + i * stride_a;
     call.b = b + i * stride_b;
     call.c = c + i * stride_c;
-    run(call);
+    detail::run_planned(call, plan, /*emit_span=*/false);
   }
 }
 

@@ -1,12 +1,13 @@
 // gemm_dispatch.cpp — the single choke point behind every GEMM descriptor.
 //
 // run(gemm_call<T>) resolves the call's effective compute mode through the
-// precision policy engine, executes the arithmetic via the per-type
-// gemm_at_mode overloads, optionally applies the accuracy-guarded fallback
-// (row-sampled residual check against a same-precision standard reference,
-// with transparent promotion to the next-higher mode on failure), and logs
-// one verbose record carrying the site, the resolved mode, and the guard
-// verdict.
+// precision policy engine (consulting the auto_tune_hook when an AUTO rule
+// matched), executes the arithmetic via the per-type gemm_at_mode
+// overloads, optionally applies the accuracy-guarded fallback (row-sampled
+// residual check against a same-precision standard reference, with
+// transparent promotion to the next-higher mode on failure), and logs one
+// verbose record carrying the site, the resolved mode, the auto-decision
+// provenance, and the guard verdict.
 
 #include <chrono>
 #include <cmath>
@@ -17,6 +18,7 @@
 #include "dcmesh/blas/precision_policy.hpp"
 #include "dcmesh/blas/verbose.hpp"
 #include "dcmesh/trace/tracer.hpp"
+#include "dispatch_internal.hpp"
 #include "gemm_kernel.hpp"
 #include "gemm_modes.hpp"
 #include "split.hpp"
@@ -24,27 +26,6 @@
 namespace dcmesh::blas {
 namespace detail {
 namespace {
-
-template <typename T>
-struct gemm_traits {
-  static constexpr const char* routine = "SGEMM";
-  static constexpr bool is_complex = false;
-};
-template <>
-struct gemm_traits<double> {
-  static constexpr const char* routine = "DGEMM";
-  static constexpr bool is_complex = false;
-};
-template <>
-struct gemm_traits<std::complex<float>> {
-  static constexpr const char* routine = "CGEMM";
-  static constexpr bool is_complex = true;
-};
-template <>
-struct gemm_traits<std::complex<double>> {
-  static constexpr const char* routine = "ZGEMM";
-  static constexpr bool is_complex = true;
-};
 
 /// The mode recorded (and executed) for element type T.  Mirrors the
 /// pre-descriptor entry points: float/complex<float> records the resolved
@@ -141,28 +122,50 @@ void run_at(compute_mode mode, const gemm_call<T>& call) {
 }
 
 }  // namespace
-}  // namespace detail
 
 template <typename T>
-void run(const gemm_call<T>& call) {
-  using detail::gemm_traits;
-  const mode_resolution res =
-      resolve_compute_mode(call.call_site, call.mode);
-  const compute_mode requested = detail::effective_mode<T>(res.mode);
+call_plan plan_call(const gemm_call<T>& call) {
+  call_plan plan;
+  plan.res = resolve_compute_mode(call.call_site, call.mode);
+  if (plan.res.automatic) {
+    // An AUTO rule matched: ask the installed tuner for the concrete
+    // mode.  The tuner's calibration GEMMs carry a per-call mode
+    // override, so they resolve through the call_override layer and can
+    // never re-enter this branch.
+    const auto choice = auto_tune_resolve(
+        {call.call_site, gemm_traits<T>::routine, call.m, call.n, call.k,
+         gemm_traits<T>::is_complex, gemm_traits<T>::is_fp64,
+         plan.res.ulp_budget});
+    if (choice) {
+      plan.res.mode = choice->mode;
+      plan.tune = choice->provenance;
+    } else {
+      plan.res.mode = compute_mode::standard;
+      plan.tune = auto_provenance::defaulted;
+    }
+  }
+  return plan;
+}
+
+template <typename T>
+void run_planned(const gemm_call<T>& call, const call_plan& plan,
+                 bool emit_span) {
+  const mode_resolution& res = plan.res;
+  const compute_mode requested = effective_mode<T>(res.mode);
 
   compute_mode final_mode = requested;
   fallback_verdict verdict = fallback_verdict::none;
   double residual = 0.0;
   int attempts = 1;
   const bool guard = res.guarded &&
-                     detail::mode_alters_arithmetic<T>(requested) &&
+                     mode_alters_arithmetic<T>(requested) &&
                      call.m > 0 && call.n > 0 && call.k > 0 &&
                      call.alpha != T(0);
 
   // One span per GEMM, named by the call-site tag so the Chrome timeline
   // groups by site; inert (nullopt stays cheap) when tracing is off.
   std::optional<trace::span> span;
-  if (trace::tracer::instance().enabled()) {
+  if (emit_span && trace::tracer::instance().enabled()) {
     span.emplace(call.call_site.empty()
                      ? std::string(gemm_traits<T>::routine)
                      : std::string(call.call_site),
@@ -171,31 +174,31 @@ void run(const gemm_call<T>& call) {
 
   const auto start = std::chrono::steady_clock::now();
   if (!guard) {
-    detail::run_at(requested, call);
+    run_at(requested, call);
   } else {
     // Validate before touching C: the guard must not copy through a
     // malformed ldc.
-    detail::validate_gemm_args(call.transa, call.transb, call.m, call.n,
-                               call.k, call.a, call.lda, call.b, call.ldb,
-                               call.c, call.ldc);
+    validate_gemm_args(call.transa, call.transb, call.m, call.n,
+                       call.k, call.a, call.lda, call.b, call.ldb,
+                       call.c, call.ldc);
     std::vector<T> c_orig(static_cast<std::size_t>(call.m) *
                           static_cast<std::size_t>(call.n));
     for (blas_int j = 0; j < call.n; ++j) {
       std::copy_n(call.c + j * call.ldc, call.m,
                   c_orig.data() + static_cast<std::size_t>(j) * call.m);
     }
-    const auto rows = detail::guard_sample_rows(call.m);
+    const auto rows = guard_sample_rows(call.m);
 
-    detail::run_at(final_mode, call);
-    residual = detail::sampled_residual(call, c_orig, rows);
+    run_at(final_mode, call);
+    residual = sampled_residual(call, c_orig, rows);
     verdict = fallback_verdict::passed;
     while (residual > res.tolerance &&
            final_mode != compute_mode::standard) {
-      detail::restore_c(call, c_orig);
-      final_mode = detail::effective_mode<T>(next_higher_mode(final_mode));
+      restore_c(call, c_orig);
+      final_mode = effective_mode<T>(next_higher_mode(final_mode));
       ++attempts;
-      detail::run_at(final_mode, call);
-      residual = detail::sampled_residual(call, c_orig, rows);
+      run_at(final_mode, call);
+      residual = sampled_residual(call, c_orig, rows);
       verdict = fallback_verdict::promoted;
     }
     record_fallback(call.call_site, verdict == fallback_verdict::promoted,
@@ -211,6 +214,9 @@ void run(const gemm_call<T>& call) {
     span->arg("flops", gemm_flops(gemm_traits<T>::is_complex, call.m,
                                   call.n, call.k));
     span->arg("mode", info(final_mode).env_token);
+    if (plan.tune != auto_provenance::none) {
+      span->arg("tune", name(plan.tune));
+    }
     if (verdict != fallback_verdict::none) {
       span->arg("fallback", name(verdict));
     }
@@ -218,9 +224,7 @@ void run(const gemm_call<T>& call) {
     // device time when core has installed the model hook.
     const double predicted = trace::predicted_gemm_seconds(
         {call.m, call.n, call.k, gemm_traits<T>::is_complex,
-         std::is_same_v<T, double> ||
-             std::is_same_v<T, std::complex<double>>,
-         info(final_mode).env_token});
+         gemm_traits<T>::is_fp64, info(final_mode).env_token});
     if (predicted >= 0.0) span->arg("predicted_us", predicted * 1e6);
   }
 
@@ -244,7 +248,31 @@ void run(const gemm_call<T>& call) {
   record.fallback = verdict;
   record.guard_residual = residual;
   record.attempts = attempts;
+  record.tune = plan.tune;
   record_call(std::move(record));
+}
+
+template call_plan plan_call<float>(const gemm_call<float>&);
+template call_plan plan_call<double>(const gemm_call<double>&);
+template call_plan plan_call<std::complex<float>>(
+    const gemm_call<std::complex<float>>&);
+template call_plan plan_call<std::complex<double>>(
+    const gemm_call<std::complex<double>>&);
+
+template void run_planned<float>(const gemm_call<float>&, const call_plan&,
+                                 bool);
+template void run_planned<double>(const gemm_call<double>&,
+                                  const call_plan&, bool);
+template void run_planned<std::complex<float>>(
+    const gemm_call<std::complex<float>>&, const call_plan&, bool);
+template void run_planned<std::complex<double>>(
+    const gemm_call<std::complex<double>>&, const call_plan&, bool);
+
+}  // namespace detail
+
+template <typename T>
+void run(const gemm_call<T>& call) {
+  detail::run_planned(call, detail::plan_call(call), true);
 }
 
 template void run<float>(const gemm_call<float>&);

@@ -59,23 +59,34 @@ policy_rule parse_rule(std::string_view rule_text) {
     }
   }
   if (parts.empty() || parts[0].empty()) fail("missing compute mode");
-  const auto mode = parse_compute_mode(parts[0]);
-  if (!mode) fail("unknown compute mode \"" + std::string(parts[0]) + "\"");
-  rule.mode = *mode;
+  if (to_upper(parts[0]) == "AUTO") {
+    rule.automatic = true;  // mode stays standard (the no-resolver fallback)
+  } else {
+    const auto mode = parse_compute_mode(parts[0]);
+    if (!mode) {
+      fail("unknown compute mode \"" + std::string(parts[0]) + "\"");
+    }
+    rule.mode = *mode;
+  }
 
   for (std::size_t i = 1; i < parts.size(); ++i) {
     const std::string flag = to_upper(parts[i]);
+    const auto positive_value = [&](std::size_t prefix_len) {
+      const std::string value = flag.substr(prefix_len);
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || !(parsed > 0.0)) {
+        fail("unparsable value \"" + std::string(parts[i]) + "\"");
+      }
+      return parsed;
+    };
     if (flag == "GUARDED") {
       rule.guarded = true;
     } else if (flag.rfind("TOL=", 0) == 0) {
-      const std::string value = flag.substr(4);
-      char* end = nullptr;
-      const double tol = std::strtod(value.c_str(), &end);
-      if (end == value.c_str() || *end != '\0' || !(tol > 0.0)) {
-        fail("unparsable tolerance \"" + std::string(parts[i]) + "\"");
-      }
       rule.guarded = true;  // tol implies guarded
-      rule.tolerance = tol;
+      rule.tolerance = positive_value(4);
+    } else if (flag.rfind("ULP=", 0) == 0) {
+      rule.ulp_budget = positive_value(4);
     } else {
       fail("unknown flag \"" + std::string(parts[i]) + "\"");
     }
@@ -200,7 +211,8 @@ mode_resolution resolve_compute_mode(
     const auto policy = current_policy();
     if (const policy_rule* rule = policy->match(call_site)) {
       return {rule->mode, policy_source::site_policy, rule->guarded,
-              rule->tolerance.value_or(default_guard_tolerance())};
+              rule->tolerance.value_or(default_guard_tolerance()),
+              rule->automatic, rule->ulp_budget.value_or(0.0)};
     }
   }
   if (const auto api = api_mode_override()) {

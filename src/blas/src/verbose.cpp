@@ -38,6 +38,7 @@ double g_total_seconds = 0.0;             // guarded by g_seconds_mutex
 std::mutex g_json_mutex;
 std::string g_json_path;                  // guarded by g_json_mutex
 std::ofstream g_json_stream;              // guarded by g_json_mutex
+bool g_json_warned = false;               // guarded by g_json_mutex
 
 /// Minimal JSON string escaping (sites/routines are plain tags, but be
 /// safe about quotes, backslashes, and control bytes).
@@ -64,13 +65,25 @@ void write_json_line(const call_record& record) {
   const auto path = env_get(kVerboseJsonEnvVar);
   if (!path) return;
   std::lock_guard lock(g_json_mutex);
-  if (*path != g_json_path || !g_json_stream.is_open()) {
+  if (*path != g_json_path) {
     g_json_stream.close();
     g_json_stream.clear();
     g_json_stream.open(*path, std::ios::app);
     g_json_path = *path;
+    g_json_warned = false;
   }
-  if (!g_json_stream) return;
+  if (!g_json_stream) {
+    // Unwritable sink must not abort the run: one clear warning per path,
+    // then records keep flowing to the in-process log only.
+    if (!g_json_warned) {
+      std::fprintf(stderr,
+                   "dcmesh: cannot write %s file \"%s\"; per-call JSON "
+                   "records disabled\n",
+                   std::string(kVerboseJsonEnvVar).c_str(), path->c_str());
+      g_json_warned = true;
+    }
+    return;
+  }
   g_json_stream << record.to_json() << '\n' << std::flush;
 }
 
@@ -107,6 +120,10 @@ std::string call_record::to_string() const {
     line += " src:";
     line += name(source);
   }
+  if (tune != auto_provenance::none) {
+    line += " tune:";
+    line += name(tune);
+  }
   if (fallback != fallback_verdict::none) {
     std::snprintf(buffer, sizeof(buffer),
                   " fallback:%s(resid=%.3e,attempts=%d,from=%s)",
@@ -141,6 +158,10 @@ std::string call_record::to_json() const {
   out += info(requested_mode).env_token;
   out += "\",\"fallback\":\"";
   out += name(fallback);
+  if (tune != auto_provenance::none) {
+    out += "\",\"tune\":\"";
+    out += name(tune);
+  }
   std::snprintf(buffer, sizeof(buffer),
                 "\",\"residual\":%.9g,\"attempts\":%d}", guard_residual,
                 attempts);
@@ -162,7 +183,10 @@ void record_call(call_record record) {
   trace::record_gemm_metrics(record.call_site, record.routine,
                              info(record.mode).env_token, record.flops,
                              bytes, record.seconds,
-                             record.fallback == fallback_verdict::promoted);
+                             record.fallback == fallback_verdict::promoted,
+                             record.tune == auto_provenance::none
+                                 ? std::string_view{}
+                                 : name(record.tune));
   g_call_count.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(g_seconds_mutex);

@@ -51,8 +51,10 @@ struct run_config {
   propagator_choice propagator = propagator_choice::taylor;
 
   /// Per-call-site BLAS precision policy (see blas/precision_policy.hpp
-  /// for the grammar, e.g. "lfd/remap_occ/*=FLOAT_TO_BF16X2;lfd/*=TF32").
-  /// Empty = no deck-level policy.  Installed process-wide by the driver
+  /// for the grammar, e.g. "lfd/remap_occ/*=FLOAT_TO_BF16X2;lfd/*=TF32",
+  /// or "lfd/*=auto" to let the autotuner pick per site — see
+  /// tune/autotuner.hpp).  Empty = no deck-level policy.  Installed
+  /// process-wide by the driver
   /// at construction; the DCMESH_BLAS_POLICY environment variable still
   /// applies when this is empty (the deck wins when both are set, matching
   /// the policy engine's set_policy > env precedence).

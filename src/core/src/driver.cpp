@@ -5,6 +5,7 @@
 #include "dcmesh/lfd/init.hpp"
 #include "dcmesh/lfd/potential.hpp"
 #include "dcmesh/qxmd/supercell.hpp"
+#include "dcmesh/tune/autotuner.hpp"
 #include "dcmesh/xehpc/roofline.hpp"
 
 namespace dcmesh::core {
@@ -39,6 +40,10 @@ driver::driver(run_config config)
   // time (measured-vs-modeled per kernel).  Idempotent and cheap; uses
   // the default single-stack spec and frozen calibration.
   xehpc::install_trace_gemm_model();
+  // Back AUTO policy rules with the process-wide autotuner (wisdom cached
+  // under DCMESH_TUNE_CACHE).  Installing after the roofline model means
+  // shapes too small to time rank by the roofline, not Table II peaks.
+  tune::install_auto_tuner();
   qxmd::seed_velocities(atoms_, config_.temperature_k, config_.seed + 1);
   integrator_.initialize(atoms_);
 

@@ -29,13 +29,18 @@ struct gemm_site_counters {
   std::uint64_t fallback_promotions = 0;  ///< Guard re-ran at higher mode.
   /// Calls per resolved compute-mode token ("STANDARD", "BF16", ...).
   std::map<std::string, std::uint64_t, std::less<>> mode_calls;
+  /// Auto-resolved calls per decision provenance ("calibrated", "cached",
+  /// "modeled", "defaulted"); empty when the site never ran under `auto`.
+  std::map<std::string, std::uint64_t, std::less<>> tune_calls;
 };
 
 /// Record one GEMM call for `site` (falls back to "untagged/<routine>"
-/// when the site tag is empty).  Thread-safe.
+/// when the site tag is empty).  `tune_token` names the auto-mode decision
+/// provenance; empty for calls that were not auto-resolved.  Thread-safe.
 void record_gemm_metrics(std::string_view site, std::string_view routine,
                          std::string_view mode_token, double flops,
-                         double bytes, double seconds, bool promoted);
+                         double bytes, double seconds, bool promoted,
+                         std::string_view tune_token = {});
 
 /// Snapshot of all per-site counters, sorted by site tag.
 [[nodiscard]] std::vector<std::pair<std::string, gemm_site_counters>>

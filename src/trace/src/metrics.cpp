@@ -14,7 +14,8 @@ std::map<std::string, gemm_site_counters, std::less<>> g_sites;
 
 void record_gemm_metrics(std::string_view site, std::string_view routine,
                          std::string_view mode_token, double flops,
-                         double bytes, double seconds, bool promoted) {
+                         double bytes, double seconds, bool promoted,
+                         std::string_view tune_token) {
   std::string key;
   if (site.empty()) {
     key = "untagged/";
@@ -34,6 +35,14 @@ void record_gemm_metrics(std::string_view site, std::string_view routine,
     counters.mode_calls.emplace(std::string(mode_token), 1);
   } else {
     ++it->second;
+  }
+  if (!tune_token.empty()) {
+    auto tune_it = counters.tune_calls.find(tune_token);
+    if (tune_it == counters.tune_calls.end()) {
+      counters.tune_calls.emplace(std::string(tune_token), 1);
+    } else {
+      ++tune_it->second;
+    }
   }
 }
 
@@ -71,6 +80,15 @@ std::string gemm_metrics_report() {
       if (!first) os << ',';
       first = false;
       os << mode << ':' << calls;
+    }
+    if (!c.tune_calls.empty()) {
+      os << "  tune=";
+      first = true;
+      for (const auto& [provenance, calls] : c.tune_calls) {
+        if (!first) os << ',';
+        first = false;
+        os << provenance << ':' << calls;
+      }
     }
     os << '\n';
   }

@@ -187,7 +187,16 @@ bool tracer::write_chrome_trace(const std::string& path) const {
 bool tracer::flush_to_env_path() const {
   const char* path = trace_env_path();
   if (path == nullptr) return false;
-  return write_chrome_trace(path);
+  const bool ok = write_chrome_trace(path);
+  if (!ok) {
+    // An unwritable DCMESH_TRACE_JSON must not abort the run (this is
+    // reached from an atexit handler): one clear warning, trace dropped.
+    std::fprintf(stderr,
+                 "dcmesh: cannot write DCMESH_TRACE_JSON file \"%s\"; "
+                 "trace discarded\n",
+                 path);
+  }
+  return ok;
 }
 
 void tracer::clear() {

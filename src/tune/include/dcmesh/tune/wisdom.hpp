@@ -1,0 +1,108 @@
+#pragma once
+// wisdom.hpp — persistent autotuning wisdom (versioned JSONL).
+//
+// A wisdom file (named by DCMESH_TUNE_CACHE) records every mode decision
+// the autotuner has made, one JSON object per line, preceded by a header
+// line naming the file-format version and the kernel generation the
+// timings were taken on.  A second run loads the file and resolves every
+// known (routine, site, shape-class, budget) key with zero recalibration;
+// a file written by an older kernel generation — whose timings and error
+// profile no longer apply — is rejected whole, cleanly, and rebuilt.
+//
+// The format is append-friendly on purpose: concurrently calibrating
+// processes sharing one wisdom file each append complete lines, and a
+// loader simply keeps the first entry per key (first writer wins, so all
+// sharers converge on the same decisions).  Individual malformed lines
+// (torn writes, hand edits) are skipped and counted, never fatal.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcmesh::tune {
+
+/// Bump when the wisdom line layout changes incompatibly.
+inline constexpr int kWisdomFormatVersion = 1;
+
+/// Identity of the kernel generation decisions are valid for.  Bump when
+/// the blocked kernels (or the calibration procedure) change enough that
+/// stored timings/errors are no longer comparable.
+inline constexpr std::string_view kKernelVersion = "minimkl-blocked-v2";
+
+/// Shape class: each GEMM dimension bucketed to its power-of-two bracket
+/// (bit width of the value), so near-identical shapes share one decision
+/// and the wisdom file stays small.
+struct shape_class {
+  int m_bits = 0;
+  int n_bits = 0;
+  int k_bits = 0;
+
+  /// Compact form used in keys and wisdom lines, e.g. "m4n4k10".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const shape_class& a,
+                         const shape_class& b) noexcept {
+    return a.m_bits == b.m_bits && a.n_bits == b.n_bits &&
+           a.k_bits == b.k_bits;
+  }
+};
+
+/// Classify a shape (dims clamped to >= 1 before bucketing).
+[[nodiscard]] shape_class classify_shape(std::int64_t m, std::int64_t n,
+                                         std::int64_t k) noexcept;
+
+/// One wisdom entry: the decision for one (routine, site, class, budget).
+struct wisdom_entry {
+  std::string routine;      ///< "SGEMM", "CGEMM", ...
+  std::string site;         ///< Call-site tag ("" = untagged).
+  shape_class cls;
+  double ulp_budget = 0.0;  ///< Error budget the decision was made under.
+  std::string mode_token;   ///< Chosen mode (MKL_BLAS_COMPUTE_MODE token).
+  double err_ulp = 0.0;     ///< Measured componentwise error, storage ULPs.
+  double gflops = 0.0;      ///< Measured throughput of the chosen mode
+                            ///< (0 = decision was model-ranked, not timed).
+  std::string provenance;   ///< "calibrated" or "modeled".
+
+  [[nodiscard]] std::string key() const;      ///< Lookup key (see below).
+  [[nodiscard]] std::string to_json() const;  ///< One JSONL line.
+};
+
+/// The lookup key entries are deduplicated on.
+[[nodiscard]] std::string wisdom_key(std::string_view routine,
+                                     std::string_view site, shape_class cls,
+                                     double ulp_budget);
+
+/// The header line a valid wisdom file must start with.
+[[nodiscard]] std::string wisdom_header();
+
+/// True when `line` is a header this build accepts (format version AND
+/// kernel version both match).
+[[nodiscard]] bool wisdom_header_ok(std::string_view line);
+
+/// Parse one wisdom line; nullopt on malformed input.
+[[nodiscard]] std::optional<wisdom_entry> parse_wisdom_line(
+    std::string_view line);
+
+/// Result of loading a wisdom file.
+struct wisdom_file {
+  std::vector<wisdom_entry> entries;  ///< First entry per key, file order.
+  bool existed = false;       ///< File was present and readable.
+  bool version_ok = true;     ///< Header matched (false = stale/corrupt;
+                              ///< entries is empty in that case).
+  std::size_t rejected_lines = 0;  ///< Malformed non-header lines skipped.
+};
+
+/// Load `path`; never throws.  A missing file is {existed=false}.
+[[nodiscard]] wisdom_file load_wisdom(const std::string& path);
+
+/// Rewrite `path` as header + entries.  False on I/O failure.
+bool save_wisdom(const std::string& path,
+                 const std::vector<wisdom_entry>& entries);
+
+/// Append one entry to `path`, writing the header first when the file does
+/// not yet exist or is empty.  False on I/O failure.
+bool append_wisdom(const std::string& path, const wisdom_entry& entry);
+
+}  // namespace dcmesh::tune

@@ -1,0 +1,468 @@
+#include "dcmesh/tune/autotuner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <cstdlib>
+
+#include "dcmesh/blas/gemm_call.hpp"
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/trace/tracer.hpp"
+
+namespace dcmesh::tune {
+namespace {
+
+using blas::blas_int;
+using blas::compute_mode;
+
+/// Calibration operands are clamped to these dimensions: big enough that
+/// blocking/split overheads show, small enough that the FP64 reference
+/// triple loop stays in the tens of milliseconds.
+constexpr blas_int kMaxCalibMN = 96;
+constexpr blas_int kMaxCalibK = 768;
+
+/// Target wall time per timed mode; repetitions are scaled to reach it.
+constexpr double kTimingTargetSeconds = 1e-3;
+constexpr int kMaxTimingReps = 16;
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename T>
+struct scalar_traits {
+  using ref_type = double;
+  static constexpr bool is_complex = false;
+};
+template <typename R>
+struct scalar_traits<std::complex<R>> {
+  using ref_type = std::complex<double>;
+  static constexpr bool is_complex = true;
+};
+
+template <typename T>
+void fill_uniform(std::vector<T>& v, xoshiro256& rng) {
+  for (auto& x : v) {
+    if constexpr (scalar_traits<T>::is_complex) {
+      x = T(static_cast<typename T::value_type>(rng.uniform(-1.0, 1.0)),
+            static_cast<typename T::value_type>(rng.uniform(-1.0, 1.0)));
+    } else {
+      x = static_cast<T>(rng.uniform(-1.0, 1.0));
+    }
+  }
+}
+
+/// FP64 (or complex-FP64) triple-loop reference for C = A*B on the
+/// calibration operands (column-major, no transposes, alpha=1, beta=0).
+template <typename T>
+std::vector<typename scalar_traits<T>::ref_type> reference_product(
+    const std::vector<T>& a, const std::vector<T>& b, blas_int m,
+    blas_int n, blas_int k) {
+  using ref_t = typename scalar_traits<T>::ref_type;
+  std::vector<ref_t> c(static_cast<std::size_t>(m) * n, ref_t(0));
+  for (blas_int j = 0; j < n; ++j) {
+    for (blas_int p = 0; p < k; ++p) {
+      const ref_t bpj = ref_t(b[static_cast<std::size_t>(j) * k + p]);
+      for (blas_int i = 0; i < m; ++i) {
+        c[static_cast<std::size_t>(j) * m + i] +=
+            ref_t(a[static_cast<std::size_t>(p) * m + i]) * bpj;
+      }
+    }
+  }
+  return c;
+}
+
+/// Largest componentwise deviation of `got` from `ref`, in ULPs of the
+/// storage precision.  Each component's deviation is normalised by its own
+/// reference magnitude, floored at a tenth of the largest magnitude:
+/// without the floor a single near-cancelled component dominates the
+/// metric by orders of magnitude and no mode — not even standard — stays
+/// inside a useful budget.
+template <typename T>
+double componentwise_error_ulp(
+    const std::vector<T>& got,
+    const std::vector<typename scalar_traits<T>::ref_type>& ref,
+    double storage_eps) {
+  double max_abs = 0.0;
+  for (const auto& r : ref) {
+    if constexpr (scalar_traits<T>::is_complex) {
+      max_abs = std::max({max_abs, std::abs(r.real()), std::abs(r.imag())});
+    } else {
+      max_abs = std::max(max_abs, std::abs(r));
+    }
+  }
+  const double floor = std::max(0.1 * max_abs, 1e-300);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if constexpr (scalar_traits<T>::is_complex) {
+      const double dre = std::abs(double(got[i].real()) - ref[i].real());
+      const double dim = std::abs(double(got[i].imag()) - ref[i].imag());
+      const double nre = std::max(std::abs(ref[i].real()), floor);
+      const double nim = std::max(std::abs(ref[i].imag()), floor);
+      worst = std::max({worst, dre / (storage_eps * nre),
+                        dim / (storage_eps * nim)});
+    } else {
+      const double d = std::abs(double(got[i]) - ref[i]);
+      const double n = std::max(std::abs(ref[i]), floor);
+      worst = std::max(worst, d / (storage_eps * n));
+    }
+  }
+  return worst;
+}
+
+/// Run every eligible mode once (or repeatedly, when `timed`) on
+/// deterministic sample operands and measure error + throughput.
+/// The GEMMs dispatch through the public descriptor path under the
+/// kCalibrationSite tag with an explicit mode override — visible to
+/// verbose/metrics, invisible to the policy engine (no recursion).
+template <typename T>
+std::vector<mode_measurement> calibrate_key(
+    const std::vector<compute_mode>& modes, blas_int m, blas_int n,
+    blas_int k, bool timed, double ulp_budget, std::uint64_t seed) {
+  const blas_int cm = std::clamp<blas_int>(m, 1, kMaxCalibMN);
+  const blas_int cn = std::clamp<blas_int>(n, 1, kMaxCalibMN);
+  const blas_int ck = std::clamp<blas_int>(k, 1, kMaxCalibK);
+
+  xoshiro256 rng(seed);
+  std::vector<T> a(static_cast<std::size_t>(cm) * ck);
+  std::vector<T> b(static_cast<std::size_t>(ck) * cn);
+  std::vector<T> c(static_cast<std::size_t>(cm) * cn);
+  fill_uniform(a, rng);
+  fill_uniform(b, rng);
+  const auto ref = reference_product(a, b, cm, cn, ck);
+
+  const double storage_eps =
+      sizeof(typename scalar_traits<T>::ref_type) == sizeof(T)
+          ? 0x1.0p-52   // FP64 storage (ZGEMM)
+          : 0x1.0p-23;  // FP32 storage (SGEMM/CGEMM)
+  const double flops = (scalar_traits<T>::is_complex ? 8.0 : 2.0) *
+                       double(cm) * double(cn) * double(ck);
+
+  std::vector<mode_measurement> out;
+  out.reserve(modes.size());
+  for (const compute_mode mode : modes) {
+    blas::gemm_call<T> call;
+    call.m = cm;
+    call.n = cn;
+    call.k = ck;
+    call.a = a.data();
+    call.lda = cm;
+    call.b = b.data();
+    call.ldb = ck;
+    call.c = c.data();
+    call.ldc = cm;
+    call.call_site = kCalibrationSite;
+    call.mode = mode;
+
+    mode_measurement meas;
+    meas.mode_token = std::string(blas::info(mode).env_token);
+
+    // Probe run: produces the result we measure error on, and (when
+    // timing) warms caches + sizes the repetition count.
+    const double probe_start = now_seconds();
+    blas::run(call);
+    const double probe = std::max(now_seconds() - probe_start, 1e-9);
+    meas.err_ulp = componentwise_error_ulp(c, ref, storage_eps);
+    meas.within_budget = meas.err_ulp <= ulp_budget;
+
+    if (timed) {
+      const int reps = std::clamp(
+          static_cast<int>(kTimingTargetSeconds / probe), 1, kMaxTimingReps);
+      const double start = now_seconds();
+      for (int r = 0; r < reps; ++r) blas::run(call);
+      const double elapsed = std::max(now_seconds() - start, 1e-9);
+      meas.gflops = flops * reps / elapsed / 1e9;
+    }
+    out.push_back(std::move(meas));
+  }
+  return out;
+}
+
+std::vector<compute_mode> eligible_modes(bool is_complex, bool is_fp64) {
+  if (is_fp64) {
+    // ZGEMM: only 3M applies; DGEMM never reaches calibration.
+    return {compute_mode::standard, compute_mode::complex_3m};
+  }
+  std::vector<compute_mode> modes = {
+      compute_mode::standard, compute_mode::float_to_bf16,
+      compute_mode::float_to_tf32, compute_mode::float_to_bf16x2,
+      compute_mode::float_to_bf16x3};
+  if (is_complex) modes.push_back(compute_mode::complex_3m);
+  return modes;
+}
+
+/// The effective budget: the policy rule's `ulp=` flag, else
+/// DCMESH_TUNE_ULP_BUDGET, else the default.  A malformed env value warns
+/// once and falls back to the default — never throws.
+double effective_budget(double request_budget) {
+  if (request_budget > 0.0) return request_budget;
+  const auto env = env_get(kUlpBudgetEnvVar);
+  if (!env) return kDefaultUlpBudget;
+  char* end = nullptr;
+  const double value = std::strtod(env->c_str(), &end);
+  if (end == env->c_str() || !trim(std::string_view(end)).empty() ||
+      !(value > 0.0) || !std::isfinite(value)) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "dcmesh: ignoring invalid %s value \"%s\"; using the "
+                   "default budget of %g ULP\n",
+                   std::string(kUlpBudgetEnvVar).c_str(), env->c_str(),
+                   kDefaultUlpBudget);
+    }
+    return kDefaultUlpBudget;
+  }
+  return value;
+}
+
+blas::auto_tune_choice make_choice(const wisdom_entry& entry,
+                                   blas::auto_provenance provenance) {
+  const auto mode = blas::parse_compute_mode(entry.mode_token);
+  return {mode.value_or(compute_mode::standard), provenance, entry.err_ulp};
+}
+
+}  // namespace
+
+autotuner::autotuner() { state_.follow_env = true; }
+
+autotuner::autotuner(std::string cache_path) {
+  state_.path = std::move(cache_path);
+}
+
+void autotuner::reload_if_needed(state& s) {
+  if (s.follow_env) {
+    std::string path = env_get(kTuneCacheEnvVar).value_or("");
+    if (path != s.path) {
+      // Repointed: start over against the new file.
+      state fresh;
+      fresh.follow_env = true;
+      fresh.path = std::move(path);
+      s = std::move(fresh);
+    }
+  }
+  if (s.loaded) return;
+  s.loaded = true;
+  if (s.path.empty()) return;
+  const wisdom_file file = load_wisdom(s.path);
+  if (file.existed && !file.version_ok) {
+    std::fprintf(stderr,
+                 "dcmesh: wisdom file \"%s\" has a stale or corrupt header; "
+                 "ignoring it (it will be rebuilt)\n",
+                 s.path.c_str());
+    s.rewrite_on_persist = true;
+    return;
+  }
+  std::size_t dropped = file.rejected_lines;
+  for (const auto& entry : file.entries) {
+    // Entries naming modes this build does not know are stale — drop them.
+    if (!blas::parse_compute_mode(entry.mode_token)) {
+      ++dropped;
+      continue;
+    }
+    s.decisions.emplace(entry.key(), entry);
+  }
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "dcmesh: skipped %zu malformed line(s) in wisdom file "
+                 "\"%s\"\n",
+                 dropped, s.path.c_str());
+  }
+}
+
+blas::auto_tune_choice autotuner::decide(state& s,
+                                         const blas::auto_tune_request& req) {
+  ++s.stats.resolutions;
+
+  // Plain FP64 has no alternative modes to weigh; don't burn wisdom
+  // entries (or calibration time) on a fixed answer.
+  if (req.is_fp64 && !req.is_complex) {
+    return {compute_mode::standard, blas::auto_provenance::defaulted, 0.0};
+  }
+  if (req.m <= 0 || req.n <= 0 || req.k <= 0) {
+    return {compute_mode::standard, blas::auto_provenance::defaulted, 0.0};
+  }
+
+  const double budget = effective_budget(req.ulp_budget);
+  const shape_class cls = classify_shape(req.m, req.n, req.k);
+  const std::string key = wisdom_key(req.routine, req.call_site, cls, budget);
+
+  if (const auto it = s.decisions.find(key); it != s.decisions.end()) {
+    ++s.stats.cache_hits;
+    return make_choice(it->second, blas::auto_provenance::cached);
+  }
+
+  // Calibrate: measure error for every eligible mode, and throughput when
+  // the request shape is big enough to time reliably.
+  const double nominal_flops = (req.is_complex ? 8.0 : 2.0) *
+                               double(req.m) * double(req.n) * double(req.k);
+  const bool timed = nominal_flops >= kMinTimedFlops;
+  const auto modes = eligible_modes(req.is_complex, req.is_fp64);
+  const std::uint64_t seed = fnv1a(key);
+
+  std::vector<mode_measurement> measurements;
+  if (req.is_fp64) {
+    measurements = calibrate_key<std::complex<double>>(
+        modes, req.m, req.n, req.k, timed, budget, seed);
+  } else if (req.is_complex) {
+    measurements = calibrate_key<std::complex<float>>(
+        modes, req.m, req.n, req.k, timed, budget, seed);
+  } else {
+    measurements = calibrate_key<float>(modes, req.m, req.n, req.k, timed,
+                                        budget, seed);
+  }
+
+  // Rank the modes that stay inside the budget; standard is the safety
+  // net when nothing does (a sub-ULP budget, say).
+  const mode_measurement* best = nullptr;
+  for (const auto& meas : measurements) {
+    if (!meas.within_budget) continue;
+    if (best == nullptr) {
+      best = &meas;
+      continue;
+    }
+    if (timed) {
+      if (meas.gflops > best->gflops) best = &meas;
+      continue;
+    }
+    // Too small to time: rank by the installed cost model (the xehpc
+    // roofline when present), else by Table II peak theoretical speedup.
+    const auto predict = [&](const mode_measurement& mm) {
+      return trace::predicted_gemm_seconds({req.m, req.n, req.k,
+                                            req.is_complex, req.is_fp64,
+                                            mm.mode_token});
+    };
+    const double t_new = predict(meas);
+    const double t_best = predict(*best);
+    if (t_new >= 0.0 && t_best >= 0.0) {
+      if (t_new < t_best) best = &meas;
+    } else {
+      const auto speedup = [](const mode_measurement& mm) {
+        const auto mode = blas::parse_compute_mode(mm.mode_token);
+        return mode ? blas::info(*mode).peak_theoretical_speedup : 1.0;
+      };
+      if (speedup(meas) > speedup(*best)) best = &meas;
+    }
+  }
+  if (best == nullptr) best = &measurements.front();  // standard
+
+  wisdom_entry entry;
+  entry.routine = std::string(req.routine);
+  entry.site = std::string(req.call_site);
+  entry.cls = cls;
+  entry.ulp_budget = budget;
+  entry.mode_token = best->mode_token;
+  entry.err_ulp = best->err_ulp;
+  entry.gflops = best->gflops;
+  entry.provenance = timed ? "calibrated" : "modeled";
+  if (timed) {
+    ++s.stats.calibrations;
+  } else {
+    ++s.stats.model_decisions;
+  }
+
+  s.decisions.emplace(key, entry);
+  s.log.push_back({key, entry, std::move(measurements)});
+
+  if (!s.path.empty()) {
+    bool ok;
+    if (s.rewrite_on_persist) {
+      // The file on disk was stale/corrupt: replace it wholesale.
+      std::vector<wisdom_entry> all;
+      all.reserve(s.decisions.size());
+      for (const auto& [_, e] : s.decisions) all.push_back(e);
+      ok = save_wisdom(s.path, all);
+      if (ok) s.rewrite_on_persist = false;
+    } else {
+      ok = append_wisdom(s.path, entry);
+    }
+    if (!ok && !s.persist_warned) {
+      s.persist_warned = true;
+      std::fprintf(stderr,
+                   "dcmesh: cannot write %s file \"%s\"; tuning decisions "
+                   "kept in memory only\n",
+                   std::string(kTuneCacheEnvVar).c_str(), s.path.c_str());
+    }
+  }
+
+  return make_choice(entry, timed ? blas::auto_provenance::calibrated
+                                  : blas::auto_provenance::modeled);
+}
+
+blas::auto_tune_choice autotuner::resolve(
+    const blas::auto_tune_request& request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  reload_if_needed(state_);
+  return decide(state_, request);
+}
+
+std::vector<wisdom_entry> autotuner::decisions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<wisdom_entry> out;
+  out.reserve(state_.decisions.size());
+  for (const auto& [_, entry] : state_.decisions) out.push_back(entry);
+  return out;
+}
+
+std::vector<calibration_record> autotuner::calibration_log() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_.log;
+}
+
+tuner_stats autotuner::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_.stats;
+}
+
+bool autotuner::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (state_.path.empty()) return false;
+  std::vector<wisdom_entry> all;
+  all.reserve(state_.decisions.size());
+  for (const auto& [_, entry] : state_.decisions) all.push_back(entry);
+  if (!save_wisdom(state_.path, all)) return false;
+  state_.rewrite_on_persist = false;
+  return true;
+}
+
+void autotuner::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  state fresh;
+  fresh.follow_env = state_.follow_env;
+  fresh.path = state_.path;
+  state_ = std::move(fresh);
+}
+
+std::string autotuner::cache_path() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_.path;
+}
+
+autotuner& default_tuner() {
+  static autotuner tuner;
+  return tuner;
+}
+
+void install_auto_tuner() {
+  blas::set_auto_tune_hook(
+      [](const blas::auto_tune_request& request)
+          -> std::optional<blas::auto_tune_choice> {
+        return default_tuner().resolve(request);
+      });
+}
+
+}  // namespace dcmesh::tune

@@ -1,0 +1,224 @@
+#include "dcmesh/tune/wisdom.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sys/stat.h>
+
+#include "dcmesh/trace/tracer.hpp"  // append_json_escaped
+
+namespace dcmesh::tune {
+namespace {
+
+/// Extract the string value of `"name":"..."`; nullopt when absent.
+std::optional<std::string> json_string_field(std::string_view line,
+                                             std::string_view field) {
+  const std::string needle = "\"" + std::string(field) + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::string out;
+  for (std::size_t i = pos + needle.size(); i < line.size(); ++i) {
+    const char ch = line[i];
+    if (ch == '"') return out;
+    if (ch == '\\' && i + 1 < line.size()) {
+      // The writer only escapes quote/backslash/control; unescape the
+      // two that can round-trip through site tags.
+      const char next = line[++i];
+      out += (next == 'n') ? '\n' : (next == 't') ? '\t' : next;
+    } else {
+      out += ch;
+    }
+  }
+  return std::nullopt;  // unterminated string
+}
+
+/// Extract the numeric value of `"name":<number>`; nullopt when absent.
+std::optional<double> json_number_field(std::string_view line,
+                                        std::string_view field) {
+  const std::string needle = "\"" + std::string(field) + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  const std::string rest(line.substr(pos + needle.size()));
+  char* end = nullptr;
+  const double value = std::strtod(rest.c_str(), &end);
+  if (end == rest.c_str()) return std::nullopt;
+  return value;
+}
+
+std::optional<shape_class> parse_shape_class(std::string_view text) {
+  // "m<bits>n<bits>k<bits>"
+  int m = 0, n = 0, k = 0;
+  if (std::sscanf(std::string(text).c_str(), "m%dn%dk%d", &m, &n, &k) != 3) {
+    return std::nullopt;
+  }
+  if (m < 0 || n < 0 || k < 0) return std::nullopt;
+  return shape_class{m, n, k};
+}
+
+int bit_width(std::int64_t v) noexcept {
+  if (v < 1) v = 1;
+  int bits = 0;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::string shape_class::to_string() const {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "m%dn%dk%d", m_bits, n_bits,
+                k_bits);
+  return buffer;
+}
+
+shape_class classify_shape(std::int64_t m, std::int64_t n,
+                           std::int64_t k) noexcept {
+  return {bit_width(m), bit_width(n), bit_width(k)};
+}
+
+std::string wisdom_key(std::string_view routine, std::string_view site,
+                       shape_class cls, double ulp_budget) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "|%s|%.6g", cls.to_string().c_str(),
+                ulp_budget);
+  std::string key(routine);
+  key += '|';
+  key += site;
+  key += buffer;
+  return key;
+}
+
+std::string wisdom_entry::key() const {
+  return wisdom_key(routine, site, cls, ulp_budget);
+}
+
+std::string wisdom_entry::to_json() const {
+  std::string out = "{\"routine\":\"";
+  trace::append_json_escaped(out, routine);
+  out += "\",\"site\":\"";
+  trace::append_json_escaped(out, site);
+  out += "\",\"class\":\"";
+  out += cls.to_string();
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "\",\"ulp_budget\":%.9g,\"mode\":\"",
+                ulp_budget);
+  out += buffer;
+  out += mode_token;
+  std::snprintf(buffer, sizeof(buffer),
+                "\",\"err_ulp\":%.9g,\"gflops\":%.9g,\"provenance\":\"",
+                err_ulp, gflops);
+  out += buffer;
+  out += provenance;
+  out += "\"}";
+  return out;
+}
+
+std::string wisdom_header() {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"dcmesh_wisdom\":%d,\"kernel\":\"%s\"}",
+                kWisdomFormatVersion,
+                std::string(kKernelVersion).c_str());
+  return buffer;
+}
+
+bool wisdom_header_ok(std::string_view line) {
+  const auto version = json_number_field(line, "dcmesh_wisdom");
+  if (!version || *version != kWisdomFormatVersion) return false;
+  const auto kernel = json_string_field(line, "kernel");
+  return kernel && *kernel == kKernelVersion;
+}
+
+std::optional<wisdom_entry> parse_wisdom_line(std::string_view line) {
+  const auto routine = json_string_field(line, "routine");
+  const auto site = json_string_field(line, "site");
+  const auto cls_text = json_string_field(line, "class");
+  const auto budget = json_number_field(line, "ulp_budget");
+  const auto mode = json_string_field(line, "mode");
+  const auto err = json_number_field(line, "err_ulp");
+  const auto gflops = json_number_field(line, "gflops");
+  const auto provenance = json_string_field(line, "provenance");
+  if (!routine || !site || !cls_text || !budget || !mode || !err ||
+      !gflops || !provenance) {
+    return std::nullopt;
+  }
+  const auto cls = parse_shape_class(*cls_text);
+  if (!cls) return std::nullopt;
+  wisdom_entry entry;
+  entry.routine = *routine;
+  entry.site = *site;
+  entry.cls = *cls;
+  entry.ulp_budget = *budget;
+  entry.mode_token = *mode;
+  entry.err_ulp = *err;
+  entry.gflops = *gflops;
+  entry.provenance = *provenance;
+  return entry;
+}
+
+wisdom_file load_wisdom(const std::string& path) {
+  wisdom_file result;
+  if (path.empty()) return result;
+  std::ifstream in(path);
+  if (!in.is_open()) return result;
+  result.existed = true;
+  std::string line;
+  if (!std::getline(in, line) || !wisdom_header_ok(line)) {
+    result.version_ok = false;
+    return result;
+  }
+  // First entry per key wins: concurrent appenders may duplicate a key,
+  // and every sharer must resolve it to the same decision.
+  std::vector<std::string> seen;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto entry = parse_wisdom_line(line);
+    if (!entry) {
+      ++result.rejected_lines;
+      continue;
+    }
+    const std::string key = entry->key();
+    bool duplicate = false;
+    for (const auto& k : seen) {
+      if (k == key) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen.push_back(key);
+    result.entries.push_back(std::move(*entry));
+  }
+  return result;
+}
+
+bool save_wisdom(const std::string& path,
+                 const std::vector<wisdom_entry>& entries) {
+  if (path.empty()) return false;
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << wisdom_header() << '\n';
+  for (const auto& entry : entries) {
+    os << entry.to_json() << '\n';
+  }
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+bool append_wisdom(const std::string& path, const wisdom_entry& entry) {
+  if (path.empty()) return false;
+  struct stat st {};
+  const bool needs_header =
+      stat(path.c_str(), &st) != 0 || st.st_size == 0;
+  std::ofstream os(path, std::ios::app);
+  if (!os) return false;
+  if (needs_header) os << wisdom_header() << '\n';
+  os << entry.to_json() << '\n';
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+}  // namespace dcmesh::tune

@@ -5,10 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <complex>
+#include <string>
 #include <vector>
 
+#include "dcmesh/blas/autotune_hook.hpp"
 #include "dcmesh/blas/gemm_ref.hpp"
+#include "dcmesh/blas/precision_policy.hpp"
 #include "dcmesh/common/rng.hpp"
+#include "dcmesh/trace/metrics.hpp"
+#include "dcmesh/trace/tracer.hpp"
 
 namespace dcmesh::blas {
 namespace {
@@ -95,6 +100,89 @@ TEST(GemmBatch, ZeroBatchIsNoOp) {
                              nullptr, 1, 1, nullptr, 1, 1, 0.0, c.data(), 1,
                              1, 0);
   EXPECT_EQ(c[0], 42.0);
+}
+
+TEST(GemmBatch, OneSpanPerBatchedCall) {
+  auto& collector = trace::tracer::instance();
+  collector.set_enabled(true);
+  collector.clear();
+
+  xoshiro256 rng(4);
+  const blas_int m = 4, n = 4, k = 4, batch = 5;
+  std::vector<float> a(m * k * batch), b(k * n * batch), c(m * n * batch);
+  for (auto& x : a) x = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& x : b) x = static_cast<float>(rng.uniform(-1, 1));
+  clear_compute_mode();
+  gemm_batch_strided<float>(transpose::none, transpose::none, m, n, k, 1.0f,
+                            a.data(), m, m * k, b.data(), k, k * n, 0.0f,
+                            c.data(), m, m * n, batch, "batch/span_site");
+
+  std::size_t batch_spans = 0, per_element_spans = 0;
+  for (const auto& event : collector.snapshot()) {
+    if (event.category == "gemm_batch") ++batch_spans;
+    if (event.category == "gemm") ++per_element_spans;
+  }
+  collector.set_enabled(false);
+  collector.clear();
+
+  // The whole batched call is ONE span (annotated with batch and
+  // batch-total flops), not `batch` per-element spans.
+  EXPECT_EQ(batch_spans, 1u);
+  EXPECT_EQ(per_element_spans, 0u);
+}
+
+TEST(GemmBatch, MetricsAccumulateBatchTimesPerProblemFlops) {
+  trace::clear_gemm_metrics();
+  xoshiro256 rng(5);
+  const blas_int m = 6, n = 5, k = 7, batch = 4;
+  std::vector<float> a(m * k * batch), b(k * n * batch), c(m * n * batch);
+  for (auto& x : a) x = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& x : b) x = static_cast<float>(rng.uniform(-1, 1));
+  clear_compute_mode();
+  gemm_batch_strided<float>(transpose::none, transpose::none, m, n, k, 1.0f,
+                            a.data(), m, m * k, b.data(), k, k * n, 0.0f,
+                            c.data(), m, m * n, batch, "batch/flops_site");
+
+  const auto counters = trace::gemm_metrics_for("batch/flops_site");
+  EXPECT_EQ(counters.calls, static_cast<std::uint64_t>(batch));
+  EXPECT_DOUBLE_EQ(counters.flops, batch * 2.0 * m * n * k);
+  trace::clear_gemm_metrics();
+}
+
+TEST(GemmBatch, AutoPolicyResolvesOncePerBatch) {
+  // A counting stand-in for the autotuner: the batched call must consult
+  // it exactly once, and every element must run at its answer.
+  static int hook_calls;
+  hook_calls = 0;
+  set_auto_tune_hook([](const auto_tune_request& request)
+                         -> std::optional<auto_tune_choice> {
+    ++hook_calls;
+    EXPECT_EQ(request.routine, "SGEMM");
+    return auto_tune_choice{compute_mode::float_to_bf16x3,
+                            auto_provenance::calibrated, 1.0};
+  });
+  set_policy(parse_policy("batch/auto_site=AUTO"));
+  trace::clear_gemm_metrics();
+
+  xoshiro256 rng(6);
+  const blas_int m = 4, n = 4, k = 8, batch = 6;
+  std::vector<float> a(m * k * batch), b(k * n * batch), c(m * n * batch);
+  for (auto& x : a) x = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& x : b) x = static_cast<float>(rng.uniform(-1, 1));
+  gemm_batch_strided<float>(transpose::none, transpose::none, m, n, k, 1.0f,
+                            a.data(), m, m * k, b.data(), k, k * n, 0.0f,
+                            c.data(), m, m * n, batch, "batch/auto_site");
+
+  EXPECT_EQ(hook_calls, 1);
+  const auto counters = trace::gemm_metrics_for("batch/auto_site");
+  EXPECT_EQ(counters.calls, static_cast<std::uint64_t>(batch));
+  const auto mode_it = counters.mode_calls.find("FLOAT_TO_BF16X3");
+  ASSERT_NE(mode_it, counters.mode_calls.end());
+  EXPECT_EQ(mode_it->second, static_cast<std::uint64_t>(batch));
+
+  set_auto_tune_hook({});
+  clear_policy();
+  trace::clear_gemm_metrics();
 }
 
 TEST(GemmBatch, OverlapValidation) {

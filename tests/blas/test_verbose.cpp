@@ -146,6 +146,18 @@ TEST_F(VerboseTest, TaggedLineCarriesSiteSourceAndFallback) {
   EXPECT_NE(line.find("from=FLOAT_TO_BF16"), std::string::npos) << line;
 }
 
+TEST_F(VerboseTest, UnwritableJsonSinkWarnsAndKeepsRunning) {
+  // An unwritable MKL_VERBOSE_JSON path must not throw, abort, or lose
+  // the in-memory call log — the sink is best-effort telemetry.
+  env_set(kVerboseJsonEnvVar, "/nonexistent-dcmesh-dir/sub/verbose.jsonl");
+  env_set(kVerboseEnvVar, "2");
+  std::vector<float> a(4, 1.0f), b(4, 1.0f), c(4, 0.0f);
+  EXPECT_NO_THROW(sgemm(transpose::none, transpose::none, 2, 2, 2, 1.0f,
+                        a.data(), 2, b.data(), 2, 0.0f, c.data(), 2));
+  EXPECT_EQ(recent_calls().size(), 1u);
+  env_unset(kVerboseJsonEnvVar);
+}
+
 TEST_F(VerboseTest, JsonSinkWritesOneObjectPerCall) {
   const std::string path =
       ::testing::TempDir() + "/dcmesh_verbose_sink_test.jsonl";

@@ -372,6 +372,17 @@ TEST(GemmMetrics, UntaggedCallsKeyByRoutineAndModesAreCounted) {
   EXPECT_EQ(gemm_metrics_for("untagged/SGEMM").calls, 0u);
 }
 
+TEST(Tracer, UnwritableTraceJsonPathFailsCleanly) {
+  // An unwritable DCMESH_TRACE_JSON must never throw or abort — the flush
+  // (which also runs atexit) reports failure and the process goes on.
+  env_set(kTraceJsonEnvVar, "/nonexistent-dcmesh-dir/sub/trace.json");
+  tracer::instance().clear();
+  { span s("robustness_probe", "test"); }
+  EXPECT_FALSE(tracer::instance().flush_to_env_path());
+  env_unset(kTraceJsonEnvVar);
+  tracer::instance().clear();
+}
+
 // ---------------------------------------------------------------------------
 // Acceptance: 10-step driver run with DCMESH_TRACE_JSON set.
 

@@ -1,0 +1,432 @@
+// Tests for the accuracy-aware autotuning subsystem: the wisdom file
+// format (round-trip, stale/corrupt rejection, first-writer-wins dedup),
+// the autotuner's calibrate/cache/model decision paths, multi-process
+// determinism through a shared wisdom file, env-var robustness, and the
+// end-to-end `auto` policy mode — including the headline guarantee that a
+// warm wisdom cache performs ZERO calibration GEMMs (asserted via the
+// metrics registry).
+
+#include "dcmesh/tune/autotuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dcmesh/blas/gemm_call.hpp"
+#include "dcmesh/blas/precision_policy.hpp"
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/core/driver.hpp"
+#include "dcmesh/core/presets.hpp"
+#include "dcmesh/trace/metrics.hpp"
+#include "dcmesh/tune/wisdom.hpp"
+
+namespace dcmesh::tune {
+namespace {
+
+class AutotuneTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+  static void reset() {
+    blas::set_auto_tune_hook({});
+    blas::clear_policy();
+    blas::clear_compute_mode();
+    trace::clear_gemm_metrics();
+    env_unset(kTuneCacheEnvVar);
+    env_unset(kUlpBudgetEnvVar);
+    env_unset(blas::kPolicyEnvVar);
+    default_tuner().clear();
+  }
+
+  static std::string temp_path(const char* name) {
+    return ::testing::TempDir() + name;
+  }
+
+  static blas::auto_tune_request sgemm_request(std::string_view site,
+                                               blas::blas_int m,
+                                               blas::blas_int n,
+                                               blas::blas_int k) {
+    return {site, "SGEMM", m, n, k, /*is_complex=*/false,
+            /*is_fp64=*/false, /*ulp_budget=*/0.0};
+  }
+};
+
+// ------------------------------------------------------------- wisdom ---
+
+TEST_F(AutotuneTest, ShapeClassBucketsByBitWidth) {
+  EXPECT_EQ(classify_shape(100, 3, 1000).to_string(), "m7n2k10");
+  EXPECT_EQ(classify_shape(1, 1, 1).to_string(), "m1n1k1");
+  // Same bucket for nearby shapes, different bucket across a power of two.
+  EXPECT_EQ(classify_shape(65, 65, 100), classify_shape(100, 100, 127));
+  EXPECT_FALSE(classify_shape(63, 64, 64) == classify_shape(64, 64, 64));
+  // Degenerate dims clamp to the smallest bucket instead of misbehaving.
+  EXPECT_EQ(classify_shape(0, -5, 1), classify_shape(1, 1, 1));
+}
+
+TEST_F(AutotuneTest, WisdomLineRoundTrips) {
+  wisdom_entry entry;
+  entry.routine = "CGEMM";
+  entry.site = "lfd/nlp_prop/\"quoted\"";  // escaping must survive
+  entry.cls = classify_shape(48, 48, 512);
+  entry.ulp_budget = 1024.0;
+  entry.mode_token = "COMPLEX_3M";
+  entry.err_ulp = 16.6875;
+  entry.gflops = 20.95;
+  entry.provenance = "calibrated";
+
+  const auto parsed = parse_wisdom_line(entry.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->routine, entry.routine);
+  EXPECT_EQ(parsed->site, entry.site);
+  EXPECT_EQ(parsed->cls, entry.cls);
+  EXPECT_DOUBLE_EQ(parsed->ulp_budget, entry.ulp_budget);
+  EXPECT_EQ(parsed->mode_token, entry.mode_token);
+  EXPECT_DOUBLE_EQ(parsed->err_ulp, entry.err_ulp);
+  EXPECT_DOUBLE_EQ(parsed->gflops, entry.gflops);
+  EXPECT_EQ(parsed->provenance, entry.provenance);
+  EXPECT_EQ(parsed->key(), entry.key());
+}
+
+TEST_F(AutotuneTest, HeaderValidatesFormatAndKernelVersion) {
+  EXPECT_TRUE(wisdom_header_ok(wisdom_header()));
+  EXPECT_FALSE(wisdom_header_ok(
+      "{\"dcmesh_wisdom\":999,\"kernel\":\"minimkl-blocked-v2\"}"));
+  EXPECT_FALSE(wisdom_header_ok(
+      "{\"dcmesh_wisdom\":1,\"kernel\":\"some-older-kernel\"}"));
+  EXPECT_FALSE(wisdom_header_ok("not json at all"));
+  EXPECT_FALSE(parse_wisdom_line("{\"routine\":\"SGEMM\"}").has_value());
+}
+
+TEST_F(AutotuneTest, LoadSkipsMalformedLinesAndDedupsFirstWins) {
+  const std::string path = temp_path("wisdom_malformed.jsonl");
+  wisdom_entry entry;
+  entry.routine = "SGEMM";
+  entry.site = "a";
+  entry.cls = classify_shape(64, 64, 64);
+  entry.ulp_budget = 1024.0;
+  entry.mode_token = "STANDARD";
+  entry.provenance = "calibrated";
+  wisdom_entry dup = entry;  // same key, different mode: must lose
+  dup.mode_token = "FLOAT_TO_BF16";
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << wisdom_header() << '\n'
+       << entry.to_json() << '\n'
+       << "torn wri" << '\n'
+       << dup.to_json() << '\n';
+  }
+  const auto file = load_wisdom(path);
+  EXPECT_TRUE(file.existed);
+  EXPECT_TRUE(file.version_ok);
+  EXPECT_EQ(file.rejected_lines, 1u);
+  ASSERT_EQ(file.entries.size(), 1u);
+  EXPECT_EQ(file.entries[0].mode_token, "STANDARD");
+  std::remove(path.c_str());
+}
+
+TEST_F(AutotuneTest, StaleKernelVersionRejectsWholeFile) {
+  const std::string path = temp_path("wisdom_stale.jsonl");
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << "{\"dcmesh_wisdom\":1,\"kernel\":\"minimkl-blocked-v1\"}\n";
+    os << "{\"routine\":\"SGEMM\",\"site\":\"a\",\"class\":\"m7n7k7\","
+          "\"ulp_budget\":1024,\"mode\":\"STANDARD\",\"err_ulp\":1,"
+          "\"gflops\":1,\"provenance\":\"calibrated\"}\n";
+  }
+  const auto file = load_wisdom(path);
+  EXPECT_TRUE(file.existed);
+  EXPECT_FALSE(file.version_ok);
+  EXPECT_TRUE(file.entries.empty());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------- autotuner ---
+
+TEST_F(AutotuneTest, TimedShapeCalibratesWithinBudget) {
+  autotuner tuner{std::string{}};  // in-memory only
+  const auto choice = tuner.resolve(sgemm_request("t/a", 128, 128, 128));
+  EXPECT_EQ(choice.provenance, blas::auto_provenance::calibrated);
+  EXPECT_LE(choice.err_ulp, kDefaultUlpBudget);
+
+  const auto decisions = tuner.decisions();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].provenance, "calibrated");
+  EXPECT_GT(decisions[0].gflops, 0.0);
+  EXPECT_EQ(tuner.stats().calibrations, 1u);
+
+  // The calibration GEMMs ran through the public dispatcher and are
+  // visible in the metrics registry under the calibration site tag.
+  EXPECT_GT(trace::gemm_metrics_for(kCalibrationSite).calls, 0u);
+}
+
+TEST_F(AutotuneTest, SecondResolveHitsMemoryWithZeroCalibrationGemms) {
+  autotuner tuner{std::string{}};
+  (void)tuner.resolve(sgemm_request("t/a", 128, 128, 128));
+
+  trace::clear_gemm_metrics();
+  const auto warm = tuner.resolve(sgemm_request("t/a", 128, 128, 128));
+  EXPECT_EQ(warm.provenance, blas::auto_provenance::cached);
+  EXPECT_EQ(trace::gemm_metrics_for(kCalibrationSite).calls, 0u);
+  EXPECT_EQ(tuner.stats().cache_hits, 1u);
+  EXPECT_EQ(tuner.stats().calibrations, 1u);
+}
+
+TEST_F(AutotuneTest, ChosenModeIsFastestWithinBudget) {
+  autotuner tuner{std::string{}};
+  (void)tuner.resolve(sgemm_request("t/fast", 96, 96, 256));
+  const auto log = tuner.calibration_log();
+  ASSERT_EQ(log.size(), 1u);
+  ASSERT_EQ(log[0].decision.provenance, "calibrated");
+  for (const auto& meas : log[0].measurements) {
+    if (!meas.within_budget) continue;
+    // The decision is the max-throughput mode among those within budget —
+    // in particular at least as fast as always-BF16x3 (which, carrying
+    // enough components to emulate FP32, is always within budget).
+    EXPECT_GE(log[0].decision.gflops, meas.gflops)
+        << "beaten by " << meas.mode_token;
+    if (meas.mode_token == "FLOAT_TO_BF16X3") {
+      EXPECT_LE(meas.err_ulp, kDefaultUlpBudget);
+    }
+  }
+}
+
+TEST_F(AutotuneTest, TinyShapeFallsBackToModelRanking) {
+  autotuner tuner{std::string{}};
+  const auto choice = tuner.resolve(sgemm_request("t/tiny", 8, 8, 8));
+  EXPECT_EQ(choice.provenance, blas::auto_provenance::modeled);
+  EXPECT_LE(choice.err_ulp, kDefaultUlpBudget);
+  EXPECT_EQ(tuner.stats().model_decisions, 1u);
+  const auto decisions = tuner.decisions();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].provenance, "modeled");
+  EXPECT_EQ(decisions[0].gflops, 0.0);  // nothing was timed
+}
+
+TEST_F(AutotuneTest, PlainFp64DefaultsToStandardWithoutCalibration) {
+  autotuner tuner{std::string{}};
+  const blas::auto_tune_request request{
+      "t/d", "DGEMM", 128, 128, 128, false, true, 0.0};
+  const auto choice = tuner.resolve(request);
+  EXPECT_EQ(choice.mode, blas::compute_mode::standard);
+  EXPECT_EQ(choice.provenance, blas::auto_provenance::defaulted);
+  EXPECT_TRUE(tuner.decisions().empty());
+  EXPECT_EQ(trace::gemm_metrics_for(kCalibrationSite).calls, 0u);
+}
+
+TEST_F(AutotuneTest, RequestBudgetOverridesDefaultAndKeysTheDecision) {
+  autotuner tuner{std::string{}};
+  blas::auto_tune_request request = sgemm_request("t/b", 64, 64, 64);
+  request.ulp_budget = 123456.0;
+  (void)tuner.resolve(request);
+  const auto decisions = tuner.decisions();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_DOUBLE_EQ(decisions[0].ulp_budget, 123456.0);
+
+  // A different budget is a different key: it calibrates separately.
+  request.ulp_budget = 0.0;
+  (void)tuner.resolve(request);
+  EXPECT_EQ(tuner.decisions().size(), 2u);
+}
+
+// ------------------------------------------------- wisdom persistence ---
+
+TEST_F(AutotuneTest, WisdomRoundTripsAcrossInstancesWithZeroRecalibration) {
+  const std::string path = temp_path("wisdom_roundtrip.jsonl");
+  std::remove(path.c_str());
+
+  autotuner cold{path};
+  const auto first = cold.resolve(sgemm_request("t/rt", 128, 128, 128));
+  EXPECT_EQ(first.provenance, blas::auto_provenance::calibrated);
+  ASSERT_TRUE(cold.flush());
+
+  // A fresh instance (fresh process, in effect) resolves the same key
+  // from the file: identical mode, and NOT ONE calibration GEMM.
+  trace::clear_gemm_metrics();
+  autotuner warm{path};
+  const auto second = warm.resolve(sgemm_request("t/rt", 128, 128, 128));
+  EXPECT_EQ(second.provenance, blas::auto_provenance::cached);
+  EXPECT_EQ(second.mode, first.mode);
+  EXPECT_EQ(trace::gemm_metrics_for(kCalibrationSite).calls, 0u);
+  EXPECT_EQ(warm.stats().calibrations, 0u);
+  EXPECT_EQ(warm.stats().cache_hits, 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(AutotuneTest, ClearBehavesLikeAFreshProcess) {
+  const std::string path = temp_path("wisdom_clear.jsonl");
+  std::remove(path.c_str());
+  autotuner tuner{path};
+  const auto first = tuner.resolve(sgemm_request("t/c", 128, 128, 128));
+  tuner.clear();
+  EXPECT_TRUE(tuner.decisions().empty());
+  const auto again = tuner.resolve(sgemm_request("t/c", 128, 128, 128));
+  EXPECT_EQ(again.provenance, blas::auto_provenance::cached);  // from file
+  EXPECT_EQ(again.mode, first.mode);
+  std::remove(path.c_str());
+}
+
+TEST_F(AutotuneTest, CorruptWisdomFileIsRejectedAndRebuilt) {
+  const std::string path = temp_path("wisdom_corrupt.jsonl");
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << "complete garbage, not even json\nmore garbage\n";
+  }
+  autotuner tuner{path};
+  // The corrupt file must not crash, throw, or poison the decision.
+  const auto choice = tuner.resolve(sgemm_request("t/x", 128, 128, 128));
+  EXPECT_EQ(choice.provenance, blas::auto_provenance::calibrated);
+
+  // And the file has been rebuilt with a valid header + this decision.
+  const auto reloaded = load_wisdom(path);
+  EXPECT_TRUE(reloaded.version_ok);
+  ASSERT_EQ(reloaded.entries.size(), 1u);
+  EXPECT_EQ(reloaded.entries[0].site, "t/x");
+  std::remove(path.c_str());
+}
+
+TEST_F(AutotuneTest, ProcessesSharingAWisdomFileAgree) {
+  const std::string path = temp_path("wisdom_shared.jsonl");
+  std::remove(path.c_str());
+
+  // "Process" A calibrates key 1; "process" B, sharing the file, must
+  // adopt A's decision for key 1, then contribute key 2; A must adopt
+  // B's key-2 decision after a reload.  First writer wins throughout.
+  autotuner a{path};
+  autotuner b{path};
+  const auto a1 = a.resolve(sgemm_request("t/s1", 128, 128, 128));
+  const auto b1 = b.resolve(sgemm_request("t/s1", 128, 128, 128));
+  EXPECT_EQ(b1.provenance, blas::auto_provenance::cached);
+  EXPECT_EQ(b1.mode, a1.mode);
+
+  const auto b2 = b.resolve(sgemm_request("t/s2", 64, 64, 256));
+  a.clear();  // reload from the shared file on next resolve
+  const auto a2 = a.resolve(sgemm_request("t/s2", 64, 64, 256));
+  EXPECT_EQ(a2.provenance, blas::auto_provenance::cached);
+  EXPECT_EQ(a2.mode, b2.mode);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- env-var robustness ---
+
+TEST_F(AutotuneTest, UnwritableCachePathWarnsAndStaysMemoryOnly) {
+  autotuner tuner{"/nonexistent-dcmesh-dir/sub/wisdom.jsonl"};
+  const auto choice = tuner.resolve(sgemm_request("t/u", 128, 128, 128));
+  EXPECT_EQ(choice.provenance, blas::auto_provenance::calibrated);
+  const auto warm = tuner.resolve(sgemm_request("t/u", 128, 128, 128));
+  EXPECT_EQ(warm.provenance, blas::auto_provenance::cached);
+}
+
+TEST_F(AutotuneTest, MalformedUlpBudgetEnvFallsBackToDefault) {
+  env_set(kUlpBudgetEnvVar, "not-a-number");
+  autotuner tuner{std::string{}};
+  (void)tuner.resolve(sgemm_request("t/e", 64, 64, 64));
+  const auto decisions = tuner.decisions();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_DOUBLE_EQ(decisions[0].ulp_budget, kDefaultUlpBudget);
+
+  env_set(kUlpBudgetEnvVar, "4096");
+  (void)tuner.resolve(sgemm_request("t/e2", 64, 64, 64));
+  bool found = false;
+  for (const auto& entry : tuner.decisions()) {
+    if (entry.site == "t/e2") {
+      EXPECT_DOUBLE_EQ(entry.ulp_budget, 4096.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AutotuneTest, FollowEnvTunerTracksCachePathChanges) {
+  const std::string path = temp_path("wisdom_env.jsonl");
+  std::remove(path.c_str());
+  autotuner tuner;  // follow-env mode
+  EXPECT_EQ(tuner.cache_path(), "");
+
+  env_set(kTuneCacheEnvVar, path);
+  (void)tuner.resolve(sgemm_request("t/env", 128, 128, 128));
+  EXPECT_EQ(tuner.cache_path(), path);
+  EXPECT_TRUE(load_wisdom(path).version_ok);
+  EXPECT_EQ(load_wisdom(path).entries.size(), 1u);
+
+  env_unset(kTuneCacheEnvVar);
+  (void)tuner.resolve(sgemm_request("t/env", 128, 128, 128));
+  EXPECT_EQ(tuner.cache_path(), "");
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------- auto policy ---
+
+TEST_F(AutotuneTest, AutoPolicyResolvesThroughInstalledTuner) {
+  install_auto_tuner();
+  blas::set_policy(blas::parse_policy("e2e/*=auto"));
+
+  const blas::blas_int n = 128;
+  std::vector<float> a(n * n, 0.25f), b(n * n, 0.5f), c(n * n);
+  blas::gemm_call<float> call;
+  call.m = call.n = call.k = n;
+  call.a = a.data();
+  call.lda = n;
+  call.b = b.data();
+  call.ldb = n;
+  call.c = c.data();
+  call.ldc = n;
+  call.call_site = "e2e/site";
+  blas::run(call);
+  blas::run(call);
+
+  const auto counters = trace::gemm_metrics_for("e2e/site");
+  EXPECT_EQ(counters.calls, 2u);
+  ASSERT_EQ(counters.tune_calls.count("calibrated"), 1u);
+  EXPECT_EQ(counters.tune_calls.at("calibrated"), 1u);
+  ASSERT_EQ(counters.tune_calls.count("cached"), 1u);
+  EXPECT_EQ(counters.tune_calls.at("cached"), 1u);
+  EXPECT_GT(trace::gemm_metrics_for(kCalibrationSite).calls, 0u);
+}
+
+// The ISSUE acceptance scenario: the real driver on the tiny preset with
+// a blanket auto policy.  Cold run calibrates every tagged site within
+// budget; a second run against the same wisdom file performs zero
+// calibration GEMMs.
+TEST_F(AutotuneTest, DriverTinyPresetAutoColdThenWarm) {
+  const std::string path = temp_path("wisdom_driver.jsonl");
+  std::remove(path.c_str());
+  env_set(kTuneCacheEnvVar, path);
+
+  auto config = core::preset(core::paper_system::tiny);
+  config.qd_steps_per_series = 5;
+  config.series = 1;
+  config.blas_policy = "lfd/*=auto";
+
+  {  // cold: every auto-resolved site calibrates within its budget
+    core::driver sim(config);
+    sim.run();
+  }
+  EXPECT_GT(trace::gemm_metrics_for(kCalibrationSite).calls, 0u);
+  const auto decisions = default_tuner().decisions();
+  ASSERT_FALSE(decisions.empty());
+  for (const auto& entry : decisions) {
+    EXPECT_LE(entry.err_ulp, entry.ulp_budget) << entry.key();
+  }
+  const std::size_t persisted = load_wisdom(path).entries.size();
+  EXPECT_EQ(persisted, decisions.size());
+
+  // warm: fresh tuner state (fresh process, in effect), same wisdom file
+  default_tuner().clear();
+  trace::clear_gemm_metrics();
+  {
+    core::driver sim(config);
+    sim.run();
+  }
+  EXPECT_EQ(trace::gemm_metrics_for(kCalibrationSite).calls, 0u);
+  EXPECT_EQ(default_tuner().stats().calibrations, 0u);
+  EXPECT_GT(default_tuner().stats().cache_hits, 0u);
+  // The warm run added no new wisdom.
+  EXPECT_EQ(load_wisdom(path).entries.size(), persisted);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dcmesh::tune
