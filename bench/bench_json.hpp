@@ -10,9 +10,12 @@
 // ignored; emitting the artifact must never fail a bench run.
 //
 // Schema (version-tagged so downstream scripts can detect drift):
-//   {"schema":"dcmesh-bench-gemm/1","bench":"<binary>","rows":[
+//   {"schema":"dcmesh-bench-gemm/2","bench":"<binary>","rows":[
 //     {"routine":"SGEMM","m":128,"n":128,"k":128,"mode":"STANDARD",
 //      "gflops":12.3,"err_ulp":10.2,"source":"measured"}, ...]}
+// Version 2 adds an optional "note" string per row (omitted when empty),
+// used for engine-path annotations like fused-vs-legacy speedups and the
+// pack/compute phase breakdown of the split engine.
 
 #include <algorithm>
 #include <chrono>
@@ -33,7 +36,7 @@ namespace dcmesh::bench {
 /// Overrides the default BENCH_gemm.json output path.
 inline constexpr std::string_view kBenchJsonEnvVar = "DCMESH_BENCH_JSON";
 inline constexpr const char* kBenchJsonDefaultPath = "BENCH_gemm.json";
-inline constexpr std::string_view kBenchJsonSchema = "dcmesh-bench-gemm/1";
+inline constexpr std::string_view kBenchJsonSchema = "dcmesh-bench-gemm/2";
 
 /// One benchmark result row.
 struct bench_gemm_row {
@@ -43,6 +46,7 @@ struct bench_gemm_row {
   double gflops = 0.0;    ///< Measured throughput (0 = not timed).
   double err_ulp = 0.0;   ///< Error metric (storage ULPs, or a deviation).
   std::string source;     ///< How the row was produced ("measured", ...).
+  std::string note;       ///< Optional annotation (schema v2; "" = omitted).
 };
 
 /// Collects rows and writes them as one JSON document.
@@ -103,7 +107,13 @@ class bench_json_writer {
                     row.gflops, row.err_ulp);
       out += buffer;
       trace::append_json_escaped(out, row.source);
-      out += "\"}";
+      out += '"';
+      if (!row.note.empty()) {
+        out += ",\"note\":\"";
+        trace::append_json_escaped(out, row.note);
+        out += '"';
+      }
+      out += '}';
     }
     out += "\n]}\n";
     return out;

@@ -6,12 +6,18 @@
 #include <benchmark/benchmark.h>
 
 #include <complex>
+#include <cstdio>
 #include <vector>
 
 #include "bench_json.hpp"
 #include "dcmesh/blas/blas.hpp"
 #include "dcmesh/blas/compute_mode.hpp"
 #include "dcmesh/common/rng.hpp"
+// Internal engine headers: the fused-vs-legacy comparison times the two
+// split implementations directly, and the JSON rows carry the fused
+// engine's pack/compute phase breakdown and active kernel ISA.
+#include "kernel_isa.hpp"
+#include "split.hpp"
 
 namespace {
 
@@ -111,10 +117,123 @@ BENCHMARK(BM_sgemm_split)
     ->Arg(static_cast<int>(blas::compute_mode::float_to_bf16x3))
     ->Arg(static_cast<int>(blas::compute_mode::float_to_tf32));
 
+/// Fused engine vs the pre-fusion reference on a DCMESH-skinny shape
+/// (small m, n; deep k) — where the legacy path's dense component copies
+/// and per-product repacking dominate.  arg0 selects the mode, arg1 the
+/// implementation (0 = fused sgemm_split, 1 = legacy reference).
+void BM_sgemm_split_skinny(benchmark::State& state) {
+  const blas::blas_int m = 64, n = 64, k = 8192;
+  const auto mode = static_cast<blas::compute_mode>(state.range(0));
+  const bool legacy = state.range(1) != 0;
+  const auto a = random_data<float>(k * m, 9);
+  const auto b = random_data<float>(k * n, 10);
+  std::vector<float> c(m * n);
+  for (auto _ : state) {
+    if (legacy) {
+      blas::detail::sgemm_split_reference(
+          mode, blas::transpose::trans, blas::transpose::none, m, n, k, 1.0f,
+          a.data(), k, b.data(), k, 0.0f, c.data(), m);
+    } else {
+      blas::detail::sgemm_split(mode, blas::transpose::trans,
+                                blas::transpose::none, m, n, k, 1.0f,
+                                a.data(), k, b.data(), k, 0.0f, c.data(), m);
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(std::string(blas::name(mode)) +
+                 (legacy ? "/legacy" : "/fused"));
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::gemm_flops(false, m, n, k) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_sgemm_split_skinny)
+    ->Args({static_cast<int>(blas::compute_mode::float_to_bf16x2), 0})
+    ->Args({static_cast<int>(blas::compute_mode::float_to_bf16x2), 1})
+    ->Args({static_cast<int>(blas::compute_mode::float_to_bf16x3), 0})
+    ->Args({static_cast<int>(blas::compute_mode::float_to_bf16x3), 1});
+
+/// Time `calls` of the fused or legacy split path, best-of-`reps` seconds.
+double time_split(bool legacy, blas::compute_mode mode, blas::blas_int m,
+                  blas::blas_int n, blas::blas_int k, const float* a,
+                  const float* b, float* c, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (legacy) {
+      blas::detail::sgemm_split_reference(
+          mode, blas::transpose::trans, blas::transpose::none, m, n, k, 1.0f,
+          a, k, b, k, 0.0f, c, m);
+    } else {
+      blas::detail::sgemm_split(mode, blas::transpose::trans,
+                                blas::transpose::none, m, n, k, 1.0f, a, k,
+                                b, k, 0.0f, c, m);
+    }
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+/// Fused-vs-legacy rows at the paper's Table VII remap_occ shape
+/// (Norb = 256 row: m = Nocc = 128, n = Norb - Nocc = 128, k = 64^3),
+/// with the fused engine's pack/compute phase breakdown in the note.
+void emit_table7_split_rows(bench::bench_json_writer& json) {
+  using blas::compute_mode;
+  const blas::blas_int m = 128, n = 128, k = 64 * 64 * 64;
+  const auto a = random_data<float>(static_cast<std::size_t>(k) * m, 11);
+  const auto b = random_data<float>(static_cast<std::size_t>(k) * n, 12);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  const double flops = blas::gemm_flops(false, m, n, k);
+  for (const auto mode :
+       {compute_mode::float_to_bf16x2, compute_mode::float_to_bf16x3}) {
+    const double legacy_s = time_split(true, mode, m, n, k, a.data(),
+                                       b.data(), c.data(), 2);
+    blas::detail::reset_split_profile();
+    blas::detail::set_split_profiling(true);
+    const double fused_s = time_split(false, mode, m, n, k, a.data(),
+                                      b.data(), c.data(), 2);
+    blas::detail::set_split_profiling(false);
+    const auto prof = blas::detail::split_profile_snapshot();
+    const double prof_total = std::max(
+        prof.pack_a_seconds + prof.pack_b_seconds + prof.compute_seconds,
+        1e-12);
+
+    bench::bench_gemm_row legacy_row;
+    legacy_row.routine = "SGEMM_T7";
+    legacy_row.m = m;
+    legacy_row.n = n;
+    legacy_row.k = k;
+    legacy_row.mode = std::string(blas::info(mode).env_token);
+    legacy_row.gflops = flops / legacy_s / 1e9;
+    legacy_row.source = "measured-legacy";
+    legacy_row.note = "pre-fusion path: dense split_operand + per-product repack";
+    json.add(legacy_row);
+
+    bench::bench_gemm_row fused_row = legacy_row;
+    fused_row.gflops = flops / fused_s / 1e9;
+    fused_row.source = "measured-fused";
+    char note[160];
+    std::snprintf(note, sizeof(note),
+                  "fused engine %.2fx vs legacy; pack_a %.0f%% pack_b %.0f%% "
+                  "compute %.0f%%; isa=%s",
+                  legacy_s / fused_s, 100 * prof.pack_a_seconds / prof_total,
+                  100 * prof.pack_b_seconds / prof_total,
+                  100 * prof.compute_seconds / prof_total,
+                  std::string(blas::detail::kernel_isa_name(
+                                  blas::detail::active_kernel_isa()))
+                      .c_str());
+    fused_row.note = note;
+    json.add(fused_row);
+  }
+}
+
 /// The BENCH_gemm.json sweep: every compute mode on the two shapes the
 /// google-benchmark cases cover (square SGEMM, DCMESH-skinny CGEMM), each
 /// row carrying measured GFLOP/s AND measured error — the (speed, error)
 /// pairs the paper's tables juxtapose, in one machine-readable artifact.
+/// Plus the Table VII fused-vs-legacy split-engine rows.
 void emit_bench_json() {
   using blas::compute_mode;
   bench::bench_json_writer json("micro_gemm");
@@ -131,6 +250,7 @@ void emit_bench_json() {
     json.add(bench::measure_gemm_row<std::complex<float>>("CGEMM", 32, 32,
                                                           1024, mode));
   }
+  emit_table7_split_rows(json);
   json.write();
 }
 

@@ -19,6 +19,10 @@ void run_batch(transpose transa, transpose transb, blas_int m, blas_int n,
                blas_int stride_c, blas_int batch,
                std::string_view call_site) {
   if (batch < 0) throw std::invalid_argument("gemm_batch: negative batch");
+  // Each batch entry dispatches like a standalone gemm, so under a split
+  // mode every entry runs the fused pack-once engine; the per-thread
+  // arena makes the loop allocation-free after the first entry (slots are
+  // released between entries — see pack_arena.hpp lifetime rules).
   // Footprint checks: a stride of 0 shares the operand across the batch
   // (legal for inputs); output slots must not overlap.
   const blas_int cols_a = transa == transpose::none ? k : m;

@@ -69,7 +69,10 @@ void combine_planes(blas_int m, blas_int n, std::complex<R> alpha,
 }
 
 /// Real GEMM that honours a split mode for float (standard otherwise;
-/// double precision never splits).
+/// double precision never splits).  Split modes route to the fused
+/// pack-once engine; its arena slots are released between the sequential
+/// plane products, so nesting 4M over sgemm_split is allocation-safe
+/// (see pack_arena.hpp lifetime rules).
 template <typename R>
 void real_gemm_mode(compute_mode mode, transpose ta, transpose tb,
                     blas_int m, blas_int n, blas_int k, R alpha, const R* a,

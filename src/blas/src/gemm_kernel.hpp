@@ -3,9 +3,14 @@
 //
 // Classic three-level blocking (Goto-style): B is packed into NR-wide
 // column strips per (jc, pc) panel, A into MR-tall row strips per (ic, pc)
-// block, and a register-tiled microkernel accumulates an MR x NR tile over
-// the packed K dimension.  Edge tiles are zero-padded in the packed buffers
-// so the microkernel never branches.  The ic loop is OpenMP-parallel.
+// block, and a register-tiled microkernel (microkernel.hpp; explicit
+// AVX2+FMA for float/double behind runtime dispatch, scalar otherwise)
+// accumulates an MR x NR tile over the packed K dimension.  Edge tiles are
+// zero-padded in the packed buffers so the microkernel never branches.
+// Packed panels live in the per-thread pack_arena — the hot path performs
+// no heap allocation after warmup.  The ic loop is OpenMP-parallel
+// (dynamic schedule past a crossover); large B panels are packed in
+// parallel as well.
 
 #include <algorithm>
 #include <cassert>
@@ -14,38 +19,28 @@
 #include <type_traits>
 
 #include "dcmesh/blas/blas.hpp"
-#include "dcmesh/common/aligned.hpp"
+#include "microkernel.hpp"
+#include "pack_arena.hpp"
 
 namespace dcmesh::blas::detail {
 
-/// Register-tile shape per element type (chosen so the accumulator tile
-/// fits comfortably in SIMD registers at AVX2 widths).
-template <typename T>
-struct micro_tile {
-  static constexpr int mr = 4;
-  static constexpr int nr = 16;
-};
-template <>
-struct micro_tile<double> {
-  static constexpr int mr = 4;
-  static constexpr int nr = 8;
-};
-template <>
-struct micro_tile<std::complex<float>> {
-  static constexpr int mr = 4;
-  static constexpr int nr = 4;
-};
-template <>
-struct micro_tile<std::complex<double>> {
-  static constexpr int mr = 2;
-  static constexpr int nr = 4;
-};
-
 /// Cache-block sizes (elements).  KC*NR and MC*KC panels stay within L1/L2
-/// for all four element types at these settings.
+/// for all four element types at these settings.  kBlockK partitions the
+/// accumulation and is part of the numerical contract (the golden
+/// trajectory was produced at 256); kBlockM/kBlockN only partition the
+/// output and can be retuned freely.  72 = lcm(6, 4, 2) rows keeps every
+/// element type's A strips exactly full inside interior blocks.
 inline constexpr blas_int kBlockK = 256;
-inline constexpr blas_int kBlockM = 64;
+inline constexpr blas_int kBlockM = 72;
 inline constexpr blas_int kBlockN = 512;
+
+/// Measured crossovers (Release, -march=native; see DESIGN §9).  Forking a
+/// parallel region costs ~1-2 us — packing below ~32k elements (~128 KiB
+/// of float) is faster serial.  Dynamic scheduling pays off once there are
+/// enough ic blocks for imbalance (edge blocks, busy cores) to matter;
+/// below that static's zero-overhead assignment wins.
+inline constexpr blas_int kPackParallelMinElems = 32768;
+inline constexpr blas_int kIcDynamicCrossover = 8;
 
 template <typename T>
 [[nodiscard]] constexpr T conj_if(T value, bool do_conj) noexcept {
@@ -84,7 +79,8 @@ void scale_c(blas_int m, blas_int n, T beta, T* c, blas_int ldc) {
 
 /// Pack an mc x kc block of op(A) into MR-tall strips, zero-padded to a
 /// multiple of MR rows.  Strip layout: strip s holds kc "columns" of MR
-/// contiguous elements.
+/// contiguous elements.  Every packed element is written, so arena memory
+/// needs no pre-zeroing.
 template <typename T>
 void pack_a(const T* a, blas_int lda, transpose op, blas_int row0,
             blas_int col0, blas_int mc, blas_int kc, T* packed) {
@@ -104,12 +100,21 @@ void pack_a(const T* a, blas_int lda, transpose op, blas_int row0,
 }
 
 /// Pack a kc x nc panel of op(B) into NR-wide strips, zero-padded to a
-/// multiple of NR columns.
+/// multiple of NR columns.  With `parallel`, strips are packed by an
+/// OpenMP team once the panel clears the fork-cost crossover (strips are
+/// disjoint, so the packed bytes are identical either way).
 template <typename T>
 void pack_b(const T* b, blas_int ldb, transpose op, blas_int row0,
-            blas_int col0, blas_int kc, blas_int nc, T* packed) {
+            blas_int col0, blas_int kc, blas_int nc, T* packed,
+            bool parallel = false) {
   constexpr int nr = micro_tile<T>::nr;
   const blas_int strips = (nc + nr - 1) / nr;
+#if defined(DCMESH_HAVE_OPENMP)
+#pragma omp parallel for schedule(static) \
+    if (parallel && kc * nc >= kPackParallelMinElems)
+#else
+  (void)parallel;
+#endif
   for (blas_int s = 0; s < strips; ++s) {
     T* dst = packed + s * (kc * nr);
     const blas_int j0 = s * nr;
@@ -123,23 +128,20 @@ void pack_b(const T* b, blas_int ldb, transpose op, blas_int row0,
   }
 }
 
-/// MR x NR register-tile kernel: acc += Ap * Bp over kc packed steps.
+/// Add alpha * acc (an MR x NR tile, rows x cols valid) into C at (i0, j0).
+/// Shared by the standard and fused split paths — the epilogue is part of
+/// the bit-level contract (one rounding per C update).
 template <typename T>
-inline void micro_kernel(blas_int kc, const T* ap, const T* bp,
-                         T* __restrict acc) noexcept {
-  constexpr int mr = micro_tile<T>::mr;
+inline void accumulate_tile(blas_int m, blas_int n, T alpha, const T* acc,
+                            blas_int i0, blas_int j0, int rows, int cols,
+                            T* c, blas_int ldc) noexcept {
   constexpr int nr = micro_tile<T>::nr;
-  for (blas_int p = 0; p < kc; ++p) {
-    const T* a = ap + p * mr;
-    const T* b = bp + p * nr;
-    for (int i = 0; i < mr; ++i) {
-      const T ai = a[i];
-#if defined(DCMESH_HAVE_OPENMP)
-#pragma omp simd
-#endif
-      for (int j = 0; j < nr; ++j) {
-        acc[i * nr + j] += ai * b[j];
-      }
+  (void)m;
+  (void)n;
+  for (int j = 0; j < cols; ++j) {
+    T* col = c + i0 + (j0 + j) * ldc;
+    for (int i = 0; i < rows; ++i) {
+      col[i] += alpha * acc[i * nr + j];
     }
   }
 }
@@ -177,7 +179,8 @@ void validate_gemm_args(transpose transa, transpose transb, blas_int m,
 
 /// The blocked GEMM core: C += alpha * op(A) * op(B), assuming C has already
 /// been scaled by beta.  Never reads the compute mode — every mode's
-/// component products funnel through this routine.
+/// component products funnel through this routine (the fused split engine
+/// in gemm_real.cpp shares its packing layout, microkernel, and epilogue).
 template <typename T>
 void gemm_blocked_accumulate(transpose transa, transpose transb, blas_int m,
                              blas_int n, blas_int k, T alpha, const T* a,
@@ -187,25 +190,25 @@ void gemm_blocked_accumulate(transpose transa, transpose transb, blas_int m,
 
   constexpr int mr = micro_tile<T>::mr;
   constexpr int nr = micro_tile<T>::nr;
+  const micro_kernel_fn<T> kernel = select_micro_kernel<T>();
 
   for (blas_int jc = 0; jc < n; jc += kBlockN) {
     const blas_int nc = std::min<blas_int>(kBlockN, n - jc);
     const blas_int n_strips = (nc + nr - 1) / nr;
     for (blas_int pc = 0; pc < k; pc += kBlockK) {
       const blas_int kc = std::min<blas_int>(kBlockK, k - pc);
-      aligned_buffer<T> bp(static_cast<std::size_t>(n_strips) * kc * nr);
-      pack_b(b, ldb, transb, pc, jc, kc, nc, bp.data());
+      T* bp = pack_arena::for_thread().template acquire<T>(
+          kArenaSlotB, static_cast<std::size_t>(n_strips) * kc * nr);
+      pack_b(b, ldb, transb, pc, jc, kc, nc, bp, /*parallel=*/true);
 
       const blas_int ic_blocks = (m + kBlockM - 1) / kBlockM;
-#if defined(DCMESH_HAVE_OPENMP)
-#pragma omp parallel for schedule(static)
-#endif
-      for (blas_int ib = 0; ib < ic_blocks; ++ib) {
+      const auto process_block = [&](blas_int ib) {
         const blas_int ic = ib * kBlockM;
         const blas_int mc = std::min<blas_int>(kBlockM, m - ic);
         const blas_int m_strips = (mc + mr - 1) / mr;
-        aligned_buffer<T> ap(static_cast<std::size_t>(m_strips) * kc * mr);
-        pack_a(a, lda, transa, ic, pc, mc, kc, ap.data());
+        T* ap = pack_arena::for_thread().template acquire<T>(
+            kArenaSlotA, static_cast<std::size_t>(m_strips) * kc * mr);
+        pack_a(a, lda, transa, ic, pc, mc, kc, ap);
 
         T acc[mr * nr];
         for (blas_int js = 0; js < n_strips; ++js) {
@@ -215,16 +218,24 @@ void gemm_blocked_accumulate(transpose transa, transpose transb, blas_int m,
             const blas_int i0 = ic + is * mr;
             const int rows = static_cast<int>(std::min<blas_int>(mr, m - i0));
             std::fill_n(acc, mr * nr, T(0));
-            micro_kernel(kc, ap.data() + is * (kc * mr),
-                         bp.data() + js * (kc * nr), acc);
-            for (int j = 0; j < cols; ++j) {
-              T* col = c + i0 + (j0 + j) * ldc;
-              for (int i = 0; i < rows; ++i) {
-                col[i] += alpha * acc[i * nr + j];
-              }
-            }
+            call_micro_kernel(kernel, kc, ap + is * (kc * mr),
+                              bp + js * (kc * nr), acc);
+            accumulate_tile(m, n, alpha, acc, i0, j0, rows, cols, c, ldc);
           }
         }
+      };
+      // Past the crossover, dynamic scheduling absorbs edge-block and
+      // system-noise imbalance; below it, static assignment is cheaper.
+      if (ic_blocks >= kIcDynamicCrossover) {
+#if defined(DCMESH_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic)
+#endif
+        for (blas_int ib = 0; ib < ic_blocks; ++ib) process_block(ib);
+      } else {
+#if defined(DCMESH_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+        for (blas_int ib = 0; ib < ic_blocks; ++ib) process_block(ib);
       }
     }
   }

@@ -1,5 +1,9 @@
-// gemm_real.cpp — sgemm/dgemm: the FP32 split-mode arithmetic and the
-// legacy positional shims over the descriptor dispatcher.
+// gemm_real.cpp — sgemm/dgemm: the fused split-mode engine and the legacy
+// positional shims over the descriptor dispatcher.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 
 #include "dcmesh/blas/blas.hpp"
 #include "dcmesh/blas/gemm_call.hpp"
@@ -19,11 +23,32 @@ namespace {
 // Thread-count override (0 = OpenMP default).
 int g_requested_threads = 0;
 
+[[nodiscard]] double engine_now() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
-/// sgemm under a FLOAT_TO_* mode: decompose both operands, then accumulate
-/// the retained component products through the standard blocked kernel with
-/// FP32 accumulation — the software analogue of the XMX systolic pipeline.
+/// sgemm under a FLOAT_TO_* mode — the fused pack-once engine.
+///
+/// Instead of materialising N dense component copies of A and B and
+/// running one full blocked pass (with its own packing) per retained
+/// product, the decomposition is fused into the panel packing: every
+/// (pc, jc) B-panel and (ic, pc) A-block is read from the source operand
+/// exactly once and emitted as N component panels in the shared packed
+/// layout.  All retained products then sweep the packed panels with the
+/// dispatched microkernel.
+///
+/// Bit-level contract: for every C element the reference path applies
+/// `c += alpha * acc(product, pc)` product-major with pc ascending inside
+/// each product, where acc is the microkernel's FP32 accumulation over
+/// one kBlockK slice.  The tile sweep below replays exactly that order
+/// (products outer, pc panels inner, same kBlockK partition, same
+/// microkernel, same one-rounding epilogue), so results are bit-identical
+/// to sgemm_split_reference under any kernel ISA — the fusion moves
+/// memory traffic, not arithmetic.
 void sgemm_split(compute_mode mode, transpose transa, transpose transb,
                  blas_int m, blas_int n, blas_int k, float alpha,
                  const float* a, blas_int lda, const float* b, blas_int ldb,
@@ -35,20 +60,116 @@ void sgemm_split(compute_mode mode, transpose transa, transpose transb,
   if (k == 0 || alpha == 0.0f) return;
 
   const split_spec spec = split_for(mode);
-  const blas_int rows_a = transa == transpose::none ? m : k;
-  const blas_int cols_a = transa == transpose::none ? k : m;
-  const blas_int rows_b = transb == transpose::none ? k : n;
-  const blas_int cols_b = transb == transpose::none ? n : k;
+  const auto products = retained_products(spec.components);
+  const micro_kernel_fn<float> kernel = select_micro_kernel<float>();
+  constexpr int mr = micro_tile<float>::mr;
+  constexpr int nr = micro_tile<float>::nr;
+  const int ncomp = spec.components;
+  const blas_int num_pc = (k + kBlockK - 1) / kBlockK;
 
-  const auto a_comp = split_operand(a, rows_a, cols_a, lda, spec);
-  const auto b_comp = split_operand(b, rows_b, cols_b, ldb, spec);
+  const bool profile = split_profiling_enabled();
+  double pack_b_seconds = 0.0;
+  std::atomic<std::int64_t> pack_a_ns{0};
+  std::atomic<std::int64_t> compute_ns{0};
 
-  for (const auto& [i, j] : retained_products(spec.components)) {
-    gemm_blocked_accumulate(transa, transb, m, n, k, alpha,
-                            a_comp[static_cast<std::size_t>(i)].data(),
-                            rows_a,
-                            b_comp[static_cast<std::size_t>(j)].data(),
-                            rows_b, c, ldc);
+  for (blas_int jc = 0; jc < n; jc += kBlockN) {
+    const blas_int nc = std::min<blas_int>(kBlockN, n - jc);
+    const blas_int n_strips = (nc + nr - 1) / nr;
+    // Uniform per-(panel, component) stride sized for a full kBlockK panel
+    // so addressing stays multiplicative; the last panel is just shorter.
+    const std::size_t b_stride =
+        static_cast<std::size_t>(n_strips) * kBlockK * nr;
+    float* bpack = pack_arena::for_thread().acquire<float>(
+        kArenaSlotB,
+        static_cast<std::size_t>(num_pc) * ncomp * b_stride);
+
+    const double tb0 = profile ? engine_now() : 0.0;
+    for (blas_int t = 0; t < num_pc; ++t) {
+      const blas_int pc = t * kBlockK;
+      const blas_int kc = std::min<blas_int>(kBlockK, k - pc);
+      pack_b_split(b, ldb, transb, pc, jc, kc, nc, spec,
+                   bpack + static_cast<std::size_t>(t) * ncomp * b_stride,
+                   b_stride, /*parallel=*/true);
+    }
+    if (profile) pack_b_seconds += engine_now() - tb0;
+
+    const blas_int ic_blocks = (m + kBlockM - 1) / kBlockM;
+    const auto process_block = [&](blas_int ib) {
+      const blas_int ic = ib * kBlockM;
+      const blas_int mc = std::min<blas_int>(kBlockM, m - ic);
+      const blas_int m_strips = (mc + mr - 1) / mr;
+      const std::size_t a_stride =
+          static_cast<std::size_t>(m_strips) * kBlockK * mr;
+      float* apack = pack_arena::for_thread().acquire<float>(
+          kArenaSlotA,
+          static_cast<std::size_t>(num_pc) * ncomp * a_stride);
+
+      const double ta0 = profile ? engine_now() : 0.0;
+      for (blas_int t = 0; t < num_pc; ++t) {
+        const blas_int pc = t * kBlockK;
+        const blas_int kc = std::min<blas_int>(kBlockK, k - pc);
+        pack_a_split(a, lda, transa, ic, pc, mc, kc, spec,
+                     apack + static_cast<std::size_t>(t) * ncomp * a_stride,
+                     a_stride);
+      }
+      const double ta1 = profile ? engine_now() : 0.0;
+
+      // Sweep order: product-major, pc-panel ascending, tiles inside —
+      // every C element sees the reference op order (bit-identity), and
+      // each packed (panel, component) pair stays cache-resident for its
+      // whole js/is tile sweep instead of being re-streamed per tile.
+      float acc[mr * nr];
+      for (const auto& [pi, pj] : products) {
+        for (blas_int t = 0; t < num_pc; ++t) {
+          const blas_int kc = std::min<blas_int>(kBlockK, k - t * kBlockK);
+          const float* ap_panel =
+              apack + (static_cast<std::size_t>(t) * ncomp + pi) * a_stride;
+          const float* bp_panel =
+              bpack + (static_cast<std::size_t>(t) * ncomp + pj) * b_stride;
+          for (blas_int js = 0; js < n_strips; ++js) {
+            const blas_int j0 = jc + js * nr;
+            const int cols = static_cast<int>(std::min<blas_int>(nr, n - j0));
+            for (blas_int is = 0; is < m_strips; ++is) {
+              const blas_int i0 = ic + is * mr;
+              const int rows =
+                  static_cast<int>(std::min<blas_int>(mr, m - i0));
+              std::fill_n(acc, mr * nr, 0.0f);
+              call_micro_kernel(kernel, kc,
+                                ap_panel + static_cast<std::size_t>(is) *
+                                               (kc * mr),
+                                bp_panel + static_cast<std::size_t>(js) *
+                                               (kc * nr),
+                                acc);
+              accumulate_tile(m, n, alpha, acc, i0, j0, rows, cols, c, ldc);
+            }
+          }
+        }
+      }
+      if (profile) {
+        const double ta2 = engine_now();
+        pack_a_ns.fetch_add(static_cast<std::int64_t>((ta1 - ta0) * 1e9),
+                            std::memory_order_relaxed);
+        compute_ns.fetch_add(static_cast<std::int64_t>((ta2 - ta1) * 1e9),
+                             std::memory_order_relaxed);
+      }
+    };
+    if (ic_blocks >= kIcDynamicCrossover) {
+#if defined(DCMESH_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic)
+#endif
+      for (blas_int ib = 0; ib < ic_blocks; ++ib) process_block(ib);
+    } else {
+#if defined(DCMESH_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+      for (blas_int ib = 0; ib < ic_blocks; ++ib) process_block(ib);
+    }
+  }
+
+  if (profile) {
+    split_profile_add(pack_a_ns.load(std::memory_order_relaxed) * 1e-9,
+                      pack_b_seconds,
+                      compute_ns.load(std::memory_order_relaxed) * 1e-9);
   }
 }
 

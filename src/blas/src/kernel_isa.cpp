@@ -1,0 +1,128 @@
+#include "kernel_isa.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+#include "dcmesh/common/env.hpp"
+#include "microkernel.hpp"
+
+namespace dcmesh::blas::detail {
+namespace {
+
+// Cached resolution: -1 = unresolved, otherwise a kernel_isa value.
+std::atomic<int> g_resolved{-1};
+// In-process override: -1 = none.
+std::atomic<int> g_override{-1};
+
+void warn_once(const char* format, const char* arg) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) std::fprintf(stderr, format, arg);
+}
+
+[[nodiscard]] bool cpu_has_avx2_fma() noexcept {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+[[nodiscard]] kernel_isa resolve_from_env() noexcept {
+  const std::string raw = env_get(kKernelIsaEnvVar).value_or("auto");
+  std::string token;
+  token.reserve(raw.size());
+  for (const char ch : raw) {
+    token.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+  }
+  if (token == "scalar") return kernel_isa::scalar;
+  if (token == "avx2") {
+    if (avx2_kernels_available()) return kernel_isa::avx2;
+    warn_once(
+        "dcmesh: DCMESH_KERNEL_ISA=avx2 requested but this build/CPU has "
+        "no AVX2+FMA kernels%s; falling back to scalar\n",
+        "");
+    return kernel_isa::scalar;
+  }
+  if (token != "auto" && !token.empty()) {
+    warn_once(
+        "dcmesh: unrecognised DCMESH_KERNEL_ISA value \"%s\" (expected "
+        "auto|avx2|scalar); using auto\n",
+        raw.c_str());
+  }
+#if defined(__AVX2__) && defined(__FMA__)
+  // The baseline build (e.g. -march=native) already vectorises the scalar
+  // template at AVX2 width or wider (AVX-512 on capable hosts), where it
+  // inlines into the blocked loop and beats the standalone YMM kernels.
+  // "auto" therefore prefers the scalar path; DCMESH_KERNEL_ISA=avx2
+  // still forces the explicit kernels.
+  return kernel_isa::scalar;
+#else
+  return avx2_kernels_available() ? kernel_isa::avx2 : kernel_isa::scalar;
+#endif
+}
+
+}  // namespace
+
+bool avx2_kernels_available() noexcept {
+#if defined(DCMESH_HAVE_AVX2_KERNELS)
+  static const bool available = cpu_has_avx2_fma();
+  return available;
+#else
+  return false;
+#endif
+}
+
+kernel_isa active_kernel_isa() noexcept {
+  const int forced = g_override.load(std::memory_order_acquire);
+  if (forced >= 0) return static_cast<kernel_isa>(forced);
+  int cached = g_resolved.load(std::memory_order_acquire);
+  if (cached < 0) {
+    cached = static_cast<int>(resolve_from_env());
+    g_resolved.store(cached, std::memory_order_release);
+  }
+  return static_cast<kernel_isa>(cached);
+}
+
+void set_kernel_isa(std::optional<kernel_isa> isa) noexcept {
+  if (!isa.has_value()) {
+    g_override.store(-1, std::memory_order_release);
+    g_resolved.store(-1, std::memory_order_release);  // re-read the env
+    return;
+  }
+  kernel_isa want = *isa;
+  if (want == kernel_isa::avx2 && !avx2_kernels_available()) {
+    warn_once(
+        "dcmesh: set_kernel_isa(avx2) on a build/CPU without AVX2+FMA "
+        "kernels%s; using scalar\n",
+        "");
+    want = kernel_isa::scalar;
+  }
+  g_override.store(static_cast<int>(want), std::memory_order_release);
+}
+
+std::string_view kernel_isa_name(kernel_isa isa) noexcept {
+  return isa == kernel_isa::avx2 ? "avx2" : "scalar";
+}
+
+micro_kernel_fn<float> resolve_micro_kernel_f32() noexcept {
+#if defined(DCMESH_HAVE_AVX2_KERNELS)
+  if (active_kernel_isa() == kernel_isa::avx2) {
+    return &micro_kernel_avx2_f32;
+  }
+#endif
+  return &micro_kernel_scalar<float>;
+}
+
+micro_kernel_fn<double> resolve_micro_kernel_f64() noexcept {
+#if defined(DCMESH_HAVE_AVX2_KERNELS)
+  if (active_kernel_isa() == kernel_isa::avx2) {
+    return &micro_kernel_avx2_f64;
+  }
+#endif
+  return &micro_kernel_scalar<double>;
+}
+
+}  // namespace dcmesh::blas::detail

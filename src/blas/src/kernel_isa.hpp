@@ -1,0 +1,44 @@
+#pragma once
+// kernel_isa.hpp — runtime microkernel ISA selection (internal).
+//
+// The blocked GEMM core dispatches its register-tile microkernel at
+// runtime.  `auto` resolves to the explicit AVX2+FMA kernels only when
+// they would be an upgrade: the build carries them, the CPU advertises
+// avx2+fma, AND the baseline compile lacks AVX2 codegen.  When the
+// library itself is built with -march=native on an AVX2-or-wider host the
+// scalar template already autovectorizes at full width and inlines into
+// the blocked loop, so `auto` keeps it.  The choice is overridable with
+// DCMESH_KERNEL_ISA={auto,avx2,scalar}: `avx2` on an
+// incapable host and any malformed token warn once to stderr and fall
+// back (to scalar and to auto respectively) — kernel selection must never
+// throw.  Tests and benches can force a kernel in-process with
+// set_kernel_isa(); passing nullopt re-resolves from the environment.
+
+#include <optional>
+#include <string_view>
+
+namespace dcmesh::blas::detail {
+
+/// Which microkernel family the blocked core uses for float/double tiles.
+/// (Complex tiles always use the scalar template.)
+enum class kernel_isa { scalar = 0, avx2 = 1 };
+
+inline constexpr std::string_view kKernelIsaEnvVar = "DCMESH_KERNEL_ISA";
+
+/// True when the binary carries the AVX2+FMA kernels AND the CPU supports
+/// them at runtime.
+[[nodiscard]] bool avx2_kernels_available() noexcept;
+
+/// The ISA the next GEMM call will dispatch to (override > env > auto).
+/// Resolved once and cached; thread-safe.
+[[nodiscard]] kernel_isa active_kernel_isa() noexcept;
+
+/// Force an ISA in-process (testing/benching); nullopt drops the override
+/// and re-resolves from DCMESH_KERNEL_ISA / CPU detection.  Requesting
+/// avx2 on a host without it resolves to scalar (with a one-time warning).
+void set_kernel_isa(std::optional<kernel_isa> isa) noexcept;
+
+/// Token for logs/bench labels: "avx2" or "scalar".
+[[nodiscard]] std::string_view kernel_isa_name(kernel_isa isa) noexcept;
+
+}  // namespace dcmesh::blas::detail

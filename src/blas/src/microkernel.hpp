@@ -1,0 +1,115 @@
+#pragma once
+// microkernel.hpp — register-tile microkernels and their dispatch (internal).
+//
+// The MR x NR tile shapes, the portable scalar microkernel template, and
+// the function-pointer dispatch that swaps in the explicit AVX2+FMA
+// kernels for float/double when kernel_isa resolves to avx2.  Every
+// microkernel computes acc += Ap * Bp over kc packed steps with the SAME
+// per-element operation order (p ascending, one fused or mul+add step per
+// p), so swapping kernels can change results only through FMA contraction
+// — never through reassociation.  The resolve_* functions live in
+// kernel_isa.cpp so that only the library (compiled with the
+// DCMESH_HAVE_AVX2_KERNELS flag) decides whether the AVX2 symbols exist;
+// headers stay ODR-safe for tests that include them.
+
+#include <complex>
+#include <type_traits>
+
+#include "dcmesh/blas/blas.hpp"
+#include "kernel_isa.hpp"
+
+namespace dcmesh::blas::detail {
+
+/// Register-tile shape per element type.  float uses a 6x16 tile (12 YMM
+/// accumulators + 2 B vectors + 1 A broadcast = 15 of 16 registers at AVX2
+/// widths); double a 4x8 tile (8 accumulators).  The complex tiles feed
+/// the scalar kernel only.
+template <typename T>
+struct micro_tile {
+  static constexpr int mr = 6;
+  static constexpr int nr = 16;
+};
+template <>
+struct micro_tile<double> {
+  static constexpr int mr = 4;
+  static constexpr int nr = 8;
+};
+template <>
+struct micro_tile<std::complex<float>> {
+  static constexpr int mr = 4;
+  static constexpr int nr = 4;
+};
+template <>
+struct micro_tile<std::complex<double>> {
+  static constexpr int mr = 2;
+  static constexpr int nr = 4;
+};
+
+/// Microkernel signature: acc += Ap * Bp over kc packed steps, where Ap is
+/// an MR-tall strip, Bp an NR-wide strip, and acc an MR x NR row-major tile.
+template <typename T>
+using micro_kernel_fn = void (*)(blas_int kc, const T* ap, const T* bp,
+                                 T* acc);
+
+/// Portable MR x NR register-tile kernel (all element types).
+template <typename T>
+void micro_kernel_scalar(blas_int kc, const T* ap, const T* bp,
+                         T* __restrict acc) noexcept {
+  constexpr int mr = micro_tile<T>::mr;
+  constexpr int nr = micro_tile<T>::nr;
+  for (blas_int p = 0; p < kc; ++p) {
+    const T* a = ap + p * mr;
+    const T* b = bp + p * nr;
+    for (int i = 0; i < mr; ++i) {
+      const T ai = a[i];
+#if defined(DCMESH_HAVE_OPENMP)
+#pragma omp simd
+#endif
+      for (int j = 0; j < nr; ++j) {
+        acc[i * nr + j] += ai * b[j];
+      }
+    }
+  }
+}
+
+/// Explicit AVX2+FMA kernels (microkernel_avx2.cpp; compiled only when the
+/// toolchain supports -mavx2 -mfma and dispatched only when the CPU does).
+void micro_kernel_avx2_f32(blas_int kc, const float* ap, const float* bp,
+                           float* acc) noexcept;
+void micro_kernel_avx2_f64(blas_int kc, const double* ap, const double* bp,
+                           double* acc) noexcept;
+
+/// ISA-resolved kernel for the real types (kernel_isa.cpp).
+[[nodiscard]] micro_kernel_fn<float> resolve_micro_kernel_f32() noexcept;
+[[nodiscard]] micro_kernel_fn<double> resolve_micro_kernel_f64() noexcept;
+
+/// The kernel a GEMM call should use for element type T under the active
+/// ISA.  Resolve once per call and reuse — the lookup reads an atomic.
+template <typename T>
+[[nodiscard]] micro_kernel_fn<T> select_micro_kernel() noexcept {
+  if constexpr (std::is_same_v<T, float>) {
+    return resolve_micro_kernel_f32();
+  } else if constexpr (std::is_same_v<T, double>) {
+    return resolve_micro_kernel_f64();
+  } else {
+    return &micro_kernel_scalar<T>;
+  }
+}
+
+/// Invoke a resolved kernel on one tile.  The scalar kernel is recognised
+/// by address and called directly so the compiler can inline it into the
+/// blocked loop (keeping the accumulator tile in registers across the
+/// fill/kernel/epilogue sequence); only the explicit ISA kernels go
+/// through the pointer.  The branch is perfectly predicted — the kernel is
+/// fixed for the duration of a GEMM call.
+template <typename T>
+inline void call_micro_kernel(micro_kernel_fn<T> kernel, blas_int kc,
+                              const T* ap, const T* bp, T* acc) noexcept {
+  if (kernel == &micro_kernel_scalar<T>) {
+    micro_kernel_scalar<T>(kc, ap, bp, acc);
+  } else {
+    kernel(kc, ap, bp, acc);
+  }
+}
+
+}  // namespace dcmesh::blas::detail

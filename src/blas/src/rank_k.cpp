@@ -20,7 +20,9 @@ void validate_rank_k(blas_int n, blas_int k, blas_int lda, blas_int ldc,
 
 // Rank-k products route through the descriptor dispatcher so the per-site
 // precision policy, the accuracy guard, timing, and verbose logging all
-// apply to them exactly as to gemm.
+// apply to them exactly as to gemm — and, downstream of dispatch, so do
+// the fused split-mode engine and its per-thread packing arena (herk/syrk
+// under a FLOAT_TO_* mode run the pack-once component pipeline).
 template <typename T>
 void rank_k_product(transpose ta, transpose tb, blas_int n, blas_int k,
                     T alpha, const T* a, blas_int lda, T beta, T* c,

@@ -1,5 +1,9 @@
 #include "split.hpp"
 
+#include <atomic>
+
+#include "gemm_kernel.hpp"
+
 namespace dcmesh::blas::detail {
 
 std::vector<matrix<float>> split_operand(const float* x, blas_int rows,
@@ -34,6 +38,154 @@ std::vector<matrix<float>> split_operand(const float* x, blas_int rows,
   return components;
 }
 
+namespace {
+
+/// Inlinable component rounding (the function-pointer form in split_spec
+/// is kept for the reference path; the fused pack loops must not pay an
+/// indirect call per element).
+template <round_kind K>
+[[nodiscard]] inline float round_component(float x) noexcept {
+  if constexpr (K == round_kind::bf16) {
+    return round_to_bf16(x);
+  } else {
+    return round_to_tf32(x);
+  }
+}
+
+/// Emit the component chain of one source element at packed offset `off`:
+/// comp[c] = round(residual), residual -= comp[c] — the exact
+/// split_operand recurrence, fused to a single pass.
+template <round_kind K>
+inline void write_components(float value, int ncomp, float* dst,
+                             std::size_t comp_stride,
+                             std::size_t off) noexcept {
+  float residual = value;
+  for (int c = 0; c < ncomp; ++c) {
+    const float rounded = round_component<K>(residual);
+    dst[static_cast<std::size_t>(c) * comp_stride + off] = rounded;
+    residual -= rounded;
+  }
+}
+
+template <round_kind K>
+void pack_a_split_impl(const float* a, blas_int lda, transpose op,
+                       blas_int row0, blas_int col0, blas_int mc,
+                       blas_int kc, int ncomp, float* dst,
+                       std::size_t comp_stride) {
+  constexpr int mr = micro_tile<float>::mr;
+  const blas_int strips = (mc + mr - 1) / mr;
+  for (blas_int s = 0; s < strips; ++s) {
+    const std::size_t strip_off =
+        static_cast<std::size_t>(s) * (static_cast<std::size_t>(kc) * mr);
+    const blas_int i0 = s * mr;
+    const int rows = static_cast<int>(std::min<blas_int>(mr, mc - i0));
+    for (blas_int p = 0; p < kc; ++p) {
+      const std::size_t col_off = strip_off + static_cast<std::size_t>(p) * mr;
+      for (int i = 0; i < rows; ++i) {
+        write_components<K>(op_element(a, lda, op, row0 + i0 + i, col0 + p),
+                            ncomp, dst, comp_stride, col_off + i);
+      }
+      for (int i = rows; i < mr; ++i) {
+        for (int c = 0; c < ncomp; ++c) {
+          dst[static_cast<std::size_t>(c) * comp_stride + col_off + i] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+template <round_kind K>
+void pack_b_split_impl(const float* b, blas_int ldb, transpose op,
+                       blas_int row0, blas_int col0, blas_int kc,
+                       blas_int nc, int ncomp, float* dst,
+                       std::size_t comp_stride, bool parallel) {
+  constexpr int nr = micro_tile<float>::nr;
+  const blas_int strips = (nc + nr - 1) / nr;
+#if defined(DCMESH_HAVE_OPENMP)
+#pragma omp parallel for schedule(static) \
+    if (parallel && ncomp * kc * nc >= kPackParallelMinElems)
+#else
+  (void)parallel;
+#endif
+  for (blas_int s = 0; s < strips; ++s) {
+    const std::size_t strip_off =
+        static_cast<std::size_t>(s) * (static_cast<std::size_t>(kc) * nr);
+    const blas_int j0 = s * nr;
+    const int cols = static_cast<int>(std::min<blas_int>(nr, nc - j0));
+    for (blas_int p = 0; p < kc; ++p) {
+      const std::size_t row_off = strip_off + static_cast<std::size_t>(p) * nr;
+      for (int j = 0; j < cols; ++j) {
+        write_components<K>(op_element(b, ldb, op, row0 + p, col0 + j0 + j),
+                            ncomp, dst, comp_stride, row_off + j);
+      }
+      for (int j = cols; j < nr; ++j) {
+        for (int c = 0; c < ncomp; ++c) {
+          dst[static_cast<std::size_t>(c) * comp_stride + row_off + j] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void pack_a_split(const float* a, blas_int lda, transpose op, blas_int row0,
+                  blas_int col0, blas_int mc, blas_int kc,
+                  const split_spec& spec, float* dst,
+                  std::size_t comp_stride) {
+  if (spec.kind == round_kind::bf16) {
+    pack_a_split_impl<round_kind::bf16>(a, lda, op, row0, col0, mc, kc,
+                                        spec.components, dst, comp_stride);
+  } else {
+    pack_a_split_impl<round_kind::tf32>(a, lda, op, row0, col0, mc, kc,
+                                        spec.components, dst, comp_stride);
+  }
+}
+
+void pack_b_split(const float* b, blas_int ldb, transpose op, blas_int row0,
+                  blas_int col0, blas_int kc, blas_int nc,
+                  const split_spec& spec, float* dst,
+                  std::size_t comp_stride, bool parallel) {
+  if (spec.kind == round_kind::bf16) {
+    pack_b_split_impl<round_kind::bf16>(b, ldb, op, row0, col0, kc, nc,
+                                        spec.components, dst, comp_stride,
+                                        parallel);
+  } else {
+    pack_b_split_impl<round_kind::tf32>(b, ldb, op, row0, col0, kc, nc,
+                                        spec.components, dst, comp_stride,
+                                        parallel);
+  }
+}
+
+void sgemm_split_reference(compute_mode mode, transpose transa,
+                           transpose transb, blas_int m, blas_int n,
+                           blas_int k, float alpha, const float* a,
+                           blas_int lda, const float* b, blas_int ldb,
+                           float beta, float* c, blas_int ldc) {
+  validate_gemm_args(transa, transb, m, n, k, a, lda, b, ldb, c, ldc,
+                     /*needs_ab=*/alpha != 0.0f);
+  if (m == 0 || n == 0) return;
+  scale_c(m, n, beta, c, ldc);
+  if (k == 0 || alpha == 0.0f) return;
+
+  const split_spec spec = split_for(mode);
+  const blas_int rows_a = transa == transpose::none ? m : k;
+  const blas_int cols_a = transa == transpose::none ? k : m;
+  const blas_int rows_b = transb == transpose::none ? k : n;
+  const blas_int cols_b = transb == transpose::none ? n : k;
+
+  const auto a_comp = split_operand(a, rows_a, cols_a, lda, spec);
+  const auto b_comp = split_operand(b, rows_b, cols_b, ldb, spec);
+
+  for (const auto& [i, j] : retained_products(spec.components)) {
+    gemm_blocked_accumulate(transa, transb, m, n, k, alpha,
+                            a_comp[static_cast<std::size_t>(i)].data(),
+                            rows_a,
+                            b_comp[static_cast<std::size_t>(j)].data(),
+                            rows_b, c, ldc);
+  }
+}
+
 std::vector<std::pair<int, int>> retained_products(int components) {
   std::vector<std::pair<int, int>> pairs;
   for (int order = 0; order <= components - 1; ++order) {
@@ -42,6 +194,53 @@ std::vector<std::pair<int, int>> retained_products(int components) {
     }
   }
   return pairs;
+}
+
+namespace {
+
+std::atomic<bool> g_profiling{false};
+std::atomic<std::uint64_t> g_profile_calls{0};
+// Nanosecond totals (atomic integers; doubles would need a CAS loop).
+std::atomic<std::int64_t> g_pack_a_ns{0};
+std::atomic<std::int64_t> g_pack_b_ns{0};
+std::atomic<std::int64_t> g_compute_ns{0};
+
+[[nodiscard]] std::int64_t to_ns(double seconds) noexcept {
+  return static_cast<std::int64_t>(seconds * 1e9);
+}
+
+}  // namespace
+
+void set_split_profiling(bool enabled) noexcept {
+  g_profiling.store(enabled, std::memory_order_relaxed);
+}
+
+bool split_profiling_enabled() noexcept {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+split_profile split_profile_snapshot() noexcept {
+  split_profile p;
+  p.calls = g_profile_calls.load(std::memory_order_relaxed);
+  p.pack_a_seconds = g_pack_a_ns.load(std::memory_order_relaxed) * 1e-9;
+  p.pack_b_seconds = g_pack_b_ns.load(std::memory_order_relaxed) * 1e-9;
+  p.compute_seconds = g_compute_ns.load(std::memory_order_relaxed) * 1e-9;
+  return p;
+}
+
+void reset_split_profile() noexcept {
+  g_profile_calls.store(0, std::memory_order_relaxed);
+  g_pack_a_ns.store(0, std::memory_order_relaxed);
+  g_pack_b_ns.store(0, std::memory_order_relaxed);
+  g_compute_ns.store(0, std::memory_order_relaxed);
+}
+
+void split_profile_add(double pack_a_s, double pack_b_s,
+                       double compute_s) noexcept {
+  g_profile_calls.fetch_add(1, std::memory_order_relaxed);
+  g_pack_a_ns.fetch_add(to_ns(pack_a_s), std::memory_order_relaxed);
+  g_pack_b_ns.fetch_add(to_ns(pack_b_s), std::memory_order_relaxed);
+  g_compute_ns.fetch_add(to_ns(compute_s), std::memory_order_relaxed);
 }
 
 }  // namespace dcmesh::blas::detail

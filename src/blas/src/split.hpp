@@ -8,7 +8,17 @@
 // multiplying the *rounded FP32 representations* of the components on the
 // CPU reproduces the hardware arithmetic bit-for-bit; only the accumulation
 // order can differ, which is unspecified on hardware as well.
+//
+// Since the fused-engine rebuild the production path no longer
+// materialises dense component matrices: pack_a_split/pack_b_split fuse
+// the decomposition into the Goto-style panel packing, emitting all N
+// component panels in one pass over the source operand.  split_operand and
+// sgemm_split_reference keep the original two-phase arithmetic alive as
+// the bit-exactness oracle for tests and the legacy side of the
+// fused-vs-legacy bench comparison.
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "dcmesh/blas/blas.hpp"
@@ -19,10 +29,14 @@
 
 namespace dcmesh::blas::detail {
 
+/// Component rounding family of a split mode.
+enum class round_kind { bf16, tf32 };
+
 /// Properties of a split mode.
 struct split_spec {
   int components;          ///< 1, 2, or 3 component matrices per operand.
   float (*round)(float);   ///< Component rounding function.
+  round_kind kind = round_kind::bf16;  ///< Same rounding, inlinable form.
 };
 
 /// Split parameters for a mode; standard/complex_3m are not split modes
@@ -30,15 +44,15 @@ struct split_spec {
 [[nodiscard]] constexpr split_spec split_for(compute_mode mode) noexcept {
   switch (mode) {
     case compute_mode::float_to_bf16:
-      return {1, [](float x) { return round_to_bf16(x); }};
+      return {1, [](float x) { return round_to_bf16(x); }, round_kind::bf16};
     case compute_mode::float_to_bf16x2:
-      return {2, [](float x) { return round_to_bf16(x); }};
+      return {2, [](float x) { return round_to_bf16(x); }, round_kind::bf16};
     case compute_mode::float_to_bf16x3:
-      return {3, [](float x) { return round_to_bf16(x); }};
+      return {3, [](float x) { return round_to_bf16(x); }, round_kind::bf16};
     case compute_mode::float_to_tf32:
-      return {1, [](float x) { return round_to_tf32(x); }};
+      return {1, [](float x) { return round_to_tf32(x); }, round_kind::tf32};
     default:
-      return {0, nullptr};
+      return {0, nullptr, round_kind::bf16};
   }
 }
 
@@ -51,16 +65,45 @@ struct split_spec {
 /// `spec.components` dense component matrices: comp[0] = round(x),
 /// comp[c] = round(x - comp[0] - ... - comp[c-1]).  The sum of components
 /// converges to x with ~7 extra mantissa bits per BF16 component.
+/// (Reference path; production packing fuses this into pack_*_split.)
 [[nodiscard]] std::vector<matrix<float>> split_operand(
     const float* x, blas_int rows, blas_int cols, blas_int ld,
     split_spec spec);
 
-/// sgemm under a FLOAT_TO_* split mode (defined in gemm_real.cpp; also used
-/// by the complex 4M path for its real component products).
+/// Fused pack of an mc x kc block of op(A): emits spec.components packed
+/// component blocks in one pass over the source, each in the exact
+/// pack_a strip layout, at dst + c * comp_stride for component c.
+/// Component values are identical to split_operand-then-pack_a.
+void pack_a_split(const float* a, blas_int lda, transpose op, blas_int row0,
+                  blas_int col0, blas_int mc, blas_int kc,
+                  const split_spec& spec, float* dst,
+                  std::size_t comp_stride);
+
+/// Fused pack of a kc x nc panel of op(B) into component panels in the
+/// pack_b strip layout.  With `parallel`, strips are packed by an OpenMP
+/// team once the panel clears the fork-cost crossover.
+void pack_b_split(const float* b, blas_int ldb, transpose op, blas_int row0,
+                  blas_int col0, blas_int kc, blas_int nc,
+                  const split_spec& spec, float* dst, std::size_t comp_stride,
+                  bool parallel);
+
+/// sgemm under a FLOAT_TO_* split mode — the fused pack-once engine
+/// (defined in gemm_real.cpp; also used by the complex 4M path for its
+/// real component products).
 void sgemm_split(compute_mode mode, transpose transa, transpose transb,
                  blas_int m, blas_int n, blas_int k, float alpha,
                  const float* a, blas_int lda, const float* b, blas_int ldb,
                  float beta, float* c, blas_int ldc);
+
+/// Pre-fusion split GEMM (dense split_operand copies + one blocked pass
+/// per retained product).  Bit-identical to sgemm_split under any kernel
+/// ISA by construction; kept as the oracle for the exactness tests and
+/// the legacy side of bench/micro_gemm's fused-vs-legacy comparison.
+void sgemm_split_reference(compute_mode mode, transpose transa,
+                           transpose transb, blas_int m, blas_int n,
+                           blas_int k, float alpha, const float* a,
+                           blas_int lda, const float* b, blas_int ldb,
+                           float beta, float* c, blas_int ldc);
 
 /// Component-product pairs retained for an N-component split, in the order
 /// they are accumulated: all (i, j) with i + j <= N - 1 (0-based), sorted by
@@ -68,5 +111,22 @@ void sgemm_split(compute_mode mode, transpose transa, transpose transb,
 /// N=1 -> 1 product; N=2 -> 3; N=3 -> 6 (Table II's 16x, 16/3x, 8/3x).
 [[nodiscard]] std::vector<std::pair<int, int>> retained_products(
     int components);
+
+/// Cumulative fused-engine phase timings (seconds) — populated only while
+/// profiling is enabled, for bench/micro_gemm's pack/compute breakdown.
+struct split_profile {
+  std::uint64_t calls = 0;     ///< Fused split GEMM calls profiled.
+  double pack_a_seconds = 0;   ///< Fused A-block component packing.
+  double pack_b_seconds = 0;   ///< Fused B-panel component packing.
+  double compute_seconds = 0;  ///< Microkernel sweeps + C accumulation.
+};
+
+void set_split_profiling(bool enabled) noexcept;
+[[nodiscard]] bool split_profiling_enabled() noexcept;
+[[nodiscard]] split_profile split_profile_snapshot() noexcept;
+void reset_split_profile() noexcept;
+/// Accumulate one call's phase timings (thread-safe; engine-internal).
+void split_profile_add(double pack_a_s, double pack_b_s,
+                       double compute_s) noexcept;
 
 }  // namespace dcmesh::blas::detail

@@ -1,0 +1,350 @@
+// Tests for the fused split-mode GEMM engine: bit-exactness against the
+// pre-fusion reference path, scalar-vs-AVX2 microkernel equivalence, the
+// zero-allocation packing arena, and DCMESH_KERNEL_ISA handling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/common/rng.hpp"
+#include "gemm_kernel.hpp"
+#include "kernel_isa.hpp"
+#include "pack_arena.hpp"
+#include "split.hpp"
+
+namespace dcmesh::blas {
+namespace {
+
+std::vector<float> signed_random(std::size_t n, unsigned seed) {
+  xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+/// Restore the launch-environment ISA resolution when a test ends.
+struct isa_guard {
+  ~isa_guard() { detail::set_kernel_isa(std::nullopt); }
+};
+
+// ---------------------------------------------------------------------------
+// Bit-exactness: the fused engine must reproduce the pre-fusion reference
+// (dense split_operand copies + one blocked pass per retained product)
+// bit-for-bit — the fusion moves memory traffic, not arithmetic.
+
+constexpr blas_int kEdgeDims[] = {0, 1, 3, 5, 65, 129};
+
+void expect_fused_matches_reference(compute_mode mode, transpose ta,
+                                    transpose tb) {
+  int idx = 0;
+  for (const blas_int m : kEdgeDims) {
+    for (const blas_int n : kEdgeDims) {
+      // A sparse sample of k keeps the sweep fast while still crossing the
+      // kBlockK boundary (k > 256 via 65*5).
+      for (const blas_int k : {blas_int{0}, blas_int{3}, blas_int{65},
+                               blas_int{325}}) {
+        const blas_int rows_a = ta == transpose::none ? m : k;
+        const blas_int cols_a = ta == transpose::none ? k : m;
+        const blas_int rows_b = tb == transpose::none ? k : n;
+        const blas_int cols_b = tb == transpose::none ? n : k;
+        const auto a = signed_random(
+            static_cast<std::size_t>(std::max<blas_int>(1, rows_a * cols_a)),
+            100 + static_cast<unsigned>(idx));
+        const auto b = signed_random(
+            static_cast<std::size_t>(std::max<blas_int>(1, rows_b * cols_b)),
+            200 + static_cast<unsigned>(idx));
+        ++idx;
+        // Nonzero initial C plus beta exercises the scale+accumulate
+        // epilogue; alpha != 1 exercises the per-update rounding.
+        std::vector<float> c_fused(
+            static_cast<std::size_t>(std::max<blas_int>(1, m * n)), 0.5f);
+        std::vector<float> c_ref = c_fused;
+        const float alpha = 1.25f, beta = 0.75f;
+        detail::sgemm_split(mode, ta, tb, m, n, k, alpha, a.data(),
+                            std::max<blas_int>(1, rows_a), b.data(),
+                            std::max<blas_int>(1, rows_b), beta,
+                            c_fused.data(), std::max<blas_int>(1, m));
+        detail::sgemm_split_reference(mode, ta, tb, m, n, k, alpha, a.data(),
+                                      std::max<blas_int>(1, rows_a), b.data(),
+                                      std::max<blas_int>(1, rows_b), beta,
+                                      c_ref.data(), std::max<blas_int>(1, m));
+        for (std::size_t i = 0; i < c_fused.size(); ++i) {
+          ASSERT_EQ(c_fused[i], c_ref[i])
+              << "mode=" << static_cast<int>(mode) << " ta="
+              << static_cast<int>(ta) << " tb=" << static_cast<int>(tb)
+              << " m=" << m << " n=" << n << " k=" << k << " elem=" << i;
+        }
+      }
+    }
+  }
+}
+
+class FusedEngineExactness
+    : public ::testing::TestWithParam<std::tuple<compute_mode, transpose>> {};
+
+TEST_P(FusedEngineExactness, MatchesReferenceBitForBit) {
+  const auto [mode, op] = GetParam();
+  // Vary the operand the op applies to as well as applying it to both.
+  expect_fused_matches_reference(mode, op, transpose::none);
+  expect_fused_matches_reference(mode, transpose::none, op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndOps, FusedEngineExactness,
+    ::testing::Combine(::testing::Values(compute_mode::float_to_bf16,
+                                         compute_mode::float_to_bf16x2,
+                                         compute_mode::float_to_bf16x3,
+                                         compute_mode::float_to_tf32),
+                       ::testing::Values(transpose::none, transpose::trans,
+                                         transpose::conj_trans)));
+
+TEST(FusedEngine, StandardModeIsTheBlockedCore) {
+  // The fifth compute mode: STANDARD never routes through the split
+  // engine — the dispatcher funnels it straight to gemm_blocked.  Lock
+  // that equivalence bit-for-bit through the public API.
+  for (const blas_int dim : kEdgeDims) {
+    const blas_int m = dim, n = dim, k = dim;
+    const auto a = signed_random(
+        static_cast<std::size_t>(std::max<blas_int>(1, m * k)), 301);
+    const auto b = signed_random(
+        static_cast<std::size_t>(std::max<blas_int>(1, k * n)), 302);
+    std::vector<float> c_api(
+        static_cast<std::size_t>(std::max<blas_int>(1, m * n)), 0.25f);
+    std::vector<float> c_core = c_api;
+    {
+      scoped_compute_mode scope(compute_mode::standard);
+      sgemm(transpose::none, transpose::none, m, n, k, 1.5f, a.data(),
+            std::max<blas_int>(1, m), b.data(), std::max<blas_int>(1, k),
+            0.5f, c_api.data(), std::max<blas_int>(1, m));
+    }
+    detail::gemm_blocked(transpose::none, transpose::none, m, n, k, 1.5f,
+                         a.data(), std::max<blas_int>(1, m), b.data(),
+                         std::max<blas_int>(1, k), 0.5f, c_core.data(),
+                         std::max<blas_int>(1, m));
+    for (std::size_t i = 0; i < c_api.size(); ++i) {
+      ASSERT_EQ(c_api[i], c_core[i]) << "dim=" << dim << " elem=" << i;
+    }
+  }
+}
+
+TEST(FusedEngine, ExactUnderEveryKernelIsa) {
+  // The bit-level contract holds per ISA: fused and reference paths share
+  // whatever microkernel is active, so they agree under each.
+  isa_guard guard;
+  for (const auto isa :
+       {detail::kernel_isa::scalar, detail::kernel_isa::avx2}) {
+    if (isa == detail::kernel_isa::avx2 &&
+        !detail::avx2_kernels_available()) {
+      continue;
+    }
+    detail::set_kernel_isa(isa);
+    expect_fused_matches_reference(compute_mode::float_to_bf16x3,
+                                   transpose::trans, transpose::none);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar vs AVX2 microkernel equivalence.  The two kernels apply the same
+// per-element operation order; they may differ only through FMA
+// contraction, so results must agree to a few ULP of the accumulated
+// magnitude — not necessarily bit-for-bit.
+
+TEST(KernelIsa, ScalarVsAvx2WithinUlpBound) {
+  if (!detail::avx2_kernels_available()) {
+    GTEST_SKIP() << "no AVX2+FMA kernels in this build/CPU";
+  }
+  isa_guard guard;
+  for (const blas_int dim : {1, 5, 64, 129, 200}) {
+    const blas_int m = dim, n = dim, k = dim + 7;
+    const auto a = signed_random(static_cast<std::size_t>(m * k),
+                                 31 + static_cast<unsigned>(dim));
+    const auto b = signed_random(static_cast<std::size_t>(k * n),
+                                 57 + static_cast<unsigned>(dim));
+    std::vector<float> c_scalar(static_cast<std::size_t>(m * n));
+    std::vector<float> c_avx2 = c_scalar;
+    detail::set_kernel_isa(detail::kernel_isa::scalar);
+    detail::gemm_blocked(transpose::none, transpose::none, m, n, k, 1.0f,
+                         a.data(), m, b.data(), k, 0.0f, c_scalar.data(), m);
+    detail::set_kernel_isa(detail::kernel_isa::avx2);
+    ASSERT_EQ(detail::active_kernel_isa(), detail::kernel_isa::avx2);
+    detail::gemm_blocked(transpose::none, transpose::none, m, n, k, 1.0f,
+                         a.data(), m, b.data(), k, 0.0f, c_avx2.data(), m);
+    // |a|,|b| <= 1: each element accumulates k products of magnitude <= 1,
+    // so a few-ULP contraction drift is bounded by ~8 eps * k.
+    const float tol = 8.0f * std::numeric_limits<float>::epsilon() *
+                      static_cast<float>(k);
+    for (std::size_t i = 0; i < c_scalar.size(); ++i) {
+      ASSERT_NEAR(c_scalar[i], c_avx2[i], tol) << "dim=" << dim
+                                               << " elem=" << i;
+    }
+  }
+}
+
+TEST(KernelIsa, DoubleScalarVsAvx2WithinUlpBound) {
+  if (!detail::avx2_kernels_available()) {
+    GTEST_SKIP() << "no AVX2+FMA kernels in this build/CPU";
+  }
+  isa_guard guard;
+  const blas_int m = 96, n = 96, k = 150;
+  xoshiro256 rng(7);
+  std::vector<double> a(static_cast<std::size_t>(m * k));
+  std::vector<double> b(static_cast<std::size_t>(k * n));
+  for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+  for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+  std::vector<double> c_scalar(static_cast<std::size_t>(m * n));
+  std::vector<double> c_avx2 = c_scalar;
+  detail::set_kernel_isa(detail::kernel_isa::scalar);
+  detail::gemm_blocked(transpose::none, transpose::none, m, n, k, 1.0,
+                       a.data(), m, b.data(), k, 0.0, c_scalar.data(), m);
+  detail::set_kernel_isa(detail::kernel_isa::avx2);
+  detail::gemm_blocked(transpose::none, transpose::none, m, n, k, 1.0,
+                       a.data(), m, b.data(), k, 0.0, c_avx2.data(), m);
+  const double tol =
+      8.0 * std::numeric_limits<double>::epsilon() * static_cast<double>(k);
+  for (std::size_t i = 0; i < c_scalar.size(); ++i) {
+    ASSERT_NEAR(c_scalar[i], c_avx2[i], tol) << "elem=" << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packing arena.
+
+TEST(PackArena, AllocationFreeAfterWarmup) {
+  const blas_int m = 96, n = 80, k = 300;
+  const auto a = signed_random(static_cast<std::size_t>(m * k), 11);
+  const auto b = signed_random(static_cast<std::size_t>(k * n), 12);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  const auto run = [&](compute_mode mode) {
+    scoped_compute_mode scope(mode);
+    sgemm(transpose::none, transpose::none, m, n, k, 1.0f, a.data(), m,
+          b.data(), k, 0.0f, c.data(), m);
+  };
+  // Warm both the standard and the largest split shape on this thread.
+  run(compute_mode::standard);
+  run(compute_mode::float_to_bf16x3);
+  const std::uint64_t after_warmup = detail::pack_arena::total_allocations();
+  for (int rep = 0; rep < 5; ++rep) {
+    run(compute_mode::standard);
+    run(compute_mode::float_to_bf16x3);
+    run(compute_mode::float_to_bf16x2);  // smaller footprint: no regrowth
+    run(compute_mode::float_to_tf32);
+  }
+  EXPECT_EQ(detail::pack_arena::total_allocations(), after_warmup)
+      << "hot path allocated after warmup";
+}
+
+TEST(PackArena, GrowOnlyAndAlignment) {
+  // Run on a fresh thread: its thread_local arena starts empty, so growth
+  // behaviour is observable regardless of what earlier tests packed on the
+  // main thread.
+  std::thread([] {
+    auto& arena = detail::pack_arena::for_thread();
+    const std::uint64_t before = detail::pack_arena::total_allocations();
+    float* small = arena.acquire<float>(detail::kArenaSlotB, 64);
+    ASSERT_NE(small, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(small) % kCacheLineBytes, 0u);
+    // Growing reallocates; shrinking reuses.
+    float* big = arena.acquire<float>(detail::kArenaSlotB, 1 << 16);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % kCacheLineBytes, 0u);
+    float* again = arena.acquire<float>(detail::kArenaSlotB, 128);
+    EXPECT_EQ(again, big);
+    EXPECT_GE(detail::pack_arena::total_allocations(), before + 2);
+    const std::uint64_t settled = detail::pack_arena::total_allocations();
+    (void)arena.acquire<float>(detail::kArenaSlotB, 1 << 16);
+    EXPECT_EQ(detail::pack_arena::total_allocations(), settled);
+  }).join();
+}
+
+TEST(PackArena, ThreadSafetyAndIndependence) {
+  // Concurrent GEMMs on distinct std::threads each use their own arena;
+  // results must match a single-threaded run of the same problem.
+  const blas_int m = 64, n = 64, k = 128;
+  const auto a = signed_random(static_cast<std::size_t>(m * k), 21);
+  const auto b = signed_random(static_cast<std::size_t>(k * n), 22);
+  std::vector<float> expected(static_cast<std::size_t>(m * n));
+  {
+    scoped_compute_mode scope(compute_mode::float_to_bf16x2);
+    sgemm(transpose::none, transpose::none, m, n, k, 1.0f, a.data(), m,
+          b.data(), k, 0.0f, expected.data(), m);
+  }
+  constexpr int kThreads = 4;
+  std::vector<std::vector<float>> results(
+      kThreads, std::vector<float>(static_cast<std::size_t>(m * n)));
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      scoped_compute_mode scope(compute_mode::float_to_bf16x2);
+      for (int rep = 0; rep < 3; ++rep) {
+        sgemm(transpose::none, transpose::none, m, n, k, 1.0f, a.data(), m,
+              b.data(), k, 0.0f, results[static_cast<std::size_t>(t)].data(),
+              m);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(results[static_cast<std::size_t>(t)][i], expected[i])
+          << "thread=" << t << " elem=" << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DCMESH_KERNEL_ISA environment handling.  setenv + set_kernel_isa(nullopt)
+// re-resolves, so the cached launch value does not mask the test values.
+
+struct env_isa_guard {
+  ~env_isa_guard() {
+    ::unsetenv("DCMESH_KERNEL_ISA");
+    detail::set_kernel_isa(std::nullopt);
+  }
+};
+
+TEST(KernelIsa, EnvScalarForcesScalar) {
+  env_isa_guard guard;
+  ::setenv("DCMESH_KERNEL_ISA", "Scalar", 1);  // case-insensitive
+  detail::set_kernel_isa(std::nullopt);
+  EXPECT_EQ(detail::active_kernel_isa(), detail::kernel_isa::scalar);
+}
+
+TEST(KernelIsa, EnvAvx2HonouredOrFallsBack) {
+  env_isa_guard guard;
+  ::setenv("DCMESH_KERNEL_ISA", "avx2", 1);
+  detail::set_kernel_isa(std::nullopt);
+  if (detail::avx2_kernels_available()) {
+    EXPECT_EQ(detail::active_kernel_isa(), detail::kernel_isa::avx2);
+  } else {
+    // Unavailable: warn-once + scalar, never a throw.
+    EXPECT_EQ(detail::active_kernel_isa(), detail::kernel_isa::scalar);
+  }
+}
+
+TEST(KernelIsa, MalformedEnvFallsBackToAuto) {
+  env_isa_guard guard;
+  ::setenv("DCMESH_KERNEL_ISA", "sse9", 1);
+  detail::set_kernel_isa(std::nullopt);
+  const detail::kernel_isa malformed = detail::active_kernel_isa();
+  ::setenv("DCMESH_KERNEL_ISA", "auto", 1);
+  detail::set_kernel_isa(std::nullopt);
+  EXPECT_EQ(malformed, detail::active_kernel_isa());
+}
+
+TEST(KernelIsa, InProcessOverrideWinsOverEnv) {
+  env_isa_guard guard;
+  ::setenv("DCMESH_KERNEL_ISA", "scalar", 1);
+  detail::set_kernel_isa(detail::kernel_isa::scalar);
+  EXPECT_EQ(detail::active_kernel_isa(), detail::kernel_isa::scalar);
+  EXPECT_EQ(detail::kernel_isa_name(detail::kernel_isa::scalar), "scalar");
+  EXPECT_EQ(detail::kernel_isa_name(detail::kernel_isa::avx2), "avx2");
+}
+
+}  // namespace
+}  // namespace dcmesh::blas
