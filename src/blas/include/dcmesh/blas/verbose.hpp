@@ -36,6 +36,19 @@ enum class fallback_verdict {
 /// Display name of a verdict: "none", "passed", "promoted".
 [[nodiscard]] std::string_view name(fallback_verdict verdict) noexcept;
 
+/// Health-sentinel outcome of one call (resilience subsystem; see
+/// resil/health.hpp).
+enum class health_verdict {
+  none,         ///< Sentinel off — no finite scan ran.
+  clean,        ///< Scan ran; result finite.
+  detected,     ///< Non-finite result found; recovery exhausted the ladder.
+  recovered,    ///< Non-finite result found; a promoted re-run fixed it.
+};
+
+/// Display name of a health verdict: "none", "clean", "detected",
+/// "recovered".
+[[nodiscard]] std::string_view name(health_verdict verdict) noexcept;
+
 /// One recorded level-3 call.
 struct call_record {
   std::string routine;  ///< "SGEMM", "CGEMM", ...
@@ -63,6 +76,13 @@ struct call_record {
   int attempts = 1;            ///< Arithmetic runs (1 = no re-run).
   /// How the `auto` mode chose this call's mode (none = not auto-resolved).
   auto_provenance tune = auto_provenance::none;
+
+  // --- resilience fields (resil subsystem; defaults = feature off) ---
+  /// Injected-fault description ("nan@(3,7)", "bitflip@(0,2):b12",
+  /// "scale*1024"); empty when no fault was injected into this call.
+  std::string fault;
+  /// Finite-scan outcome (none unless DCMESH_HEALTH != off).
+  health_verdict health = health_verdict::none;
 
   /// Render in the MKL_VERBOSE line format.  The prefix through "mode:" is
   /// byte-identical to the pre-policy format; " site:...", " src:...",

@@ -8,15 +8,30 @@
 // transparent promotion to the next-higher mode on failure), and logs one
 // verbose record carrying the site, the resolved mode, the auto-decision
 // provenance, and the guard verdict.
+//
+// The resilience subsystem (src/resil) hooks the same choke point:
+// plan_call() overlays any active precision promotion on the resolved
+// mode; after the arithmetic, an active DCMESH_FAULT_PLAN may perturb the
+// result (deterministic injection), and a non-off DCMESH_HEALTH level
+// finite-scans it — on detection the call is transparently re-run up the
+// mantissa-promotion ladder (one same-mode retry once at standard, since
+// a transient fault does not repeat), and the verdict lands in the
+// verbose record, the metrics registry, and the trace.
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <optional>
 #include <vector>
 
 #include "dcmesh/blas/gemm_call.hpp"
 #include "dcmesh/blas/precision_policy.hpp"
 #include "dcmesh/blas/verbose.hpp"
+#include "dcmesh/resil/fault_plan.hpp"
+#include "dcmesh/resil/health.hpp"
+#include "dcmesh/resil/promotion.hpp"
 #include "dcmesh/trace/tracer.hpp"
 #include "dispatch_internal.hpp"
 #include "gemm_kernel.hpp"
@@ -121,6 +136,122 @@ void run_at(compute_mode mode, const gemm_call<T>& call) {
                call.c, call.ldc);
 }
 
+// ---- resilience: fault application + finite scan ----------------------
+
+template <typename T>
+struct real_part_of {
+  using type = T;
+};
+template <typename R>
+struct real_part_of<std::complex<R>> {
+  using type = R;
+};
+
+template <typename T>
+bool element_finite(const T& v) noexcept {
+  if constexpr (gemm_traits<T>::is_complex) {
+    return std::isfinite(v.real()) && std::isfinite(v.imag());
+  } else {
+    return std::isfinite(v);
+  }
+}
+
+/// Apply one planned fault to C in place, returning the description that
+/// goes into the verbose record and the trace ("nan@(3,7)",
+/// "bitflip@(0,2):b12", "scale*1024").  Element/bit choices come from the
+/// hit's deterministic draws; single-element kinds perturb the real part
+/// (std::complex guarantees the two-reals layout).
+template <typename T>
+std::string apply_fault(const resil::fault_hit& hit,
+                        const gemm_call<T>& call) {
+  using real_t = typename real_part_of<T>::type;
+  const std::size_t mn = static_cast<std::size_t>(call.m) *
+                         static_cast<std::size_t>(call.n);
+  if (mn == 0) return {};
+  char buffer[80];
+  if (hit.kind == resil::fault_kind::scale) {
+    const double factor = hit.param.value_or(1024.0);
+    for (blas_int j = 0; j < call.n; ++j) {
+      for (blas_int i = 0; i < call.m; ++i) {
+        call.c[i + j * call.ldc] *= static_cast<real_t>(factor);
+      }
+    }
+    std::snprintf(buffer, sizeof(buffer), "scale*%g", factor);
+    return buffer;
+  }
+  const std::size_t idx = hit.pick0 % mn;
+  const blas_int i =
+      static_cast<blas_int>(idx % static_cast<std::size_t>(call.m));
+  const blas_int j =
+      static_cast<blas_int>(idx / static_cast<std::size_t>(call.m));
+  real_t* slot = reinterpret_cast<real_t*>(call.c + (i + j * call.ldc));
+  switch (hit.kind) {
+    case resil::fault_kind::nan_value:
+      *slot = std::numeric_limits<real_t>::quiet_NaN();
+      std::snprintf(buffer, sizeof(buffer), "nan@(%lld,%lld)",
+                    static_cast<long long>(i), static_cast<long long>(j));
+      break;
+    case resil::fault_kind::inf_value:
+      *slot = std::numeric_limits<real_t>::infinity();
+      std::snprintf(buffer, sizeof(buffer), "inf@(%lld,%lld)",
+                    static_cast<long long>(i), static_cast<long long>(j));
+      break;
+    case resil::fault_kind::bitflip: {
+      constexpr unsigned kBits = sizeof(real_t) * 8;
+      const unsigned bit =
+          hit.param ? static_cast<unsigned>(*hit.param) % kBits
+                    : static_cast<unsigned>(hit.pick1 % kBits);
+      if constexpr (sizeof(real_t) == 4) {
+        std::uint32_t repr;
+        std::memcpy(&repr, slot, sizeof(repr));
+        repr ^= std::uint32_t{1} << bit;
+        std::memcpy(slot, &repr, sizeof(repr));
+      } else {
+        std::uint64_t repr;
+        std::memcpy(&repr, slot, sizeof(repr));
+        repr ^= std::uint64_t{1} << bit;
+        std::memcpy(slot, &repr, sizeof(repr));
+      }
+      std::snprintf(buffer, sizeof(buffer), "bitflip@(%lld,%lld):b%u",
+                    static_cast<long long>(i), static_cast<long long>(j),
+                    bit);
+      break;
+    }
+    case resil::fault_kind::scale:
+      break;  // handled above
+  }
+  return buffer;
+}
+
+/// Finite scan of C at the given level.  At `sample` the scan strides so
+/// that at most kSampleScanElems elements are touched (deterministic —
+/// a single flipped element may escape a sampled scan; the step-level
+/// invariants are the backstop).  Returns false and the offending (i,j)
+/// on the first non-finite element.
+template <typename T>
+bool scan_c_finite(const gemm_call<T>& call, resil::health_level level,
+                   blas_int* bad_i, blas_int* bad_j) {
+  const std::size_t mn = static_cast<std::size_t>(call.m) *
+                         static_cast<std::size_t>(call.n);
+  std::size_t stride = 1;
+  if (level == resil::health_level::sample &&
+      mn > resil::kSampleScanElems) {
+    stride = (mn + resil::kSampleScanElems - 1) / resil::kSampleScanElems;
+  }
+  for (std::size_t idx = 0; idx < mn; idx += stride) {
+    const blas_int i =
+        static_cast<blas_int>(idx % static_cast<std::size_t>(call.m));
+    const blas_int j =
+        static_cast<blas_int>(idx / static_cast<std::size_t>(call.m));
+    if (!element_finite(call.c[i + j * call.ldc])) {
+      *bad_i = i;
+      *bad_j = j;
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 template <typename T>
@@ -144,6 +275,18 @@ call_plan plan_call(const gemm_call<T>& call) {
       plan.tune = auto_provenance::defaulted;
     }
   }
+  // Resilience overlay: after a rollback the driver promotes matching
+  // sites for a bounded number of series (resil/promotion.hpp); each
+  // level is one step up the mantissa ladder on top of whatever the
+  // policy/tuner resolved.  One relaxed atomic load when no promotion is
+  // active.
+  const std::string_view promo_site =
+      call.call_site.empty() ? std::string_view(gemm_traits<T>::routine)
+                             : std::string_view(call.call_site);
+  const int promote = resil::promotion_steps(promo_site);
+  for (int level = 0; level < promote; ++level) {
+    plan.res.mode = next_higher_mode(plan.res.mode);
+  }
   return plan;
 }
 
@@ -161,6 +304,13 @@ void run_planned(const gemm_call<T>& call, const call_plan& plan,
                      mode_alters_arithmetic<T>(requested) &&
                      call.m > 0 && call.n > 0 && call.k > 0 &&
                      call.alpha != T(0);
+  const bool dims_ok = call.m > 0 && call.n > 0;
+  const resil::health_level health = resil::active_health_level();
+  const bool scan = health != resil::health_level::off && dims_ok;
+  // Pre-call C, packed m x n column-major; shared by the accuracy guard
+  // and the health-recovery re-run (which must restore C when beta != 0).
+  std::vector<T> c_orig;
+  bool have_orig = false;
 
   // One span per GEMM, named by the call-site tag so the Chrome timeline
   // groups by site; inert (nullopt stays cheap) when tracing is off.
@@ -174,6 +324,20 @@ void run_planned(const gemm_call<T>& call, const call_plan& plan,
 
   const auto start = std::chrono::steady_clock::now();
   if (!guard) {
+    if (scan && call.beta != T(0)) {
+      // A recovery re-run accumulates into C, so the pre-call C must be
+      // kept.  Validate before copying through ldc.
+      validate_gemm_args(call.transa, call.transb, call.m, call.n,
+                         call.k, call.a, call.lda, call.b, call.ldb,
+                         call.c, call.ldc);
+      c_orig.resize(static_cast<std::size_t>(call.m) *
+                    static_cast<std::size_t>(call.n));
+      for (blas_int j = 0; j < call.n; ++j) {
+        std::copy_n(call.c + j * call.ldc, call.m,
+                    c_orig.data() + static_cast<std::size_t>(j) * call.m);
+      }
+      have_orig = true;
+    }
     run_at(requested, call);
   } else {
     // Validate before touching C: the guard must not copy through a
@@ -181,12 +345,13 @@ void run_planned(const gemm_call<T>& call, const call_plan& plan,
     validate_gemm_args(call.transa, call.transb, call.m, call.n,
                        call.k, call.a, call.lda, call.b, call.ldb,
                        call.c, call.ldc);
-    std::vector<T> c_orig(static_cast<std::size_t>(call.m) *
-                          static_cast<std::size_t>(call.n));
+    c_orig.resize(static_cast<std::size_t>(call.m) *
+                  static_cast<std::size_t>(call.n));
     for (blas_int j = 0; j < call.n; ++j) {
       std::copy_n(call.c + j * call.ldc, call.m,
                   c_orig.data() + static_cast<std::size_t>(j) * call.m);
     }
+    have_orig = true;
     const auto rows = guard_sample_rows(call.m);
 
     run_at(final_mode, call);
@@ -206,6 +371,63 @@ void run_planned(const gemm_call<T>& call, const call_plan& plan,
   }
   const auto stop = std::chrono::steady_clock::now();
 
+  // ---- resilience: deterministic injection, finite scan, recovery ----
+  const std::string_view fault_site =
+      call.call_site.empty() ? std::string_view(gemm_traits<T>::routine)
+                             : std::string_view(call.call_site);
+  std::string fault_desc;
+  if (dims_ok) {
+    // One getenv when no plan is active.  The occurrence counter advanced
+    // here is what makes recovery re-runs fault-free: they re-execute the
+    // arithmetic below without re-querying the plan.
+    if (const auto hit = resil::next_fault(fault_site)) {
+      fault_desc = apply_fault(*hit, call);
+      if (!fault_desc.empty()) {
+        resil::record_health_event("inject", fault_site, fault_desc);
+      }
+    }
+  }
+
+  health_verdict hverdict = health_verdict::none;
+  if (scan) {
+    blas_int bad_i = 0, bad_j = 0;
+    bool finite_ok = scan_c_finite(call, health, &bad_i, &bad_j);
+    if (finite_ok) {
+      hverdict = health_verdict::clean;
+    } else {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail),
+                    "non-finite C(%lld,%lld) mode=%s",
+                    static_cast<long long>(bad_i),
+                    static_cast<long long>(bad_j),
+                    std::string(info(final_mode).env_token).c_str());
+      resil::record_health_event("detect", fault_site, detail);
+      // Re-run up the mantissa ladder.  When the ladder tops out at
+      // standard, one same-mode retry: a transient fault does not repeat,
+      // and the occurrence counters above guarantee no re-injection.
+      // `scan` implies have_orig || beta == 0, so C is restorable.
+      bool retried_same = false;
+      while (!finite_ok) {
+        const compute_mode next =
+            effective_mode<T>(next_higher_mode(final_mode));
+        if (next == final_mode) {
+          if (retried_same) break;
+          retried_same = true;
+        }
+        final_mode = next;
+        if (have_orig) restore_c(call, c_orig);
+        run_at(final_mode, call);
+        ++attempts;
+        finite_ok = scan_c_finite(call, health, &bad_i, &bad_j);
+      }
+      hverdict = finite_ok ? health_verdict::recovered
+                           : health_verdict::detected;
+      resil::record_health_event(
+          finite_ok ? "recover" : "unrecovered", fault_site,
+          info(final_mode).env_token);
+    }
+  }
+
   if (span) {
     span->arg("routine", gemm_traits<T>::routine);
     span->arg("m", static_cast<std::int64_t>(call.m));
@@ -219,6 +441,13 @@ void run_planned(const gemm_call<T>& call, const call_plan& plan,
     }
     if (verdict != fallback_verdict::none) {
       span->arg("fallback", name(verdict));
+    }
+    if (!fault_desc.empty()) {
+      span->arg("fault", fault_desc);
+    }
+    if (hverdict == health_verdict::detected ||
+        hverdict == health_verdict::recovered) {
+      span->arg("health", name(hverdict));
     }
     // Measured-vs-modeled: annotate with the xehpc roofline's predicted
     // device time when core has installed the model hook.
@@ -249,6 +478,8 @@ void run_planned(const gemm_call<T>& call, const call_plan& plan,
   record.guard_residual = residual;
   record.attempts = attempts;
   record.tune = plan.tune;
+  record.fault = std::move(fault_desc);
+  record.health = hverdict;
   record_call(std::move(record));
 }
 

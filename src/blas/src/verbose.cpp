@@ -98,6 +98,16 @@ std::string_view name(fallback_verdict verdict) noexcept {
   return "none";
 }
 
+std::string_view name(health_verdict verdict) noexcept {
+  switch (verdict) {
+    case health_verdict::none: return "none";
+    case health_verdict::clean: return "clean";
+    case health_verdict::detected: return "detected";
+    case health_verdict::recovered: return "recovered";
+  }
+  return "none";
+}
+
 std::string call_record::to_string() const {
   // Mirrors the oneMKL verbose format:
   // MKL_VERBOSE SGEMM(N,N,128,896,262144,...) 12.34ms CNR:OFF ... mode:BF16
@@ -132,6 +142,17 @@ std::string call_record::to_string() const {
                   std::string(info(requested_mode).env_token).c_str());
     line += buffer;
   }
+  if (!fault.empty()) {
+    line += " fault:";
+    line += fault;
+  }
+  // "clean" on every scanned call would drown the log; only surface the
+  // interesting verdicts in the text line (JSON carries all of them).
+  if (health == health_verdict::detected ||
+      health == health_verdict::recovered) {
+    line += " health:";
+    line += name(health);
+  }
   return line;
 }
 
@@ -161,6 +182,14 @@ std::string call_record::to_json() const {
   if (tune != auto_provenance::none) {
     out += "\",\"tune\":\"";
     out += name(tune);
+  }
+  if (!fault.empty()) {
+    out += "\",\"fault\":\"";
+    append_json_escaped(out, fault);
+  }
+  if (health != health_verdict::none) {
+    out += "\",\"health\":\"";
+    out += name(health);
   }
   std::snprintf(buffer, sizeof(buffer),
                 "\",\"residual\":%.9g,\"attempts\":%d}", guard_residual,

@@ -1,0 +1,27 @@
+#pragma once
+// atomic_file.hpp — crash-safe whole-file replacement.
+//
+// Checkpoints and the autotuner wisdom cache are the artifacts a 2-day
+// campaign restarts from; a kill mid-write must never leave a truncated
+// file where a good one used to be.  atomic_write_file() streams into a
+// unique temp file in the same directory, fsyncs it, then atomically
+// rename(2)s it over the destination — readers see either the complete
+// old content or the complete new content, never a prefix.
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace dcmesh {
+
+/// Write `path` atomically: `write` streams the content into a temp file
+/// beside `path`; on success (write returned true and the stream is good)
+/// the temp file is fsynced and renamed over `path`.  On any failure the
+/// temp file is removed and the previous `path` content is untouched.
+/// Returns whether the replacement happened.  Exceptions thrown by
+/// `write` clean up the temp file and propagate.
+[[nodiscard]] bool atomic_write_file(
+    const std::string& path,
+    const std::function<bool(std::ostream&)>& write);
+
+}  // namespace dcmesh

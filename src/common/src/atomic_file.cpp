@@ -1,0 +1,71 @@
+#include "dcmesh/common/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+namespace dcmesh {
+namespace {
+
+/// Unique-per-process-and-call temp name beside the destination (same
+/// filesystem, so the final rename is atomic).
+std::string temp_path_for(const std::string& path) {
+  static std::atomic<unsigned> counter{0};
+  char suffix[48];
+  std::snprintf(suffix, sizeof(suffix), ".tmp.%ld.%u",
+                static_cast<long>(::getpid()),
+                counter.fetch_add(1, std::memory_order_relaxed));
+  return path + suffix;
+}
+
+/// fsync by path; best-effort false on failure.
+bool fsync_path(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path,
+                       const std::function<bool(std::ostream&)>& write) {
+  if (path.empty()) return false;
+  const std::string tmp = temp_path_for(path);
+  bool ok = false;
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    try {
+      ok = write(os);
+    } catch (...) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    os.flush();
+    ok = ok && os.good();
+  }
+  // Durability before visibility: the data must be on disk before the
+  // rename makes it the checkpoint a restart would read.
+  ok = ok && fsync_path(tmp, O_WRONLY);
+  ok = ok && std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // Persist the rename itself (directory entry); best-effort — the file
+  // content is already safe either way.
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  (void)fsync_path(dir, O_RDONLY | O_DIRECTORY);
+  return true;
+}
+
+}  // namespace dcmesh

@@ -6,6 +6,11 @@
 // configuration (as a deck), the ionic state, and the engine's propagation
 // state; restoring reproduces the continuation bit-for-bit under the same
 // compute mode.
+//
+// Format v2 prefixes the payload with its size and an FNV-1a-64 checksum:
+// any corruption (bit flip, truncation) is rejected at load time.  File
+// saves are crash-safe — temp file + fsync + atomic rename — so a crash
+// mid-save never destroys the previous checkpoint.
 
 #include <iosfwd>
 #include <string>
@@ -29,5 +34,13 @@ void save_checkpoint_file(const driver& sim, const std::string& path);
 
 /// Load a checkpoint from a file.
 [[nodiscard]] driver load_checkpoint_file(const std::string& path);
+
+/// Restore a checkpoint *into an existing driver* (in place): verifies
+/// the checksum and that the checkpoint's config deck matches `sim`'s,
+/// then replaces the ionic and electronic state.  This is the rollback
+/// path of the resilience subsystem — the driver replays a series from
+/// its in-memory checkpoint ring without reconstructing itself.  Throws
+/// std::runtime_error on corruption or config mismatch.
+void restore_checkpoint(driver& sim, std::istream& is);
 
 }  // namespace dcmesh::core

@@ -9,8 +9,10 @@
 // portion at FP32), we execute Self-Consistent Field (SCF) at FP64 to
 // update the wave function and then proceed to the next series".
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "dcmesh/lfd/engine.hpp"
 #include "dcmesh/qxmd/shadow.hpp"
 #include "dcmesh/qxmd/verlet.hpp"
+#include "dcmesh/resil/checkpoint_ring.hpp"
 #include "dcmesh/trace/unitrace.hpp"
 
 namespace dcmesh::core {
@@ -29,6 +32,17 @@ struct series_report {
   double ion_potential_energy = 0.0;
   double ion_kinetic_energy = 0.0;
   bool wavefunction_transferred = false;  ///< Shadow-dynamics sync result.
+  /// Rollback-and-replay attempts this series needed before its step
+  /// invariants held (0 = clean first pass; resilience subsystem).
+  int replays = 0;
+};
+
+/// Cumulative resilience activity of one driver (DCMESH_HEALTH != off).
+struct resilience_stats {
+  std::uint64_t checkpoints = 0;  ///< Ring checkpoints taken.
+  std::uint64_t violations = 0;   ///< Step-invariant violations observed.
+  std::uint64_t rollbacks = 0;    ///< Series rolled back and replayed.
+  std::string last_violation;     ///< Detail of the most recent violation.
 };
 
 /// Owns the full simulation state and advances it.
@@ -38,6 +52,14 @@ class driver {
 
   /// Run one series: qd_steps_per_series QD steps, SCF refresh, MD step,
   /// shadow sync.  QD records are appended to records().
+  ///
+  /// When DCMESH_HEALTH != off the series is resilient: the state is
+  /// checkpointed to an in-memory ring first; a step-invariant violation
+  /// (engine norm drift, non-finite/unbounded observables, ekin jump)
+  /// rolls the state back and replays the series with the LFD sites'
+  /// precision promoted one ladder step per attempt, held for a few
+  /// series before the fast mode is re-tried.  Throws std::runtime_error
+  /// when replays are exhausted.
   series_report run_series();
 
   /// Run all configured series.  Returns the per-series reports.
@@ -64,6 +86,11 @@ class driver {
   /// Simulated time in atomic units.
   [[nodiscard]] double time() const noexcept;
 
+  /// Cumulative resilience activity (checkpoints, violations, rollbacks).
+  [[nodiscard]] const resilience_stats& resilience() const noexcept {
+    return resil_stats_;
+  }
+
   /// Serialize the engine's propagation state (checkpoint support; the
   /// ionic state and config are handled by core::save_checkpoint).
   void save_propagation_state(std::ostream& os) const;
@@ -82,6 +109,20 @@ class driver {
   /// electron density.
   void rebuild_device_potential();
 
+  /// The series body (QD steps + SCF + MD + shadow sync), shared by the
+  /// plain and the resilient run_series paths.
+  series_report run_series_impl();
+
+  /// Step-invariant verdict for the records appended since
+  /// `series_start_record` ("" = healthy): pops the engine's violation
+  /// flag, then checks each record for a bounded relative ekin jump.
+  [[nodiscard]] std::string check_series_health(
+      std::size_t series_start_record);
+
+  /// Restore the newest ring checkpoint in place and truncate records()
+  /// back to the checkpoint point.
+  void rollback_to_ring();
+
   run_config config_;
   mesh::grid3d grid_;
   qxmd::atom_system atoms_;
@@ -94,6 +135,9 @@ class driver {
                std::unique_ptr<lfd::lfd_engine<double>>>
       engine_;
   std::vector<lfd::qd_record> records_;
+  resil::checkpoint_ring ring_{4};  ///< Rollback targets (newest wins).
+  resilience_stats resil_stats_;
+  std::uint64_t series_index_ = 0;  ///< Completed series (ring labels).
 };
 
 }  // namespace dcmesh::core

@@ -4,14 +4,30 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
+#include "dcmesh/common/atomic_file.hpp"
 #include "dcmesh/core/config.hpp"
 
 namespace dcmesh::core {
 namespace {
 
 constexpr std::uint64_t kCheckpointMagic = 0x44434d4553484b50ull;  // DCMESHKP
-constexpr std::uint32_t kVersion = 1;
+// v2: the header carries the payload size and an FNV-1a-64 checksum over
+// the payload, so any corruption — a single flipped bit anywhere, or a
+// truncation — is rejected with a clear error instead of silently
+// poisoning a multi-day continuation run.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 31;
+
+std::uint64_t fnv1a(std::string_view data) noexcept {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char ch : data) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
 
 template <typename T>
 void write_pod(std::ostream& os, const T& value) {
@@ -75,24 +91,9 @@ qxmd::atom_system read_atoms(std::istream& is) {
   return atoms;
 }
 
-}  // namespace
-
-void save_checkpoint(const driver& sim, std::ostream& os) {
-  write_pod(os, kCheckpointMagic);
-  write_pod(os, kVersion);
-  write_string(os, to_deck(sim.config()));
-  write_atoms(os, sim.atoms());
-  sim.save_propagation_state(os);
-  if (!os) throw std::runtime_error("checkpoint: write failed");
-}
-
-void save_checkpoint_file(const driver& sim, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
-  save_checkpoint(sim, os);
-}
-
-driver load_checkpoint(std::istream& is) {
+/// Read the v2 header, the payload, and verify the checksum.  Throws on
+/// any mismatch — a corrupted checkpoint must never restore.
+std::string read_verified_payload(std::istream& is) {
   std::uint64_t magic = 0;
   std::uint32_t version = 0;
   read_pod(is, magic);
@@ -103,10 +104,57 @@ driver load_checkpoint(std::istream& is) {
   if (version != kVersion) {
     throw std::runtime_error("checkpoint: unsupported version");
   }
-  std::istringstream deck(read_string(is));
+  std::uint64_t size = 0, checksum = 0;
+  read_pod(is, size);
+  if (size > kMaxPayloadBytes) {
+    throw std::runtime_error("checkpoint: implausible payload size");
+  }
+  read_pod(is, checksum);
+  std::string payload(static_cast<std::size_t>(size), '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(size));
+  if (!is) throw std::runtime_error("checkpoint: truncated stream");
+  if (fnv1a(payload) != checksum) {
+    throw std::runtime_error(
+        "checkpoint: checksum mismatch (corrupted checkpoint)");
+  }
+  return payload;
+}
+
+}  // namespace
+
+void save_checkpoint(const driver& sim, std::ostream& os) {
+  // Serialize into a buffer first: the checksum covers the whole payload.
+  std::ostringstream payload_os(std::ios::binary);
+  write_string(payload_os, to_deck(sim.config()));
+  write_atoms(payload_os, sim.atoms());
+  sim.save_propagation_state(payload_os);
+  if (!payload_os) throw std::runtime_error("checkpoint: serialize failed");
+  const std::string payload = std::move(payload_os).str();
+  write_pod(os, kCheckpointMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(payload.size()));
+  write_pod(os, fnv1a(payload));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!os) throw std::runtime_error("checkpoint: write failed");
+}
+
+void save_checkpoint_file(const driver& sim, const std::string& path) {
+  // Crash-safe: write to a temp file beside `path`, fsync, atomically
+  // rename — a crash mid-save leaves the previous checkpoint intact, and
+  // a reader never sees a half-written file.
+  const bool ok = atomic_write_file(path, [&](std::ostream& os) {
+    save_checkpoint(sim, os);
+    return static_cast<bool>(os);
+  });
+  if (!ok) throw std::runtime_error("checkpoint: cannot write " + path);
+}
+
+driver load_checkpoint(std::istream& is) {
+  std::istringstream payload(read_verified_payload(is), std::ios::binary);
+  std::istringstream deck(read_string(payload));
   driver sim(parse_config(deck));
-  const qxmd::atom_system atoms = read_atoms(is);
-  sim.restore_propagation_state(atoms, is);
+  const qxmd::atom_system atoms = read_atoms(payload);
+  sim.restore_propagation_state(atoms, payload);
   return sim;
 }
 
@@ -114,6 +162,18 @@ driver load_checkpoint_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
   return load_checkpoint(is);
+}
+
+void restore_checkpoint(driver& sim, std::istream& is) {
+  std::istringstream payload(read_verified_payload(is), std::ios::binary);
+  const std::string deck = read_string(payload);
+  if (deck != to_deck(sim.config())) {
+    throw std::runtime_error(
+        "checkpoint: config mismatch (checkpoint was written by a "
+        "different run configuration)");
+  }
+  const qxmd::atom_system atoms = read_atoms(payload);
+  sim.restore_propagation_state(atoms, payload);
 }
 
 }  // namespace dcmesh::core

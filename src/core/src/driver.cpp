@@ -1,10 +1,18 @@
 #include "dcmesh/core/driver.hpp"
 
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
 #include "dcmesh/blas/precision_policy.hpp"
+#include "dcmesh/core/checkpoint.hpp"
 #include "dcmesh/lfd/forces.hpp"
 #include "dcmesh/lfd/init.hpp"
 #include "dcmesh/lfd/potential.hpp"
 #include "dcmesh/qxmd/supercell.hpp"
+#include "dcmesh/resil/health.hpp"
+#include "dcmesh/resil/promotion.hpp"
 #include "dcmesh/tune/autotuner.hpp"
 #include "dcmesh/xehpc/roofline.hpp"
 
@@ -14,6 +22,19 @@ namespace {
 mesh::fd_order to_fd_order(int order) {
   return order == 2 ? mesh::fd_order::second : mesh::fd_order::fourth;
 }
+
+/// Replay budget per series before the violation becomes fatal.  Each
+/// attempt promotes the LFD sites one more mantissa-ladder step, so three
+/// attempts walk BF16 all the way to BF16x3 territory.
+constexpr int kMaxReplays = 3;
+
+/// Series a rollback promotion stays active before the fast mode is
+/// re-tried (graceful degradation with automatic re-escalation).
+constexpr int kPromotionSeriesTtl = 2;
+
+/// Relative ekin-jump checks divide by at least this, so a near-zero
+/// early-trajectory ekin cannot alias a benign ramp-up into a violation.
+constexpr double kEkinJumpFloor = 1e-6;
 
 }  // namespace
 
@@ -129,6 +150,54 @@ lfd::qd_record driver::qd_step() {
 }
 
 series_report driver::run_series() {
+  if (resil::active_health_level() == resil::health_level::off) {
+    series_report report = run_series_impl();
+    ++series_index_;
+    return report;
+  }
+
+  // Resilient path: checkpoint, run, verify invariants; on violation
+  // roll back, promote the LFD sites' precision, replay.
+  {
+    std::ostringstream blob(std::ios::binary);
+    save_checkpoint(*this, blob);
+    ring_.push(series_index_, records_.size(), std::move(blob).str());
+    ++resil_stats_.checkpoints;
+  }
+  const std::size_t series_start = records_.size();
+  for (int attempt = 0;; ++attempt) {
+    series_report report = run_series_impl();
+    const std::string violation = check_series_health(series_start);
+    if (violation.empty()) {
+      report.replays = attempt;
+      ++series_index_;
+      // Healthy series: age the promotion ledger so a promoted site
+      // eventually re-tries its fast mode.
+      resil::tick_promotions();
+      return report;
+    }
+    ++resil_stats_.violations;
+    resil_stats_.last_violation = violation;
+    if (attempt >= kMaxReplays) {
+      throw std::runtime_error(
+          "driver: series " + std::to_string(series_index_) +
+          " failed step invariants after " + std::to_string(attempt) +
+          " replays: " + violation);
+    }
+    rollback_to_ring();
+    ++resil_stats_.rollbacks;
+    char detail[96];
+    std::snprintf(detail, sizeof(detail), "series=%llu attempt=%d",
+                  static_cast<unsigned long long>(series_index_),
+                  attempt + 1);
+    resil::record_health_event("rollback", "core/driver", detail);
+    // One more ladder step per attempt, held for a bounded number of
+    // series.  "lfd/*" covers every tagged LFD GEMM site.
+    resil::promote_sites("lfd/*", attempt + 1, kPromotionSeriesTtl);
+  }
+}
+
+series_report driver::run_series_impl() {
   series_report report;
   for (int step = 0; step < config_.qd_steps_per_series; ++step) {
     qd_step();
@@ -173,6 +242,50 @@ series_report driver::run_series() {
     rebuild_device_potential();
   }
   return report;
+}
+
+std::string driver::check_series_health(std::size_t series_start_record) {
+  // Engine-level invariants (norm conservation, finite/bounded record
+  // observables) are checked per QD step; pop the first violation.
+  std::string violation = std::visit(
+      [](auto& e) { return e->take_health_violation(); }, engine_);
+  if (!violation.empty()) return violation;
+
+  // Driver-level invariant: bounded relative ekin change between
+  // consecutive QD steps of this series.  A finite-but-blown GEMM result
+  // (e.g. an injected scale fault) passes the per-call finite scan and
+  // shows up here as a kinetic-energy discontinuity.
+  const resil::invariant_limits limits = resil::active_limits();
+  for (std::size_t i = series_start_record + 1; i < records_.size(); ++i) {
+    const double prev = records_[i - 1].ekin;
+    const double cur = records_[i].ekin;
+    const double rel =
+        std::abs(cur - prev) / std::max(std::abs(prev), kEkinJumpFloor);
+    if (rel > limits.ekin_jump_rel) {
+      char detail[128];
+      std::snprintf(detail, sizeof(detail),
+                    "ekin_jump=%.3e max=%.3e t=%.4f", rel,
+                    limits.ekin_jump_rel, records_[i].t);
+      resil::record_health_event("step_invariant", "core/driver", detail);
+      return detail;
+    }
+  }
+  return {};
+}
+
+void driver::rollback_to_ring() {
+  const resil::ring_slot* slot = ring_.latest();
+  if (slot == nullptr) {
+    throw std::runtime_error("driver: rollback with empty checkpoint ring");
+  }
+  // restore_propagation_state clears records(); preserve the history up
+  // to the checkpoint point so the observable log stays contiguous.
+  std::vector<lfd::qd_record> kept(
+      records_.begin(),
+      records_.begin() + static_cast<std::ptrdiff_t>(slot->aux));
+  std::istringstream is(slot->blob, std::ios::binary);
+  restore_checkpoint(*this, is);
+  records_ = std::move(kept);
 }
 
 std::vector<series_report> driver::run() {

@@ -17,6 +17,8 @@
 #include <complex>
 #include <cstddef>
 #include <iosfwd>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "dcmesh/common/matrix.hpp"
@@ -105,6 +107,15 @@ class lfd_engine {
     return last_norm_drift_;
   }
 
+  /// Pop the first step-invariant violation observed since the last call
+  /// ("" = healthy).  Armed only when DCMESH_HEALTH != off: each qd_step
+  /// checks norm conservation against the resil limits and that the
+  /// record's observables are finite and bounded.  The driver polls this
+  /// at series boundaries to decide rollback (resil/health.hpp).
+  [[nodiscard]] std::string take_health_violation() {
+    return std::exchange(health_violation_, std::string{});
+  }
+
   /// Serialize the propagation state (t, step count, energy baseline,
   /// Psi(t), Psi(0)) to a binary stream — checkpoint support.
   void save_state(std::ostream& os) const;
@@ -117,6 +128,7 @@ class lfd_engine {
  private:
   void propagate_local(double a_mid);
   qd_record measure(double a_now);
+  void check_step_invariants(const qd_record& rec);
 
   mesh::grid3d grid_;
   lfd_options opt_;
@@ -132,6 +144,7 @@ class lfd_engine {
   std::size_t steps_ = 0;
   double eband0_ = 0.0;
   double last_norm_drift_ = 0.0;
+  std::string health_violation_;  ///< First unpopped invariant violation.
 };
 
 }  // namespace dcmesh::lfd

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 #include "dcmesh/common/aligned.hpp"
 #include "dcmesh/lfd/current.hpp"
 #include "dcmesh/mesh/stencil.hpp"
+#include "dcmesh/resil/health.hpp"
 
 namespace dcmesh::lfd {
 
@@ -160,7 +162,42 @@ qd_record lfd_engine<R>::qd_step() {
 
   t_ += opt_.dt;
   ++steps_;
-  return measure(opt_.pulse.a(t_));
+  qd_record rec = measure(opt_.pulse.a(t_));
+  check_step_invariants(rec);
+  return rec;
+}
+
+template <typename R>
+void lfd_engine<R>::check_step_invariants(const qd_record& rec) {
+  // One getenv when the sentinel is off; the first violation wins (the
+  // driver rolls the whole series back, so later ones add nothing).
+  if (resil::active_health_level() == resil::health_level::off) return;
+  if (!health_violation_.empty()) return;
+  const resil::invariant_limits limits = resil::active_limits();
+  char detail[160];
+  detail[0] = '\0';
+  if (!std::isfinite(last_norm_drift_) ||
+      std::abs(last_norm_drift_) > limits.norm_drift_max) {
+    std::snprintf(detail, sizeof(detail),
+                  "norm_drift=%.3e max=%.3e t=%.4f", last_norm_drift_,
+                  limits.norm_drift_max, t_);
+  } else {
+    const double values[] = {rec.ekin, rec.epot, rec.etot, rec.nexc,
+                             rec.javg};
+    static constexpr const char* kNames[] = {"ekin", "epot", "etot",
+                                             "nexc", "javg"};
+    for (std::size_t i = 0; i < std::size(values); ++i) {
+      if (!std::isfinite(values[i]) ||
+          std::abs(values[i]) > limits.value_max) {
+        std::snprintf(detail, sizeof(detail), "%s=%.6g max=%.3e t=%.4f",
+                      kNames[i], values[i], limits.value_max, t_);
+        break;
+      }
+    }
+  }
+  if (!detail[0]) return;
+  health_violation_ = detail;
+  resil::record_health_event("step_invariant", "lfd/engine", detail);
 }
 
 template <typename R>
@@ -268,6 +305,9 @@ void lfd_engine<R>::load_state(std::istream& is) {
           static_cast<std::streamsize>(psi0_.size() *
                                        sizeof(std::complex<R>)));
   if (!is) throw std::runtime_error("lfd_engine: truncated state stream");
+  // A restore (rollback included) starts from a healthy state; a stale
+  // violation must not re-trip the driver after replay.
+  health_violation_.clear();
 }
 
 template class lfd_engine<float>;

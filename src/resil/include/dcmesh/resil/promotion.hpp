@@ -1,0 +1,51 @@
+#pragma once
+// promotion.hpp — the process-wide precision-promotion ledger.
+//
+// Graceful degradation with automatic re-escalation: after a step-level
+// invariant violation the driver rolls back and promotes the affected
+// sites' precision for a bounded number of series, then the promotion
+// expires and the fast mode is re-tried.  The ledger is the seam between
+// the layers: core::driver writes entries ("lfd/* up 1 ladder step for 2
+// series"), and the BLAS dispatcher (plan_call) reads them when resolving
+// a call's compute mode — each promotion level applies one
+// next_higher_mode() step on top of whatever the policy engine resolved
+// (tune's auto decisions included), so a promoted BF16 site runs at TF32,
+// a promoted TF32 site at BF16x2, and standard stays standard.
+//
+// The read side is one relaxed atomic load when the ledger is empty, so
+// the GEMM hot path pays nothing until a rollback actually happens.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcmesh::resil {
+
+/// One active promotion: sites matching `pattern` run `levels` ladder
+/// steps above their resolved mode for the next `series_left` series.
+struct promotion_entry {
+  std::string pattern;
+  int levels = 1;
+  int series_left = 1;
+};
+
+/// Add (or strengthen) a promotion.  An existing entry with the same
+/// pattern is raised to max(levels) and its TTL refreshed.  Records a
+/// "promote" health event.
+void promote_sites(std::string_view pattern, int levels, int series_ttl);
+
+/// Ladder steps to promote `site` by: the max over matching entries;
+/// 0 (one atomic load) when the ledger is empty.
+[[nodiscard]] int promotion_steps(std::string_view site);
+
+/// End-of-series tick: decrement every entry's TTL, dropping expired ones
+/// (the automatic re-escalation back to the fast mode).
+void tick_promotions();
+
+/// Drop all promotions (tests, run teardown).
+void clear_promotions();
+
+/// Copy of the active entries.
+[[nodiscard]] std::vector<promotion_entry> promotion_snapshot();
+
+}  // namespace dcmesh::resil

@@ -1,0 +1,49 @@
+#include "dcmesh/resil/checkpoint_ring.hpp"
+
+#include <algorithm>
+
+namespace dcmesh::resil {
+
+checkpoint_ring::checkpoint_ring(std::size_t capacity)
+    : slots_(std::max<std::size_t>(1, capacity)) {}
+
+void checkpoint_ring::push(std::uint64_t label, std::uint64_t aux,
+                           std::string blob) {
+  ring_slot& slot = slots_[next_];
+  slot.label = label;
+  slot.aux = aux;
+  slot.blob = std::move(blob);
+  next_ = (next_ + 1) % slots_.size();
+  count_ = std::min(count_ + 1, slots_.size());
+}
+
+const ring_slot* checkpoint_ring::latest() const noexcept {
+  if (count_ == 0) return nullptr;
+  const std::size_t last = (next_ + slots_.size() - 1) % slots_.size();
+  return &slots_[last];
+}
+
+void checkpoint_ring::drop_latest() noexcept {
+  if (count_ == 0) return;
+  next_ = (next_ + slots_.size() - 1) % slots_.size();
+  slots_[next_].blob.clear();
+  slots_[next_].blob.shrink_to_fit();
+  --count_;
+}
+
+std::size_t checkpoint_ring::bytes() const noexcept {
+  std::size_t total = 0;
+  for (const ring_slot& slot : slots_) total += slot.blob.size();
+  return total;
+}
+
+void checkpoint_ring::clear() noexcept {
+  for (ring_slot& slot : slots_) {
+    slot.blob.clear();
+    slot.blob.shrink_to_fit();
+  }
+  next_ = 0;
+  count_ = 0;
+}
+
+}  // namespace dcmesh::resil

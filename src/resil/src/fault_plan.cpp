@@ -1,0 +1,254 @@
+#include "dcmesh/resil/fault_plan.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/common/rng.hpp"
+
+namespace dcmesh::resil {
+namespace {
+
+/// Active plan plus its per-rule occurrence counters.
+struct plan_state {
+  fault_plan plan;
+  std::vector<std::int64_t> matched;  ///< Matching calls seen, per rule.
+  std::uint64_t seed = 0;
+};
+
+std::mutex g_mutex;
+// All guarded by g_mutex:
+std::optional<fault_plan> g_programmatic;
+plan_state g_state;
+std::string g_env_cache;     ///< Raw env text the state was parsed from.
+bool g_env_cache_valid = false;
+bool g_env_warned = false;
+
+// Lock-free fast path: true while a programmatic plan is installed (the
+// env fast path is the getenv itself).
+std::atomic<bool> g_have_programmatic{false};
+std::atomic<std::uint64_t> g_injections{0};
+
+void rearm(plan_state& state, fault_plan plan) {
+  state.plan = std::move(plan);
+  state.matched.assign(state.plan.rules.size(), 0);
+  state.seed = static_cast<std::uint64_t>(
+      env_get_int(kFaultSeedEnvVar, 0x5eed));
+}
+
+/// Re-parse the environment plan when its text changed.  Malformed text
+/// warns once and leaves an empty (disabled) plan installed — the
+/// env-robustness contract: never throw from the GEMM hot path.
+void refresh_from_env_locked() {
+  const auto raw = env_get(kFaultPlanEnvVar);
+  const std::string text = raw.value_or("");
+  if (g_env_cache_valid && text == g_env_cache) return;
+  g_env_cache = text;
+  g_env_cache_valid = true;
+  try {
+    rearm(g_state, text.empty() ? fault_plan{} : parse_fault_plan(text));
+  } catch (const std::invalid_argument& error) {
+    if (!g_env_warned) {
+      std::fprintf(stderr,
+                   "dcmesh: malformed %s \"%s\" (%s); fault injection "
+                   "disabled\n",
+                   std::string(kFaultPlanEnvVar).c_str(), text.c_str(),
+                   error.what());
+      g_env_warned = true;
+    }
+    rearm(g_state, fault_plan{});
+  }
+}
+
+}  // namespace
+
+std::string_view name(fault_kind kind) noexcept {
+  switch (kind) {
+    case fault_kind::bitflip: return "bitflip";
+    case fault_kind::nan_value: return "nan";
+    case fault_kind::inf_value: return "inf";
+    case fault_kind::scale: return "scale";
+  }
+  return "?";
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) noexcept {
+  // Iterative '*' backtracking (same semantics as blas::glob_match).
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+fault_plan parse_fault_plan(std::string_view text) {
+  fault_plan plan;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find_first_of(";,", begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view rule_text = trim(text.substr(begin, end - begin));
+    begin = end + 1;
+    if (rule_text.empty()) {
+      if (end == text.size()) break;
+      continue;
+    }
+
+    // site-glob ':' call# ':' kind [':' param] — split on ':'.
+    std::vector<std::string_view> fields;
+    std::size_t field_begin = 0;
+    while (field_begin <= rule_text.size()) {
+      std::size_t field_end = rule_text.find(':', field_begin);
+      if (field_end == std::string_view::npos) field_end = rule_text.size();
+      fields.push_back(
+          trim(rule_text.substr(field_begin, field_end - field_begin)));
+      if (field_end == rule_text.size()) break;
+      field_begin = field_end + 1;
+    }
+    const std::string context = "fault rule \"" + std::string(rule_text) +
+                                "\"";
+    if (fields.size() < 3 || fields.size() > 4) {
+      throw std::invalid_argument(
+          context + ": expected site-glob:call#:kind[:param]");
+    }
+    fault_rule rule;
+    rule.pattern = std::string(fields[0]);
+    if (rule.pattern.empty()) {
+      throw std::invalid_argument(context + ": empty site glob");
+    }
+
+    if (fields[1] == "*") {
+      rule.call_index = -1;
+    } else {
+      char* parse_end = nullptr;
+      const std::string index_text(fields[1]);
+      const long long parsed =
+          std::strtoll(index_text.c_str(), &parse_end, 10);
+      if (index_text.empty() || parse_end != index_text.c_str() +
+                                    index_text.size() ||
+          parsed < 0) {
+        throw std::invalid_argument(context + ": bad call index \"" +
+                                    index_text + "\"");
+      }
+      rule.call_index = parsed;
+    }
+
+    const std::string kind_token = to_upper(fields[2]);
+    if (kind_token == "BITFLIP") {
+      rule.kind = fault_kind::bitflip;
+    } else if (kind_token == "NAN") {
+      rule.kind = fault_kind::nan_value;
+    } else if (kind_token == "INF") {
+      rule.kind = fault_kind::inf_value;
+    } else if (kind_token == "SCALE") {
+      rule.kind = fault_kind::scale;
+    } else {
+      throw std::invalid_argument(context + ": unknown fault kind \"" +
+                                  std::string(fields[2]) + "\"");
+    }
+
+    if (fields.size() == 4) {
+      char* parse_end = nullptr;
+      const std::string param_text(fields[3]);
+      const double parsed = std::strtod(param_text.c_str(), &parse_end);
+      if (param_text.empty() ||
+          parse_end != param_text.c_str() + param_text.size()) {
+        throw std::invalid_argument(context + ": bad param \"" +
+                                    param_text + "\"");
+      }
+      rule.param = parsed;
+    }
+    plan.rules.push_back(std::move(rule));
+    if (end == text.size()) break;
+  }
+  return plan;
+}
+
+std::optional<fault_hit> next_fault(std::string_view site) {
+  // Fast path: no programmatic plan and no env text -> inert.
+  if (!g_have_programmatic.load(std::memory_order_relaxed)) {
+    const char* raw =
+        std::getenv(std::string(kFaultPlanEnvVar).c_str());
+    if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  }
+
+  std::lock_guard lock(g_mutex);
+  if (g_programmatic) {
+    // nothing to refresh — counters live in g_state already
+  } else {
+    refresh_from_env_locked();
+  }
+  if (g_state.plan.empty()) return std::nullopt;
+
+  std::optional<fault_hit> hit;
+  for (std::size_t r = 0; r < g_state.plan.rules.size(); ++r) {
+    const fault_rule& rule = g_state.plan.rules[r];
+    if (!glob_match(rule.pattern, site)) continue;
+    const std::int64_t occurrence = g_state.matched[r]++;
+    if (hit) continue;  // first firing rule wins, but counters still run
+    if (rule.call_index >= 0 && rule.call_index != occurrence) continue;
+    // Deterministic draws: one xoshiro stream per (seed, rule, occurrence).
+    xoshiro256 rng(g_state.seed +
+                   0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(r) +
+                   0xd1b54a32d192ed03ull *
+                       static_cast<std::uint64_t>(occurrence));
+    fault_hit h;
+    h.kind = rule.kind;
+    h.param = rule.param;
+    h.pick0 = rng();
+    h.pick1 = rng();
+    h.rule = static_cast<int>(r);
+    h.occurrence = occurrence;
+    hit = h;
+  }
+  if (hit) g_injections.fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
+void set_fault_plan(std::optional<fault_plan> plan) {
+  std::lock_guard lock(g_mutex);
+  g_programmatic = std::move(plan);
+  g_have_programmatic.store(g_programmatic.has_value(),
+                            std::memory_order_relaxed);
+  if (g_programmatic) {
+    rearm(g_state, *g_programmatic);
+  } else {
+    g_env_cache_valid = false;  // re-read the env on the next query
+    rearm(g_state, fault_plan{});
+  }
+  g_injections.store(0, std::memory_order_relaxed);
+}
+
+void reset_fault_state() {
+  std::lock_guard lock(g_mutex);
+  if (g_programmatic) {
+    rearm(g_state, *g_programmatic);
+  } else {
+    g_env_cache_valid = false;
+    g_env_warned = false;
+    rearm(g_state, fault_plan{});
+  }
+  g_injections.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t injection_count() {
+  return g_injections.load(std::memory_order_relaxed);
+}
+
+}  // namespace dcmesh::resil

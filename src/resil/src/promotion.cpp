@@ -1,0 +1,79 @@
+#include "dcmesh/resil/promotion.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "dcmesh/resil/fault_plan.hpp"  // glob_match
+#include "dcmesh/resil/health.hpp"
+
+namespace dcmesh::resil {
+namespace {
+
+std::mutex g_mutex;
+std::vector<promotion_entry> g_entries;      // guarded by g_mutex
+std::atomic<std::size_t> g_entry_count{0};   // mirrors g_entries.size()
+
+}  // namespace
+
+void promote_sites(std::string_view pattern, int levels, int series_ttl) {
+  levels = std::max(1, levels);
+  series_ttl = std::max(1, series_ttl);
+  {
+    std::lock_guard lock(g_mutex);
+    auto it = std::find_if(
+        g_entries.begin(), g_entries.end(),
+        [&](const promotion_entry& e) { return e.pattern == pattern; });
+    if (it != g_entries.end()) {
+      it->levels = std::max(it->levels, levels);
+      it->series_left = std::max(it->series_left, series_ttl);
+    } else {
+      g_entries.push_back(
+          {std::string(pattern), levels, series_ttl});
+    }
+    g_entry_count.store(g_entries.size(), std::memory_order_release);
+  }
+  char detail[96];
+  std::snprintf(detail, sizeof(detail), "levels=%d series=%d", levels,
+                series_ttl);
+  record_health_event("promote", pattern, detail);
+}
+
+int promotion_steps(std::string_view site) {
+  if (g_entry_count.load(std::memory_order_acquire) == 0) return 0;
+  std::lock_guard lock(g_mutex);
+  int steps = 0;
+  for (const promotion_entry& entry : g_entries) {
+    if (glob_match(entry.pattern, site)) {
+      steps = std::max(steps, entry.levels);
+    }
+  }
+  return steps;
+}
+
+void tick_promotions() {
+  if (g_entry_count.load(std::memory_order_acquire) == 0) return;
+  std::lock_guard lock(g_mutex);
+  for (auto it = g_entries.begin(); it != g_entries.end();) {
+    if (--it->series_left <= 0) {
+      it = g_entries.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  g_entry_count.store(g_entries.size(), std::memory_order_release);
+}
+
+void clear_promotions() {
+  std::lock_guard lock(g_mutex);
+  g_entries.clear();
+  g_entry_count.store(0, std::memory_order_release);
+}
+
+std::vector<promotion_entry> promotion_snapshot() {
+  std::lock_guard lock(g_mutex);
+  return g_entries;
+}
+
+}  // namespace dcmesh::resil

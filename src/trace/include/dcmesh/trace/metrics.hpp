@@ -53,7 +53,30 @@ gemm_metrics();
 void clear_gemm_metrics();
 
 /// Human-readable table of the registry (one line per site: calls, flops,
-/// bytes, time, modes, promotions).
+/// bytes, time, modes, promotions), followed by the health-event counters
+/// when any were recorded.
 [[nodiscard]] std::string gemm_metrics_report();
+
+// --- structured health events (numerical resilience subsystem) ---
+//
+// The resilience layer (src/resil) funnels every fault injection,
+// sentinel detection, recovery, rollback, and promotion through here as a
+// named counter, so a campaign's health history is queryable next to the
+// per-site GEMM counters it relates to.
+
+/// Bump the counter for one health-event kind ("inject", "detect",
+/// "recover", "unrecovered", "step_invariant", "rollback", "promote").
+/// Thread-safe.
+void record_health_counter(std::string_view kind);
+
+/// Snapshot of all health counters, sorted by kind.
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+health_counters();
+
+/// Counter for one kind; 0 when never recorded.
+[[nodiscard]] std::uint64_t health_counter(std::string_view kind);
+
+/// Reset the health counters.
+void clear_health_counters();
 
 }  // namespace dcmesh::trace

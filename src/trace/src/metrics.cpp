@@ -10,6 +10,9 @@ namespace {
 std::mutex g_mutex;
 std::map<std::string, gemm_site_counters, std::less<>> g_sites;
 
+std::mutex g_health_mutex;
+std::map<std::string, std::uint64_t, std::less<>> g_health;
+
 }  // namespace
 
 void record_gemm_metrics(std::string_view site, std::string_view routine,
@@ -92,7 +95,41 @@ std::string gemm_metrics_report() {
     }
     os << '\n';
   }
+  const auto health = health_counters();
+  if (!health.empty()) {
+    os << "  health:";
+    for (const auto& [kind, count] : health) {
+      os << ' ' << kind << '=' << count;
+    }
+    os << '\n';
+  }
   return os.str();
+}
+
+void record_health_counter(std::string_view kind) {
+  std::lock_guard lock(g_health_mutex);
+  auto it = g_health.find(kind);
+  if (it == g_health.end()) {
+    g_health.emplace(std::string(kind), 1);
+  } else {
+    ++it->second;
+  }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> health_counters() {
+  std::lock_guard lock(g_health_mutex);
+  return {g_health.begin(), g_health.end()};
+}
+
+std::uint64_t health_counter(std::string_view kind) {
+  std::lock_guard lock(g_health_mutex);
+  const auto it = g_health.find(kind);
+  return it == g_health.end() ? 0 : it->second;
+}
+
+void clear_health_counters() {
+  std::lock_guard lock(g_health_mutex);
+  g_health.clear();
 }
 
 }  // namespace dcmesh::trace

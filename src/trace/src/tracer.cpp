@@ -1,5 +1,7 @@
 #include "dcmesh/trace/tracer.hpp"
 
+#include "dcmesh/trace/signal_flush.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -86,6 +88,9 @@ tracer::tracer() : impl_(new impl) {
   // Real runs (examples, the driver) get their trace without any explicit
   // flush call: write whatever is buffered when the process exits.
   std::atexit([] { tracer::instance().flush_to_env_path(); });
+  // Opt-in last-gasp dump when a scheduler kills the run (SIGTERM/SIGINT
+  // skip atexit); see signal_flush.hpp.
+  install_signal_flush_from_env();
 }
 
 tracer& tracer::instance() {

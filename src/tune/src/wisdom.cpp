@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sys/stat.h>
 
+#include "dcmesh/common/atomic_file.hpp"
 #include "dcmesh/trace/tracer.hpp"  // append_json_escaped
 
 namespace dcmesh::tune {
@@ -197,15 +198,15 @@ wisdom_file load_wisdom(const std::string& path) {
 
 bool save_wisdom(const std::string& path,
                  const std::vector<wisdom_entry>& entries) {
-  if (path.empty()) return false;
-  std::ofstream os(path, std::ios::trunc);
-  if (!os) return false;
-  os << wisdom_header() << '\n';
-  for (const auto& entry : entries) {
-    os << entry.to_json() << '\n';
-  }
-  os.flush();
-  return static_cast<bool>(os);
+  // Crash-safe rewrite (temp file + fsync + atomic rename): a run killed
+  // mid-save must not destroy the wisdom accumulated by earlier runs.
+  return atomic_write_file(path, [&](std::ostream& os) {
+    os << wisdom_header() << '\n';
+    for (const auto& entry : entries) {
+      os << entry.to_json() << '\n';
+    }
+    return static_cast<bool>(os);
+  });
 }
 
 bool append_wisdom(const std::string& path, const wisdom_entry& entry) {

@@ -1,0 +1,111 @@
+// Tests for the crash-safe whole-file writer: content lands atomically,
+// failures never clobber the existing file, and no temp litter survives.
+
+#include "dcmesh/common/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace dcmesh {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+bool dir_has_temp_litter(const std::string& dir, const std::string& stem) {
+  // The writer names temps "<path>.tmp.<pid>.<n>"; any survivor with the
+  // stem prefix and a ".tmp" infix means a failed cleanup.
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return false;
+  bool found = false;
+  while (dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name.rfind(stem, 0) == 0 &&
+        name.find(".tmp", stem.size()) != std::string::npos) {
+      found = true;
+      break;
+    }
+  }
+  ::closedir(handle);
+  return found;
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "dcmesh_atomic_file_test.txt";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(AtomicFileTest, WritesTheContent) {
+  ASSERT_TRUE(atomic_write_file(path_, [](std::ostream& os) {
+    os << "line one\nline two\n";
+    return static_cast<bool>(os);
+  }));
+  EXPECT_EQ(slurp(path_), "line one\nline two\n");
+  EXPECT_FALSE(dir_has_temp_litter(testing::TempDir(),
+                                   "dcmesh_atomic_file_test.txt"));
+}
+
+TEST_F(AtomicFileTest, FailedWriterLeavesTheOldFileUntouched) {
+  ASSERT_TRUE(atomic_write_file(path_, [](std::ostream& os) {
+    os << "precious";
+    return static_cast<bool>(os);
+  }));
+
+  EXPECT_FALSE(atomic_write_file(path_, [](std::ostream& os) {
+    os << "half-writ";
+    return false;  // simulated failure mid-save
+  }));
+  EXPECT_EQ(slurp(path_), "precious");
+  EXPECT_FALSE(dir_has_temp_litter(testing::TempDir(),
+                                   "dcmesh_atomic_file_test.txt"));
+}
+
+TEST_F(AtomicFileTest, FailedWriterCreatesNothingWhenTargetIsAbsent) {
+  EXPECT_FALSE(atomic_write_file(path_, [](std::ostream&) {
+    return false;
+  }));
+  std::ifstream probe(path_);
+  EXPECT_FALSE(probe.good());
+}
+
+TEST_F(AtomicFileTest, ThrowingWriterCleansUpAndPropagates) {
+  ASSERT_TRUE(atomic_write_file(path_, [](std::ostream& os) {
+    os << "precious";
+    return static_cast<bool>(os);
+  }));
+  EXPECT_THROW(
+      (void)atomic_write_file(
+          path_,
+          [](std::ostream&) -> bool {
+            throw std::runtime_error("boom");
+          }),
+      std::runtime_error);
+  EXPECT_EQ(slurp(path_), "precious");
+  EXPECT_FALSE(dir_has_temp_litter(testing::TempDir(),
+                                   "dcmesh_atomic_file_test.txt"));
+}
+
+TEST_F(AtomicFileTest, EmptyPathFails) {
+  EXPECT_FALSE(atomic_write_file("", [](std::ostream& os) {
+    os << "x";
+    return true;
+  }));
+}
+
+}  // namespace
+}  // namespace dcmesh

@@ -1,0 +1,159 @@
+// Checkpoint robustness across every compute mode: a round-trip must
+// continue bit-identically under FP32/BF16/BF16X2/BF16X3/TF32, and a
+// corrupted or truncated checkpoint must be rejected with a clear error
+// (v2 format: FNV-1a checksum over the payload).
+
+#include "dcmesh/core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/blas/precision_policy.hpp"
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/core/presets.hpp"
+
+namespace dcmesh::core {
+namespace {
+
+run_config small_config() {
+  run_config config = preset(paper_system::tiny);
+  config.qd_steps_per_series = 4;
+  config.series = 2;
+  return config;
+}
+
+class CheckpointModesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+  static void reset() {
+    env_unset(blas::kPolicyEnvVar);
+    env_unset("MKL_BLAS_COMPUTE_MODE");
+    blas::clear_compute_mode();
+    blas::clear_policy();
+  }
+};
+
+TEST_F(CheckpointModesTest, RoundTripIsBitExactUnderEveryComputeMode) {
+  const blas::compute_mode modes[] = {
+      blas::compute_mode::standard,
+      blas::compute_mode::float_to_bf16,
+      blas::compute_mode::float_to_bf16x2,
+      blas::compute_mode::float_to_bf16x3,
+      blas::compute_mode::float_to_tf32,
+  };
+  for (const blas::compute_mode mode : modes) {
+    SCOPED_TRACE(std::string(blas::info(mode).env_token));
+    blas::set_compute_mode(mode);
+
+    driver reference(small_config());
+    reference.run_series();
+    std::stringstream stream;
+    save_checkpoint(reference, stream);
+    reference.run_series();
+    const auto expected = reference.records();
+    ASSERT_EQ(expected.size(), 8u);
+
+    driver restored = load_checkpoint(stream);
+    restored.run_series();
+    const auto& tail = restored.records();
+    ASSERT_EQ(tail.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+      // Bit-exact continuation: same mode, same arithmetic, same state.
+      ASSERT_EQ(tail[i].t, expected[4 + i].t) << i;
+      ASSERT_EQ(tail[i].ekin, expected[4 + i].ekin) << i;
+      ASSERT_EQ(tail[i].nexc, expected[4 + i].nexc) << i;
+      ASSERT_EQ(tail[i].javg, expected[4 + i].javg) << i;
+    }
+    blas::clear_compute_mode();
+  }
+}
+
+TEST_F(CheckpointModesTest, EveryBitFlipIsRejected) {
+  driver sim(small_config());
+  sim.run_series();
+  std::ostringstream os(std::ios::binary);
+  save_checkpoint(sim, os);
+  const std::string good = std::move(os).str();
+
+  // Sanity: the unmutated blob restores.
+  {
+    std::istringstream is(good, std::ios::binary);
+    EXPECT_NO_THROW((void)load_checkpoint(is));
+  }
+
+  // ~50 seeded single-bit mutations spread over the whole file — header,
+  // checksum, deck, atoms, wave function — every one must be rejected.
+  xoshiro256 rng(0xC0FFEEull);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string bad = good;
+    const std::size_t byte = rng() % bad.size();
+    const unsigned bit = static_cast<unsigned>(rng() % 8);
+    bad[byte] = static_cast<char>(static_cast<unsigned char>(bad[byte]) ^
+                                  (1u << bit));
+    std::istringstream is(bad, std::ios::binary);
+    EXPECT_THROW((void)load_checkpoint(is), std::runtime_error)
+        << "flip of bit " << bit << " at byte " << byte
+        << " was not detected";
+  }
+}
+
+TEST_F(CheckpointModesTest, TruncatedFileIsRejected) {
+  const std::string path =
+      testing::TempDir() + "dcmesh_ckpt_truncated.bin";
+  driver sim(small_config());
+  sim.run_series();
+  save_checkpoint_file(sim, path);
+
+  // The full file restores (and the atomic writer left no temp litter).
+  EXPECT_NO_THROW((void)load_checkpoint_file(path));
+
+  std::ifstream is(path, std::ios::binary);
+  std::string full((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  is.close();
+  for (const double fraction : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    const auto keep = static_cast<std::size_t>(
+        static_cast<double>(full.size()) * fraction);
+    {
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      os.write(full.data(), static_cast<std::streamsize>(keep));
+    }
+    EXPECT_THROW((void)load_checkpoint_file(path), std::runtime_error)
+        << "truncation to " << keep << " bytes was not detected";
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointModesTest, RestoreInPlaceRequiresMatchingConfig) {
+  driver sim(small_config());
+  sim.run_series();
+  std::ostringstream os(std::ios::binary);
+  save_checkpoint(sim, os);
+  const std::string blob = std::move(os).str();
+
+  // Same config: in-place restore succeeds and rewinds the state.
+  {
+    driver other(small_config());
+    std::istringstream is(blob, std::ios::binary);
+    EXPECT_NO_THROW(restore_checkpoint(other, is));
+    EXPECT_DOUBLE_EQ(other.time(), sim.time());
+  }
+  // Different config: rejected (rollback must never mix decks).
+  {
+    run_config different = small_config();
+    different.qd_steps_per_series = 3;
+    driver other(std::move(different));
+    std::istringstream is(blob, std::ios::binary);
+    EXPECT_THROW(restore_checkpoint(other, is), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace dcmesh::core

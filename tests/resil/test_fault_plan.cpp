@@ -1,0 +1,218 @@
+// Unit tests for the deterministic fault-injection engine: the plan
+// grammar, the occurrence semantics, the env-robustness contract, and the
+// injection + ladder recovery visible through the GEMM choke point.
+
+#include "dcmesh/resil/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/blas/gemm_call.hpp"
+#include "dcmesh/blas/verbose.hpp"
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/resil/health.hpp"
+
+namespace dcmesh::resil {
+namespace {
+
+class FaultPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+  static void reset() {
+    env_unset(kFaultPlanEnvVar);
+    env_unset(kFaultSeedEnvVar);
+    set_fault_plan(std::nullopt);
+    reset_fault_state();
+    set_health_level(std::nullopt);
+    blas::clear_call_log();
+  }
+};
+
+TEST_F(FaultPlanTest, ParsesTheGrammar) {
+  const fault_plan plan = parse_fault_plan(
+      "lfd/calc_energy/*:5:nan; lfd/remap_occ/?verlap:2:bitflip:12,"
+      "SGEMM:*:scale:1e3");
+  ASSERT_EQ(plan.rules.size(), 3u);
+  EXPECT_EQ(plan.rules[0].pattern, "lfd/calc_energy/*");
+  EXPECT_EQ(plan.rules[0].call_index, 5);
+  EXPECT_EQ(plan.rules[0].kind, fault_kind::nan_value);
+  EXPECT_FALSE(plan.rules[0].param.has_value());
+  EXPECT_EQ(plan.rules[1].kind, fault_kind::bitflip);
+  ASSERT_TRUE(plan.rules[1].param.has_value());
+  EXPECT_DOUBLE_EQ(*plan.rules[1].param, 12.0);
+  EXPECT_EQ(plan.rules[2].call_index, -1);  // '*' = every matching call
+  EXPECT_EQ(plan.rules[2].kind, fault_kind::scale);
+  EXPECT_DOUBLE_EQ(*plan.rules[2].param, 1e3);
+}
+
+TEST_F(FaultPlanTest, RejectsMalformedRules) {
+  EXPECT_THROW((void)parse_fault_plan("just-a-site"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("site:0:warp"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("site:-3:nan"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("site:x:nan"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("site:0:scale:huge"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan(":0:nan"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("a:0:nan:1:2"),
+               std::invalid_argument);
+}
+
+TEST_F(FaultPlanTest, EmptyAndSeparatorOnlyPlansAreInert) {
+  EXPECT_TRUE(parse_fault_plan("").empty());
+  EXPECT_TRUE(parse_fault_plan(" ;; , ").empty());
+}
+
+TEST_F(FaultPlanTest, GlobMatchSemantics) {
+  EXPECT_TRUE(glob_match("*", "lfd/nlp_prop/overlap"));
+  EXPECT_TRUE(glob_match("lfd/*", "lfd/nlp_prop/overlap"));
+  EXPECT_TRUE(glob_match("lfd/*/overlap", "lfd/remap_occ/overlap"));
+  EXPECT_TRUE(glob_match("?GEMM", "SGEMM"));
+  EXPECT_FALSE(glob_match("lfd/*", "core/scf"));
+  EXPECT_FALSE(glob_match("SGEMM", "CGEMM"));
+}
+
+TEST_F(FaultPlanTest, FiresOnTheNthMatchingCallOnly) {
+  fault_plan plan;
+  plan.rules.push_back({"lfd/*", 2, fault_kind::nan_value, std::nullopt});
+  set_fault_plan(plan);
+
+  EXPECT_FALSE(next_fault("lfd/a").has_value());  // occurrence 0
+  EXPECT_FALSE(next_fault("core/x").has_value()); // not matching
+  EXPECT_FALSE(next_fault("lfd/b").has_value());  // occurrence 1
+  const auto hit = next_fault("lfd/c");           // occurrence 2 -> fires
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->kind, fault_kind::nan_value);
+  EXPECT_EQ(hit->occurrence, 2);
+  EXPECT_FALSE(next_fault("lfd/d").has_value());  // one-shot
+  EXPECT_EQ(injection_count(), 1u);
+}
+
+TEST_F(FaultPlanTest, DrawsAreDeterministicAcrossResets) {
+  fault_plan plan;
+  plan.rules.push_back({"*", 0, fault_kind::bitflip, std::nullopt});
+  set_fault_plan(plan);
+  const auto first = next_fault("site");
+  ASSERT_TRUE(first.has_value());
+
+  reset_fault_state();
+  const auto second = next_fault("site");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->pick0, second->pick0);
+  EXPECT_EQ(first->pick1, second->pick1);
+}
+
+TEST_F(FaultPlanTest, FirstFiringRuleWinsButAllCountersAdvance) {
+  fault_plan plan;
+  plan.rules.push_back({"lfd/*", 1, fault_kind::nan_value, std::nullopt});
+  plan.rules.push_back({"*", 1, fault_kind::inf_value, std::nullopt});
+  set_fault_plan(plan);
+
+  EXPECT_FALSE(next_fault("lfd/a").has_value());  // both at occurrence 0
+  const auto hit = next_fault("lfd/b");           // both fire; rule 0 wins
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, 0);
+  EXPECT_EQ(hit->kind, fault_kind::nan_value);
+  // Rule 1's counter advanced past its index too: nothing left to fire.
+  EXPECT_FALSE(next_fault("other").has_value());
+}
+
+TEST_F(FaultPlanTest, MalformedEnvPlanWarnsAndDisables) {
+  env_set(kFaultPlanEnvVar, "not a plan at all");
+  reset_fault_state();
+  // Never throws from the query path; injection is simply off.
+  EXPECT_FALSE(next_fault("lfd/a").has_value());
+  EXPECT_EQ(injection_count(), 0u);
+}
+
+TEST_F(FaultPlanTest, EnvPlanInjectsNanIntoUntaggedGemm) {
+  // Untagged calls match by routine name.
+  env_set(kFaultPlanEnvVar, "SGEMM:0:nan");
+  reset_fault_state();
+
+  std::vector<float> a(4, 1.0f), b(4, 1.0f), c(4, 0.0f);
+  blas::sgemm(blas::transpose::none, blas::transpose::none, 2, 2, 2, 1.0f,
+              a.data(), 2, b.data(), 2, 0.0f, c.data(), 2);
+  bool found_nan = false;
+  for (const float v : c) found_nan = found_nan || std::isnan(v);
+  EXPECT_TRUE(found_nan);
+  EXPECT_EQ(injection_count(), 1u);
+
+  const auto log = blas::recent_calls();
+  ASSERT_FALSE(log.empty());
+  EXPECT_TRUE(log.back().fault.rfind("nan@", 0) == 0) << log.back().fault;
+  // Health off: the fault is recorded but nothing scanned or recovered.
+  EXPECT_EQ(log.back().health, blas::health_verdict::none);
+}
+
+TEST_F(FaultPlanTest, SentinelRecoversAnInjectedNan) {
+  fault_plan plan;
+  plan.rules.push_back({"SGEMM", 0, fault_kind::nan_value, std::nullopt});
+  set_fault_plan(plan);
+  set_health_level(health_level::full);
+  blas::set_compute_mode(blas::compute_mode::float_to_bf16);
+
+  std::vector<float> a(16, 0.5f), b(16, 0.25f), c(16, 1.0f);
+  blas::sgemm(blas::transpose::none, blas::transpose::none, 4, 4, 4, 1.0f,
+              a.data(), 4, b.data(), 4, 1.0f, c.data(), 4);
+  blas::clear_compute_mode();
+
+  for (const float v : c) EXPECT_TRUE(std::isfinite(v));
+  const auto log = blas::recent_calls();
+  ASSERT_FALSE(log.empty());
+  const auto& rec = log.back();
+  EXPECT_EQ(rec.health, blas::health_verdict::recovered);
+  EXPECT_FALSE(rec.fault.empty());
+  EXPECT_GE(rec.attempts, 2);
+  // The re-run climbed the ladder: BF16 -> TF32.
+  EXPECT_EQ(rec.requested_mode, blas::compute_mode::float_to_bf16);
+  EXPECT_EQ(rec.mode, blas::compute_mode::float_to_tf32);
+  // beta = 1 path: the pre-call C was restored before the re-run, so the
+  // result matches the exact TF32 evaluation, not a double accumulation.
+  for (const float v : c) EXPECT_NEAR(v, 1.0f + 4 * 0.5f * 0.25f, 1e-3f);
+}
+
+TEST_F(FaultPlanTest, InfFaultOnStandardModeRetriesSameMode) {
+  fault_plan plan;
+  plan.rules.push_back({"DGEMM", 0, fault_kind::inf_value, std::nullopt});
+  set_fault_plan(plan);
+  set_health_level(health_level::full);
+
+  std::vector<double> a(4, 1.0), b(4, 1.0), c(4, 0.0);
+  blas::dgemm(blas::transpose::none, blas::transpose::none, 2, 2, 2, 1.0,
+              a.data(), 2, b.data(), 2, 0.0, c.data(), 2);
+  for (const double v : c) EXPECT_DOUBLE_EQ(v, 2.0);
+  const auto log = blas::recent_calls();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back().health, blas::health_verdict::recovered);
+  EXPECT_EQ(log.back().attempts, 2);  // one same-mode retry
+}
+
+TEST_F(FaultPlanTest, ScaleFaultStaysFiniteAndPassesTheScan) {
+  fault_plan plan;
+  plan.rules.push_back({"SGEMM", 0, fault_kind::scale, 1024.0});
+  set_fault_plan(plan);
+  set_health_level(health_level::full);
+
+  std::vector<float> a(4, 1.0f), b(4, 1.0f), c(4, 0.0f);
+  blas::sgemm(blas::transpose::none, blas::transpose::none, 2, 2, 2, 1.0f,
+              a.data(), 2, b.data(), 2, 0.0f, c.data(), 2);
+  // All of C scaled, still finite: per-call scan reports clean — the
+  // step-level invariants (driver) are the layer that catches this one.
+  for (const float v : c) EXPECT_FLOAT_EQ(v, 2.0f * 1024.0f);
+  const auto log = blas::recent_calls();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back().health, blas::health_verdict::clean);
+  EXPECT_EQ(log.back().fault, "scale*1024");
+}
+
+}  // namespace
+}  // namespace dcmesh::resil

@@ -1,0 +1,154 @@
+// Unit tests for the health sentinel plumbing: level parsing and the
+// env-robustness contract, limit overrides, structured health events,
+// the promotion ledger, and the checkpoint ring.
+
+#include "dcmesh/resil/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/resil/checkpoint_ring.hpp"
+#include "dcmesh/resil/promotion.hpp"
+#include "dcmesh/trace/metrics.hpp"
+
+namespace dcmesh::resil {
+namespace {
+
+class HealthTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+  static void reset() {
+    env_unset(kHealthEnvVar);
+    env_unset(kNormDriftEnvVar);
+    env_unset(kValueMaxEnvVar);
+    env_unset(kEkinJumpEnvVar);
+    set_health_level(std::nullopt);
+    clear_promotions();
+    trace::clear_health_counters();
+  }
+};
+
+TEST_F(HealthTest, DefaultsToOff) {
+  EXPECT_EQ(active_health_level(), health_level::off);
+}
+
+TEST_F(HealthTest, ParsesEveryLevelToken) {
+  env_set(kHealthEnvVar, "sample");
+  EXPECT_EQ(active_health_level(), health_level::sample);
+  env_set(kHealthEnvVar, "FULL");
+  EXPECT_EQ(active_health_level(), health_level::full);
+  env_set(kHealthEnvVar, "0");
+  EXPECT_EQ(active_health_level(), health_level::off);
+  env_set(kHealthEnvVar, "1");
+  EXPECT_EQ(active_health_level(), health_level::sample);
+  env_set(kHealthEnvVar, "2");
+  EXPECT_EQ(active_health_level(), health_level::full);
+}
+
+TEST_F(HealthTest, MalformedLevelWarnsOnceAndReadsAsOff) {
+  env_set(kHealthEnvVar, "paranoid");
+  // Never throws; behaves as off (the shared env-robustness contract).
+  EXPECT_EQ(active_health_level(), health_level::off);
+  EXPECT_EQ(active_health_level(), health_level::off);
+}
+
+TEST_F(HealthTest, ProgrammaticOverrideBeatsTheEnvironment) {
+  env_set(kHealthEnvVar, "off");
+  set_health_level(health_level::full);
+  EXPECT_EQ(active_health_level(), health_level::full);
+  set_health_level(std::nullopt);
+  EXPECT_EQ(active_health_level(), health_level::off);
+}
+
+TEST_F(HealthTest, LimitsComeFromTheEnvironment) {
+  const invariant_limits defaults = active_limits();
+  EXPECT_DOUBLE_EQ(defaults.norm_drift_max, 1e-2);
+  EXPECT_DOUBLE_EQ(defaults.value_max, 1e6);
+  EXPECT_DOUBLE_EQ(defaults.ekin_jump_rel, 0.5);
+
+  env_set(kNormDriftEnvVar, "1e-4");
+  env_set(kValueMaxEnvVar, "100");
+  env_set(kEkinJumpEnvVar, "0.25");
+  const invariant_limits tuned = active_limits();
+  EXPECT_DOUBLE_EQ(tuned.norm_drift_max, 1e-4);
+  EXPECT_DOUBLE_EQ(tuned.value_max, 100.0);
+  EXPECT_DOUBLE_EQ(tuned.ekin_jump_rel, 0.25);
+}
+
+TEST_F(HealthTest, MalformedLimitKeepsTheDefault) {
+  env_set(kValueMaxEnvVar, "banana");
+  EXPECT_DOUBLE_EQ(active_limits().value_max, 1e6);
+  env_set(kValueMaxEnvVar, "-5");
+  EXPECT_DOUBLE_EQ(active_limits().value_max, 1e6);
+}
+
+TEST_F(HealthTest, EventsBumpTheMetricsCounters) {
+  EXPECT_EQ(trace::health_counter("detect"), 0u);
+  record_health_event("detect", "lfd/a", "non-finite C(0,0)");
+  record_health_event("detect", "lfd/b", "non-finite C(1,2)");
+  record_health_event("recover", "lfd/a", "TF32");
+  EXPECT_EQ(trace::health_counter("detect"), 2u);
+  EXPECT_EQ(trace::health_counter("recover"), 1u);
+  EXPECT_EQ(trace::health_counter("rollback"), 0u);
+}
+
+TEST_F(HealthTest, PromotionLedgerAppliesAndExpires) {
+  EXPECT_EQ(promotion_steps("lfd/nlp_prop/overlap"), 0);
+  promote_sites("lfd/*", 1, 2);
+  EXPECT_EQ(promotion_steps("lfd/nlp_prop/overlap"), 1);
+  EXPECT_EQ(promotion_steps("core/scf"), 0);
+  EXPECT_EQ(trace::health_counter("promote"), 1u);
+
+  // Strengthening takes the max of levels and refreshes the TTL.
+  promote_sites("lfd/*", 2, 1);
+  EXPECT_EQ(promotion_steps("lfd/anything"), 2);
+
+  tick_promotions();  // series 1 of 2
+  EXPECT_EQ(promotion_steps("lfd/anything"), 2);
+  tick_promotions();  // TTL exhausted: automatic re-escalation
+  EXPECT_EQ(promotion_steps("lfd/anything"), 0);
+  EXPECT_TRUE(promotion_snapshot().empty());
+}
+
+TEST_F(HealthTest, PromotionsTakeTheMaxOverMatchingEntries) {
+  promote_sites("lfd/*", 1, 3);
+  promote_sites("lfd/nlp_prop/*", 2, 3);
+  EXPECT_EQ(promotion_steps("lfd/nlp_prop/overlap"), 2);
+  EXPECT_EQ(promotion_steps("lfd/calc_energy/kinetic"), 1);
+}
+
+TEST(CheckpointRing, PushLatestAndEviction) {
+  checkpoint_ring ring(2);
+  EXPECT_EQ(ring.latest(), nullptr);
+  EXPECT_EQ(ring.size(), 0u);
+
+  ring.push(1, 10, "one");
+  ring.push(2, 20, "two");
+  ASSERT_NE(ring.latest(), nullptr);
+  EXPECT_EQ(ring.latest()->label, 2u);
+  EXPECT_EQ(ring.size(), 2u);
+
+  ring.push(3, 30, "three");  // evicts "one"
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.latest()->label, 3u);
+  EXPECT_EQ(ring.latest()->aux, 30u);
+  EXPECT_EQ(ring.latest()->blob, "three");
+  EXPECT_EQ(ring.bytes(), 3u + 5u);
+
+  ring.drop_latest();  // fall back to the older slot
+  ASSERT_NE(ring.latest(), nullptr);
+  EXPECT_EQ(ring.latest()->label, 2u);
+  ring.drop_latest();
+  EXPECT_EQ(ring.latest(), nullptr);
+  ring.drop_latest();  // no-op on empty
+  EXPECT_EQ(ring.size(), 0u);
+
+  ring.push(4, 40, "four");
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace dcmesh::resil

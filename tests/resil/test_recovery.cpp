@@ -1,0 +1,187 @@
+// End-to-end resilience: a BF16 LFD trajectory survives injected faults.
+//
+//  * A NaN injected into a mid-trajectory GEMM is caught by the per-call
+//    finite scan and transparently re-run one mantissa-ladder step up;
+//    the run completes with observables matching the fault-free BF16 run.
+//  * A finite-but-blown scale fault passes the per-call scan, trips the
+//    step-level invariants, and is repaired by checkpoint-ring rollback +
+//    replay with the LFD sites' precision promoted — and the promotion
+//    expires again afterwards (automatic re-escalation).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/blas/precision_policy.hpp"
+#include "dcmesh/blas/verbose.hpp"
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/core/driver.hpp"
+#include "dcmesh/core/presets.hpp"
+#include "dcmesh/resil/fault_plan.hpp"
+#include "dcmesh/resil/health.hpp"
+#include "dcmesh/resil/promotion.hpp"
+#include "dcmesh/trace/metrics.hpp"
+
+namespace dcmesh::core {
+namespace {
+
+// The golden-trajectory tolerances (tests/integration): the recovered run
+// must land this close to the fault-free run of the same compute mode.
+constexpr double kEkinTol = 2e-5;
+constexpr double kNexcTol = 2e-8;
+constexpr double kJavgTol = 2e-9;
+
+run_config small_bf16_config() {
+  run_config config = preset(paper_system::tiny);
+  config.qd_steps_per_series = 5;
+  config.series = 2;
+  return config;
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+  static void reset() {
+    env_unset(blas::kPolicyEnvVar);
+    env_unset("MKL_BLAS_COMPUTE_MODE");
+    env_unset(resil::kFaultPlanEnvVar);
+    env_unset(resil::kHealthEnvVar);
+    blas::clear_compute_mode();
+    blas::clear_policy();
+    blas::clear_call_log();
+    resil::set_fault_plan(std::nullopt);
+    resil::reset_fault_state();
+    resil::set_health_level(std::nullopt);
+    resil::clear_promotions();
+    trace::clear_health_counters();
+  }
+};
+
+TEST_F(RecoveryTest, InjectedNanInBf16RunIsDetectedAndRecovered) {
+  blas::set_compute_mode(blas::compute_mode::float_to_bf16);
+  resil::set_health_level(resil::health_level::full);
+
+  // Fault-free reference: same deck, same mode, same sentinel level.
+  driver reference(small_bf16_config());
+  reference.run();
+  const std::vector<lfd::qd_record> clean = reference.records();
+  ASSERT_EQ(clean.size(), 10u);
+  EXPECT_EQ(trace::health_counter("detect"), 0u)
+      << "fault-free BF16 run must not trip the sentinel";
+  EXPECT_EQ(reference.resilience().rollbacks, 0u);
+
+  // Faulty run: NaN into the 5th occurrence of the nonlocal projection —
+  // a GEMM that updates the wave function itself, mid-trajectory.
+  resil::fault_plan plan;
+  plan.rules.push_back(
+      {"lfd/nlp_prop/project", 5, resil::fault_kind::nan_value,
+       std::nullopt});
+  resil::set_fault_plan(plan);
+
+  driver faulty(small_bf16_config());
+  const auto reports = faulty.run();
+
+  EXPECT_EQ(resil::injection_count(), 1u);
+  resil::set_fault_plan(std::nullopt);
+  EXPECT_GE(trace::health_counter("inject"), 1u);
+  EXPECT_GE(trace::health_counter("detect"), 1u);
+  EXPECT_GE(trace::health_counter("recover"), 1u);
+  EXPECT_EQ(trace::health_counter("unrecovered"), 0u);
+
+  // Per-call recovery sufficed: no series needed a rollback.
+  for (const series_report& report : reports) {
+    EXPECT_EQ(report.replays, 0);
+  }
+
+  // A recovered call is visible in the call log with its promoted mode.
+  bool saw_recovered = false;
+  for (const auto& record : blas::recent_calls()) {
+    if (record.health == blas::health_verdict::recovered) {
+      saw_recovered = true;
+      EXPECT_EQ(record.requested_mode, blas::compute_mode::float_to_bf16);
+      EXPECT_NE(record.mode, blas::compute_mode::float_to_bf16);
+      EXPECT_GE(record.attempts, 2);
+    }
+  }
+  EXPECT_TRUE(saw_recovered);
+
+  // The trajectory completed and matches the fault-free run within the
+  // golden-trajectory tolerances.
+  const std::vector<lfd::qd_record>& got = faulty.records();
+  ASSERT_EQ(got.size(), clean.size());
+  const lfd::qd_record& last = got.back();
+  const lfd::qd_record& want = clean.back();
+  EXPECT_TRUE(std::isfinite(last.ekin));
+  EXPECT_NEAR(last.ekin, want.ekin, kEkinTol);
+  EXPECT_NEAR(last.nexc, want.nexc, kNexcTol);
+  EXPECT_NEAR(last.javg, want.javg, kJavgTol);
+}
+
+TEST_F(RecoveryTest, ScaleFaultRollsBackPromotesAndReEscalates) {
+  blas::set_compute_mode(blas::compute_mode::float_to_bf16);
+  resil::set_health_level(resil::health_level::full);
+
+  driver reference(small_bf16_config());
+  reference.run();
+  const double clean_final_ekin = reference.records().back().ekin;
+  trace::clear_health_counters();
+
+  // Finite scale blow-up on the step-2 kinetic-energy GEMM: invisible to
+  // the per-call finite scan, caught by the step-level invariants.
+  resil::fault_plan plan;
+  plan.rules.push_back(
+      {"lfd/calc_energy/kinetic", 2, resil::fault_kind::scale, 1e5});
+  resil::set_fault_plan(plan);
+
+  driver faulty(small_bf16_config());
+  const auto reports = faulty.run();
+
+  EXPECT_EQ(resil::injection_count(), 1u);
+  resil::set_fault_plan(std::nullopt);
+  const resilience_stats& stats = faulty.resilience();
+  EXPECT_EQ(stats.violations, 1u);
+  EXPECT_EQ(stats.rollbacks, 1u) << stats.last_violation;
+  EXPECT_EQ(stats.checkpoints, 2u);  // one per series
+  EXPECT_FALSE(stats.last_violation.empty());
+  EXPECT_GE(trace::health_counter("step_invariant"), 1u);
+  EXPECT_GE(trace::health_counter("rollback"), 1u);
+  EXPECT_GE(trace::health_counter("promote"), 1u);
+
+  // Exactly the poisoned series replayed; the replay was fault-free (the
+  // occurrence counter had advanced — transient-upset semantics).
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].replays, 1);
+  EXPECT_EQ(reports[1].replays, 0);
+
+  // The rollback promotion expired after its TTL: graceful degradation
+  // with automatic re-escalation back to the fast mode.
+  EXPECT_TRUE(resil::promotion_snapshot().empty());
+
+  // The observable log is contiguous, finite, and ends near the
+  // fault-free trajectory (the replayed series ran promoted — TF32-class
+  // arithmetic — so exact BF16 equality is not expected).
+  const auto& got = faulty.records();
+  ASSERT_EQ(got.size(), 10u);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(got[i].ekin));
+    EXPECT_GT(got[i].t, got[i - 1].t);
+  }
+  EXPECT_NEAR(got.back().ekin, clean_final_ekin, 5e-3);
+}
+
+TEST_F(RecoveryTest, HealthOffMeansNoCheckpointsAndNoScans) {
+  // Sentinel off (the default): the resilient path must stay cold.
+  driver d(small_bf16_config());
+  d.run_series();
+  EXPECT_EQ(d.resilience().checkpoints, 0u);
+  EXPECT_EQ(d.resilience().rollbacks, 0u);
+  for (const auto& record : blas::recent_calls()) {
+    EXPECT_EQ(record.health, blas::health_verdict::none);
+  }
+}
+
+}  // namespace
+}  // namespace dcmesh::core
