@@ -1,0 +1,175 @@
+// demoblas.cpp — a deliberately naive stand-in "system BLAS"
+// (libdemoblas.so).
+//
+// intercept_demo links against THIS library, so at build time it knows
+// only the standard BLAS names (cblas_sgemm, dgemm_, ...), exactly like
+// a binary built against OpenBLAS.  Run plainly, these triple loops
+// execute; run under LD_PRELOAD=libdcmesh_intercept.so the dynamic
+// linker resolves the same names to the dcmesh shim first and the whole
+// dcmesh engine takes over — which is the entire point of the demo.
+// Nothing here depends on dcmesh.
+
+#include <complex>
+
+namespace {
+
+template <typename T>
+T op_elem(const T* x, int ld, int row, int col, char trans) {
+  switch (trans) {
+    case 'N': case 'n': return x[row + static_cast<long>(col) * ld];
+    case 'T': case 't': return x[col + static_cast<long>(row) * ld];
+    default:  // 'C'
+      if constexpr (std::is_same_v<T, std::complex<float>> ||
+                    std::is_same_v<T, std::complex<double>>) {
+        return std::conj(x[col + static_cast<long>(row) * ld]);
+      } else {
+        return x[col + static_cast<long>(row) * ld];
+      }
+  }
+}
+
+/// Column-major C <- alpha*op(A)*op(B) + beta*C, no blocking, no threads.
+template <typename T>
+void naive_gemm(char transa, char transb, int m, int n, int k, T alpha,
+                const T* a, int lda, const T* b, int ldb, T beta, T* c,
+                int ldc) {
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      T acc{};
+      for (int p = 0; p < k; ++p) {
+        acc += op_elem(a, lda, i, p, transa) * op_elem(b, ldb, p, j, transb);
+      }
+      T& out = c[i + static_cast<long>(j) * ldc];
+      out = alpha * acc + beta * out;
+    }
+  }
+}
+
+char cblas_trans(int t) { return t == 112 ? 'T' : (t == 113 ? 'C' : 'N'); }
+
+/// CBLAS layout handling: row-major forwards through the transpose
+/// identity (swap operands and m/n).
+template <typename T>
+void cblas_gemm(int layout, int transa, int transb, int m, int n, int k,
+                T alpha, const T* a, int lda, const T* b, int ldb, T beta,
+                T* c, int ldc) {
+  if (layout == 101) {  // row-major
+    naive_gemm<T>(cblas_trans(transb), cblas_trans(transa), n, m, k, alpha,
+                  b, ldb, a, lda, beta, c, ldc);
+  } else {
+    naive_gemm<T>(cblas_trans(transa), cblas_trans(transb), m, n, k, alpha,
+                  a, lda, b, ldb, beta, c, ldc);
+  }
+}
+
+template <typename T>
+void cblas_gemm_batch(int layout, int transa, int transb, int m, int n,
+                      int k, T alpha, const T* a, int lda, int stride_a,
+                      const T* b, int ldb, int stride_b, T beta, T* c,
+                      int ldc, int stride_c, int batch) {
+  for (int i = 0; i < batch; ++i) {
+    cblas_gemm<T>(layout, transa, transb, m, n, k, alpha,
+                  a + static_cast<long>(i) * stride_a, lda,
+                  b + static_cast<long>(i) * stride_b, ldb, beta,
+                  c + static_cast<long>(i) * stride_c, ldc);
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+void cblas_sgemm(int layout, int transa, int transb, int m, int n, int k,
+                 float alpha, const float* a, int lda, const float* b,
+                 int ldb, float beta, float* c, int ldc) {
+  cblas_gemm<float>(layout, transa, transb, m, n, k, alpha, a, lda, b, ldb,
+                    beta, c, ldc);
+}
+
+void cblas_dgemm(int layout, int transa, int transb, int m, int n, int k,
+                 double alpha, const double* a, int lda, const double* b,
+                 int ldb, double beta, double* c, int ldc) {
+  cblas_gemm<double>(layout, transa, transb, m, n, k, alpha, a, lda, b,
+                     ldb, beta, c, ldc);
+}
+
+void cblas_cgemm(int layout, int transa, int transb, int m, int n, int k,
+                 const void* alpha, const void* a, int lda, const void* b,
+                 int ldb, const void* beta, void* c, int ldc) {
+  using C = std::complex<float>;
+  cblas_gemm<C>(layout, transa, transb, m, n, k,
+                *static_cast<const C*>(alpha), static_cast<const C*>(a),
+                lda, static_cast<const C*>(b), ldb,
+                *static_cast<const C*>(beta), static_cast<C*>(c), ldc);
+}
+
+void cblas_zgemm(int layout, int transa, int transb, int m, int n, int k,
+                 const void* alpha, const void* a, int lda, const void* b,
+                 int ldb, const void* beta, void* c, int ldc) {
+  using Z = std::complex<double>;
+  cblas_gemm<Z>(layout, transa, transb, m, n, k,
+                *static_cast<const Z*>(alpha), static_cast<const Z*>(a),
+                lda, static_cast<const Z*>(b), ldb,
+                *static_cast<const Z*>(beta), static_cast<Z*>(c), ldc);
+}
+
+void cblas_sgemm_batch_strided(int layout, int transa, int transb, int m,
+                               int n, int k, float alpha, const float* a,
+                               int lda, int stride_a, const float* b,
+                               int ldb, int stride_b, float beta, float* c,
+                               int ldc, int stride_c, int batch) {
+  cblas_gemm_batch<float>(layout, transa, transb, m, n, k, alpha, a, lda,
+                          stride_a, b, ldb, stride_b, beta, c, ldc,
+                          stride_c, batch);
+}
+
+void cblas_dgemm_batch_strided(int layout, int transa, int transb, int m,
+                               int n, int k, double alpha, const double* a,
+                               int lda, int stride_a, const double* b,
+                               int ldb, int stride_b, double beta,
+                               double* c, int ldc, int stride_c,
+                               int batch) {
+  cblas_gemm_batch<double>(layout, transa, transb, m, n, k, alpha, a, lda,
+                           stride_a, b, ldb, stride_b, beta, c, ldc,
+                           stride_c, batch);
+}
+
+void sgemm_(const char* transa, const char* transb, const int* m,
+            const int* n, const int* k, const float* alpha, const float* a,
+            const int* lda, const float* b, const int* ldb,
+            const float* beta, float* c, const int* ldc) {
+  naive_gemm<float>(*transa, *transb, *m, *n, *k, *alpha, a, *lda, b, *ldb,
+                    *beta, c, *ldc);
+}
+
+void dgemm_(const char* transa, const char* transb, const int* m,
+            const int* n, const int* k, const double* alpha,
+            const double* a, const int* lda, const double* b,
+            const int* ldb, const double* beta, double* c, const int* ldc) {
+  naive_gemm<double>(*transa, *transb, *m, *n, *k, *alpha, a, *lda, b,
+                     *ldb, *beta, c, *ldc);
+}
+
+void cgemm_(const char* transa, const char* transb, const int* m,
+            const int* n, const int* k, const void* alpha, const void* a,
+            const int* lda, const void* b, const int* ldb, const void* beta,
+            void* c, const int* ldc) {
+  using C = std::complex<float>;
+  naive_gemm<C>(*transa, *transb, *m, *n, *k, *static_cast<const C*>(alpha),
+                static_cast<const C*>(a), *lda, static_cast<const C*>(b),
+                *ldb, *static_cast<const C*>(beta), static_cast<C*>(c),
+                *ldc);
+}
+
+void zgemm_(const char* transa, const char* transb, const int* m,
+            const int* n, const int* k, const void* alpha, const void* a,
+            const int* lda, const void* b, const int* ldb, const void* beta,
+            void* c, const int* ldc) {
+  using Z = std::complex<double>;
+  naive_gemm<Z>(*transa, *transb, *m, *n, *k, *static_cast<const Z*>(alpha),
+                static_cast<const Z*>(a), *lda, static_cast<const Z*>(b),
+                *ldb, *static_cast<const Z*>(beta), static_cast<Z*>(c),
+                *ldc);
+}
+
+}  // extern "C"

@@ -1,0 +1,233 @@
+#ifndef DCMESH_DCMESH_BLAS_H
+#define DCMESH_DCMESH_BLAS_H
+/* dcmesh_blas.h — the stable, versioned public C API of the dcmesh BLAS
+ * engine.
+ *
+ * This is the ONE installed header.  Everything a consumer needs — the
+ * descriptor-based GEMM entry point with per-call-site precision control,
+ * the strided batch variant, process-wide policy/mode switches, and the
+ * introspection surface the interposition shim and tests rely on — is
+ * declared here with C linkage and a frozen ABI.  The in-tree C++ headers
+ * under src/<module>/include/dcmesh/ are the engine's INTERNAL surface:
+ * richer (templates, std::string_view, std::optional) but free to change
+ * between releases.  Third-party code should bind to this header, or to
+ * the standard BLAS symbols via libdcmesh_intercept.so, never to the
+ * internal headers.
+ *
+ * API-stability policy
+ * --------------------
+ *  * DCMESH_API_VERSION only ever grows.  Within one major version,
+ *    functions are never removed or re-typed; new functionality arrives as
+ *    new functions.  dcmesh_api_version() returns the version the library
+ *    was BUILT with, so a dlopen() consumer can verify compatibility at
+ *    run time before calling anything else.
+ *  * The descriptor is opaque on purpose: fields can be added behind
+ *    dcmesh_gemm_desc_set_*() accessors without an ABI break.
+ *
+ * Ownership and threading contract
+ * --------------------------------
+ *  * Matrix buffers are caller-owned and must stay valid for the duration
+ *    of the execute call; the library never retains pointers to them.
+ *  * Strings passed in (site tags, mode tokens, policy text) are COPIED;
+ *    the caller may free them as soon as the call returns.
+ *  * A dcmesh_gemm_desc is NOT thread-safe: build and execute it from one
+ *    thread at a time.  Distinct descriptors may execute concurrently;
+ *    the engine underneath (policy resolution, verbose log, metrics,
+ *    autotuner) is fully thread-safe.
+ *  * dcmesh_last_error() is thread-local: it describes the most recent
+ *    failure on the CALLING thread only.
+ *
+ * Error model: every function that can fail returns a dcmesh_status
+ * (0 = success, negative = failure) and never throws across the C
+ * boundary.  On failure, dcmesh_last_error() holds a human-readable
+ * explanation until the next failing call on the same thread.
+ */
+
+#include <stddef.h>
+#include <stdint.h>
+
+/* Version of this API surface: major * 1000 + minor.  Bump minor when
+ * functions are added, major (never yet) on an incompatible change. */
+#define DCMESH_API_VERSION_MAJOR 1
+#define DCMESH_API_VERSION_MINOR 0
+#define DCMESH_API_VERSION \
+  (DCMESH_API_VERSION_MAJOR * 1000 + DCMESH_API_VERSION_MINOR)
+
+/* Exported-symbol annotation: the shared interposition library is built
+ * with -fvisibility=hidden, so only DCMESH_PUBLIC symbols (plus the
+ * standard BLAS names its version script lists) appear in its dynamic
+ * symbol table. */
+#if defined(__GNUC__) || defined(__clang__)
+#define DCMESH_PUBLIC __attribute__((visibility("default")))
+#else
+#define DCMESH_PUBLIC
+#endif
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* ---------------------------------------------------------------- status */
+
+typedef enum dcmesh_status {
+  DCMESH_OK = 0,
+  /* A malformed argument contract (bad dims/ld, null buffer, bad
+   * transpose char) — mirrors the std::invalid_argument the C++ engine
+   * throws, caught at this boundary. */
+  DCMESH_ERR_INVALID_ARGUMENT = -1,
+  /* Element type char was not one of 's', 'd', 'c', 'z'. */
+  DCMESH_ERR_BAD_TYPE = -2,
+  /* Mode token named no known MKL_BLAS_COMPUTE_MODE value. */
+  DCMESH_ERR_BAD_MODE = -3,
+  /* Policy text failed to parse (the offending rule is in last_error). */
+  DCMESH_ERR_BAD_POLICY = -4,
+  /* Descriptor executed before shape/operands were set. */
+  DCMESH_ERR_INCOMPLETE = -5,
+  /* Output buffer too small (introspection copy-out calls). */
+  DCMESH_ERR_TRUNCATED = -6,
+  /* Unexpected internal failure (never expected in practice). */
+  DCMESH_ERR_INTERNAL = -7
+} dcmesh_status;
+
+/* Version the library was built with (== DCMESH_API_VERSION of its
+ * build); check this first after dlopen(). */
+DCMESH_PUBLIC int dcmesh_api_version(void);
+
+/* "major.minor" form, e.g. "1.0". */
+DCMESH_PUBLIC const char* dcmesh_api_version_string(void);
+
+/* Thread-local description of the most recent failure on this thread;
+ * "" when no call has failed yet.  Valid until the next failing call. */
+DCMESH_PUBLIC const char* dcmesh_last_error(void);
+
+/* ---------------------------------------------------------- one-shot API */
+
+/* Memory layout of the matrix operands (CBLAS numbering). */
+typedef enum dcmesh_layout {
+  DCMESH_LAYOUT_ROW_MAJOR = 101,
+  DCMESH_LAYOUT_COL_MAJOR = 102
+} dcmesh_layout;
+
+/* C <- alpha*op(A)*op(B) + beta*C in one call.
+ *  type   : element type, one of 's' (float), 'd' (double), 'c'
+ *           (complex float), 'z' (complex double).
+ *  transa/transb : 'N', 'T' or 'C' (case-insensitive).
+ *  alpha/beta    : point at ONE scalar of the element type ({re, im}
+ *                  pairs for 'c'/'z'), never NULL.
+ *  site   : stable call-site tag for the per-site precision policy
+ *           engine, e.g. "myapp/solver/normal_eq"; NULL or "" = untagged.
+ *  mode   : per-call compute-mode override (an MKL_BLAS_COMPUTE_MODE
+ *           token, e.g. "FLOAT_TO_BF16X2"); NULL = let the policy
+ *           resolution decide.  The override is the strongest layer of
+ *           the resolution order.
+ * Row-major calls are forwarded through the standard transpose identity,
+ * so both layouts share one engine path. */
+DCMESH_PUBLIC int dcmesh_gemm(char type, dcmesh_layout layout, char transa,
+                              char transb, int64_t m, int64_t n, int64_t k,
+                              const void* alpha, const void* a, int64_t lda,
+                              const void* b, int64_t ldb, const void* beta,
+                              void* c, int64_t ldc, const char* site,
+                              const char* mode);
+
+/* Strided batched GEMM: problem i uses X + i*stride_x for X in {a,b,c}.
+ * Stride 0 is allowed for A or B (shared operand), not for C.  The
+ * policy (including an AUTO rule's tuner resolution) is consulted once
+ * for the whole batch. */
+DCMESH_PUBLIC int dcmesh_gemm_batch_strided(
+    char type, dcmesh_layout layout, char transa, char transb, int64_t m,
+    int64_t n, int64_t k, const void* alpha, const void* a, int64_t lda,
+    int64_t stride_a, const void* b, int64_t ldb, int64_t stride_b,
+    const void* beta, void* c, int64_t ldc, int64_t stride_c, int64_t batch,
+    const char* site, const char* mode);
+
+/* --------------------------------------------------------- descriptor API */
+
+/* Opaque GEMM descriptor: build it incrementally, execute it any number
+ * of times.  Create/destroy are the only lifetime calls; all setters
+ * validate eagerly and return a status. */
+typedef struct dcmesh_gemm_desc dcmesh_gemm_desc;
+
+/* Allocate a descriptor for element type 's'/'d'/'c'/'z' with the
+ * defaults transa=transb='N', layout=column-major, alpha=1, beta=0, no
+ * site, no mode override.  NULL on bad type (see dcmesh_last_error()).
+ * Destroy with dcmesh_gemm_desc_destroy(); never free() it. */
+DCMESH_PUBLIC dcmesh_gemm_desc* dcmesh_gemm_desc_create(char type);
+DCMESH_PUBLIC void dcmesh_gemm_desc_destroy(dcmesh_gemm_desc* desc);
+
+DCMESH_PUBLIC int dcmesh_gemm_desc_set_layout(dcmesh_gemm_desc* desc,
+                                              dcmesh_layout layout);
+DCMESH_PUBLIC int dcmesh_gemm_desc_set_transpose(dcmesh_gemm_desc* desc,
+                                                 char transa, char transb);
+DCMESH_PUBLIC int dcmesh_gemm_desc_set_shape(dcmesh_gemm_desc* desc,
+                                             int64_t m, int64_t n, int64_t k);
+/* alpha/beta point at one scalar of the descriptor's element type; the
+ * VALUES are copied. */
+DCMESH_PUBLIC int dcmesh_gemm_desc_set_scalars(dcmesh_gemm_desc* desc,
+                                               const void* alpha,
+                                               const void* beta);
+/* Operand pointers are retained until overwritten; buffers stay
+ * caller-owned and must outlive every execute. */
+DCMESH_PUBLIC int dcmesh_gemm_desc_set_operands(dcmesh_gemm_desc* desc,
+                                                const void* a, int64_t lda,
+                                                const void* b, int64_t ldb,
+                                                void* c, int64_t ldc);
+/* Site tag (copied); NULL or "" = untagged. */
+DCMESH_PUBLIC int dcmesh_gemm_desc_set_site(dcmesh_gemm_desc* desc,
+                                            const char* site);
+/* Per-call compute-mode override token; NULL clears the override. */
+DCMESH_PUBLIC int dcmesh_gemm_desc_set_mode(dcmesh_gemm_desc* desc,
+                                            const char* mode);
+
+/* Run the descriptor through the engine: policy resolution, optional
+ * autotuner, fused split-mode kernels, accuracy guard, fault sentinel,
+ * verbose record, metrics, trace span — the same chokepoint every
+ * in-tree call uses.  DCMESH_ERR_INCOMPLETE when shape or operands were
+ * never set. */
+DCMESH_PUBLIC int dcmesh_gemm_execute(const dcmesh_gemm_desc* desc);
+
+/* --------------------------------------------------- process-wide control */
+
+/* Install a precision policy (the DCMESH_BLAS_POLICY grammar, e.g.
+ * "myapp/hot_loop=FLOAT_TO_BF16X2:guarded;*=auto:ulp=1024").  Overrides the
+ * environment variable until cleared.  NULL or "" clears back to the
+ * environment.  DCMESH_ERR_BAD_POLICY (with the offending rule in
+ * last_error) on parse failure, in which case the previous policy is
+ * kept. */
+DCMESH_PUBLIC int dcmesh_set_policy(const char* policy_text);
+
+/* Process-wide compute mode (an MKL_BLAS_COMPUTE_MODE token); overrides
+ * the environment variable.  NULL clears. */
+DCMESH_PUBLIC int dcmesh_set_compute_mode(const char* mode);
+
+/* OpenMP threads the engine may use (0 = library default). */
+DCMESH_PUBLIC int dcmesh_set_num_threads(int threads);
+
+/* Install the accuracy-aware autotuner behind AUTO policy rules (wisdom
+ * cache per DCMESH_TUNE_CACHE).  Idempotent.  The interposition shim and
+ * the in-tree driver both call this; embedders using AUTO rules directly
+ * against this API must too. */
+DCMESH_PUBLIC int dcmesh_install_autotuner(void);
+
+/* ----------------------------------------------------------- introspection */
+
+/* Level-3 calls recorded since process start (or the last engine-side
+ * clear).  Monotonic across threads. */
+DCMESH_PUBLIC uint64_t dcmesh_call_count(void);
+
+/* Copy the most recent call's site tag / resolved-mode token into buf
+ * (NUL-terminated).  Returns the full length (excluding NUL), which may
+ * exceed cap-1 (DCMESH_ERR_TRUNCATED is NOT raised; compare yourself),
+ * or DCMESH_ERR_INVALID_ARGUMENT when no call was recorded yet or buf is
+ * NULL/cap 0. */
+DCMESH_PUBLIC int dcmesh_last_call_site(char* buf, size_t cap);
+DCMESH_PUBLIC int dcmesh_last_call_mode(char* buf, size_t cap);
+
+/* Copy the per-site metrics report (human-readable table) into buf.
+ * Same length/truncation contract as dcmesh_last_call_site(). */
+DCMESH_PUBLIC int dcmesh_metrics_report(char* buf, size_t cap);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* DCMESH_DCMESH_BLAS_H */

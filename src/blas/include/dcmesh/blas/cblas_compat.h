@@ -1,5 +1,13 @@
 #pragma once
-/* cblas_compat.h — CBLAS-style C API for minimkl.
+/* cblas_compat.h — LEGACY CBLAS-style C API for minimkl (internal).
+ *
+ * DEPRECATED as a public surface: the installed, versioned public C API
+ * is include/dcmesh/dcmesh_blas.h (dcmesh_gemm and the descriptor
+ * entry points), and unmodified binaries get the standard CBLAS/Fortran
+ * names through libdcmesh_intercept.so.  These dcmesh_cblas_* spellings
+ * are kept for in-tree and existing callers; they are now pure thin
+ * wrappers over dcmesh_gemm() (see cblas_compat.cpp) and may move out of
+ * the installed set in a future major version.
  *
  * DCMESH mixes Fortran and C++; the paper's methodology works because the
  * whole application funnels through one BLAS with one environment switch.

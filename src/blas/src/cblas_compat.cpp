@@ -1,65 +1,40 @@
+// cblas_compat.cpp — legacy dcmesh_cblas_* entry points as pure thin
+// wrappers over the public C API (include/dcmesh/dcmesh_blas.h).
+//
+// These carried their own layout-swap and descriptor-fill logic before the
+// public API existed; that logic now lives once in dcmesh_blas_c.cpp, and
+// each function here is a single dcmesh_gemm() forward.  The enum values
+// are numerically identical to the dcmesh_layout / CBLAS numbering, so the
+// translation is a cast and a char pick.  Kept (deprecated) so existing
+// binaries linking the old names keep working; new code should call
+// dcmesh_gemm() or the standard CBLAS names via libdcmesh_intercept.so.
+
 #include "dcmesh/blas/cblas_compat.h"
 
-#include <complex>
 #include <stdexcept>
+#include <string>
 
-#include "dcmesh/blas/blas.hpp"
-#include "dcmesh/blas/gemm_call.hpp"
+#include "dcmesh/dcmesh_blas.h"
 
 namespace {
 
-using namespace dcmesh::blas;
-
-transpose to_transpose(DCMESH_CBLAS_TRANSPOSE t) {
+char trans_char(DCMESH_CBLAS_TRANSPOSE t) {
   switch (t) {
-    case DcmeshCblasNoTrans: return transpose::none;
-    case DcmeshCblasTrans: return transpose::trans;
-    case DcmeshCblasConjTrans: return transpose::conj_trans;
+    case DcmeshCblasNoTrans: return 'N';
+    case DcmeshCblasTrans: return 'T';
+    case DcmeshCblasConjTrans: return 'C';
   }
-  throw std::invalid_argument("cblas: bad transpose enum");
+  return '?';  // rejected downstream as a bad transpose char
 }
 
-/// Build and run one gemm_call descriptor with layout handling: row-major
-/// computes C_col^T = op(B)^T op(A)^T by swapping operands and m/n.  The C
-/// ABI carries no site tag, so CBLAS calls dispatch untagged — they still
-/// obey the global compute mode and scoped/api overrides through the same
-/// descriptor path as every other entry point.
-template <typename T>
-void layout_gemm(DCMESH_CBLAS_LAYOUT layout, DCMESH_CBLAS_TRANSPOSE transa,
-                 DCMESH_CBLAS_TRANSPOSE transb, int m, int n, int k,
-                 T alpha, const T* a, int lda, const T* b, int ldb, T beta,
-                 T* c, int ldc) {
-  const transpose ta = to_transpose(transa);
-  const transpose tb = to_transpose(transb);
-  gemm_call<T> call;
-  call.alpha = alpha;
-  call.beta = beta;
-  if (layout == DcmeshCblasColMajor) {
-    call.transa = ta;
-    call.transb = tb;
-    call.m = m;
-    call.n = n;
-    call.k = k;
-    call.a = a;
-    call.lda = lda;
-    call.b = b;
-    call.ldb = ldb;
-  } else if (layout == DcmeshCblasRowMajor) {
-    call.transa = tb;
-    call.transb = ta;
-    call.m = n;
-    call.n = m;
-    call.k = k;
-    call.a = b;
-    call.lda = ldb;
-    call.b = a;
-    call.ldb = lda;
-  } else {
-    throw std::invalid_argument("cblas: bad layout enum");
+/// The legacy API reported contract violations by throwing; the C API
+/// returns a status.  Preserve the old behaviour at this boundary by
+/// rethrowing what the engine would have thrown.
+void check(int status) {
+  if (status != DCMESH_OK) {
+    throw std::invalid_argument(std::string("cblas: ") +
+                                dcmesh_last_error());
   }
-  call.c = c;
-  call.ldc = ldc;
-  run(call);
 }
 
 }  // namespace
@@ -72,8 +47,9 @@ void dcmesh_cblas_sgemm(DCMESH_CBLAS_LAYOUT layout,
                         float alpha, const float* a, int lda,
                         const float* b, int ldb, float beta, float* c,
                         int ldc) {
-  layout_gemm<float>(layout, transa, transb, m, n, k, alpha, a, lda, b,
-                     ldb, beta, c, ldc);
+  check(dcmesh_gemm('s', static_cast<dcmesh_layout>(layout),
+                    trans_char(transa), trans_char(transb), m, n, k, &alpha,
+                    a, lda, b, ldb, &beta, c, ldc, nullptr, nullptr));
 }
 
 void dcmesh_cblas_dgemm(DCMESH_CBLAS_LAYOUT layout,
@@ -82,8 +58,9 @@ void dcmesh_cblas_dgemm(DCMESH_CBLAS_LAYOUT layout,
                         double alpha, const double* a, int lda,
                         const double* b, int ldb, double beta, double* c,
                         int ldc) {
-  layout_gemm<double>(layout, transa, transb, m, n, k, alpha, a, lda, b,
-                      ldb, beta, c, ldc);
+  check(dcmesh_gemm('d', static_cast<dcmesh_layout>(layout),
+                    trans_char(transa), trans_char(transb), m, n, k, &alpha,
+                    a, lda, b, ldb, &beta, c, ldc, nullptr, nullptr));
 }
 
 void dcmesh_cblas_cgemm(DCMESH_CBLAS_LAYOUT layout,
@@ -92,11 +69,9 @@ void dcmesh_cblas_cgemm(DCMESH_CBLAS_LAYOUT layout,
                         const void* alpha, const void* a, int lda,
                         const void* b, int ldb, const void* beta, void* c,
                         int ldc) {
-  using C = std::complex<float>;
-  layout_gemm<C>(layout, transa, transb, m, n, k,
-                 *static_cast<const C*>(alpha), static_cast<const C*>(a),
-                 lda, static_cast<const C*>(b), ldb,
-                 *static_cast<const C*>(beta), static_cast<C*>(c), ldc);
+  check(dcmesh_gemm('c', static_cast<dcmesh_layout>(layout),
+                    trans_char(transa), trans_char(transb), m, n, k, alpha,
+                    a, lda, b, ldb, beta, c, ldc, nullptr, nullptr));
 }
 
 void dcmesh_cblas_zgemm(DCMESH_CBLAS_LAYOUT layout,
@@ -105,11 +80,9 @@ void dcmesh_cblas_zgemm(DCMESH_CBLAS_LAYOUT layout,
                         const void* alpha, const void* a, int lda,
                         const void* b, int ldb, const void* beta, void* c,
                         int ldc) {
-  using Z = std::complex<double>;
-  layout_gemm<Z>(layout, transa, transb, m, n, k,
-                 *static_cast<const Z*>(alpha), static_cast<const Z*>(a),
-                 lda, static_cast<const Z*>(b), ldb,
-                 *static_cast<const Z*>(beta), static_cast<Z*>(c), ldc);
+  check(dcmesh_gemm('z', static_cast<dcmesh_layout>(layout),
+                    trans_char(transa), trans_char(transb), m, n, k, alpha,
+                    a, lda, b, ldb, beta, c, ldc, nullptr, nullptr));
 }
 
 }  // extern "C"

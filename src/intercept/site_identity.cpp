@@ -1,0 +1,155 @@
+#include "site_identity.hpp"
+
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE 1
+#endif
+#include <dlfcn.h>
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "dcmesh/common/env.hpp"
+
+namespace dcmesh::intercept {
+namespace {
+
+// All state behind one mutex: the env caches (reparsed only when the raw
+// text changes, warning once per malformed value) and the address->tag
+// cache.  Map values are never erased, so the returned c_str() pointers
+// stay valid for the process lifetime (unordered_map is node-based:
+// rehashing moves no values).
+std::mutex g_mutex;
+
+struct env_cache {
+  bool initialized = false;
+  std::string text;
+};
+
+env_cache g_mode_cache;           // guarded
+site_mode g_mode = site_mode::addr;  // guarded
+
+env_cache g_autotune_cache;       // guarded
+bool g_autotune = true;           // guarded
+
+std::unordered_map<std::uint64_t, std::string> g_sites;  // guarded
+
+site_mode parse_site_mode_locked(const std::string& text) {
+  const std::string token = to_upper(trim(text));
+  if (token.empty() || token == "ADDR") return site_mode::addr;
+  if (token == "SYMBOL") return site_mode::symbol;
+  if (token == "SINGLE") return site_mode::single;
+  std::fprintf(stderr,
+               "dcmesh-intercept: ignoring malformed %s=\"%s\" "
+               "(expected addr|symbol|single); using addr\n",
+               std::string(kSiteModeEnvVar).c_str(), text.c_str());
+  return site_mode::addr;
+}
+
+bool parse_autotune_locked(const std::string& text) {
+  const std::string token = to_upper(trim(text));
+  if (token.empty() || token == "1" || token == "ON" || token == "TRUE" ||
+      token == "YES") {
+    return true;
+  }
+  if (token == "0" || token == "OFF" || token == "FALSE" || token == "NO") {
+    return false;
+  }
+  std::fprintf(stderr,
+               "dcmesh-intercept: ignoring malformed %s=\"%s\" "
+               "(expected 0|1|on|off|true|false|yes|no); using on\n",
+               std::string(kAutotuneEnvVar).c_str(), text.c_str());
+  return true;
+}
+
+site_mode active_site_mode_locked() {
+  const std::string text = env_get(kSiteModeEnvVar).value_or("");
+  if (!g_mode_cache.initialized || text != g_mode_cache.text) {
+    g_mode_cache.initialized = true;
+    g_mode_cache.text = text;
+    g_mode = parse_site_mode_locked(text);
+  }
+  return g_mode;
+}
+
+std::string basename_of(const char* path) {
+  if (path == nullptr || *path == '\0') return "anon";
+  const std::string_view s(path);
+  const auto slash = s.find_last_of('/');
+  const std::string_view base =
+      slash == std::string_view::npos ? s : s.substr(slash + 1);
+  return base.empty() ? std::string("anon") : std::string(base);
+}
+
+std::string derive_site(void* return_address, site_mode mode) {
+  if (mode == site_mode::single) {
+    return std::string(kSitePrefix) + "app";
+  }
+  Dl_info info{};
+  const bool resolved = ::dladdr(return_address, &info) != 0;
+  char buf[64];
+  if (!resolved || info.dli_fbase == nullptr) {
+    // No module info: fall back to the absolute address (not ASLR-stable,
+    // but still distinct and consistent within one run).
+    std::snprintf(buf, sizeof buf, "0x%" PRIxPTR,
+                  reinterpret_cast<std::uintptr_t>(return_address));
+    return std::string(kSitePrefix) + buf;
+  }
+  const std::string module = basename_of(info.dli_fname);
+  if (mode == site_mode::symbol && info.dli_sname != nullptr) {
+    return std::string(kSitePrefix) + module + ":" + info.dli_sname;
+  }
+  // addr mode (and the symbol-not-found fallback): module-relative
+  // offset, stable across runs under ASLR.
+  const auto offset = reinterpret_cast<std::uintptr_t>(return_address) -
+                      reinterpret_cast<std::uintptr_t>(info.dli_fbase);
+  std::snprintf(buf, sizeof buf, "+0x%" PRIxPTR, offset);
+  return std::string(kSitePrefix) + module + buf;
+}
+
+}  // namespace
+
+const char* name(site_mode mode) noexcept {
+  switch (mode) {
+    case site_mode::addr: return "addr";
+    case site_mode::symbol: return "symbol";
+    case site_mode::single: return "single";
+  }
+  return "addr";
+}
+
+site_mode active_site_mode() {
+  std::lock_guard lock(g_mutex);
+  return active_site_mode_locked();
+}
+
+const char* site_for(void* return_address) {
+  std::lock_guard lock(g_mutex);
+  const site_mode mode = active_site_mode_locked();
+  const auto key =
+      (static_cast<std::uint64_t>(
+           reinterpret_cast<std::uintptr_t>(return_address))
+       << 2) |
+      static_cast<std::uint64_t>(mode);
+  auto it = g_sites.find(key);
+  if (it == g_sites.end()) {
+    it = g_sites.emplace(key, derive_site(return_address, mode)).first;
+  }
+  return it->second.c_str();
+}
+
+bool autotune_enabled() {
+  std::lock_guard lock(g_mutex);
+  const std::string text = env_get(kAutotuneEnvVar).value_or("");
+  if (!g_autotune_cache.initialized || text != g_autotune_cache.text) {
+    g_autotune_cache.initialized = true;
+    g_autotune_cache.text = text;
+    g_autotune = parse_autotune_locked(text);
+  }
+  return g_autotune;
+}
+
+}  // namespace dcmesh::intercept

@@ -1,0 +1,16 @@
+// capi_tune.cpp — the tune-side slice of the public C API.
+//
+// dcmesh_install_autotuner() is declared in include/dcmesh/dcmesh_blas.h
+// but cannot be defined in src/blas: installing the tuner pulls in
+// src/tune, which depends on blas (its calibration GEMMs run through the
+// descriptor dispatcher).  Defining it here keeps the dependency arrow
+// pointing one way; any consumer that links dcmesh::tune — the in-tree
+// driver, the interposition shim, the test binaries — gets the symbol.
+
+#include "dcmesh/dcmesh_blas.h"
+#include "dcmesh/tune/autotuner.hpp"
+
+extern "C" int dcmesh_install_autotuner(void) {
+  dcmesh::tune::install_auto_tuner();
+  return DCMESH_OK;
+}

@@ -1,0 +1,277 @@
+// Tests for the installed public C API (include/dcmesh/dcmesh_blas.h):
+// versioning, the one-shot dcmesh_gemm entry, the descriptor object, the
+// batch entry, and the never-throw error contract at the C boundary.
+// Linked directly (not through the shim) — the shim-side behavior of the
+// same functions is covered by tests/intercept/.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dcmesh/dcmesh_blas.h"
+
+namespace {
+
+// Column-major helpers for tiny reference checks.
+std::vector<float> iota(int n) {
+  std::vector<float> v(n);
+  for (int i = 0; i < n; ++i) v[i] = static_cast<float>(i + 1);
+  return v;
+}
+
+}  // namespace
+
+TEST(PublicApi, VersionMacrosAndRuntimeAgree) {
+  EXPECT_EQ(DCMESH_API_VERSION,
+            DCMESH_API_VERSION_MAJOR * 1000 + DCMESH_API_VERSION_MINOR);
+  EXPECT_EQ(dcmesh_api_version(), DCMESH_API_VERSION);
+  const std::string s = dcmesh_api_version_string();
+  EXPECT_NE(s.find('.'), std::string::npos) << s;
+}
+
+TEST(PublicApi, OneShotGemmAllTypes) {
+  // 2x2: C = A*B with A=[1 3;2 4], B=[5 7;6 8] (column-major).
+  const float af[] = {1, 2, 3, 4}, bf[] = {5, 6, 7, 8};
+  float cf[4] = {0, 0, 0, 0};
+  const float onef = 1.0f, zerof = 0.0f;
+  ASSERT_EQ(dcmesh_gemm('s', DCMESH_LAYOUT_COL_MAJOR, 'N', 'N', 2, 2, 2,
+                        &onef, af, 2, bf, 2, &zerof, cf, 2, "api/test",
+                        nullptr),
+            DCMESH_OK);
+  EXPECT_FLOAT_EQ(cf[0], 23.0f);
+  EXPECT_FLOAT_EQ(cf[1], 34.0f);
+  EXPECT_FLOAT_EQ(cf[2], 31.0f);
+  EXPECT_FLOAT_EQ(cf[3], 46.0f);
+
+  const double ad[] = {1, 2, 3, 4}, bd[] = {5, 6, 7, 8};
+  double cd[4] = {};
+  const double oned = 1.0, zerod = 0.0;
+  ASSERT_EQ(dcmesh_gemm('d', DCMESH_LAYOUT_COL_MAJOR, 'N', 'N', 2, 2, 2,
+                        &oned, ad, 2, bd, 2, &zerod, cd, 2, nullptr,
+                        nullptr),
+            DCMESH_OK);
+  EXPECT_DOUBLE_EQ(cd[0], 23.0);
+  EXPECT_DOUBLE_EQ(cd[3], 46.0);
+
+  using Z = std::complex<double>;
+  const Z az[] = {{1, 1}, {0, 0}, {0, 0}, {1, -1}};
+  const Z bz[] = {{2, 0}, {0, 0}, {0, 0}, {0, 2}};
+  Z cz[4] = {};
+  const Z onez{1, 0}, zeroz{0, 0};
+  ASSERT_EQ(dcmesh_gemm('z', DCMESH_LAYOUT_COL_MAJOR, 'N', 'N', 2, 2, 2,
+                        &onez, az, 2, bz, 2, &zeroz, cz, 2, nullptr,
+                        nullptr),
+            DCMESH_OK);
+  EXPECT_DOUBLE_EQ(cz[0].real(), 2.0);
+  EXPECT_DOUBLE_EQ(cz[0].imag(), 2.0);
+  EXPECT_DOUBLE_EQ(cz[3].real(), 2.0);
+  EXPECT_DOUBLE_EQ(cz[3].imag(), 2.0);
+}
+
+TEST(PublicApi, RowMajorMatchesColMajor) {
+  // Row-major [1 2;3 4]*[5 6;7 8] = [19 22;43 50].
+  const float a[] = {1, 2, 3, 4}, b[] = {5, 6, 7, 8};
+  float c[4] = {};
+  const float one = 1.0f, zero = 0.0f;
+  ASSERT_EQ(dcmesh_gemm('s', DCMESH_LAYOUT_ROW_MAJOR, 'N', 'N', 2, 2, 2,
+                        &one, a, 2, b, 2, &zero, c, 2, nullptr, nullptr),
+            DCMESH_OK);
+  EXPECT_FLOAT_EQ(c[0], 19.0f);
+  EXPECT_FLOAT_EQ(c[1], 22.0f);
+  EXPECT_FLOAT_EQ(c[2], 43.0f);
+  EXPECT_FLOAT_EQ(c[3], 50.0f);
+}
+
+TEST(PublicApi, ErrorsReturnStatusAndNeverThrow) {
+  const float one = 1.0f;
+  float x = 0.0f;
+  // Bad type char.
+  EXPECT_EQ(dcmesh_gemm('q', DCMESH_LAYOUT_COL_MAJOR, 'N', 'N', 1, 1, 1,
+                        &one, &x, 1, &x, 1, &one, &x, 1, nullptr, nullptr),
+            DCMESH_ERR_BAD_TYPE);
+  EXPECT_NE(std::strlen(dcmesh_last_error()), 0u);
+  // Bad transpose char.
+  EXPECT_EQ(dcmesh_gemm('s', DCMESH_LAYOUT_COL_MAJOR, 'X', 'N', 1, 1, 1,
+                        &one, &x, 1, &x, 1, &one, &x, 1, nullptr, nullptr),
+            DCMESH_ERR_INVALID_ARGUMENT);
+  // Bad layout value.
+  EXPECT_EQ(dcmesh_gemm('s', static_cast<dcmesh_layout>(7), 'N', 'N', 1, 1,
+                        1, &one, &x, 1, &x, 1, &one, &x, 1, nullptr,
+                        nullptr),
+            DCMESH_ERR_INVALID_ARGUMENT);
+  // Null operand pointers.
+  EXPECT_EQ(dcmesh_gemm('s', DCMESH_LAYOUT_COL_MAJOR, 'N', 'N', 1, 1, 1,
+                        nullptr, &x, 1, &x, 1, &one, &x, 1, nullptr,
+                        nullptr),
+            DCMESH_ERR_INVALID_ARGUMENT);
+  // Negative dimension: engine rejects, C boundary converts to status.
+  EXPECT_EQ(dcmesh_gemm('s', DCMESH_LAYOUT_COL_MAJOR, 'N', 'N', -2, 1, 1,
+                        &one, &x, 1, &x, 1, &one, &x, 1, nullptr, nullptr),
+            DCMESH_ERR_INVALID_ARGUMENT);
+  // Bad mode token.
+  EXPECT_EQ(dcmesh_gemm('s', DCMESH_LAYOUT_COL_MAJOR, 'N', 'N', 1, 1, 1,
+                        &one, &x, 1, &x, 1, &one, &x, 1, nullptr,
+                        "NOT_A_MODE"),
+            DCMESH_ERR_BAD_MODE);
+}
+
+TEST(PublicApi, DescriptorLifecycle) {
+  dcmesh_gemm_desc* d = dcmesh_gemm_desc_create('s');
+  ASSERT_NE(d, nullptr);
+
+  // Executing before shape/operands are set is an explicit error.
+  EXPECT_EQ(dcmesh_gemm_execute(d), DCMESH_ERR_INCOMPLETE);
+
+  const auto a = iota(4), b = iota(4);
+  std::vector<float> c(4, 0.0f);
+  ASSERT_EQ(dcmesh_gemm_desc_set_layout(d, DCMESH_LAYOUT_COL_MAJOR),
+            DCMESH_OK);
+  ASSERT_EQ(dcmesh_gemm_desc_set_transpose(d, 'N', 'N'), DCMESH_OK);
+  ASSERT_EQ(dcmesh_gemm_desc_set_shape(d, 2, 2, 2), DCMESH_OK);
+  ASSERT_EQ(dcmesh_gemm_desc_set_operands(d, a.data(), 2, b.data(), 2,
+                                          c.data(), 2),
+            DCMESH_OK);
+  ASSERT_EQ(dcmesh_gemm_desc_set_site(d, "api/desc"), DCMESH_OK);
+  ASSERT_EQ(dcmesh_gemm_execute(d), DCMESH_OK);
+  // [1 3;2 4]*[1 3;2 4] = [7 15;10 22] column-major.
+  EXPECT_FLOAT_EQ(c[0], 7.0f);
+  EXPECT_FLOAT_EQ(c[1], 10.0f);
+  EXPECT_FLOAT_EQ(c[2], 15.0f);
+  EXPECT_FLOAT_EQ(c[3], 22.0f);
+
+  // Default scalars are alpha=1, beta=0: re-execute overwrites C.
+  ASSERT_EQ(dcmesh_gemm_execute(d), DCMESH_OK);
+  EXPECT_FLOAT_EQ(c[0], 7.0f);
+
+  // Explicit scalars: beta=1 accumulates.
+  const float one = 1.0f;
+  ASSERT_EQ(dcmesh_gemm_desc_set_scalars(d, &one, &one), DCMESH_OK);
+  ASSERT_EQ(dcmesh_gemm_execute(d), DCMESH_OK);
+  EXPECT_FLOAT_EQ(c[0], 14.0f);
+
+  // The last executed call is visible through introspection.
+  char site[64] = {0};
+  ASSERT_GE(dcmesh_last_call_site(site, sizeof site), 0);
+  EXPECT_STREQ(site, "api/desc");
+
+  dcmesh_gemm_desc_destroy(d);
+}
+
+TEST(PublicApi, DescriptorRejectsBadInput) {
+  EXPECT_EQ(dcmesh_gemm_desc_create('y'), nullptr);
+  dcmesh_gemm_desc* d = dcmesh_gemm_desc_create('d');
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(dcmesh_gemm_desc_set_transpose(d, '!', 'N'),
+            DCMESH_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(dcmesh_gemm_desc_set_shape(d, -1, 2, 2),
+            DCMESH_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(dcmesh_gemm_desc_set_mode(d, "NOT_A_MODE"),
+            DCMESH_ERR_BAD_MODE);
+  // Null-descriptor calls are inert errors, not crashes.
+  EXPECT_EQ(dcmesh_gemm_desc_set_shape(nullptr, 1, 1, 1),
+            DCMESH_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(dcmesh_gemm_execute(nullptr), DCMESH_ERR_INVALID_ARGUMENT);
+  dcmesh_gemm_desc_destroy(nullptr);  // no-op by contract
+  dcmesh_gemm_desc_destroy(d);
+}
+
+TEST(PublicApi, BatchStridedMatchesLoopedGemm) {
+  const int n = 3, batch = 4;
+  const int stride = n * n;
+  std::vector<float> a(stride * batch), b(stride * batch),
+      c(stride * batch, 0.0f), expect(stride * batch, 0.0f);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>((i * 7 % 13)) - 6.0f;
+    b[i] = static_cast<float>((i * 5 % 11)) - 5.0f;
+  }
+  const float one = 1.0f, zero = 0.0f;
+  for (int q = 0; q < batch; ++q) {
+    ASSERT_EQ(dcmesh_gemm('s', DCMESH_LAYOUT_COL_MAJOR, 'N', 'N', n, n, n,
+                          &one, a.data() + q * stride, n,
+                          b.data() + q * stride, n, &zero,
+                          expect.data() + q * stride, n, nullptr, nullptr),
+              DCMESH_OK);
+  }
+  ASSERT_EQ(dcmesh_gemm_batch_strided(
+                's', DCMESH_LAYOUT_COL_MAJOR, 'N', 'N', n, n, n, &one,
+                a.data(), n, stride, b.data(), n, stride, &zero, c.data(),
+                n, stride, batch, "api/batch", nullptr),
+            DCMESH_OK);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_FLOAT_EQ(c[i], expect[i]) << i;
+  }
+}
+
+TEST(PublicApi, BatchModeOverrideApplies) {
+  const float a = 1.0f, b = 1.0f;
+  float c = 0.0f;
+  const float one = 1.0f, zero = 0.0f;
+  ASSERT_EQ(dcmesh_gemm_batch_strided(
+                's', DCMESH_LAYOUT_COL_MAJOR, 'N', 'N', 1, 1, 1, &one, &a,
+                1, 1, &b, 1, 1, &zero, &c, 1, 1, 1, nullptr,
+                "FLOAT_TO_BF16"),
+            DCMESH_OK);
+  char mode[64] = {0};
+  ASSERT_GE(dcmesh_last_call_mode(mode, sizeof mode), 0);
+  EXPECT_STREQ(mode, "FLOAT_TO_BF16");
+  // Malformed token surfaces as a status, not an exception.
+  EXPECT_EQ(dcmesh_gemm_batch_strided(
+                's', DCMESH_LAYOUT_COL_MAJOR, 'N', 'N', 1, 1, 1, &one, &a,
+                1, 1, &b, 1, 1, &zero, &c, 1, 1, 1, nullptr, "GIBBERISH"),
+            DCMESH_ERR_BAD_MODE);
+}
+
+TEST(PublicApi, CopyOutTruncationContract) {
+  const float one = 1.0f;
+  float x = 1.0f;
+  ASSERT_EQ(dcmesh_gemm('s', DCMESH_LAYOUT_COL_MAJOR, 'N', 'N', 1, 1, 1,
+                        &one, &x, 1, &x, 1, &one, &x, 1,
+                        "api/truncation-check", nullptr),
+            DCMESH_OK);
+  // A null/empty output buffer is an explicit error, never a crash.
+  EXPECT_LT(dcmesh_last_call_site(nullptr, 0), 0);
+  char probe[64] = {0};
+  const int full = dcmesh_last_call_site(probe, sizeof probe);
+  ASSERT_EQ(full, static_cast<int>(std::strlen("api/truncation-check")));
+  // Full length comes back regardless of capacity; what fits is
+  // NUL-terminated.
+  char tiny[4] = {'x', 'x', 'x', 'x'};
+  EXPECT_EQ(dcmesh_last_call_site(tiny, sizeof tiny), full);
+  EXPECT_STREQ(tiny, "api");
+  char ample[64] = {0};
+  EXPECT_EQ(dcmesh_last_call_site(ample, sizeof ample), full);
+  EXPECT_STREQ(ample, "api/truncation-check");
+}
+
+TEST(PublicApi, GlobalControlsRoundTrip) {
+  EXPECT_EQ(dcmesh_set_policy("api/ctl=float_to_bf16"), DCMESH_OK);
+  const float one = 1.0f;
+  float x = 1.0f;
+  ASSERT_EQ(dcmesh_gemm('s', DCMESH_LAYOUT_COL_MAJOR, 'N', 'N', 1, 1, 1,
+                        &one, &x, 1, &x, 1, &one, &x, 1, "api/ctl",
+                        nullptr),
+            DCMESH_OK);
+  char mode[64] = {0};
+  ASSERT_GE(dcmesh_last_call_mode(mode, sizeof mode), 0);
+  EXPECT_STREQ(mode, "FLOAT_TO_BF16");
+  EXPECT_EQ(dcmesh_set_policy(""), DCMESH_OK);  // clear
+
+  EXPECT_EQ(dcmesh_set_policy("]]]=[[["), DCMESH_ERR_BAD_POLICY);
+  EXPECT_EQ(dcmesh_set_compute_mode("COMPLEX_3M"), DCMESH_OK);
+  EXPECT_EQ(dcmesh_set_compute_mode("STANDARD"), DCMESH_OK);
+  EXPECT_EQ(dcmesh_set_compute_mode("NOPE"), DCMESH_ERR_BAD_MODE);
+  EXPECT_EQ(dcmesh_set_num_threads(1), DCMESH_OK);
+  EXPECT_EQ(dcmesh_set_num_threads(-3), DCMESH_ERR_INVALID_ARGUMENT);
+
+  const uint64_t before = dcmesh_call_count();
+  ASSERT_EQ(dcmesh_gemm('s', DCMESH_LAYOUT_COL_MAJOR, 'N', 'N', 1, 1, 1,
+                        &one, &x, 1, &x, 1, &one, &x, 1, nullptr, nullptr),
+            DCMESH_OK);
+  EXPECT_EQ(dcmesh_call_count(), before + 1);
+
+  char report[4096] = {0};
+  EXPECT_GE(dcmesh_metrics_report(report, sizeof report), 0);
+}
