@@ -1,0 +1,234 @@
+// ext_step_overlap — per-phase QD-step timing, serial vs pooled.
+//
+// The step scheduler (DCMESH_SCHED=pool) runs one QD step as a task graph
+// on the persistent work-stealing pool: remap_occ's B panel is prepacked
+// concurrently with nlp_prop's compute, independent mesh kernels and the
+// remap moments run on idle workers, and the checkpoint sealer is double
+// buffered off the critical path.  This bench times each phase at the
+// Table VII remap_occ shape (m = nocc, n = norb - nocc, k = ngrid at the
+// scaled 16^3 mesh) and the whole step end to end under both schedulers,
+// emitting BENCH_step.json rows (bench_json schema v2; the sched mode and
+// per-op milliseconds ride in each row's note).
+//
+// All rows are honest measurements on the machine at hand: on a single
+// hardware thread the pooled step pays the graph overhead without the
+// parallel win — the speedup column is only meaningful on multi-core.
+
+#include <algorithm>
+#include <chrono>
+#include <complex>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "dcmesh/blas/prepack.hpp"
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/common/matrix.hpp"
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/core/checkpoint.hpp"
+#include "dcmesh/core/driver.hpp"
+#include "dcmesh/core/presets.hpp"
+#include "dcmesh/lfd/hamiltonian.hpp"
+#include "dcmesh/lfd/remap_occ.hpp"
+#include "dcmesh/mesh/grid.hpp"
+#include "dcmesh/sched/config.hpp"
+
+namespace {
+
+using namespace dcmesh;
+using C = std::complex<float>;
+
+constexpr const char* kStepJsonDefaultPath = "BENCH_step.json";
+
+// Table VII structure at the scaled mesh: (nocc, norb - nocc, ngrid).
+constexpr std::size_t kMesh = 16;
+constexpr std::size_t kNgrid = kMesh * kMesh * kMesh;
+constexpr std::size_t kNorb = 32;
+constexpr std::size_t kNocc = 16;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Time `op` repeatedly until ~80 ms have elapsed; returns ms per call.
+template <typename Fn>
+double time_ms(Fn&& op) {
+  op();  // warm (first-touch allocations, pool spin-up)
+  int reps = 0;
+  const double start = now_s();
+  double elapsed = 0.0;
+  do {
+    op();
+    ++reps;
+    elapsed = now_s() - start;
+  } while (elapsed < 0.08 && reps < 1000);
+  return elapsed * 1e3 / reps;
+}
+
+matrix<C> random_matrix(std::size_t rows, std::size_t cols,
+                        std::uint64_t seed) {
+  xoshiro256 rng(seed);
+  matrix<C> m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = {static_cast<float>(rng.uniform(-1, 1)),
+                   static_cast<float>(rng.uniform(-1, 1))};
+  }
+  return m;
+}
+
+const char* sched_label(bool pooled) { return pooled ? "pool:3" : "serial"; }
+
+void use_sched(bool pooled) {
+  if (pooled) {
+    sched::configure(sched::sched_mode::pool, 3);
+  } else {
+    sched::configure(sched::sched_mode::serial);
+  }
+}
+
+bench::bench_gemm_row phase_row(const char* phase, long long m, long long n,
+                                long long k, bool pooled, double ms) {
+  bench::bench_gemm_row row;
+  row.routine = phase;
+  row.m = m;
+  row.n = n;
+  row.k = k;
+  row.mode = "STANDARD";
+  row.err_ulp = 0.0;
+  row.source = "measured";
+  char note[96];
+  std::snprintf(note, sizeof(note), "sched=%s ms=%.4f", sched_label(pooled),
+                ms);
+  row.note = note;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  // This bench's artifact is the step breakdown, not the GEMM table:
+  // default to BENCH_step.json unless the caller overrides.
+  if (!env_get(bench::kBenchJsonEnvVar)) {
+    env_set(bench::kBenchJsonEnvVar, kStepJsonDefaultPath);
+  }
+  bench::bench_json_writer writer("ext_step_overlap");
+
+  std::printf("ext_step_overlap — QD-step phase timing, serial vs pooled\n");
+  std::printf("remap_occ shape (Table VII structure): m=%zu n=%zu k=%zu\n\n",
+              kNocc, kNorb - kNocc, kNgrid);
+
+  const matrix<C> psi0 = random_matrix(kNgrid, kNorb, 0xA1);
+  const matrix<C> psi = random_matrix(kNgrid, kNorb, 0xB2);
+  const std::vector<double> occ(kNorb, 1.0);
+  const double dv = 1.0 / static_cast<double>(kNgrid);
+  const std::size_t nunocc = kNorb - kNocc;
+
+  // --- phase: pack_b — prepacking remap_occ's B panel (the work the
+  // pooled step overlaps with nlp_prop's compute).
+  for (const bool pooled : {false, true}) {
+    use_sched(pooled);
+    const double ms = time_ms([&] {
+      blas::clear_prepacked();
+      blas::prepack_b<C>(blas::transpose::none, kNgrid, nunocc,
+                         psi0.data() + kNocc * kNgrid, kNgrid);
+    });
+    blas::clear_prepacked();
+    std::printf("  pack_b        %-8s %8.4f ms\n", sched_label(pooled), ms);
+    writer.add(phase_row("pack_b", (long long)kNocc, (long long)nunocc,
+                         (long long)kNgrid, pooled, ms));
+  }
+
+  // --- phase: compute — the remap_occ overlap GEMM itself, cold pack vs
+  // consuming a prepacked panel (the per-call saving the overlap buys).
+  {
+    matrix<C> s(kNocc, nunocc);
+    use_sched(false);
+    const double cold_ms = time_ms([&] {
+      blas::clear_prepacked();
+      lfd::remap_overlap<float>(psi0, psi, kNocc, dv, s);
+    });
+    const double packed_ms = time_ms([&] {
+      blas::prepack_b<C>(blas::transpose::none, kNgrid, nunocc,
+                         psi0.data() + kNocc * kNgrid, kNgrid);
+      lfd::remap_overlap<float>(psi0, psi, kNocc, dv, s);
+    });
+    blas::clear_prepacked();
+    std::printf("  remap_overlap cold    %8.4f ms   prepack+gemm %8.4f ms\n",
+                cold_ms, packed_ms);
+    auto cold = phase_row("remap_overlap", (long long)kNocc,
+                          (long long)nunocc, (long long)kNgrid, false,
+                          cold_ms);
+    cold.note += " pack=cold";
+    writer.add(cold);
+    auto packed = phase_row("remap_overlap", (long long)kNocc,
+                            (long long)nunocc, (long long)kNgrid, false,
+                            packed_ms);
+    packed.note += " pack=prepacked";
+    writer.add(packed);
+  }
+
+  // --- phase: mesh — the kinetic stencil over all orbitals (the column
+  // loop rides the scheduler's injected worker team).
+  {
+    const mesh::grid3d grid = mesh::grid3d::cubic(kMesh, 1.0);
+    std::vector<double> v_loc(kNgrid, 0.1);
+    const lfd::hamiltonian<float> h(grid, mesh::fd_order::fourth,
+                                    std::move(v_loc), 0);
+    matrix<C> out(kNgrid, kNorb);
+    for (const bool pooled : {false, true}) {
+      use_sched(pooled);
+      const double ms =
+          time_ms([&] { h.apply_kinetic(psi.view(), out.view()); });
+      std::printf("  apply_kinetic %-8s %8.4f ms\n", sched_label(pooled),
+                  ms);
+      writer.add(phase_row("apply_kinetic", (long long)kNgrid,
+                           (long long)kNorb, 0, pooled, ms));
+    }
+  }
+
+  // --- phase: checkpoint — payload serialization (always synchronous)
+  // and the seal (checksum + framing; the part the pool double-buffers).
+  {
+    use_sched(false);
+    core::driver d(core::preset(core::paper_system::tiny));
+    std::string payload;
+    const double ser_ms =
+        time_ms([&] { payload = core::serialize_checkpoint_payload(d); });
+    std::string blob;
+    const double seal_ms =
+        time_ms([&] { blob = core::seal_checkpoint(payload); });
+    std::printf("  checkpoint    serialize %8.4f ms   seal %8.4f ms\n",
+                ser_ms, seal_ms);
+    auto ser = phase_row("checkpoint_serialize", (long long)payload.size(),
+                         0, 0, false, ser_ms);
+    writer.add(ser);
+    auto seal = phase_row("checkpoint_seal", (long long)blob.size(), 0, 0,
+                          false, seal_ms);
+    seal.note += " double-buffered-under-pool";
+    writer.add(seal);
+  }
+
+  // --- whole step: tiny-preset driver, serial oracle vs pooled graph.
+  double serial_ms = 0.0, pooled_ms = 0.0;
+  for (const bool pooled : {false, true}) {
+    use_sched(pooled);
+    core::driver d(core::preset(core::paper_system::tiny));
+    const double ms = time_ms([&] { (void)d.qd_step(); });
+    (pooled ? pooled_ms : serial_ms) = ms;
+    std::printf("  qd_step       %-8s %8.4f ms\n", sched_label(pooled), ms);
+    auto row = phase_row("qd_step", 0, 0, 0, pooled, ms);
+    row.gflops = 1e3 / ms;  // steps per second
+    writer.add(row);
+  }
+  std::printf("\nwhole-step pooled/serial ratio: %.3f "
+              "(<1 means the pooled step is faster; expect >=1 on a single "
+              "hardware thread)\n",
+              pooled_ms / serial_ms);
+
+  sched::reset_for_testing();
+  writer.write();
+  return 0;
+}

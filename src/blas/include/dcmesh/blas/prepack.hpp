@@ -1,0 +1,48 @@
+#pragma once
+// prepack.hpp — ahead-of-time B-operand packing for pack/compute overlap.
+//
+// prepack_b() packs op(B) into the blocked GEMM core's panel layout and
+// parks the result in a process-wide cache keyed by the exact call
+// signature (pointer, ldb, op, k, n, element type).  The next matching
+// GEMM consumes the panels (one-shot) instead of packing inline — the
+// step scheduler runs prepack_b for call k+1 as a graph node concurrent
+// with call k's compute.
+//
+// Correctness contract: the operand bytes must be final at prepack time
+// and unchanged until the consuming GEMM — the engine only prepacks
+// operands frozen for the whole step (remap_occ's psi0 block).  Consumed
+// or not, panels never alter results: pack_b is deterministic, so the
+// prepacked bytes are identical to what the inline pack would produce.
+
+#include <complex>
+#include <cstddef>
+
+#include "dcmesh/blas/blas.hpp"
+
+namespace dcmesh::blas {
+
+/// Pack op(B) (k x n after op) ahead of time for a future GEMM with this
+/// exact (b, ldb, transb, k, n, element type) signature.  Thread-safe;
+/// replaces any previous entry with the same signature.  No-op for empty
+/// shapes.
+template <typename T>
+void prepack_b(transpose transb, blas_int k, blas_int n, const T* b,
+               blas_int ldb);
+
+extern template void prepack_b<float>(transpose, blas_int, blas_int,
+                                      const float*, blas_int);
+extern template void prepack_b<double>(transpose, blas_int, blas_int,
+                                       const double*, blas_int);
+extern template void prepack_b<std::complex<float>>(
+    transpose, blas_int, blas_int, const std::complex<float>*, blas_int);
+extern template void prepack_b<std::complex<double>>(
+    transpose, blas_int, blas_int, const std::complex<double>*, blas_int);
+
+/// Drop every unconsumed prepacked panel (the engine calls this at step
+/// end so stale pointers can never match a future operand by accident).
+void clear_prepacked();
+
+/// Number of unconsumed prepacked entries (tests, metrics).
+[[nodiscard]] std::size_t prepacked_count();
+
+}  // namespace dcmesh::blas

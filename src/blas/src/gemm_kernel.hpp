@@ -15,12 +15,15 @@
 #include <algorithm>
 #include <cassert>
 #include <complex>
+#include <memory>
 #include <stdexcept>
 #include <type_traits>
 
 #include "dcmesh/blas/blas.hpp"
+#include "dcmesh/sched/config.hpp"
 #include "microkernel.hpp"
 #include "pack_arena.hpp"
+#include "prepack_cache.hpp"
 
 namespace dcmesh::blas::detail {
 
@@ -100,22 +103,18 @@ void pack_a(const T* a, blas_int lda, transpose op, blas_int row0,
 }
 
 /// Pack a kc x nc panel of op(B) into NR-wide strips, zero-padded to a
-/// multiple of NR columns.  With `parallel`, strips are packed by an
-/// OpenMP team once the panel clears the fork-cost crossover (strips are
-/// disjoint, so the packed bytes are identical either way).
+/// multiple of NR columns.  With `parallel`, strips are packed by the
+/// scheduler's worker team — the shared pool under DCMESH_SCHED=pool,
+/// an OpenMP team otherwise — once the panel clears the fork-cost
+/// crossover (strips are disjoint, so the packed bytes are identical no
+/// matter which thread packs which strip).
 template <typename T>
 void pack_b(const T* b, blas_int ldb, transpose op, blas_int row0,
             blas_int col0, blas_int kc, blas_int nc, T* packed,
             bool parallel = false) {
   constexpr int nr = micro_tile<T>::nr;
   const blas_int strips = (nc + nr - 1) / nr;
-#if defined(DCMESH_HAVE_OPENMP)
-#pragma omp parallel for schedule(static) \
-    if (parallel && kc * nc >= kPackParallelMinElems)
-#else
-  (void)parallel;
-#endif
-  for (blas_int s = 0; s < strips; ++s) {
+  const auto pack_strip = [&](blas_int s) {
     T* dst = packed + s * (kc * nr);
     const blas_int j0 = s * nr;
     const int cols = static_cast<int>(std::min<blas_int>(nr, nc - j0));
@@ -125,6 +124,12 @@ void pack_b(const T* b, blas_int ldb, transpose op, blas_int row0,
       }
       for (int j = cols; j < nr; ++j) dst[p * nr + j] = T(0);
     }
+  };
+  if (parallel && kc * nc >= kPackParallelMinElems && strips > 1) {
+    sched::team_parallel_for(strips, /*dynamic_chunks=*/false,
+                             [&](long s) { pack_strip(s); });
+  } else {
+    for (blas_int s = 0; s < strips; ++s) pack_strip(s);
   }
 }
 
@@ -192,14 +197,32 @@ void gemm_blocked_accumulate(transpose transa, transpose transb, blas_int m,
   constexpr int nr = micro_tile<T>::nr;
   const micro_kernel_fn<T> kernel = select_micro_kernel<T>();
 
+  // Panels packed ahead of time by the step scheduler (pack/compute
+  // overlap): consume them instead of packing inline.  One relaxed load
+  // when the cache is empty — the common case costs nothing.
+  std::shared_ptr<const prepacked_b_panels> pre;
+  if (!prepack_cache_empty()) {
+    pre = take_prepacked(b, ldb, static_cast<int>(transb), k, n,
+                         prepack_type_tag<T>());
+  }
+
   for (blas_int jc = 0; jc < n; jc += kBlockN) {
     const blas_int nc = std::min<blas_int>(kBlockN, n - jc);
     const blas_int n_strips = (nc + nr - 1) / nr;
     for (blas_int pc = 0; pc < k; pc += kBlockK) {
       const blas_int kc = std::min<blas_int>(kBlockK, k - pc);
-      T* bp = pack_arena::for_thread().template acquire<T>(
-          kArenaSlotB, static_cast<std::size_t>(n_strips) * kc * nr);
-      pack_b(b, ldb, transb, pc, jc, kc, nc, bp, /*parallel=*/true);
+      const T* bp;
+      if (pre) {
+        // Bit-identical to the inline pack_b below: same routine, same
+        // layout, operand frozen since prepack time (the contract in
+        // dcmesh/blas/prepack.hpp).
+        bp = pre->template panel<T>(jc / kBlockN, pc / kBlockK);
+      } else {
+        T* bp_mut = pack_arena::for_thread().template acquire<T>(
+            kArenaSlotB, static_cast<std::size_t>(n_strips) * kc * nr);
+        pack_b(b, ldb, transb, pc, jc, kc, nc, bp_mut, /*parallel=*/true);
+        bp = bp_mut;
+      }
 
       const blas_int ic_blocks = (m + kBlockM - 1) / kBlockM;
       const auto process_block = [&](blas_int ib) {
@@ -224,19 +247,16 @@ void gemm_blocked_accumulate(transpose transa, transpose transb, blas_int m,
           }
         }
       };
-      // Past the crossover, dynamic scheduling absorbs edge-block and
-      // system-noise imbalance; below it, static assignment is cheaper.
-      if (ic_blocks >= kIcDynamicCrossover) {
-#if defined(DCMESH_HAVE_OPENMP)
-#pragma omp parallel for schedule(dynamic)
-#endif
-        for (blas_int ib = 0; ib < ic_blocks; ++ib) process_block(ib);
-      } else {
-#if defined(DCMESH_HAVE_OPENMP)
-#pragma omp parallel for schedule(static)
-#endif
-        for (blas_int ib = 0; ib < ic_blocks; ++ib) process_block(ib);
-      }
+      // The ic sweep runs on the scheduler's worker team (the shared
+      // pool under DCMESH_SCHED=pool — so inter-node graph parallelism
+      // and intra-GEMM parallelism use one thread set — an OpenMP team
+      // otherwise).  Past the crossover, dynamic scheduling absorbs
+      // edge-block and system-noise imbalance; below it, static
+      // assignment is cheaper.
+      sched::team_parallel_for(ic_blocks,
+                               /*dynamic_chunks=*/ic_blocks >=
+                                   kIcDynamicCrossover,
+                               [&](long ib) { process_block(ib); });
     }
   }
 }

@@ -1,0 +1,159 @@
+#include "dcmesh/blas/prepack.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "dcmesh/trace/metrics.hpp"
+#include "dcmesh/trace/tracer.hpp"
+#include "gemm_kernel.hpp"
+#include "prepack_cache.hpp"
+
+namespace dcmesh::blas {
+
+namespace detail {
+
+namespace {
+
+struct cache_key {
+  const void* b = nullptr;
+  blas_int ldb = 0;
+  int op = 0;
+  blas_int k = 0;
+  blas_int n = 0;
+  int tag = 0;
+
+  bool operator==(const cache_key&) const = default;
+};
+
+struct cache_entry {
+  cache_key key;
+  std::shared_ptr<const prepacked_b_panels> panels;
+};
+
+std::mutex g_mutex;
+std::vector<cache_entry> g_entries;          // tiny (a handful per step)
+std::atomic<std::size_t> g_count{0};         // mirrors g_entries.size()
+
+}  // namespace
+
+bool prepack_cache_empty() noexcept {
+  return g_count.load(std::memory_order_relaxed) == 0;
+}
+
+std::shared_ptr<const prepacked_b_panels> take_prepacked(const void* b,
+                                                         blas_int ldb, int op,
+                                                         blas_int k,
+                                                         blas_int n, int tag) {
+  const cache_key key{b, ldb, op, k, n, tag};
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (auto it = g_entries.begin(); it != g_entries.end(); ++it) {
+    if (it->key == key) {
+      auto panels = std::move(it->panels);
+      g_entries.erase(it);
+      g_count.store(g_entries.size(), std::memory_order_relaxed);
+      return panels;
+    }
+  }
+  return nullptr;
+}
+
+void publish_prepacked(const void* b, blas_int ldb, int op, blas_int k,
+                       blas_int n, int tag,
+                       std::shared_ptr<const prepacked_b_panels> panels) {
+  const cache_key key{b, ldb, op, k, n, tag};
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (cache_entry& entry : g_entries) {
+    if (entry.key == key) {
+      entry.panels = std::move(panels);
+      return;
+    }
+  }
+  g_entries.push_back(cache_entry{key, std::move(panels)});
+  g_count.store(g_entries.size(), std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+template <typename T>
+void prepack_b(transpose transb, blas_int k, blas_int n, const T* b,
+               blas_int ldb) {
+  using detail::kBlockK;
+  using detail::kBlockN;
+  if (k <= 0 || n <= 0 || b == nullptr) return;
+
+  trace::span sp("blas/prepack_b", "sched");
+  sp.arg("k", std::int64_t{k});
+  sp.arg("n", std::int64_t{n});
+
+  constexpr int nr = detail::micro_tile<T>::nr;
+  const blas_int jc_blocks = (n + kBlockN - 1) / kBlockN;
+  const blas_int pc_blocks = (k + kBlockK - 1) / kBlockK;
+
+  auto panels = std::make_shared<detail::prepacked_b_panels>();
+  panels->pc_blocks = pc_blocks;
+  panels->offsets.resize(
+      static_cast<std::size_t>(jc_blocks) * pc_blocks);
+
+  // First pass: sizes.  Same (jc, pc) walk as gemm_blocked_accumulate.
+  std::size_t total = 0;
+  for (blas_int jb = 0; jb < jc_blocks; ++jb) {
+    const blas_int jc = jb * kBlockN;
+    const blas_int nc = std::min<blas_int>(kBlockN, n - jc);
+    const blas_int n_strips = (nc + nr - 1) / nr;
+    for (blas_int pb = 0; pb < pc_blocks; ++pb) {
+      const blas_int pc = pb * kBlockK;
+      const blas_int kc = std::min<blas_int>(kBlockK, k - pc);
+      panels->offsets[static_cast<std::size_t>(jb) * pc_blocks + pb] = total;
+      total += static_cast<std::size_t>(n_strips) * kc * nr;
+    }
+  }
+
+  std::shared_ptr<T[]> storage(new T[total]);
+  panels->base = storage.get();
+  panels->storage = std::move(storage);
+
+  // Second pass: pack.  pack_b is the very routine the inline path runs,
+  // so the panel bytes are bit-identical to an inline pack; its internal
+  // team sweep shares the scheduler's worker set.
+  T* base = static_cast<T*>(const_cast<void*>(panels->base));
+  for (blas_int jb = 0; jb < jc_blocks; ++jb) {
+    const blas_int jc = jb * kBlockN;
+    const blas_int nc = std::min<blas_int>(kBlockN, n - jc);
+    for (blas_int pb = 0; pb < pc_blocks; ++pb) {
+      const blas_int pc = pb * kBlockK;
+      const blas_int kc = std::min<blas_int>(kBlockK, k - pc);
+      T* dst =
+          base + panels->offsets[static_cast<std::size_t>(jb) * pc_blocks + pb];
+      detail::pack_b(b, ldb, transb, pc, jc, kc, nc, dst, /*parallel=*/true);
+    }
+  }
+
+  detail::publish_prepacked(b, ldb, static_cast<int>(transb), k, n,
+                            detail::prepack_type_tag<T>(),
+                            std::move(panels));
+  trace::record_sched_counter("prepacks");
+}
+
+template void prepack_b<float>(transpose, blas_int, blas_int, const float*,
+                               blas_int);
+template void prepack_b<double>(transpose, blas_int, blas_int, const double*,
+                                blas_int);
+template void prepack_b<std::complex<float>>(transpose, blas_int, blas_int,
+                                             const std::complex<float>*,
+                                             blas_int);
+template void prepack_b<std::complex<double>>(transpose, blas_int, blas_int,
+                                              const std::complex<double>*,
+                                              blas_int);
+
+void clear_prepacked() {
+  std::lock_guard<std::mutex> lock(detail::g_mutex);
+  detail::g_entries.clear();
+  detail::g_count.store(0, std::memory_order_relaxed);
+}
+
+std::size_t prepacked_count() {
+  return detail::g_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace dcmesh::blas

@@ -1,0 +1,70 @@
+#pragma once
+// prepack_cache.hpp — internal registry of B operands packed ahead of time.
+//
+// The step scheduler overlaps pack_b of call k+1 with compute of call k:
+// a graph node calls blas::prepack_b() on an operand whose bytes are
+// already final (remap_occ's psi0_unocc block is frozen all step), the
+// panels land here, and the next gemm_blocked_accumulate whose (pointer,
+// ldb, op, k, n, type) matches consumes them instead of packing inline.
+//
+// Entries are one-shot: take_prepacked() removes the entry, so a repeated
+// call (accuracy-guard promotion re-run, fault-injection replay) packs
+// inline again from the live operand — identical bytes, because pack_b is
+// deterministic and the operand is frozen.  The engine clears the cache at
+// step end; a missed consume is a small memory waste, never a wrong
+// answer.
+//
+// Panel layout is EXACTLY gemm_blocked_accumulate's arena layout — for
+// each (jc, pc) cache block, n_strips NR-wide strips of kc elements,
+// zero-padded — so consuming a prepacked panel changes which buffer the
+// microkernel reads, not a single byte of what it reads.
+
+#include <atomic>
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "dcmesh/blas/blas.hpp"
+
+namespace dcmesh::blas::detail {
+
+/// Distinguishes the four element types in the registry key.
+template <typename T>
+constexpr int prepack_type_tag() noexcept {
+  if constexpr (std::is_same_v<T, float>) return 0;
+  else if constexpr (std::is_same_v<T, double>) return 1;
+  else if constexpr (std::is_same_v<T, std::complex<float>>) return 2;
+  else return 3;
+}
+
+/// Packed panels of one B operand, laid out per (jc, pc) cache block.
+struct prepacked_b_panels {
+  blas_int pc_blocks = 0;           ///< K-dimension block count.
+  std::vector<std::size_t> offsets;  ///< [jc_idx * pc_blocks + pc_idx]
+  std::shared_ptr<void> storage;     ///< element array, element type T
+  const void* base = nullptr;        ///< == storage.get()
+
+  template <typename T>
+  [[nodiscard]] const T* panel(blas_int jc_idx, blas_int pc_idx) const {
+    return static_cast<const T*>(base) +
+           offsets[static_cast<std::size_t>(jc_idx) * pc_blocks + pc_idx];
+  }
+};
+
+/// True when no prepacked entry exists (one relaxed load — the fast path
+/// for the overwhelmingly common non-prepacked GEMM).
+[[nodiscard]] bool prepack_cache_empty() noexcept;
+
+/// Remove and return the entry matching this exact call signature, or
+/// nullptr.  `op` is the transpose enum value, `tag` prepack_type_tag<T>.
+[[nodiscard]] std::shared_ptr<const prepacked_b_panels> take_prepacked(
+    const void* b, blas_int ldb, int op, blas_int k, blas_int n, int tag);
+
+/// Insert (replacing any same-key entry).
+void publish_prepacked(const void* b, blas_int ldb, int op, blas_int k,
+                       blas_int n, int tag,
+                       std::shared_ptr<const prepacked_b_panels> panels);
+
+}  // namespace dcmesh::blas::detail

@@ -21,6 +21,7 @@
 #include "dcmesh/qxmd/shadow.hpp"
 #include "dcmesh/qxmd/verlet.hpp"
 #include "dcmesh/resil/checkpoint_ring.hpp"
+#include "dcmesh/sched/pool.hpp"
 #include "dcmesh/trace/unitrace.hpp"
 
 namespace dcmesh::core {
@@ -120,8 +121,13 @@ class driver {
       std::size_t series_start_record);
 
   /// Restore the newest ring checkpoint in place and truncate records()
-  /// back to the checkpoint point.
+  /// back to the checkpoint point.  Quiesces the step scheduler's pool
+  /// first: no in-flight task may touch engine state across a restore.
   void rollback_to_ring();
+
+  /// Join the double-buffered checkpoint sealer, if one is in flight.
+  /// Must run before any ring_ access and before run_series returns.
+  void wait_pending_checkpoint();
 
   run_config config_;
   mesh::grid3d grid_;
@@ -136,6 +142,11 @@ class driver {
       engine_;
   std::vector<lfd::qd_record> records_;
   resil::checkpoint_ring ring_{4};  ///< Rollback targets (newest wins).
+  /// Double-buffered checkpoint sealer: under DCMESH_SCHED=pool the
+  /// checksum/framing of the series checkpoint runs as a pool job
+  /// overlapped with the series' QD steps; every ring_ access joins it
+  /// first (a default-constructed job is already done).
+  sched::job pending_checkpoint_;
   resilience_stats resil_stats_;
   std::uint64_t series_index_ = 0;  ///< Completed series (ring labels).
 };

@@ -37,4 +37,36 @@ template <typename R>
                                         std::span<const double> occ,
                                         double dv);
 
+// --- stage entry points -------------------------------------------------
+// calc_energy() composes exactly these four stages.  The task-graph step
+// executor runs them as separate DAG nodes (kinetic/local/nonlocal are
+// mutually independent; band_rotation needs kinetic's T matrix), sharing
+// this one implementation with the serial wrapper.
+
+/// Stencil K*Psi + BLAS call 4 (T = dv * Psi^H K Psi) + diagonal
+/// contraction.  `t` must be norb x norb; returns ekin.
+template <typename R>
+double energy_kinetic(const hamiltonian<R>& h,
+                      const matrix<std::complex<R>>& psi,
+                      std::span<const double> occ, double dv,
+                      matrix<std::complex<R>>& t);
+
+/// Local potential energy (mesh reduction, no BLAS).
+template <typename R>
+[[nodiscard]] double energy_local(const hamiltonian<R>& h,
+                                  const matrix<std::complex<R>>& psi,
+                                  std::span<const double> occ, double dv);
+
+/// BLAS call 5 (M = G^H W, W = Lambda G) + diagonal; returns enl.
+template <typename R>
+[[nodiscard]] double energy_nonlocal(const matrix<std::complex<R>>& g,
+                                     double lambda_nl,
+                                     std::span<const double> occ);
+
+/// BLAS call 6 (U = T G) + contraction; returns eband_rot.
+template <typename R>
+[[nodiscard]] double energy_band_rotation(const matrix<std::complex<R>>& t,
+                                          const matrix<std::complex<R>>& g,
+                                          std::span<const double> occ);
+
 }  // namespace dcmesh::lfd

@@ -30,6 +30,10 @@
 #include "dcmesh/qxmd/atoms.hpp"
 #include "dcmesh/qxmd/scf.hpp"
 
+namespace dcmesh::sched {
+class thread_pool;
+}
+
 namespace dcmesh::lfd {
 
 /// Local-propagator family.
@@ -124,6 +128,14 @@ class lfd_engine {
   /// constructed with the same grid/norb (sizes are validated); throws
   /// std::runtime_error on mismatch or truncated input.
   void load_state(std::istream& is);
+
+  /// Advance one QD step and return its observables.  qd_step() routes
+  /// here when DCMESH_SCHED selects the pool: the step's BLAS stages and
+  /// mesh kernels run as a dependency DAG on the persistent pool, with
+  /// remap_occ's B panel prepacked concurrently with nlp_prop's compute.
+  /// Bit-identical to the serial path (every node writes disjoint
+  /// outputs; every edge orders writer before reader).
+  qd_record qd_step_pooled(sched::thread_pool& pool);
 
  private:
   void propagate_local(double a_mid);

@@ -41,4 +41,32 @@ template <typename R>
                                      matrix<std::complex<R>>& psi,
                                      std::complex<double> c, double dv);
 
+// --- stage entry points -------------------------------------------------
+// nlp_prop() is exactly the composition of these four stages, in order.
+// The task-graph step executor runs them as separate DAG nodes (subspace
+// may overlap project; renormalize waits on project), so they are exposed
+// here; keeping ONE implementation is what makes the pooled schedule
+// bit-identical to the serial wrapper.
+
+/// BLAS call 1: g = dv * Psi0^H Psi(t).  `g` must be norb x norb.
+template <typename R>
+void nlp_overlap(const matrix<std::complex<R>>& psi0,
+                 const matrix<std::complex<R>>& psi, double dv,
+                 matrix<std::complex<R>>& g);
+
+/// BLAS call 2: Psi += c * Psi0 * g  (in place).
+template <typename R>
+void nlp_project(const matrix<std::complex<R>>& psi0,
+                 const matrix<std::complex<R>>& g, std::complex<double> c,
+                 matrix<std::complex<R>>& psi);
+
+/// BLAS call 3 + diagonal extraction: weight_j = (g^H g)_jj.
+template <typename R>
+[[nodiscard]] std::vector<double> nlp_subspace(
+    const matrix<std::complex<R>>& g);
+
+/// Column renormalization (level-1 BLAS); returns max |norm - 1|.
+template <typename R>
+double nlp_renormalize(matrix<std::complex<R>>& psi, double dv);
+
 }  // namespace dcmesh::lfd

@@ -38,4 +38,36 @@ template <typename R>
                                      std::span<const double> occ,
                                      std::size_t nocc, double dv);
 
+// --- stage entry points -------------------------------------------------
+// remap_occ() composes exactly these four stages.  The task-graph step
+// executor runs them as separate DAG nodes (moment1/population both fan
+// out from overlap; moment2 chains after moment1), sharing this one
+// implementation with the serial wrapper.
+
+/// BLAS call 7 (Table VII's GEMM): s = dv * Psi_occ^H(t) * Psi0_unocc.
+/// `s` must be nocc x (norb - nocc).
+template <typename R>
+void remap_overlap(const matrix<std::complex<R>>& psi0,
+                   const matrix<std::complex<R>>& psi, std::size_t nocc,
+                   double dv, matrix<std::complex<R>>& s);
+
+/// BLAS call 8 (O = S S^H) + diagonal; `o` must be nocc x nocc.
+/// Returns nexc.
+template <typename R>
+double remap_moment1(const matrix<std::complex<R>>& s,
+                     std::span<const double> occ,
+                     matrix<std::complex<R>>& o);
+
+/// BLAS call 9 (Rmat = S^H O) + contraction; returns the second-order
+/// excitation moment.
+template <typename R>
+[[nodiscard]] double remap_moment2(const matrix<std::complex<R>>& s,
+                                   const matrix<std::complex<R>>& o,
+                                   std::span<const double> occ);
+
+/// Per-unoccupied-orbital population (level-1 work on S); sums to nexc.
+template <typename R>
+[[nodiscard]] std::vector<double> remap_population(
+    const matrix<std::complex<R>>& s, std::span<const double> occ);
+
 }  // namespace dcmesh::lfd

@@ -6,31 +6,37 @@
 namespace dcmesh::lfd {
 
 template <typename R>
-energy_report calc_energy(const hamiltonian<R>& h,
-                          const matrix<std::complex<R>>& psi,
-                          const matrix<std::complex<R>>& g, double lambda_nl,
-                          std::span<const double> occ, double dv) {
-  trace::span span("lfd/calc_energy", "lfd");
+double energy_kinetic(const hamiltonian<R>& h,
+                      const matrix<std::complex<R>>& psi,
+                      std::span<const double> occ, double dv,
+                      matrix<std::complex<R>>& t) {
   using C = std::complex<R>;
   const std::size_t ngrid = psi.rows();
   const std::size_t norb = psi.cols();
-
-  energy_report report;
-
   // K Psi via the stencil, then BLAS call 4:
   // T = dv * Psi^H (K Psi)   (norb x norb, k = ngrid)
   matrix<C> kpsi(ngrid, norb);
   h.apply_kinetic(psi.view(), kpsi.view());
-  matrix<C> t(norb, norb);
   blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none,
                 C(static_cast<R>(dv)), psi.view(), kpsi.view(), C(0),
                 t.view(), "lfd/calc_energy/kinetic");
+  double ekin = 0.0;
   for (std::size_t j = 0; j < norb; ++j) {
-    report.ekin += occ[j] * static_cast<double>(t(j, j).real());
+    ekin += occ[j] * static_cast<double>(t(j, j).real());
   }
+  return ekin;
+}
 
+template <typename R>
+double energy_local(const hamiltonian<R>& h,
+                    const matrix<std::complex<R>>& psi,
+                    std::span<const double> occ, double dv) {
+  using C = std::complex<R>;
+  const std::size_t ngrid = psi.rows();
+  const std::size_t norb = psi.cols();
   // Local potential energy: mesh reduction (not BLASified in DCMESH).
   const std::span<const R> v = h.potential();
+  double epot = 0.0;
   for (std::size_t j = 0; j < norb; ++j) {
     if (occ[j] == 0.0) continue;
     const C* col = psi.data() + j * ngrid;
@@ -41,9 +47,16 @@ energy_report calc_energy(const hamiltonian<R>& h,
           static_cast<double>(col[gidx].imag()) * col[gidx].imag();
       e += static_cast<double>(v[gidx]) * density;
     }
-    report.epot += occ[j] * e * dv;
+    epot += occ[j] * e * dv;
   }
+  return epot;
+}
 
+template <typename R>
+double energy_nonlocal(const matrix<std::complex<R>>& g, double lambda_nl,
+                       std::span<const double> occ) {
+  using C = std::complex<R>;
+  const std::size_t norb = g.cols();
   // BLAS call 5: M = G^H * W with W = Lambda G (projector-strength row
   // scaling); E_nl = lambda_nl * sum_j f_j Re M_jj.  W's row scaling is a
   // level-1 operation; the contraction is the level-3 call.
@@ -59,15 +72,25 @@ energy_report calc_energy(const hamiltonian<R>& h,
   blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none, C(1),
                 g.view(), w.view(), C(0), m.view(),
                 "lfd/calc_energy/nonlocal");
+  double enl = 0.0;
   for (std::size_t j = 0; j < norb; ++j) {
-    report.enl += lambda_nl * occ[j] * static_cast<double>(m(j, j).real());
+    enl += lambda_nl * occ[j] * static_cast<double>(m(j, j).real());
   }
+  return enl;
+}
 
+template <typename R>
+double energy_band_rotation(const matrix<std::complex<R>>& t,
+                            const matrix<std::complex<R>>& g,
+                            std::span<const double> occ) {
+  using C = std::complex<R>;
+  const std::size_t norb = g.cols();
   // BLAS call 6: U = T * G; rotated band energy sum_j f_j Re[(G^H U)_jj]
   // evaluated as an element-wise contraction of G and U.
   matrix<C> u(norb, norb);
   blas::gemm<C>(blas::transpose::none, blas::transpose::none, C(1), t.view(),
                 g.view(), C(0), u.view(), "lfd/calc_energy/band_rot");
+  double eband_rot = 0.0;
   for (std::size_t j = 0; j < norb; ++j) {
     double acc = 0.0;
     for (std::size_t i = 0; i < norb; ++i) {
@@ -76,11 +99,53 @@ energy_report calc_energy(const hamiltonian<R>& h,
       acc += static_cast<double>(gij.real()) * uij.real() +
              static_cast<double>(gij.imag()) * uij.imag();
     }
-    report.eband_rot += occ[j] * acc;
+    eband_rot += occ[j] * acc;
   }
+  return eband_rot;
+}
+
+template <typename R>
+energy_report calc_energy(const hamiltonian<R>& h,
+                          const matrix<std::complex<R>>& psi,
+                          const matrix<std::complex<R>>& g, double lambda_nl,
+                          std::span<const double> occ, double dv) {
+  trace::span span("lfd/calc_energy", "lfd");
+  using C = std::complex<R>;
+  const std::size_t norb = psi.cols();
+
+  energy_report report;
+  matrix<C> t(norb, norb);
+  report.ekin = energy_kinetic<R>(h, psi, occ, dv, t);
+  report.epot = energy_local<R>(h, psi, occ, dv);
+  report.enl = energy_nonlocal<R>(g, lambda_nl, occ);
+  report.eband_rot = energy_band_rotation<R>(t, g, occ);
   return report;
 }
 
+template double energy_kinetic<float>(const hamiltonian<float>&,
+                                      const matrix<std::complex<float>>&,
+                                      std::span<const double>, double,
+                                      matrix<std::complex<float>>&);
+template double energy_kinetic<double>(const hamiltonian<double>&,
+                                       const matrix<std::complex<double>>&,
+                                       std::span<const double>, double,
+                                       matrix<std::complex<double>>&);
+template double energy_local<float>(const hamiltonian<float>&,
+                                    const matrix<std::complex<float>>&,
+                                    std::span<const double>, double);
+template double energy_local<double>(const hamiltonian<double>&,
+                                     const matrix<std::complex<double>>&,
+                                     std::span<const double>, double);
+template double energy_nonlocal<float>(const matrix<std::complex<float>>&,
+                                       double, std::span<const double>);
+template double energy_nonlocal<double>(const matrix<std::complex<double>>&,
+                                        double, std::span<const double>);
+template double energy_band_rotation<float>(
+    const matrix<std::complex<float>>&, const matrix<std::complex<float>>&,
+    std::span<const double>);
+template double energy_band_rotation<double>(
+    const matrix<std::complex<double>>&, const matrix<std::complex<double>>&,
+    std::span<const double>);
 template energy_report calc_energy<float>(const hamiltonian<float>&,
                                           const matrix<std::complex<float>>&,
                                           const matrix<std::complex<float>>&,

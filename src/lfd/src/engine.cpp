@@ -7,10 +7,15 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "dcmesh/blas/prepack.hpp"
 #include "dcmesh/common/aligned.hpp"
 #include "dcmesh/lfd/current.hpp"
 #include "dcmesh/mesh/stencil.hpp"
 #include "dcmesh/resil/health.hpp"
+#include "dcmesh/sched/config.hpp"
+#include "dcmesh/sched/pool.hpp"
+#include "dcmesh/sched/task_graph.hpp"
+#include "dcmesh/trace/tracer.hpp"
 
 namespace dcmesh::lfd {
 
@@ -150,6 +155,12 @@ qd_record lfd_engine<R>::measure(double a_now) {
 
 template <typename R>
 qd_record lfd_engine<R>::qd_step() {
+  if (sched::thread_pool* pool = sched::active_pool()) {
+    return qd_step_pooled(*pool);
+  }
+
+  // Serial path — the bit-exactness oracle the pooled schedule is locked
+  // against.  Every stage below is the same function the graph nodes run.
   const double a_mid = opt_.pulse.a(t_ + 0.5 * opt_.dt);
   propagate_local(a_mid);
 
@@ -163,6 +174,115 @@ qd_record lfd_engine<R>::qd_step() {
   t_ += opt_.dt;
   ++steps_;
   qd_record rec = measure(opt_.pulse.a(t_));
+  check_step_invariants(rec);
+  return rec;
+}
+
+template <typename R>
+qd_record lfd_engine<R>::qd_step_pooled(sched::thread_pool& pool) {
+  using C = std::complex<R>;
+  trace::span step_span("lfd/qd_step", "sched");
+
+  // Serial prologue: the local propagation's Taylor iterations are an
+  // inherently sequential recurrence (its stencil applications already
+  // run on the pool's worker team via team_parallel_for).
+  const double a_mid = opt_.pulse.a(t_ + 0.5 * opt_.dt);
+  propagate_local(a_mid);
+
+  const double t_next = t_ + opt_.dt;
+  const double a_now = opt_.pulse.a(t_next);
+  // Legacy order sets the measurement field before calc_energy; no graph
+  // node mutates h_, so setting it up front is the identical sequence.
+  h_.set_field(a_now);
+
+  const std::size_t ngrid = psi_.rows();
+  const std::size_t norb = psi_.cols();
+  const std::size_t nunocc = norb - nocc_;
+  const std::complex<double> c(0.0, -opt_.dt * opt_.v_nl);
+
+  // Stage outputs (locals so a failed step leaves members untouched
+  // except psi_/g_, exactly like the serial path).
+  matrix<C> t_mat(norb, norb);
+  matrix<C> s(nocc_, nunocc);
+  matrix<C> o(nocc_, nocc_);
+  double drift = 0.0, ekin = 0.0, epot = 0.0, enl = 0.0;
+  double nexc = 0.0, javg = 0.0;
+
+  // One QD step as a dependency DAG.  Edges order every writer before
+  // its readers: psi_ is written by project then renorm; g_ by overlap;
+  // t_mat by kinetic; s by remap/overlap; o by moment1.  remap_occ's B
+  // panel (psi0's unoccupied block — frozen all step) is prepacked
+  // concurrently with nlp_prop's compute: pack of call 7 hidden behind
+  // calls 1-6.
+  sched::task_graph graph("lfd/qd_step");
+  const auto prepack = graph.add("remap/prepack_b", [&] {
+    blas::prepack_b<C>(blas::transpose::none,
+                       static_cast<blas::blas_int>(ngrid),
+                       static_cast<blas::blas_int>(nunocc),
+                       psi0_.data() + nocc_ * ngrid,
+                       static_cast<blas::blas_int>(ngrid));
+  });
+  const auto overlap = graph.add(
+      "nlp/overlap", [&] { nlp_overlap<R>(psi0_, psi_, dv(), g_); });
+  const auto project = graph.add(
+      "nlp/project", [&] { nlp_project<R>(psi0_, g_, c, psi_); }, {overlap});
+  graph.add("nlp/subspace", [&] { (void)nlp_subspace<R>(g_); }, {overlap});
+  const auto renorm = graph.add(
+      "nlp/renorm", [&] { drift = nlp_renormalize<R>(psi_, dv()); },
+      {project});
+  const auto kinetic = graph.add(
+      "energy/kinetic",
+      [&] { ekin = energy_kinetic<R>(h_, psi_, occ_, dv(), t_mat); },
+      {renorm});
+  graph.add("energy/local",
+            [&] { epot = energy_local<R>(h_, psi_, occ_, dv()); }, {renorm});
+  graph.add("energy/nonlocal",
+            [&] { enl = energy_nonlocal<R>(g_, opt_.v_nl, occ_); },
+            {overlap});
+  graph.add("energy/band_rot",
+            [&] { (void)energy_band_rotation<R>(t_mat, g_, occ_); },
+            {kinetic});
+  const auto roverlap = graph.add(
+      "remap/overlap", [&] { remap_overlap<R>(psi0_, psi_, nocc_, dv(), s); },
+      {renorm, prepack});
+  const auto moment1 = graph.add(
+      "remap/moment1", [&] { nexc = remap_moment1<R>(s, occ_, o); },
+      {roverlap});
+  graph.add("remap/moment2", [&] { (void)remap_moment2<R>(s, o, occ_); },
+            {moment1});
+  graph.add("remap/population", [&] { (void)remap_population<R>(s, occ_); },
+            {roverlap});
+  graph.add("current",
+            [&] {
+              javg = current_density<R>(grid_, opt_.order,
+                                        h_.polarization_axis(), psi_, occ_,
+                                        a_now, dv());
+            },
+            {renorm});
+
+  try {
+    graph.run(&pool);
+  } catch (...) {
+    // Unconsumed panels must not outlive the step: a stale pointer match
+    // against a future operand would be silent corruption.
+    blas::clear_prepacked();
+    throw;
+  }
+  blas::clear_prepacked();
+
+  last_norm_drift_ = drift;
+  t_ += opt_.dt;
+  ++steps_;
+
+  qd_record rec;
+  rec.t = t_;
+  rec.ekin = ekin;
+  rec.epot = epot + enl;
+  rec.etot = ekin + epot + enl;
+  rec.eexc = rec.etot - eband0_;
+  rec.nexc = nexc;
+  rec.aext = std::abs(a_now);
+  rec.javg = javg;
   check_step_invariants(rec);
   return rec;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dcmesh/sched/config.hpp"
+
 namespace dcmesh::lfd {
 
 template <typename R>
@@ -43,24 +45,24 @@ void hamiltonian<R>::apply(const_matrix_view<std::complex<R>> psi,
   const R half_a2 = static_cast<R>(0.5 * a_field_ * a_field_);
   const C grad_coeff{0, -a};  // -i A d/dz
 
-#if defined(DCMESH_HAVE_OPENMP)
-#pragma omp parallel for schedule(static)
-#endif
-  for (std::size_t j = 0; j < norb; ++j) {
-    const C* in_col = psi.col(j);
-    C* out_col = out.col(j);
-    // Local potential + diamagnetic term first (overwrites out).
-    for (std::size_t g = 0; g < ngrid; ++g) {
-      out_col[g] = (v_[g] + half_a2) * in_col[g];
-    }
-    std::span<const C> in_span{in_col, ngrid};
-    std::span<C> out_span{out_col, ngrid};
-    mesh::add_kinetic<R>(grid_, order_, in_span, C(1), out_span);
-    if (a != R(0)) {
-      mesh::add_gradient<R>(grid_, order_, axis_, in_span, grad_coeff,
-                            out_span);
-    }
-  }
+  // Columns are independent; the sweep runs on the scheduler's worker
+  // team (the shared pool under DCMESH_SCHED=pool, OpenMP otherwise).
+  sched::team_parallel_for(
+      static_cast<long>(norb), /*dynamic_chunks=*/false, [&](long j) {
+        const C* in_col = psi.col(static_cast<std::size_t>(j));
+        C* out_col = out.col(static_cast<std::size_t>(j));
+        // Local potential + diamagnetic term first (overwrites out).
+        for (std::size_t g = 0; g < ngrid; ++g) {
+          out_col[g] = (v_[g] + half_a2) * in_col[g];
+        }
+        std::span<const C> in_span{in_col, ngrid};
+        std::span<C> out_span{out_col, ngrid};
+        mesh::add_kinetic<R>(grid_, order_, in_span, C(1), out_span);
+        if (a != R(0)) {
+          mesh::add_gradient<R>(grid_, order_, axis_, in_span, grad_coeff,
+                                out_span);
+        }
+      });
 }
 
 template <typename R>
@@ -69,16 +71,14 @@ void hamiltonian<R>::apply_kinetic(const_matrix_view<std::complex<R>> psi,
   using C = std::complex<R>;
   const std::size_t ngrid = psi.rows;
   const std::size_t norb = psi.cols;
-#if defined(DCMESH_HAVE_OPENMP)
-#pragma omp parallel for schedule(static)
-#endif
-  for (std::size_t j = 0; j < norb; ++j) {
-    const C* in_col = psi.col(j);
-    C* out_col = out.col(j);
-    std::fill_n(out_col, ngrid, C(0));
-    mesh::add_kinetic<R>(grid_, order_, {in_col, ngrid}, C(1),
-                         {out_col, ngrid});
-  }
+  sched::team_parallel_for(
+      static_cast<long>(norb), /*dynamic_chunks=*/false, [&](long j) {
+        const C* in_col = psi.col(static_cast<std::size_t>(j));
+        C* out_col = out.col(static_cast<std::size_t>(j));
+        std::fill_n(out_col, ngrid, C(0));
+        mesh::add_kinetic<R>(grid_, order_, {in_col, ngrid}, C(1),
+                             {out_col, ngrid});
+      });
 }
 
 template <typename R>
@@ -90,20 +90,18 @@ void hamiltonian<R>::apply_kinetic_field(
   const std::size_t norb = psi.cols;
   const R a = static_cast<R>(a_field_);
   const C grad_coeff{0, -a};
-#if defined(DCMESH_HAVE_OPENMP)
-#pragma omp parallel for schedule(static)
-#endif
-  for (std::size_t j = 0; j < norb; ++j) {
-    const C* in_col = psi.col(j);
-    C* out_col = out.col(j);
-    std::fill_n(out_col, ngrid, C(0));
-    mesh::add_kinetic<R>(grid_, order_, {in_col, ngrid}, C(1),
-                         {out_col, ngrid});
-    if (a != R(0)) {
-      mesh::add_gradient<R>(grid_, order_, axis_, {in_col, ngrid},
-                            grad_coeff, {out_col, ngrid});
-    }
-  }
+  sched::team_parallel_for(
+      static_cast<long>(norb), /*dynamic_chunks=*/false, [&](long j) {
+        const C* in_col = psi.col(static_cast<std::size_t>(j));
+        C* out_col = out.col(static_cast<std::size_t>(j));
+        std::fill_n(out_col, ngrid, C(0));
+        mesh::add_kinetic<R>(grid_, order_, {in_col, ngrid}, C(1),
+                             {out_col, ngrid});
+        if (a != R(0)) {
+          mesh::add_gradient<R>(grid_, order_, axis_, {in_col, ngrid},
+                                grad_coeff, {out_col, ngrid});
+        }
+      });
 }
 
 template <typename R>

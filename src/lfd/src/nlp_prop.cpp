@@ -9,38 +9,49 @@
 namespace dcmesh::lfd {
 
 template <typename R>
-nlp_result<R> nlp_prop(const matrix<std::complex<R>>& psi0,
-                       matrix<std::complex<R>>& psi, std::complex<double> c,
-                       double dv) {
-  trace::span span("lfd/nlp_prop", "lfd");
+void nlp_overlap(const matrix<std::complex<R>>& psi0,
+                 const matrix<std::complex<R>>& psi, double dv,
+                 matrix<std::complex<R>>& g) {
   using C = std::complex<R>;
-  const std::size_t ngrid = psi.rows();
-  const std::size_t norb = psi.cols();
-
-  nlp_result<R> result;
-  result.g = matrix<C>(norb, norb);
-
   // BLAS call 1: G = dv * Psi0^H * Psi(t)   (norb x norb, k = ngrid)
   blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none,
                 C(static_cast<R>(dv)), psi0.view(), psi.view(), C(0),
-                result.g.view(), "lfd/nlp_prop/overlap");
+                g.view(), "lfd/nlp_prop/overlap");
+}
 
+template <typename R>
+void nlp_project(const matrix<std::complex<R>>& psi0,
+                 const matrix<std::complex<R>>& g, std::complex<double> c,
+                 matrix<std::complex<R>>& psi) {
+  using C = std::complex<R>;
   // BLAS call 2: Psi += c * Psi0 * G        (ngrid x norb, k = norb)
   const C cc(static_cast<R>(c.real()), static_cast<R>(c.imag()));
   blas::gemm<C>(blas::transpose::none, blas::transpose::none, cc,
-                psi0.view(), result.g.view(), C(1), psi.view(),
+                psi0.view(), g.view(), C(1), psi.view(),
                 "lfd/nlp_prop/project");
+}
 
+template <typename R>
+std::vector<double> nlp_subspace(const matrix<std::complex<R>>& g) {
+  using C = std::complex<R>;
+  const std::size_t norb = g.cols();
   // BLAS call 3: O = G^H * G                (norb x norb, k = norb)
   matrix<C> o(norb, norb);
   blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none, C(1),
-                result.g.view(), result.g.view(), C(0), o.view(),
+                g.view(), g.view(), C(0), o.view(),
                 "lfd/nlp_prop/subspace");
-  result.subspace_weight.resize(norb);
+  std::vector<double> weight(norb);
   for (std::size_t j = 0; j < norb; ++j) {
-    result.subspace_weight[j] = static_cast<double>(o(j, j).real());
+    weight[j] = static_cast<double>(o(j, j).real());
   }
+  return weight;
+}
 
+template <typename R>
+double nlp_renormalize(matrix<std::complex<R>>& psi, double dv) {
+  using C = std::complex<R>;
+  const std::size_t ngrid = psi.rows();
+  const std::size_t norb = psi.cols();
   // Renormalize columns via level-1 BLAS (nrm2 accumulates in double, so
   // the norm itself is mode- and precision-robust).
   const double sqrt_dv = std::sqrt(dv);
@@ -55,10 +66,47 @@ nlp_result<R> nlp_prop(const matrix<std::complex<R>>& psi0,
                          static_cast<R>(1.0 / norm), col, 1);
     }
   }
-  result.norm_drift = worst;
+  return worst;
+}
+
+template <typename R>
+nlp_result<R> nlp_prop(const matrix<std::complex<R>>& psi0,
+                       matrix<std::complex<R>>& psi, std::complex<double> c,
+                       double dv) {
+  trace::span span("lfd/nlp_prop", "lfd");
+  using C = std::complex<R>;
+  const std::size_t norb = psi.cols();
+
+  nlp_result<R> result;
+  result.g = matrix<C>(norb, norb);
+  nlp_overlap<R>(psi0, psi, dv, result.g);
+  nlp_project<R>(psi0, result.g, c, psi);
+  result.subspace_weight = nlp_subspace<R>(result.g);
+  result.norm_drift = nlp_renormalize<R>(psi, dv);
   return result;
 }
 
+template void nlp_overlap<float>(const matrix<std::complex<float>>&,
+                                 const matrix<std::complex<float>>&, double,
+                                 matrix<std::complex<float>>&);
+template void nlp_overlap<double>(const matrix<std::complex<double>>&,
+                                  const matrix<std::complex<double>>&, double,
+                                  matrix<std::complex<double>>&);
+template void nlp_project<float>(const matrix<std::complex<float>>&,
+                                 const matrix<std::complex<float>>&,
+                                 std::complex<double>,
+                                 matrix<std::complex<float>>&);
+template void nlp_project<double>(const matrix<std::complex<double>>&,
+                                  const matrix<std::complex<double>>&,
+                                  std::complex<double>,
+                                  matrix<std::complex<double>>&);
+template std::vector<double> nlp_subspace<float>(
+    const matrix<std::complex<float>>&);
+template std::vector<double> nlp_subspace<double>(
+    const matrix<std::complex<double>>&);
+template double nlp_renormalize<float>(matrix<std::complex<float>>&, double);
+template double nlp_renormalize<double>(matrix<std::complex<double>>&,
+                                        double);
 template nlp_result<float> nlp_prop<float>(
     const matrix<std::complex<float>>&, matrix<std::complex<float>>&,
     std::complex<double>, double);

@@ -8,11 +8,9 @@
 namespace dcmesh::lfd {
 
 template <typename R>
-remap_report remap_occ(const matrix<std::complex<R>>& psi0,
-                       const matrix<std::complex<R>>& psi,
-                       std::span<const double> occ, std::size_t nocc,
-                       double dv) {
-  trace::span span("lfd/remap_occ", "lfd");
+void remap_overlap(const matrix<std::complex<R>>& psi0,
+                   const matrix<std::complex<R>>& psi, std::size_t nocc,
+                   double dv, matrix<std::complex<R>>& s) {
   using C = std::complex<R>;
   const std::size_t ngrid = psi.rows();
   const std::size_t norb = psi.cols();
@@ -28,29 +26,43 @@ remap_report remap_occ(const matrix<std::complex<R>>& psi0,
 
   // BLAS call 7 (Table VII's GEMM): S = dv * Psi_occ^H(t) * Psi0_unocc
   // (m = nocc, n = norb - nocc, k = ngrid).
-  matrix<C> s(nocc, nunocc);
   blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none,
                 C(static_cast<R>(dv)), psi_occ, psi0_unocc, C(0), s.view(),
                 "lfd/remap_occ/overlap");
+}
 
+template <typename R>
+double remap_moment1(const matrix<std::complex<R>>& s,
+                     std::span<const double> occ,
+                     matrix<std::complex<R>>& o) {
+  using C = std::complex<R>;
+  const std::size_t nocc = s.rows();
   // BLAS call 8: O = S * S^H (nocc x nocc, k = norb - nocc);
   // nexc = sum_i f_i O_ii.
-  matrix<C> o(nocc, nocc);
   blas::gemm<C>(blas::transpose::none, blas::transpose::conj_trans, C(1),
                 s.view(), s.view(), C(0), o.view(),
                 "lfd/remap_occ/moment1");
-
-  remap_report report;
+  double nexc = 0.0;
   for (std::size_t i = 0; i < nocc; ++i) {
-    report.nexc += occ[i] * static_cast<double>(o(i, i).real());
+    nexc += occ[i] * static_cast<double>(o(i, i).real());
   }
+  return nexc;
+}
 
+template <typename R>
+double remap_moment2(const matrix<std::complex<R>>& s,
+                     const matrix<std::complex<R>>& o,
+                     std::span<const double> occ) {
+  using C = std::complex<R>;
+  const std::size_t nocc = s.rows();
+  const std::size_t nunocc = s.cols();
   // BLAS call 9: Rmat = S^H * O (nunocc x nocc, k = nocc); the
   // second-order moment sum_i f_i (O^2)_ii = sum_{u,i} f_i Re[S_iu Rmat_ui].
   matrix<C> rmat(nunocc, nocc);
   blas::gemm<C>(blas::transpose::conj_trans, blas::transpose::none, C(1),
                 s.view(), o.view(), C(0), rmat.view(),
                 "lfd/remap_occ/moment2");
+  double second = 0.0;
   for (std::size_t i = 0; i < nocc; ++i) {
     double acc = 0.0;
     for (std::size_t u = 0; u < nunocc; ++u) {
@@ -60,11 +72,19 @@ remap_report remap_occ(const matrix<std::complex<R>>& psi0,
       acc += static_cast<double>(siu.real()) * rui.real() -
              static_cast<double>(siu.imag()) * rui.imag();
     }
-    report.nexc_second_order += occ[i] * acc;
+    second += occ[i] * acc;
   }
+  return second;
+}
 
+template <typename R>
+std::vector<double> remap_population(const matrix<std::complex<R>>& s,
+                                     std::span<const double> occ) {
+  using C = std::complex<R>;
+  const std::size_t nocc = s.rows();
+  const std::size_t nunocc = s.cols();
   // Per-unoccupied-orbital population (level-1 work on S).
-  report.unocc_population.assign(nunocc, 0.0);
+  std::vector<double> population(nunocc, 0.0);
   for (std::size_t u = 0; u < nunocc; ++u) {
     double pop = 0.0;
     for (std::size_t i = 0; i < nocc; ++i) {
@@ -72,11 +92,59 @@ remap_report remap_occ(const matrix<std::complex<R>>& psi0,
       pop += occ[i] * (static_cast<double>(siu.real()) * siu.real() +
                        static_cast<double>(siu.imag()) * siu.imag());
     }
-    report.unocc_population[u] = pop;
+    population[u] = pop;
   }
+  return population;
+}
+
+template <typename R>
+remap_report remap_occ(const matrix<std::complex<R>>& psi0,
+                       const matrix<std::complex<R>>& psi,
+                       std::span<const double> occ, std::size_t nocc,
+                       double dv) {
+  trace::span span("lfd/remap_occ", "lfd");
+  using C = std::complex<R>;
+  const std::size_t norb = psi.cols();
+  if (nocc == 0 || nocc >= norb) {
+    throw std::invalid_argument("remap_occ: need 0 < nocc < norb");
+  }
+  const std::size_t nunocc = norb - nocc;
+
+  matrix<C> s(nocc, nunocc);
+  remap_overlap<R>(psi0, psi, nocc, dv, s);
+
+  remap_report report;
+  matrix<C> o(nocc, nocc);
+  report.nexc = remap_moment1<R>(s, occ, o);
+  report.nexc_second_order = remap_moment2<R>(s, o, occ);
+  report.unocc_population = remap_population<R>(s, occ);
   return report;
 }
 
+template void remap_overlap<float>(const matrix<std::complex<float>>&,
+                                   const matrix<std::complex<float>>&,
+                                   std::size_t, double,
+                                   matrix<std::complex<float>>&);
+template void remap_overlap<double>(const matrix<std::complex<double>>&,
+                                    const matrix<std::complex<double>>&,
+                                    std::size_t, double,
+                                    matrix<std::complex<double>>&);
+template double remap_moment1<float>(const matrix<std::complex<float>>&,
+                                     std::span<const double>,
+                                     matrix<std::complex<float>>&);
+template double remap_moment1<double>(const matrix<std::complex<double>>&,
+                                      std::span<const double>,
+                                      matrix<std::complex<double>>&);
+template double remap_moment2<float>(const matrix<std::complex<float>>&,
+                                     const matrix<std::complex<float>>&,
+                                     std::span<const double>);
+template double remap_moment2<double>(const matrix<std::complex<double>>&,
+                                      const matrix<std::complex<double>>&,
+                                      std::span<const double>);
+template std::vector<double> remap_population<float>(
+    const matrix<std::complex<float>>&, std::span<const double>);
+template std::vector<double> remap_population<double>(
+    const matrix<std::complex<double>>&, std::span<const double>);
 template remap_report remap_occ<float>(const matrix<std::complex<float>>&,
                                        const matrix<std::complex<float>>&,
                                        std::span<const double>, std::size_t,

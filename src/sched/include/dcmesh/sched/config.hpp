@@ -1,0 +1,74 @@
+#pragma once
+// config.hpp — DCMESH_SCHED parsing and the process-wide scheduler state.
+//
+// Grammar (case-insensitive, surrounding whitespace ignored):
+//   serial      step phases run in insertion order on the calling thread
+//               (the determinism oracle; the default)
+//   pool        persistent work-stealing pool, hardware_concurrency workers
+//   pool:N      same with exactly N workers, 1 <= N <= 256
+//
+// Malformed values warn ONCE on stderr and fall back to serial — the
+// scheduler selector never throws and never aborts a run (same contract
+// as DCMESH_KERNEL_ISA and DCMESH_FAULT_PLAN).
+//
+// The pool is spawned lazily on first use and then reused for the whole
+// process: every step graph, every injected GEMM worker team, and the
+// checkpoint sealer all share this one set of threads.
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace dcmesh::sched {
+
+class thread_pool;
+
+inline constexpr const char* kSchedEnvVar = "DCMESH_SCHED";
+
+enum class sched_mode { serial, pool };
+
+struct sched_config {
+  sched_mode mode = sched_mode::serial;
+  int workers = 0;  ///< pool size; 0 = hardware_concurrency
+};
+
+/// Pure parser (no env access, no warning) — exposed for tests.
+/// On malformed input returns the serial default and sets *ok = false.
+sched_config parse_sched(std::string_view text, bool* ok = nullptr);
+
+/// Scheduler selected by DCMESH_SCHED (or configure()); cached after the
+/// first call.  Malformed env values warn once and select serial.
+sched_mode active_mode();
+
+/// The process-wide pool, spawned on first call; nullptr in serial mode.
+thread_pool* active_pool();
+
+/// Programmatic override (tests, benches): replaces the cached selection
+/// and — if the pool size changes — quiesces and respawns the pool.
+/// workers == 0 means hardware_concurrency.
+void configure(sched_mode mode, int workers = 0);
+
+/// Drop the cached selection so the next active_mode() re-reads the env
+/// (test hygiene; also joins and destroys any live pool).
+void reset_for_testing();
+
+/// Block until the active pool (if any) has retired every task — the
+/// rollback/replay quiescence point.  No-op in serial mode.
+void quiesce_active_pool();
+
+/// Human-readable form of the active selection, e.g. "serial", "pool:8"
+/// (for the metrics `sched=` section).
+std::string describe_active();
+
+/// The injected worker team for compute kernels (blocked GEMM packing
+/// and ic-block sweeps, stencil column loops).  Pool mode: collaborative
+/// sweep on the shared pool (caller participates; never oversubscribes).
+/// Otherwise: OpenMP parallel-for when compiled in, else a plain loop.
+/// `dynamic_chunks` selects schedule(dynamic) in the OpenMP fallback;
+/// the pool sweep is always dynamic (atomic index claim).  body(i) must
+/// write only index-i-owned state; outputs are keyed by index, not by
+/// thread, so results are bit-identical across team shapes.
+void team_parallel_for(long n, bool dynamic_chunks,
+                       const std::function<void(long)>& body);
+
+}  // namespace dcmesh::sched

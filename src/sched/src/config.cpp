@@ -1,0 +1,221 @@
+#include "dcmesh/sched/config.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/sched/pool.hpp"
+
+namespace dcmesh::sched {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int default_worker_count() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 2 : static_cast<int>(hw);
+}
+
+// Process-wide scheduler state.  All mutation goes through g_mutex; the
+// resolved mode is mirrored into an atomic so the serial fast path in
+// team_parallel_for costs one relaxed load.
+struct sched_state {
+  std::mutex mutex;
+  bool resolved = false;
+  sched_config config;
+  std::unique_ptr<thread_pool> pool;  // spawned lazily, persistent
+};
+
+sched_state& state() {
+  static sched_state s;
+  return s;
+}
+
+std::atomic<int> g_mode_cache{-1};  // -1 unresolved, else (int)sched_mode
+
+void warn_malformed_once(const std::string& text) {
+  static std::once_flag flag;
+  std::call_once(flag, [&] {
+    std::fprintf(stderr,
+                 "dcmesh: malformed %s value \"%s\"; expected serial or "
+                 "pool[:N] (1<=N<=%d); using serial\n",
+                 kSchedEnvVar, text.c_str(), thread_pool::kMaxWorkers);
+  });
+}
+
+// Resolve from the environment; caller holds state().mutex.
+void resolve_locked(sched_state& s) {
+  if (s.resolved) return;
+  sched_config cfg;
+  if (std::optional<std::string> raw = dcmesh::env_get(kSchedEnvVar)) {
+    bool ok = false;
+    cfg = parse_sched(*raw, &ok);
+    if (!ok) warn_malformed_once(*raw);
+  }
+  s.config = cfg;
+  s.resolved = true;
+  g_mode_cache.store(static_cast<int>(cfg.mode), std::memory_order_release);
+}
+
+thread_pool* pool_locked(sched_state& s) {
+  resolve_locked(s);
+  if (s.config.mode != sched_mode::pool) return nullptr;
+  if (!s.pool) {
+    int workers =
+        s.config.workers > 0 ? s.config.workers : default_worker_count();
+    s.pool = std::make_unique<thread_pool>(workers);
+  }
+  return s.pool.get();
+}
+
+}  // namespace
+
+sched_config parse_sched(std::string_view text, bool* ok) {
+  if (ok) *ok = true;
+  sched_config cfg;
+  std::string_view t = trim(text);
+  if (t.empty() || iequals(t, "serial")) return cfg;
+  if (iequals(t, "pool")) {
+    cfg.mode = sched_mode::pool;
+    return cfg;
+  }
+  constexpr std::string_view kPrefix = "pool:";
+  if (t.size() > kPrefix.size() &&
+      iequals(t.substr(0, kPrefix.size()), kPrefix)) {
+    std::string_view num = t.substr(kPrefix.size());
+    int n = 0;
+    auto [end, ec] = std::from_chars(num.data(), num.data() + num.size(), n);
+    if (ec == std::errc{} && end == num.data() + num.size() && n >= 1 &&
+        n <= thread_pool::kMaxWorkers) {
+      cfg.mode = sched_mode::pool;
+      cfg.workers = n;
+      return cfg;
+    }
+  }
+  if (ok) *ok = false;
+  return sched_config{};  // serial fallback, never throw
+}
+
+sched_mode active_mode() {
+  int cached = g_mode_cache.load(std::memory_order_acquire);
+  if (cached >= 0) return static_cast<sched_mode>(cached);
+  sched_state& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  resolve_locked(s);
+  return s.config.mode;
+}
+
+thread_pool* active_pool() {
+  if (active_mode() != sched_mode::pool) return nullptr;
+  sched_state& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return pool_locked(s);
+}
+
+void configure(sched_mode mode, int workers) {
+  sched_state& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const int resolved_workers =
+      mode == sched_mode::pool
+          ? (workers > 0 ? workers : default_worker_count())
+          : 0;
+  if (s.pool) {
+    // Keep a matching pool alive (persistence is the whole point); only
+    // a size change or a switch to serial tears it down.
+    if (mode != sched_mode::pool ||
+        s.pool->worker_count() != resolved_workers) {
+      s.pool->quiesce();
+      s.pool.reset();
+    }
+  }
+  s.config.mode = mode;
+  s.config.workers = workers;
+  s.resolved = true;
+  g_mode_cache.store(static_cast<int>(mode), std::memory_order_release);
+}
+
+void reset_for_testing() {
+  sched_state& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.pool) {
+    s.pool->quiesce();
+    s.pool.reset();
+  }
+  s.resolved = false;
+  s.config = sched_config{};
+  g_mode_cache.store(-1, std::memory_order_release);
+}
+
+void quiesce_active_pool() {
+  sched_state& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.pool) s.pool->quiesce();
+}
+
+std::string describe_active() {
+  sched_state& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  resolve_locked(s);
+  if (s.config.mode == sched_mode::serial) return "serial";
+  int workers = s.pool ? s.pool->worker_count()
+                       : (s.config.workers > 0 ? s.config.workers
+                                               : default_worker_count());
+  return "pool:" + std::to_string(workers);
+}
+
+void team_parallel_for(long n, bool dynamic_chunks,
+                       const std::function<void(long)>& body) {
+  if (n <= 0) return;
+  if (g_mode_cache.load(std::memory_order_relaxed) ==
+      static_cast<int>(sched_mode::pool)) {
+    if (thread_pool* pool = active_pool()) {
+      pool->parallel_for(n, body);
+      return;
+    }
+  } else if (g_mode_cache.load(std::memory_order_relaxed) < 0) {
+    // First touch resolves the env; recurse onto the resolved path.
+    (void)active_mode();
+    team_parallel_for(n, dynamic_chunks, body);
+    return;
+  }
+#if defined(DCMESH_HAVE_OPENMP)
+  if (dynamic_chunks) {
+#pragma omp parallel for schedule(dynamic)
+    for (long i = 0; i < n; ++i) body(i);
+  } else {
+#pragma omp parallel for schedule(static)
+    for (long i = 0; i < n; ++i) body(i);
+  }
+#else
+  (void)dynamic_chunks;
+  for (long i = 0; i < n; ++i) body(i);
+#endif
+}
+
+}  // namespace dcmesh::sched

@@ -1,0 +1,279 @@
+#include "dcmesh/sched/pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+namespace dcmesh::sched {
+
+namespace {
+
+// Which pool (if any) the calling thread is a worker of.  A thread is a
+// worker of at most one pool for its whole lifetime, so a flat pair is
+// enough — no map needed.
+thread_local const thread_pool* tl_pool = nullptr;
+thread_local int tl_worker_id = -1;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- job --
+
+void job::wait() {
+  if (!state_) return;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (state_->error) {
+    // Rethrow once; later waits observe a clean, completed job.
+    std::exception_ptr error = std::exchange(state_->error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+bool job::done() const {
+  if (!state_) return true;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+// -------------------------------------------------------- thread_pool --
+
+thread_pool::thread_pool(int workers) {
+  count_ = workers < 1 ? 1 : (workers > kMaxWorkers ? kMaxWorkers : workers);
+  queues_.reserve(static_cast<std::size_t>(count_));
+  for (int i = 0; i < count_; ++i) {
+    queues_.push_back(std::make_unique<worker_queue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(count_));
+  for (int i = 0; i < count_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  quiesce();
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+job thread_pool::submit(std::function<void()> fn) {
+  job handle;
+  handle.state_ = std::make_shared<job::state>();
+  enqueue(task{std::move(fn), handle.state_, 0});
+  return handle;
+}
+
+void thread_pool::enqueue(task t) {
+  t.enqueue_ns = now_ns();
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  worker_queue* q = &injection_;
+  if (tl_pool == this) {
+    // A worker spawning work keeps it on its own deque (depth-first,
+    // cache-warm); idle workers steal from the front.
+    q = queues_[static_cast<std::size_t>(tl_worker_id)].get();
+  }
+  {
+    std::lock_guard<std::mutex> lock(q->mutex);
+    q->deque.push_back(std::move(t));
+  }
+  // Pair the notify with the sleep mutex so a worker between its failed
+  // try_pop and its wait cannot miss the wake-up.
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  sleep_cv_.notify_one();
+}
+
+bool thread_pool::try_pop(int id, task& out) {
+  // 1. Own deque, back (LIFO: most recently spawned, cache-warm).
+  {
+    worker_queue& own = *queues_[static_cast<std::size_t>(id)];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.deque.empty()) {
+      out = std::move(own.deque.back());
+      own.deque.pop_back();
+      return true;
+    }
+  }
+  // 2. Injection queue, front (FIFO: external submission order).
+  {
+    std::lock_guard<std::mutex> lock(injection_.mutex);
+    if (!injection_.deque.empty()) {
+      out = std::move(injection_.deque.front());
+      injection_.deque.pop_front();
+      return true;
+    }
+  }
+  // 3. Steal from the other workers, front (oldest: largest remaining
+  //    subtree under recursive decomposition).
+  const int n = worker_count();
+  for (int hop = 1; hop < n; ++hop) {
+    worker_queue& victim = *queues_[static_cast<std::size_t>((id + hop) % n)];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.deque.empty()) {
+      out = std::move(victim.deque.front());
+      victim.deque.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void thread_pool::run_task(task&& t) {
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  queue_wait_ns_.fetch_add(now_ns() - t.enqueue_ns, std::memory_order_relaxed);
+  if (t.state) {
+    try {
+      t.fn();
+    } catch (...) {
+      t.state->error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(t.state->mutex);
+      t.state->done = true;
+    }
+    t.state->cv.notify_all();
+  } else {
+    // Untracked tasks (parallel_for runners, graph node stubs) capture
+    // their exceptions into their own shared state; a throw here is a
+    // contract violation and terminates loudly rather than vanishing.
+    t.fn();
+  }
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    { std::lock_guard<std::mutex> lock(quiesce_mutex_); }
+    quiesce_cv_.notify_all();
+  }
+}
+
+void thread_pool::worker_loop(int id) {
+  tl_pool = this;
+  tl_worker_id = id;
+  {
+    std::lock_guard<std::mutex> lock(ids_mutex_);
+    thread_ids_.push_back(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  }
+  task t;
+  while (true) {
+    if (try_pop(id, t)) {
+      run_task(std::move(t));
+      t = task{};
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Re-probe under the sleep mutex via a timed wait: enqueue()'s
+    // notify is paired with this mutex, so a wake-up cannot be missed;
+    // the timeout is belt-and-braces against pathological lost wakes.
+    sleep_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+void thread_pool::parallel_for(long n, const std::function<void(long)>& body) {
+  if (n <= 0) return;
+  if (n == 1) {
+    body(0);
+    return;
+  }
+
+  // Shared sweep state.  Held by shared_ptr so runner tasks that wake up
+  // after every index has been claimed (and the caller has returned) can
+  // still touch the counters safely.  `body` is only dereferenced for a
+  // claimed index, and the caller blocks until all n indices complete,
+  // so the reference never dangles.
+  struct sweep {
+    std::atomic<long> next{0};
+    std::atomic<long> completed{0};
+    long n = 0;
+    const std::function<void(long)>* body = nullptr;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;  // guarded by mutex
+  };
+  auto s = std::make_shared<sweep>();
+  s->n = n;
+  s->body = &body;
+
+  auto run_chunks = [s] {
+    long i;
+    while ((i = s->next.fetch_add(1, std::memory_order_relaxed)) < s->n) {
+      try {
+        (*s->body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        if (!s->error) s->error = std::current_exception();
+      }
+      if (s->completed.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
+        { std::lock_guard<std::mutex> lock(s->mutex); }
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  // One runner per worker (bounded by the trip count); the caller is the
+  // +1th participant and starts immediately.
+  const long runners = std::min<long>(worker_count(), n - 1);
+  for (long r = 0; r < runners; ++r) {
+    enqueue(task{run_chunks, nullptr, 0});
+  }
+  run_chunks();
+
+  if (s->completed.load(std::memory_order_acquire) < n) {
+    std::unique_lock<std::mutex> lock(s->mutex);
+    s->cv.wait(lock, [&] {
+      return s->completed.load(std::memory_order_acquire) >= s->n;
+    });
+  }
+  // All indices retired; the acquire loads above order the error write.
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    error = std::exchange(s->error, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void thread_pool::quiesce() {
+  if (pending_.load(std::memory_order_acquire) == 0) return;
+  // A pool worker cannot block on quiesce (it would wait for itself);
+  // instead it helps drain.
+  if (tl_pool == this) {
+    task t;
+    while (pending_.load(std::memory_order_acquire) != 0) {
+      if (try_pop(tl_worker_id, t)) {
+        run_task(std::move(t));
+        t = task{};
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(quiesce_mutex_);
+  quiesce_cv_.wait(lock, [&] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+int thread_pool::current_worker_id() const noexcept {
+  return tl_pool == this ? tl_worker_id : -1;
+}
+
+std::vector<std::uint64_t> thread_pool::worker_thread_ids() const {
+  std::lock_guard<std::mutex> lock(ids_mutex_);
+  return thread_ids_;
+}
+
+}  // namespace dcmesh::sched

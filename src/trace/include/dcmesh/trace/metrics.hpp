@@ -79,4 +79,25 @@ health_counters();
 /// Reset the health counters.
 void clear_health_counters();
 
+// --- scheduler counters (task-graph step executor) ---
+//
+// The sched layer (src/sched) records its aggregate activity here —
+// graphs run, nodes executed/skipped, pool steals, queue-wait time — so
+// a run's `sched=` line sits next to the per-site GEMM counters in the
+// same report.  Counters are additive deltas keyed by kind, e.g.
+// "graphs", "nodes", "nodes_skipped", "steals", "queue_wait_ns".
+
+/// Add `delta` to the scheduler counter `kind`.  Thread-safe.
+void record_sched_counter(std::string_view kind, std::uint64_t delta = 1);
+
+/// Snapshot of all scheduler counters, sorted by kind.
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+sched_counters();
+
+/// Counter for one kind; 0 when never recorded.
+[[nodiscard]] std::uint64_t sched_counter(std::string_view kind);
+
+/// Reset the scheduler counters.
+void clear_sched_counters();
+
 }  // namespace dcmesh::trace

@@ -13,6 +13,9 @@ std::map<std::string, gemm_site_counters, std::less<>> g_sites;
 std::mutex g_health_mutex;
 std::map<std::string, std::uint64_t, std::less<>> g_health;
 
+std::mutex g_sched_mutex;
+std::map<std::string, std::uint64_t, std::less<>> g_sched;
+
 }  // namespace
 
 void record_gemm_metrics(std::string_view site, std::string_view routine,
@@ -103,6 +106,17 @@ std::string gemm_metrics_report() {
     }
     os << '\n';
   }
+  const auto sched = sched_counters();
+  if (!sched.empty()) {
+    os << "  sched=";
+    bool first = true;
+    for (const auto& [kind, count] : sched) {
+      if (!first) os << ' ';
+      first = false;
+      os << kind << ':' << count;
+    }
+    os << '\n';
+  }
   return os.str();
 }
 
@@ -130,6 +144,32 @@ std::uint64_t health_counter(std::string_view kind) {
 void clear_health_counters() {
   std::lock_guard lock(g_health_mutex);
   g_health.clear();
+}
+
+void record_sched_counter(std::string_view kind, std::uint64_t delta) {
+  std::lock_guard lock(g_sched_mutex);
+  auto it = g_sched.find(kind);
+  if (it == g_sched.end()) {
+    g_sched.emplace(std::string(kind), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> sched_counters() {
+  std::lock_guard lock(g_sched_mutex);
+  return {g_sched.begin(), g_sched.end()};
+}
+
+std::uint64_t sched_counter(std::string_view kind) {
+  std::lock_guard lock(g_sched_mutex);
+  const auto it = g_sched.find(kind);
+  return it == g_sched.end() ? 0 : it->second;
+}
+
+void clear_sched_counters() {
+  std::lock_guard lock(g_sched_mutex);
+  g_sched.clear();
 }
 
 }  // namespace dcmesh::trace

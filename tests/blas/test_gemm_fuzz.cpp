@@ -13,6 +13,7 @@
 #include "dcmesh/blas/blas.hpp"
 #include "dcmesh/blas/gemm_ref.hpp"
 #include "dcmesh/common/rng.hpp"
+#include "dcmesh/sched/config.hpp"
 
 namespace dcmesh::blas {
 namespace {
@@ -201,22 +202,34 @@ TEST(GemmEdgeSweep, Fp32EveryModeAtBlockingBoundaries) {
       compute_mode::standard,        compute_mode::float_to_bf16,
       compute_mode::float_to_bf16x2, compute_mode::float_to_bf16x3,
       compute_mode::float_to_tf32,   compute_mode::complex_3m};
-  unsigned case_index = 0;
-  for (const blas_int m : kDims) {
-    for (const blas_int n : kDims) {
-      for (const blas_int k : kDims) {
-        for (const compute_mode mode : kModes) {
-          // Cycle the op pair deterministically so every {N,T}^2 combination
-          // appears across the shape grid.
-          const transpose ta = kOps[case_index % 2];
-          const transpose tb = kOps[(case_index / 2) % 2];
-          run_shape_case<float>(5000 + case_index, mode,
-                                mode_tol_scale(mode), m, n, k, ta, tb);
-          ++case_index;
+  // The blocked core's ic-block sweep and B-panel packing run on the
+  // scheduler's injected worker team; the sweep must hold under both the
+  // serial team and the shared work-stealing pool (chunk -> output is
+  // index-keyed, so the numbers are identical either way).
+  for (const bool pooled : {false, true}) {
+    if (pooled) {
+      sched::configure(sched::sched_mode::pool, 3);
+    } else {
+      sched::configure(sched::sched_mode::serial);
+    }
+    unsigned case_index = 0;
+    for (const blas_int m : kDims) {
+      for (const blas_int n : kDims) {
+        for (const blas_int k : kDims) {
+          for (const compute_mode mode : kModes) {
+            // Cycle the op pair deterministically so every {N,T}^2
+            // combination appears across the shape grid.
+            const transpose ta = kOps[case_index % 2];
+            const transpose tb = kOps[(case_index / 2) % 2];
+            run_shape_case<float>(5000 + case_index, mode,
+                                  mode_tol_scale(mode), m, n, k, ta, tb);
+            ++case_index;
+          }
         }
       }
     }
   }
+  sched::reset_for_testing();
 }
 
 TEST(GemmEdgeSweep, ComplexModesAtBlockingBoundaries) {
@@ -226,21 +239,29 @@ TEST(GemmEdgeSweep, ComplexModesAtBlockingBoundaries) {
   constexpr compute_mode kModes[] = {compute_mode::standard,
                                      compute_mode::float_to_bf16x3,
                                      compute_mode::complex_3m};
-  unsigned case_index = 0;
-  for (const blas_int m : kDims) {
-    for (const blas_int n : kDims) {
-      for (const blas_int k : kDims) {
-        for (const compute_mode mode : kModes) {
-          const transpose ta = kOps[case_index % 3];
-          const transpose tb = kOps[(case_index / 3) % 3];
-          run_shape_case<std::complex<float>>(9000 + case_index, mode,
-                                              2.0 * mode_tol_scale(mode), m,
-                                              n, k, ta, tb);
-          ++case_index;
+  for (const bool pooled : {false, true}) {
+    if (pooled) {
+      sched::configure(sched::sched_mode::pool, 3);
+    } else {
+      sched::configure(sched::sched_mode::serial);
+    }
+    unsigned case_index = 0;
+    for (const blas_int m : kDims) {
+      for (const blas_int n : kDims) {
+        for (const blas_int k : kDims) {
+          for (const compute_mode mode : kModes) {
+            const transpose ta = kOps[case_index % 3];
+            const transpose tb = kOps[(case_index / 3) % 3];
+            run_shape_case<std::complex<float>>(9000 + case_index, mode,
+                                                2.0 * mode_tol_scale(mode),
+                                                m, n, k, ta, tb);
+            ++case_index;
+          }
         }
       }
     }
   }
+  sched::reset_for_testing();
 }
 
 TEST(GemmEdgeSweep, Fp64AtBlockingBoundaries) {

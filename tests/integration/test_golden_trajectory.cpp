@@ -10,11 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "dcmesh/blas/compute_mode.hpp"
 #include "dcmesh/blas/precision_policy.hpp"
 #include "dcmesh/common/env.hpp"
 #include "dcmesh/core/driver.hpp"
 #include "dcmesh/core/presets.hpp"
+#include "dcmesh/sched/config.hpp"
 
 namespace dcmesh::core {
 namespace {
@@ -87,6 +90,51 @@ TEST(GoldenTrajectory, Bf16TrajectoryLandsOutsideTheLock) {
   blas::clear_compute_mode();
   EXPECT_TRUE(escaped)
       << "BF16 run stayed inside the golden tolerances; the lock is vacuous";
+}
+
+// Pooled-vs-serial determinism lock: under DCMESH_SCHED=pool the step
+// scheduler runs the QD step as a task graph on the persistent pool with
+// pack/compute overlap — and the trajectory must stay BIT-identical to
+// the serial oracle for every compute mode.  Any tolerance here would
+// hide a scheduling race; exact equality is the contract (each graph
+// node writes disjoint outputs, each edge orders writer before reader).
+TEST(GoldenTrajectory, PooledTrajectoryIsBitIdenticalToSerialInEveryMode) {
+  env_unset(blas::kPolicyEnvVar);
+  env_unset("MKL_BLAS_COMPUTE_MODE");
+  env_unset(sched::kSchedEnvVar);
+  blas::clear_policy();
+  sched::reset_for_testing();
+
+  constexpr blas::compute_mode kModes[] = {
+      blas::compute_mode::standard,        // FP32
+      blas::compute_mode::float_to_bf16x2, // BF16X2
+      blas::compute_mode::float_to_bf16x3, // BF16X3
+      blas::compute_mode::float_to_tf32,   // TF32
+  };
+  for (const blas::compute_mode mode : kModes) {
+    blas::set_compute_mode(mode);
+
+    sched::configure(sched::sched_mode::serial);
+    driver serial(preset(paper_system::tiny));
+    std::vector<lfd::qd_record> want;
+    for (int step = 0; step < 10; ++step) want.push_back(serial.qd_step());
+
+    sched::configure(sched::sched_mode::pool, 3);
+    driver pooled(preset(paper_system::tiny));
+    for (int step = 0; step < 10; ++step) {
+      const lfd::qd_record got = pooled.qd_step();
+      const lfd::qd_record& ref = want[static_cast<std::size_t>(step)];
+      const std::string_view name = info(mode).name;
+      EXPECT_EQ(got.ekin, ref.ekin) << name << " step " << step + 1;
+      EXPECT_EQ(got.epot, ref.epot) << name << " step " << step + 1;
+      EXPECT_EQ(got.etot, ref.etot) << name << " step " << step + 1;
+      EXPECT_EQ(got.eexc, ref.eexc) << name << " step " << step + 1;
+      EXPECT_EQ(got.nexc, ref.nexc) << name << " step " << step + 1;
+      EXPECT_EQ(got.javg, ref.javg) << name << " step " << step + 1;
+    }
+    sched::reset_for_testing();
+  }
+  blas::clear_compute_mode();
 }
 
 }  // namespace
