@@ -1,0 +1,150 @@
+// ext_wisdom_farm — what the shared wisdom store buys a campaign fleet.
+//
+// A precision campaign fans N worker processes over the same system, and
+// every worker needs the same tuned decisions.  With private wisdom
+// caches each worker pays the full calibration cold start; with the
+// campaign's ONE flock-merged store the fleet pays it once — the first
+// worker to reach a key calibrates it under the store lock, everyone
+// else adopts the published decision.  This bench forks real worker
+// fleets through the tune::autotuner in all three regimes and reports
+// fleet-wide calibration counts and wall time:
+//
+//   private   N workers, one store each      (N x keys calibrations)
+//   shared    N workers, one merged store    (keys calibrations)
+//   warm      N workers, pre-warmed store    (0 calibrations)
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dcmesh/tune/autotuner.hpp"
+#include "dcmesh/tune/wisdom.hpp"
+
+namespace {
+
+using namespace dcmesh;
+
+constexpr int kWorkers = 8;
+constexpr int kKeys = 4;
+
+blas::auto_tune_request request(const std::string& site, int k) {
+  return {site, "SGEMM", 128, 128,
+          static_cast<blas::blas_int>(64 + 64 * k),
+          /*is_complex=*/false, /*is_fp64=*/false, /*ulp_budget=*/0.0};
+}
+
+struct fleet_outcome {
+  std::uint64_t calibrations = 0;  ///< Summed over all workers.
+  double seconds = 0.0;            ///< Fleet wall time.
+};
+
+/// Fork kWorkers processes, each resolving all kKeys sites against its
+/// assigned store path; collect summed calibration counts.
+fleet_outcome run_fleet(const std::string& store_base, bool shared) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<pid_t> children;
+  for (int w = 0; w < kWorkers; ++w) {
+    const pid_t pid = fork();
+    if (pid < 0) std::abort();
+    if (pid == 0) {
+      const std::string store =
+          shared ? store_base : store_base + "." + std::to_string(w);
+      tune::autotuner tuner{store};
+      for (int i = 0; i < kKeys; ++i) {
+        const int k = (w + i) % kKeys;  // different first key per worker
+        (void)tuner.resolve(request("farm/key" + std::to_string(k), k));
+      }
+      std::ofstream out(store_base + ".stats" + std::to_string(w),
+                        std::ios::trunc);
+      out << tuner.stats().calibrations << "\n";
+      out.close();
+      _exit(0);
+    }
+    children.push_back(pid);
+  }
+  fleet_outcome outcome;
+  for (const pid_t pid : children) {
+    int status = 0;
+    (void)waitpid(pid, &status, 0);
+  }
+  outcome.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (int w = 0; w < kWorkers; ++w) {
+    const std::string stats = store_base + ".stats" + std::to_string(w);
+    std::ifstream in(stats);
+    std::uint64_t calibrations = 0;
+    in >> calibrations;
+    outcome.calibrations += calibrations;
+    std::remove(stats.c_str());
+  }
+  return outcome;
+}
+
+void cleanup(const std::string& base) {
+  std::remove(base.c_str());
+  std::remove((base + ".lock").c_str());
+  for (int w = 0; w < kWorkers; ++w) {
+    const std::string private_store = base + "." + std::to_string(w);
+    std::remove(private_store.c_str());
+    std::remove((private_store + ".lock").c_str());
+  }
+}
+
+int run() {
+  bench::banner("Extension (campaign farm)",
+                "Fleet-wide calibration cost: private vs shared vs warm "
+                "wisdom stores");
+  std::printf("workers=%d, distinct keys=%d, every worker resolves every "
+              "key\n\n", kWorkers, kKeys);
+
+  const std::string base = "/tmp/dcmesh_bench_wisdom_farm.jsonl";
+  cleanup(base);
+
+  const fleet_outcome private_stores = run_fleet(base, /*shared=*/false);
+  cleanup(base);
+  const fleet_outcome shared_cold = run_fleet(base, /*shared=*/true);
+  // Keep the now-warm shared store for the third regime.
+  const fleet_outcome shared_warm = run_fleet(base, /*shared=*/true);
+  const std::uint64_t store_entries =
+      tune::load_wisdom(base).entries.size();
+  cleanup(base);
+
+  text_table table({"store regime", "fleet calibrations", "expected",
+                    "fleet seconds"});
+  const auto row = [&](const char* name, const fleet_outcome& outcome,
+                       std::uint64_t expected) {
+    char calibrations[32], seconds[32];
+    std::snprintf(calibrations, sizeof calibrations, "%llu",
+                  static_cast<unsigned long long>(outcome.calibrations));
+    std::snprintf(seconds, sizeof seconds, "%.3f", outcome.seconds);
+    table.add_row({name, calibrations, std::to_string(expected), seconds});
+  };
+  row("private (one per worker)", private_stores,
+      static_cast<std::uint64_t>(kWorkers) * kKeys);
+  row("shared, cold", shared_cold, kKeys);
+  row("shared, warm", shared_warm, 0);
+  table.print();
+
+  std::printf("\nshared store entries after the campaign: %llu "
+              "(one per key)\n",
+              static_cast<unsigned long long>(store_entries));
+  const bool pass =
+      private_stores.calibrations ==
+          static_cast<std::uint64_t>(kWorkers) * kKeys &&
+      shared_cold.calibrations == static_cast<std::uint64_t>(kKeys) &&
+      shared_warm.calibrations == 0 && store_entries == kKeys;
+  std::printf("contract %s: shared cold start paid once per key, warm "
+              "fleet calibration-free\n", pass ? "HOLDS" : "VIOLATED");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -29,6 +29,10 @@ void env_unset(std::string_view name);
 /// oneMKL does for MKL_BLAS_COMPUTE_MODE).
 [[nodiscard]] std::string to_upper(std::string_view s);
 
+/// ASCII lower-case copy (deck keys are case-insensitive; the canonical
+/// spelling is lower).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
 /// Trim ASCII whitespace from both ends.
 [[nodiscard]] std::string_view trim(std::string_view s);
 

@@ -1,0 +1,48 @@
+#pragma once
+// file_lock.hpp — RAII advisory file lock (flock(2)).
+//
+// The campaign farm runs N worker processes against one wisdom store and
+// one campaign manifest; both are JSONL files rewritten whole (see
+// atomic_file.hpp).  Atomic rename makes each individual rewrite safe,
+// but read-modify-write sequences still race: two writers that both load
+// the old file and rewrite it lose one writer's additions.  file_lock
+// serializes those critical sections across processes with a blocking
+// exclusive flock on a sidecar ".lock" file — a sidecar, not the data
+// file itself, because the atomic rename replaces the data file's inode
+// and would silently detach any lock held on it.
+//
+// Locking is best-effort by design: when the lock file cannot be created
+// (read-only or missing directory), held() is false and the caller
+// proceeds unlocked — the same degraded-but-never-fatal behavior the
+// wisdom writer already has for unwritable cache paths.  flock is
+// per-open-file-description, so two file_lock objects on the same path
+// exclude each other even inside one process (each opens its own fd).
+
+#include <string>
+
+namespace dcmesh {
+
+class file_lock {
+ public:
+  /// Acquire a blocking exclusive lock on `path` + ".lock".  Never
+  /// throws; on any failure the object simply reports held() == false.
+  explicit file_lock(const std::string& path);
+
+  /// Release the lock (the sidecar file is left in place: removing it
+  /// would race with a process that just opened it).
+  ~file_lock();
+
+  file_lock(const file_lock&) = delete;
+  file_lock& operator=(const file_lock&) = delete;
+
+  /// True when the exclusive lock is actually held.
+  [[nodiscard]] bool held() const noexcept { return fd_ >= 0; }
+
+  /// Suffix appended to the protected path to name the sidecar.
+  static constexpr const char* kSuffix = ".lock";
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace dcmesh

@@ -37,6 +37,14 @@ std::string to_upper(std::string_view s) {
   return out;
 }
 
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
 std::string_view trim(std::string_view s) {
   const auto is_space = [](char c) {
     return c == ' ' || c == '\t' || c == '\r' || c == '\n';

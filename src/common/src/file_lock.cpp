@@ -1,0 +1,37 @@
+#include "dcmesh/common/file_lock.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace dcmesh {
+
+file_lock::file_lock(const std::string& path) {
+  if (path.empty()) return;
+  const std::string lock_path = path + kSuffix;
+  // O_CLOEXEC: campaign workers fork+exec; a leaked lock fd in a worker
+  // would deadlock every sibling for the worker's whole lifetime.
+  const int fd =
+      ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return;
+  int rc;
+  do {
+    rc = ::flock(fd, LOCK_EX);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd);
+    return;
+  }
+  fd_ = fd;
+}
+
+file_lock::~file_lock() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+}
+
+}  // namespace dcmesh

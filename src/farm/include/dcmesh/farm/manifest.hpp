@@ -1,0 +1,70 @@
+#pragma once
+// manifest.hpp — the campaign manifest: which runs already finished.
+//
+// A campaign killed at run 37 of 200 must restart at run 38, not run 0.
+// The manifest is the durable record that makes that possible: one JSONL
+// file beside the campaign report, one line per finished run, rewritten
+// atomically (temp + fsync + rename) under the same advisory-flock
+// discipline as the wisdom store, with every line carrying an FNV-1a-64
+// checksum of its own content — the checkpoint-v2 discipline, applied
+// per line so a torn or hand-mangled line is dropped individually
+// instead of poisoning the whole campaign.
+//
+// Resume semantics: on restart the runner loads the manifest and skips
+// every run whose latest entry says "ok"; failed, crashed, and timed-out
+// runs are retried (their entry is superseded by the retry's outcome —
+// last entry per run id wins).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcmesh::farm {
+
+/// Bump when the manifest line layout changes incompatibly.
+inline constexpr int kManifestFormatVersion = 1;
+
+/// One finished run.
+struct manifest_entry {
+  std::string run_id;   ///< Stable id from the sweep expansion.
+  std::string status;   ///< "ok" | "unrecovered" | "crashed" | "timed-out".
+  int exit_code = 0;    ///< Exit status, or -signal when killed.
+  double seconds = 0.0; ///< Wall time of the attempt.
+  std::uint64_t calibration_gemms = 0;  ///< Calibration GEMMs observed.
+
+  [[nodiscard]] bool completed() const noexcept { return status == "ok"; }
+};
+
+/// Result of loading a manifest.
+struct campaign_manifest {
+  std::vector<manifest_entry> entries;  ///< Latest entry per run id.
+  bool existed = false;
+  bool version_ok = true;  ///< Header matched (false = foreign/corrupt).
+  std::size_t rejected_lines = 0;  ///< Torn/checksum-failed lines dropped.
+
+  /// Latest entry for `run_id`, or nullptr.
+  [[nodiscard]] const manifest_entry* find(std::string_view run_id) const;
+};
+
+/// The header line a valid manifest must start with.
+[[nodiscard]] std::string manifest_header();
+[[nodiscard]] bool manifest_header_ok(std::string_view line);
+
+/// One checksummed JSONL line for `entry` (no trailing newline).
+[[nodiscard]] std::string manifest_line(const manifest_entry& entry);
+
+/// Parse and checksum-verify one line; nullopt on any mismatch.
+[[nodiscard]] std::optional<manifest_entry> parse_manifest_line(
+    std::string_view line);
+
+/// Load `path`; never throws.  Missing file = {existed=false}.
+[[nodiscard]] campaign_manifest load_manifest(const std::string& path);
+
+/// Record one finished run: read-modify-write under the manifest's
+/// flock, replacing any previous entry for the same run id, finished by
+/// an atomic rewrite.  False on I/O failure.
+bool record_run(const std::string& path, const manifest_entry& entry);
+
+}  // namespace dcmesh::farm

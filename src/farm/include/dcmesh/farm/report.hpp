@@ -1,0 +1,26 @@
+#pragma once
+// report.hpp — the aggregate campaign report (BENCH_campaign.json).
+//
+// One JSON document summarizing the whole campaign: per-run status,
+// wall time, resume markers, and the per-run verbose-stream counters
+// (calibration GEMMs, tune= provenance histogram, health= verdicts).
+// The runner rewrites it atomically after every finished run, so the
+// file is always complete and parseable — a campaign killed midway
+// leaves a truthful partial report, and the resumed invocation's final
+// rewrite covers every run including the ones it skipped.
+
+#include <string>
+
+#include "dcmesh/farm/runner.hpp"
+
+namespace dcmesh::farm {
+
+/// Render the report document (pretty-printed, stable field order).
+[[nodiscard]] std::string report_json(const campaign_result& result,
+                                      const runner_options& options);
+
+/// Atomically (re)write the report.  False on I/O failure.
+bool write_report(const std::string& path, const campaign_result& result,
+                  const runner_options& options);
+
+}  // namespace dcmesh::farm

@@ -1,0 +1,94 @@
+#include "dcmesh/farm/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "dcmesh/common/atomic_file.hpp"
+#include "dcmesh/trace/tracer.hpp"  // append_json_escaped
+
+namespace dcmesh::farm {
+namespace {
+
+void append_quoted(std::string& out, std::string_view value) {
+  out += '"';
+  trace::append_json_escaped(out, value);
+  out += '"';
+}
+
+void append_histogram(std::string& out, const char* name,
+                      const std::map<std::string, std::uint64_t>& hist) {
+  out += "\"";
+  out += name;
+  out += "\":{";
+  bool first = true;
+  for (const auto& [key, count] : hist) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, key);
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, ":%llu",
+                  static_cast<unsigned long long>(count));
+    out += buffer;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string report_json(const campaign_result& result,
+                        const runner_options& options) {
+  std::string out = "{\n  \"dcmesh_campaign_report\": 1,\n  \"driver\": ";
+  append_quoted(out, options.driver);
+  out += ",\n  \"wisdom\": ";
+  append_quoted(out, options.wisdom);
+  char buffer[160];
+  std::size_t pending = 0;
+  for (const auto& outcome : result.outcomes) {
+    if (outcome.status == "pending") ++pending;
+  }
+  std::snprintf(buffer, sizeof buffer,
+                ",\n  \"workers\": %d,\n  \"total\": %zu,\n"
+                "  \"completed\": %zu,\n  \"failed\": %zu,\n"
+                "  \"resumed\": %zu,\n  \"pending\": %zu,\n  \"runs\": [\n",
+                options.workers, result.outcomes.size(), result.completed,
+                result.failed, result.resumed, pending);
+  out += buffer;
+
+  bool first = true;
+  for (const auto& outcome : result.outcomes) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"id\": ";
+    append_quoted(out, outcome.run.id);
+    out += ", \"tag\": ";
+    append_quoted(out, outcome.run.tag);
+    out += ", \"status\": ";
+    append_quoted(out, outcome.status);
+    std::snprintf(buffer, sizeof buffer,
+                  ", \"resumed\": %s, \"exit\": %d, \"seconds\": %.6g, "
+                  "\"gemm_records\": %llu, \"calibration_gemms\": %llu, ",
+                  outcome.resumed ? "true" : "false", outcome.exit_code,
+                  outcome.seconds,
+                  static_cast<unsigned long long>(
+                      outcome.counters.gemm_records),
+                  static_cast<unsigned long long>(
+                      outcome.counters.calibration_gemms));
+    out += buffer;
+    append_histogram(out, "tune", outcome.counters.tune);
+    out += ", ";
+    append_histogram(out, "health", outcome.counters.health);
+    out += '}';
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool write_report(const std::string& path, const campaign_result& result,
+                  const runner_options& options) {
+  return atomic_write_file(path, [&](std::ostream& os) {
+    os << report_json(result, options);
+    return static_cast<bool>(os);
+  });
+}
+
+}  // namespace dcmesh::farm

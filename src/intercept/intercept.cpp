@@ -40,8 +40,23 @@
 // the exact exported set under the DCMESH_1.0 version node — CI diffs
 // `nm -D` output against tests/intercept/exported_symbols.txt so the
 // public ABI cannot drift silently.
+//
+// DCMESH_INTERCEPT_CHAIN=1 turns the shim into a pure pass-through:
+// each entry forwards to the NEXT definition of its own symbol in the
+// link chain (dlsym(RTLD_NEXT) — the system BLAS behind the preload)
+// instead of the dcmesh engine.  That gives a zero-rebuild A/B baseline:
+// the same preloaded binary runs once against dcmesh and once against
+// the real BLAS, switched by one env var.  A symbol with no next
+// definition warns once and falls back to the engine, so a binary that
+// links no BLAS at all still works with the flag set.
+
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE 1
+#endif
+#include <dlfcn.h>
 
 #include <cstdio>
+#include <string>
 
 #include "dcmesh/dcmesh_blas.h"
 #include "site_identity.hpp"
@@ -83,7 +98,35 @@ void ensure_armed() {
   (void)armed;
 }
 
+/// Next definition of `name` behind the shim, or nullptr (warning once
+/// per symbol — the lookup runs inside a function-local static
+/// initializer, so each symbol resolves and warns at most once).
+void* chain_next(const char* name) {
+  void* fn = ::dlsym(RTLD_NEXT, name);
+  if (fn == nullptr) {
+    std::fprintf(stderr,
+                 "dcmesh-intercept: %s=1 but no \"%s\" behind the shim; "
+                 "using the dcmesh engine\n",
+                 std::string(dcmesh::intercept::kChainEnvVar).c_str(),
+                 name);
+  }
+  return fn;
+}
+
 }  // namespace
+
+/// Pass-through hook, placed at the top of every interposed entry: when
+/// chaining is on and the real symbol exists, call it and return.  The
+/// dlsym lookup is lazy (first chained call) and cached for the process.
+#define DCMESH_TRY_CHAIN(name, ...)                                   \
+  if (dcmesh::intercept::chain_enabled()) {                           \
+    static auto* const next =                                         \
+        reinterpret_cast<decltype(&name)>(chain_next(#name));         \
+    if (next != nullptr) {                                            \
+      next(__VA_ARGS__);                                              \
+      return;                                                         \
+    }                                                                 \
+  }
 
 extern "C" {
 
@@ -96,6 +139,10 @@ DCMESH_PUBLIC int dcmesh_intercept_autotune(void) {
   return dcmesh::intercept::autotune_enabled() ? 1 : 0;
 }
 
+DCMESH_PUBLIC int dcmesh_intercept_chain(void) {
+  return dcmesh::intercept::chain_enabled() ? 1 : 0;
+}
+
 // ------------------------------------------------------------- CBLAS
 
 DCMESH_PUBLIC void cblas_sgemm(int layout, int transa, int transb, int m,
@@ -103,6 +150,8 @@ DCMESH_PUBLIC void cblas_sgemm(int layout, int transa, int transb, int m,
                                int lda, const float* b, int ldb, float beta,
                                float* c, int ldc) {
   ensure_armed();
+  DCMESH_TRY_CHAIN(cblas_sgemm, layout, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
+                   c, ldc)
   const char* site =
       dcmesh::intercept::site_for(__builtin_return_address(0));
   report(dcmesh_gemm('s', static_cast<dcmesh_layout>(layout),
@@ -115,6 +164,8 @@ DCMESH_PUBLIC void cblas_dgemm(int layout, int transa, int transb, int m,
                                int lda, const double* b, int ldb,
                                double beta, double* c, int ldc) {
   ensure_armed();
+  DCMESH_TRY_CHAIN(cblas_dgemm, layout, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
+                   c, ldc)
   const char* site =
       dcmesh::intercept::site_for(__builtin_return_address(0));
   report(dcmesh_gemm('d', static_cast<dcmesh_layout>(layout),
@@ -127,6 +178,8 @@ DCMESH_PUBLIC void cblas_cgemm(int layout, int transa, int transb, int m,
                                const void* a, int lda, const void* b,
                                int ldb, const void* beta, void* c, int ldc) {
   ensure_armed();
+  DCMESH_TRY_CHAIN(cblas_cgemm, layout, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
+                   c, ldc)
   const char* site =
       dcmesh::intercept::site_for(__builtin_return_address(0));
   report(dcmesh_gemm('c', static_cast<dcmesh_layout>(layout),
@@ -139,6 +192,8 @@ DCMESH_PUBLIC void cblas_zgemm(int layout, int transa, int transb, int m,
                                const void* a, int lda, const void* b,
                                int ldb, const void* beta, void* c, int ldc) {
   ensure_armed();
+  DCMESH_TRY_CHAIN(cblas_zgemm, layout, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
+                   c, ldc)
   const char* site =
       dcmesh::intercept::site_for(__builtin_return_address(0));
   report(dcmesh_gemm('z', static_cast<dcmesh_layout>(layout),
@@ -153,6 +208,8 @@ DCMESH_PUBLIC void cblas_sgemm_batch_strided(
     const float* a, int lda, int stride_a, const float* b, int ldb,
     int stride_b, float beta, float* c, int ldc, int stride_c, int batch) {
   ensure_armed();
+  DCMESH_TRY_CHAIN(cblas_sgemm_batch_strided, layout, transa, transb, m, n, k, alpha, a, lda, stride_a, b, ldb,
+                   stride_b, beta, c, ldc, stride_c, batch)
   const char* site =
       dcmesh::intercept::site_for(__builtin_return_address(0));
   report(dcmesh_gemm_batch_strided(
@@ -167,6 +224,8 @@ DCMESH_PUBLIC void cblas_dgemm_batch_strided(
     int stride_b, double beta, double* c, int ldc, int stride_c,
     int batch) {
   ensure_armed();
+  DCMESH_TRY_CHAIN(cblas_dgemm_batch_strided, layout, transa, transb, m, n, k, alpha, a, lda, stride_a, b, ldb,
+                   stride_b, beta, c, ldc, stride_c, batch)
   const char* site =
       dcmesh::intercept::site_for(__builtin_return_address(0));
   report(dcmesh_gemm_batch_strided(
@@ -181,6 +240,8 @@ DCMESH_PUBLIC void cblas_cgemm_batch_strided(
     int ldb, int stride_b, const void* beta, void* c, int ldc, int stride_c,
     int batch) {
   ensure_armed();
+  DCMESH_TRY_CHAIN(cblas_cgemm_batch_strided, layout, transa, transb, m, n, k, alpha, a, lda, stride_a, b, ldb,
+                   stride_b, beta, c, ldc, stride_c, batch)
   const char* site =
       dcmesh::intercept::site_for(__builtin_return_address(0));
   report(dcmesh_gemm_batch_strided(
@@ -195,6 +256,8 @@ DCMESH_PUBLIC void cblas_zgemm_batch_strided(
     int ldb, int stride_b, const void* beta, void* c, int ldc, int stride_c,
     int batch) {
   ensure_armed();
+  DCMESH_TRY_CHAIN(cblas_zgemm_batch_strided, layout, transa, transb, m, n, k, alpha, a, lda, stride_a, b, ldb,
+                   stride_b, beta, c, ldc, stride_c, batch)
   const char* site =
       dcmesh::intercept::site_for(__builtin_return_address(0));
   report(dcmesh_gemm_batch_strided(
@@ -212,6 +275,7 @@ DCMESH_PUBLIC void sgemm_(const char* transa, const char* transb,
                           const int* lda, const float* b, const int* ldb,
                           const float* beta, float* c, const int* ldc) {
   ensure_armed();
+  DCMESH_TRY_CHAIN(sgemm_, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
   const char* site =
       dcmesh::intercept::site_for(__builtin_return_address(0));
   report(dcmesh_gemm('s', DCMESH_LAYOUT_COL_MAJOR, fortran_trans(transa),
@@ -225,6 +289,7 @@ DCMESH_PUBLIC void dgemm_(const char* transa, const char* transb,
                           const int* lda, const double* b, const int* ldb,
                           const double* beta, double* c, const int* ldc) {
   ensure_armed();
+  DCMESH_TRY_CHAIN(dgemm_, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
   const char* site =
       dcmesh::intercept::site_for(__builtin_return_address(0));
   report(dcmesh_gemm('d', DCMESH_LAYOUT_COL_MAJOR, fortran_trans(transa),
@@ -238,6 +303,7 @@ DCMESH_PUBLIC void cgemm_(const char* transa, const char* transb,
                           const void* b, const int* ldb, const void* beta,
                           void* c, const int* ldc) {
   ensure_armed();
+  DCMESH_TRY_CHAIN(cgemm_, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
   const char* site =
       dcmesh::intercept::site_for(__builtin_return_address(0));
   report(dcmesh_gemm('c', DCMESH_LAYOUT_COL_MAJOR, fortran_trans(transa),
@@ -251,6 +317,7 @@ DCMESH_PUBLIC void zgemm_(const char* transa, const char* transb,
                           const void* b, const int* ldb, const void* beta,
                           void* c, const int* ldc) {
   ensure_armed();
+  DCMESH_TRY_CHAIN(zgemm_, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
   const char* site =
       dcmesh::intercept::site_for(__builtin_return_address(0));
   report(dcmesh_gemm('z', DCMESH_LAYOUT_COL_MAJOR, fortran_trans(transa),

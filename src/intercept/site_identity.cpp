@@ -35,6 +35,9 @@ site_mode g_mode = site_mode::addr;  // guarded
 env_cache g_autotune_cache;       // guarded
 bool g_autotune = true;           // guarded
 
+env_cache g_chain_cache;          // guarded
+bool g_chain = false;             // guarded
+
 std::unordered_map<std::uint64_t, std::string> g_sites;  // guarded
 
 site_mode parse_site_mode_locked(const std::string& text) {
@@ -49,10 +52,11 @@ site_mode parse_site_mode_locked(const std::string& text) {
   return site_mode::addr;
 }
 
-bool parse_autotune_locked(const std::string& text) {
+bool parse_switch_locked(const std::string& text, std::string_view var,
+                         bool fallback) {
   const std::string token = to_upper(trim(text));
-  if (token.empty() || token == "1" || token == "ON" || token == "TRUE" ||
-      token == "YES") {
+  if (token.empty()) return fallback;
+  if (token == "1" || token == "ON" || token == "TRUE" || token == "YES") {
     return true;
   }
   if (token == "0" || token == "OFF" || token == "FALSE" || token == "NO") {
@@ -60,9 +64,10 @@ bool parse_autotune_locked(const std::string& text) {
   }
   std::fprintf(stderr,
                "dcmesh-intercept: ignoring malformed %s=\"%s\" "
-               "(expected 0|1|on|off|true|false|yes|no); using on\n",
-               std::string(kAutotuneEnvVar).c_str(), text.c_str());
-  return true;
+               "(expected 0|1|on|off|true|false|yes|no); using %s\n",
+               std::string(var).c_str(), text.c_str(),
+               fallback ? "on" : "off");
+  return fallback;
 }
 
 site_mode active_site_mode_locked() {
@@ -147,9 +152,20 @@ bool autotune_enabled() {
   if (!g_autotune_cache.initialized || text != g_autotune_cache.text) {
     g_autotune_cache.initialized = true;
     g_autotune_cache.text = text;
-    g_autotune = parse_autotune_locked(text);
+    g_autotune = parse_switch_locked(text, kAutotuneEnvVar, true);
   }
   return g_autotune;
+}
+
+bool chain_enabled() {
+  std::lock_guard lock(g_mutex);
+  const std::string text = env_get(kChainEnvVar).value_or("");
+  if (!g_chain_cache.initialized || text != g_chain_cache.text) {
+    g_chain_cache.initialized = true;
+    g_chain_cache.text = text;
+    g_chain = parse_switch_locked(text, kChainEnvVar, false);
+  }
+  return g_chain;
 }
 
 }  // namespace dcmesh::intercept

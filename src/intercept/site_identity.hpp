@@ -49,10 +49,18 @@ enum class site_mode { addr, symbol, single };
 /// once and yield the default.
 [[nodiscard]] bool autotune_enabled();
 
+/// DCMESH_INTERCEPT_CHAIN: forward interposed calls to the next BLAS in
+/// the link chain (dlsym(RTLD_NEXT)) instead of the dcmesh engine —
+/// the zero-rebuild baseline for A/B runs against the system BLAS
+/// (default off).  Same 0/1/on/off/... parsing as autotune_enabled().
+[[nodiscard]] bool chain_enabled();
+
 inline constexpr std::string_view kSiteModeEnvVar =
     "DCMESH_INTERCEPT_SITE_MODE";
 inline constexpr std::string_view kAutotuneEnvVar =
     "DCMESH_INTERCEPT_AUTOTUNE";
+inline constexpr std::string_view kChainEnvVar =
+    "DCMESH_INTERCEPT_CHAIN";
 
 /// Every derived tag starts with this, so one glob ("intercept/*")
 /// addresses all interposed calls in a policy.

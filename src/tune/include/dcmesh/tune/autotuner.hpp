@@ -16,9 +16,17 @@
 //     kernels when the shape is big enough to time reliably, otherwise by
 //     the installed cost model (the xehpc roofline arrives through
 //     trace::set_gemm_time_model — the same hook that annotates spans);
-//  4. records the winner in a thread-safe in-memory cache AND appends it
-//     to the on-disk wisdom file named by DCMESH_TUNE_CACHE, so the next
-//     process resolves the key with zero calibration GEMMs.
+//  4. records the winner in a thread-safe in-memory cache AND merges it
+//     into the shared on-disk wisdom store named by DCMESH_TUNE_CACHE, so
+//     the next process resolves the key with zero calibration GEMMs.
+//
+// The store is safe under N concurrent worker processes (the campaign
+// farm): a cache miss takes the store's advisory flock, re-reads the
+// header generation, refreshes in-memory decisions when a sibling has
+// published since (resolving the miss with ZERO calibration GEMMs when
+// the sibling already covered the key), and otherwise calibrates while
+// still holding the lock before merging the new entry in.  Cold-start is
+// therefore paid at most once per key across the whole fleet.
 //
 // Calibration GEMMs run through the ordinary descriptor dispatcher under
 // the "tune/calibrate" site tag with an explicit per-call mode override —
@@ -87,6 +95,11 @@ struct tuner_stats {
   std::uint64_t cache_hits = 0;      ///< Served from memory (incl. file).
   std::uint64_t calibrations = 0;    ///< Keys resolved by timing kernels.
   std::uint64_t model_decisions = 0; ///< Keys resolved by the cost model.
+  std::uint64_t refreshes = 0;       ///< Store reloads after a sibling
+                                     ///< process published a generation.
+  std::uint64_t shared_hits = 0;     ///< Misses resolved under the store
+                                     ///< lock by a sibling's fresh entry
+                                     ///< (counted in cache_hits too).
 };
 
 /// An online autotuner with an in-memory decision cache fronting an
@@ -115,8 +128,9 @@ class autotuner {
 
   [[nodiscard]] tuner_stats stats() const;
 
-  /// Rewrite the wisdom file from the in-memory decisions.  False when
-  /// there is no path or the write fails.
+  /// Merge the in-memory decisions into the wisdom store (read-modify-
+  /// merge under the store lock — never clobbers entries published by
+  /// sibling processes).  False when there is no path or the write fails.
   bool flush();
 
   /// Drop the in-memory state (decisions, calibration log, counters).
@@ -130,6 +144,7 @@ class autotuner {
  private:
   struct state;
   void reload_if_needed(state& s);
+  bool refresh_from_store(state& s);
   blas::auto_tune_choice decide(state& s,
                                 const blas::auto_tune_request& request);
 
@@ -138,8 +153,8 @@ class autotuner {
     bool follow_env = false;
     std::string path;            // wisdom file ("" = none)
     bool loaded = false;         // file has been read into `decisions`
-    bool rewrite_on_persist = false;  // file was stale/corrupt: truncate
-    bool persist_warned = false;      // unwritable-path warning emitted
+    bool persist_warned = false; // unwritable-path warning emitted
+    std::uint64_t file_generation = 0;  // store generation last seen
     std::map<std::string, wisdom_entry> decisions;
     std::vector<calibration_record> log;
     tuner_stats stats;

@@ -9,17 +9,31 @@
 // a file written by an older kernel generation — whose timings and error
 // profile no longer apply — is rejected whole, cleanly, and rebuilt.
 //
-// The format is append-friendly on purpose: concurrently calibrating
-// processes sharing one wisdom file each append complete lines, and a
-// loader simply keeps the first entry per key (first writer wins, so all
-// sharers converge on the same decisions).  Individual malformed lines
-// (torn writes, hand edits) are skipped and counted, never fatal.
+// Concurrency (the campaign-farm contract): the file is a SHARED store.
+// All writes go through merge_wisdom() — a read-modify-merge critical
+// section under an advisory flock on a ".lock" sidecar, finished by the
+// usual temp+fsync+rename replacement — so N worker processes can write
+// without ever losing each other's entries.  The header carries a
+// monotonic generation counter that every merge increments, and each
+// entry records the generation it was written at; a merge replaces an
+// existing key only when the incoming entry carries an equal-or-newer
+// generation (i.e. its writer had already observed the published entry
+// and deliberately overrides it — last writer in generation time wins).
+// A freshly calibrated decision carries generation 0 ("never saw the
+// file") and therefore only ever FILLS ABSENT keys: once a key is
+// published, every sharer converges on that decision.  Individual
+// malformed lines (torn writes, hand edits) are skipped and counted,
+// never fatal.
 
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+namespace dcmesh {
+class file_lock;
+}
 
 namespace dcmesh::tune {
 
@@ -64,6 +78,9 @@ struct wisdom_entry {
   double gflops = 0.0;      ///< Measured throughput of the chosen mode
                             ///< (0 = decision was model-ranked, not timed).
   std::string provenance;   ///< "calibrated" or "modeled".
+  /// Store generation this entry was written at.  0 = never published
+  /// (a fresh in-memory decision); merge_wisdom stamps the file value.
+  std::uint64_t generation = 0;
 
   [[nodiscard]] std::string key() const;      ///< Lookup key (see below).
   [[nodiscard]] std::string to_json() const;  ///< One JSONL line.
@@ -74,8 +91,9 @@ struct wisdom_entry {
                                      std::string_view site, shape_class cls,
                                      double ulp_budget);
 
-/// The header line a valid wisdom file must start with.
-[[nodiscard]] std::string wisdom_header();
+/// The header line a valid wisdom file must start with.  `generation` is
+/// the store's monotonic merge counter (0 for a brand-new file).
+[[nodiscard]] std::string wisdom_header(std::uint64_t generation = 0);
 
 /// True when `line` is a header this build accepts (format version AND
 /// kernel version both match).
@@ -87,7 +105,9 @@ struct wisdom_entry {
 
 /// Result of loading a wisdom file.
 struct wisdom_file {
-  std::vector<wisdom_entry> entries;  ///< First entry per key, file order.
+  std::vector<wisdom_entry> entries;  ///< One entry per key (highest
+                                      ///< generation wins), file order.
+  std::uint64_t generation = 0;  ///< Store generation from the header.
   bool existed = false;       ///< File was present and readable.
   bool version_ok = true;     ///< Header matched (false = stale/corrupt;
                               ///< entries is empty in that case).
@@ -97,12 +117,38 @@ struct wisdom_file {
 /// Load `path`; never throws.  A missing file is {existed=false}.
 [[nodiscard]] wisdom_file load_wisdom(const std::string& path);
 
-/// Rewrite `path` as header + entries.  False on I/O failure.
+/// Rewrite `path` as header + entries.  False on I/O failure.  This is
+/// the raw rewrite primitive; concurrent writers must go through
+/// merge_wisdom instead.
 bool save_wisdom(const std::string& path,
-                 const std::vector<wisdom_entry>& entries);
+                 const std::vector<wisdom_entry>& entries,
+                 std::uint64_t generation = 0);
 
-/// Append one entry to `path`, writing the header first when the file does
-/// not yet exist or is empty.  False on I/O failure.
-bool append_wisdom(const std::string& path, const wisdom_entry& entry);
+/// Read just the store generation from `path`'s header without parsing
+/// the entries — the cheap "did a sibling publish since I last looked?"
+/// probe.  nullopt when the file is missing or its header is not ours.
+[[nodiscard]] std::optional<std::uint64_t> peek_wisdom_generation(
+    const std::string& path);
+
+/// Outcome of one merge_wisdom critical section.
+struct merge_result {
+  bool ok = false;           ///< Final file state reflects the merge.
+  std::uint64_t generation = 0;  ///< Store generation after the merge.
+  std::size_t added = 0;     ///< Incoming entries that won their key.
+  std::size_t kept = 0;      ///< Incoming entries dropped because the
+                             ///< store already had a same-or-newer entry.
+};
+
+/// The ONE write path for shared wisdom stores: under an exclusive flock
+/// on `path` + ".lock", reload the file, fold `incoming` in (an entry
+/// replaces an existing key only when its generation is >= the stored
+/// one and nonzero; generation-0 entries fill absent keys only), bump
+/// the store generation, and atomically rewrite.  A stale or corrupt
+/// file is treated as empty and rebuilt.  When the caller already holds
+/// the lock (e.g. it calibrated under it), pass it as `held` to avoid
+/// self-deadlock on a second acquisition.  Never throws.
+merge_result merge_wisdom(const std::string& path,
+                          const std::vector<wisdom_entry>& incoming,
+                          const file_lock* held = nullptr);
 
 }  // namespace dcmesh::tune

@@ -8,8 +8,11 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <optional>
+
 #include "dcmesh/blas/gemm_call.hpp"
 #include "dcmesh/common/env.hpp"
+#include "dcmesh/common/file_lock.hpp"
 #include "dcmesh/common/rng.hpp"
 #include "dcmesh/trace/tracer.hpp"
 
@@ -260,13 +263,14 @@ void autotuner::reload_if_needed(state& s) {
   if (s.path.empty()) return;
   const wisdom_file file = load_wisdom(s.path);
   if (file.existed && !file.version_ok) {
+    // merge_wisdom rebuilds a stale/corrupt store on the next persist.
     std::fprintf(stderr,
                  "dcmesh: wisdom file \"%s\" has a stale or corrupt header; "
                  "ignoring it (it will be rebuilt)\n",
                  s.path.c_str());
-    s.rewrite_on_persist = true;
     return;
   }
+  s.file_generation = file.generation;
   std::size_t dropped = file.rejected_lines;
   for (const auto& entry : file.entries) {
     // Entries naming modes this build does not know are stale — drop them.
@@ -282,6 +286,25 @@ void autotuner::reload_if_needed(state& s) {
                  "\"%s\"\n",
                  dropped, s.path.c_str());
   }
+}
+
+bool autotuner::refresh_from_store(state& s) {
+  // Cheap probe first: only re-parse the store when its header says a
+  // sibling merged since we last looked.
+  const auto gen = peek_wisdom_generation(s.path);
+  if (!gen || *gen == s.file_generation) return false;
+  const wisdom_file file = load_wisdom(s.path);
+  if (!file.version_ok) return false;
+  for (const auto& entry : file.entries) {
+    if (!blas::parse_compute_mode(entry.mode_token)) continue;
+    const auto [it, inserted] = s.decisions.emplace(entry.key(), entry);
+    if (!inserted && entry.generation > it->second.generation) {
+      it->second = entry;
+    }
+  }
+  s.file_generation = file.generation;
+  ++s.stats.refreshes;
+  return true;
 }
 
 blas::auto_tune_choice autotuner::decide(state& s,
@@ -304,6 +327,25 @@ blas::auto_tune_choice autotuner::decide(state& s,
   if (const auto it = s.decisions.find(key); it != s.decisions.end()) {
     ++s.stats.cache_hits;
     return make_choice(it->second, blas::auto_provenance::cached);
+  }
+
+  // Miss.  When a store is attached, enter its cross-process critical
+  // section for the whole cold path: refresh from the store (a sibling
+  // may have resolved this key while we were busy — if so, adopt its
+  // decision with zero calibration GEMMs), and otherwise calibrate while
+  // still holding the lock, so no sibling duplicates the work.  This is
+  // double-checked locking across processes; lock failure (read-only
+  // store) degrades to optimistic calibration.
+  std::optional<file_lock> store_lock;
+  if (!s.path.empty()) {
+    store_lock.emplace(s.path);
+    if (refresh_from_store(s)) {
+      if (const auto it = s.decisions.find(key); it != s.decisions.end()) {
+        ++s.stats.cache_hits;
+        ++s.stats.shared_hits;
+        return make_choice(it->second, blas::auto_provenance::cached);
+      }
+    }
   }
 
   // Calibrate: measure error for every eligible mode, and throughput when
@@ -379,18 +421,14 @@ blas::auto_tune_choice autotuner::decide(state& s,
   s.log.push_back({key, entry, std::move(measurements)});
 
   if (!s.path.empty()) {
-    bool ok;
-    if (s.rewrite_on_persist) {
-      // The file on disk was stale/corrupt: replace it wholesale.
-      std::vector<wisdom_entry> all;
-      all.reserve(s.decisions.size());
-      for (const auto& [_, e] : s.decisions) all.push_back(e);
-      ok = save_wisdom(s.path, all);
-      if (ok) s.rewrite_on_persist = false;
-    } else {
-      ok = append_wisdom(s.path, entry);
-    }
-    if (!ok && !s.persist_warned) {
+    const merge_result merged = merge_wisdom(
+        s.path, {entry}, store_lock ? &*store_lock : nullptr);
+    if (merged.ok) {
+      s.file_generation = merged.generation;
+      // Stamp the published generation so a later flush() re-asserts
+      // this decision instead of deferring to the stored copy.
+      s.decisions[key].generation = merged.generation;
+    } else if (!s.persist_warned) {
       s.persist_warned = true;
       std::fprintf(stderr,
                    "dcmesh: cannot write %s file \"%s\"; tuning decisions "
@@ -434,8 +472,9 @@ bool autotuner::flush() {
   std::vector<wisdom_entry> all;
   all.reserve(state_.decisions.size());
   for (const auto& [_, entry] : state_.decisions) all.push_back(entry);
-  if (!save_wisdom(state_.path, all)) return false;
-  state_.rewrite_on_persist = false;
+  const merge_result merged = merge_wisdom(state_.path, all);
+  if (!merged.ok) return false;
+  state_.file_generation = merged.generation;
   return true;
 }
 

@@ -3,9 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <sys/stat.h>
 
 #include "dcmesh/common/atomic_file.hpp"
+#include "dcmesh/common/file_lock.hpp"
 #include "dcmesh/trace/tracer.hpp"  // append_json_escaped
 
 namespace dcmesh::tune {
@@ -113,16 +113,22 @@ std::string wisdom_entry::to_json() const {
                 err_ulp, gflops);
   out += buffer;
   out += provenance;
-  out += "\"}";
+  if (generation > 0) {
+    std::snprintf(buffer, sizeof(buffer), "\",\"gen\":%llu}",
+                  static_cast<unsigned long long>(generation));
+    out += buffer;
+  } else {
+    out += "\"}";
+  }
   return out;
 }
 
-std::string wisdom_header() {
-  char buffer[128];
+std::string wisdom_header(std::uint64_t generation) {
+  char buffer[160];
   std::snprintf(buffer, sizeof(buffer),
-                "{\"dcmesh_wisdom\":%d,\"kernel\":\"%s\"}",
-                kWisdomFormatVersion,
-                std::string(kKernelVersion).c_str());
+                "{\"dcmesh_wisdom\":%d,\"kernel\":\"%s\",\"gen\":%llu}",
+                kWisdomFormatVersion, std::string(kKernelVersion).c_str(),
+                static_cast<unsigned long long>(generation));
   return buffer;
 }
 
@@ -157,6 +163,12 @@ std::optional<wisdom_entry> parse_wisdom_line(std::string_view line) {
   entry.err_ulp = *err;
   entry.gflops = *gflops;
   entry.provenance = *provenance;
+  // "gen" was added after format v1 shipped; its absence (a pre-merge
+  // file, or a hand-written line) reads as generation 0, which merges
+  // exactly like a fresh in-memory decision.
+  if (const auto gen = json_number_field(line, "gen"); gen && *gen > 0) {
+    entry.generation = static_cast<std::uint64_t>(*gen);
+  }
   return entry;
 }
 
@@ -171,9 +183,13 @@ wisdom_file load_wisdom(const std::string& path) {
     result.version_ok = false;
     return result;
   }
-  // First entry per key wins: concurrent appenders may duplicate a key,
-  // and every sharer must resolve it to the same decision.
-  std::vector<std::string> seen;
+  if (const auto gen = json_number_field(line, "gen"); gen && *gen > 0) {
+    result.generation = static_cast<std::uint64_t>(*gen);
+  }
+  // Highest generation per key wins (ties keep the earlier line): the
+  // merge writer keeps at most one line per key, but a file touched by a
+  // pre-merge appender may still duplicate keys, and every sharer must
+  // resolve each to the same decision.
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     auto entry = parse_wisdom_line(line);
@@ -182,26 +198,29 @@ wisdom_file load_wisdom(const std::string& path) {
       continue;
     }
     const std::string key = entry->key();
-    bool duplicate = false;
-    for (const auto& k : seen) {
-      if (k == key) {
-        duplicate = true;
+    wisdom_entry* existing = nullptr;
+    for (auto& e : result.entries) {
+      if (e.key() == key) {
+        existing = &e;
         break;
       }
     }
-    if (duplicate) continue;
-    seen.push_back(key);
-    result.entries.push_back(std::move(*entry));
+    if (existing == nullptr) {
+      result.entries.push_back(std::move(*entry));
+    } else if (entry->generation > existing->generation) {
+      *existing = std::move(*entry);
+    }
   }
   return result;
 }
 
 bool save_wisdom(const std::string& path,
-                 const std::vector<wisdom_entry>& entries) {
+                 const std::vector<wisdom_entry>& entries,
+                 std::uint64_t generation) {
   // Crash-safe rewrite (temp file + fsync + atomic rename): a run killed
   // mid-save must not destroy the wisdom accumulated by earlier runs.
   return atomic_write_file(path, [&](std::ostream& os) {
-    os << wisdom_header() << '\n';
+    os << wisdom_header(generation) << '\n';
     for (const auto& entry : entries) {
       os << entry.to_json() << '\n';
     }
@@ -209,17 +228,78 @@ bool save_wisdom(const std::string& path,
   });
 }
 
-bool append_wisdom(const std::string& path, const wisdom_entry& entry) {
-  if (path.empty()) return false;
-  struct stat st {};
-  const bool needs_header =
-      stat(path.c_str(), &st) != 0 || st.st_size == 0;
-  std::ofstream os(path, std::ios::app);
-  if (!os) return false;
-  if (needs_header) os << wisdom_header() << '\n';
-  os << entry.to_json() << '\n';
-  os.flush();
-  return static_cast<bool>(os);
+std::optional<std::uint64_t> peek_wisdom_generation(
+    const std::string& path) {
+  if (path.empty()) return std::nullopt;
+  std::ifstream in(path);
+  if (!in.is_open()) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || !wisdom_header_ok(line)) {
+    return std::nullopt;
+  }
+  const auto gen = json_number_field(line, "gen");
+  if (!gen || *gen < 0) return 0;
+  return static_cast<std::uint64_t>(*gen);
+}
+
+merge_result merge_wisdom(const std::string& path,
+                          const std::vector<wisdom_entry>& incoming,
+                          const file_lock* held) {
+  merge_result result;
+  if (path.empty()) return result;
+  // Serialize the read-modify-write against sibling processes.  When the
+  // caller calibrated under its own lock it passes that lock in; taking
+  // a second one here would block forever (flock excludes per open file
+  // description, even within one process).
+  std::optional<file_lock> own;
+  if (held == nullptr || !held->held()) own.emplace(path);
+
+  wisdom_file file = load_wisdom(path);
+  // A stale-kernel or corrupt file is rebuilt from scratch — its
+  // decisions are not comparable, so nothing in it is worth preserving.
+  if (!file.version_ok) {
+    file.entries.clear();
+    file.generation = 0;
+  }
+  const std::uint64_t next_gen = file.generation + 1;
+  bool changed = false;
+  for (const auto& in_entry : incoming) {
+    const std::string key = in_entry.key();
+    wisdom_entry* existing = nullptr;
+    for (auto& e : file.entries) {
+      if (e.key() == key) {
+        existing = &e;
+        break;
+      }
+    }
+    if (existing == nullptr) {
+      file.entries.push_back(in_entry);
+      file.entries.back().generation = next_gen;
+      ++result.added;
+      changed = true;
+    } else if (in_entry.generation > 0 &&
+               in_entry.generation >= existing->generation) {
+      // The writer had observed the published entry (its generation is
+      // from a real load) and overrides it: last writer wins.
+      *existing = in_entry;
+      existing->generation = next_gen;
+      ++result.added;
+      changed = true;
+    } else {
+      // A sibling published this key first; converge on its decision.
+      ++result.kept;
+    }
+  }
+  if (!changed && file.existed && file.version_ok) {
+    // Nothing to write — do not burn a generation (siblings would
+    // reload for no reason) and do not touch the file.
+    result.ok = true;
+    result.generation = file.generation;
+    return result;
+  }
+  result.ok = save_wisdom(path, file.entries, next_gen);
+  result.generation = result.ok ? next_gen : file.generation;
+  return result;
 }
 
 }  // namespace dcmesh::tune

@@ -142,6 +142,7 @@ TEST(Intercept, ShimLoadsAndExportsEveryPublicSymbol) {
       "dcmesh_metrics_report",
       // shim introspection
       "dcmesh_intercept_site_mode", "dcmesh_intercept_autotune",
+      "dcmesh_intercept_chain",
   };
   for (const char* name : names) {
     EXPECT_NE(dlsym(shim_handle(), name), nullptr) << name;
@@ -276,6 +277,41 @@ TEST(Intercept, ShimCallsLandInTheShimEngineOnly) {
   EXPECT_EQ(count(), before + 1);
 }
 
+TEST(Intercept, ChainFlagParsesLikeEveryOtherSwitch) {
+  ASSERT_NE(shim_handle(), nullptr);
+  auto chain = shim_sym<int_fn>("dcmesh_intercept_chain");
+  ASSERT_NE(chain, nullptr);
+
+  // Default off — the opposite of autotune, because chaining silently
+  // changes which BLAS executes.
+  ::unsetenv("DCMESH_INTERCEPT_CHAIN");
+  EXPECT_EQ(chain(), 0);
+  ::setenv("DCMESH_INTERCEPT_CHAIN", "on", 1);
+  EXPECT_EQ(chain(), 1);
+  ::setenv("DCMESH_INTERCEPT_CHAIN", "banana", 1);
+  EXPECT_EQ(chain(), 0);  // malformed: warn once, default off
+  ::setenv("DCMESH_INTERCEPT_CHAIN", "", 1);
+  EXPECT_EQ(chain(), 0);
+  ::unsetenv("DCMESH_INTERCEPT_CHAIN");
+}
+
+TEST(Intercept, ChainWithoutNextBlasFallsBackToEngine) {
+  ASSERT_NE(shim_handle(), nullptr);
+  auto gemm = shim_sym<sgemm_fn>("cblas_sgemm");
+  auto count = shim_sym<call_count_fn>("dcmesh_call_count");
+  ASSERT_NE(gemm, nullptr);
+  ASSERT_NE(count, nullptr);
+
+  // The shim was dlopen'd LAST, so dlsym(RTLD_NEXT, "cblas_sgemm") from
+  // inside it finds nothing: the chain must fall back to the engine and
+  // the call must still compute correctly.
+  ::setenv("DCMESH_INTERCEPT_CHAIN", "1", 1);
+  const unsigned long long before = count();
+  poke_site_a(gemm);
+  EXPECT_EQ(count(), before + 1);
+  ::unsetenv("DCMESH_INTERCEPT_CHAIN");
+}
+
 // ---------------------------------------------------------------------
 // End-to-end: LD_PRELOAD the shim under the demo binary, which links
 // only the naive stand-in BLAS and knows nothing about dcmesh.
@@ -323,6 +359,32 @@ TEST(InterceptEndToEnd, PreloadRoutesDemoThroughEngine) {
       << warm.output;
   EXPECT_NE(warm.output.find("tune:cached"), std::string::npos)
       << warm.output;
+}
+
+TEST(InterceptEndToEnd, ChainPreloadHandsCallsBackToTheRealBlas) {
+  ASSERT_STRNE(shim_path(), "");
+  ASSERT_STRNE(demo_path(), "");
+  const std::string wisdom =
+      ::testing::TempDir() + "/intercept_chain_wisdom.jsonl";
+  std::remove(wisdom.c_str());
+
+  // DCMESH_INTERCEPT_CHAIN=1: the preloaded shim forwards every GEMM to
+  // the next cblas_* in the link chain — the demo's own stand-in BLAS —
+  // so the dcmesh engine must see NOTHING: no verbose records, no
+  // calibration, no wisdom file, yet the demo's answers stay correct.
+  const run_result chained = run(
+      "LD_PRELOAD='" + std::string(shim_path()) +
+      "' MKL_VERBOSE=1 DCMESH_INTERCEPT_CHAIN=1 DCMESH_TUNE_CACHE='" +
+      wisdom + "' DCMESH_BLAS_POLICY='intercept/*=auto' '" + demo_path() +
+      "'");
+  EXPECT_EQ(chained.status, 0) << chained.output;
+  EXPECT_NE(chained.output.find("intercept_demo: status=ok"),
+            std::string::npos) << chained.output;
+  EXPECT_EQ(chained.output.find("MKL_VERBOSE"), std::string::npos)
+      << chained.output;
+  EXPECT_EQ(chained.output.find("tune/calibrate"), std::string::npos)
+      << chained.output;
+  EXPECT_EQ(slurp(wisdom), "") << "chained run must not write wisdom";
 }
 
 TEST(InterceptEndToEnd, DemoStandsAloneWithoutPreload) {
