@@ -16,6 +16,7 @@
 // Internal engine headers: the fused-vs-legacy comparison times the two
 // split implementations directly, and the JSON rows carry the fused
 // engine's pack/compute phase breakdown and active kernel ISA.
+#include "gemm_kernel.hpp"
 #include "kernel_isa.hpp"
 #include "split.hpp"
 
@@ -229,6 +230,85 @@ void emit_table7_split_rows(bench::bench_json_writer& json) {
   }
 }
 
+/// Per-kernel-tier rows at the Table VII shape (128 x 128 x 64^3): every
+/// available ISA tier x {FP32 standard, BF16X2, BF16X3}, best-of-2, with
+/// the fused engine's pack/compute phase breakdown for the split modes.
+/// This is the artifact the avx512-tier acceptance reads: the avx512 rows
+/// must beat the avx2 rows at this shape.
+void emit_kernel_tier_rows(bench::bench_json_writer& json) {
+  using blas::compute_mode;
+  namespace bd = blas::detail;
+  const blas::blas_int m = 128, n = 128, k = 64 * 64 * 64;
+  const auto a = random_data<float>(static_cast<std::size_t>(k) * m, 13);
+  const auto b = random_data<float>(static_cast<std::size_t>(k) * n, 14);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  const double flops = blas::gemm_flops(false, m, n, k);
+
+  for (const auto isa :
+       {bd::kernel_isa::scalar, bd::kernel_isa::avx2,
+        bd::kernel_isa::avx512}) {
+    if (isa == bd::kernel_isa::avx2 && !bd::avx2_kernels_available()) {
+      continue;
+    }
+    if (isa == bd::kernel_isa::avx512 && !bd::avx512_kernels_available()) {
+      continue;
+    }
+    bd::set_kernel_isa(isa);
+    const std::string isa_name(bd::kernel_isa_name(isa));
+    for (const auto mode :
+         {compute_mode::standard, compute_mode::float_to_bf16x2,
+          compute_mode::float_to_bf16x3}) {
+      bench::bench_gemm_row row;
+      row.routine = "SGEMM_TIER";
+      row.m = m;
+      row.n = n;
+      row.k = k;
+      row.mode = std::string(blas::info(mode).env_token);
+      row.source = "measured-" + isa_name;
+      char note[160];
+      if (mode == compute_mode::standard) {
+        double best = 1e300;
+        for (int r = 0; r < 2; ++r) {
+          const auto t0 = std::chrono::steady_clock::now();
+          bd::gemm_blocked(blas::transpose::trans, blas::transpose::none, m,
+                           n, k, 1.0f, a.data(), k, b.data(), k, 0.0f,
+                           c.data(), m);
+          const double s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+          if (s < best) best = s;
+        }
+        row.gflops = flops / best / 1e9;
+        std::snprintf(note, sizeof(note), "blocked core; isa=%s",
+                      isa_name.c_str());
+      } else {
+        bd::reset_split_profile();
+        bd::set_split_profiling(true);
+        const double best = time_split(false, mode, m, n, k, a.data(),
+                                       b.data(), c.data(), 2);
+        bd::set_split_profiling(false);
+        const auto prof = bd::split_profile_snapshot();
+        const double prof_total =
+            std::max(prof.pack_a_seconds + prof.pack_b_seconds +
+                         prof.compute_seconds,
+                     1e-12);
+        row.gflops = flops / best / 1e9;
+        std::snprintf(note, sizeof(note),
+                      "pack_a %.0f%% pack_b %.0f%% compute %.0f%%; isa=%s; "
+                      "bf16=%s",
+                      100 * prof.pack_a_seconds / prof_total,
+                      100 * prof.pack_b_seconds / prof_total,
+                      100 * prof.compute_seconds / prof_total,
+                      isa_name.c_str(),
+                      bd::bf16_native_active() ? "native" : "software");
+      }
+      row.note = note;
+      json.add(row);
+    }
+  }
+  bd::set_kernel_isa(std::nullopt);
+}
+
 /// The BENCH_gemm.json sweep: every compute mode on the two shapes the
 /// google-benchmark cases cover (square SGEMM, DCMESH-skinny CGEMM), each
 /// row carrying measured GFLOP/s AND measured error — the (speed, error)
@@ -251,6 +331,7 @@ void emit_bench_json() {
                                                           1024, mode));
   }
   emit_table7_split_rows(json);
+  emit_kernel_tier_rows(json);
   json.write();
 }
 

@@ -49,6 +49,14 @@ struct gemm_call {
   std::string_view call_site = {};
   /// Per-call compute mode; overrides every other resolution layer.
   std::optional<compute_mode> mode = std::nullopt;
+  /// Explicit cache-blocking override (MC/NC rows/cols of C per block);
+  /// 0 = resolve normally (tuned wisdom, else per-ISA defaults).  Values
+  /// are legalized to the active tile quanta.  MC/NC only partition the
+  /// output sweep — any legal override is bit-identical to the default —
+  /// so this is a performance knob, never a numerics knob.  Used by the
+  /// autotuner's blocking probes; available to expert callers.
+  blas_int block_m = 0;
+  blas_int block_n = 0;
 };
 
 /// Execute one descriptor: resolve the effective compute mode for its

@@ -21,29 +21,39 @@
 
 #include "dcmesh/blas/blas.hpp"
 #include "dcmesh/sched/config.hpp"
+#include "blocking.hpp"
 #include "microkernel.hpp"
 #include "pack_arena.hpp"
 #include "prepack_cache.hpp"
 
 namespace dcmesh::blas::detail {
 
-/// Cache-block sizes (elements).  KC*NR and MC*KC panels stay within L1/L2
-/// for all four element types at these settings.  kBlockK partitions the
-/// accumulation and is part of the numerical contract (the golden
-/// trajectory was produced at 256); kBlockM/kBlockN only partition the
-/// output and can be retuned freely.  72 = lcm(6, 4, 2) rows keeps every
-/// element type's A strips exactly full inside interior blocks.
+/// The K cache-block (elements).  kBlockK partitions the accumulation —
+/// each C element is produced by one microkernel call per kBlockK slice,
+/// in pc-ascending order — so it is part of the golden-trajectory
+/// numerical contract and stays a compile-time constant.  MC and NC only
+/// partition the *output*: any legal choice yields bit-identical C, so
+/// they are runtime values resolved per call through blocking.hpp
+/// (tier defaults, or a tuned override planned by the dispatcher).
 inline constexpr blas_int kBlockK = 256;
-inline constexpr blas_int kBlockM = 72;
-inline constexpr blas_int kBlockN = 512;
 
-/// Measured crossovers (Release, -march=native; see DESIGN §9).  Forking a
-/// parallel region costs ~1-2 us — packing below ~32k elements (~128 KiB
-/// of float) is faster serial.  Dynamic scheduling pays off once there are
-/// enough ic blocks for imbalance (edge blocks, busy cores) to matter;
-/// below that static's zero-overhead assignment wins.
-inline constexpr blas_int kPackParallelMinElems = 32768;
-inline constexpr blas_int kIcDynamicCrossover = 8;
+/// Parallelism crossovers, per ISA tier (measured Release,
+/// -march=native, see DESIGN §9).  Handing a pack to the worker team —
+/// the shared pool under DCMESH_SCHED=pool, an OpenMP fork otherwise —
+/// costs on the order of a microsecond; a panel is only worth sharing
+/// once its serial pack time clears that by a healthy margin.  The
+/// avx512 tier's ZMM pack loop moves roughly twice the bytes per cycle,
+/// so its break-even sits at twice the elements.  Dynamic scheduling of
+/// the ic sweep pays off once there are enough blocks for imbalance
+/// (edge blocks, busy cores) to matter; the avx512 tier's taller MC
+/// means fewer, longer blocks, so imbalance bites at a lower count.
+[[nodiscard]] inline blas_int pack_parallel_min_elems(
+    kernel_isa isa) noexcept {
+  return isa == kernel_isa::avx512 ? 65536 : 32768;
+}
+[[nodiscard]] inline blas_int ic_dynamic_crossover(kernel_isa isa) noexcept {
+  return isa == kernel_isa::avx512 ? 6 : 8;
+}
 
 template <typename T>
 [[nodiscard]] constexpr T conj_if(T value, bool do_conj) noexcept {
@@ -83,11 +93,11 @@ void scale_c(blas_int m, blas_int n, T beta, T* c, blas_int ldc) {
 /// Pack an mc x kc block of op(A) into MR-tall strips, zero-padded to a
 /// multiple of MR rows.  Strip layout: strip s holds kc "columns" of MR
 /// contiguous elements.  Every packed element is written, so arena memory
-/// needs no pre-zeroing.
+/// needs no pre-zeroing.  `mr` comes from the resolved kernel_desc — the
+/// avx512 tier packs taller strips than the baseline micro_tile.
 template <typename T>
 void pack_a(const T* a, blas_int lda, transpose op, blas_int row0,
-            blas_int col0, blas_int mc, blas_int kc, T* packed) {
-  constexpr int mr = micro_tile<T>::mr;
+            blas_int col0, blas_int mc, blas_int kc, T* packed, int mr) {
   const blas_int strips = (mc + mr - 1) / mr;
   for (blas_int s = 0; s < strips; ++s) {
     T* dst = packed + s * (kc * mr);
@@ -110,9 +120,8 @@ void pack_a(const T* a, blas_int lda, transpose op, blas_int row0,
 /// matter which thread packs which strip).
 template <typename T>
 void pack_b(const T* b, blas_int ldb, transpose op, blas_int row0,
-            blas_int col0, blas_int kc, blas_int nc, T* packed,
+            blas_int col0, blas_int kc, blas_int nc, T* packed, int nr,
             bool parallel = false) {
-  constexpr int nr = micro_tile<T>::nr;
   const blas_int strips = (nc + nr - 1) / nr;
   const auto pack_strip = [&](blas_int s) {
     T* dst = packed + s * (kc * nr);
@@ -125,7 +134,9 @@ void pack_b(const T* b, blas_int ldb, transpose op, blas_int row0,
       for (int j = cols; j < nr; ++j) dst[p * nr + j] = T(0);
     }
   };
-  if (parallel && kc * nc >= kPackParallelMinElems && strips > 1) {
+  if (parallel &&
+      kc * nc >= pack_parallel_min_elems(active_kernel_isa()) &&
+      strips > 1) {
     sched::team_parallel_for(strips, /*dynamic_chunks=*/false,
                              [&](long s) { pack_strip(s); });
   } else {
@@ -139,8 +150,7 @@ void pack_b(const T* b, blas_int ldb, transpose op, blas_int row0,
 template <typename T>
 inline void accumulate_tile(blas_int m, blas_int n, T alpha, const T* acc,
                             blas_int i0, blas_int j0, int rows, int cols,
-                            T* c, blas_int ldc) noexcept {
-  constexpr int nr = micro_tile<T>::nr;
+                            T* c, blas_int ldc, int nr) noexcept {
   (void)m;
   (void)n;
   for (int j = 0; j < cols; ++j) {
@@ -193,47 +203,61 @@ void gemm_blocked_accumulate(transpose transa, transpose transb, blas_int m,
                              blas_int ldc) {
   if (m == 0 || n == 0 || k == 0 || alpha == T(0)) return;
 
-  constexpr int mr = micro_tile<T>::mr;
-  constexpr int nr = micro_tile<T>::nr;
-  const micro_kernel_fn<T> kernel = select_micro_kernel<T>();
+  // Resolved ONCE, on the calling thread: kernel + tile shape from the
+  // active ISA, MC/NC from the scoped override (the dispatcher's planned
+  // blocking) or the tier default.
+  const kernel_desc<T> desc = select_kernel_desc<T>();
+  const int mr = desc.mr;
+  const int nr = desc.nr;
+  const gemm_blocking blk = effective_blocking();
+  const blas_int block_m = blk.mc;
+  const blas_int block_n = blk.nc;
+  const kernel_isa isa = active_kernel_isa();
 
   // Panels packed ahead of time by the step scheduler (pack/compute
   // overlap): consume them instead of packing inline.  One relaxed load
-  // when the cache is empty — the common case costs nothing.
+  // when the cache is empty — the common case costs nothing.  A panel
+  // set laid out for a different NC or NR (tier or blocking changed
+  // between prepack and consume) is dropped rather than misread.
   std::shared_ptr<const prepacked_b_panels> pre;
   if (!prepack_cache_empty()) {
     pre = take_prepacked(b, ldb, static_cast<int>(transb), k, n,
                          prepack_type_tag<T>());
+    if (pre && !(pre->block_n == block_n && pre->block_k == kBlockK &&
+                 pre->nr == nr)) {
+      pre.reset();
+    }
   }
 
-  for (blas_int jc = 0; jc < n; jc += kBlockN) {
-    const blas_int nc = std::min<blas_int>(kBlockN, n - jc);
+  for (blas_int jc = 0; jc < n; jc += block_n) {
+    const blas_int nc = std::min<blas_int>(block_n, n - jc);
     const blas_int n_strips = (nc + nr - 1) / nr;
     for (blas_int pc = 0; pc < k; pc += kBlockK) {
       const blas_int kc = std::min<blas_int>(kBlockK, k - pc);
       const T* bp;
       if (pre) {
         // Bit-identical to the inline pack_b below: same routine, same
-        // layout, operand frozen since prepack time (the contract in
-        // dcmesh/blas/prepack.hpp).
-        bp = pre->template panel<T>(jc / kBlockN, pc / kBlockK);
+        // layout and blocking (checked above), operand frozen since
+        // prepack time (the contract in dcmesh/blas/prepack.hpp).
+        bp = pre->template panel<T>(jc / block_n, pc / kBlockK);
       } else {
         T* bp_mut = pack_arena::for_thread().template acquire<T>(
             kArenaSlotB, static_cast<std::size_t>(n_strips) * kc * nr);
-        pack_b(b, ldb, transb, pc, jc, kc, nc, bp_mut, /*parallel=*/true);
+        pack_b(b, ldb, transb, pc, jc, kc, nc, bp_mut, nr,
+               /*parallel=*/true);
         bp = bp_mut;
       }
 
-      const blas_int ic_blocks = (m + kBlockM - 1) / kBlockM;
+      const blas_int ic_blocks = (m + block_m - 1) / block_m;
       const auto process_block = [&](blas_int ib) {
-        const blas_int ic = ib * kBlockM;
-        const blas_int mc = std::min<blas_int>(kBlockM, m - ic);
+        const blas_int ic = ib * block_m;
+        const blas_int mc = std::min<blas_int>(block_m, m - ic);
         const blas_int m_strips = (mc + mr - 1) / mr;
         T* ap = pack_arena::for_thread().template acquire<T>(
             kArenaSlotA, static_cast<std::size_t>(m_strips) * kc * mr);
-        pack_a(a, lda, transa, ic, pc, mc, kc, ap);
+        pack_a(a, lda, transa, ic, pc, mc, kc, ap, mr);
 
-        T acc[mr * nr];
+        T acc[kMaxMr * kMaxNr];
         for (blas_int js = 0; js < n_strips; ++js) {
           const blas_int j0 = jc + js * nr;
           const int cols = static_cast<int>(std::min<blas_int>(nr, n - j0));
@@ -241,9 +265,10 @@ void gemm_blocked_accumulate(transpose transa, transpose transb, blas_int m,
             const blas_int i0 = ic + is * mr;
             const int rows = static_cast<int>(std::min<blas_int>(mr, m - i0));
             std::fill_n(acc, mr * nr, T(0));
-            call_micro_kernel(kernel, kc, ap + is * (kc * mr),
+            call_micro_kernel(desc.fn, kc, ap + is * (kc * mr),
                               bp + js * (kc * nr), acc);
-            accumulate_tile(m, n, alpha, acc, i0, j0, rows, cols, c, ldc);
+            accumulate_tile(m, n, alpha, acc, i0, j0, rows, cols, c, ldc,
+                            nr);
           }
         }
       };
@@ -255,7 +280,7 @@ void gemm_blocked_accumulate(transpose transa, transpose transb, blas_int m,
       // assignment is cheaper.
       sched::team_parallel_for(ic_blocks,
                                /*dynamic_chunks=*/ic_blocks >=
-                                   kIcDynamicCrossover,
+                                   ic_dynamic_crossover(isa),
                                [&](long ib) { process_block(ib); });
     }
   }

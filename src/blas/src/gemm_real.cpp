@@ -61,9 +61,13 @@ void sgemm_split(compute_mode mode, transpose transa, transpose transb,
 
   const split_spec spec = split_for(mode);
   const auto products = retained_products(spec.components);
-  const micro_kernel_fn<float> kernel = select_micro_kernel<float>();
-  constexpr int mr = micro_tile<float>::mr;
-  constexpr int nr = micro_tile<float>::nr;
+  const kernel_desc<float> desc = select_kernel_desc<float>();
+  const int mr = desc.mr;
+  const int nr = desc.nr;
+  const gemm_blocking blk = effective_blocking();
+  const blas_int block_m = blk.mc;
+  const blas_int block_n = blk.nc;
+  const kernel_isa isa = active_kernel_isa();
   const int ncomp = spec.components;
   const blas_int num_pc = (k + kBlockK - 1) / kBlockK;
 
@@ -72,8 +76,8 @@ void sgemm_split(compute_mode mode, transpose transa, transpose transb,
   std::atomic<std::int64_t> pack_a_ns{0};
   std::atomic<std::int64_t> compute_ns{0};
 
-  for (blas_int jc = 0; jc < n; jc += kBlockN) {
-    const blas_int nc = std::min<blas_int>(kBlockN, n - jc);
+  for (blas_int jc = 0; jc < n; jc += block_n) {
+    const blas_int nc = std::min<blas_int>(block_n, n - jc);
     const blas_int n_strips = (nc + nr - 1) / nr;
     // Uniform per-(panel, component) stride sized for a full kBlockK panel
     // so addressing stays multiplicative; the last panel is just shorter.
@@ -89,14 +93,14 @@ void sgemm_split(compute_mode mode, transpose transa, transpose transb,
       const blas_int kc = std::min<blas_int>(kBlockK, k - pc);
       pack_b_split(b, ldb, transb, pc, jc, kc, nc, spec,
                    bpack + static_cast<std::size_t>(t) * ncomp * b_stride,
-                   b_stride, /*parallel=*/true);
+                   b_stride, nr, /*parallel=*/true);
     }
     if (profile) pack_b_seconds += engine_now() - tb0;
 
-    const blas_int ic_blocks = (m + kBlockM - 1) / kBlockM;
+    const blas_int ic_blocks = (m + block_m - 1) / block_m;
     const auto process_block = [&](blas_int ib) {
-      const blas_int ic = ib * kBlockM;
-      const blas_int mc = std::min<blas_int>(kBlockM, m - ic);
+      const blas_int ic = ib * block_m;
+      const blas_int mc = std::min<blas_int>(block_m, m - ic);
       const blas_int m_strips = (mc + mr - 1) / mr;
       const std::size_t a_stride =
           static_cast<std::size_t>(m_strips) * kBlockK * mr;
@@ -110,7 +114,7 @@ void sgemm_split(compute_mode mode, transpose transa, transpose transb,
         const blas_int kc = std::min<blas_int>(kBlockK, k - pc);
         pack_a_split(a, lda, transa, ic, pc, mc, kc, spec,
                      apack + static_cast<std::size_t>(t) * ncomp * a_stride,
-                     a_stride);
+                     a_stride, mr);
       }
       const double ta1 = profile ? engine_now() : 0.0;
 
@@ -118,7 +122,7 @@ void sgemm_split(compute_mode mode, transpose transa, transpose transb,
       // every C element sees the reference op order (bit-identity), and
       // each packed (panel, component) pair stays cache-resident for its
       // whole js/is tile sweep instead of being re-streamed per tile.
-      float acc[mr * nr];
+      float acc[kMaxMr * kMaxNr];
       for (const auto& [pi, pj] : products) {
         for (blas_int t = 0; t < num_pc; ++t) {
           const blas_int kc = std::min<blas_int>(kBlockK, k - t * kBlockK);
@@ -134,13 +138,14 @@ void sgemm_split(compute_mode mode, transpose transa, transpose transb,
               const int rows =
                   static_cast<int>(std::min<blas_int>(mr, m - i0));
               std::fill_n(acc, mr * nr, 0.0f);
-              call_micro_kernel(kernel, kc,
+              call_micro_kernel(desc.fn, kc,
                                 ap_panel + static_cast<std::size_t>(is) *
                                                (kc * mr),
                                 bp_panel + static_cast<std::size_t>(js) *
                                                (kc * nr),
                                 acc);
-              accumulate_tile(m, n, alpha, acc, i0, j0, rows, cols, c, ldc);
+              accumulate_tile(m, n, alpha, acc, i0, j0, rows, cols, c, ldc,
+                              nr);
             }
           }
         }
@@ -153,7 +158,7 @@ void sgemm_split(compute_mode mode, transpose transa, transpose transb,
                              std::memory_order_relaxed);
       }
     };
-    if (ic_blocks >= kIcDynamicCrossover) {
+    if (ic_blocks >= ic_dynamic_crossover(isa)) {
 #if defined(DCMESH_HAVE_OPENMP)
 #pragma omp parallel for schedule(dynamic)
 #endif
@@ -178,6 +183,16 @@ void gemm_at_mode(compute_mode mode, transpose transa, transpose transb,
                   const float* a, blas_int lda, const float* b, blas_int ldb,
                   float beta, float* c, blas_int ldc) {
   if (is_split_mode(mode)) {
+#if defined(DCMESH_HAVE_AVX512BF16_KERNELS)
+    // Native vdpbf16ps engine for the bf16 family when the avx512 tier is
+    // active on AVX512-BF16 silicon (ULP-equivalent to the software
+    // engine; see split.hpp).  TF32 modes always use the software path.
+    if (split_for(mode).kind == round_kind::bf16 && bf16_native_active()) {
+      sgemm_split_bf16_native(mode, transa, transb, m, n, k, alpha, a, lda,
+                              b, ldb, beta, c, ldc);
+      return;
+    }
+#endif
     sgemm_split(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
                 c, ldc);
   } else {

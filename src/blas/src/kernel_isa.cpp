@@ -15,6 +15,10 @@ namespace {
 std::atomic<int> g_resolved{-1};
 // In-process override: -1 = none.
 std::atomic<int> g_override{-1};
+// Native BF16 engine: env resolution (-1 unresolved, 0 off, 1 on) and
+// in-process override (-1 none).
+std::atomic<int> g_bf16_env{-1};
+std::atomic<int> g_bf16_override{-1};
 
 void warn_once(const char* format, const char* arg) {
   static std::atomic<bool> warned{false};
@@ -29,39 +33,107 @@ void warn_once(const char* format, const char* arg) {
 #endif
 }
 
-[[nodiscard]] kernel_isa resolve_from_env() noexcept {
-  const std::string raw = env_get(kKernelIsaEnvVar).value_or("auto");
+[[nodiscard]] bool cpu_has_avx512() noexcept {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
+[[nodiscard]] bool cpu_has_avx512bf16() noexcept {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return cpu_has_avx512() && __builtin_cpu_supports("avx512bf16");
+#else
+  return false;
+#endif
+}
+
+[[nodiscard]] std::string lowercase_env(std::string_view var) {
+  const std::string raw = env_get(var).value_or("");
   std::string token;
   token.reserve(raw.size());
   for (const char ch : raw) {
     token.push_back(
         static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
   }
+  return token;
+}
+
+/// Best tier the build/CPU can honour, starting from `want` and walking
+/// down the ladder.  Never warns — callers decide whether the downgrade
+/// deserves one.
+[[nodiscard]] kernel_isa clamp_to_available(kernel_isa want) noexcept {
+  if (want == kernel_isa::avx512 && !avx512_kernels_available()) {
+    want = kernel_isa::avx2;
+  }
+  if (want == kernel_isa::avx2 && !avx2_kernels_available()) {
+    want = kernel_isa::scalar;
+  }
+  return want;
+}
+
+[[nodiscard]] kernel_isa resolve_from_env() noexcept {
+  const std::string raw = env_get(kKernelIsaEnvVar).value_or("auto");
+  const std::string token = lowercase_env(kKernelIsaEnvVar);
   if (token == "scalar") return kernel_isa::scalar;
-  if (token == "avx2") {
-    if (avx2_kernels_available()) return kernel_isa::avx2;
-    warn_once(
-        "dcmesh: DCMESH_KERNEL_ISA=avx2 requested but this build/CPU has "
-        "no AVX2+FMA kernels%s; falling back to scalar\n",
-        "");
-    return kernel_isa::scalar;
+  if (token == "avx2" || token == "avx512") {
+    const kernel_isa want =
+        token == "avx512" ? kernel_isa::avx512 : kernel_isa::avx2;
+    const kernel_isa got = clamp_to_available(want);
+    if (got != want) {
+      warn_once(
+          "dcmesh: DCMESH_KERNEL_ISA=%s requested but this build/CPU "
+          "cannot honour it; falling back down the tier ladder\n",
+          raw.c_str());
+    }
+    return got;
   }
   if (token != "auto" && !token.empty()) {
     warn_once(
         "dcmesh: unrecognised DCMESH_KERNEL_ISA value \"%s\" (expected "
-        "auto|avx2|scalar); using auto\n",
+        "auto|avx512|avx2|scalar); using auto\n",
         raw.c_str());
   }
+#if defined(__AVX512F__)
+  // The baseline build (e.g. -march=native on an AVX-512 host) already
+  // vectorises the scalar template at ZMM width, where it inlines into
+  // the blocked loop and beats the standalone kernels dispatched through
+  // a pointer.  "auto" therefore prefers the scalar path;
+  // DCMESH_KERNEL_ISA=avx512 still forces the explicit kernels.
+  return kernel_isa::scalar;
+#else
+  // Baseline codegen is narrower than 512 bits: the explicit ZMM kernels
+  // are an upgrade wherever the build/CPU carry them.
+  if (avx512_kernels_available()) return kernel_isa::avx512;
 #if defined(__AVX2__) && defined(__FMA__)
-  // The baseline build (e.g. -march=native) already vectorises the scalar
-  // template at AVX2 width or wider (AVX-512 on capable hosts), where it
-  // inlines into the blocked loop and beats the standalone YMM kernels.
-  // "auto" therefore prefers the scalar path; DCMESH_KERNEL_ISA=avx2
-  // still forces the explicit kernels.
+  // Baseline already vectorises at AVX2 width; the YMM kernels would be
+  // a wash at best, so keep the inlined scalar template.
   return kernel_isa::scalar;
 #else
   return avx2_kernels_available() ? kernel_isa::avx2 : kernel_isa::scalar;
 #endif
+#endif
+}
+
+/// DCMESH_BF16_NATIVE: default (auto) is ON wherever the avx512 tier +
+/// silicon can honour it; only an explicit off token vetoes.
+[[nodiscard]] int resolve_bf16_env() noexcept {
+  const std::string token = lowercase_env(kBf16NativeEnvVar);
+  if (token == "0" || token == "off" || token == "false" || token == "no") {
+    return 0;
+  }
+  if (!token.empty() && token != "1" && token != "on" && token != "true" &&
+      token != "yes" && token != "auto") {
+    warn_once(
+        "dcmesh: unrecognised DCMESH_BF16_NATIVE value \"%s\" (expected "
+        "auto|0|1); using auto\n",
+        token.c_str());
+  }
+  return 1;
 }
 
 }  // namespace
@@ -69,6 +141,24 @@ void warn_once(const char* format, const char* arg) {
 bool avx2_kernels_available() noexcept {
 #if defined(DCMESH_HAVE_AVX2_KERNELS)
   static const bool available = cpu_has_avx2_fma();
+  return available;
+#else
+  return false;
+#endif
+}
+
+bool avx512_kernels_available() noexcept {
+#if defined(DCMESH_HAVE_AVX512_KERNELS)
+  static const bool available = cpu_has_avx512();
+  return available;
+#else
+  return false;
+#endif
+}
+
+bool avx512bf16_kernels_available() noexcept {
+#if defined(DCMESH_HAVE_AVX512BF16_KERNELS)
+  static const bool available = cpu_has_avx512bf16();
   return available;
 #else
   return false;
@@ -92,37 +182,85 @@ void set_kernel_isa(std::optional<kernel_isa> isa) noexcept {
     g_resolved.store(-1, std::memory_order_release);  // re-read the env
     return;
   }
-  kernel_isa want = *isa;
-  if (want == kernel_isa::avx2 && !avx2_kernels_available()) {
+  const kernel_isa want = *isa;
+  const kernel_isa got = clamp_to_available(want);
+  if (got != want) {
     warn_once(
-        "dcmesh: set_kernel_isa(avx2) on a build/CPU without AVX2+FMA "
-        "kernels%s; using scalar\n",
-        "");
-    want = kernel_isa::scalar;
+        "dcmesh: set_kernel_isa(%s) on a build/CPU that cannot honour "
+        "it; falling back down the tier ladder\n",
+        kernel_isa_name(want).data());
   }
-  g_override.store(static_cast<int>(want), std::memory_order_release);
+  g_override.store(static_cast<int>(got), std::memory_order_release);
+}
+
+bool bf16_native_active() noexcept {
+  if (active_kernel_isa() != kernel_isa::avx512) return false;
+  if (!avx512bf16_kernels_available()) return false;
+  const int forced = g_bf16_override.load(std::memory_order_acquire);
+  if (forced >= 0) return forced != 0;
+  int cached = g_bf16_env.load(std::memory_order_acquire);
+  if (cached < 0) {
+    cached = resolve_bf16_env();
+    g_bf16_env.store(cached, std::memory_order_release);
+  }
+  return cached != 0;
+}
+
+void set_bf16_native(std::optional<bool> enabled) noexcept {
+  if (!enabled.has_value()) {
+    g_bf16_override.store(-1, std::memory_order_release);
+    g_bf16_env.store(-1, std::memory_order_release);  // re-read the env
+    return;
+  }
+  if (*enabled && !avx512bf16_kernels_available()) {
+    warn_once(
+        "dcmesh: set_bf16_native(true) on a build/CPU without "
+        "AVX512-BF16%s; the software split engine stays active\n",
+        "");
+  }
+  g_bf16_override.store(*enabled ? 1 : 0, std::memory_order_release);
 }
 
 std::string_view kernel_isa_name(kernel_isa isa) noexcept {
-  return isa == kernel_isa::avx2 ? "avx2" : "scalar";
+  switch (isa) {
+    case kernel_isa::avx512: return "avx512";
+    case kernel_isa::avx2: return "avx2";
+    default: return "scalar";
+  }
 }
 
-micro_kernel_fn<float> resolve_micro_kernel_f32() noexcept {
-#if defined(DCMESH_HAVE_AVX2_KERNELS)
-  if (active_kernel_isa() == kernel_isa::avx2) {
-    return &micro_kernel_avx2_f32;
-  }
+kernel_desc<float> resolve_kernel_desc_f32() noexcept {
+  switch (active_kernel_isa()) {
+#if defined(DCMESH_HAVE_AVX512_KERNELS)
+    case kernel_isa::avx512:
+      return {&micro_kernel_avx512_f32, 14, 32};
 #endif
-  return &micro_kernel_scalar<float>;
+#if defined(DCMESH_HAVE_AVX2_KERNELS)
+    case kernel_isa::avx2:
+      return {&micro_kernel_avx2_f32, micro_tile<float>::mr,
+              micro_tile<float>::nr};
+#endif
+    default:
+      return {&micro_kernel_scalar<float>, micro_tile<float>::mr,
+              micro_tile<float>::nr};
+  }
 }
 
-micro_kernel_fn<double> resolve_micro_kernel_f64() noexcept {
-#if defined(DCMESH_HAVE_AVX2_KERNELS)
-  if (active_kernel_isa() == kernel_isa::avx2) {
-    return &micro_kernel_avx2_f64;
-  }
+kernel_desc<double> resolve_kernel_desc_f64() noexcept {
+  switch (active_kernel_isa()) {
+#if defined(DCMESH_HAVE_AVX512_KERNELS)
+    case kernel_isa::avx512:
+      return {&micro_kernel_avx512_f64, 8, 16};
 #endif
-  return &micro_kernel_scalar<double>;
+#if defined(DCMESH_HAVE_AVX2_KERNELS)
+    case kernel_isa::avx2:
+      return {&micro_kernel_avx2_f64, micro_tile<double>::mr,
+              micro_tile<double>::nr};
+#endif
+    default:
+      return {&micro_kernel_scalar<double>, micro_tile<double>::mr,
+              micro_tile<double>::nr};
+  }
 }
 
 }  // namespace dcmesh::blas::detail

@@ -79,27 +79,33 @@ template <typename T>
 void prepack_b(transpose transb, blas_int k, blas_int n, const T* b,
                blas_int ldb) {
   using detail::kBlockK;
-  using detail::kBlockN;
   if (k <= 0 || n <= 0 || b == nullptr) return;
 
   trace::span sp("blas/prepack_b", "sched");
   sp.arg("k", std::int64_t{k});
   sp.arg("n", std::int64_t{n});
 
-  constexpr int nr = detail::micro_tile<T>::nr;
-  const blas_int jc_blocks = (n + kBlockN - 1) / kBlockN;
+  // Lay the panels out for the tile + blocking the consumer will resolve
+  // (recorded in the entry; a consumer that resolves differently drops
+  // the entry rather than misreading it).
+  const int nr = detail::select_kernel_desc<T>().nr;
+  const blas_int block_n = detail::effective_blocking().nc;
+  const blas_int jc_blocks = (n + block_n - 1) / block_n;
   const blas_int pc_blocks = (k + kBlockK - 1) / kBlockK;
 
   auto panels = std::make_shared<detail::prepacked_b_panels>();
   panels->pc_blocks = pc_blocks;
+  panels->block_n = block_n;
+  panels->block_k = kBlockK;
+  panels->nr = nr;
   panels->offsets.resize(
       static_cast<std::size_t>(jc_blocks) * pc_blocks);
 
   // First pass: sizes.  Same (jc, pc) walk as gemm_blocked_accumulate.
   std::size_t total = 0;
   for (blas_int jb = 0; jb < jc_blocks; ++jb) {
-    const blas_int jc = jb * kBlockN;
-    const blas_int nc = std::min<blas_int>(kBlockN, n - jc);
+    const blas_int jc = jb * block_n;
+    const blas_int nc = std::min<blas_int>(block_n, n - jc);
     const blas_int n_strips = (nc + nr - 1) / nr;
     for (blas_int pb = 0; pb < pc_blocks; ++pb) {
       const blas_int pc = pb * kBlockK;
@@ -118,14 +124,15 @@ void prepack_b(transpose transb, blas_int k, blas_int n, const T* b,
   // team sweep shares the scheduler's worker set.
   T* base = static_cast<T*>(const_cast<void*>(panels->base));
   for (blas_int jb = 0; jb < jc_blocks; ++jb) {
-    const blas_int jc = jb * kBlockN;
-    const blas_int nc = std::min<blas_int>(kBlockN, n - jc);
+    const blas_int jc = jb * block_n;
+    const blas_int nc = std::min<blas_int>(block_n, n - jc);
     for (blas_int pb = 0; pb < pc_blocks; ++pb) {
       const blas_int pc = pb * kBlockK;
       const blas_int kc = std::min<blas_int>(kBlockK, k - pc);
       T* dst =
           base + panels->offsets[static_cast<std::size_t>(jb) * pc_blocks + pb];
-      detail::pack_b(b, ldb, transb, pc, jc, kc, nc, dst, /*parallel=*/true);
+      detail::pack_b(b, ldb, transb, pc, jc, kc, nc, dst, nr,
+                     /*parallel=*/true);
     }
   }
 

@@ -40,8 +40,15 @@ constexpr int prepack_type_tag() noexcept {
 }
 
 /// Packed panels of one B operand, laid out per (jc, pc) cache block.
+/// block_n/block_k/nr record the layout the panels were packed for; the
+/// consumer compares them against its own resolved blocking + tile and
+/// drops the entry on mismatch (tier or tuned blocking changed between
+/// prepack and consume) instead of misreading it.
 struct prepacked_b_panels {
   blas_int pc_blocks = 0;           ///< K-dimension block count.
+  blas_int block_n = 0;              ///< NC the panels were laid out for.
+  blas_int block_k = 0;              ///< KC ditto (always kBlockK today).
+  int nr = 0;                        ///< strip width packed for
   std::vector<std::size_t> offsets;  ///< [jc_idx * pc_blocks + pc_idx]
   std::shared_ptr<void> storage;     ///< element array, element type T
   const void* base = nullptr;        ///< == storage.get()

@@ -71,8 +71,7 @@ template <round_kind K>
 void pack_a_split_impl(const float* a, blas_int lda, transpose op,
                        blas_int row0, blas_int col0, blas_int mc,
                        blas_int kc, int ncomp, float* dst,
-                       std::size_t comp_stride) {
-  constexpr int mr = micro_tile<float>::mr;
+                       std::size_t comp_stride, int mr) {
   const blas_int strips = (mc + mr - 1) / mr;
   for (blas_int s = 0; s < strips; ++s) {
     const std::size_t strip_off =
@@ -98,12 +97,12 @@ template <round_kind K>
 void pack_b_split_impl(const float* b, blas_int ldb, transpose op,
                        blas_int row0, blas_int col0, blas_int kc,
                        blas_int nc, int ncomp, float* dst,
-                       std::size_t comp_stride, bool parallel) {
-  constexpr int nr = micro_tile<float>::nr;
+                       std::size_t comp_stride, int nr, bool parallel) {
   const blas_int strips = (nc + nr - 1) / nr;
 #if defined(DCMESH_HAVE_OPENMP)
-#pragma omp parallel for schedule(static) \
-    if (parallel && ncomp * kc * nc >= kPackParallelMinElems)
+#pragma omp parallel for schedule(static)                  \
+    if (parallel && ncomp * kc * nc >=                     \
+                        pack_parallel_min_elems(active_kernel_isa()))
 #else
   (void)parallel;
 #endif
@@ -132,28 +131,30 @@ void pack_b_split_impl(const float* b, blas_int ldb, transpose op,
 void pack_a_split(const float* a, blas_int lda, transpose op, blas_int row0,
                   blas_int col0, blas_int mc, blas_int kc,
                   const split_spec& spec, float* dst,
-                  std::size_t comp_stride) {
+                  std::size_t comp_stride, int mr) {
   if (spec.kind == round_kind::bf16) {
     pack_a_split_impl<round_kind::bf16>(a, lda, op, row0, col0, mc, kc,
-                                        spec.components, dst, comp_stride);
+                                        spec.components, dst, comp_stride,
+                                        mr);
   } else {
     pack_a_split_impl<round_kind::tf32>(a, lda, op, row0, col0, mc, kc,
-                                        spec.components, dst, comp_stride);
+                                        spec.components, dst, comp_stride,
+                                        mr);
   }
 }
 
 void pack_b_split(const float* b, blas_int ldb, transpose op, blas_int row0,
                   blas_int col0, blas_int kc, blas_int nc,
                   const split_spec& spec, float* dst,
-                  std::size_t comp_stride, bool parallel) {
+                  std::size_t comp_stride, int nr, bool parallel) {
   if (spec.kind == round_kind::bf16) {
     pack_b_split_impl<round_kind::bf16>(b, ldb, op, row0, col0, kc, nc,
                                         spec.components, dst, comp_stride,
-                                        parallel);
+                                        nr, parallel);
   } else {
     pack_b_split_impl<round_kind::tf32>(b, ldb, op, row0, col0, kc, nc,
                                         spec.components, dst, comp_stride,
-                                        parallel);
+                                        nr, parallel);
   }
 }
 

@@ -72,20 +72,22 @@ struct split_spec {
 
 /// Fused pack of an mc x kc block of op(A): emits spec.components packed
 /// component blocks in one pass over the source, each in the exact
-/// pack_a strip layout, at dst + c * comp_stride for component c.
-/// Component values are identical to split_operand-then-pack_a.
+/// pack_a strip layout for an `mr`-tall tile, at dst + c * comp_stride
+/// for component c.  Component values are identical to
+/// split_operand-then-pack_a.
 void pack_a_split(const float* a, blas_int lda, transpose op, blas_int row0,
                   blas_int col0, blas_int mc, blas_int kc,
                   const split_spec& spec, float* dst,
-                  std::size_t comp_stride);
+                  std::size_t comp_stride, int mr);
 
 /// Fused pack of a kc x nc panel of op(B) into component panels in the
-/// pack_b strip layout.  With `parallel`, strips are packed by an OpenMP
-/// team once the panel clears the fork-cost crossover.
+/// pack_b strip layout for an `nr`-wide tile.  With `parallel`, strips
+/// are packed by an OpenMP team once the panel clears the fork-cost
+/// crossover.
 void pack_b_split(const float* b, blas_int ldb, transpose op, blas_int row0,
                   blas_int col0, blas_int kc, blas_int nc,
                   const split_spec& spec, float* dst, std::size_t comp_stride,
-                  bool parallel);
+                  int nr, bool parallel);
 
 /// sgemm under a FLOAT_TO_* split mode — the fused pack-once engine
 /// (defined in gemm_real.cpp; also used by the complex 4M path for its
@@ -94,6 +96,18 @@ void sgemm_split(compute_mode mode, transpose transa, transpose transb,
                  blas_int m, blas_int n, blas_int k, float alpha,
                  const float* a, blas_int lda, const float* b, blas_int ldb,
                  float beta, float* c, blas_int ldc);
+
+/// Native AVX512-BF16 fused engine for the bf16-family split modes
+/// (split_avx512bf16.cpp; exists only when the build carries
+/// DCMESH_HAVE_AVX512BF16_KERNELS and is dispatched only when
+/// bf16_native_active()).  Packs pair-interleaved BF16 component panels
+/// with vector converts and accumulates with vdpbf16ps, which sums k in
+/// hardware pairs — ULP-equivalent, NOT bit-identical, to sgemm_split.
+void sgemm_split_bf16_native(compute_mode mode, transpose transa,
+                             transpose transb, blas_int m, blas_int n,
+                             blas_int k, float alpha, const float* a,
+                             blas_int lda, const float* b, blas_int ldb,
+                             float beta, float* c, blas_int ldc);
 
 /// Pre-fusion split GEMM (dense split_operand copies + one blocked pass
 /// per retained product).  Bit-identical to sgemm_split under any kernel

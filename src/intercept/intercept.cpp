@@ -56,8 +56,12 @@
 #include <dlfcn.h>
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "dcmesh/blas/rank_k.hpp"
+#include "dcmesh/blas/trsm.hpp"
 #include "dcmesh/dcmesh_blas.h"
 #include "site_identity.hpp"
 
@@ -77,6 +81,66 @@ char cblas_trans(int t) {
 /// Fortran TRANSA/TRANSB string (first char, case-insensitive).
 char fortran_trans(const char* t) {
   return (t == nullptr || *t == '\0') ? '?' : *t;
+}
+
+// CBLAS enum ints to the C++ engine's enums, for the routines (trsm,
+// syrk) that have no public C API and forward to the engine directly.
+// Out-of-range values throw std::invalid_argument, caught by the same
+// xerbla-style handler as engine-side validation failures.
+
+dcmesh::blas::transpose engine_trans(int t) {
+  switch (t) {
+    case 111: return dcmesh::blas::transpose::none;
+    case 112: return dcmesh::blas::transpose::trans;
+    case 113: return dcmesh::blas::transpose::conj_trans;
+  }
+  throw std::invalid_argument("CBLAS trans must be 111/112/113");
+}
+
+dcmesh::blas::side engine_side(int s) {
+  switch (s) {
+    case 141: return dcmesh::blas::side::left;
+    case 142: return dcmesh::blas::side::right;
+  }
+  throw std::invalid_argument("CBLAS side must be 141/142");
+}
+
+dcmesh::blas::uplo engine_uplo(int u) {
+  switch (u) {
+    case 121: return dcmesh::blas::uplo::upper;
+    case 122: return dcmesh::blas::uplo::lower;
+  }
+  throw std::invalid_argument("CBLAS uplo must be 121/122");
+}
+
+dcmesh::blas::diag engine_diag(int d) {
+  switch (d) {
+    case 131: return dcmesh::blas::diag::non_unit;
+    case 132: return dcmesh::blas::diag::unit;
+  }
+  throw std::invalid_argument("CBLAS diag must be 131/132");
+}
+
+void require_layout(int layout) {
+  if (layout != 101 && layout != 102) {
+    throw std::invalid_argument("CBLAS layout must be 101/102");
+  }
+}
+
+dcmesh::blas::side flip(dcmesh::blas::side s) {
+  return s == dcmesh::blas::side::left ? dcmesh::blas::side::right
+                                       : dcmesh::blas::side::left;
+}
+
+dcmesh::blas::uplo flip(dcmesh::blas::uplo u) {
+  return u == dcmesh::blas::uplo::upper ? dcmesh::blas::uplo::lower
+                                        : dcmesh::blas::uplo::upper;
+}
+
+/// The engine's trsm/syrk throw instead of returning a status; a dropped
+/// call prints the same one-line xerbla-style record as report().
+void report_exception(const std::exception& e) {
+  std::fprintf(stderr, "dcmesh-intercept: dropped call: %s\n", e.what());
 }
 
 void report(int status) {
@@ -264,6 +328,128 @@ DCMESH_PUBLIC void cblas_zgemm_batch_strided(
       'z', static_cast<dcmesh_layout>(layout), cblas_trans(transa),
       cblas_trans(transb), m, n, k, alpha, a, lda, stride_a, b, ldb,
       stride_b, beta, c, ldc, stride_c, batch, site, nullptr));
+}
+
+// ----------------------------------------- CBLAS trsm / syrk (v1.1)
+// No public C API exists for these; they forward straight to the C++
+// engine (statically linked into the shim).  The engine is column-major
+// only, so CblasRowMajor maps through the transpose identities:
+//   trsm: op(A)X = aB row-major  ==  X^T op(A)^T = aB^T col-major
+//         -> flip side, flip uplo, swap m/n (op and diag unchanged);
+//   syrk: C = a op(A)op(A)^T + bC row-major == its transpose col-major
+//         -> flip uplo, flip trans (N <-> T).
+// A failed call prints one stderr line and leaves B/C untouched, the
+// same xerbla-style contract as the gemm entries.
+
+DCMESH_PUBLIC void cblas_strsm(int layout, int side_v, int uplo_v,
+                               int transa, int diag_v, int m, int n,
+                               float alpha, const float* a, int lda,
+                               float* b, int ldb) {
+  ensure_armed();
+  DCMESH_TRY_CHAIN(cblas_strsm, layout, side_v, uplo_v, transa, diag_v, m, n, alpha, a, lda, b,
+                   ldb)
+  const char* site =
+      dcmesh::intercept::site_for(__builtin_return_address(0));
+  try {
+    require_layout(layout);
+    auto s = engine_side(side_v);
+    auto u = engine_uplo(uplo_v);
+    const auto t = engine_trans(transa);
+    const auto d = engine_diag(diag_v);
+    int mm = m;
+    int nn = n;
+    if (layout == 101) {
+      s = flip(s);
+      u = flip(u);
+      std::swap(mm, nn);
+    }
+    dcmesh::blas::trsm<float>(s, u, t, d, mm, nn, alpha, a, lda, b, ldb,
+                              site);
+  } catch (const std::exception& e) {
+    report_exception(e);
+  }
+}
+
+DCMESH_PUBLIC void cblas_dtrsm(int layout, int side_v, int uplo_v,
+                               int transa, int diag_v, int m, int n,
+                               double alpha, const double* a, int lda,
+                               double* b, int ldb) {
+  ensure_armed();
+  DCMESH_TRY_CHAIN(cblas_dtrsm, layout, side_v, uplo_v, transa, diag_v, m, n, alpha, a, lda, b,
+                   ldb)
+  const char* site =
+      dcmesh::intercept::site_for(__builtin_return_address(0));
+  try {
+    require_layout(layout);
+    auto s = engine_side(side_v);
+    auto u = engine_uplo(uplo_v);
+    const auto t = engine_trans(transa);
+    const auto d = engine_diag(diag_v);
+    int mm = m;
+    int nn = n;
+    if (layout == 101) {
+      s = flip(s);
+      u = flip(u);
+      std::swap(mm, nn);
+    }
+    dcmesh::blas::trsm<double>(s, u, t, d, mm, nn, alpha, a, lda, b, ldb,
+                               site);
+  } catch (const std::exception& e) {
+    report_exception(e);
+  }
+}
+
+DCMESH_PUBLIC void cblas_ssyrk(int layout, int uplo_v, int transa, int n,
+                               int k, float alpha, const float* a, int lda,
+                               float beta, float* c, int ldc) {
+  ensure_armed();
+  DCMESH_TRY_CHAIN(cblas_ssyrk, layout, uplo_v, transa, n, k, alpha, a, lda, beta, c, ldc)
+  const char* site =
+      dcmesh::intercept::site_for(__builtin_return_address(0));
+  try {
+    require_layout(layout);
+    auto u = engine_uplo(uplo_v);
+    // Real syrk: CblasConjTrans is the same operation as CblasTrans.
+    auto t = engine_trans(transa) == dcmesh::blas::transpose::none
+                 ? dcmesh::blas::transpose::none
+                 : dcmesh::blas::transpose::trans;
+    if (layout == 101) {
+      u = flip(u);
+      t = t == dcmesh::blas::transpose::none
+              ? dcmesh::blas::transpose::trans
+              : dcmesh::blas::transpose::none;
+    }
+    dcmesh::blas::syrk<float>(u, t, n, k, alpha, a, lda, beta, c, ldc,
+                              site);
+  } catch (const std::exception& e) {
+    report_exception(e);
+  }
+}
+
+DCMESH_PUBLIC void cblas_dsyrk(int layout, int uplo_v, int transa, int n,
+                               int k, double alpha, const double* a,
+                               int lda, double beta, double* c, int ldc) {
+  ensure_armed();
+  DCMESH_TRY_CHAIN(cblas_dsyrk, layout, uplo_v, transa, n, k, alpha, a, lda, beta, c, ldc)
+  const char* site =
+      dcmesh::intercept::site_for(__builtin_return_address(0));
+  try {
+    require_layout(layout);
+    auto u = engine_uplo(uplo_v);
+    auto t = engine_trans(transa) == dcmesh::blas::transpose::none
+                 ? dcmesh::blas::transpose::none
+                 : dcmesh::blas::transpose::trans;
+    if (layout == 101) {
+      u = flip(u);
+      t = t == dcmesh::blas::transpose::none
+              ? dcmesh::blas::transpose::trans
+              : dcmesh::blas::transpose::none;
+    }
+    dcmesh::blas::syrk<double>(u, t, n, k, alpha, a, lda, beta, c, ldc,
+                               site);
+  } catch (const std::exception& e) {
+    report_exception(e);
+  }
 }
 
 // ---------------------------------------------------------- Fortran

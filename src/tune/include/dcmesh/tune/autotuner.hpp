@@ -100,6 +100,9 @@ struct tuner_stats {
   std::uint64_t shared_hits = 0;     ///< Misses resolved under the store
                                      ///< lock by a sibling's fresh entry
                                      ///< (counted in cache_hits too).
+  std::uint64_t blocking_probes = 0; ///< Keys whose MC/NC blocking was
+                                     ///< measured (cold, timed keys only;
+                                     ///< warm stores must stay at 0).
 };
 
 /// An online autotuner with an in-memory decision cache fronting an

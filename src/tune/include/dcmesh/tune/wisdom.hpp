@@ -37,8 +37,15 @@ class file_lock;
 
 namespace dcmesh::tune {
 
-/// Bump when the wisdom line layout changes incompatibly.
-inline constexpr int kWisdomFormatVersion = 1;
+/// Bump when the wisdom line layout changes incompatibly.  v2 added the
+/// optional per-entry cache-blocking fields (block_m/block_n/block_isa);
+/// v1 files parse fine (the fields read as "no tuned blocking"), so the
+/// header check accepts both and a v1 store is upgraded in place on the
+/// next merge rather than rebuilt.
+inline constexpr int kWisdomFormatVersion = 2;
+
+/// Oldest format version load_wisdom still accepts.
+inline constexpr int kWisdomFormatVersionMin = 1;
 
 /// Identity of the kernel generation decisions are valid for.  Bump when
 /// the blocked kernels (or the calibration procedure) change enough that
@@ -78,6 +85,18 @@ struct wisdom_entry {
   double gflops = 0.0;      ///< Measured throughput of the chosen mode
                             ///< (0 = decision was model-ranked, not timed).
   std::string provenance;   ///< "calibrated" or "modeled".
+  /// Tuned cache blocking (MC/NC) for this shape class, measured by the
+  /// autotuner's blocking probe; 0 = never probed (per-ISA defaults
+  /// apply).  Blocking only partitions the output sweep, so serving a
+  /// tuned blocking can never change results — which is why these fields
+  /// are FILL-ONLY under merge_wisdom: a probe result fills an absent
+  /// blocking but a mode-only rewrite never erases one.  block_isa names
+  /// the kernel tier the probe timed ("avx512"/"avx2"/"scalar"); a
+  /// consumer on a different active tier ignores the blocking (the tile
+  /// quanta differ).
+  std::int64_t block_m = 0;
+  std::int64_t block_n = 0;
+  std::string block_isa;
   /// Store generation this entry was written at.  0 = never published
   /// (a fresh in-memory decision); merge_wisdom stamps the file value.
   std::uint64_t generation = 0;

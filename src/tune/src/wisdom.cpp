@@ -113,13 +113,24 @@ std::string wisdom_entry::to_json() const {
                 err_ulp, gflops);
   out += buffer;
   out += provenance;
+  out += '"';
+  // Optional fields (absent = "not set"), mirroring the "gen" pattern so
+  // v1-era lines and blocking-free entries stay byte-identical.
+  if (block_m > 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"block_m\":%lld,\"block_n\":%lld,\"block_isa\":\"",
+                  static_cast<long long>(block_m),
+                  static_cast<long long>(block_n));
+    out += buffer;
+    trace::append_json_escaped(out, block_isa);
+    out += '"';
+  }
   if (generation > 0) {
-    std::snprintf(buffer, sizeof(buffer), "\",\"gen\":%llu}",
+    std::snprintf(buffer, sizeof(buffer), ",\"gen\":%llu",
                   static_cast<unsigned long long>(generation));
     out += buffer;
-  } else {
-    out += "\"}";
   }
+  out += '}';
   return out;
 }
 
@@ -134,7 +145,10 @@ std::string wisdom_header(std::uint64_t generation) {
 
 bool wisdom_header_ok(std::string_view line) {
   const auto version = json_number_field(line, "dcmesh_wisdom");
-  if (!version || *version != kWisdomFormatVersion) return false;
+  if (!version || *version < kWisdomFormatVersionMin ||
+      *version > kWisdomFormatVersion) {
+    return false;
+  }
   const auto kernel = json_string_field(line, "kernel");
   return kernel && *kernel == kKernelVersion;
 }
@@ -163,6 +177,15 @@ std::optional<wisdom_entry> parse_wisdom_line(std::string_view line) {
   entry.err_ulp = *err;
   entry.gflops = *gflops;
   entry.provenance = *provenance;
+  // Optional blocking fields (format v2); absent — every v1 line — reads
+  // as "no tuned blocking".
+  const auto block_m = json_number_field(line, "block_m");
+  const auto block_n = json_number_field(line, "block_n");
+  if (block_m && block_n && *block_m > 0 && *block_n > 0) {
+    entry.block_m = static_cast<std::int64_t>(*block_m);
+    entry.block_n = static_cast<std::int64_t>(*block_n);
+    entry.block_isa = json_string_field(line, "block_isa").value_or("");
+  }
   // "gen" was added after format v1 shipped; its absence (a pre-merge
   // file, or a hand-written line) reads as generation 0, which merges
   // exactly like a fresh in-memory decision.
@@ -280,13 +303,33 @@ merge_result merge_wisdom(const std::string& path,
     } else if (in_entry.generation > 0 &&
                in_entry.generation >= existing->generation) {
       // The writer had observed the published entry (its generation is
-      // from a real load) and overrides it: last writer wins.
+      // from a real load) and overrides it: last writer wins — except
+      // the blocking fields, which are fill-only: a mode rewrite that
+      // never probed blocking must not erase a sibling's probe result.
+      const std::int64_t kept_block_m = existing->block_m;
+      const std::int64_t kept_block_n = existing->block_n;
+      std::string kept_block_isa = std::move(existing->block_isa);
       *existing = in_entry;
+      if (existing->block_m == 0 && kept_block_m > 0) {
+        existing->block_m = kept_block_m;
+        existing->block_n = kept_block_n;
+        existing->block_isa = std::move(kept_block_isa);
+      }
       existing->generation = next_gen;
       ++result.added;
       changed = true;
     } else {
-      // A sibling published this key first; converge on its decision.
+      // A sibling published this key first; converge on its decision —
+      // but still fill an absent blocking from our probe (fill-only in
+      // the other direction: the sibling's mode decision stands, our
+      // blocking measurement is information it never had).
+      if (existing->block_m == 0 && in_entry.block_m > 0) {
+        existing->block_m = in_entry.block_m;
+        existing->block_n = in_entry.block_n;
+        existing->block_isa = in_entry.block_isa;
+        existing->generation = next_gen;
+        changed = true;
+      }
       ++result.kept;
     }
   }

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "blocking.hpp"
 #include "dcmesh/blas/blas.hpp"
 #include "dcmesh/blas/compute_mode.hpp"
 #include "dcmesh/common/rng.hpp"
@@ -30,7 +31,10 @@ std::vector<float> signed_random(std::size_t n, unsigned seed) {
 
 /// Restore the launch-environment ISA resolution when a test ends.
 struct isa_guard {
-  ~isa_guard() { detail::set_kernel_isa(std::nullopt); }
+  ~isa_guard() {
+    detail::set_kernel_isa(std::nullopt);
+    detail::set_bf16_native(std::nullopt);
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -135,17 +139,31 @@ TEST(FusedEngine, StandardModeIsTheBlockedCore) {
 
 TEST(FusedEngine, ExactUnderEveryKernelIsa) {
   // The bit-level contract holds per ISA: fused and reference paths share
-  // whatever microkernel is active, so they agree under each.
+  // whatever microkernel is active, so they agree under each.  The native
+  // BF16 engine is forced OFF here — it is ULP-equivalent, not
+  // bit-identical, and has its own tests below.
   isa_guard guard;
+  detail::set_bf16_native(false);
   for (const auto isa :
-       {detail::kernel_isa::scalar, detail::kernel_isa::avx2}) {
+       {detail::kernel_isa::scalar, detail::kernel_isa::avx2,
+        detail::kernel_isa::avx512}) {
     if (isa == detail::kernel_isa::avx2 &&
         !detail::avx2_kernels_available()) {
+      continue;
+    }
+    if (isa == detail::kernel_isa::avx512 &&
+        !detail::avx512_kernels_available()) {
       continue;
     }
     detail::set_kernel_isa(isa);
     expect_fused_matches_reference(compute_mode::float_to_bf16x3,
                                    transpose::trans, transpose::none);
+    if (isa == detail::kernel_isa::avx512) {
+      // The widest tile (14x32) has the most edge/remainder paths; cover
+      // a second mode and op combination on it.
+      expect_fused_matches_reference(compute_mode::float_to_bf16x2,
+                                     transpose::none, transpose::trans);
+    }
   }
 }
 
@@ -210,6 +228,243 @@ TEST(KernelIsa, DoubleScalarVsAvx2WithinUlpBound) {
   for (std::size_t i = 0; i < c_scalar.size(); ++i) {
     ASSERT_NEAR(c_scalar[i], c_avx2[i], tol) << "elem=" << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar vs AVX-512 microkernel equivalence — the same FMA-contraction
+// bound as the AVX2 pair, now over the 14x32 / 8x16 ZMM tiles.
+
+TEST(KernelIsa, ScalarVsAvx512WithinUlpBound) {
+  if (!detail::avx512_kernels_available()) {
+    GTEST_SKIP() << "no AVX-512 kernels in this build/CPU";
+  }
+  isa_guard guard;
+  for (const blas_int dim : {1, 5, 13, 64, 129, 200}) {
+    const blas_int m = dim, n = dim, k = dim + 7;
+    const auto a = signed_random(static_cast<std::size_t>(m * k),
+                                 131 + static_cast<unsigned>(dim));
+    const auto b = signed_random(static_cast<std::size_t>(k * n),
+                                 157 + static_cast<unsigned>(dim));
+    std::vector<float> c_scalar(static_cast<std::size_t>(m * n));
+    std::vector<float> c_avx512 = c_scalar;
+    detail::set_kernel_isa(detail::kernel_isa::scalar);
+    detail::gemm_blocked(transpose::none, transpose::none, m, n, k, 1.0f,
+                         a.data(), m, b.data(), k, 0.0f, c_scalar.data(), m);
+    detail::set_kernel_isa(detail::kernel_isa::avx512);
+    ASSERT_EQ(detail::active_kernel_isa(), detail::kernel_isa::avx512);
+    detail::gemm_blocked(transpose::none, transpose::none, m, n, k, 1.0f,
+                         a.data(), m, b.data(), k, 0.0f, c_avx512.data(), m);
+    const float tol = 8.0f * std::numeric_limits<float>::epsilon() *
+                      static_cast<float>(k);
+    for (std::size_t i = 0; i < c_scalar.size(); ++i) {
+      ASSERT_NEAR(c_scalar[i], c_avx512[i], tol) << "dim=" << dim
+                                                 << " elem=" << i;
+    }
+  }
+}
+
+TEST(KernelIsa, DoubleScalarVsAvx512WithinUlpBound) {
+  if (!detail::avx512_kernels_available()) {
+    GTEST_SKIP() << "no AVX-512 kernels in this build/CPU";
+  }
+  isa_guard guard;
+  const blas_int m = 96, n = 96, k = 150;
+  xoshiro256 rng(17);
+  std::vector<double> a(static_cast<std::size_t>(m * k));
+  std::vector<double> b(static_cast<std::size_t>(k * n));
+  for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+  for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+  std::vector<double> c_scalar(static_cast<std::size_t>(m * n));
+  std::vector<double> c_avx512 = c_scalar;
+  detail::set_kernel_isa(detail::kernel_isa::scalar);
+  detail::gemm_blocked(transpose::none, transpose::none, m, n, k, 1.0,
+                       a.data(), m, b.data(), k, 0.0, c_scalar.data(), m);
+  detail::set_kernel_isa(detail::kernel_isa::avx512);
+  detail::gemm_blocked(transpose::none, transpose::none, m, n, k, 1.0,
+                       a.data(), m, b.data(), k, 0.0, c_avx512.data(), m);
+  const double tol =
+      8.0 * std::numeric_limits<double>::epsilon() * static_cast<double>(k);
+  for (std::size_t i = 0; i < c_scalar.size(); ++i) {
+    ASSERT_NEAR(c_scalar[i], c_avx512[i], tol) << "elem=" << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Native BF16 engine (vcvtne2ps2bf16 packing + vdpbf16ps dot kernels).
+// The hardware dot sums each bf16 pair before the FP32 accumulate, so the
+// native path is ULP-equivalent — deliberately NOT bit-identical — to the
+// software split engine, and switching it off must restore bit-exactness.
+
+TEST(Bf16Native, OffRestoresBitExactness) {
+  if (!detail::avx512bf16_kernels_available()) {
+    GTEST_SKIP() << "no AVX512-BF16 engine in this build/CPU";
+  }
+  isa_guard guard;
+  detail::set_kernel_isa(detail::kernel_isa::avx512);
+  detail::set_bf16_native(false);
+  expect_fused_matches_reference(compute_mode::float_to_bf16x2,
+                                 transpose::none, transpose::none);
+}
+
+TEST(Bf16Native, MatchesSoftwareSplitWithinUlpBound) {
+  if (!detail::avx512bf16_kernels_available()) {
+    GTEST_SKIP() << "no AVX512-BF16 engine in this build/CPU";
+  }
+  isa_guard guard;
+  detail::set_kernel_isa(detail::kernel_isa::avx512);
+  for (const auto mode :
+       {compute_mode::float_to_bf16x2, compute_mode::float_to_bf16x3}) {
+    for (const auto ta : {transpose::none, transpose::trans}) {
+      const blas_int m = 67, n = 129, k = 515;  // crosses kBlockK, ragged
+      const auto a = signed_random(static_cast<std::size_t>(m * k), 71);
+      const auto b = signed_random(static_cast<std::size_t>(k * n), 72);
+      const blas_int lda = ta == transpose::none ? m : k;
+      std::vector<float> c_soft(static_cast<std::size_t>(m * n), 0.25f);
+      std::vector<float> c_native = c_soft;
+      detail::set_bf16_native(false);
+      detail::sgemm_split(mode, ta, transpose::none, m, n, k, 1.5f, a.data(),
+                          lda, b.data(), k, 0.5f, c_soft.data(), m);
+      detail::set_bf16_native(true);
+      detail::sgemm_split(mode, ta, transpose::none, m, n, k, 1.5f, a.data(),
+                          lda, b.data(), k, 0.5f, c_native.data(), m);
+      // Both paths round identically into bf16 components; they differ
+      // only in FP32 summation order (hardware pair-sums) and subnormal
+      // component flushing.  |a|,|b| <= 1 bounds the drift by a small
+      // multiple of eps_f32 * k — far inside the mode's own split error.
+      const float tol = 64.0f * std::numeric_limits<float>::epsilon() *
+                        static_cast<float>(k);
+      for (std::size_t i = 0; i < c_soft.size(); ++i) {
+        ASSERT_NEAR(c_soft[i], c_native[i], tol)
+            << "mode=" << static_cast<int>(mode)
+            << " ta=" << static_cast<int>(ta) << " elem=" << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cache-blocking identity: MC/NC partition only the OUTPUT, so every legal
+// blocking must reproduce the default bit-for-bit.  This is the invariant
+// that makes autotuned blockings safe to apply from the wisdom store
+// without renumbering golden trajectories.
+
+TEST(Blocking, AnyLegalBlockingIsBitIdentical) {
+  isa_guard guard;
+  const blas_int m = 300, n = 260, k = 300;  // several blocks each way
+  const auto a = signed_random(static_cast<std::size_t>(m * k), 91);
+  const auto b = signed_random(static_cast<std::size_t>(k * n), 92);
+  for (const auto isa :
+       {detail::kernel_isa::scalar, detail::kernel_isa::avx2,
+        detail::kernel_isa::avx512}) {
+    if (isa == detail::kernel_isa::avx2 &&
+        !detail::avx2_kernels_available()) {
+      continue;
+    }
+    if (isa == detail::kernel_isa::avx512 &&
+        !detail::avx512_kernels_available()) {
+      continue;
+    }
+    detail::set_kernel_isa(isa);
+    const blas_int rq = detail::blocking_row_quantum(isa);
+    const blas_int cq = detail::blocking_col_quantum(isa);
+    std::vector<float> c_default(static_cast<std::size_t>(m * n), 0.5f);
+    detail::gemm_blocked(transpose::none, transpose::none, m, n, k, 1.25f,
+                         a.data(), m, b.data(), k, 0.75f, c_default.data(),
+                         m);
+    for (const auto bl : {detail::gemm_blocking{rq, cq},
+                          detail::gemm_blocking{2 * rq, 4 * cq},
+                          detail::gemm_blocking{8 * rq, 16 * cq}}) {
+      std::vector<float> c_blocked(static_cast<std::size_t>(m * n), 0.5f);
+      const detail::scoped_blocking scope(bl.mc, bl.nc);
+      detail::gemm_blocked(transpose::none, transpose::none, m, n, k, 1.25f,
+                           a.data(), m, b.data(), k, 0.75f, c_blocked.data(),
+                           m);
+      for (std::size_t i = 0; i < c_default.size(); ++i) {
+        ASSERT_EQ(c_default[i], c_blocked[i])
+            << "isa=" << detail::kernel_isa_name(isa) << " mc=" << bl.mc
+            << " nc=" << bl.nc << " elem=" << i;
+      }
+    }
+  }
+}
+
+TEST(Blocking, SplitModesBitIdenticalUnderRetunedBlocking) {
+  // The same identity through the fused split engine (including the
+  // native BF16 path where available): blocking is a performance knob,
+  // never a numerics knob.
+  isa_guard guard;
+  const blas_int m = 150, n = 140, k = 330;
+  const auto a = signed_random(static_cast<std::size_t>(m * k), 93);
+  const auto b = signed_random(static_cast<std::size_t>(k * n), 94);
+  for (const bool native : {false, true}) {
+    if (native && !detail::avx512bf16_kernels_available()) continue;
+    if (native) detail::set_kernel_isa(detail::kernel_isa::avx512);
+    detail::set_bf16_native(native);
+    std::vector<float> c_default(static_cast<std::size_t>(m * n), 0.5f);
+    detail::sgemm_split(compute_mode::float_to_bf16x2, transpose::none,
+                        transpose::none, m, n, k, 1.0f, a.data(), m, b.data(),
+                        k, 1.0f, c_default.data(), m);
+    const blas_int rq =
+        detail::blocking_row_quantum(detail::active_kernel_isa());
+    const blas_int cq =
+        detail::blocking_col_quantum(detail::active_kernel_isa());
+    for (const auto bl : {detail::gemm_blocking{rq, cq},
+                          detail::gemm_blocking{4 * rq, 2 * cq}}) {
+      std::vector<float> c_blocked(static_cast<std::size_t>(m * n), 0.5f);
+      const detail::scoped_blocking scope(bl.mc, bl.nc);
+      detail::sgemm_split(compute_mode::float_to_bf16x2, transpose::none,
+                          transpose::none, m, n, k, 1.0f, a.data(), m,
+                          b.data(), k, 1.0f, c_blocked.data(), m);
+      for (std::size_t i = 0; i < c_default.size(); ++i) {
+        ASSERT_EQ(c_default[i], c_blocked[i])
+            << "native=" << native << " mc=" << bl.mc << " nc=" << bl.nc
+            << " elem=" << i;
+      }
+    }
+  }
+}
+
+TEST(Blocking, LegalizeRoundsToQuantaAndDefaults) {
+  isa_guard guard;
+  detail::set_kernel_isa(detail::kernel_isa::scalar);
+  const auto isa = detail::kernel_isa::scalar;
+  const blas_int rq = detail::blocking_row_quantum(isa);
+  const blas_int cq = detail::blocking_col_quantum(isa);
+  const auto def = detail::default_blocking(isa);
+  // Non-positive requests resolve to the tier default.
+  EXPECT_EQ(detail::legalize_blocking(isa, 0, 0), def);
+  EXPECT_EQ(detail::legalize_blocking(isa, -4, -4), def);
+  // Arbitrary requests land on quantum multiples, never zero.
+  const auto tiny = detail::legalize_blocking(isa, 1, 1);
+  EXPECT_EQ(tiny.mc, rq);
+  EXPECT_EQ(tiny.nc, cq);
+  const auto mid = detail::legalize_blocking(isa, 3 * rq + rq / 2 + 1,
+                                             5 * cq + cq / 2 + 1);
+  EXPECT_EQ(mid.mc % rq, 0);
+  EXPECT_EQ(mid.nc % cq, 0);
+  // Oversized requests clamp to the hard caps.
+  const auto big = detail::legalize_blocking(isa, 1 << 20, 1 << 20);
+  EXPECT_LE(big.mc, detail::kMaxBlockM);
+  EXPECT_LE(big.nc, detail::kMaxBlockN);
+  // A {0,0} scope is a no-op: effective_blocking stays the default.
+  {
+    const detail::scoped_blocking noop(0, 0);
+    EXPECT_EQ(detail::effective_blocking(), def);
+  }
+  // Scopes nest and restore.
+  {
+    const detail::scoped_blocking outer(2 * rq, 2 * cq);
+    EXPECT_EQ(detail::effective_blocking(),
+              (detail::gemm_blocking{2 * rq, 2 * cq}));
+    {
+      const detail::scoped_blocking inner(rq, cq);
+      EXPECT_EQ(detail::effective_blocking(),
+                (detail::gemm_blocking{rq, cq}));
+    }
+    EXPECT_EQ(detail::effective_blocking(),
+              (detail::gemm_blocking{2 * rq, 2 * cq}));
+  }
+  EXPECT_EQ(detail::effective_blocking(), def);
 }
 
 // ---------------------------------------------------------------------------
@@ -323,6 +578,20 @@ TEST(KernelIsa, EnvAvx2HonouredOrFallsBack) {
     EXPECT_EQ(detail::active_kernel_isa(), detail::kernel_isa::avx2);
   } else {
     // Unavailable: warn-once + scalar, never a throw.
+    EXPECT_EQ(detail::active_kernel_isa(), detail::kernel_isa::scalar);
+  }
+}
+
+TEST(KernelIsa, EnvAvx512HonouredOrFallsBackDownTheLadder) {
+  env_isa_guard guard;
+  ::setenv("DCMESH_KERNEL_ISA", "AVX512", 1);  // case-insensitive
+  detail::set_kernel_isa(std::nullopt);
+  if (detail::avx512_kernels_available()) {
+    EXPECT_EQ(detail::active_kernel_isa(), detail::kernel_isa::avx512);
+  } else if (detail::avx2_kernels_available()) {
+    // Unavailable tiers fall DOWN the ladder, one tier at a time.
+    EXPECT_EQ(detail::active_kernel_isa(), detail::kernel_isa::avx2);
+  } else {
     EXPECT_EQ(detail::active_kernel_isa(), detail::kernel_isa::scalar);
   }
 }

@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 #include <sys/wait.h>
 
+#include "dcmesh/tune/wisdom.hpp"
+
 #include <array>
 #include <csignal>
 #include <cstdio>
@@ -317,7 +319,9 @@ TEST(CampaignEndToEnd, EightRunsTwoWorkersCalibrateOnlyInTheScout) {
 
   // One wisdom store, one generation history, valid header.
   const std::string wisdom = slurp(out + "/wisdom.jsonl");
-  EXPECT_NE(wisdom.find("\"dcmesh_wisdom\":1"), std::string::npos);
+  EXPECT_NE(wisdom.find("\"dcmesh_wisdom\":" +
+                        std::to_string(dcmesh::tune::kWisdomFormatVersion)),
+            std::string::npos);
   EXPECT_NE(wisdom.find("\"gen\":"), std::string::npos);
 }
 

@@ -53,6 +53,10 @@ void* shim_handle() {
 using sgemm_fn = void (*)(int, int, int, int, int, int, float,
                           const float*, int, const float*, int, float,
                           float*, int);
+using dtrsm_fn = void (*)(int, int, int, int, int, int, int, double,
+                          const double*, int, double*, int);
+using dsyrk_fn = void (*)(int, int, int, int, int, double, const double*,
+                          int, double, double*, int);
 using last_site_fn = int (*)(char*, unsigned long);
 using call_count_fn = unsigned long long (*)(void);
 using str_fn = const char* (*)(void);
@@ -128,6 +132,8 @@ TEST(Intercept, ShimLoadsAndExportsEveryPublicSymbol) {
       "cblas_sgemm_batch_strided", "cblas_dgemm_batch_strided",
       "cblas_cgemm_batch_strided", "cblas_zgemm_batch_strided",
       "sgemm_", "dgemm_", "cgemm_", "zgemm_",
+      // interposed BLAS added in v1.1
+      "cblas_strsm", "cblas_dtrsm", "cblas_ssyrk", "cblas_dsyrk",
       // public C API re-exported through the shim
       "dcmesh_api_version", "dcmesh_api_version_string",
       "dcmesh_last_error", "dcmesh_gemm", "dcmesh_gemm_batch_strided",
@@ -157,6 +163,61 @@ TEST(Intercept, SymbolsCarryTheVersionNode) {
   EXPECT_NE(dlvsym(shim_handle(), "dgemm_", "DCMESH_1.0"), nullptr);
   EXPECT_NE(dlvsym(shim_handle(), "dcmesh_gemm", "DCMESH_1.0"), nullptr);
   EXPECT_EQ(dlvsym(shim_handle(), "cblas_sgemm", "DCMESH_9.9"), nullptr);
+  // The v1.1 additions live in their own node: they resolve at 1.1, not
+  // at 1.0 — and the original set stays pinned to 1.0.
+  EXPECT_NE(dlvsym(shim_handle(), "cblas_strsm", "DCMESH_1.1"), nullptr);
+  EXPECT_NE(dlvsym(shim_handle(), "cblas_dsyrk", "DCMESH_1.1"), nullptr);
+  EXPECT_EQ(dlvsym(shim_handle(), "cblas_strsm", "DCMESH_1.0"), nullptr);
+  EXPECT_EQ(dlvsym(shim_handle(), "cblas_sgemm", "DCMESH_1.1"), nullptr);
+}
+
+TEST(Intercept, TrsmAndSyrkRouteThroughTheEngine) {
+  ASSERT_NE(shim_handle(), nullptr);
+  auto trsm = shim_sym<dtrsm_fn>("cblas_dtrsm");
+  auto syrk = shim_sym<dsyrk_fn>("cblas_dsyrk");
+  ASSERT_NE(trsm, nullptr);
+  ASSERT_NE(syrk, nullptr);
+
+  // Solve L X = B with L = [[2,0],[1,4]], X = [[1,2],[3,4]].
+  const double a_col[] = {2.0, 1.0, 0.0, 4.0};   // L, col-major
+  double b_col[] = {2.0, 13.0, 4.0, 18.0};       // B = L X, col-major
+  trsm(102, 141, 122, 111, 131, 2, 2, 1.0, a_col, 2, b_col, 2);
+  EXPECT_DOUBLE_EQ(b_col[0], 1.0);
+  EXPECT_DOUBLE_EQ(b_col[1], 3.0);
+  EXPECT_DOUBLE_EQ(b_col[2], 2.0);
+  EXPECT_DOUBLE_EQ(b_col[3], 4.0);
+
+  // The same solve through the row-major entry (flips side/uplo and
+  // swaps m/n internally) must give the same X.
+  const double a_row[] = {2.0, 0.0, 1.0, 4.0};   // L, row-major
+  double b_row[] = {2.0, 4.0, 13.0, 18.0};       // B, row-major
+  trsm(101, 141, 122, 111, 131, 2, 2, 1.0, a_row, 2, b_row, 2);
+  EXPECT_DOUBLE_EQ(b_row[0], 1.0);
+  EXPECT_DOUBLE_EQ(b_row[1], 2.0);
+  EXPECT_DOUBLE_EQ(b_row[2], 3.0);
+  EXPECT_DOUBLE_EQ(b_row[3], 4.0);
+
+  // C = A A^T with A = [1,2]^T: C = [[1,2],[2,4]], written full.
+  const double a_vec[] = {1.0, 2.0};
+  double c_col[] = {0.0, 0.0, 0.0, 0.0};
+  syrk(102, 121, 111, 2, 1, 1.0, a_vec, 2, 0.0, c_col, 2);
+  EXPECT_DOUBLE_EQ(c_col[0], 1.0);
+  EXPECT_DOUBLE_EQ(c_col[1], 2.0);
+  EXPECT_DOUBLE_EQ(c_col[2], 2.0);
+  EXPECT_DOUBLE_EQ(c_col[3], 4.0);
+
+  double c_row[] = {0.0, 0.0, 0.0, 0.0};
+  syrk(101, 121, 111, 2, 1, 1.0, a_vec, 1, 0.0, c_row, 2);
+  EXPECT_DOUBLE_EQ(c_row[0], 1.0);
+  EXPECT_DOUBLE_EQ(c_row[1], 2.0);
+  EXPECT_DOUBLE_EQ(c_row[2], 2.0);
+  EXPECT_DOUBLE_EQ(c_row[3], 4.0);
+
+  // Malformed arguments are dropped xerbla-style: B stays untouched.
+  double b_bad[] = {7.0, 7.0, 7.0, 7.0};
+  trsm(102, 999, 122, 111, 131, 2, 2, 1.0, a_col, 2, b_bad, 2);
+  EXPECT_DOUBLE_EQ(b_bad[0], 7.0);
+  EXPECT_DOUBLE_EQ(b_bad[3], 7.0);
 }
 
 TEST(Intercept, InternalEngineSymbolsStayHidden) {
@@ -167,8 +228,11 @@ TEST(Intercept, InternalEngineSymbolsStayHidden) {
             nullptr);
   // Level-3 names the shim does not (yet) interpose must not resolve
   // either — an application's own ssyrk_ has to reach the system BLAS.
+  // (cblas_ssyrk graduated to an export in v1.1; the Fortran spellings
+  // and the triangular multiply are still pass-through.)
   EXPECT_EQ(dlsym(shim_handle(), "ssyrk_"), nullptr);
-  EXPECT_EQ(dlsym(shim_handle(), "cblas_ssyrk"), nullptr);
+  EXPECT_EQ(dlsym(shim_handle(), "strsm_"), nullptr);
+  EXPECT_EQ(dlsym(shim_handle(), "cblas_strmm"), nullptr);
 }
 
 TEST(Intercept, ApiVersionThroughTheShim) {

@@ -90,6 +90,39 @@ TEST_F(AutotuneTest, WisdomLineRoundTrips) {
   EXPECT_EQ(parsed->key(), entry.key());
 }
 
+TEST_F(AutotuneTest, WisdomBlockingFieldsRoundTrip) {
+  wisdom_entry entry;
+  entry.routine = "SGEMM";
+  entry.site = "t/blk";
+  entry.cls = classify_shape(128, 128, 512);
+  entry.ulp_budget = 1024.0;
+  entry.mode_token = "FLOAT_TO_BF16X2";
+  entry.provenance = "calibrated";
+  entry.block_m = 224;
+  entry.block_n = 1024;
+  entry.block_isa = "avx512";
+
+  const std::string json = entry.to_json();
+  EXPECT_NE(json.find("\"block_m\":224"), std::string::npos);
+  const auto parsed = parse_wisdom_line(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->block_m, 224);
+  EXPECT_EQ(parsed->block_n, 1024);
+  EXPECT_EQ(parsed->block_isa, "avx512");
+
+  // An unprobed entry emits NO blocking fields (v1-shaped line) and reads
+  // back as unprobed.
+  entry.block_m = 0;
+  entry.block_n = 0;
+  entry.block_isa.clear();
+  const std::string bare = entry.to_json();
+  EXPECT_EQ(bare.find("block_m"), std::string::npos);
+  const auto reparsed = parse_wisdom_line(bare);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->block_m, 0);
+  EXPECT_TRUE(reparsed->block_isa.empty());
+}
+
 TEST_F(AutotuneTest, HeaderValidatesFormatAndKernelVersion) {
   EXPECT_TRUE(wisdom_header_ok(wisdom_header()));
   EXPECT_FALSE(wisdom_header_ok(
@@ -229,6 +262,51 @@ TEST_F(AutotuneTest, RequestBudgetOverridesDefaultAndKeysTheDecision) {
   request.ulp_budget = 0.0;
   (void)tuner.resolve(request);
   EXPECT_EQ(tuner.decisions().size(), 2u);
+}
+
+TEST_F(AutotuneTest, BlockingProbedColdOnceThenServedWarm) {
+  const std::string path = temp_path("wisdom_blocking.jsonl");
+  std::remove(path.c_str());
+
+  // 2*128*128*512 = 16.8 Mflop: big enough to time AND to probe MC/NC.
+  autotuner cold{path};
+  const auto first = cold.resolve(sgemm_request("t/blk", 128, 128, 512));
+  EXPECT_EQ(first.provenance, blas::auto_provenance::calibrated);
+  EXPECT_EQ(cold.stats().blocking_probes, 1u);
+  // The probed winner reaches both the decision cache and the caller.
+  const auto decisions = cold.decisions();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_GT(decisions[0].block_m, 0);
+  EXPECT_GT(decisions[0].block_n, 0);
+  EXPECT_FALSE(decisions[0].block_isa.empty());
+  EXPECT_GT(first.block_m, 0);
+  EXPECT_GT(first.block_n, 0);
+
+  // A fresh instance on the same store: the key is served warm with ZERO
+  // calibration GEMMs and ZERO blocking probes.
+  trace::clear_gemm_metrics();
+  autotuner warm{path};
+  const auto second = warm.resolve(sgemm_request("t/blk", 128, 128, 512));
+  EXPECT_EQ(second.provenance, blas::auto_provenance::cached);
+  EXPECT_EQ(warm.stats().blocking_probes, 0u);
+  EXPECT_EQ(trace::gemm_metrics_for(kCalibrationSite).calls, 0u);
+  EXPECT_EQ(second.block_m, first.block_m);
+  EXPECT_EQ(second.block_n, first.block_n);
+  std::remove(path.c_str());
+}
+
+TEST_F(AutotuneTest, SmallShapesNeverProbeBlocking) {
+  autotuner tuner{std::string{}};
+  // Timed (>= kMinTimedFlops) but below the blocking-probe floor: the
+  // mode is calibrated, the blocking stays at the per-ISA default.
+  (void)tuner.resolve(sgemm_request("t/sm", 64, 64, 64));
+  // Model-ranked tiny shape: no probe either.
+  (void)tuner.resolve(sgemm_request("t/tiny", 8, 8, 8));
+  EXPECT_EQ(tuner.stats().blocking_probes, 0u);
+  for (const auto& d : tuner.decisions()) {
+    EXPECT_EQ(d.block_m, 0) << d.site;
+    EXPECT_TRUE(d.block_isa.empty()) << d.site;
+  }
 }
 
 // ------------------------------------------------- wisdom persistence ---
