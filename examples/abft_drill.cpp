@@ -1,0 +1,176 @@
+// abft_drill.cpp — closed-loop ABFT campaign: inject a finite bitflip
+// into a chained real-GEMM trajectory and watch checksummed GEMM detect,
+// locate, and correct it.
+//
+// The drill runs a 10-step trajectory S <- (1/k) A S at a tagged site
+// ("abft/remap", the occupied-subspace remap shape family) twice: once
+// clean with ABFT active (the zero-false-positive golden run) and once
+// with a fault injected mid-trajectory, then compares the two
+// trajectories BITWISE step by step.  With DCMESH_ABFT=correct and an
+// input-space fault (bitflip_a/bitflip_b), the corrected trajectory
+// must replay the clean one exactly; exit status is nonzero otherwise —
+// CI's abft-campaign leg sweeps this binary over the compute-mode grid.
+//
+//   ./abft_drill                                      # built-in drill
+//   MKL_BLAS_COMPUTE_MODE=FLOAT_TO_BF16X2 ./abft_drill
+//   DCMESH_ABFT=detect ./abft_drill                   # report, keep corrupt C
+//   DCMESH_FAULT_PLAN='abft/*:5:bitflip_b:30:2' ./abft_drill
+//
+// (An env-provided DCMESH_FAULT_PLAN overrides the built-in plan — a
+// bit-30 flip of one element of A at step 5.  Bit 30 is the top
+// exponent bit: it turns a ~0.5 operand into ~1e38, finite — invisible
+// to the NaN/Inf sentinel — yet far above every mode's residual
+// threshold, so detection is deterministic across the whole mode grid.
+// A low-mantissa flip would instead be *correctly* tolerated by the
+// relaxed thresholds of the BF16-family modes.)
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/resil/abft.hpp"
+#include "dcmesh/resil/fault_plan.hpp"
+#include "dcmesh/trace/metrics.hpp"
+
+namespace {
+
+constexpr int kDim = 48;     // square trajectory: m = n = k
+constexpr int kSteps = 10;
+
+/// xorshift-ish deterministic fill in [0, 0.5) — same operands every run.
+void fill(std::vector<float>& v, std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& x : v) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    x = static_cast<float>((s >> 11) % 1000000) * 0.5e-6f;
+  }
+}
+
+/// One full trajectory: S_{t+1} = (1/k) A S_t, every step through the
+/// tagged dispatch chokepoint.  Returns the concatenated per-step state
+/// bytes for bitwise comparison.
+std::vector<float> run_trajectory(const std::vector<float>& a,
+                                  std::vector<float> s) {
+  using namespace dcmesh;
+  const auto n = static_cast<std::size_t>(kDim);
+  std::vector<float> trajectory;
+  std::vector<float> next(n * n);
+  for (int step = 0; step < kSteps; ++step) {
+    blas::gemm<float>(blas::transpose::none, blas::transpose::none,
+                      1.0f / static_cast<float>(kDim),
+                      {a.data(), n, n, n}, {s.data(), n, n, n}, 0.0f,
+                      {next.data(), n, n, n}, "abft/remap");
+    s.swap(next);
+    trajectory.insert(trajectory.end(), s.begin(), s.end());
+  }
+  return trajectory;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dcmesh;
+
+  // The campaign defaults to abft=correct, but an explicit DCMESH_ABFT
+  // wins so CI can also exercise detect-only and off.
+  if (!env_get(resil::kAbftEnvVar)) {
+    resil::set_abft_mode(resil::abft_mode::correct);
+  }
+  const resil::abft_mode abft = resil::active_abft_mode();
+  const blas::compute_mode mode = blas::active_compute_mode();
+
+  std::printf("# DCMESH ABFT drill: %d-step %dx%dx%d real-GEMM "
+              "trajectory, mode=%s, abft=%s\n",
+              kSteps, kDim, kDim, kDim,
+              std::string(blas::name(mode)).c_str(),
+              std::string(resil::name(abft)).c_str());
+
+  // Campaign plan: the environment's if set (malformed text falls back
+  // to the built-in drill, the shared warn-and-disable env contract),
+  // else one bit-30 flip in A at the 5th trajectory step.
+  resil::fault_plan plan;
+  bool builtin_plan = true;
+  if (const auto text = env_get(resil::kFaultPlanEnvVar)) {
+    try {
+      plan = resil::parse_fault_plan(*text);
+      builtin_plan = false;
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "abft_drill: malformed DCMESH_FAULT_PLAN "
+                           "(%s); using the built-in drill\n",
+                   error.what());
+    }
+  }
+  if (builtin_plan) {
+    plan.rules.push_back(
+        {"abft/*", 5, resil::fault_kind::bitflip_a, 30, 1});
+  }
+
+  std::vector<float> a(static_cast<std::size_t>(kDim) * kDim);
+  std::vector<float> s0(static_cast<std::size_t>(kDim) * kDim);
+  fill(a, 0x9e3779b97f4a7c15ull);
+  fill(s0, 0xd1b54a32d192ed03ull);
+
+  // Golden run: fault-free (an empty programmatic plan masks any env
+  // plan) but with ABFT live — any abft_detect here is a false positive
+  // against the per-mode thresholds.
+  resil::set_fault_plan(resil::fault_plan{});
+  trace::clear_health_counters();
+  const std::vector<float> clean = run_trajectory(a, s0);
+  const unsigned long long false_positives =
+      trace::health_counter("abft_detect");
+  const unsigned long long clean_checked =
+      trace::health_counter("abft_check");
+
+  // Faulty run: same operands, campaign plan armed.
+  resil::set_fault_plan(plan);
+  trace::clear_health_counters();
+  const std::vector<float> faulty = run_trajectory(a, s0);
+  const unsigned long long injected = resil::injection_count();
+  const unsigned long long checked = trace::health_counter("abft_check");
+  const unsigned long long detected = trace::health_counter("abft_detect");
+  const unsigned long long corrected =
+      trace::health_counter("abft_correct");
+  const unsigned long long escalated =
+      trace::health_counter("abft_escalate");
+  resil::set_fault_plan(std::nullopt);
+
+  const bool bitwise_identical =
+      clean.size() == faulty.size() &&
+      std::memcmp(clean.data(), faulty.data(),
+                  clean.size() * sizeof(float)) == 0;
+  bool finite = true;
+  for (const float x : faulty) finite = finite && std::isfinite(x);
+
+  // What "ok" means depends on the tier under test: correct must close
+  // the loop bit-identically; detect must at least see the hit; off is
+  // the vacuity baseline — the finite corruption sails through silently.
+  bool ok = false;
+  switch (abft) {
+    case resil::abft_mode::correct:
+      ok = false_positives == 0 && injected >= 1 && checked >= 1 &&
+           detected >= 1 && corrected >= 1 && bitwise_identical && finite;
+      break;
+    case resil::abft_mode::detect:
+      ok = false_positives == 0 && injected >= 1 && detected >= 1;
+      break;
+    case resil::abft_mode::off:
+      ok = injected >= 1 && checked == 0 && clean_checked == 0;
+      break;
+  }
+
+  std::printf("abft: checked=%llu detected=%llu corrected=%llu "
+              "escalated=%llu false_positives=%llu\n",
+              checked, detected, corrected, escalated, false_positives);
+  std::printf("campaign: injected=%llu bitwise=%s status=%s\n", injected,
+              bitwise_identical ? "identical" : "divergent",
+              ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -12,17 +12,25 @@
 //   DCMESH_HEALTH=sample ./fault_drill                # cheaper scans
 //
 // (An env-provided DCMESH_FAULT_PLAN overrides the built-in plan; the
-// env grammar is site-glob:call#:kind[:param] with kinds
-// bitflip|nan|inf|scale.)
+// env grammar is site-glob:call#:kind[:param[:hits]] with kinds
+// bitflip|nan|inf|scale|bitflip_a|bitflip_b.  An env-provided
+// MKL_BLAS_COMPUTE_MODE overrides the drill's default BF16, so one
+// binary sweeps the whole mode grid.  The summary also reports the
+// ABFT counters and whether the faulty trajectory is bit-identical to
+// the clean one; note the tiny preset's trajectory GEMMs are complex,
+// so the checksummed-GEMM tier stays out of this drill's path — the
+// closed-loop ABFT campaign lives in abft_drill.)
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 
 #include "dcmesh/blas/compute_mode.hpp"
 #include "dcmesh/blas/verbose.hpp"
 #include "dcmesh/common/env.hpp"
 #include "dcmesh/core/dcmesh.hpp"
+#include "dcmesh/resil/abft.hpp"
 #include "dcmesh/resil/fault_plan.hpp"
 #include "dcmesh/resil/health.hpp"
 #include "dcmesh/trace/metrics.hpp"
@@ -31,19 +39,26 @@ int main() {
   using namespace dcmesh;
 
   core::run_config config = core::preset(core::paper_system::tiny);
-  blas::set_compute_mode(blas::compute_mode::float_to_bf16);
+  // The drill defaults to BF16 (the mode the sentinel was built for),
+  // but an explicit MKL_BLAS_COMPUTE_MODE wins so CI can sweep the mode
+  // grid with one binary.  (set_compute_mode() would shadow the env.)
+  if (!env_get(blas::kComputeModeEnvVar)) {
+    blas::set_compute_mode(blas::compute_mode::float_to_bf16);
+  }
   if (resil::active_health_level() == resil::health_level::off) {
     resil::set_health_level(resil::health_level::full);
   }
 
   std::printf("# DCMESH fault drill: %lld atoms, %lld^3 mesh, %lld QD "
-              "steps, BF16 compute, sentinel=%s\n",
+              "steps, %s compute, sentinel=%s, abft=%s\n",
               static_cast<long long>(config.atom_count()),
               static_cast<long long>(config.mesh_n),
               static_cast<long long>(config.total_qd_steps()),
+              std::string(blas::name(blas::active_compute_mode())).c_str(),
               resil::active_health_level() == resil::health_level::full
                   ? "full"
-                  : "sample");
+                  : "sample",
+              std::string(resil::name(resil::active_abft_mode())).c_str());
 
   // Resolve the campaign up front: the environment's plan if one is set
   // (malformed text falls back to the built-in drill, mirroring the
@@ -86,8 +101,31 @@ int main() {
   const unsigned long long recovered = trace::health_counter("recover");
   const unsigned long long unrecovered =
       trace::health_counter("unrecovered");
+  const unsigned long long abft_checked =
+      trace::health_counter("abft_check");
+  const unsigned long long abft_detected =
+      trace::health_counter("abft_detect");
+  const unsigned long long abft_corrected =
+      trace::health_counter("abft_correct");
+  const unsigned long long abft_escalated =
+      trace::health_counter("abft_escalate");
   const double ekin_delta = std::abs(faulty_last.ekin - clean_last.ekin);
   const double nexc_delta = std::abs(faulty_last.nexc - clean_last.nexc);
+
+  // Bit-level trajectory comparison: with DCMESH_ABFT=correct and an
+  // input-space fault, the corrected run must replay the clean one
+  // EXACTLY — every observable of every step, compared bitwise.
+  bool bitwise_identical =
+      faulty.records().size() == clean.records().size();
+  if (bitwise_identical) {
+    for (std::size_t i = 0; i < clean.records().size(); ++i) {
+      if (std::memcmp(&clean.records()[i], &faulty.records()[i],
+                      sizeof(lfd::qd_record)) != 0) {
+        bitwise_identical = false;
+        break;
+      }
+    }
+  }
 
   const bool survived = std::isfinite(faulty_last.ekin) &&
                         std::isfinite(faulty_last.nexc) &&
@@ -108,9 +146,13 @@ int main() {
       static_cast<unsigned long long>(stats.rollbacks),
       static_cast<unsigned long long>(stats.checkpoints),
       survived && repaired ? "ok" : "FAILED");
+  std::printf("abft: checked=%llu detected=%llu corrected=%llu "
+              "escalated=%llu\n",
+              abft_checked, abft_detected, abft_corrected, abft_escalated);
   std::printf("final-step deltas vs clean run: |d ekin|=%.3e  "
-              "|d nexc|=%.3e\n",
-              ekin_delta, nexc_delta);
+              "|d nexc|=%.3e  bitwise=%s\n",
+              ekin_delta, nexc_delta,
+              bitwise_identical ? "identical" : "divergent");
   if (!stats.last_violation.empty()) {
     std::printf("last step-invariant violation: %s\n",
                 stats.last_violation.c_str());

@@ -46,6 +46,10 @@ struct auto_tune_request {
   /// Per-site componentwise error budget in ULPs of the storage precision
   /// (the rule's ulp= flag); 0 = use the tuner's default budget.
   double ulp_budget = 0.0;
+  /// The resolved call will run under ABFT checksums: the tuner measures
+  /// and wisdom-records the checksum overhead for this shape class so the
+  /// choice (and its recorded cost) accounts for it.
+  bool abft = false;
 };
 
 /// The resolver's answer.
@@ -60,6 +64,9 @@ struct auto_tune_choice {
   /// output sweep, so applying it never changes results bit-for-bit.
   blas_int block_m = 0;
   blas_int block_n = 0;
+  /// Measured ABFT (abft=correct) time overhead for this shape class as a
+  /// fraction of the plain call (0.15 = +15%); 0 when never measured.
+  double abft_overhead = 0.0;
 };
 
 using auto_tune_fn =

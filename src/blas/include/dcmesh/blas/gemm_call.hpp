@@ -24,6 +24,7 @@
 
 #include "dcmesh/blas/blas.hpp"
 #include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/resil/abft.hpp"
 
 namespace dcmesh::blas {
 
@@ -57,6 +58,11 @@ struct gemm_call {
   /// autotuner's blocking probes; available to expert callers.
   blas_int block_m = 0;
   blas_int block_n = 0;
+  /// Per-call ABFT override, the strongest layer in the ABFT resolution
+  /// order (call > policy rule's abft= flag > DCMESH_ABFT).  Used by the
+  /// autotuner's overhead probes and by tests; ignored for complex types,
+  /// where the checksum path is not implemented.
+  std::optional<resil::abft_mode> abft = std::nullopt;
 };
 
 /// Execute one descriptor: resolve the effective compute mode for its

@@ -7,16 +7,22 @@
 // controls).
 
 #include <complex>
+#include <string_view>
 
 #include "dcmesh/blas/blas.hpp"
 
 namespace dcmesh::blas {
 
 /// y <- alpha*op(A)*x + beta*y, column-major A (m x n), leading dim lda.
+/// Matrix-vector products always run standard arithmetic (the FLOAT_TO_*
+/// compute modes are level-3 controls), but every call is timed and
+/// logged like the GEMM family; `call_site` tags the record for
+/// MKL_VERBOSE/JSONL attribution — interposed binaries get their return-
+/// address site here, exactly like trsm/syrk.
 template <typename T>
 void gemv(transpose trans, blas_int m, blas_int n, T alpha, const T* a,
           blas_int lda, const T* x, blas_int incx, T beta, T* y,
-          blas_int incy);
+          blas_int incy, std::string_view call_site = {});
 
 /// Rank-1 update A <- alpha*x*y^T + A (ger / geru).
 template <typename T>

@@ -23,6 +23,9 @@
 //   rule   := glob '=' MODE (':' flag)*
 //   flag   := 'guarded' | 'tol=<float>'   (tol implies guarded)
 //           | 'ulp=<float>'               (auto-mode ULP error budget)
+//           | 'abft=<off|detect|correct>' (per-site ABFT checksum guard,
+//                                          overriding the DCMESH_ABFT
+//                                          process default; resil/abft.hpp)
 // where glob uses '*' (any sequence, '/' included) and '?' (one char), and
 // MODE is any MKL_BLAS_COMPUTE_MODE token, case-insensitive — or AUTO,
 // which delegates the choice to the accuracy-aware autotuner (src/tune)
@@ -45,6 +48,7 @@
 #include <vector>
 
 #include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/resil/abft.hpp"
 
 namespace dcmesh::blas {
 
@@ -77,6 +81,9 @@ struct policy_rule {
   /// storage precision; the tuner's default (DCMESH_TUNE_ULP_BUDGET)
   /// when unset.
   std::optional<double> ulp_budget;
+  /// Per-site ABFT override (`abft=` flag); the DCMESH_ABFT process
+  /// default applies when unset.
+  std::optional<resil::abft_mode> abft;
 };
 
 /// An ordered rule list; first match wins.
@@ -121,6 +128,9 @@ struct mode_resolution {
   /// for the concrete mode (`mode` holds the standard fallback).
   bool automatic = false;
   double ulp_budget = 0.0;   ///< AUTO error budget (0 = tuner default).
+  /// Per-site ABFT override from the matched rule; the process default
+  /// (active_abft_mode()) applies when unset.
+  std::optional<resil::abft_mode> abft;
 };
 
 /// Resolve the effective mode for a call tagged `call_site` (may be empty)

@@ -49,6 +49,20 @@ enum class health_verdict {
 /// "recovered".
 [[nodiscard]] std::string_view name(health_verdict verdict) noexcept;
 
+/// ABFT checksum outcome of one call (resil/abft.hpp).
+enum class abft_verdict {
+  none,       ///< ABFT off (or not applicable) for this call.
+  checked,    ///< Checksums verified; residuals within τ.
+  detected,   ///< Mismatch found; detect-only mode kept the result.
+  corrected,  ///< Single element located and corrected in place.
+  recovered,  ///< Ambiguous mismatch; a rebuilt re-run came back clean.
+  failed,     ///< Escalation exhausted the ladder; result kept as-is.
+};
+
+/// Display name of an ABFT verdict: "none", "checked", "detected",
+/// "corrected", "recovered", "failed".
+[[nodiscard]] std::string_view name(abft_verdict verdict) noexcept;
+
 /// One recorded level-3 call.
 struct call_record {
   std::string routine;  ///< "SGEMM", "CGEMM", ...
@@ -83,6 +97,8 @@ struct call_record {
   std::string fault;
   /// Finite-scan outcome (none unless DCMESH_HEALTH != off).
   health_verdict health = health_verdict::none;
+  /// Checksum-guard outcome (none unless ABFT resolved != off).
+  abft_verdict abft = abft_verdict::none;
 
   /// Render in the MKL_VERBOSE line format.  The prefix through "mode:" is
   /// byte-identical to the pre-policy format; " site:...", " src:...",

@@ -59,6 +59,10 @@ struct call_plan {
   /// timings comparable.
   blas_int block_m = 0;
   blas_int block_n = 0;
+  /// Resolved ABFT checksum-guard mode (per-call override > policy rule's
+  /// abft= flag > DCMESH_ABFT process default).  Applied by run_planned
+  /// for real element types; complex falls back to off.
+  resil::abft_mode abft = resil::abft_mode::off;
 };
 
 /// Resolve site policy + auto hook for one call's shape.

@@ -11,12 +11,28 @@
 //
 // The resilience subsystem (src/resil) hooks the same choke point:
 // plan_call() overlays any active precision promotion on the resolved
-// mode; after the arithmetic, an active DCMESH_FAULT_PLAN may perturb the
-// result (deterministic injection), and a non-off DCMESH_HEALTH level
+// mode; an active DCMESH_FAULT_PLAN may perturb the call (deterministic
+// injection — input-space kinds corrupt the operands the kernel consumes,
+// output kinds the result), and a non-off DCMESH_HEALTH level
 // finite-scans it — on detection the call is transparently re-run up the
 // mantissa-promotion ladder (one same-mode retry once at standard, since
 // a transient fault does not repeat), and the verdict lands in the
 // verbose record, the metrics registry, and the trace.
+//
+// ABFT (resil/abft.hpp) rides the same choke point for real GEMM: when
+// the resolved abft mode is not off, the call runs on Huang–Abraham
+// checksum-augmented operands — op(A) gains a column-checksum row (e·A),
+// op(B) a row-checksum column (B·e) — through the *unchanged* blocked
+// kernel at the resolved compute mode.  kBlockK partitions the k
+// accumulation identically for the (m+1)x(n+1) and the m x n problem and
+// MC/NC only partition the output sweep, so the augmented interior is
+// bit-identical to the plain result; the extra row/column carries the
+// sums.  Verification compares interior row/column sums (in double)
+// against the checksum row/column under a per-mode threshold derived from
+// the split-engine error model; a single bad row x column locates one
+// corrupted element, which abft=correct repairs in place via the
+// residual delta + bitflip snap; anything ambiguous escalates to a
+// rebuilt re-run and then up the mantissa ladder.
 
 #include <chrono>
 #include <cmath>
@@ -29,9 +45,12 @@
 #include "dcmesh/blas/gemm_call.hpp"
 #include "dcmesh/blas/precision_policy.hpp"
 #include "dcmesh/blas/verbose.hpp"
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/resil/abft.hpp"
 #include "dcmesh/resil/fault_plan.hpp"
 #include "dcmesh/resil/health.hpp"
 #include "dcmesh/resil/promotion.hpp"
+#include "dcmesh/trace/metrics.hpp"
 #include "dcmesh/trace/tracer.hpp"
 #include "dispatch_internal.hpp"
 #include "gemm_kernel.hpp"
@@ -156,71 +175,134 @@ bool element_finite(const T& v) noexcept {
   }
 }
 
-/// Apply one planned fault to C in place, returning the description that
-/// goes into the verbose record and the trace ("nan@(3,7)",
-/// "bitflip@(0,2):b12", "scale*1024").  Element/bit choices come from the
-/// hit's deterministic draws; single-element kinds perturb the real part
-/// (std::complex guarantees the two-reals layout).
+template <typename Real>
+void flip_bit(Real* slot, unsigned bit) noexcept {
+  if constexpr (sizeof(Real) == 4) {
+    std::uint32_t repr;
+    std::memcpy(&repr, slot, sizeof(repr));
+    repr ^= std::uint32_t{1} << bit;
+    std::memcpy(slot, &repr, sizeof(repr));
+  } else {
+    std::uint64_t repr;
+    std::memcpy(&repr, slot, sizeof(repr));
+    repr ^= std::uint64_t{1} << bit;
+    std::memcpy(slot, &repr, sizeof(repr));
+  }
+}
+
+/// Apply one planned output-space fault to an m x n column-major matrix
+/// in place, returning the description that goes into the verbose record
+/// and the trace ("nan@(3,7)", "bitflip@(0,2):b12", "scale*1024").
+/// Element/bit choices come from the hit's deterministic draw stream;
+/// element kinds apply `hits` times (fresh draws per hit) and perturb the
+/// real part (std::complex guarantees the two-reals layout).
 template <typename T>
-std::string apply_fault(const resil::fault_hit& hit,
-                        const gemm_call<T>& call) {
+std::string apply_fault_to(const resil::fault_hit& hit, T* c, blas_int ldc,
+                           blas_int m, blas_int n) {
   using real_t = typename real_part_of<T>::type;
-  const std::size_t mn = static_cast<std::size_t>(call.m) *
-                         static_cast<std::size_t>(call.n);
+  const std::size_t mn =
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
   if (mn == 0) return {};
-  char buffer[80];
+  char buffer[96];
   if (hit.kind == resil::fault_kind::scale) {
     const double factor = hit.param.value_or(1024.0);
-    for (blas_int j = 0; j < call.n; ++j) {
-      for (blas_int i = 0; i < call.m; ++i) {
-        call.c[i + j * call.ldc] *= static_cast<real_t>(factor);
+    for (blas_int j = 0; j < n; ++j) {
+      for (blas_int i = 0; i < m; ++i) {
+        c[i + j * ldc] *= static_cast<real_t>(factor);
       }
     }
     std::snprintf(buffer, sizeof(buffer), "scale*%g", factor);
     return buffer;
   }
-  const std::size_t idx = hit.pick0 % mn;
-  const blas_int i =
-      static_cast<blas_int>(idx % static_cast<std::size_t>(call.m));
-  const blas_int j =
-      static_cast<blas_int>(idx / static_cast<std::size_t>(call.m));
-  real_t* slot = reinterpret_cast<real_t*>(call.c + (i + j * call.ldc));
-  switch (hit.kind) {
-    case resil::fault_kind::nan_value:
-      *slot = std::numeric_limits<real_t>::quiet_NaN();
-      std::snprintf(buffer, sizeof(buffer), "nan@(%lld,%lld)",
-                    static_cast<long long>(i), static_cast<long long>(j));
-      break;
-    case resil::fault_kind::inf_value:
-      *slot = std::numeric_limits<real_t>::infinity();
-      std::snprintf(buffer, sizeof(buffer), "inf@(%lld,%lld)",
-                    static_cast<long long>(i), static_cast<long long>(j));
-      break;
-    case resil::fault_kind::bitflip: {
-      constexpr unsigned kBits = sizeof(real_t) * 8;
-      const unsigned bit =
-          hit.param ? static_cast<unsigned>(*hit.param) % kBits
-                    : static_cast<unsigned>(hit.pick1 % kBits);
-      if constexpr (sizeof(real_t) == 4) {
-        std::uint32_t repr;
-        std::memcpy(&repr, slot, sizeof(repr));
-        repr ^= std::uint32_t{1} << bit;
-        std::memcpy(slot, &repr, sizeof(repr));
-      } else {
-        std::uint64_t repr;
-        std::memcpy(&repr, slot, sizeof(repr));
-        repr ^= std::uint64_t{1} << bit;
-        std::memcpy(slot, &repr, sizeof(repr));
+  // The stream's first two draws reproduce pick0/pick1, so single-hit
+  // plans perturb the exact element/bit they always did.
+  xoshiro256 rng(hit.draw_seed);
+  std::string desc;
+  const std::int64_t hits = std::max<std::int64_t>(1, hit.hits);
+  for (std::int64_t h = 0; h < hits; ++h) {
+    const std::uint64_t pick0 = rng();
+    const std::uint64_t pick1 = rng();
+    const std::size_t idx = pick0 % mn;
+    const blas_int i =
+        static_cast<blas_int>(idx % static_cast<std::size_t>(m));
+    const blas_int j =
+        static_cast<blas_int>(idx / static_cast<std::size_t>(m));
+    real_t* slot = reinterpret_cast<real_t*>(c + (i + j * ldc));
+    switch (hit.kind) {
+      case resil::fault_kind::nan_value:
+        *slot = std::numeric_limits<real_t>::quiet_NaN();
+        std::snprintf(buffer, sizeof(buffer), "nan@(%lld,%lld)",
+                      static_cast<long long>(i), static_cast<long long>(j));
+        break;
+      case resil::fault_kind::inf_value:
+        *slot = std::numeric_limits<real_t>::infinity();
+        std::snprintf(buffer, sizeof(buffer), "inf@(%lld,%lld)",
+                      static_cast<long long>(i), static_cast<long long>(j));
+        break;
+      case resil::fault_kind::bitflip: {
+        constexpr unsigned kBits = sizeof(real_t) * 8;
+        const unsigned bit =
+            hit.param ? static_cast<unsigned>(*hit.param) % kBits
+                      : static_cast<unsigned>(pick1 % kBits);
+        flip_bit(slot, bit);
+        std::snprintf(buffer, sizeof(buffer), "bitflip@(%lld,%lld):b%u",
+                      static_cast<long long>(i), static_cast<long long>(j),
+                      bit);
+        break;
       }
-      std::snprintf(buffer, sizeof(buffer), "bitflip@(%lld,%lld):b%u",
-                    static_cast<long long>(i), static_cast<long long>(j),
-                    bit);
-      break;
+      default:
+        return desc;  // input-space kinds handled by apply_input_fault
     }
-    case resil::fault_kind::scale:
-      break;  // handled above
+    if (!desc.empty()) desc += '+';
+    desc += buffer;
   }
-  return buffer;
+  return desc;
+}
+
+template <typename T>
+std::string apply_fault(const resil::fault_hit& hit,
+                        const gemm_call<T>& call) {
+  return apply_fault_to(hit, call.c, call.ldc, call.m, call.n);
+}
+
+/// Apply one planned input-space fault (bitflip_a / bitflip_b) to a
+/// materialized rows x cols column-major copy of op(A) or op(B).  The
+/// draws come from the hit's stream exactly like the output kinds, so a
+/// given (seed, rule, occurrence) corrupts the same operand element
+/// whether or not ABFT is active.
+template <typename T>
+std::string apply_input_fault(const resil::fault_hit& hit, T* mat,
+                              blas_int ld, blas_int rows, blas_int cols) {
+  using real_t = typename real_part_of<T>::type;
+  const std::size_t total =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  if (total == 0) return {};
+  const char* tag =
+      hit.kind == resil::fault_kind::bitflip_a ? "bitflip_a" : "bitflip_b";
+  xoshiro256 rng(hit.draw_seed);
+  std::string desc;
+  char buffer[96];
+  const std::int64_t hits = std::max<std::int64_t>(1, hit.hits);
+  for (std::int64_t h = 0; h < hits; ++h) {
+    const std::uint64_t pick0 = rng();
+    const std::uint64_t pick1 = rng();
+    const std::size_t idx = pick0 % total;
+    const blas_int i =
+        static_cast<blas_int>(idx % static_cast<std::size_t>(rows));
+    const blas_int j =
+        static_cast<blas_int>(idx / static_cast<std::size_t>(rows));
+    constexpr unsigned kBits = sizeof(real_t) * 8;
+    const unsigned bit = hit.param
+                             ? static_cast<unsigned>(*hit.param) % kBits
+                             : static_cast<unsigned>(pick1 % kBits);
+    flip_bit(reinterpret_cast<real_t*>(mat + (i + j * ld)), bit);
+    std::snprintf(buffer, sizeof(buffer), "%s@(%lld,%lld):b%u", tag,
+                  static_cast<long long>(i), static_cast<long long>(j),
+                  bit);
+    if (!desc.empty()) desc += '+';
+    desc += buffer;
+  }
+  return desc;
 }
 
 /// Finite scan of C at the given level.  At `sample` the scan strides so
@@ -252,12 +334,343 @@ bool scan_c_finite(const gemm_call<T>& call, resil::health_level level,
   return true;
 }
 
+// ---- ABFT: checksum-augmented execution at the choke point ------------
+
+/// Per-mode rounding units for the τ derivation.  u_repr is the
+/// *effective* representation unit of the mode's operand encoding (the
+/// split modes keep the sum of their components: BF16x2 ~16 bits, BF16x3
+/// ~24); u_acc is the kernel's accumulator unit (FP32/FP64).
+template <typename T>
+resil::abft_error_model abft_model_for(compute_mode mode) noexcept {
+  resil::abft_error_model model;
+  if constexpr (std::is_same_v<T, double>) {
+    (void)mode;
+    model.u_repr = 0x1p-53;
+    model.u_acc = 0x1p-53;
+  } else {
+    model.u_acc = 0x1p-24;
+    switch (mode) {
+      case compute_mode::float_to_bf16: model.u_repr = 0x1p-8; break;
+      case compute_mode::float_to_tf32: model.u_repr = 0x1p-11; break;
+      case compute_mode::float_to_bf16x2: model.u_repr = 0x1p-16; break;
+      default: model.u_repr = 0x1p-24; break;  // standard, BF16x3
+    }
+  }
+  return model;
+}
+
+/// Materialize the checksum-augmented operands: a_aug is (m+1) x k dense
+/// column-major (interior = op(A), row m = column sums e·A), b_aug is
+/// k x (n+1) (interior = op(B), column n = row sums B·e).  Checksums are
+/// accumulated in double and rounded once to T; the interior values are
+/// the exact operand values, so the kernel's interior arithmetic is
+/// bit-identical to the plain call.  Returns amax of each interior for
+/// the threshold scale.
+template <typename T>
+void build_augmented_operands(const gemm_call<T>& call, std::vector<T>& a_aug,
+                              std::vector<T>& b_aug, double* amax_a,
+                              double* amax_b) {
+  const blas_int m = call.m, n = call.n, k = call.k;
+  const blas_int lda_aug = m + 1;
+  a_aug.resize(static_cast<std::size_t>(lda_aug) *
+               static_cast<std::size_t>(k));
+  double amax = 0.0;
+  for (blas_int p = 0; p < k; ++p) {
+    T* col = a_aug.data() + static_cast<std::size_t>(p) * lda_aug;
+    double sum = 0.0;
+    for (blas_int i = 0; i < m; ++i) {
+      const T v = op_element(call.a, call.lda, call.transa, i, p);
+      col[i] = v;
+      sum += static_cast<double>(v);
+      amax = std::max(amax, std::abs(static_cast<double>(v)));
+    }
+    col[m] = static_cast<T>(sum);
+  }
+  *amax_a = amax;
+
+  b_aug.resize(static_cast<std::size_t>(k) *
+               static_cast<std::size_t>(n + 1));
+  amax = 0.0;
+  std::vector<double> row_sums(static_cast<std::size_t>(k), 0.0);
+  for (blas_int j = 0; j < n; ++j) {
+    T* col = b_aug.data() + static_cast<std::size_t>(j) * k;
+    for (blas_int p = 0; p < k; ++p) {
+      const T v = op_element(call.b, call.ldb, call.transb, p, j);
+      col[p] = v;
+      row_sums[static_cast<std::size_t>(p)] += static_cast<double>(v);
+      amax = std::max(amax, std::abs(static_cast<double>(v)));
+    }
+  }
+  T* chk = b_aug.data() + static_cast<std::size_t>(n) * k;
+  for (blas_int p = 0; p < k; ++p) {
+    chk[p] = static_cast<T>(row_sums[static_cast<std::size_t>(p)]);
+  }
+  *amax_b = amax;
+}
+
+/// Seed the (m+1) x (n+1) augmented result: interior = pre-call C, the
+/// checksum row/column = C's column/row sums (in double, rounded to T) so
+/// the kernel's beta term scales the checksums consistently with the
+/// interior.  Returns amax of the interior for the β threshold term
+/// (0 when beta == 0, where the seeds are ignored by the kernel).
+template <typename T>
+double seed_augmented_c(const gemm_call<T>& call, std::vector<T>& c_aug) {
+  const blas_int m = call.m, n = call.n, ldc_aug = m + 1;
+  c_aug.assign(static_cast<std::size_t>(ldc_aug) *
+                   static_cast<std::size_t>(n + 1),
+               T(0));
+  if (call.beta == T(0)) return 0.0;
+  double amax = 0.0;
+  double total = 0.0;
+  std::vector<double> row_sums(static_cast<std::size_t>(m), 0.0);
+  for (blas_int j = 0; j < n; ++j) {
+    T* col = c_aug.data() + static_cast<std::size_t>(j) * ldc_aug;
+    double col_sum = 0.0;
+    for (blas_int i = 0; i < m; ++i) {
+      const T v = call.c[i + j * call.ldc];
+      col[i] = v;
+      col_sum += static_cast<double>(v);
+      row_sums[static_cast<std::size_t>(i)] += static_cast<double>(v);
+      amax = std::max(amax, std::abs(static_cast<double>(v)));
+    }
+    col[m] = static_cast<T>(col_sum);
+    total += col_sum;
+  }
+  T* last = c_aug.data() + static_cast<std::size_t>(n) * ldc_aug;
+  for (blas_int i = 0; i < m; ++i) {
+    last[i] = static_cast<T>(row_sums[static_cast<std::size_t>(i)]);
+  }
+  last[m] = static_cast<T>(total);
+  return amax;
+}
+
+/// Copy the augmented interior back into the caller's C.
+template <typename T>
+void copy_interior(const std::vector<T>& c_aug, const gemm_call<T>& call) {
+  const blas_int ldc_aug = call.m + 1;
+  for (blas_int j = 0; j < call.n; ++j) {
+    std::copy_n(c_aug.data() + static_cast<std::size_t>(j) * ldc_aug,
+                call.m, call.c + j * call.ldc);
+  }
+}
+
+template <typename T>
+struct abft_outcome {
+  abft_verdict verdict = abft_verdict::checked;
+  compute_mode mode = compute_mode::standard;  ///< Mode of the final run.
+  int extra_attempts = 0;  ///< Arithmetic re-runs beyond the first.
+};
+
+/// Execute one real-GEMM descriptor under ABFT checksums at `requested`
+/// mode.  Consumes the planned fault (input kinds corrupt the augmented
+/// interiors after the checksums are taken; output kinds corrupt the
+/// result interior before verification) and writes the verified (and
+/// possibly corrected) interior back to call.c.  Escalation rebuilds the
+/// augmented problem from the pristine user buffers — the occurrence
+/// counters already advanced, so a re-run is injection-free — first at
+/// the same mode (a transient fault does not repeat; same mode keeps the
+/// trajectory bit-identical), then up the mantissa ladder.
+template <typename T>
+abft_outcome<T> run_abft(const gemm_call<T>& call, compute_mode requested,
+                         resil::abft_mode mode,
+                         const std::optional<resil::fault_hit>& hit,
+                         std::string* fault_desc,
+                         std::string_view fault_site) {
+  static_assert(!gemm_traits<T>::is_complex);
+  const blas_int m = call.m, n = call.n, k = call.k;
+  const blas_int ldc_aug = m + 1;
+  abft_outcome<T> out;
+  out.mode = requested;
+
+  std::vector<T> a_aug, b_aug, c_aug;
+  double amax_a = 0.0, amax_b = 0.0;
+  build_augmented_operands(call, a_aug, b_aug, &amax_a, &amax_b);
+  double amax_c = seed_augmented_c(call, c_aug);
+
+  // Input-space faults corrupt the operands the kernel will consume,
+  // *after* the checksums were taken from clean data — the silent-
+  // corruption scenario ABFT exists for.
+  if (hit && resil::is_input_fault(hit->kind)) {
+    if (hit->kind == resil::fault_kind::bitflip_a) {
+      *fault_desc = apply_input_fault(*hit, a_aug.data(), m + 1, m, k);
+    } else {
+      *fault_desc = apply_input_fault(*hit, b_aug.data(), k, k, n);
+    }
+    if (!fault_desc->empty()) {
+      resil::record_health_event("inject", fault_site, *fault_desc);
+    }
+  }
+
+  const auto run_augmented = [&](compute_mode run_mode) {
+    gemm_at_mode(run_mode, transpose::none, transpose::none, m + 1, n + 1,
+                 k, call.alpha, a_aug.data(), m + 1, b_aug.data(), k,
+                 call.beta, c_aug.data(), ldc_aug);
+  };
+  run_augmented(requested);
+
+  // Output-space faults land in the result interior before verification.
+  if (hit && !resil::is_input_fault(hit->kind)) {
+    *fault_desc = apply_fault_to(*hit, c_aug.data(), ldc_aug, m, n);
+    if (!fault_desc->empty()) {
+      resil::record_health_event("inject", fault_site, *fault_desc);
+    }
+  }
+
+  const double abs_alpha = std::abs(static_cast<double>(call.alpha));
+  const double abs_beta = std::abs(static_cast<double>(call.beta));
+  const auto thresholds_for = [&](compute_mode run_mode) {
+    return resil::derive_abft_thresholds(abft_model_for<T>(run_mode), m, n,
+                                         k, abs_alpha, amax_a, amax_b,
+                                         abs_beta, amax_c);
+  };
+  resil::abft_thresholds tau = thresholds_for(requested);
+  resil::abft_scan scan =
+      resil::verify_checksums(c_aug.data(), ldc_aug, m, n, tau);
+  trace::record_health_counter("abft_check");
+  if (scan.clean()) {
+    copy_interior(c_aug, call);
+    return out;
+  }
+
+  char detail[128];
+  std::snprintf(detail, sizeof(detail),
+                "rows=%zu cols=%zu mode=%s tau=%.3e", scan.bad_rows.size(),
+                scan.bad_cols.size(),
+                std::string(info(requested).env_token).c_str(),
+                tau.tau_col);
+  resil::record_health_event("abft_detect", fault_site, detail);
+  if (mode == resil::abft_mode::detect) {
+    // Detection-only: report and hand the corrupted result through — the
+    // health sentinel / step invariants stay the backstop.
+    out.verdict = abft_verdict::detected;
+    copy_interior(c_aug, call);
+    return out;
+  }
+
+  // Correct: a single bad row x bad column locates one element; the
+  // column residual is (faulty - true) up to checksum noise, and the
+  // bitflip snap recovers the exact clean bits when the corruption was a
+  // flip.  Re-verify after the repair — a miscorrection must escalate,
+  // never pass.
+  if (scan.single()) {
+    const blas_int i0 = static_cast<blas_int>(scan.bad_rows[0]);
+    const blas_int j0 = static_cast<blas_int>(scan.bad_cols[0]);
+    T* slot = c_aug.data() +
+              (i0 + static_cast<std::size_t>(j0) * ldc_aug);
+    const T faulty = *slot;
+    const double target =
+        static_cast<double>(faulty) - scan.col_delta[0];
+    *slot = resil::snap_to_bitflip(faulty, target, tau.tau_col);
+    const resil::abft_scan recheck =
+        resil::verify_checksums(c_aug.data(), ldc_aug, m, n, tau);
+    if (recheck.clean()) {
+      std::snprintf(detail, sizeof(detail), "snap@(%lld,%lld) mode=%s",
+                    static_cast<long long>(i0),
+                    static_cast<long long>(j0),
+                    std::string(info(requested).env_token).c_str());
+      resil::record_health_event("abft_correct", fault_site, detail);
+      out.verdict = abft_verdict::corrected;
+      copy_interior(c_aug, call);
+      return out;
+    }
+    *slot = faulty;  // miscorrection: undo, fall through to escalation
+  }
+
+  // Escalation ladder: rebuild everything from the pristine user buffers
+  // (an input fault corrupted only our materialized copies) and re-run —
+  // same mode first, then up the mantissa ladder to standard.
+  compute_mode run_mode = requested;
+  bool first = true;
+  while (true) {
+    if (!first) {
+      const compute_mode next = effective_mode<T>(next_higher_mode(run_mode));
+      if (next == run_mode) break;  // ladder exhausted
+      run_mode = next;
+    }
+    first = false;
+    std::snprintf(detail, sizeof(detail), "rerun mode=%s",
+                  std::string(info(run_mode).env_token).c_str());
+    resil::record_health_event("abft_escalate", fault_site, detail);
+    build_augmented_operands(call, a_aug, b_aug, &amax_a, &amax_b);
+    amax_c = seed_augmented_c(call, c_aug);
+    run_augmented(run_mode);
+    ++out.extra_attempts;
+    tau = thresholds_for(run_mode);
+    scan = resil::verify_checksums(c_aug.data(), ldc_aug, m, n, tau);
+    if (scan.clean()) {
+      resil::record_health_event("abft_correct", fault_site, detail);
+      out.verdict = abft_verdict::recovered;
+      out.mode = run_mode;
+      copy_interior(c_aug, call);
+      return out;
+    }
+  }
+  // Exhausted: keep the last (still mismatching) result — detection is
+  // recorded, and the health/step-invariant tiers remain armed.
+  std::snprintf(detail, sizeof(detail), "exhausted mode=%s",
+                std::string(info(run_mode).env_token).c_str());
+  resil::record_health_event("abft_escalate", fault_site, detail);
+  out.verdict = abft_verdict::failed;
+  out.mode = run_mode;
+  copy_interior(c_aug, call);
+  return out;
+}
+
+/// Input-fault path when ABFT is off: the caller's operands are const, so
+/// the corrupted operand is a materialized dense op() copy (the transpose
+/// folded in) and the kernel consumes the copy.  Returns the injection
+/// description.
+template <typename T>
+std::string run_with_corrupted_input(const gemm_call<T>& call,
+                                     compute_mode mode,
+                                     const resil::fault_hit& hit) {
+  const blas_int m = call.m, n = call.n, k = call.k;
+  std::string desc;
+  if (hit.kind == resil::fault_kind::bitflip_a) {
+    std::vector<T> a_copy(static_cast<std::size_t>(m) *
+                          static_cast<std::size_t>(k));
+    for (blas_int p = 0; p < k; ++p) {
+      for (blas_int i = 0; i < m; ++i) {
+        a_copy[static_cast<std::size_t>(i) +
+               static_cast<std::size_t>(p) * static_cast<std::size_t>(m)] =
+            op_element(call.a, call.lda, call.transa, i, p);
+      }
+    }
+    desc = apply_input_fault(hit, a_copy.data(), m, m, k);
+    gemm_at_mode(mode, transpose::none, call.transb, m, n, k, call.alpha,
+                 a_copy.data(), m, call.b, call.ldb, call.beta, call.c,
+                 call.ldc);
+  } else {
+    std::vector<T> b_copy(static_cast<std::size_t>(k) *
+                          static_cast<std::size_t>(n));
+    for (blas_int j = 0; j < n; ++j) {
+      for (blas_int p = 0; p < k; ++p) {
+        b_copy[static_cast<std::size_t>(p) +
+               static_cast<std::size_t>(j) * static_cast<std::size_t>(k)] =
+            op_element(call.b, call.ldb, call.transb, p, j);
+      }
+    }
+    desc = apply_input_fault(hit, b_copy.data(), k, k, n);
+    gemm_at_mode(mode, call.transa, transpose::none, m, n, k, call.alpha,
+                 call.a, call.lda, b_copy.data(), k, call.beta, call.c,
+                 call.ldc);
+  }
+  return desc;
+}
+
 }  // namespace
 
 template <typename T>
 call_plan plan_call(const gemm_call<T>& call) {
   call_plan plan;
   plan.res = resolve_compute_mode(call.call_site, call.mode);
+  // ABFT resolution order: per-call override > policy rule's abft= flag >
+  // DCMESH_ABFT process default.  Complex types have no checksum path.
+  if constexpr (!gemm_traits<T>::is_complex) {
+    plan.abft = call.abft ? *call.abft
+                          : (plan.res.abft ? *plan.res.abft
+                                           : resil::active_abft_mode());
+  }
   if (plan.res.automatic) {
     // An AUTO rule matched: ask the installed tuner for the concrete
     // mode.  The tuner's calibration GEMMs carry a per-call mode
@@ -266,7 +679,7 @@ call_plan plan_call(const gemm_call<T>& call) {
     const auto choice = auto_tune_resolve(
         {call.call_site, gemm_traits<T>::routine, call.m, call.n, call.k,
          gemm_traits<T>::is_complex, gemm_traits<T>::is_fp64,
-         plan.res.ulp_budget});
+         plan.res.ulp_budget, plan.abft != resil::abft_mode::off});
     if (choice) {
       plan.res.mode = choice->mode;
       plan.tune = choice->provenance;
@@ -317,11 +730,38 @@ void run_planned(const gemm_call<T>& call, const call_plan& plan,
                      call.alpha != T(0);
   const bool dims_ok = call.m > 0 && call.n > 0;
   const resil::health_level health = resil::active_health_level();
-  const bool scan = health != resil::health_level::off && dims_ok;
+  // At level `sample` the DCMESH_HEALTH_SAMPLE cadence gates the scan
+  // (every Nth call; the && ordering advances the counter only for
+  // sample-level calls with real dimensions).
+  const bool scan =
+      dims_ok && health != resil::health_level::off &&
+      (health != resil::health_level::sample || resil::health_sample_due());
+  // ABFT applies to real types on the unguarded path with real work to
+  // check (the guard's sampled-reference machinery subsumes it when both
+  // are requested; degenerate shapes have no checksums to verify).
+  resil::abft_mode abft = resil::abft_mode::off;
+  if constexpr (!gemm_traits<T>::is_complex) {
+    if (!guard && call.m > 0 && call.n > 0 && call.k > 0 &&
+        call.alpha != T(0)) {
+      abft = plan.abft;
+    }
+  }
   // Pre-call C, packed m x n column-major; shared by the accuracy guard
   // and the health-recovery re-run (which must restore C when beta != 0).
   std::vector<T> c_orig;
   bool have_orig = false;
+
+  // ---- resilience: query the deterministic injection plan up front so
+  // ABFT can corrupt operands/results at the right stage.  Exactly one
+  // query per call with real dimensions — the occurrence counter it
+  // advances is what makes recovery re-runs fault-free.
+  const std::string_view fault_site =
+      call.call_site.empty() ? std::string_view(gemm_traits<T>::routine)
+                             : std::string_view(call.call_site);
+  const std::optional<resil::fault_hit> hit =
+      dims_ok ? resil::next_fault(fault_site) : std::nullopt;
+  std::string fault_desc;
+  abft_verdict averdict = abft_verdict::none;
 
   // One span per GEMM, named by the call-site tag so the Chrome timeline
   // groups by site; inert (nullopt stays cheap) when tracing is off.
@@ -349,7 +789,32 @@ void run_planned(const gemm_call<T>& call, const call_plan& plan,
       }
       have_orig = true;
     }
-    run_at(requested, call);
+    bool ran = false;
+    if constexpr (!gemm_traits<T>::is_complex) {
+      if (abft != resil::abft_mode::off) {
+        // The checksum path materializes operands through lda/ldb/ldc;
+        // validate first, like the guard does.
+        validate_gemm_args(call.transa, call.transb, call.m, call.n,
+                           call.k, call.a, call.lda, call.b, call.ldb,
+                           call.c, call.ldc);
+        const auto outcome =
+            run_abft(call, requested, abft, hit, &fault_desc, fault_site);
+        averdict = outcome.verdict;
+        final_mode = outcome.mode;
+        attempts += outcome.extra_attempts;
+        ran = true;
+      }
+    }
+    if (!ran) {
+      if (hit && resil::is_input_fault(hit->kind) && call.k > 0) {
+        fault_desc = run_with_corrupted_input(call, requested, *hit);
+        if (!fault_desc.empty()) {
+          resil::record_health_event("inject", fault_site, fault_desc);
+        }
+      } else {
+        run_at(requested, call);
+      }
+    }
   } else {
     // Validate before touching C: the guard must not copy through a
     // malformed ldc.
@@ -382,16 +847,15 @@ void run_planned(const gemm_call<T>& call, const call_plan& plan,
   }
   const auto stop = std::chrono::steady_clock::now();
 
-  // ---- resilience: deterministic injection, finite scan, recovery ----
-  const std::string_view fault_site =
-      call.call_site.empty() ? std::string_view(gemm_traits<T>::routine)
-                             : std::string_view(call.call_site);
-  std::string fault_desc;
-  if (dims_ok) {
-    // One getenv when no plan is active.  The occurrence counter advanced
-    // here is what makes recovery re-runs fault-free: they re-execute the
-    // arithmetic below without re-querying the plan.
-    if (const auto hit = resil::next_fault(fault_site)) {
+  // ---- resilience: apply any fault the timed block did not consume ----
+  if (hit && fault_desc.empty()) {
+    if (resil::is_input_fault(hit->kind)) {
+      // Only reachable on the guarded path (or k == 0): the guard's
+      // sampled reference reads the pristine operands, so operand
+      // corruption is suppressed there.  The occurrence still counted.
+      resil::record_health_event("inject", fault_site,
+                                 "suppressed(guarded)");
+    } else {
       fault_desc = apply_fault(*hit, call);
       if (!fault_desc.empty()) {
         resil::record_health_event("inject", fault_site, fault_desc);
@@ -460,6 +924,10 @@ void run_planned(const gemm_call<T>& call, const call_plan& plan,
         hverdict == health_verdict::recovered) {
       span->arg("health", name(hverdict));
     }
+    if (averdict != abft_verdict::none &&
+        averdict != abft_verdict::checked) {
+      span->arg("abft", name(averdict));
+    }
     // Measured-vs-modeled: annotate with the xehpc roofline's predicted
     // device time when core has installed the model hook.
     const double predicted = trace::predicted_gemm_seconds(
@@ -491,6 +959,7 @@ void run_planned(const gemm_call<T>& call, const call_plan& plan,
   record.tune = plan.tune;
   record.fault = std::move(fault_desc);
   record.health = hverdict;
+  record.abft = averdict;
   record_call(std::move(record));
 }
 

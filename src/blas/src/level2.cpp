@@ -1,9 +1,34 @@
 #include "dcmesh/blas/level2.hpp"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "dcmesh/blas/verbose.hpp"
 
 namespace dcmesh::blas {
 namespace {
+
+/// Verbose-record routine names per element type.
+template <typename T>
+struct gemv_traits {
+  static constexpr const char* routine = "SGEMV";
+  static constexpr bool is_complex = false;
+};
+template <>
+struct gemv_traits<double> {
+  static constexpr const char* routine = "DGEMV";
+  static constexpr bool is_complex = false;
+};
+template <>
+struct gemv_traits<std::complex<float>> {
+  static constexpr const char* routine = "CGEMV";
+  static constexpr bool is_complex = true;
+};
+template <>
+struct gemv_traits<std::complex<double>> {
+  static constexpr const char* routine = "ZGEMV";
+  static constexpr bool is_complex = true;
+};
 
 template <typename T>
 void validate_gemv(blas_int m, blas_int n, blas_int lda, blas_int incx,
@@ -28,13 +53,11 @@ constexpr T conj_if(T v, bool c) {
   }
 }
 
-}  // namespace
-
+/// The arithmetic of gemv, shared by the timed public wrapper.
 template <typename T>
-void gemv(transpose trans, blas_int m, blas_int n, T alpha, const T* a,
-          blas_int lda, const T* x, blas_int incx, T beta, T* y,
-          blas_int incy) {
-  validate_gemv<T>(m, n, lda, incx, incy);
+void gemv_apply(transpose trans, blas_int m, blas_int n, T alpha,
+                const T* a, blas_int lda, const T* x, blas_int incx,
+                T beta, T* y, blas_int incy) {
   const blas_int rows_y = trans == transpose::none ? m : n;
   const blas_int len_x = trans == transpose::none ? n : m;
   if (rows_y == 0) return;
@@ -71,6 +94,40 @@ void gemv(transpose trans, blas_int m, blas_int n, T alpha, const T* a,
   }
 }
 
+}  // namespace
+
+template <typename T>
+void gemv(transpose trans, blas_int m, blas_int n, T alpha, const T* a,
+          blas_int lda, const T* x, blas_int incx, T beta, T* y,
+          blas_int incy, std::string_view call_site) {
+  validate_gemv<T>(m, n, lda, incx, incy);
+
+  const auto start = std::chrono::steady_clock::now();
+  gemv_apply(trans, m, n, alpha, a, lda, x, incx, beta, y, incy);
+  const auto stop = std::chrono::steady_clock::now();
+
+  // Level 2 never changes arithmetic under compute modes, but interposed
+  // projections/contractions belong in the per-site attribution exactly
+  // like trsm/syrk: one record per call, mode fixed at standard.
+  call_record record;
+  record.routine = gemv_traits<T>::routine;
+  record.transa = static_cast<char>(trans);
+  record.transb = 'N';
+  record.m = m;
+  record.n = n;
+  record.k = 0;
+  record.lda = lda;
+  record.ldb = incx;
+  record.ldc = incy;
+  record.seconds = std::chrono::duration<double>(stop - start).count();
+  record.flops = (gemv_traits<T>::is_complex ? 8.0 : 2.0) * double(m) *
+                 double(n);
+  record.mode = compute_mode::standard;
+  record.call_site = std::string(call_site);
+  record.requested_mode = compute_mode::standard;
+  record_call(std::move(record));
+}
+
 template <typename T>
 void ger(blas_int m, blas_int n, T alpha, const T* x, blas_int incx,
          const T* y, blas_int incy, T* a, blas_int lda) {
@@ -101,7 +158,8 @@ void gerc(blas_int m, blas_int n, T alpha, const T* x, blas_int incx,
 
 #define DCMESH_INSTANTIATE_LEVEL2(T)                                      \
   template void gemv<T>(transpose, blas_int, blas_int, T, const T*,       \
-                        blas_int, const T*, blas_int, T, T*, blas_int);   \
+                        blas_int, const T*, blas_int, T, T*, blas_int,    \
+                        std::string_view);                                \
   template void ger<T>(blas_int, blas_int, T, const T*, blas_int,         \
                        const T*, blas_int, T*, blas_int);                 \
   template void gerc<T>(blas_int, blas_int, T, const T*, blas_int,        \

@@ -87,6 +87,13 @@ policy_rule parse_rule(std::string_view rule_text) {
       rule.tolerance = positive_value(4);
     } else if (flag.rfind("ULP=", 0) == 0) {
       rule.ulp_budget = positive_value(4);
+    } else if (flag.rfind("ABFT=", 0) == 0) {
+      const auto abft = resil::parse_abft_mode(flag.substr(5));
+      if (!abft) {
+        fail("unknown abft mode \"" + std::string(parts[i]) +
+             "\" (want abft=off|detect|correct)");
+      }
+      rule.abft = *abft;
     } else {
       fail("unknown flag \"" + std::string(parts[i]) + "\"");
     }
@@ -212,7 +219,7 @@ mode_resolution resolve_compute_mode(
     if (const policy_rule* rule = policy->match(call_site)) {
       return {rule->mode, policy_source::site_policy, rule->guarded,
               rule->tolerance.value_or(default_guard_tolerance()),
-              rule->automatic, rule->ulp_budget.value_or(0.0)};
+              rule->automatic, rule->ulp_budget.value_or(0.0), rule->abft};
     }
   }
   if (const auto api = api_mode_override()) {

@@ -108,6 +108,18 @@ std::string_view name(health_verdict verdict) noexcept {
   return "none";
 }
 
+std::string_view name(abft_verdict verdict) noexcept {
+  switch (verdict) {
+    case abft_verdict::none: return "none";
+    case abft_verdict::checked: return "checked";
+    case abft_verdict::detected: return "detected";
+    case abft_verdict::corrected: return "corrected";
+    case abft_verdict::recovered: return "recovered";
+    case abft_verdict::failed: return "failed";
+  }
+  return "none";
+}
+
 std::string call_record::to_string() const {
   // Mirrors the oneMKL verbose format:
   // MKL_VERBOSE SGEMM(N,N,128,896,262144,...) 12.34ms CNR:OFF ... mode:BF16
@@ -153,6 +165,10 @@ std::string call_record::to_string() const {
     line += " health:";
     line += name(health);
   }
+  if (abft != abft_verdict::none && abft != abft_verdict::checked) {
+    line += " abft:";
+    line += name(abft);
+  }
   return line;
 }
 
@@ -190,6 +206,10 @@ std::string call_record::to_json() const {
   if (health != health_verdict::none) {
     out += "\",\"health\":\"";
     out += name(health);
+  }
+  if (abft != abft_verdict::none) {
+    out += "\",\"abft\":\"";
+    out += name(abft);
   }
   std::snprintf(buffer, sizeof(buffer),
                 "\",\"residual\":%.9g,\"attempts\":%d}", guard_residual,

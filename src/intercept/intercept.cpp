@@ -60,6 +60,7 @@
 #include <string>
 #include <utility>
 
+#include "dcmesh/blas/level2.hpp"
 #include "dcmesh/blas/rank_k.hpp"
 #include "dcmesh/blas/trsm.hpp"
 #include "dcmesh/dcmesh_blas.h"
@@ -95,6 +96,17 @@ dcmesh::blas::transpose engine_trans(int t) {
     case 113: return dcmesh::blas::transpose::conj_trans;
   }
   throw std::invalid_argument("CBLAS trans must be 111/112/113");
+}
+
+/// Fortran TRANS character to the engine enum, for the Fortran entries
+/// (gemv) that forward to the engine directly.
+dcmesh::blas::transpose engine_trans(const char* t) {
+  switch (fortran_trans(t)) {
+    case 'N': case 'n': return dcmesh::blas::transpose::none;
+    case 'T': case 't': return dcmesh::blas::transpose::trans;
+    case 'C': case 'c': return dcmesh::blas::transpose::conj_trans;
+  }
+  throw std::invalid_argument("Fortran TRANS must be N/T/C");
 }
 
 dcmesh::blas::side engine_side(int s) {
@@ -452,6 +464,71 @@ DCMESH_PUBLIC void cblas_dsyrk(int layout, int uplo_v, int transa, int n,
   }
 }
 
+// ------------------------------------------------ CBLAS gemv (v1.2)
+// The level-2 matrix-vector surface, forwarded to the engine like
+// trsm/syrk (no public C API).  The engine is column-major only, so
+// CblasRowMajor maps through the transpose identity: a row-major m x n
+// A is the column-major n x m A^T with the same lda, hence
+//   op=N  ->  y = A x   = (A^T)^T x  ->  swap m/n, trans
+//   op=T  ->  y = A^T x = (A^T)   x  ->  swap m/n, none
+// ConjTrans equals Trans for the real types exported here.
+
+DCMESH_PUBLIC void cblas_sgemv(int layout, int transa, int m, int n,
+                               float alpha, const float* a, int lda,
+                               const float* x, int incx, float beta,
+                               float* y, int incy) {
+  ensure_armed();
+  DCMESH_TRY_CHAIN(cblas_sgemv, layout, transa, m, n, alpha, a, lda, x, incx, beta, y, incy)
+  const char* site =
+      dcmesh::intercept::site_for(__builtin_return_address(0));
+  try {
+    require_layout(layout);
+    auto t = engine_trans(transa) == dcmesh::blas::transpose::none
+                 ? dcmesh::blas::transpose::none
+                 : dcmesh::blas::transpose::trans;
+    int mm = m;
+    int nn = n;
+    if (layout == 101) {
+      t = t == dcmesh::blas::transpose::none
+              ? dcmesh::blas::transpose::trans
+              : dcmesh::blas::transpose::none;
+      std::swap(mm, nn);
+    }
+    dcmesh::blas::gemv<float>(t, mm, nn, alpha, a, lda, x, incx, beta, y,
+                              incy, site);
+  } catch (const std::exception& e) {
+    report_exception(e);
+  }
+}
+
+DCMESH_PUBLIC void cblas_dgemv(int layout, int transa, int m, int n,
+                               double alpha, const double* a, int lda,
+                               const double* x, int incx, double beta,
+                               double* y, int incy) {
+  ensure_armed();
+  DCMESH_TRY_CHAIN(cblas_dgemv, layout, transa, m, n, alpha, a, lda, x, incx, beta, y, incy)
+  const char* site =
+      dcmesh::intercept::site_for(__builtin_return_address(0));
+  try {
+    require_layout(layout);
+    auto t = engine_trans(transa) == dcmesh::blas::transpose::none
+                 ? dcmesh::blas::transpose::none
+                 : dcmesh::blas::transpose::trans;
+    int mm = m;
+    int nn = n;
+    if (layout == 101) {
+      t = t == dcmesh::blas::transpose::none
+              ? dcmesh::blas::transpose::trans
+              : dcmesh::blas::transpose::none;
+      std::swap(mm, nn);
+    }
+    dcmesh::blas::gemv<double>(t, mm, nn, alpha, a, lda, x, incx, beta, y,
+                               incy, site);
+  } catch (const std::exception& e) {
+    report_exception(e);
+  }
+}
+
 // ---------------------------------------------------------- Fortran
 // Column-major by definition; INTEGER arguments arrive by reference.
 
@@ -509,6 +586,45 @@ DCMESH_PUBLIC void zgemm_(const char* transa, const char* transb,
   report(dcmesh_gemm('z', DCMESH_LAYOUT_COL_MAJOR, fortran_trans(transa),
                      fortran_trans(transb), *m, *n, *k, alpha, a, *lda, b,
                      *ldb, beta, c, *ldc, site, nullptr));
+}
+
+DCMESH_PUBLIC void sgemv_(const char* trans, const int* m, const int* n,
+                          const float* alpha, const float* a,
+                          const int* lda, const float* x, const int* incx,
+                          const float* beta, float* y, const int* incy) {
+  ensure_armed();
+  DCMESH_TRY_CHAIN(sgemv_, trans, m, n, alpha, a, lda, x, incx, beta, y, incy)
+  const char* site =
+      dcmesh::intercept::site_for(__builtin_return_address(0));
+  try {
+    // Real gemv: 'C' is the same operation as 'T'.
+    const auto t = engine_trans(trans) == dcmesh::blas::transpose::none
+                       ? dcmesh::blas::transpose::none
+                       : dcmesh::blas::transpose::trans;
+    dcmesh::blas::gemv<float>(t, *m, *n, *alpha, a, *lda, x, *incx, *beta,
+                              y, *incy, site);
+  } catch (const std::exception& e) {
+    report_exception(e);
+  }
+}
+
+DCMESH_PUBLIC void dgemv_(const char* trans, const int* m, const int* n,
+                          const double* alpha, const double* a,
+                          const int* lda, const double* x, const int* incx,
+                          const double* beta, double* y, const int* incy) {
+  ensure_armed();
+  DCMESH_TRY_CHAIN(dgemv_, trans, m, n, alpha, a, lda, x, incx, beta, y, incy)
+  const char* site =
+      dcmesh::intercept::site_for(__builtin_return_address(0));
+  try {
+    const auto t = engine_trans(trans) == dcmesh::blas::transpose::none
+                       ? dcmesh::blas::transpose::none
+                       : dcmesh::blas::transpose::trans;
+    dcmesh::blas::gemv<double>(t, *m, *n, *alpha, a, *lda, x, *incx, *beta,
+                               y, *incy, site);
+  } catch (const std::exception& e) {
+    report_exception(e);
+  }
 }
 
 }  // extern "C"

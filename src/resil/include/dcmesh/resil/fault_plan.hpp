@@ -11,11 +11,18 @@
 // plan from the DCMESH_FAULT_PLAN environment variable:
 //
 //   plan := rule (';' rule)*            (',' is also accepted)
-//   rule := site-glob ':' call# ':' kind [':' param]
+//   rule := site-glob ':' call# ':' kind [':' param [':' hits]]
 //   call# := <n>                        the n-th matching call (0-based)
 //          | '*'                        every matching call
-//   kind  := 'bitflip'                  flip one mantissa/exponent bit
+//   kind  := 'bitflip'                  flip one mantissa/exponent bit of C
 //                                       (param = bit index; random if absent)
+//          | 'bitflip_a'                flip one bit of one element of op(A)
+//          | 'bitflip_b'                flip one bit of one element of op(B)
+//                                       (input-space kinds: the corruption
+//                                       feeds the kernel, so the damage is
+//                                       finite-but-wrong arithmetic — the
+//                                       exact fault class only the ABFT
+//                                       checksums can see)
 //          | 'nan'                      overwrite one element with quiet NaN
 //          | 'inf'                      overwrite one element with +infinity
 //          | 'scale'                    multiply all of C by param
@@ -23,6 +30,8 @@
 //                                       that stays finite, exercising the
 //                                       step-level invariants rather than
 //                                       the per-call finite scan)
+//   hits  := <n>                        elements to corrupt per firing
+//                                       (default 1; element kinds only)
 //
 // Example: "lfd/calc_energy/*:5:nan;lfd/remap_occ/*:2:bitflip:12".
 // Site globs reuse the policy grammar's '*'/'?' matching.  Element and bit
@@ -45,23 +54,32 @@
 
 namespace dcmesh::resil {
 
-/// What an injected fault does to the GEMM result matrix C.
+/// What an injected fault does to the GEMM call.
 enum class fault_kind {
-  bitflip,    ///< XOR one bit of one element (real part).
-  nan_value,  ///< Overwrite one element with a quiet NaN.
-  inf_value,  ///< Overwrite one element with +infinity.
+  bitflip,    ///< XOR one bit of one element of C (real part).
+  bitflip_a,  ///< XOR one bit of one element of op(A) before the kernel.
+  bitflip_b,  ///< XOR one bit of one element of op(B) before the kernel.
+  nan_value,  ///< Overwrite one element of C with a quiet NaN.
+  inf_value,  ///< Overwrite one element of C with +infinity.
   scale,      ///< Multiply every element of C by the rule's param.
 };
 
 /// Grammar token of a fault kind, e.g. "bitflip".
 [[nodiscard]] std::string_view name(fault_kind kind) noexcept;
 
+/// Input-space kinds corrupt the operands the kernel consumes rather
+/// than the result it produced.
+[[nodiscard]] constexpr bool is_input_fault(fault_kind kind) noexcept {
+  return kind == fault_kind::bitflip_a || kind == fault_kind::bitflip_b;
+}
+
 /// One parsed plan rule.
 struct fault_rule {
   std::string pattern;            ///< Site glob ('*' and '?').
   std::int64_t call_index = 0;    ///< n-th matching call; -1 = every call.
   fault_kind kind = fault_kind::nan_value;
-  std::optional<double> param;    ///< bit index (bitflip) / factor (scale).
+  std::optional<double> param;    ///< bit index (bitflip*) / factor (scale).
+  std::int64_t hits = 1;          ///< Elements corrupted per firing.
 };
 
 /// An ordered list of rules; the first rule that fires wins for a call.
@@ -74,7 +92,7 @@ struct fault_plan {
 /// naming the offending rule (missing field, unknown kind, bad call#).
 [[nodiscard]] fault_plan parse_fault_plan(std::string_view text);
 
-/// A fault that should be applied to the current call's result.
+/// A fault that should be applied to the current call.
 struct fault_hit {
   fault_kind kind = fault_kind::nan_value;
   std::optional<double> param;    ///< From the rule; kind-specific.
@@ -82,6 +100,10 @@ struct fault_hit {
   std::uint64_t pick1 = 0;        ///< Deterministic draw (bit choice).
   int rule = 0;                   ///< Index of the rule that fired.
   std::int64_t occurrence = 0;    ///< Which matching call this was.
+  std::int64_t hits = 1;          ///< Elements to corrupt this firing.
+  std::uint64_t draw_seed = 0;    ///< Stream seed: re-derive further draws
+                                  ///< for multi-hit application (pick0 and
+                                  ///< pick1 are the stream's first two).
 };
 
 /// Ask whether the active plan injects into this call.  Advances the

@@ -25,6 +25,7 @@
 // the observability layer already exports.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string_view>
 
@@ -73,10 +74,25 @@ struct invariant_limits {
 void record_health_event(std::string_view kind, std::string_view site,
                          std::string_view detail);
 
+/// Sentinel cadence at level sample: DCMESH_HEALTH_SAMPLE=N scans every
+/// Nth GEMM call (default 1 = every call).  Malformed or non-positive
+/// values warn once and keep the default — never throw.
+[[nodiscard]] std::uint64_t health_sample_period();
+
+/// True when the current call is due a sample-level scan: advances a
+/// process-wide call counter and fires on every health_sample_period()-th
+/// call (the first call always scans).  Level `full` ignores the cadence.
+[[nodiscard]] bool health_sample_due();
+
+/// Reset the sampling call counter (tests).
+void reset_health_sampling();
+
 /// Elements scanned per result matrix at level sample.
 inline constexpr std::size_t kSampleScanElems = 256;
 
 inline constexpr std::string_view kHealthEnvVar = "DCMESH_HEALTH";
+inline constexpr std::string_view kHealthSampleEnvVar =
+    "DCMESH_HEALTH_SAMPLE";
 inline constexpr std::string_view kNormDriftEnvVar =
     "DCMESH_HEALTH_NORM_DRIFT";
 inline constexpr std::string_view kValueMaxEnvVar =

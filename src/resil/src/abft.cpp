@@ -1,0 +1,140 @@
+#include "dcmesh/resil/abft.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <string>
+
+#include "dcmesh/common/env.hpp"
+
+namespace dcmesh::resil {
+namespace {
+
+std::mutex g_mutex;
+// Lock-free fast path flag mirroring g_forced.has_value().
+std::atomic<bool> g_have_forced{false};
+// Guarded by g_mutex:
+std::optional<abft_mode> g_forced;
+std::string g_env_cache;
+bool g_env_cache_valid = false;
+abft_mode g_env_mode = abft_mode::off;
+bool g_mode_warned = false;
+
+template <typename T, typename Bits>
+T snap_impl(T faulty, double target, double tol) noexcept {
+  static_assert(sizeof(T) == sizeof(Bits));
+  Bits bits;
+  std::memcpy(&bits, &faulty, sizeof(T));
+  T best{};
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (unsigned bit = 0; bit < 8 * sizeof(T); ++bit) {
+    const Bits cand_bits = bits ^ (Bits{1} << bit);
+    T cand;
+    std::memcpy(&cand, &cand_bits, sizeof(T));
+    if (!std::isfinite(cand)) continue;
+    const double dist = std::abs(static_cast<double>(cand) - target);
+    if (dist < best_dist) {
+      best = cand;
+      best_dist = dist;
+    }
+  }
+  if (best_dist <= tol) return best;
+  const T rounded = static_cast<T>(target);
+  return std::isfinite(rounded) ? rounded : faulty;
+}
+
+}  // namespace
+
+std::string_view name(abft_mode mode) noexcept {
+  switch (mode) {
+    case abft_mode::off: return "off";
+    case abft_mode::detect: return "detect";
+    case abft_mode::correct: return "correct";
+  }
+  return "off";
+}
+
+std::optional<abft_mode> parse_abft_mode(std::string_view token) {
+  const std::string upper = to_upper(trim(token));
+  if (upper == "OFF" || upper == "0") return abft_mode::off;
+  if (upper == "DETECT" || upper == "1") return abft_mode::detect;
+  if (upper == "CORRECT" || upper == "2") return abft_mode::correct;
+  return std::nullopt;
+}
+
+abft_mode active_abft_mode() {
+  // Fast path: nothing forced, nothing in the environment — one getenv,
+  // no lock (the GEMM hot path runs this per call).
+  const char* raw = std::getenv(std::string(kAbftEnvVar).c_str());
+  if ((raw == nullptr || raw[0] == '\0') &&
+      !g_have_forced.load(std::memory_order_relaxed)) {
+    return abft_mode::off;
+  }
+  std::lock_guard lock(g_mutex);
+  if (g_forced) return *g_forced;
+  const std::string text = (raw != nullptr) ? raw : "";
+  if (g_env_cache_valid && text == g_env_cache) return g_env_mode;
+  g_env_cache = text;
+  g_env_cache_valid = true;
+  if (text.empty()) {
+    g_env_mode = abft_mode::off;
+    return g_env_mode;
+  }
+  const auto parsed = parse_abft_mode(text);
+  if (!parsed) {
+    // Malformed: warn once, disable the feature — never throw.
+    if (!g_mode_warned) {
+      std::fprintf(stderr,
+                   "dcmesh: unrecognised %s value \"%s\" (expected "
+                   "off|detect|correct); ABFT disabled\n",
+                   std::string(kAbftEnvVar).c_str(), text.c_str());
+      g_mode_warned = true;
+    }
+    g_env_mode = abft_mode::off;
+  } else {
+    g_env_mode = *parsed;
+  }
+  return g_env_mode;
+}
+
+void set_abft_mode(std::optional<abft_mode> mode) {
+  std::lock_guard lock(g_mutex);
+  g_forced = mode;
+  g_have_forced.store(mode.has_value(), std::memory_order_relaxed);
+  g_env_cache_valid = false;  // re-read (and re-warn-check) the env later
+  g_mode_warned = false;
+}
+
+abft_thresholds derive_abft_thresholds(const abft_error_model& model,
+                                       std::int64_t m, std::int64_t n,
+                                       std::int64_t k, double abs_alpha,
+                                       double amax_a, double amax_b,
+                                       double abs_beta, double amax_c) {
+  const double kd = static_cast<double>(k);
+  // Forward-error bound of one mode-encoded k-length dot product, as an
+  // absolute quantity: |α|·amax_a·amax_b · k·(2·u_repr + (k+2)·u_acc).
+  const double dot_err = abs_alpha * amax_a * amax_b * kd *
+                         (2.0 * model.u_repr + (kd + 2.0) * model.u_acc);
+  abft_thresholds tau;
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  tau.tau_col =
+      kAbftSafety * md *
+      (dot_err + abs_beta * amax_c * (md + 2.0) * model.u_acc);
+  tau.tau_row =
+      kAbftSafety * nd *
+      (dot_err + abs_beta * amax_c * (nd + 2.0) * model.u_acc);
+  return tau;
+}
+
+float snap_to_bitflip(float faulty, double target, double tol) noexcept {
+  return snap_impl<float, std::uint32_t>(faulty, target, tol);
+}
+
+double snap_to_bitflip(double faulty, double target, double tol) noexcept {
+  return snap_impl<double, std::uint64_t>(faulty, target, tol);
+}
+
+}  // namespace dcmesh::resil

@@ -67,6 +67,8 @@ void refresh_from_env_locked() {
 std::string_view name(fault_kind kind) noexcept {
   switch (kind) {
     case fault_kind::bitflip: return "bitflip";
+    case fault_kind::bitflip_a: return "bitflip_a";
+    case fault_kind::bitflip_b: return "bitflip_b";
     case fault_kind::nan_value: return "nan";
     case fault_kind::inf_value: return "inf";
     case fault_kind::scale: return "scale";
@@ -110,7 +112,7 @@ fault_plan parse_fault_plan(std::string_view text) {
       continue;
     }
 
-    // site-glob ':' call# ':' kind [':' param] — split on ':'.
+    // site-glob ':' call# ':' kind [':' param [':' hits]] — split on ':'.
     std::vector<std::string_view> fields;
     std::size_t field_begin = 0;
     while (field_begin <= rule_text.size()) {
@@ -123,9 +125,9 @@ fault_plan parse_fault_plan(std::string_view text) {
     }
     const std::string context = "fault rule \"" + std::string(rule_text) +
                                 "\"";
-    if (fields.size() < 3 || fields.size() > 4) {
+    if (fields.size() < 3 || fields.size() > 5) {
       throw std::invalid_argument(
-          context + ": expected site-glob:call#:kind[:param]");
+          context + ": expected site-glob:call#:kind[:param[:hits]]");
     }
     fault_rule rule;
     rule.pattern = std::string(fields[0]);
@@ -152,6 +154,10 @@ fault_plan parse_fault_plan(std::string_view text) {
     const std::string kind_token = to_upper(fields[2]);
     if (kind_token == "BITFLIP") {
       rule.kind = fault_kind::bitflip;
+    } else if (kind_token == "BITFLIP_A") {
+      rule.kind = fault_kind::bitflip_a;
+    } else if (kind_token == "BITFLIP_B") {
+      rule.kind = fault_kind::bitflip_b;
     } else if (kind_token == "NAN") {
       rule.kind = fault_kind::nan_value;
     } else if (kind_token == "INF") {
@@ -163,16 +169,32 @@ fault_plan parse_fault_plan(std::string_view text) {
                                   std::string(fields[2]) + "\"");
     }
 
-    if (fields.size() == 4) {
-      char* parse_end = nullptr;
+    if (fields.size() >= 4) {
       const std::string param_text(fields[3]);
-      const double parsed = std::strtod(param_text.c_str(), &parse_end);
-      if (param_text.empty() ||
-          parse_end != param_text.c_str() + param_text.size()) {
-        throw std::invalid_argument(context + ": bad param \"" +
-                                    param_text + "\"");
+      // An empty param is allowed when a hits field follows
+      // ("site:0:bitflip_a::3" — random bit, three elements).
+      if (!param_text.empty() || fields.size() == 4) {
+        char* parse_end = nullptr;
+        const double parsed = std::strtod(param_text.c_str(), &parse_end);
+        if (param_text.empty() ||
+            parse_end != param_text.c_str() + param_text.size()) {
+          throw std::invalid_argument(context + ": bad param \"" +
+                                      param_text + "\"");
+        }
+        rule.param = parsed;
       }
-      rule.param = parsed;
+    }
+    if (fields.size() == 5) {
+      char* parse_end = nullptr;
+      const std::string hits_text(fields[4]);
+      const long long parsed =
+          std::strtoll(hits_text.c_str(), &parse_end, 10);
+      if (hits_text.empty() ||
+          parse_end != hits_text.c_str() + hits_text.size() || parsed < 1) {
+        throw std::invalid_argument(context + ": bad hit count \"" +
+                                    hits_text + "\"");
+      }
+      rule.hits = parsed;
     }
     plan.rules.push_back(std::move(rule));
     if (end == text.size()) break;
@@ -204,10 +226,11 @@ std::optional<fault_hit> next_fault(std::string_view site) {
     if (hit) continue;  // first firing rule wins, but counters still run
     if (rule.call_index >= 0 && rule.call_index != occurrence) continue;
     // Deterministic draws: one xoshiro stream per (seed, rule, occurrence).
-    xoshiro256 rng(g_state.seed +
-                   0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(r) +
-                   0xd1b54a32d192ed03ull *
-                       static_cast<std::uint64_t>(occurrence));
+    const std::uint64_t stream =
+        g_state.seed +
+        0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(r) +
+        0xd1b54a32d192ed03ull * static_cast<std::uint64_t>(occurrence);
+    xoshiro256 rng(stream);
     fault_hit h;
     h.kind = rule.kind;
     h.param = rule.param;
@@ -215,6 +238,8 @@ std::optional<fault_hit> next_fault(std::string_view site) {
     h.pick1 = rng();
     h.rule = static_cast<int>(r);
     h.occurrence = occurrence;
+    h.hits = rule.hits;
+    h.draw_seed = stream;
     hit = h;
   }
   if (hit) g_injections.fetch_add(1, std::memory_order_relaxed);

@@ -1,7 +1,9 @@
 #include "dcmesh/resil/health.hpp"
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 
@@ -49,6 +51,10 @@ double env_limit(std::string_view var, double fallback) {
   }
   return parsed;
 }
+
+// Sample-cadence call counter (process-wide, advanced by
+// health_sample_due).
+std::atomic<std::uint64_t> g_sample_counter{0};
 
 }  // namespace
 
@@ -110,6 +116,35 @@ invariant_limits active_limits() {
   limits.value_max = env_limit(kValueMaxEnvVar, limits.value_max);
   limits.ekin_jump_rel = env_limit(kEkinJumpEnvVar, limits.ekin_jump_rel);
   return limits;
+}
+
+std::uint64_t health_sample_period() {
+  const auto raw = env_get(kHealthSampleEnvVar);
+  if (!raw) return 1;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw->c_str(), &end, 10);
+  if (end != raw->c_str() + raw->size() || parsed <= 0) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "dcmesh: malformed %s=\"%s\" (want a positive "
+                   "integer); scanning every call\n",
+                   std::string(kHealthSampleEnvVar).c_str(), raw->c_str());
+    }
+    return 1;
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+bool health_sample_due() {
+  const std::uint64_t period = health_sample_period();
+  const std::uint64_t tick =
+      g_sample_counter.fetch_add(1, std::memory_order_relaxed);
+  return period <= 1 || tick % period == 0;
+}
+
+void reset_health_sampling() {
+  g_sample_counter.store(0, std::memory_order_relaxed);
 }
 
 void record_health_event(std::string_view kind, std::string_view site,

@@ -97,6 +97,13 @@ struct wisdom_entry {
   std::int64_t block_m = 0;
   std::int64_t block_n = 0;
   std::string block_isa;
+  /// Measured ABFT (abft=correct) time overhead for this shape class as a
+  /// fraction of the plain call (0.15 = +15%).  0 = never measured.
+  /// FILL-ONLY under merge_wisdom, exactly like the blocking fields: the
+  /// checksum augmentation never changes the interior result, so an
+  /// overhead measurement is pure information and must survive mode-only
+  /// rewrites.
+  double abft_overhead = 0.0;
   /// Store generation this entry was written at.  0 = never published
   /// (a fresh in-memory decision); merge_wisdom stamps the file value.
   std::uint64_t generation = 0;

@@ -189,6 +189,9 @@ std::vector<mode_measurement> calibrate_key(
     call.ldc = cm;
     call.call_site = kCalibrationSite;
     call.mode = mode;
+    // Calibration times the bare kernel: a process-wide DCMESH_ABFT
+    // default must not leak checksum overhead into the mode ranking.
+    call.abft = resil::abft_mode::off;
 
     mode_measurement meas;
     meas.mode_token = std::string(blas::info(mode).env_token);
@@ -300,6 +303,7 @@ void probe_blocking(wisdom_entry& entry,
     call.ldc = pm;
     call.call_site = kCalibrationSite;
     call.mode = mode;
+    call.abft = resil::abft_mode::off;
     call.block_m = cand.mc;
     call.block_n = cand.nc;
 
@@ -324,6 +328,55 @@ void probe_blocking(wisdom_entry& entry,
   entry.block_isa = std::string(bd::kernel_isa_name(isa));
 }
 
+/// Measure the ABFT checksum overhead for this shape class: time the
+/// decided mode plain vs under abft=correct (per-call overrides, so the
+/// probes are independent of the process default) and record the
+/// fractional slowdown in the entry.  Only called for requests that will
+/// actually run under ABFT — the probe costs two timed batches.
+void probe_abft_overhead(wisdom_entry& entry,
+                         const blas::auto_tune_request& req,
+                         compute_mode mode, std::uint64_t seed) {
+  const blas_int pm = std::clamp<blas_int>(req.m, 1, kMaxProbeM);
+  const blas_int pn = std::clamp<blas_int>(req.n, 1, kMaxProbeN);
+  const blas_int pk = std::clamp<blas_int>(req.k, 1, kMaxProbeK);
+
+  xoshiro256 rng(seed ^ 0xd1b54a32d192ed03ull);
+  std::vector<float> a(static_cast<std::size_t>(pm) * pk);
+  std::vector<float> b(static_cast<std::size_t>(pk) * pn);
+  std::vector<float> c(static_cast<std::size_t>(pm) * pn);
+  fill_uniform(a, rng);
+  fill_uniform(b, rng);
+
+  const auto time_at = [&](resil::abft_mode abft) {
+    blas::gemm_call<float> call;
+    call.m = pm;
+    call.n = pn;
+    call.k = pk;
+    call.a = a.data();
+    call.lda = pm;
+    call.b = b.data();
+    call.ldb = pk;
+    call.c = c.data();
+    call.ldc = pm;
+    call.call_site = kCalibrationSite;
+    call.mode = mode;
+    call.abft = abft;
+
+    const double probe_start = now_seconds();
+    blas::run(call);
+    const double probe = std::max(now_seconds() - probe_start, 1e-9);
+    const int reps = std::clamp(
+        static_cast<int>(kTimingTargetSeconds / probe), 1, kMaxTimingReps);
+    const double start = now_seconds();
+    for (int r = 0; r < reps; ++r) blas::run(call);
+    return std::max(now_seconds() - start, 1e-9) / reps;
+  };
+
+  const double plain = time_at(resil::abft_mode::off);
+  const double checked = time_at(resil::abft_mode::correct);
+  entry.abft_overhead = std::max(0.0, checked / plain - 1.0);
+}
+
 blas::auto_tune_choice make_choice(const wisdom_entry& entry,
                                    blas::auto_provenance provenance) {
   const auto mode = blas::parse_compute_mode(entry.mode_token);
@@ -338,6 +391,7 @@ blas::auto_tune_choice make_choice(const wisdom_entry& entry,
     choice.block_m = static_cast<blas_int>(entry.block_m);
     choice.block_n = static_cast<blas_int>(entry.block_n);
   }
+  choice.abft_overhead = entry.abft_overhead;
   return choice;
 }
 
@@ -529,6 +583,16 @@ blas::auto_tune_choice autotuner::decide(state& s,
     probe_blocking(entry, req, best_mode.value_or(compute_mode::standard),
                    seed);
     ++s.stats.blocking_probes;
+  }
+
+  // The requesting site runs under ABFT: measure (and wisdom-record) the
+  // checksum overhead for this shape class so the recorded cost of the
+  // decision reflects what the site will actually pay.  Cached entries
+  // carry the overhead, so a warm store never re-probes.
+  if (timed && !req.is_complex && !req.is_fp64 && req.abft) {
+    const auto best_mode = blas::parse_compute_mode(best->mode_token);
+    probe_abft_overhead(entry, req,
+                        best_mode.value_or(compute_mode::standard), seed);
   }
 
   s.decisions.emplace(key, entry);

@@ -125,6 +125,11 @@ std::string wisdom_entry::to_json() const {
     trace::append_json_escaped(out, block_isa);
     out += '"';
   }
+  if (abft_overhead > 0.0) {
+    std::snprintf(buffer, sizeof(buffer), ",\"abft_overhead\":%.9g",
+                  abft_overhead);
+    out += buffer;
+  }
   if (generation > 0) {
     std::snprintf(buffer, sizeof(buffer), ",\"gen\":%llu",
                   static_cast<unsigned long long>(generation));
@@ -185,6 +190,11 @@ std::optional<wisdom_entry> parse_wisdom_line(std::string_view line) {
     entry.block_m = static_cast<std::int64_t>(*block_m);
     entry.block_n = static_cast<std::int64_t>(*block_n);
     entry.block_isa = json_string_field(line, "block_isa").value_or("");
+  }
+  // Optional ABFT overhead column; absent reads as "never measured".
+  if (const auto abft = json_number_field(line, "abft_overhead");
+      abft && *abft > 0.0) {
+    entry.abft_overhead = *abft;
   }
   // "gen" was added after format v1 shipped; its absence (a pre-merge
   // file, or a hand-written line) reads as generation 0, which merges
@@ -309,11 +319,15 @@ merge_result merge_wisdom(const std::string& path,
       const std::int64_t kept_block_m = existing->block_m;
       const std::int64_t kept_block_n = existing->block_n;
       std::string kept_block_isa = std::move(existing->block_isa);
+      const double kept_abft_overhead = existing->abft_overhead;
       *existing = in_entry;
       if (existing->block_m == 0 && kept_block_m > 0) {
         existing->block_m = kept_block_m;
         existing->block_n = kept_block_n;
         existing->block_isa = std::move(kept_block_isa);
+      }
+      if (existing->abft_overhead == 0.0 && kept_abft_overhead > 0.0) {
+        existing->abft_overhead = kept_abft_overhead;
       }
       existing->generation = next_gen;
       ++result.added;
@@ -327,6 +341,11 @@ merge_result merge_wisdom(const std::string& path,
         existing->block_m = in_entry.block_m;
         existing->block_n = in_entry.block_n;
         existing->block_isa = in_entry.block_isa;
+        existing->generation = next_gen;
+        changed = true;
+      }
+      if (existing->abft_overhead == 0.0 && in_entry.abft_overhead > 0.0) {
+        existing->abft_overhead = in_entry.abft_overhead;
         existing->generation = next_gen;
         changed = true;
       }

@@ -57,6 +57,12 @@ using dtrsm_fn = void (*)(int, int, int, int, int, int, int, double,
                           const double*, int, double*, int);
 using dsyrk_fn = void (*)(int, int, int, int, int, double, const double*,
                           int, double, double*, int);
+using dgemv_fn = void (*)(int, int, int, int, double, const double*, int,
+                          const double*, int, double, double*, int);
+using dgemv_f77_fn = void (*)(const char*, const int*, const int*,
+                              const double*, const double*, const int*,
+                              const double*, const int*, const double*,
+                              double*, const int*);
 using last_site_fn = int (*)(char*, unsigned long);
 using call_count_fn = unsigned long long (*)(void);
 using str_fn = const char* (*)(void);
@@ -134,6 +140,8 @@ TEST(Intercept, ShimLoadsAndExportsEveryPublicSymbol) {
       "sgemm_", "dgemm_", "cgemm_", "zgemm_",
       // interposed BLAS added in v1.1
       "cblas_strsm", "cblas_dtrsm", "cblas_ssyrk", "cblas_dsyrk",
+      // interposed BLAS added in v1.2
+      "cblas_sgemv", "cblas_dgemv", "sgemv_", "dgemv_",
       // public C API re-exported through the shim
       "dcmesh_api_version", "dcmesh_api_version_string",
       "dcmesh_last_error", "dcmesh_gemm", "dcmesh_gemm_batch_strided",
@@ -169,6 +177,11 @@ TEST(Intercept, SymbolsCarryTheVersionNode) {
   EXPECT_NE(dlvsym(shim_handle(), "cblas_dsyrk", "DCMESH_1.1"), nullptr);
   EXPECT_EQ(dlvsym(shim_handle(), "cblas_strsm", "DCMESH_1.0"), nullptr);
   EXPECT_EQ(dlvsym(shim_handle(), "cblas_sgemm", "DCMESH_1.1"), nullptr);
+  // And the v1.2 gemv surface in ITS own node, invisible at 1.1.
+  EXPECT_NE(dlvsym(shim_handle(), "cblas_sgemv", "DCMESH_1.2"), nullptr);
+  EXPECT_NE(dlvsym(shim_handle(), "dgemv_", "DCMESH_1.2"), nullptr);
+  EXPECT_EQ(dlvsym(shim_handle(), "cblas_sgemv", "DCMESH_1.1"), nullptr);
+  EXPECT_EQ(dlvsym(shim_handle(), "cblas_strsm", "DCMESH_1.2"), nullptr);
 }
 
 TEST(Intercept, TrsmAndSyrkRouteThroughTheEngine) {
@@ -218,6 +231,50 @@ TEST(Intercept, TrsmAndSyrkRouteThroughTheEngine) {
   trsm(102, 999, 122, 111, 131, 2, 2, 1.0, a_col, 2, b_bad, 2);
   EXPECT_DOUBLE_EQ(b_bad[0], 7.0);
   EXPECT_DOUBLE_EQ(b_bad[3], 7.0);
+}
+
+TEST(Intercept, GemvRoutesThroughTheEngine) {
+  ASSERT_NE(shim_handle(), nullptr);
+  auto gemv = shim_sym<dgemv_fn>("cblas_dgemv");
+  auto gemv_f = shim_sym<dgemv_f77_fn>("dgemv_");
+  ASSERT_NE(gemv, nullptr);
+  ASSERT_NE(gemv_f, nullptr);
+
+  // y = A x with A = [[1,2],[3,4]], x = [1,1]: y = [3,7].
+  const double a_col[] = {1.0, 3.0, 2.0, 4.0};  // A, col-major
+  const double x[] = {1.0, 1.0};
+  double y_col[] = {0.0, 0.0};
+  gemv(102, 111, 2, 2, 1.0, a_col, 2, x, 1, 0.0, y_col, 1);
+  EXPECT_DOUBLE_EQ(y_col[0], 3.0);
+  EXPECT_DOUBLE_EQ(y_col[1], 7.0);
+
+  // The same product through the row-major entry (swaps m/n and flips
+  // the transpose internally) must agree.
+  const double a_row[] = {1.0, 2.0, 3.0, 4.0};  // A, row-major
+  double y_row[] = {0.0, 0.0};
+  gemv(101, 111, 2, 2, 1.0, a_row, 2, x, 1, 0.0, y_row, 1);
+  EXPECT_DOUBLE_EQ(y_row[0], 3.0);
+  EXPECT_DOUBLE_EQ(y_row[1], 7.0);
+
+  // ConjTrans on the real entry behaves as Trans: y = A^T x = [4,6].
+  double y_ct[] = {0.0, 0.0};
+  gemv(102, 113, 2, 2, 1.0, a_col, 2, x, 1, 0.0, y_ct, 1);
+  EXPECT_DOUBLE_EQ(y_ct[0], 4.0);
+  EXPECT_DOUBLE_EQ(y_ct[1], 6.0);
+
+  // Fortran spelling: column-major by definition, args by reference.
+  const int two = 2, one = 1;
+  const double alpha = 1.0, beta = 0.0;
+  double y_f[] = {0.0, 0.0};
+  gemv_f("N", &two, &two, &alpha, a_col, &two, x, &one, &beta, y_f, &one);
+  EXPECT_DOUBLE_EQ(y_f[0], 3.0);
+  EXPECT_DOUBLE_EQ(y_f[1], 7.0);
+
+  // Malformed arguments are dropped xerbla-style: y stays untouched.
+  double y_bad[] = {7.0, 7.0};
+  gemv(102, 999, 2, 2, 1.0, a_col, 2, x, 1, 0.0, y_bad, 1);
+  EXPECT_DOUBLE_EQ(y_bad[0], 7.0);
+  EXPECT_DOUBLE_EQ(y_bad[1], 7.0);
 }
 
 TEST(Intercept, InternalEngineSymbolsStayHidden) {

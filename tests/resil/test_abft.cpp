@@ -1,0 +1,442 @@
+// Unit tests for the ABFT checksum guard: mode/env parsing, the τ error
+// model, the bitflip snap, and the detect/locate/correct/escalate pipeline
+// visible through the GEMM choke point.
+
+#include "dcmesh/resil/abft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "dcmesh/blas/blas.hpp"
+#include "dcmesh/blas/compute_mode.hpp"
+#include "dcmesh/blas/gemm_call.hpp"
+#include "dcmesh/blas/precision_policy.hpp"
+#include "dcmesh/blas/verbose.hpp"
+#include "dcmesh/common/env.hpp"
+#include "dcmesh/common/rng.hpp"
+#include "dcmesh/resil/fault_plan.hpp"
+#include "dcmesh/resil/health.hpp"
+#include "dcmesh/trace/metrics.hpp"
+
+namespace dcmesh::resil {
+namespace {
+
+using blas::blas_int;
+
+class AbftTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+  static void reset() {
+    env_unset(kAbftEnvVar);
+    env_unset(kFaultPlanEnvVar);
+    env_unset(kFaultSeedEnvVar);
+    env_unset(kHealthSampleEnvVar);
+    env_unset(blas::kPolicyEnvVar);
+    env_unset("MKL_BLAS_COMPUTE_MODE");
+    set_abft_mode(std::nullopt);
+    set_fault_plan(std::nullopt);
+    reset_fault_state();
+    set_health_level(std::nullopt);
+    reset_health_sampling();
+    blas::clear_policy();
+    blas::clear_compute_mode();
+    blas::clear_call_log();
+    trace::clear_health_counters();
+  }
+
+  /// Deterministic m x n x k problem; returns C after one run() with the
+  /// given per-call mode + abft overrides.
+  static std::vector<float> run_gemm(blas_int m, blas_int n, blas_int k,
+                                     blas::compute_mode mode,
+                                     abft_mode abft, float beta = 0.0f) {
+    xoshiro256 rng(42);
+    std::vector<float> a(static_cast<std::size_t>(m) * k);
+    std::vector<float> b(static_cast<std::size_t>(k) * n);
+    std::vector<float> c(static_cast<std::size_t>(m) * n, 1.0f);
+    for (auto& v : a) v = float(rng.uniform()) - 0.5f;
+    for (auto& v : b) v = float(rng.uniform()) - 0.5f;
+    blas::gemm_call<float> call;
+    call.m = m;
+    call.n = n;
+    call.k = k;
+    call.a = a.data();
+    call.lda = m;
+    call.b = b.data();
+    call.ldb = k;
+    call.beta = beta;
+    call.c = c.data();
+    call.ldc = m;
+    call.mode = mode;
+    call.abft = abft;
+    blas::run(call);
+    return c;
+  }
+};
+
+TEST_F(AbftTest, ParsesModeTokens) {
+  EXPECT_EQ(parse_abft_mode("off"), abft_mode::off);
+  EXPECT_EQ(parse_abft_mode("OFF"), abft_mode::off);
+  EXPECT_EQ(parse_abft_mode("0"), abft_mode::off);
+  EXPECT_EQ(parse_abft_mode("detect"), abft_mode::detect);
+  EXPECT_EQ(parse_abft_mode("DETECT"), abft_mode::detect);
+  EXPECT_EQ(parse_abft_mode("1"), abft_mode::detect);
+  EXPECT_EQ(parse_abft_mode("correct"), abft_mode::correct);
+  EXPECT_EQ(parse_abft_mode("2"), abft_mode::correct);
+  EXPECT_FALSE(parse_abft_mode("").has_value());
+  EXPECT_FALSE(parse_abft_mode("verify").has_value());
+  EXPECT_EQ(name(abft_mode::off), "off");
+  EXPECT_EQ(name(abft_mode::detect), "detect");
+  EXPECT_EQ(name(abft_mode::correct), "correct");
+}
+
+TEST_F(AbftTest, EnvDefaultAndProgrammaticOverride) {
+  EXPECT_EQ(active_abft_mode(), abft_mode::off);
+  env_set(kAbftEnvVar, "detect");
+  EXPECT_EQ(active_abft_mode(), abft_mode::detect);
+  env_set(kAbftEnvVar, "CORRECT");
+  EXPECT_EQ(active_abft_mode(), abft_mode::correct);
+  // Warn-once-never-throw on a malformed value: falls back to off.
+  env_set(kAbftEnvVar, "bogus");
+  EXPECT_EQ(active_abft_mode(), abft_mode::off);
+  // Programmatic override beats the env.
+  env_set(kAbftEnvVar, "off");
+  set_abft_mode(abft_mode::correct);
+  EXPECT_EQ(active_abft_mode(), abft_mode::correct);
+  set_abft_mode(std::nullopt);
+  EXPECT_EQ(active_abft_mode(), abft_mode::off);
+}
+
+TEST_F(AbftTest, PolicyGrammarCarriesAbftFlag) {
+  const auto policy = blas::parse_policy(
+      "lfd/nlp_prop/*=FLOAT_TO_BF16X2:abft=correct;"
+      "core/*=STANDARD:abft=detect; other=FLOAT_TO_TF32");
+  ASSERT_EQ(policy.rules.size(), 3u);
+  ASSERT_TRUE(policy.rules[0].abft.has_value());
+  EXPECT_EQ(*policy.rules[0].abft, abft_mode::correct);
+  ASSERT_TRUE(policy.rules[1].abft.has_value());
+  EXPECT_EQ(*policy.rules[1].abft, abft_mode::detect);
+  EXPECT_FALSE(policy.rules[2].abft.has_value());
+  EXPECT_THROW((void)blas::parse_policy("a=FLOAT_TO_BF16:abft=maybe"),
+               std::invalid_argument);
+}
+
+TEST_F(AbftTest, ThresholdsScaleWithPrecisionAndShape) {
+  const abft_error_model fine{0x1p-24, 0x1p-24};
+  const abft_error_model coarse{0x1p-8, 0x1p-24};
+  const auto tight =
+      derive_abft_thresholds(fine, 64, 64, 256, 1.0, 1.0, 1.0, 0.0, 0.0);
+  const auto loose =
+      derive_abft_thresholds(coarse, 64, 64, 256, 1.0, 1.0, 1.0, 0.0, 0.0);
+  EXPECT_GT(tight.tau_col, 0.0);
+  EXPECT_GT(loose.tau_col, tight.tau_col);
+  const auto deeper =
+      derive_abft_thresholds(fine, 64, 64, 1024, 1.0, 1.0, 1.0, 0.0, 0.0);
+  EXPECT_GT(deeper.tau_col, tight.tau_col);
+}
+
+TEST_F(AbftTest, SnapToBitflipRecoversExactBits) {
+  const float clean = 3.14159f;
+  for (const unsigned bit : {0u, 7u, 20u, 22u, 30u}) {
+    std::uint32_t repr;
+    std::memcpy(&repr, &clean, sizeof(repr));
+    repr ^= std::uint32_t{1} << bit;
+    float faulty;
+    std::memcpy(&faulty, &repr, sizeof(faulty));
+    // Target = faulty - delta where delta is the (noiseless) residual.
+    const double target = static_cast<double>(clean);
+    const float fixed = snap_to_bitflip(faulty, target, 1e-3);
+    EXPECT_EQ(std::memcmp(&fixed, &clean, sizeof(clean)), 0)
+        << "bit " << bit;
+  }
+  // No finite bitflip neighbour within tol: falls back to the rounded
+  // target (still finite).
+  const float off_target = snap_to_bitflip(1.0f, 7.25, 1e-6);
+  EXPECT_FLOAT_EQ(off_target, 7.25f);
+}
+
+TEST_F(AbftTest, VerifyChecksumsLocatesASingleElement) {
+  // Hand-built 2x2 augmented result: interior + exact checksums, then
+  // corrupt (1,0).
+  const blas_int ld = 3;
+  std::vector<double> caug = {1.0, 2.0, 3.0,   // col 0 + checksum
+                              4.0, 5.0, 9.0,   // col 1 + checksum
+                              5.0, 7.0, 12.0}; // row-sum col + corner
+  caug[1] += 0.5;  // corrupt C(1,0)
+  const abft_thresholds tau{1e-9, 1e-9};
+  const auto scan = verify_checksums(caug.data(), ld, 2, 2, tau);
+  ASSERT_TRUE(scan.single());
+  EXPECT_EQ(scan.bad_rows[0], 1);
+  EXPECT_EQ(scan.bad_cols[0], 0);
+  EXPECT_NEAR(scan.col_delta[0], 0.5, 1e-12);
+  // NaN corruption must flag, never pass (NaN-safe comparison).
+  caug[1] = std::numeric_limits<double>::quiet_NaN();
+  const auto nan_scan = verify_checksums(caug.data(), ld, 2, 2, tau);
+  EXPECT_FALSE(nan_scan.clean());
+}
+
+TEST_F(AbftTest, AugmentationIsBitNeutralAcrossModes) {
+  using blas::compute_mode;
+  for (const compute_mode mode :
+       {compute_mode::standard, compute_mode::float_to_bf16,
+        compute_mode::float_to_tf32, compute_mode::float_to_bf16x2,
+        compute_mode::float_to_bf16x3}) {
+    trace::clear_health_counters();
+    const auto plain = run_gemm(24, 20, 64, mode, abft_mode::off, 0.5f);
+    const auto checked = run_gemm(24, 20, 64, mode, abft_mode::detect, 0.5f);
+    // The augmented interior is the same blocked arithmetic on the same
+    // values: bit-identical result, and a clean run never false-positives.
+    EXPECT_EQ(std::memcmp(plain.data(), checked.data(),
+                          plain.size() * sizeof(float)),
+              0)
+        << blas::info(mode).env_token;
+    EXPECT_EQ(trace::health_counter("abft_check"), 1u)
+        << blas::info(mode).env_token;
+    EXPECT_EQ(trace::health_counter("abft_detect"), 0u)
+        << blas::info(mode).env_token;
+    const auto log = blas::recent_calls();
+    ASSERT_FALSE(log.empty());
+    EXPECT_EQ(log.back().abft, blas::abft_verdict::checked);
+  }
+}
+
+TEST_F(AbftTest, CorrectsASingleOutputBitflip) {
+  const auto clean = run_gemm(16, 12, 32, blas::compute_mode::standard,
+                              abft_mode::off);
+  // High-mantissa flip: finite, large enough to clear τ.
+  fault_plan plan;
+  plan.rules.push_back({"SGEMM", 0, fault_kind::bitflip, 20.0});
+  set_fault_plan(plan);
+  const auto fixed = run_gemm(16, 12, 32, blas::compute_mode::standard,
+                              abft_mode::correct);
+  EXPECT_EQ(std::memcmp(clean.data(), fixed.data(),
+                        clean.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(injection_count(), 1u);
+  EXPECT_GE(trace::health_counter("abft_detect"), 1u);
+  EXPECT_GE(trace::health_counter("abft_correct"), 1u);
+  const auto log = blas::recent_calls();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back().abft, blas::abft_verdict::corrected);
+  EXPECT_TRUE(log.back().fault.rfind("bitflip@", 0) == 0)
+      << log.back().fault;
+}
+
+TEST_F(AbftTest, DetectModeReportsButKeepsTheCorruptResult) {
+  fault_plan plan;
+  plan.rules.push_back({"SGEMM", 0, fault_kind::bitflip, 20.0});
+  set_fault_plan(plan);
+  const auto kept = run_gemm(16, 12, 32, blas::compute_mode::standard,
+                             abft_mode::detect);
+  set_fault_plan(std::nullopt);
+  reset_fault_state();
+  const auto clean = run_gemm(16, 12, 32, blas::compute_mode::standard,
+                              abft_mode::off);
+  EXPECT_NE(std::memcmp(clean.data(), kept.data(),
+                        clean.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(trace::health_counter("abft_detect"), 1u);
+  EXPECT_EQ(trace::health_counter("abft_correct"), 0u);
+  const auto log = blas::recent_calls();
+  EXPECT_EQ(log.front().abft, blas::abft_verdict::detected);
+}
+
+TEST_F(AbftTest, InputFaultEscalatesToABitIdenticalRerun) {
+  for (const blas::compute_mode mode :
+       {blas::compute_mode::standard, blas::compute_mode::float_to_bf16x2,
+        blas::compute_mode::float_to_bf16x3,
+        blas::compute_mode::float_to_tf32}) {
+    reset();
+    const auto clean = run_gemm(16, 12, 32, mode, abft_mode::off);
+    // A flipped op(A) element corrupts a whole row of C: multi-hit, so
+    // the single-element snap cannot apply and the ladder re-runs from
+    // the pristine operands — same mode first, hence bit-identical.
+    // Bit 30 flips the top exponent bit: for |a| < 1 the element blows
+    // up to ~1e38 — finite (invisible to the health sentinel) but far
+    // beyond any mode's τ, so detection is guaranteed even at BF16X2's
+    // coarse threshold.
+    fault_plan plan;
+    plan.rules.push_back({"SGEMM", 0, fault_kind::bitflip_a, 30.0});
+    set_fault_plan(plan);
+    const auto fixed = run_gemm(16, 12, 32, mode, abft_mode::correct);
+    EXPECT_EQ(std::memcmp(clean.data(), fixed.data(),
+                          clean.size() * sizeof(float)),
+              0)
+        << blas::info(mode).env_token;
+    EXPECT_GE(trace::health_counter("abft_detect"), 1u);
+    EXPECT_GE(trace::health_counter("abft_escalate"), 1u);
+    const auto log = blas::recent_calls();
+    ASSERT_FALSE(log.empty());
+    EXPECT_EQ(log.back().abft, blas::abft_verdict::recovered)
+        << blas::info(mode).env_token;
+    // Same-mode re-run recovered: no ladder promotion needed.
+    EXPECT_EQ(log.back().mode, mode) << blas::info(mode).env_token;
+    EXPECT_GE(log.back().attempts, 2);
+  }
+}
+
+TEST_F(AbftTest, TenStepTrajectoryCorrectsBitIdentically) {
+  // The abft_drill campaign in unit-test form (so it also runs under the
+  // sanitizers): a 10-step chained propagation next = (1/n) A s with a
+  // single bit-30 operand flip at step 5 must finish bit-identical to
+  // the clean trajectory once abft=correct is on — across the real mode
+  // grid the drill's CI loop covers.
+  constexpr blas_int n = 24;
+  constexpr int steps = 10;
+  const auto trajectory = [](blas::compute_mode mode, abft_mode abft) {
+    xoshiro256 rng(7);
+    std::vector<float> a(static_cast<std::size_t>(n) * n);
+    std::vector<float> s(static_cast<std::size_t>(n) * n);
+    for (auto& v : a) v = float(rng.uniform()) - 0.5f;
+    for (auto& v : s) v = float(rng.uniform()) - 0.5f;
+    std::vector<float> next(s.size());
+    std::vector<float> out;
+    for (int step = 0; step < steps; ++step) {
+      blas::gemm_call<float> call;
+      call.m = n;
+      call.n = n;
+      call.k = n;
+      call.alpha = 1.0f / n;
+      call.a = a.data();
+      call.lda = n;
+      call.b = s.data();
+      call.ldb = n;
+      call.c = next.data();
+      call.ldc = n;
+      call.call_site = "traj/abft";
+      call.mode = mode;
+      call.abft = abft;
+      blas::run(call);
+      s.swap(next);
+      out.insert(out.end(), s.begin(), s.end());
+    }
+    return out;
+  };
+  for (const blas::compute_mode mode :
+       {blas::compute_mode::standard, blas::compute_mode::float_to_bf16x2,
+        blas::compute_mode::float_to_bf16x3,
+        blas::compute_mode::float_to_tf32}) {
+    reset();
+    const auto clean = trajectory(mode, abft_mode::off);
+    fault_plan plan;
+    plan.rules.push_back({"traj/*", 5, fault_kind::bitflip_a, 30.0, 1});
+    set_fault_plan(plan);
+    const auto fixed = trajectory(mode, abft_mode::correct);
+    EXPECT_EQ(injection_count(), 1u) << blas::info(mode).env_token;
+    EXPECT_EQ(std::memcmp(clean.data(), fixed.data(),
+                          clean.size() * sizeof(float)),
+              0)
+        << blas::info(mode).env_token;
+    EXPECT_EQ(trace::health_counter("abft_check"),
+              static_cast<std::uint64_t>(steps));
+    EXPECT_EQ(trace::health_counter("abft_detect"), 1u);
+    // Zero false positives: only the injected step re-ran.
+    EXPECT_GE(trace::health_counter("abft_correct") +
+                  trace::health_counter("abft_escalate"),
+              1u);
+  }
+}
+
+TEST_F(AbftTest, AntiVacuity_FiniteFlipInvisibleWithoutAbft) {
+  // The PR 5 sentinel only scans for non-finite values: a finite
+  // mantissa flip sails through with ABFT off...
+  fault_plan plan;
+  plan.rules.push_back({"SGEMM", 0, fault_kind::bitflip, 20.0});
+  set_fault_plan(plan);
+  set_health_level(health_level::full);
+  (void)run_gemm(16, 12, 32, blas::compute_mode::standard, abft_mode::off);
+  EXPECT_EQ(injection_count(), 1u);
+  EXPECT_EQ(trace::health_counter("detect"), 0u);
+  EXPECT_EQ(trace::health_counter("abft_detect"), 0u);
+  {
+    const auto log = blas::recent_calls();
+    ASSERT_FALSE(log.empty());
+    EXPECT_EQ(log.back().health, blas::health_verdict::clean);
+    EXPECT_EQ(log.back().abft, blas::abft_verdict::none);
+  }
+  // ...and the same plan under abft=detect fires exactly once.
+  reset_fault_state();
+  blas::clear_call_log();
+  (void)run_gemm(16, 12, 32, blas::compute_mode::standard,
+                 abft_mode::detect);
+  EXPECT_EQ(trace::health_counter("abft_detect"), 1u);
+  const auto log = blas::recent_calls();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back().abft, blas::abft_verdict::detected);
+}
+
+TEST_F(AbftTest, PerCallOverrideBeatsPolicyBeatsEnv) {
+  env_set(kAbftEnvVar, "correct");
+  // Env default reaches an untagged call.
+  (void)run_gemm(8, 8, 8, blas::compute_mode::standard, abft_mode::detect);
+  {
+    const auto log = blas::recent_calls();
+    ASSERT_FALSE(log.empty());
+    // Per-call detect overrode the env's correct; verdict is checked
+    // (clean run) either way, but the counter proves the path ran.
+    EXPECT_EQ(log.back().abft, blas::abft_verdict::checked);
+  }
+  EXPECT_EQ(trace::health_counter("abft_check"), 1u);
+  // Policy rule: abft=off for this site disables it despite the env.
+  blas::set_policy(blas::parse_policy("quiet/*=standard:abft=off"));
+  xoshiro256 rng(7);
+  std::vector<float> a(64), b(64), c(64, 0.0f);
+  for (auto& v : a) v = float(rng.uniform());
+  for (auto& v : b) v = float(rng.uniform());
+  blas::gemm_call<float> call;
+  call.m = 8;
+  call.n = 8;
+  call.k = 8;
+  call.a = a.data();
+  call.lda = 8;
+  call.b = b.data();
+  call.ldb = 8;
+  call.c = c.data();
+  call.ldc = 8;
+  call.call_site = "quiet/site";
+  blas::run(call);
+  const auto log = blas::recent_calls();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back().abft, blas::abft_verdict::none);
+  EXPECT_EQ(trace::health_counter("abft_check"), 1u);  // unchanged
+}
+
+TEST_F(AbftTest, ComplexAndGuardedCallsSkipAbft) {
+  env_set(kAbftEnvVar, "correct");
+  std::vector<std::complex<float>> a(16, {1.0f, 0.0f}), b(16, {1.0f, 0.0f}),
+      c(16, {0.0f, 0.0f});
+  blas::cgemm(blas::transpose::none, blas::transpose::none, 4, 4, 4,
+              {1.0f, 0.0f}, a.data(), 4, b.data(), 4, {0.0f, 0.0f},
+              c.data(), 4);
+  auto log = blas::recent_calls();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back().abft, blas::abft_verdict::none);
+  EXPECT_EQ(trace::health_counter("abft_check"), 0u);
+  // A guarded rule wins over ABFT (its sampled-reference check subsumes
+  // the checksum, and the two would fight over re-runs).
+  blas::set_policy(
+      blas::parse_policy("g/*=FLOAT_TO_BF16:tol=1e-2:abft=correct"));
+  std::vector<float> fa(16, 0.5f), fb(16, 0.25f), fc(16, 0.0f);
+  blas::gemm_call<float> call;
+  call.m = 4;
+  call.n = 4;
+  call.k = 4;
+  call.a = fa.data();
+  call.lda = 4;
+  call.b = fb.data();
+  call.ldb = 4;
+  call.c = fc.data();
+  call.ldc = 4;
+  call.call_site = "g/site";
+  blas::run(call);
+  log = blas::recent_calls();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back().abft, blas::abft_verdict::none);
+  EXPECT_NE(log.back().fallback, blas::fallback_verdict::none);
+}
+
+}  // namespace
+}  // namespace dcmesh::resil

@@ -62,8 +62,31 @@ TEST_F(FaultPlanTest, RejectsMalformedRules) {
   EXPECT_THROW((void)parse_fault_plan("site:0:scale:huge"),
                std::invalid_argument);
   EXPECT_THROW((void)parse_fault_plan(":0:nan"), std::invalid_argument);
-  EXPECT_THROW((void)parse_fault_plan("a:0:nan:1:2"),
+  EXPECT_THROW((void)parse_fault_plan("a:0:nan:1:2:3"),
                std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("a:0:bitflip_a:20:0"),
+               std::invalid_argument);  // hit count must be >= 1
+  EXPECT_THROW((void)parse_fault_plan("a:0:bitflip_a:20:x"),
+               std::invalid_argument);
+}
+
+TEST_F(FaultPlanTest, ParsesInputKindsAndHitCounts) {
+  const fault_plan plan = parse_fault_plan(
+      "lfd/*:0:bitflip_a:20; SGEMM:1:bitflip_b:22:3, core/*:2:nan::2");
+  ASSERT_EQ(plan.rules.size(), 3u);
+  EXPECT_EQ(plan.rules[0].kind, fault_kind::bitflip_a);
+  ASSERT_TRUE(plan.rules[0].param.has_value());
+  EXPECT_DOUBLE_EQ(*plan.rules[0].param, 20.0);
+  EXPECT_EQ(plan.rules[0].hits, 1);
+  EXPECT_EQ(plan.rules[1].kind, fault_kind::bitflip_b);
+  EXPECT_EQ(plan.rules[1].hits, 3);
+  // Empty param with a hits field: draw the bit, flip two elements.
+  EXPECT_EQ(plan.rules[2].kind, fault_kind::nan_value);
+  EXPECT_FALSE(plan.rules[2].param.has_value());
+  EXPECT_EQ(plan.rules[2].hits, 2);
+  EXPECT_TRUE(is_input_fault(fault_kind::bitflip_a));
+  EXPECT_TRUE(is_input_fault(fault_kind::bitflip_b));
+  EXPECT_FALSE(is_input_fault(fault_kind::bitflip));
 }
 
 TEST_F(FaultPlanTest, EmptyAndSeparatorOnlyPlansAreInert) {

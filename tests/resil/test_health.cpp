@@ -23,8 +23,10 @@ class HealthTest : public ::testing::Test {
     env_unset(kNormDriftEnvVar);
     env_unset(kValueMaxEnvVar);
     env_unset(kEkinJumpEnvVar);
+    env_unset(kHealthSampleEnvVar);
     set_health_level(std::nullopt);
     clear_promotions();
+    reset_health_sampling();
     trace::clear_health_counters();
   }
 };
@@ -91,6 +93,29 @@ TEST_F(HealthTest, EventsBumpTheMetricsCounters) {
   EXPECT_EQ(trace::health_counter("detect"), 2u);
   EXPECT_EQ(trace::health_counter("recover"), 1u);
   EXPECT_EQ(trace::health_counter("rollback"), 0u);
+}
+
+TEST_F(HealthTest, SamplePeriodDefaultsToEveryCall) {
+  EXPECT_EQ(health_sample_period(), 1u);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(health_sample_due());
+}
+
+TEST_F(HealthTest, SamplePeriodGatesEveryNthCall) {
+  env_set(kHealthSampleEnvVar, "3");
+  EXPECT_EQ(health_sample_period(), 3u);
+  reset_health_sampling();
+  EXPECT_TRUE(health_sample_due());   // tick 0
+  EXPECT_FALSE(health_sample_due());  // tick 1
+  EXPECT_FALSE(health_sample_due());  // tick 2
+  EXPECT_TRUE(health_sample_due());   // tick 3
+  EXPECT_FALSE(health_sample_due());
+}
+
+TEST_F(HealthTest, MalformedSamplePeriodWarnsAndReadsAsOne) {
+  for (const char* bad : {"zero", "0", "-4", "2.5x", ""}) {
+    env_set(kHealthSampleEnvVar, bad);
+    EXPECT_EQ(health_sample_period(), 1u) << '"' << bad << '"';
+  }
 }
 
 TEST_F(HealthTest, PromotionLedgerAppliesAndExpires) {
